@@ -1,0 +1,155 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (simulated-time results), plus an optional Bechamel
+   microbenchmark suite measuring the host-level cost of the hot
+   engine building blocks.
+
+   Usage:
+     dune exec bench/main.exe                 # all tables and figures
+     dune exec bench/main.exe -- --only fig7  # one experiment
+     dune exec bench/main.exe -- --list       # list experiment ids
+     dune exec bench/main.exe -- --micro      # Bechamel microbenches *)
+
+let ppf = Format.std_formatter
+
+let list_experiments () =
+  List.iter
+    (fun (id, desc, _) -> Format.fprintf ppf "%-8s %s@." id desc)
+    Nv_harness.Experiments.all
+
+let run_experiments only =
+  let selected =
+    match only with
+    | [] -> Nv_harness.Experiments.all
+    | ids ->
+        List.filter_map
+          (fun id ->
+            match List.find_opt (fun (i, _, _) -> i = id) Nv_harness.Experiments.all with
+            | Some e -> Some e
+            | None ->
+                Format.fprintf ppf "unknown experiment %S (try --list)@." id;
+                exit 2)
+          ids
+  in
+  Format.fprintf ppf
+    "NVCaracal reproduction — simulated-time results (scaled datasets; see DESIGN.md)@.";
+  List.iter
+    (fun (id, desc, run) ->
+      Format.fprintf ppf "@.[%s] %s@." id desc;
+      let t0 = Unix.gettimeofday () in
+      run ppf;
+      Format.fprintf ppf "(%s took %.1fs wall)@." id (Unix.gettimeofday () -. t0))
+    selected
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel microbenchmarks: host-level costs of hot primitives.       *)
+
+let micro () =
+  let open Bechamel in
+  let stats () = Nv_nvmm.Stats.create Nv_nvmm.Memspec.default in
+  let pmem_write =
+    let p = Nv_nvmm.Pmem.create ~size:(1 lsl 20) () in
+    let s = stats () in
+    let i = ref 0 in
+    Test.make ~name:"pmem.set_i64+flush"
+      (Staged.stage (fun () ->
+           let off = !i land 0xFFFF8 in
+           incr i;
+           Nv_nvmm.Pmem.set_i64 p off 42L;
+           Nv_nvmm.Pmem.flush p s ~off ~len:8))
+  in
+  let hash_index =
+    let h = Nv_index.Hash_index.create ~initial_capacity:(1 lsl 16) () in
+    let s = stats () in
+    for k = 0 to 40_000 do
+      Nv_index.Hash_index.insert h s (Int64.of_int k) k
+    done;
+    let i = ref 0 in
+    Test.make ~name:"hash_index.find"
+      (Staged.stage (fun () ->
+           incr i;
+           ignore (Nv_index.Hash_index.find h s (Int64.of_int (!i mod 40_000)))))
+  in
+  let ordered_index =
+    let o = Nv_index.Ordered_index.create () in
+    let s = stats () in
+    for k = 0 to 40_000 do
+      Nv_index.Ordered_index.insert o s (Int64.of_int k) k
+    done;
+    let i = ref 0 in
+    Test.make ~name:"ordered_index.find"
+      (Staged.stage (fun () ->
+           incr i;
+           ignore (Nv_index.Ordered_index.find o s (Int64.of_int (!i mod 40_000)))))
+  in
+  let version_append =
+    let s = stats () in
+    Test.make ~name:"version_array.append x16"
+      (Staged.stage (fun () ->
+           let va = Nvcaracal.Version_array.create ~epoch:2 ~nvmm_resident:false () in
+           for seq = 0 to 15 do
+             Nvcaracal.Version_array.append va s (Nvcaracal.Sid.make ~epoch:2 ~seq)
+           done))
+  in
+  let btree_index =
+    let b = Nv_index.Btree_index.create () in
+    let s = stats () in
+    for k = 0 to 40_000 do
+      Nv_index.Btree_index.insert b s (Int64.of_int k) k
+    done;
+    let i = ref 0 in
+    Test.make ~name:"btree_index.find"
+      (Staged.stage (fun () ->
+           incr i;
+           ignore (Nv_index.Btree_index.find b s (Int64.of_int (!i mod 40_000)))))
+  in
+  let zipf =
+    let z = Nv_util.Zipf.create ~n:1_000_000 ~theta:0.99 in
+    let rng = Nv_util.Rng.create 7 in
+    Test.make ~name:"zipf.sample" (Staged.stage (fun () -> ignore (Nv_util.Zipf.sample z rng)))
+  in
+  let tests =
+    Test.make_grouped ~name:"nvcaracal-micro"
+      [ pmem_write; hash_index; ordered_index; btree_index; version_append; zipf ]
+  in
+  let benchmark () =
+    let instances = Toolkit.Instance.[ monotonic_clock ] in
+    let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) () in
+    let raw = Benchmark.all cfg instances tests in
+    List.map (fun i -> Analyze.all (Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]) i raw)
+      instances
+    |> Analyze.merge (Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]) instances
+  in
+  let results = benchmark () in
+  Hashtbl.iter
+    (fun measure tbl ->
+      Format.fprintf ppf "@.%s:@." measure;
+      Hashtbl.iter
+        (fun name result ->
+          match Bechamel.Analyze.OLS.estimates result with
+          | Some [ est ] -> Format.fprintf ppf "  %-32s %10.1f ns/run@." name est
+          | _ -> Format.fprintf ppf "  %-32s (no estimate)@." name)
+        tbl)
+    results
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let open Cmdliner in
+  let only =
+    Arg.(value & opt_all string [] & info [ "only" ] ~docv:"ID" ~doc:"Run only experiment $(docv).")
+  in
+  let list_flag = Arg.(value & flag & info [ "list" ] ~doc:"List experiment ids and exit.") in
+  let micro_flag =
+    Arg.(value & flag & info [ "micro" ] ~doc:"Run Bechamel microbenchmarks instead.")
+  in
+  let main only list_it micro_it =
+    if list_it then list_experiments ()
+    else if micro_it then micro ()
+    else run_experiments only
+  in
+  let cmd =
+    Cmd.v
+      (Cmd.info "nvcaracal-bench" ~doc:"Regenerate the paper's tables and figures")
+      Term.(const main $ only $ list_flag $ micro_flag)
+  in
+  exit (Cmd.eval cmd)

@@ -1,0 +1,156 @@
+(* nvdb: command-line driver for the NVCaracal reproduction.
+
+   Subcommands:
+     run      — run a benchmark workload on a chosen engine/design
+     recover  — run, crash mid-epoch, recover, and report the breakdown
+     mem      — run and print the DRAM/NVMM consumption breakdown
+
+   Examples:
+     dune exec bin/nvdb.exe -- run --workload smallbank --contention high
+     dune exec bin/nvdb.exe -- run --workload ycsb --engine zen
+     dune exec bin/nvdb.exe -- recover --workload tpcc --epochs 4
+     dune exec bin/nvdb.exe -- mem --workload ycsb *)
+
+open Cmdliner
+module Runner = Nv_harness.Runner
+module Config = Nvcaracal.Config
+
+let ppf = Format.std_formatter
+
+(* ------------------------------------------------------------------ *)
+(* Shared arguments                                                    *)
+
+let workload_arg =
+  let doc = "Benchmark: ycsb, ycsb-smallrow, smallbank, or tpcc." in
+  Arg.(value & opt string "ycsb" & info [ "w"; "workload" ] ~docv:"NAME" ~doc)
+
+let contention_arg =
+  let doc = "Contention level: low, med (YCSB only), or high." in
+  Arg.(value & opt string "low" & info [ "c"; "contention" ] ~docv:"LEVEL" ~doc)
+
+let epochs_arg =
+  Arg.(value & opt int 8 & info [ "epochs" ] ~docv:"N" ~doc:"Number of epochs to run.")
+
+let txns_arg =
+  Arg.(value & opt int 1000 & info [ "txns" ] ~docv:"N" ~doc:"Transactions per epoch.")
+
+let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Workload seed.")
+
+let engine_arg =
+  let doc =
+    "Engine or design variant: nvcaracal, all-nvmm, hybrid, no-logging, all-dram, wal, aria, \
+     or zen."
+  in
+  Arg.(value & opt string "nvcaracal" & info [ "e"; "engine" ] ~docv:"ENGINE" ~doc)
+
+let resolve_workload name contention =
+  let level3 =
+    match contention with
+    | "low" -> `Low
+    | "med" | "medium" -> `Medium
+    | "high" -> `High
+    | other -> failwith (Printf.sprintf "unknown contention %S" other)
+  in
+  let level2 = match level3 with `Medium -> `High | (`Low | `High) as l -> l in
+  match name with
+  | "ycsb" ->
+      ( Nv_workloads.Ycsb.(make (with_contention level3 default)),
+        0 (* insert growth *) )
+  | "ycsb-smallrow" -> (Nv_workloads.Ycsb.(make (smallrow (with_contention level3 default))), 0)
+  | "smallbank" -> (Nv_workloads.Smallbank.(make (with_contention level2 default)), 0)
+  | "tpcc" -> (Nv_workloads.Tpcc.(make (with_contention level2 default)), 15)
+  | other -> failwith (Printf.sprintf "unknown workload %S" other)
+
+let print_result (r : Runner.result) =
+  Format.fprintf ppf "workload        %s@." r.Runner.label;
+  Format.fprintf ppf "transactions    %d (%d aborted)@." r.Runner.txns r.Runner.aborted;
+  Format.fprintf ppf "simulated time  %.3f ms@." (r.Runner.sim_seconds *. 1e3);
+  Format.fprintf ppf "throughput      %s@." (Nv_harness.Tablefmt.mtps r.Runner.throughput);
+  Format.fprintf ppf "transient       %s of version writes stayed in DRAM@."
+    (Nv_harness.Tablefmt.pct r.Runner.transient_frac);
+  Format.fprintf ppf "gc              %d minor, %d major@." r.Runner.minor_gc r.Runner.major_gc;
+  Format.fprintf ppf "cache           %d hits / %d misses@." r.Runner.cache_hits
+    r.Runner.cache_misses;
+  if r.Runner.log_bytes > 0 then
+    Format.fprintf ppf "input log       %s@." (Nv_harness.Tablefmt.bytes r.Runner.log_bytes);
+  Format.fprintf ppf "epoch latency   %a@." Nv_util.Histogram.pp r.Runner.epoch_latency;
+  if r.Runner.last_epoch_phases <> [] then
+    Format.fprintf ppf "phase breakdown %a@." Nvcaracal.Report.pp_phases
+      r.Runner.last_epoch_phases
+
+let run_cmd =
+  let run workload contention engine epochs txns seed =
+    let w, growth = resolve_workload workload contention in
+    let setup = Runner.setup ~epochs ~epoch_txns:txns ~seed ~insert_growth:growth () in
+    let result =
+      match engine with
+      | "zen" -> Runner.run_zen setup w ()
+      | "aria" -> Runner.run_aria setup w ()
+      | name -> (
+          let variant =
+            List.find_opt
+              (fun v -> Config.variant_name v = name)
+              [ Config.Nvcaracal; Config.All_nvmm; Config.Hybrid; Config.No_logging;
+                Config.All_dram; Config.Wal ]
+          in
+          match variant with
+          | Some variant -> Runner.run_nvcaracal setup w ~variant ()
+          | None -> failwith (Printf.sprintf "unknown engine %S" name))
+    in
+    print_result result
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run a benchmark workload")
+    Term.(
+      const run $ workload_arg $ contention_arg $ engine_arg $ epochs_arg $ txns_arg $ seed_arg)
+
+let recover_cmd =
+  let run workload contention epochs txns seed =
+    let w, growth = resolve_workload workload contention in
+    let setup = Runner.setup ~epochs ~epoch_txns:txns ~seed ~insert_growth:growth () in
+    let { Runner.r_label; report } =
+      Runner.run_recovery setup w ~crash_after_txns:(txns * 9 / 10) ()
+    in
+    Format.fprintf ppf "workload %s crashed mid-epoch and recovered:@." r_label;
+    Format.fprintf ppf "%a@." Nvcaracal.Report.pp_recovery_report report
+  in
+  Cmd.v
+    (Cmd.info "recover" ~doc:"Crash a run mid-epoch and measure recovery")
+    Term.(const run $ workload_arg $ contention_arg $ epochs_arg $ txns_arg $ seed_arg)
+
+let mem_cmd =
+  let run workload contention epochs txns seed =
+    let w, growth = resolve_workload workload contention in
+    let setup = Runner.setup ~epochs ~epoch_txns:txns ~seed ~insert_growth:growth () in
+    let r = Runner.run_nvcaracal setup w ~variant:Config.Nvcaracal () in
+    Format.fprintf ppf "%a@." Nvcaracal.Report.pp_mem_report r.Runner.mem
+  in
+  Cmd.v
+    (Cmd.info "mem" ~doc:"Report DRAM/NVMM consumption for a workload")
+    Term.(const run $ workload_arg $ contention_arg $ epochs_arg $ txns_arg $ seed_arg)
+
+let fuzz_cmd =
+  let iters =
+    Arg.(value & opt int 25 & info [ "iterations" ] ~docv:"N" ~doc:"Fuzz iterations.")
+  in
+  let run seed iterations =
+    let outcome =
+      Nv_harness.Fuzzer.run ~seed ~iterations ~log:(fun line -> Format.fprintf ppf "%s@." line) ()
+    in
+    Format.fprintf ppf "@.%d iterations, %d crashes injected, %d replays, %d failures@."
+      outcome.Nv_harness.Fuzzer.iterations outcome.Nv_harness.Fuzzer.crashes_injected
+      outcome.Nv_harness.Fuzzer.replays
+      (List.length outcome.Nv_harness.Fuzzer.failures);
+    List.iter (fun f -> Format.fprintf ppf "FAILURE: %s@." f) outcome.Nv_harness.Fuzzer.failures;
+    if outcome.Nv_harness.Fuzzer.failures <> [] then exit 1
+  in
+  Cmd.v
+    (Cmd.info "fuzz" ~doc:"Randomized crash-recovery fuzzing against an oracle")
+    Term.(const run $ seed_arg $ iters)
+
+let () =
+  let info =
+    Cmd.info "nvdb" ~version:"1.0.0"
+      ~doc:"NVCaracal: a deterministic database with NVMM storage (EuroSys'23 reproduction)"
+  in
+  exit (Cmd.eval (Cmd.group info [ run_cmd; recover_cmd; mem_cmd; fuzz_cmd ]))

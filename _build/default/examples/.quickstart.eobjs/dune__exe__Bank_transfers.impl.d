@@ -1,0 +1,1 @@
+examples/bank_transfers.ml: Array Bytes Config Db Format Int64 List Nv_util Nvcaracal Report Seq Table Txn

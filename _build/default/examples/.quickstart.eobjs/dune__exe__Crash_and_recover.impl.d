@@ -1,0 +1,1 @@
+examples/crash_and_recover.ml: Array Bytes Config Db Format Int64 Nv_util Nvcaracal Report Seq Table Txn

@@ -1,0 +1,1 @@
+examples/crash_and_recover.mli:

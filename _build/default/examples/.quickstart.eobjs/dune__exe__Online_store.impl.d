@@ -1,0 +1,1 @@
+examples/online_store.ml: Array Bytes Config Db Format Hashtbl Int64 List Nv_util Nvcaracal Report Seq Table Txn

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Bytes Config Db Format Int64 Nv_util Nvcaracal Printf Report Seq Table Txn

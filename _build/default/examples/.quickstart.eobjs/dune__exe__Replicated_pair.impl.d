@@ -1,0 +1,1 @@
+examples/replicated_pair.ml: Array Bytes Config Db Format Int64 Nv_util Nvcaracal Replication Seq Table Txn

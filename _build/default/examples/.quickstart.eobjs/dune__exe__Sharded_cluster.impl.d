@@ -1,0 +1,1 @@
+examples/sharded_cluster.ml: Array Bytes Config Db Format Int64 Nv_util Nvcaracal Partition Seq Table Txn

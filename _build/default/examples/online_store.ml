@@ -1,0 +1,109 @@
+(* Online store: a TPC-C-flavoured scenario exercising ordered tables,
+   inserts whose keys come from persistent counters (the insert step),
+   and dynamic write sets (the append step) — the features Caracal's
+   two-step initialization enables.
+
+     dune exec examples/online_store.exe *)
+
+open Nvcaracal
+
+let products = 0 (* hash: product id -> stock *)
+let orders = 1 (* ordered: order id -> (product, qty, shipped) *)
+let order_counter = 0
+
+let fields vals =
+  let b = Bytes.create (8 * Array.length vals) in
+  Array.iteri (fun i v -> Bytes.set_int64_le b (8 * i) v) vals;
+  b
+
+let field b i = Bytes.get_int64_le b (8 * i)
+
+(* Place an order: the order id is drawn from a persistent counter
+   during the insert step, so the write set is known before execution
+   even though the key is generated on the fly. *)
+let place_order ~product ~qty =
+  let insert_gen ctx =
+    let o = ctx.Txn.Ctx.counter_next ~idx:order_counter in
+    Hashtbl.replace ctx.Txn.Ctx.notes 0 o;
+    [ Txn.Insert { table = orders; key = o; data = None } ]
+  in
+  Txn.make ~insert_gen ~input:Bytes.empty
+    ~write_set:[ Txn.Update { table = products; key = product } ]
+    (fun ctx ->
+      let o = Hashtbl.find ctx.Txn.Ctx.notes 0 in
+      (match ctx.Txn.Ctx.read ~table:products ~key:product with
+      | Some stock ->
+          let n = field stock 0 in
+          (* Out of stock: user-level abort before any write. *)
+          if Int64.compare n (Int64.of_int qty) < 0 then ctx.Txn.Ctx.abort ();
+          ctx.Txn.Ctx.write ~table:products ~key:product
+            (fields [| Int64.sub n (Int64.of_int qty) |])
+      | None -> failwith "no such product");
+      ctx.Txn.Ctx.write ~table:orders ~key:o
+        (fields [| product; Int64.of_int qty; 0L |]))
+
+(* Ship the [rank]-th oldest unshipped order: the key is only known
+   once this epoch's inserts exist, so the write set is dynamic
+   (resolved in the append step, like TPC-C Delivery). Each shipping
+   transaction in a batch gets a distinct rank so they target distinct
+   orders. *)
+let ship_oldest ~rank =
+  let dynamic_write_set ctx =
+    let unshipped =
+      ctx.Txn.Ctx.range_read ~table:orders ~lo:0L ~hi:Int64.max_int
+      |> List.filter (fun (_, data) -> field data 2 = 0L)
+    in
+    match List.nth_opt unshipped rank with
+    | Some (key, _) ->
+        Hashtbl.replace ctx.Txn.Ctx.notes 0 key;
+        [ Txn.Update { table = orders; key } ]
+    | None -> []
+  in
+  Txn.make ~dynamic_write_set ~input:Bytes.empty ~write_set:[] (fun ctx ->
+      match Hashtbl.find_opt ctx.Txn.Ctx.notes 0 with
+      | None -> ()
+      | Some key -> (
+          match ctx.Txn.Ctx.read ~table:orders ~key with
+          | Some data when field data 2 = 0L ->
+              ctx.Txn.Ctx.write ~table:orders ~key
+                (fields [| field data 0; field data 1; 1L |])
+          | Some _ | None -> ()))
+
+let () =
+  let config = Config.make ~cores:4 ~n_counters:1 () in
+  let tables =
+    [
+      Table.make ~id:products ~name:"products" ();
+      Table.make ~id:orders ~name:"orders" ~index:Table.Ordered ();
+    ]
+  in
+  let db = Db.create ~config ~tables () in
+  Db.bulk_load db (Seq.init 100 (fun i -> (products, Int64.of_int i, fields [| 12L |])));
+
+  let rng = Nv_util.Rng.create 7 in
+  for epoch = 1 to 4 do
+    let ships = ref 0 in
+    let batch =
+      Array.init 120 (fun _ ->
+          if Nv_util.Rng.int rng 3 = 0 then begin
+            let rank = !ships in
+            incr ships;
+            ship_oldest ~rank
+          end
+          else
+            place_order
+              ~product:(Int64.of_int (Nv_util.Rng.int rng 100))
+              ~qty:(1 + Nv_util.Rng.int rng 3))
+    in
+    let stats = Db.run_epoch db batch in
+    Format.printf "epoch %d: %d committed, %d out-of-stock aborts@." epoch
+      (stats.Report.txns - stats.Report.aborted)
+      stats.Report.aborted
+  done;
+
+  let placed = ref 0 and shipped = ref 0 in
+  Db.iter_committed db ~table:orders (fun _ data ->
+      incr placed;
+      if field data 2 = 1L then incr shipped);
+  Format.printf "orders placed: %d, shipped: %d, next order id: %Ld@." !placed !shipped
+    (Db.counter_value db order_counter)

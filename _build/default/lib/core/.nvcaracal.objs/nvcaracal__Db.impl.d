@@ -1,0 +1,1 @@
+lib/core/db.ml: Array Bytes Cache Config Float Format Hashtbl Int64 List Nv_index Nv_nvmm Nv_storage Option Printf Report Row Seq Sid Table Txn Version_array

@@ -1,0 +1,1 @@
+lib/core/db.mli: Config Nv_nvmm Nv_util Report Seq Table Txn

@@ -1,0 +1,1 @@
+lib/core/partition.ml: Array Bytes Config Db Float Hashtbl Int32 List Nv_nvmm Nv_util Printf Queue Report Seq Sid Table Txn

@@ -1,0 +1,1 @@
+lib/core/partition.mli: Config Db Nv_util Report Seq Table Txn

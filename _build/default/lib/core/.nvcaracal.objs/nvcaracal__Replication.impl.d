@@ -1,0 +1,1 @@
+lib/core/replication.ml: Array Bytes Db List Queue Table Txn

@@ -1,0 +1,1 @@
+lib/core/replication.mli: Config Db Report Seq Table Txn

@@ -1,0 +1,1 @@
+lib/core/row.ml: Nv_storage Sid Version_array

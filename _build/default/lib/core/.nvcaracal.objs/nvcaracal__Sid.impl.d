@@ -1,0 +1,1 @@
+lib/core/sid.ml: Format Int64

@@ -1,0 +1,1 @@
+lib/core/version_array.ml: Array Nv_nvmm Nv_storage Sid

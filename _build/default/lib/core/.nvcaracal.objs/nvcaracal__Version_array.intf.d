@@ -1,0 +1,1 @@
+lib/core/version_array.mli: Nv_nvmm Nv_storage Sid

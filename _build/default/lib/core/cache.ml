@@ -1,0 +1,89 @@
+module Stats = Nv_nvmm.Stats
+
+type t = {
+  max_entries : int;
+  lists : (int, Row.t list ref) Hashtbl.t; (* eviction list per epoch *)
+  mutable entries : int;
+  mutable data_bytes : int;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create ~max_entries =
+  { max_entries; lists = Hashtbl.create 64; entries = 0; data_bytes = 0; hits = 0; misses = 0 }
+
+let push_list t epoch row =
+  let l =
+    match Hashtbl.find_opt t.lists epoch with
+    | Some l -> l
+    | None ->
+        let l = ref [] in
+        Hashtbl.add t.lists epoch l;
+        l
+  in
+  l := row :: !l
+
+let lines stats len = Nv_nvmm.Memspec.lines_touched (Stats.spec stats) ~off:0 ~len
+
+let insert t stats (row : Row.t) ~data ~epoch =
+  match row.Row.cached with
+  | Some c ->
+      t.data_bytes <- t.data_bytes - Bytes.length c.Row.data + Bytes.length data;
+      c.Row.data <- data;
+      c.Row.last_epoch <- epoch;
+      Stats.dram_write stats ~lines:(lines stats (Bytes.length data)) ()
+  | None ->
+      if t.entries < t.max_entries then begin
+        row.Row.cached <- Some { Row.data; last_epoch = epoch };
+        t.entries <- t.entries + 1;
+        t.data_bytes <- t.data_bytes + Bytes.length data;
+        Stats.dram_write stats ~lines:(lines stats (Bytes.length data)) ();
+        push_list t epoch row
+      end
+
+let touch t (row : Row.t) ~epoch =
+  match row.Row.cached with
+  | Some c ->
+      t.hits <- t.hits + 1;
+      if c.Row.last_epoch < epoch then c.Row.last_epoch <- epoch
+  | None -> ()
+
+let note_miss t = t.misses <- t.misses + 1
+
+let drop t stats (row : Row.t) =
+  match row.Row.cached with
+  | None -> ()
+  | Some c ->
+      row.Row.cached <- None;
+      t.entries <- t.entries - 1;
+      t.data_bytes <- t.data_bytes - Bytes.length c.Row.data;
+      Stats.dram_write stats ()
+
+let evict t stats ~current_epoch ~k =
+  let target = current_epoch - k - 1 in
+  match Hashtbl.find_opt t.lists target with
+  | None -> 0
+  | Some l ->
+      Hashtbl.remove t.lists target;
+      let evicted = ref 0 in
+      let visit (row : Row.t) =
+        Stats.dram_read stats ();
+        match row.Row.cached with
+        | None -> () (* dropped by the append step or a delete *)
+        | Some c ->
+            if c.Row.last_epoch <= target then begin
+              row.Row.cached <- None;
+              t.entries <- t.entries - 1;
+              t.data_bytes <- t.data_bytes - Bytes.length c.Row.data;
+              incr evicted
+            end
+            else push_list t c.Row.last_epoch row
+      in
+      List.iter visit !l;
+      !evicted
+
+let entries t = t.entries
+let data_bytes t = t.data_bytes
+let dram_bytes t = t.data_bytes + (t.entries * 32)
+let hits t = t.hits
+let misses t = t.misses

@@ -1,0 +1,42 @@
+(** DRAM cache of persistent row values with epoch-based LRU eviction
+    (paper sections 4.2 and 5.2).
+
+    Each cached version carries the epoch of its last access and lives
+    on the eviction list of that epoch. During the initialization phase
+    of epoch [E] the engine processes the list of epoch [E - K - 1]:
+    entries whose last access really is that old are evicted; entries
+    that were touched since simply migrate to their newer epoch's list.
+    Because eviction runs while no transactions execute, it needs no
+    synchronization with row accesses.
+
+    The cache is capacity-bounded in entries (Table 4); an insertion
+    into a full cache is refused — the entry stays uncached until
+    eviction makes room. *)
+
+type t
+
+val create : max_entries:int -> t
+
+val insert : t -> Nv_nvmm.Stats.t -> Row.t -> data:bytes -> epoch:int -> unit
+(** Create (or refresh) the cached version of a row with [data]. *)
+
+val touch : t -> Row.t -> epoch:int -> unit
+(** Record an access: bumps the cached version's last-access epoch. *)
+
+val drop : t -> Nv_nvmm.Stats.t -> Row.t -> unit
+(** Delete a row's cached version (append step consumes it; deletes
+    discard it). No-op when uncached. *)
+
+val evict : t -> Nv_nvmm.Stats.t -> current_epoch:int -> k:int -> int
+(** Run epoch-based eviction for [current_epoch]; returns the number of
+    entries evicted. *)
+
+val entries : t -> int
+val data_bytes : t -> int
+val dram_bytes : t -> int
+(** Data plus bookkeeping overhead (Figure 8). *)
+
+val hits : t -> int
+val misses : t -> int
+val note_miss : t -> unit
+(** Engine reporting hooks: [touch] counts a hit automatically. *)

@@ -1,0 +1,144 @@
+(** The NVCaracal engine: an epoch-based deterministic database with
+    hybrid DRAM–NVMM storage.
+
+    This is the public API of the paper's contribution. A database is
+    created with a fixed table schema and a {!Config.t} selecting the
+    design variant; clients then [bulk_load] initial data and drive it
+    one epoch at a time with batches of one-shot transactions
+    ({!Txn.t}). Each epoch runs Algorithm 1: log inputs, insert step,
+    major GC, cache eviction, append step, execution phase, fence,
+    epoch-number persist — after which the epoch is checkpointed.
+
+    {2 Execution model}
+
+    Transactions execute in serial-ID order on [config.cores] simulated
+    cores (SID mod cores); every memory access charges the owning
+    core's simulated clock, and a read of a version produced on another
+    core advances the reader's clock to the writer's timestamp —
+    modelling the cross-core waits of a real run. Epoch duration is the
+    slowest core's clock between epoch boundaries; throughput numbers
+    divide committed transactions by simulated time.
+
+    {2 Crash and recovery}
+
+    With [config.crash_safe], the underlying {!Nv_nvmm.Pmem} region
+    tracks persistence exactly, [crash] tears it to a legal crash
+    image, and [recover] rebuilds a database from the bytes alone:
+    reload allocator checkpoints, scan persistent rows (fixing torn
+    version updates), rebuild the DRAM index and GC list, and
+    deterministically replay the crashed epoch from the input log. *)
+
+type t
+
+val create : config:Config.t -> tables:Table.t list -> unit -> t
+(** Fresh database. Table ids must be contiguous from 0. *)
+
+val config : t -> Config.t
+val tables : t -> Table.t array
+val pmem : t -> Nv_nvmm.Pmem.t
+val epoch : t -> int
+(** Last committed epoch (0 before any). *)
+
+val bulk_load : t -> (int * int64 * bytes) Seq.t -> unit
+(** Populate tables ((table, key, value) triples) before benchmarking;
+    commits as epoch 1 and resets all measurement state. Must be called
+    at most once, before any [run_epoch]. *)
+
+val run_epoch : t -> Txn.t array -> Report.epoch_stats
+(** Process one batch. The batch order defines the serial order. *)
+
+val last_epoch_outcomes : t -> [ `Committed | `Aborted ] array
+(** Per-transaction outcome of the last completed [run_epoch], in batch
+    order — set only once the epoch has been checkpointed (the
+    visibility rule of section 6.2.3). *)
+
+val run_epoch_aria : t -> Txn.t array -> Report.epoch_stats * Txn.t array
+(** Aria-style deterministic execution (the paper's section 7 future
+    work, after Lu et al., VLDB 2020): transactions need {e no}
+    pre-declared write sets. Every body runs against the epoch-start
+    snapshot with its writes buffered; a deterministic reservation pass
+    then aborts, in serial order, any transaction that read or wrote a
+    key written by an earlier transaction in the batch, and the
+    surviving writes are applied through the same dual-version NVMM
+    path (one persistent write per row per epoch). Returns the epoch
+    stats and the deferred transactions, which the client resubmits in
+    a later batch. [write_set], [insert_gen], [dynamic_write_set] and
+    [recon] are ignored in this mode; [Txn.Ctx.write] accepts any key,
+    and inserts are expressed by writing a missing key. Deletes are
+    not supported in this mode. Input logging and crash recovery work
+    unchanged — replay reproduces the same commit/abort decisions. *)
+
+val advance_core : t -> core:int -> ns:float -> unit
+(** Charge raw simulated nanoseconds to one core (coordination layers
+    bill network round-trips this way). *)
+
+val snapshot_read : t -> core:int -> table:int -> key:int64 -> bytes option
+(** Committed (epoch-boundary) value of a key, charged to [core]'s
+    simulated clock and served through the DRAM cache like any other
+    committed read. Used by coordination layers (e.g. {!Partition})
+    that read remote partitions against the epoch-start snapshot. *)
+
+(** {1 Inspection} *)
+
+val read_committed : t -> table:int -> key:int64 -> bytes option
+(** Committed value of a key as of the last epoch boundary (uncharged;
+    tests and validation). *)
+
+val iter_committed : t -> table:int -> (int64 -> bytes -> unit) -> unit
+(** Visit all live keys of a table with their committed values,
+    in unspecified order (uncharged). *)
+
+val mem_report : t -> Report.mem_report
+val committed_txns : t -> int
+val total_time_ns : t -> float
+(** Simulated time consumed so far (max over core clocks). *)
+
+val counter_value : t -> int -> int64
+(** Current value of persistent counter [i]. *)
+
+val debug_row : t -> table:int -> key:int64 -> string
+(** Diagnostic rendering of a row's persistent version mirror. *)
+
+val counters_total : t -> Nv_nvmm.Stats.counters
+(** Aggregate access counters across all cores (diagnostics). *)
+
+(** {1 Crash / recovery} *)
+
+type phase =
+  | Log_done
+  | Insert_done
+  | Gc_pass1_done
+  | Gc_done
+  | Append_done
+  | Exec_txn of int
+  | Exec_done
+  | Checkpointed
+      (** Epoch-processing milestones, in order. [Exec_txn i] fires
+          after transaction [i] finishes (commit or abort). *)
+
+val set_phase_hook : t -> (phase -> unit) -> unit
+(** Test instrumentation: called at each milestone of every epoch.
+    Crash-injection tests raise from the hook to stop the epoch at a
+    precise point and then call [crash]. *)
+
+
+val crash : t -> rng:Nv_util.Rng.t -> Nv_nvmm.Pmem.t
+(** Tear the region to a random legal crash image and return it; the
+    database object must not be used afterwards. Requires
+    [config.crash_safe]. *)
+
+val recover :
+  config:Config.t ->
+  tables:Table.t list ->
+  pmem:Nv_nvmm.Pmem.t ->
+  rebuild:(bytes -> Txn.t) ->
+  ?replay_mode:[ `Caracal | `Aria ] ->
+  ?phase_hook:(phase -> unit) ->
+  unit ->
+  t * Report.recovery_report
+(** Reconstruct a database from a (crashed) region. [rebuild]
+    deserializes a logged input record back into its transaction; it
+    must be deterministic and agree with what was originally submitted.
+    If the crashed epoch's input log committed, the epoch is replayed
+    to completion with the concurrency control the database was running
+    ([replay_mode], default [`Caracal]). *)

@@ -1,0 +1,232 @@
+module Rng = Nv_util.Rng
+
+type node_state = Up of Db.t | Down of Nv_nvmm.Pmem.t
+
+type t = {
+  config : Config.t;
+  tables : Table.t list;
+  n_nodes : int;
+  remote_read_ns : float;
+  mutable nodes : node_state array;
+  mutable epoch : int;
+  mutable committed : int;
+  (* Retained apply batches for node catch-up: (epoch, per-node inputs). *)
+  retained : (int * bytes array array) Queue.t;
+  retention : int;
+}
+
+let create ~config ~tables ~nodes ?(remote_read_ns = 2000.0) () =
+  assert (nodes > 0);
+  {
+    config;
+    tables;
+    n_nodes = nodes;
+    remote_read_ns;
+    nodes = Array.init nodes (fun _ -> Up (Db.create ~config ~tables ()));
+    epoch = 0;
+    committed = 0;
+    retained = Queue.create ();
+    retention = 64;
+  }
+
+let nodes t = t.n_nodes
+
+let db t i =
+  match t.nodes.(i) with
+  | Up db -> db
+  | Down _ -> invalid_arg (Printf.sprintf "Partition: node %d is down" i)
+
+let node = db
+let owner t ~table ~key = Nv_util.Fnv.combine (Nv_util.Fnv.hash_int64 key) table mod t.n_nodes
+let epoch t = t.epoch
+let committed_txns t = t.committed
+
+let total_time_ns t =
+  Array.fold_left
+    (fun acc n -> match n with Up db -> Float.max acc (Db.total_time_ns db) | Down _ -> acc)
+    0.0 t.nodes
+
+let bulk_load t rows =
+  let per_node = Array.make t.n_nodes [] in
+  Seq.iter
+    (fun ((table, key, _) as row) ->
+      let o = owner t ~table ~key in
+      per_node.(o) <- row :: per_node.(o))
+    rows;
+  Array.iteri (fun i rows -> Db.bulk_load (db t i) (List.to_seq (List.rev rows))) per_node;
+  t.epoch <- 1
+
+(* --- Apply-batch transactions: one blind write per key, with a
+   self-describing input so per-node recovery can replay them. --- *)
+
+let encode_write ~table ~key data =
+  let len = Bytes.length data in
+  let b = Bytes.create (16 + len) in
+  Bytes.set_int32_le b 0 (Int32.of_int table);
+  Bytes.set_int64_le b 4 key;
+  Bytes.set_int32_le b 12 (Int32.of_int len);
+  Bytes.blit data 0 b 16 len;
+  b
+
+let apply_txn_of_input input =
+  let table = Int32.to_int (Bytes.get_int32_le input 0) in
+  let key = Bytes.get_int64_le input 4 in
+  let len = Int32.to_int (Bytes.get_int32_le input 12) in
+  let data = Bytes.sub input 16 len in
+  Txn.make ~input ~write_set:[] (fun ctx -> ctx.Txn.Ctx.write ~table ~key data)
+
+(* --- Epoch processing --- *)
+
+let run_epoch t txns =
+  t.epoch <- t.epoch + 1;
+  let n = Array.length txns in
+  let cores = t.config.Config.cores in
+  let t_before = total_time_ns t in
+  (* Phase 1: snapshot execution. Reads route to the owning partition;
+     remote reads bill a network round trip on top. *)
+  let buffers = Array.init n (fun _ -> Hashtbl.create 8) in
+  let read_sets = Array.init n (fun _ -> Hashtbl.create 8) in
+  let user_aborted = Array.make n false in
+  for i = 0 to n - 1 do
+    let home = i mod t.n_nodes in
+    let core = i / t.n_nodes mod cores in
+    let buffer = buffers.(i) and rset = read_sets.(i) in
+    let read ~table ~key =
+      match Hashtbl.find_opt buffer (table, key) with
+      | Some v -> Some v
+      | None ->
+          Hashtbl.replace rset (table, key) ();
+          let o = owner t ~table ~key in
+          if o <> home then Db.advance_core (db t home) ~core ~ns:t.remote_read_ns;
+          Db.snapshot_read (db t o) ~core ~table ~key
+    in
+    let write ~table ~key data =
+      Db.advance_core (db t home) ~core ~ns:25.0;
+      Hashtbl.replace buffer (table, key) data
+    in
+    let unsupported _ = invalid_arg "Partition: operation not supported in partitioned mode" in
+    let ctx =
+      {
+        Txn.Ctx.sid = Sid.make ~epoch:t.epoch ~seq:i;
+        core;
+        read;
+        write;
+        delete = (fun ~table:_ ~key:_ -> unsupported ());
+        range_read = (fun ~table:_ ~lo:_ ~hi:_ -> unsupported ());
+        max_below = (fun ~table:_ _ -> unsupported ());
+        min_above = (fun ~table:_ _ -> unsupported ());
+        abort = (fun () -> raise Txn.Aborted);
+        compute = (fun ~ops -> Db.advance_core (db t home) ~core ~ns:(float_of_int ops *. 25.0));
+        counter_next = (fun ~idx:_ -> unsupported ());
+        notes = Hashtbl.create 4;
+      }
+    in
+    match txns.(i).Txn.body ctx with
+    | () -> ()
+    | exception Txn.Aborted ->
+        user_aborted.(i) <- true;
+        Hashtbl.reset buffer
+  done;
+  (* Phase 2: Aria reservations — computed identically (and without
+     coordination) from the deterministic batch. *)
+  let reservations : (int * int64, int) Hashtbl.t = Hashtbl.create 256 in
+  Array.iteri
+    (fun i buffer ->
+      if not user_aborted.(i) then
+        Hashtbl.iter
+          (fun key _ ->
+            match Hashtbl.find_opt reservations key with
+            | Some j when j <= i -> ()
+            | Some _ | None -> Hashtbl.replace reservations key i)
+          buffer)
+    buffers;
+  let deferred = ref [] in
+  let aborted = ref 0 in
+  let decisions = ref [] in
+  for i = 0 to n - 1 do
+    if user_aborted.(i) then incr aborted
+    else begin
+      let earlier key =
+        match Hashtbl.find_opt reservations key with Some j -> j < i | None -> false
+      in
+      let conflict =
+        Hashtbl.fold (fun key _ acc -> acc || earlier key) buffers.(i) false
+        || Hashtbl.fold (fun key () acc -> acc || earlier key) read_sets.(i) false
+      in
+      if conflict then begin
+        deferred := txns.(i) :: !deferred;
+        incr aborted
+      end
+      else begin
+        t.committed <- t.committed + 1;
+        Hashtbl.iter (fun key data -> decisions := (key, data) :: !decisions) buffers.(i)
+      end
+    end
+  done;
+  (* Apply: each partition commits its share as a local (logged,
+     checkpointed) epoch — no two-phase commit. *)
+  let per_node = Array.make t.n_nodes [] in
+  List.iter
+    (fun (((table, key) : int * int64), data) ->
+      let o = owner t ~table ~key in
+      per_node.(o) <- encode_write ~table ~key data :: per_node.(o))
+    (List.sort compare !decisions);
+  let retained_inputs = Array.map (fun l -> Array.of_list (List.rev l)) per_node in
+  Array.iteri
+    (fun o inputs ->
+      let batch = Array.map apply_txn_of_input inputs in
+      let _, d = Db.run_epoch_aria (db t o) batch in
+      assert (Array.length d = 0))
+    retained_inputs;
+  Queue.push (t.epoch, retained_inputs) t.retained;
+  if Queue.length t.retained > t.retention then ignore (Queue.pop t.retained);
+  let t_after = total_time_ns t in
+  ( {
+      Report.epoch = t.epoch;
+      txns = n;
+      aborted = !aborted;
+      version_writes = n;
+      persistent_writes = List.length !decisions;
+      transient_only_writes = 0;
+      minor_gc = 0;
+      major_gc = 0;
+      evicted = 0;
+      cache_hits = 0;
+      cache_misses = 0;
+      log_bytes = 0;
+      duration_ns = t_after -. t_before;
+      phases = [];
+    },
+    Array.of_list (List.rev !deferred) )
+
+let read t ~table ~key = Db.read_committed (db t (owner t ~table ~key)) ~table ~key
+
+(* --- Node failure and catch-up --- *)
+
+let crash_node t i ~rng =
+  let pmem = Db.crash (db t i) ~rng in
+  t.nodes.(i) <- Down pmem
+
+let recover_node t i =
+  match t.nodes.(i) with
+  | Up _ -> ()
+  | Down pmem ->
+      let recovered, _ =
+        Db.recover ~config:t.config ~tables:t.tables ~pmem ~rebuild:apply_txn_of_input
+          ~replay_mode:`Aria ()
+      in
+      (* Catch up from retained apply batches. *)
+      Queue.iter
+        (fun (e, per_node) ->
+          if e > Db.epoch recovered then begin
+            let batch = Array.map apply_txn_of_input per_node.(i) in
+            let _, d = Db.run_epoch_aria recovered batch in
+            assert (Array.length d = 0)
+          end)
+        t.retained;
+      if Db.epoch recovered <> t.epoch then
+        failwith
+          (Printf.sprintf "Partition.recover_node: node %d at epoch %d, cluster at %d \
+                           (retention too short)"
+             i (Db.epoch recovered) t.epoch);
+      t.nodes.(i) <- Up recovered

@@ -1,0 +1,70 @@
+(** Multi-partition deterministic execution without two-phase commit.
+
+    The introduction's distributed-transactions argument (after
+    Calvin): because the serial order is fixed before execution and
+    transactions cannot abort for concurrency reasons, a batch can
+    commit across partitions with {e no} two-phase commit — every node
+    independently reaches the same decisions.
+
+    This module shards tables by key hash across N single-node
+    databases and processes batches with Aria-style deterministic
+    concurrency control:
+
+    + {b snapshot execution}: every transaction runs against the
+      epoch-start snapshot; reads are routed to the owning partition
+      (remote reads bill a configurable network round-trip to the
+      reader's core) and writes are buffered;
+    + {b deterministic reservations}: each key records the smallest
+      transaction SID that wrote it; a transaction defers (for client
+      retry) if any key it read or wrote carries a smaller reservation
+      — the same rule on every node, no coordination;
+    + {b apply}: each partition commits its share of the surviving
+      writes as a local epoch (logged and checkpointed by its own
+      engine), so per-node crash recovery works unchanged.
+
+    The coordinator retains recent apply batches so a node that crashed
+    before applying an epoch can be caught up ([recover_node]), exactly
+    like a lagging replica. *)
+
+type t
+
+val create :
+  config:Config.t ->
+  tables:Table.t list ->
+  nodes:int ->
+  ?remote_read_ns:float ->
+  unit ->
+  t
+(** [nodes] single-node engines sharing a schema; keys are sharded by
+    hash. [remote_read_ns] (default 2000 — a fast datacenter RTT) is
+    added to every cross-partition read. *)
+
+val nodes : t -> int
+val node : t -> int -> Db.t
+(** Direct access to one partition's engine (reads, reports). *)
+
+val owner : t -> table:int -> key:int64 -> int
+(** The partition a key lives on. *)
+
+val bulk_load : t -> (int * int64 * bytes) Seq.t -> unit
+(** Rows are routed to their owners. *)
+
+val run_epoch : t -> Txn.t array -> Report.epoch_stats * Txn.t array
+(** Process one batch across all partitions; returns merged stats
+    (duration = the slowest node) and the deferred transactions. *)
+
+val read : t -> table:int -> key:int64 -> bytes option
+(** Committed read, routed to the owner (uncharged; client-side). *)
+
+val epoch : t -> int
+
+val crash_node : t -> int -> rng:Nv_util.Rng.t -> unit
+(** Tear one node's NVMM to a crash image (requires a crash-safe
+    configuration). The node is unusable until [recover_node]. *)
+
+val recover_node : t -> int -> unit
+(** Rebuild the node from its NVMM image and replay retained apply
+    batches until it rejoins at the cluster epoch. *)
+
+val total_time_ns : t -> float
+val committed_txns : t -> int

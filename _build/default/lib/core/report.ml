@@ -1,0 +1,71 @@
+type epoch_stats = {
+  epoch : int;
+  txns : int;
+  aborted : int;
+  version_writes : int;
+  persistent_writes : int;
+  transient_only_writes : int;
+  minor_gc : int;
+  major_gc : int;
+  evicted : int;
+  cache_hits : int;
+  cache_misses : int;
+  log_bytes : int;
+  duration_ns : float;
+  phases : (string * float) list;
+}
+
+type mem_report = {
+  nvmm_rows : int;
+  nvmm_values : int;
+  nvmm_log : int;
+  nvmm_freelists : int;
+  dram_index : int;
+  dram_transient : int;
+  dram_cache : int;
+}
+
+type recovery_report = {
+  load_log_ns : float;
+  scan_ns : float;
+  revert_ns : float;
+  replay_ns : float;
+  total_ns : float;
+  scanned_rows : int;
+  reverted_rows : int;
+  replayed_txns : int;
+}
+
+let pp_phases ppf phases =
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+    (fun ppf (name, ns) -> Format.fprintf ppf "%s %.0fus" name (ns /. 1e3))
+    ppf phases
+
+let pp_epoch_stats ppf s =
+  Format.fprintf ppf
+    "epoch %d: %d txns (%d aborted), %d version writes (%d persistent, %d transient), gc \
+     minor/major %d/%d, evicted %d, cache %d/%d, log %dB, %.0f us"
+    s.epoch s.txns s.aborted s.version_writes s.persistent_writes s.transient_only_writes
+    s.minor_gc s.major_gc s.evicted s.cache_hits s.cache_misses s.log_bytes
+    (s.duration_ns /. 1e3)
+
+let total_nvmm m = m.nvmm_rows + m.nvmm_values + m.nvmm_log + m.nvmm_freelists
+let total_dram m = m.dram_index + m.dram_transient + m.dram_cache
+
+let pp_mem_report ppf m =
+  Format.fprintf ppf
+    "NVMM: rows %d, values %d, log %d, alloc-meta %d | DRAM: index %d, transient %d, cache %d"
+    m.nvmm_rows m.nvmm_values m.nvmm_log m.nvmm_freelists m.dram_index m.dram_transient
+    m.dram_cache
+
+let pp_recovery_report ppf r =
+  Format.fprintf ppf
+    "recovery: load-log %.0fus, scan %.0fus (%d rows), revert %.0fus (%d rows), replay %.0fus \
+     (%d txns), total %.0fus"
+    (r.load_log_ns /. 1e3) (r.scan_ns /. 1e3) r.scanned_rows (r.revert_ns /. 1e3)
+    r.reverted_rows (r.replay_ns /. 1e3) r.replayed_txns (r.total_ns /. 1e3)
+
+let transient_fraction s =
+  if s.version_writes = 0 then nan
+  else float_of_int s.transient_only_writes /. float_of_int s.version_writes

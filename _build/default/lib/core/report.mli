@@ -1,0 +1,59 @@
+(** Measurement records produced by the engine.
+
+    [epoch_stats] is returned by every epoch run; [mem_report] breaks
+    down DRAM/NVMM consumption (Figure 8); [recovery_report] breaks
+    down recovery time (Figure 11). *)
+
+type epoch_stats = {
+  epoch : int;
+  txns : int;
+  aborted : int;
+  version_writes : int;  (** all version-value writes this epoch *)
+  persistent_writes : int;  (** final writes that reached NVMM *)
+  transient_only_writes : int;
+      (** version writes absorbed by DRAM — the paper's "% transient"
+          metric is [transient_only_writes / version_writes] *)
+  minor_gc : int;
+  major_gc : int;
+  evicted : int;
+  cache_hits : int;
+  cache_misses : int;
+  log_bytes : int;
+  duration_ns : float;  (** simulated wall time of the epoch *)
+  phases : (string * float) list;
+      (** per-phase simulated durations, in pipeline order (log /
+          insert / gc+evict / append / execute / checkpoint) *)
+}
+
+type mem_report = {
+  nvmm_rows : int;  (** persistent row bytes in use *)
+  nvmm_values : int;  (** persistent value-pool bytes in use *)
+  nvmm_log : int;  (** input-log high-water mark, bytes *)
+  nvmm_freelists : int;  (** ring-buffer and allocator metadata bytes *)
+  dram_index : int;
+  dram_transient : int;  (** transient-pool high-water mark *)
+  dram_cache : int;
+}
+
+type recovery_report = {
+  load_log_ns : float;
+  scan_ns : float;
+  revert_ns : float;
+  replay_ns : float;
+  total_ns : float;
+  scanned_rows : int;
+  reverted_rows : int;
+  replayed_txns : int;
+}
+
+val pp_epoch_stats : Format.formatter -> epoch_stats -> unit
+val pp_phases : Format.formatter -> (string * float) list -> unit
+val pp_mem_report : Format.formatter -> mem_report -> unit
+val pp_recovery_report : Format.formatter -> recovery_report -> unit
+
+val total_nvmm : mem_report -> int
+val total_dram : mem_report -> int
+
+val transient_fraction : epoch_stats -> float
+(** Fraction of version writes that stayed in DRAM; [nan] when no
+    writes happened. *)

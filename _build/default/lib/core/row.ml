@@ -1,0 +1,74 @@
+(* DRAM-side row state: what the row index points at (paper Figure 3).
+
+   [pv1]/[pv2] mirror the two NVMM version slots so the hot write path
+   can make GC decisions without re-reading the row header (the header
+   block is charged once when it is actually written). The mirror is
+   rebuilt from the persistent rows during recovery.
+
+   [fresh] marks a pool value slot allocated by this process in the
+   current epoch: overwriting it frees the slot (a revertible
+   transaction free), whereas overwriting a slot inherited from a
+   crashed epoch must NOT free it — its allocation was already reverted
+   by the pool recovery, so freeing would double-free. *)
+
+type pversion = { psid : Sid.t; pptr : Nv_storage.Vptr.t; fresh : bool }
+
+type cached = { mutable data : bytes; mutable last_epoch : int }
+
+type t = {
+  key : int64;
+  table : int;
+  home_core : int;  (* core whose pool owns the persistent row *)
+  mutable prow_base : int;  (* absolute pmem offset of the persistent row *)
+  mutable pv1 : pversion;
+  mutable pv2 : pversion;
+  mutable varray : Version_array.t option;
+  mutable varray_epoch : int;  (* epoch the varray belongs to (stale-pointer detection) *)
+  mutable cached : cached option;
+  mutable in_gc_list : bool;
+  mutable mirror_loaded : bool;
+      (* pv1/pv2 reflect the NVMM header; false for rows recovered via
+         the persistent index, whose state loads lazily on first touch *)
+  mutable lazily_recovered : bool;
+      (* sticky: this row skipped the recovery scan, so a stale pool v1
+         discovered at write time is collected in place instead of by
+         the (never-rebuilt) major-GC list *)
+  mutable created_epoch : int;
+      (* epoch the row was inserted; readers whose serial position
+         precedes every version in the array must not fall back to the
+         persistent row when the row did not exist before this epoch *)
+}
+
+let no_version = { psid = Sid.none; pptr = Nv_storage.Vptr.null; fresh = false }
+
+let make ~key ~table ~home_core ~prow_base ~created_epoch =
+  {
+    key;
+    table;
+    home_core;
+    prow_base;
+    pv1 = no_version;
+    pv2 = no_version;
+    varray = None;
+    varray_epoch = 0;
+    cached = None;
+    in_gc_list = false;
+    mirror_loaded = true;
+    lazily_recovered = false;
+    created_epoch;
+  }
+
+(* Which inline half a version occupies, or [None] if it is null or in
+   the value pool. *)
+let inline_half ~row_size (v : pversion) =
+  match Nv_storage.Vptr.classify v.pptr with
+  | Nv_storage.Vptr.Inline { heap_off; _ } ->
+      Some (if heap_off >= Nv_storage.Prow.half_capacity ~row_size then 1 else 0)
+  | Nv_storage.Vptr.Null | Nv_storage.Vptr.Pool _ -> None
+
+(* The inline half a new value may use without clobbering [taken]. *)
+let free_half ~row_size taken =
+  match inline_half ~row_size taken with Some 0 -> 1 | Some 1 -> 0 | Some _ | None -> 0
+
+let dram_bytes t =
+  48 + (match t.varray with Some va -> Version_array.dram_bytes va | None -> 0)

@@ -1,0 +1,52 @@
+type handle = int
+
+type t = {
+  db : Db.t;
+  epoch_target : int;
+  auto_flush : bool;
+  queue : Txn.t Queue.t;
+  mutable next_handle : int;
+  mutable queued_from : int; (* handle of the first queued transaction *)
+  outcomes : (int, [ `Committed | `Aborted ]) Hashtbl.t;
+}
+
+let create ~db ?(epoch_target = 1000) ?(auto_flush = true) () =
+  assert (epoch_target > 0);
+  {
+    db;
+    epoch_target;
+    auto_flush;
+    queue = Queue.create ();
+    next_handle = 0;
+    queued_from = 0;
+    outcomes = Hashtbl.create 256;
+  }
+
+let pending t = Queue.length t.queue
+let submitted t = t.next_handle
+let db t = t.db
+
+let flush t =
+  if Queue.is_empty t.queue then None
+  else begin
+    let batch = Array.init (Queue.length t.queue) (fun _ -> Queue.pop t.queue) in
+    let stats = Db.run_epoch t.db batch in
+    (* The epoch is checkpointed; only now do outcomes become
+       visible (section 6.2.3). *)
+    Array.iteri
+      (fun i outcome -> Hashtbl.replace t.outcomes (t.queued_from + i) outcome)
+      (Db.last_epoch_outcomes t.db);
+    t.queued_from <- t.queued_from + Array.length batch;
+    Some stats
+  end
+
+let submit t txn =
+  if t.auto_flush && Queue.length t.queue >= t.epoch_target then ignore (flush t);
+  let h = t.next_handle in
+  t.next_handle <- h + 1;
+  Queue.push txn t.queue;
+  h
+
+let result t h =
+  if h < 0 || h >= t.next_handle then invalid_arg "Session.result: unknown handle";
+  Hashtbl.find_opt t.outcomes h

@@ -1,0 +1,41 @@
+(** Client session: submission queue, epoch batching, and
+    checkpoint-gated result visibility.
+
+    Clients of a deterministic database submit one-shot transactions
+    and get their outcome later; results must not be exposed before the
+    epoch is durably checkpointed (paper section 6.2.3 — otherwise a
+    crash could revoke an answer the client already saw). A session
+    queues submissions, runs an epoch when [flush]ed (or automatically
+    once [epoch_target] submissions are queued, if [auto_flush]), and
+    answers [result] only for transactions whose epoch has committed.
+
+    A transaction's effects on values captured by its body's closures
+    follow the same rule: act on them only after [result] reports
+    [`Committed]. *)
+
+type t
+
+type handle
+(** Ticket for one submitted transaction. *)
+
+val create : db:Db.t -> ?epoch_target:int -> ?auto_flush:bool -> unit -> t
+(** Wrap an existing (loaded) database. [epoch_target] (default 1000)
+    is the batch size [auto_flush] (default true) triggers at. *)
+
+val submit : t -> Txn.t -> handle
+(** Queue a transaction; runs an epoch first if auto-flush triggers. *)
+
+val flush : t -> Report.epoch_stats option
+(** Run an epoch with everything queued; [None] when the queue is
+    empty. After [flush] returns, the epoch is checkpointed and its
+    results are visible. *)
+
+val result : t -> handle -> [ `Committed | `Aborted ] option
+(** [None] while the transaction's epoch has not yet run; the final
+    outcome afterwards. *)
+
+val pending : t -> int
+(** Queued, not-yet-executed transactions. *)
+
+val submitted : t -> int
+val db : t -> Db.t

@@ -1,0 +1,12 @@
+type t = int64
+
+let make ~epoch ~seq =
+  assert (epoch >= 1 && seq >= 0 && seq < 1 lsl 32);
+  Int64.(logor (shift_left (of_int epoch) 32) (of_int (seq + 1)))
+
+let epoch_of t = Int64.to_int (Int64.shift_right_logical t 32)
+let seq_of t = Int64.to_int (Int64.logand t 0xFFFFFFFFL) - 1
+let none = 0L
+let is_none t = t = 0L
+let compare = Int64.compare
+let pp ppf t = Format.fprintf ppf "%d.%d" (epoch_of t) (seq_of t)

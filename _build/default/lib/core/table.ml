@@ -1,0 +1,5 @@
+type index_kind = Hash | Ordered
+
+type t = { id : int; name : string; index : index_kind }
+
+let make ~id ~name ?(index = Hash) () = { id; name; index }

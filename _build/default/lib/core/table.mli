@@ -1,0 +1,13 @@
+(** Table descriptors.
+
+    A database is created with a fixed set of tables; each has an id
+    (used in keys, ops and persistent row headers) and an index kind.
+    Hash tables serve point lookups; ordered tables additionally
+    support range scans and max-below queries (TPC-C). *)
+
+type index_kind = Hash | Ordered
+
+type t = { id : int; name : string; index : index_kind }
+
+val make : id:int -> name:string -> ?index:index_kind -> unit -> t
+(** Default index kind is [Hash]. *)

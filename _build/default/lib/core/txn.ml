@@ -1,0 +1,38 @@
+type op =
+  | Insert of { table : int; key : int64; data : bytes option }
+  | Update of { table : int; key : int64 }
+  | Delete of { table : int; key : int64 }
+
+module Ctx = struct
+  type t = {
+    sid : Sid.t;
+    core : int;
+    read : table:int -> key:int64 -> bytes option;
+    write : table:int -> key:int64 -> bytes -> unit;
+    delete : table:int -> key:int64 -> unit;
+    range_read : table:int -> lo:int64 -> hi:int64 -> (int64 * bytes) list;
+    max_below : table:int -> int64 -> (int64 * bytes) option;
+    min_above : table:int -> int64 -> (int64 * bytes) option;
+    abort : unit -> unit;
+    compute : ops:int -> unit;
+    counter_next : idx:int -> int64;
+    notes : (int, int64) Hashtbl.t;
+  }
+end
+
+exception Aborted
+
+type t = {
+  input : bytes;
+  write_set : op list;
+  recon : (Ctx.t -> op list) option;
+  insert_gen : (Ctx.t -> op list) option;
+  dynamic_write_set : (Ctx.t -> op list) option;
+  body : Ctx.t -> unit;
+}
+
+let make ?recon ?insert_gen ?dynamic_write_set ~input ~write_set body =
+  { input; write_set; recon; insert_gen; dynamic_write_set; body }
+
+let op_key = function
+  | Insert { table; key; _ } | Update { table; key } | Delete { table; key } -> (table, key)

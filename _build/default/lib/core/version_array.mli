@@ -1,0 +1,64 @@
+(** Per-row, per-epoch sorted version array (paper section 3.1.2).
+
+    The initialization phase appends one PENDING slot per declared
+    write; the execution phase fills slots in serial order. Unlike a
+    linked-list MVCC chain, the array is kept sorted by SID so readers
+    binary-search for their visible version. Appends use sorted
+    insertion — cheap for short arrays, and deliberately O(n) per
+    append for very hot rows, which reproduces the long-version-array
+    slowdown the paper observes for contended YCSB-smallrow at large
+    epochs (section 6.9).
+
+    Each slot records the simulated time at which its value was
+    written; a reader's core clock advances to that time, modelling the
+    PENDING-wait of a real concurrent run (readers block until the
+    writer produces the value). *)
+
+type value =
+  | Pending  (** placeholder created by the initialization phase *)
+  | Written of Nv_storage.Transient_pool.vref  (** value bytes in the transient pool *)
+  | Tombstone  (** a delete became visible at this SID *)
+  | Ignored  (** writer aborted (section 4.6) *)
+
+type slot = { sid : Sid.t; mutable value : value; mutable write_time : float }
+
+type t
+
+val create : epoch:int -> nvmm_resident:bool -> ?batch_append:bool -> unit -> t
+(** [nvmm_resident] makes slot traffic charge NVMM block costs instead
+    of DRAM lines (the all-NVMM baseline of section 6.4).
+    [batch_append] applies Caracal's batch-append cost model: O(1) per
+    append instead of a sorted insert into a possibly long array. *)
+
+val epoch : t -> int
+val length : t -> int
+
+val finalized : t -> bool
+val set_finalized : t -> unit
+(** Guard so the epoch-final persistent write runs exactly once per row
+    even when a transaction declared the same key several times. *)
+
+val append : t -> Nv_nvmm.Stats.t -> Sid.t -> unit
+(** Sorted-insert a PENDING slot. Duplicate SIDs are not allowed. *)
+
+val find : t -> Nv_nvmm.Stats.t -> Sid.t -> slot
+(** Exact slot for a writer about to fill its placeholder. Raises
+    [Not_found]. *)
+
+val latest_visible : t -> Nv_nvmm.Stats.t -> before:Sid.t -> slot option
+(** Latest non-PENDING, non-IGNORED slot with [sid < before] — what a
+    reader at serial position [before] observes. PENDING slots below
+    [before] violate serial-order execution and raise [Invalid_argument]. *)
+
+val latest_resolved : t -> Nv_nvmm.Stats.t -> slot option
+(** Latest non-IGNORED slot overall, treating PENDING as absent — used
+    when an aborted final writer must determine the replacement final
+    version (section 4.6). *)
+
+val max_sid : t -> Sid.t
+(** Largest SID in the array ([Sid.none] when empty). *)
+
+val iter : t -> (slot -> unit) -> unit
+(** Uncharged ascending traversal (tests, abort marking). *)
+
+val dram_bytes : t -> int

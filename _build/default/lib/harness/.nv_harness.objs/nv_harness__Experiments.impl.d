@@ -1,0 +1,1 @@
+lib/harness/experiments.ml: Array List Nv_util Nv_workloads Nv_zen Nvcaracal Printf Runner Tablefmt

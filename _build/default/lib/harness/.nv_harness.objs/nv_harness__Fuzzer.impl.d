@@ -1,0 +1,1 @@
+lib/harness/fuzzer.ml: Array Bytes Int64 List Nv_util Nv_workloads Nvcaracal Printf Seq

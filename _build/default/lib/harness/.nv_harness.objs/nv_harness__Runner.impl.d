@@ -1,0 +1,1 @@
+lib/harness/runner.ml: Array List Nv_nvmm Nv_storage Nv_util Nv_workloads Nv_zen Nvcaracal Zen_record_size

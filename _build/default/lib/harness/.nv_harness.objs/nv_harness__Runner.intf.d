@@ -1,0 +1,1 @@
+lib/harness/runner.mli: Nv_util Nv_workloads Nvcaracal

@@ -1,0 +1,1 @@
+lib/harness/tablefmt.ml: Array Format List Printf String

@@ -1,0 +1,1 @@
+lib/harness/zen_record_size.ml: Nv_zen

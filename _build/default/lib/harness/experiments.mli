@@ -1,0 +1,42 @@
+(** One function per table and figure of the paper's evaluation
+    (section 6). Each prints the regenerated rows/series; EXPERIMENTS.md
+    records how the measured shapes compare with the paper's. All runs
+    use scaled-down datasets (DESIGN.md) and simulated time. *)
+
+val table1 : Format.formatter -> unit
+val table2 : Format.formatter -> unit
+val table3 : Format.formatter -> unit
+val table4 : Format.formatter -> unit
+
+val fig5 : Format.formatter -> unit
+(** YCSB throughput, NVCaracal vs Zen, default and large datasets. *)
+
+val fig6 : Format.formatter -> unit
+(** SmallBank throughput, NVCaracal vs Zen. *)
+
+val fig7 : Format.formatter -> unit
+(** NVCaracal vs the all-NVMM and hybrid Caracal designs. *)
+
+val fig8 : Format.formatter -> unit
+(** DRAM and NVMM consumption breakdown. *)
+
+val fig9 : Format.formatter -> unit
+(** Impact of the minor-GC and cached-versions optimizations. *)
+
+val fig10 : Format.formatter -> unit
+(** Cost of supporting failure recovery: NVCaracal vs no-logging vs
+    all-DRAM. *)
+
+val fig11 : Format.formatter -> unit
+(** Recovery-time breakdown after a mid-epoch crash. *)
+
+val fig12 : Format.formatter -> unit
+(** Epoch-size sweep: throughput vs epoch latency. *)
+
+val ablations : Format.formatter -> unit
+(** Extension ablations beyond the paper's figures: Caracal's batch
+    append, selective caching (section 7 future work), AVL vs B+-tree
+    row index, and a traditional-WAL baseline (section 2.1). *)
+
+val all : (string * string * (Format.formatter -> unit)) list
+(** (id, description, run) for every experiment, in paper order. *)

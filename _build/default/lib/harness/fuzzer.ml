@@ -1,0 +1,238 @@
+module Config = Nvcaracal.Config
+module Db = Nvcaracal.Db
+module Table = Nvcaracal.Table
+module W = Nv_workloads.Workload
+module Rng = Nv_util.Rng
+
+type outcome = {
+  iterations : int;
+  crashes_injected : int;
+  replays : int;
+  failures : string list;
+}
+
+(* Every 5th iteration fuzzes the sharded cluster instead: random node
+   count, cross-partition transfers, a random node crash + catch-up,
+   checked against money conservation and a single-node cluster run of
+   the same batches. *)
+let fuzz_partition rng iter failures =
+  let nodes = 2 + Rng.int rng 3 in
+  let accounts = 40 + Rng.int rng 80 in
+  let config =
+    Config.make ~cores:(Rng.pick rng [| 2; 4 |]) ~row_size:128 ~crash_safe:true
+      ~rows_per_core:4096 ~values_per_core:4096 ~freelist_capacity:8192 ()
+  in
+  let tables = [ Nvcaracal.Table.make ~id:0 ~name:"a" () ] in
+  let balance v =
+    let b = Bytes.create 8 in
+    Bytes.set_int64_le b 0 v;
+    b
+  in
+  let transfer src dst amount =
+    Nvcaracal.Txn.make ~input:Bytes.empty ~write_set:[] (fun ctx ->
+        let bal key =
+          match ctx.Nvcaracal.Txn.Ctx.read ~table:0 ~key with
+          | Some v -> Bytes.get_int64_le v 0
+          | None -> failwith "missing"
+        in
+        let s = bal src in
+        if Int64.compare s amount < 0 then ctx.Nvcaracal.Txn.Ctx.abort ();
+        let d = bal dst in
+        ctx.Nvcaracal.Txn.Ctx.write ~table:0 ~key:src (balance (Int64.sub s amount));
+        ctx.Nvcaracal.Txn.Ctx.write ~table:0 ~key:dst (balance (Int64.add d amount)))
+  in
+  let batch seed n =
+    let brng = Rng.create seed in
+    Array.init n (fun _ ->
+        let src = Int64.of_int (Rng.int brng accounts) in
+        let rec dst () =
+          let d = Int64.of_int (Rng.int brng accounts) in
+          if d = src then dst () else d
+        in
+        transfer src (dst ()) (Int64.of_int (1 + Rng.int brng 15)))
+  in
+  let run nodes crash_at =
+    let c = Nvcaracal.Partition.create ~config ~tables ~nodes () in
+    Nvcaracal.Partition.bulk_load c
+      (Seq.init accounts (fun i -> (0, Int64.of_int i, balance 100L)));
+    let seeds = List.init 4 (fun e -> 1000 + e) in
+    List.iteri
+      (fun e seed ->
+        let rec retry b rounds =
+          if Array.length b > 0 && rounds < 10 then begin
+            let _, d = Nvcaracal.Partition.run_epoch c b in
+            retry d (rounds + 1)
+          end
+        in
+        retry (batch seed 25) 0;
+        match crash_at with
+        | Some (ce, node) when ce = e && node < nodes ->
+            Nvcaracal.Partition.crash_node c node ~rng;
+            Nvcaracal.Partition.recover_node c node
+        | _ -> ())
+      seeds;
+    List.init accounts (fun k ->
+        match Nvcaracal.Partition.read c ~table:0 ~key:(Int64.of_int k) with
+        | Some v -> Bytes.get_int64_le v 0
+        | None -> -1L)
+  in
+  let crash_at = Some (Rng.int rng 4, Rng.int rng nodes) in
+  let sharded = run nodes crash_at in
+  let reference = run 1 None in
+  let conserved =
+    List.fold_left Int64.add 0L sharded = Int64.of_int (accounts * 100)
+  in
+  if (not conserved) || sharded <> reference then
+    failures :=
+      Printf.sprintf "iter %d: partition fuzz mismatch (nodes=%d accounts=%d)" iter nodes
+        accounts
+      :: !failures
+
+exception Crash_now
+
+let pick_workload rng =
+  match Rng.int rng 3 with
+  | 0 ->
+      Nv_workloads.Tpcc.make
+        {
+          Nv_workloads.Tpcc.warehouses = 1 + Rng.int rng 2;
+          districts = 10;
+          customers_per_district = 8 + Rng.int rng 8;
+          items = 40;
+          max_order_lines = 8;
+          invalid_item_rate = 0.02;
+        }
+  | 1 ->
+    Nv_workloads.Ycsb.make
+      {
+        Nv_workloads.Ycsb.rows = 200 + Rng.int rng 400;
+        value_size = Rng.pick rng [| 16; 64; 200; 600 |];
+        update_bytes = 16;
+        hot_rows = 16;
+        hot_per_txn = Rng.int rng 8;
+        ops_per_txn = 4;
+        distribution =
+          (if Rng.bool rng then Nv_workloads.Ycsb.Hotspot
+           else Nv_workloads.Ycsb.Zipfian 0.99);
+      }
+  | _ ->
+    Nv_workloads.Smallbank.make
+      {
+        Nv_workloads.Smallbank.default with
+        Nv_workloads.Smallbank.customers = 200 + Rng.int rng 400;
+        hot_customers = 10 + Rng.int rng 20;
+      }
+
+let pick_config rng (w : W.t) =
+  Config.make ~cores:(Rng.pick rng [| 1; 2; 4; 8 |])
+    ~row_size:(Rng.pick rng [| 128; 256; 512 |])
+    ~crash_safe:true ~cache_k:(1 + Rng.int rng 4) ~minor_gc:(Rng.bool rng)
+    ~cached_versions:(Rng.bool rng) ~batch_append:(Rng.bool rng)
+    ~selective_caching:(Rng.bool rng) ~persistent_index:(Rng.bool rng)
+    ~pindex_capacity:8192
+    ~ordered_index:(if Rng.bool rng then Config.Avl else Config.Btree)
+    ~rows_per_core:8192 ~values_per_core:8192 ~freelist_capacity:16384
+    ~log_capacity:(1 lsl 20) ~n_counters:w.W.n_counters
+    ~revert_on_recovery:w.W.revert_on_recovery ()
+
+let pick_phase rng ~epoch_txns =
+  match Rng.int rng 8 with
+  | 0 -> Db.Log_done
+  | 1 -> Db.Insert_done
+  | 2 -> Db.Gc_pass1_done
+  | 3 -> Db.Gc_done
+  | 4 -> Db.Append_done
+  | 5 -> Db.Exec_txn (Rng.int rng epoch_txns)
+  | 6 -> Db.Exec_done
+  | _ -> Db.Checkpointed
+
+let state db (w : W.t) =
+  List.concat_map
+    (fun (tb : Table.t) ->
+      let out = ref [] in
+      Db.iter_committed db ~table:tb.Table.id (fun k v ->
+          out := (tb.Table.id, k, Bytes.to_string v) :: !out);
+      List.sort compare !out)
+    w.W.tables
+
+let run ~seed ~iterations ?(log = fun _ -> ()) () =
+  let rng = Rng.create seed in
+  let crashes = ref 0 and replays = ref 0 and failures = ref [] in
+  for iter = 1 to iterations do
+    let iter_rng = Rng.split rng in
+    if iter mod 5 = 0 then begin
+      incr crashes;
+      fuzz_partition iter_rng iter failures;
+      log (Printf.sprintf "iter %3d: partition cluster fuzz %s" iter
+             (if !failures = [] then "ok" else "MISMATCH"))
+    end
+    else begin
+    let w = pick_workload iter_rng in
+    let config = pick_config iter_rng w in
+    let epochs = 2 + Rng.int iter_rng 3 in
+    let epoch_txns = 30 + Rng.int iter_rng 50 in
+    let batch_seed = Rng.int iter_rng 1_000_000 in
+    let batches =
+      let brng = Rng.create batch_seed in
+      List.init epochs (fun _ -> w.W.gen_batch brng epoch_txns)
+    in
+    (* Oracle: same batches, no crash. *)
+    let oracle = Db.create ~config ~tables:w.W.tables () in
+    Db.bulk_load oracle (w.W.load ());
+    List.iter (fun b -> ignore (Db.run_epoch oracle b)) batches;
+    (* Victim: crash in the final epoch at a random phase. *)
+    let db = Db.create ~config ~tables:w.W.tables () in
+    Db.bulk_load db (w.W.load ());
+    List.iteri (fun i b -> if i < epochs - 1 then ignore (Db.run_epoch db b)) batches;
+    let phase = pick_phase iter_rng ~epoch_txns in
+    let log_committed = ref false in
+    Db.set_phase_hook db (fun p ->
+        if p = Db.Log_done then log_committed := true;
+        if p = phase then raise Crash_now);
+    let completed =
+      try
+        ignore (Db.run_epoch db (List.nth batches (epochs - 1)));
+        true
+      with Crash_now -> false
+    in
+    incr crashes;
+    let pmem = Db.crash db ~rng:iter_rng in
+    let db2, report = Db.recover ~config ~tables:w.W.tables ~pmem ~rebuild:w.W.rebuild () in
+    if report.Nvcaracal.Report.replayed_txns > 0 then incr replays;
+    (* If the final epoch never logged, the oracle comparison must drop
+       it: rebuild an oracle without it. *)
+    let oracle =
+      if completed || !log_committed then oracle
+      else begin
+        let o = Db.create ~config ~tables:w.W.tables () in
+        Db.bulk_load o (w.W.load ());
+        List.iteri (fun i b -> if i < epochs - 1 then ignore (Db.run_epoch o b)) batches;
+        o
+      end
+    in
+    if state db2 w <> state oracle w then
+      failures :=
+        Printf.sprintf "iter %d: %s (epochs=%d txns=%d) state mismatch after crash" iter
+          w.W.name epochs epoch_txns
+        :: !failures;
+    log
+      (Printf.sprintf "iter %3d: %-32s epochs=%d txns=%d crash=%s %s" iter w.W.name epochs
+         epoch_txns
+         (match phase with
+         | Db.Log_done -> "log"
+         | Db.Insert_done -> "insert"
+         | Db.Gc_pass1_done -> "gc1"
+         | Db.Gc_done -> "gc"
+         | Db.Append_done -> "append"
+         | Db.Exec_txn k -> Printf.sprintf "exec@%d" k
+         | Db.Exec_done -> "exec-end"
+         | Db.Checkpointed -> "checkpointed")
+         (if state db2 w = state oracle w then "ok" else "MISMATCH"))
+    end
+  done;
+  {
+    iterations;
+    crashes_injected = !crashes;
+    replays = !replays;
+    failures = List.rev !failures;
+  }

@@ -1,0 +1,23 @@
+(** Randomized crash-recovery fuzzing.
+
+    Each iteration builds a database from a randomly-chosen workload
+    and configuration (design toggles, index implementation, persistent
+    index on/off), runs a few epochs, injects a crash at a random phase
+    of a random epoch with a random crash image, recovers, and compares
+    the recovered state — table by table — against an oracle database
+    that executed the same batches without crashing. Any mismatch is a
+    correctness bug.
+
+    Exposed as `nvdb fuzz`; the test suite runs a handful of
+    iterations, the CLI as many as you like. *)
+
+type outcome = {
+  iterations : int;
+  crashes_injected : int;
+  replays : int;  (** iterations whose crashed epoch was replayed *)
+  failures : string list;  (** human-readable mismatch descriptions *)
+}
+
+val run : seed:int -> iterations:int -> ?log:(string -> unit) -> unit -> outcome
+(** Deterministic for a given [seed]. [log] receives one line per
+    iteration. *)

@@ -1,0 +1,214 @@
+module Config = Nvcaracal.Config
+module Db = Nvcaracal.Db
+module Report = Nvcaracal.Report
+module W = Nv_workloads.Workload
+
+type result = {
+  label : string;
+  txns : int;
+  committed : int;
+  aborted : int;
+  sim_seconds : float;
+  throughput : float;
+  transient_frac : float;
+  minor_gc : int;
+  major_gc : int;
+  cache_hits : int;
+  cache_misses : int;
+  log_bytes : int;
+  epoch_latency : Nv_util.Histogram.t;
+  last_epoch_phases : (string * float) list;
+  mem : Report.mem_report;
+}
+
+type setup = {
+  epochs : int;
+  epoch_txns : int;
+  seed : int;
+  row_size : int;
+  cache_entries : int;
+  insert_growth : int;
+}
+
+let setup ?(epochs = 12) ?(epoch_txns = 1500) ?(seed = 42) ?(row_size = 256)
+    ?(cache_entries = 0) ?(insert_growth = 0) () =
+  { epochs; epoch_txns; seed; row_size; cache_entries; insert_growth }
+
+let cores = 8
+
+(* Derive pool capacities: the loaded dataset, plus insert growth, plus
+   one epoch of value churn (freed slots are not reusable within the
+   epoch that freed them). *)
+let sizing s (w : W.t) =
+  let base_rows = W.total_rows w in
+  let grown = base_rows + (s.epochs * s.epoch_txns * s.insert_growth) + 1024 in
+  let rows_per_core = (grown * 3 / 2 / cores) + 64 in
+  let values_per_core =
+    let pool_valued =
+      if w.W.typical_value > Nv_storage.Prow.half_capacity ~row_size:s.row_size then grown
+      else 1024
+    in
+    ((pool_valued + (s.epoch_txns * 12)) * 3 / 2 / cores) + 64
+  in
+  let freelist_capacity = 2 * (max rows_per_core values_per_core) in
+  (base_rows, rows_per_core, values_per_core, freelist_capacity)
+
+let nvcaracal_config s (w : W.t) ~variant ?(minor_gc = true) ?(cached_versions = true)
+    ?(crash_safe = false) ?(batch_append = false) ?(selective_caching = false)
+    ?(ordered_index = Config.Btree) () =
+  let base_rows, rows_per_core, values_per_core, freelist_capacity = sizing s w in
+  let cache_entries = if s.cache_entries > 0 then s.cache_entries else base_rows in
+  Config.make ~variant ~cores ~row_size:s.row_size
+    ~value_slot_size:(max 1024 (w.W.typical_value + 24))
+    ~minor_gc ~cached_versions ~crash_safe ~rows_per_core ~values_per_core
+    ~freelist_capacity
+    ~log_capacity:(max (1 lsl 20) (s.epoch_txns * 256))
+    ~n_counters:w.W.n_counters ~revert_on_recovery:w.W.revert_on_recovery
+    ~cache_entries_max:cache_entries ~ordered_index ~batch_append ~selective_caching ()
+
+let collect ~label ~txns ~committed ~aborted ~sim_ns ~stats_list ~mem =
+  let last_epoch_phases =
+    match stats_list with [] -> [] | (e : Report.epoch_stats) :: _ -> e.Report.phases
+  in
+  let latency = Nv_util.Histogram.create () in
+  List.iter (fun (e : Report.epoch_stats) -> Nv_util.Histogram.add latency e.Report.duration_ns)
+    stats_list;
+  let sum f = List.fold_left (fun acc e -> acc + f e) 0 stats_list in
+  let version_writes = sum (fun e -> e.Report.version_writes) in
+  let persistent = sum (fun e -> e.Report.persistent_writes) in
+  {
+    label;
+    txns;
+    committed;
+    aborted;
+    sim_seconds = sim_ns /. 1e9;
+    throughput = (if sim_ns > 0.0 then float_of_int committed /. (sim_ns /. 1e9) else 0.0);
+    transient_frac =
+      (if version_writes > 0 then
+         float_of_int (version_writes - persistent) /. float_of_int version_writes
+       else 0.0);
+    minor_gc = sum (fun e -> e.Report.minor_gc);
+    major_gc = sum (fun e -> e.Report.major_gc);
+    cache_hits = sum (fun e -> e.Report.cache_hits);
+    cache_misses = sum (fun e -> e.Report.cache_misses);
+    log_bytes = sum (fun e -> e.Report.log_bytes);
+    epoch_latency = latency;
+    last_epoch_phases;
+    mem;
+  }
+
+let run_nvcaracal s (w : W.t) ~variant ?minor_gc ?cached_versions ?batch_append
+    ?selective_caching ?ordered_index ?label () =
+  let config =
+    nvcaracal_config s w ~variant ?minor_gc ?cached_versions ?batch_append ?selective_caching
+      ?ordered_index ()
+  in
+  let db = Db.create ~config ~tables:w.W.tables () in
+  Db.bulk_load db (w.W.load ());
+  let rng = Nv_util.Rng.create s.seed in
+  let stats_list = ref [] in
+  for _ = 1 to s.epochs do
+    let st = Db.run_epoch db (w.W.gen_batch rng s.epoch_txns) in
+    stats_list := st :: !stats_list
+  done;
+  let label =
+    match label with Some l -> l | None -> Config.variant_name variant ^ "/" ^ w.W.name
+  in
+  collect ~label ~txns:(s.epochs * s.epoch_txns) ~committed:(Db.committed_txns db)
+    ~aborted:(s.epochs * s.epoch_txns - Db.committed_txns db)
+    ~sim_ns:(Db.total_time_ns db) ~stats_list:!stats_list ~mem:(Db.mem_report db)
+
+let run_zen s (w : W.t) ?record_size ?label () =
+  let record_size =
+    match record_size with
+    | Some r -> r
+    | None ->
+        (* Zen's optimal record size: value plus header, rounded up to
+           a multiple of 8 (Table 4). *)
+        (w.W.typical_value + Zen_record_size.header + 7) / 8 * 8
+  in
+  let base_rows = W.total_rows w in
+  let slots_per_core =
+    ((base_rows + (s.epochs * s.epoch_txns * (s.insert_growth + 2))) * 2 / cores) + 64
+  in
+  let cache_entries = if s.cache_entries > 0 then s.cache_entries else base_rows in
+  let config =
+    {
+      Nv_zen.Zen_db.cores;
+      record_size;
+      cache_entries;
+      slots_per_core;
+      spec = Nv_nvmm.Memspec.default;
+    }
+  in
+  let db = Nv_zen.Zen_db.create ~config ~tables:w.W.tables () in
+  Nv_zen.Zen_db.bulk_load db (w.W.load ());
+  let rng = Nv_util.Rng.create s.seed in
+  for _ = 1 to s.epochs do
+    Nv_zen.Zen_db.exec_batch db (w.W.gen_batch rng s.epoch_txns)
+  done;
+  let committed = Nv_zen.Zen_db.committed_txns db in
+  let sim_ns = Nv_zen.Zen_db.total_time_ns db in
+  {
+    label = (match label with Some l -> l | None -> "zen/" ^ w.W.name);
+    txns = s.epochs * s.epoch_txns;
+    committed;
+    aborted = Nv_zen.Zen_db.aborted_txns db;
+    sim_seconds = sim_ns /. 1e9;
+    throughput = (if sim_ns > 0.0 then float_of_int committed /. (sim_ns /. 1e9) else 0.0);
+    transient_frac = 0.0;
+    minor_gc = 0;
+    major_gc = 0;
+    cache_hits = 0;
+    cache_misses = 0;
+    log_bytes = 0;
+    epoch_latency = Nv_util.Histogram.create ();
+    last_epoch_phases = [];
+    mem = Nv_zen.Zen_db.mem_report db;
+  }
+
+(* Aria-mode run: deferred transactions carry over into the next batch. *)
+let run_aria s (w : W.t) ?label () =
+  let config = nvcaracal_config s w ~variant:Config.Nvcaracal () in
+  let db = Db.create ~config ~tables:w.W.tables () in
+  Db.bulk_load db (w.W.load ());
+  let rng = Nv_util.Rng.create s.seed in
+  let stats_list = ref [] in
+  let deferred = ref [||] in
+  let total_deferred = ref 0 in
+  for _ = 1 to s.epochs do
+    let fresh = w.W.gen_batch rng s.epoch_txns in
+    let st, d = Db.run_epoch_aria db (Array.append !deferred fresh) in
+    stats_list := st :: !stats_list;
+    total_deferred := !total_deferred + Array.length d;
+    deferred := d
+  done;
+  let label = match label with Some l -> l | None -> "aria/" ^ w.W.name in
+  collect ~label ~txns:(s.epochs * s.epoch_txns) ~committed:(Db.committed_txns db)
+    ~aborted:!total_deferred ~sim_ns:(Db.total_time_ns db) ~stats_list:!stats_list
+    ~mem:(Db.mem_report db)
+
+type recovery_result = { r_label : string; report : Report.recovery_report }
+
+exception Crash_now
+
+let run_recovery s (w : W.t) ~crash_after_txns ?(persistent_index = false) ?label () =
+  let base_rows = W.total_rows w in
+  let config =
+    let c = nvcaracal_config s w ~variant:Config.Nvcaracal ~crash_safe:true () in
+    if persistent_index then
+      { c with Config.persistent_index = true; pindex_capacity = 4 * base_rows }
+    else c
+  in
+  let db = Db.create ~config ~tables:w.W.tables () in
+  Db.bulk_load db (w.W.load ());
+  let rng = Nv_util.Rng.create s.seed in
+  for _ = 1 to s.epochs - 1 do
+    ignore (Db.run_epoch db (w.W.gen_batch rng s.epoch_txns))
+  done;
+  let crash_at = min crash_after_txns (s.epoch_txns - 1) in
+  Db.set_phase_hook db (fun p -> if p = Db.Exec_txn crash_at then raise Crash_now);
+  (try ignore (Db.run_epoch db (w.W.gen_batch rng s.epoch_txns)) with Crash_now -> ());
+  let pmem = Db.crash db ~rng:(Nv_util.Rng.create (s.seed + 1)) in
+  let _db2, report = Db.recover ~config ~tables:w.W.tables ~pmem ~rebuild:w.W.rebuild () in
+  { r_label = (match label with Some l -> l | None -> w.W.name); report }

@@ -1,0 +1,97 @@
+(** Experiment runner: drives a workload against an engine
+    configuration and collects the measurements the paper's figures
+    report.
+
+    Throughput is committed transactions divided by simulated seconds
+    (the cost model's clock, not wall time); epoch latency feeds the
+    Figure 12 trade-off. Pool capacities are derived from the
+    workload's size plus an insert-growth allowance, so runs never
+    trip allocator capacity. *)
+
+type result = {
+  label : string;
+  txns : int;
+  committed : int;
+  aborted : int;
+  sim_seconds : float;
+  throughput : float;  (** committed txns per simulated second *)
+  transient_frac : float;  (** fraction of version writes kept in DRAM *)
+  minor_gc : int;
+  major_gc : int;
+  cache_hits : int;
+  cache_misses : int;
+  log_bytes : int;
+  epoch_latency : Nv_util.Histogram.t;  (** per-epoch simulated durations, ns *)
+  last_epoch_phases : (string * float) list;  (** phase breakdown, final epoch *)
+  mem : Nvcaracal.Report.mem_report;
+}
+
+type setup = {
+  epochs : int;
+  epoch_txns : int;
+  seed : int;
+  row_size : int;  (** persistent row size (paper default 256; Table 4 overrides) *)
+  cache_entries : int;  (** DRAM cache entry cap; 0 = dataset size *)
+  insert_growth : int;  (** upper bound on rows inserted per transaction *)
+}
+
+val setup :
+  ?epochs:int ->
+  ?epoch_txns:int ->
+  ?seed:int ->
+  ?row_size:int ->
+  ?cache_entries:int ->
+  ?insert_growth:int ->
+  unit ->
+  setup
+(** Defaults: 12 epochs x 1500 txns, seed 42, 256-byte rows, cache
+    capped at the dataset size, no insert growth. *)
+
+val nvcaracal_config :
+  setup -> Nv_workloads.Workload.t -> variant:Nvcaracal.Config.variant ->
+  ?minor_gc:bool -> ?cached_versions:bool -> ?crash_safe:bool -> ?batch_append:bool ->
+  ?selective_caching:bool -> ?ordered_index:Nvcaracal.Config.ordered_index -> unit ->
+  Nvcaracal.Config.t
+(** The derived engine configuration (exposed for the recovery
+    experiment, which needs it again for [Db.recover]). *)
+
+val run_nvcaracal :
+  setup ->
+  Nv_workloads.Workload.t ->
+  variant:Nvcaracal.Config.variant ->
+  ?minor_gc:bool ->
+  ?cached_versions:bool ->
+  ?batch_append:bool ->
+  ?selective_caching:bool ->
+  ?ordered_index:Nvcaracal.Config.ordered_index ->
+  ?label:string ->
+  unit ->
+  result
+
+val run_zen :
+  setup -> Nv_workloads.Workload.t -> ?record_size:int -> ?label:string -> unit -> result
+(** Zen gets the same batches; [record_size] defaults to the workload's
+    typical value plus the record header (Table 4's optimal sizes). *)
+
+val run_aria :
+  setup -> Nv_workloads.Workload.t -> ?label:string -> unit -> result
+(** Aria-mode run ({!Nvcaracal.Db.run_epoch_aria}): deferred
+    transactions are resubmitted with the next batch; [aborted] reports
+    cumulative deferrals. *)
+
+type recovery_result = {
+  r_label : string;
+  report : Nvcaracal.Report.recovery_report;
+}
+
+val run_recovery :
+  setup ->
+  Nv_workloads.Workload.t ->
+  crash_after_txns:int ->
+  ?persistent_index:bool ->
+  ?label:string ->
+  unit ->
+  recovery_result
+(** Run the workload, crash the final epoch after [crash_after_txns]
+    transactions executed, tear the region, recover, and report the
+    breakdown (Figure 11). *)

@@ -1,0 +1,26 @@
+let print ppf ~title ~header rows =
+  let all = header :: rows in
+  let ncols = List.fold_left (fun acc r -> max acc (List.length r)) 0 all in
+  let widths = Array.make ncols 0 in
+  List.iter
+    (List.iteri (fun i cell -> if String.length cell > widths.(i) then widths.(i) <- String.length cell))
+    all;
+  let pad i cell = cell ^ String.make (widths.(i) - String.length cell) ' ' in
+  let line r = String.concat "  " (List.mapi pad r) in
+  let rule =
+    String.concat "--" (Array.to_list (Array.map (fun w -> String.make w '-') widths))
+  in
+  Format.fprintf ppf "@.== %s ==@.%s@.%s@." title (line header) rule;
+  List.iter (fun r -> Format.fprintf ppf "%s@." (line r)) rows;
+  Format.fprintf ppf "@."
+
+let mtps v = Printf.sprintf "%.3f Mtxn/s" (v /. 1e6)
+let pct v = Printf.sprintf "%.1f%%" (v *. 100.0)
+
+let bytes n =
+  if n >= 1 lsl 30 then Printf.sprintf "%.2f GiB" (float_of_int n /. float_of_int (1 lsl 30))
+  else if n >= 1 lsl 20 then Printf.sprintf "%.2f MiB" (float_of_int n /. float_of_int (1 lsl 20))
+  else if n >= 1 lsl 10 then Printf.sprintf "%.2f KiB" (float_of_int n /. float_of_int (1 lsl 10))
+  else Printf.sprintf "%d B" n
+
+let ms v = Printf.sprintf "%.2f ms" (v /. 1e6)

@@ -1,0 +1,17 @@
+(** Minimal aligned-column text tables for experiment output. *)
+
+val print :
+  Format.formatter -> title:string -> header:string list -> string list list -> unit
+(** Render a titled table; column widths adapt to content. *)
+
+val mtps : float -> string
+(** Format a throughput (txns per simulated second) as "N.NN Mtxn/s". *)
+
+val pct : float -> string
+(** Format a fraction as a percentage. *)
+
+val bytes : int -> string
+(** Human-readable byte count. *)
+
+val ms : float -> string
+(** Nanoseconds rendered as milliseconds. *)

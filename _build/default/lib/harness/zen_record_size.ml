@@ -1,0 +1,4 @@
+(* Re-export Zen's record header size so the runner can compute
+   Table 4's "optimal" record sizes without depending on store
+   internals elsewhere. *)
+let header = Nv_zen.Zen_store.header_bytes

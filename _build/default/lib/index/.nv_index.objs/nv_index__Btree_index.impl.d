@@ -1,0 +1,1 @@
+lib/index/btree_index.ml: Array Int64 List Nv_nvmm Option

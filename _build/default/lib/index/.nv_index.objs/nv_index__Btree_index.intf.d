@@ -1,0 +1,1 @@
+lib/index/btree_index.mli: Nv_nvmm

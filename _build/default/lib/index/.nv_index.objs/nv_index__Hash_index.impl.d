@@ -1,0 +1,1 @@
+lib/index/hash_index.ml: Array Nv_nvmm Nv_util

@@ -1,0 +1,1 @@
+lib/index/ordered_index.ml: Nv_nvmm

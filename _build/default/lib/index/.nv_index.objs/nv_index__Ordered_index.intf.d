@@ -1,0 +1,1 @@
+lib/index/ordered_index.mli: Nv_nvmm

@@ -1,0 +1,105 @@
+module Stats = Nv_nvmm.Stats
+
+type slot_state = Empty | Tombstone | Full
+
+type 'a t = {
+  mutable keys : int64 array;
+  mutable values : 'a option array;
+  mutable state : slot_state array;
+  mutable count : int; (* Full slots *)
+  mutable occupied : int; (* Full + Tombstone *)
+}
+
+let create ?(initial_capacity = 64) () =
+  let cap = max 8 initial_capacity in
+  {
+    keys = Array.make cap 0L;
+    values = Array.make cap None;
+    state = Array.make cap Empty;
+    count = 0;
+    occupied = 0;
+  }
+
+let length t = t.count
+
+let probe_start t key = Nv_util.Fnv.hash_int64 key mod Array.length t.keys
+
+let rec grow t =
+  let old_keys = t.keys and old_values = t.values and old_state = t.state in
+  let cap = Array.length old_keys * 2 in
+  t.keys <- Array.make cap 0L;
+  t.values <- Array.make cap None;
+  t.state <- Array.make cap Empty;
+  t.count <- 0;
+  t.occupied <- 0;
+  Array.iteri
+    (fun i st ->
+      match st with
+      | Full -> insert_nocharge t old_keys.(i) old_values.(i)
+      | Empty | Tombstone -> ())
+    old_state
+
+and insert_nocharge t key value =
+  if (t.occupied + 1) * 4 > Array.length t.keys * 3 then grow t;
+  let cap = Array.length t.keys in
+  let rec loop i first_tomb =
+    match t.state.(i) with
+    | Empty ->
+        let target = match first_tomb with Some j -> j | None -> i in
+        let was_tomb = t.state.(target) = Tombstone in
+        t.keys.(target) <- key;
+        t.values.(target) <- value;
+        t.state.(target) <- Full;
+        t.count <- t.count + 1;
+        if not was_tomb then t.occupied <- t.occupied + 1
+    | Tombstone ->
+        let first_tomb = match first_tomb with Some _ -> first_tomb | None -> Some i in
+        loop ((i + 1) mod cap) first_tomb
+    | Full ->
+        if t.keys.(i) = key then t.values.(i) <- value
+        else loop ((i + 1) mod cap) first_tomb
+  in
+  loop (probe_start t key) None
+
+(* Find the slot holding [key]; charges one DRAM read per probe. *)
+let find_slot t stats key =
+  let cap = Array.length t.keys in
+  let rec loop i n =
+    Stats.dram_read stats ();
+    if n > cap then None
+    else
+      match t.state.(i) with
+      | Empty -> None
+      | Tombstone -> loop ((i + 1) mod cap) (n + 1)
+      | Full -> if t.keys.(i) = key then Some i else loop ((i + 1) mod cap) (n + 1)
+  in
+  loop (probe_start t key) 0
+
+let find t stats key =
+  match find_slot t stats key with Some i -> t.values.(i) | None -> None
+
+let mem t stats key = find_slot t stats key <> None
+
+let insert t stats key value =
+  Stats.dram_write stats ();
+  insert_nocharge t key (Some value)
+
+let remove t stats key =
+  match find_slot t stats key with
+  | None -> ()
+  | Some i ->
+      Stats.dram_write stats ();
+      t.state.(i) <- Tombstone;
+      t.values.(i) <- None;
+      t.count <- t.count - 1
+
+let iter t f =
+  Array.iteri
+    (fun i st ->
+      match (st, t.values.(i)) with
+      | Full, Some v -> f t.keys.(i) v
+      | Full, None -> assert false
+      | (Empty | Tombstone), _ -> ())
+    t.state
+
+let dram_bytes t = Array.length t.keys * 24

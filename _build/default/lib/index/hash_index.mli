@@ -1,0 +1,29 @@
+(** DRAM hash index: int64 keys to arbitrary row handles.
+
+    The row index lives in DRAM (paper section 4) and is rebuilt during
+    recovery by scanning the persistent rows. Open addressing with
+    linear probing and tombstone deletion; every probe charges one DRAM
+    cache-line read so index traffic shows up in the simulated clock. *)
+
+type 'a t
+
+val create : ?initial_capacity:int -> unit -> 'a t
+
+val length : 'a t -> int
+
+val find : 'a t -> Nv_nvmm.Stats.t -> int64 -> 'a option
+
+val mem : 'a t -> Nv_nvmm.Stats.t -> int64 -> bool
+
+val insert : 'a t -> Nv_nvmm.Stats.t -> int64 -> 'a -> unit
+(** Insert or replace. *)
+
+val remove : 'a t -> Nv_nvmm.Stats.t -> int64 -> unit
+(** No-op if absent. *)
+
+val iter : 'a t -> (int64 -> 'a -> unit) -> unit
+(** Uncharged traversal (reporting / rebuild verification). *)
+
+val dram_bytes : 'a t -> int
+(** Approximate DRAM footprint of the table (Figure 8 reporting):
+    16 bytes of key/tag plus one word of payload per slot. *)

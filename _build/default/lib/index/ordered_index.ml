@@ -1,0 +1,146 @@
+module Stats = Nv_nvmm.Stats
+
+type 'a node = { key : int64; value : 'a; left : 'a node option; right : 'a node option; height : int }
+type 'a t = { mutable root : 'a node option; mutable count : int }
+
+let create () = { root = None; count = 0 }
+let length t = t.count
+
+let height = function None -> 0 | Some n -> n.height
+
+let mk key value left right =
+  { key; value; left; right; height = 1 + max (height left) (height right) }
+
+let balance_factor n = height n.left - height n.right
+
+let rotate_right n =
+  match n.left with
+  | None -> n
+  | Some l -> mk l.key l.value l.left (Some (mk n.key n.value l.right n.right))
+
+let rotate_left n =
+  match n.right with
+  | None -> n
+  | Some r -> mk r.key r.value (Some (mk n.key n.value n.left r.left)) r.right
+
+let rebalance n =
+  let bf = balance_factor n in
+  if bf > 1 then
+    let n =
+      match n.left with
+      | Some l when balance_factor l < 0 -> mk n.key n.value (Some (rotate_left l)) n.right
+      | _ -> n
+    in
+    rotate_right n
+  else if bf < -1 then
+    let n =
+      match n.right with
+      | Some r when balance_factor r > 0 -> mk n.key n.value n.left (Some (rotate_right r))
+      | _ -> n
+    in
+    rotate_left n
+  else n
+
+let insert t stats key value =
+  let added = ref false in
+  let rec go = function
+    | None ->
+        Stats.dram_write stats ();
+        added := true;
+        mk key value None None
+    | Some n ->
+        Stats.dram_read stats ();
+        if key < n.key then rebalance (mk n.key n.value (Some (go n.left)) n.right)
+        else if key > n.key then rebalance (mk n.key n.value n.left (Some (go n.right)))
+        else mk key value n.left n.right
+  in
+  t.root <- Some (go t.root);
+  if !added then t.count <- t.count + 1
+
+let find t stats key =
+  let rec go = function
+    | None -> None
+    | Some n ->
+        Stats.dram_read stats ();
+        if key < n.key then go n.left else if key > n.key then go n.right else Some n.value
+  in
+  go t.root
+
+let rec min_node n = match n.left with None -> n | Some l -> min_node l
+
+let remove t stats key =
+  let removed = ref false in
+  let rec go = function
+    | None -> None
+    | Some n ->
+        Stats.dram_read stats ();
+        if key < n.key then Some (rebalance (mk n.key n.value (go n.left) n.right))
+        else if key > n.key then Some (rebalance (mk n.key n.value n.left (go n.right)))
+        else begin
+          removed := true;
+          Stats.dram_write stats ();
+          match (n.left, n.right) with
+          | None, r -> r
+          | l, None -> l
+          | l, Some r ->
+              let succ = min_node r in
+              let rec drop_min m =
+                match m.left with
+                | None -> m.right
+                | Some l2 -> Some (rebalance (mk m.key m.value (drop_min l2) m.right))
+              in
+              Some (rebalance (mk succ.key succ.value l (drop_min r)))
+        end
+  in
+  t.root <- go t.root;
+  if !removed then t.count <- t.count - 1
+
+let fold_range t stats ~lo ~hi ~init ~f =
+  let rec go acc = function
+    | None -> acc
+    | Some n ->
+        Stats.dram_read stats ();
+        let acc = if n.key > lo then go acc n.left else acc in
+        let acc = if n.key >= lo && n.key <= hi then f acc n.key n.value else acc in
+        if n.key < hi then go acc n.right else acc
+  in
+  go init t.root
+
+let max_below t stats bound =
+  let rec go best = function
+    | None -> best
+    | Some n ->
+        Stats.dram_read stats ();
+        if n.key <= bound then go (Some (n.key, n.value)) n.right else go best n.left
+  in
+  go None t.root
+
+let min_above t stats bound =
+  let rec go best = function
+    | None -> best
+    | Some n ->
+        Stats.dram_read stats ();
+        if n.key >= bound then go (Some (n.key, n.value)) n.left else go best n.right
+  in
+  go None t.root
+
+let iter t f =
+  let rec go = function
+    | None -> ()
+    | Some n ->
+        go n.left;
+        f n.key n.value;
+        go n.right
+  in
+  go t.root
+
+let dram_bytes t = t.count * 40
+
+let check_balanced t =
+  let rec go = function
+    | None -> (true, 0)
+    | Some n ->
+        let okl, hl = go n.left and okr, hr = go n.right in
+        (okl && okr && abs (hl - hr) <= 1 && n.height = 1 + max hl hr, 1 + max hl hr)
+  in
+  fst (go t.root)

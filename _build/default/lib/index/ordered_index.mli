@@ -1,0 +1,38 @@
+(** DRAM ordered index: an AVL tree over int64 keys supporting range
+    scans.
+
+    TPC-C composes (warehouse, district, order, line) coordinates into
+    ordered int64 keys and scans contiguous ranges (e.g. the order
+    lines of an order, or a customer's latest order). Each node visit
+    charges one DRAM cache-line read. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val length : 'a t -> int
+
+val insert : 'a t -> Nv_nvmm.Stats.t -> int64 -> 'a -> unit
+(** Insert or replace. *)
+
+val find : 'a t -> Nv_nvmm.Stats.t -> int64 -> 'a option
+val remove : 'a t -> Nv_nvmm.Stats.t -> int64 -> unit
+
+val fold_range :
+  'a t -> Nv_nvmm.Stats.t -> lo:int64 -> hi:int64 -> init:'b -> f:('b -> int64 -> 'a -> 'b) -> 'b
+(** Fold over entries with [lo <= key <= hi] in ascending key order. *)
+
+val max_below : 'a t -> Nv_nvmm.Stats.t -> int64 -> (int64 * 'a) option
+(** Greatest entry with key <= the bound (TPC-C "latest order" lookup). *)
+
+val min_above : 'a t -> Nv_nvmm.Stats.t -> int64 -> (int64 * 'a) option
+(** Smallest entry with key >= the bound (TPC-C "oldest undelivered
+    order" lookup). *)
+
+val iter : 'a t -> (int64 -> 'a -> unit) -> unit
+(** Uncharged in-order traversal. *)
+
+val dram_bytes : 'a t -> int
+(** Approximate footprint: five words per node. *)
+
+val check_balanced : 'a t -> bool
+(** AVL invariant check (tests). *)

@@ -1,0 +1,1 @@
+lib/nvmm/memspec.mli:

@@ -1,0 +1,1 @@
+lib/nvmm/pmem.ml: Bytes Char Hashtbl List Nv_util Printf Stats

@@ -1,0 +1,1 @@
+lib/nvmm/pmem.mli: Nv_util Stats

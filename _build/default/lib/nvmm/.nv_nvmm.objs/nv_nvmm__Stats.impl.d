@@ -1,0 +1,1 @@
+lib/nvmm/stats.ml: Format Memspec

@@ -1,0 +1,18 @@
+type region = { name : string; off : int; len : int }
+type builder = { mutable next : int; mutable regions : region list (* newest first *) }
+
+let builder () = { next = 0; regions = [] }
+
+let align_up v a = (v + a - 1) / a * a
+
+let reserve b ~name ~len ?(align = 256) () =
+  assert (len >= 0 && align > 0);
+  let off = align_up b.next align in
+  let r = { name; off; len } in
+  b.next <- off + len;
+  b.regions <- r :: b.regions;
+  r
+
+let total_size b = align_up b.next 256
+let regions b = List.rev b.regions
+let find b name = List.find (fun r -> r.name = name) b.regions

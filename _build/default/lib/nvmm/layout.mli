@@ -1,0 +1,25 @@
+(** Static layout of named subregions within one pmem region.
+
+    The database carves its pmem region into fixed subregions (metadata,
+    input log, per-core row pools, per-core value pools, per-core free
+    lists) at startup; because the layout is a pure function of the
+    configuration, recovery computes identical offsets after a crash —
+    the moral equivalent of the paper mapping NVMM to fixed addresses. *)
+
+type builder
+type region = { name : string; off : int; len : int }
+
+val builder : unit -> builder
+
+val reserve : builder -> name:string -> len:int -> ?align:int -> unit -> region
+(** Reserve [len] bytes aligned to [align] (default 256). Regions are
+    laid out in reservation order. *)
+
+val total_size : builder -> int
+(** Bytes consumed so far (the size to pass to {!Pmem.create}). *)
+
+val regions : builder -> region list
+(** All reservations, in order (for memory-consumption reports). *)
+
+val find : builder -> string -> region
+(** Lookup by name. Raises [Not_found] for unknown names. *)

@@ -1,0 +1,203 @@
+type mode = Fast | Crash_safe
+
+let line_size = 64
+
+(* Per-line persistence bookkeeping, present only while the line has
+   unpersisted state. [persisted] is the content that survives a crash
+   with certainty. [snapshots] records the line content after each store
+   since [persisted], oldest first, so a crash may legally surface any
+   prefix of the store sequence. [queued] is the content captured by the
+   most recent clwb (plus how many snapshots existed at capture time),
+   which becomes [persisted] at the next fence. *)
+type line_state = {
+  mutable persisted : bytes;
+  mutable snapshots : bytes list; (* oldest first *)
+  mutable queued : (bytes * int) option;
+}
+
+type t = {
+  mode : mode;
+  data : bytes; (* volatile view *)
+  size : int;
+  lines : (int, line_state) Hashtbl.t; (* keyed by line index *)
+}
+
+let create ?(mode = Fast) ~size () =
+  { mode; data = Bytes.make size '\000'; size; lines = Hashtbl.create 4096 }
+
+let mode t = t.mode
+let size t = t.size
+
+let copy_line t li =
+  let b = Bytes.create line_size in
+  Bytes.blit t.data (li * line_size) b 0 line_size;
+  b
+
+(* Record that bytes [off, off+len) were just stored. Must be called
+   after the volatile view was updated. In Fast mode this is free. *)
+let note_store t ~off ~len =
+  if t.mode = Crash_safe && len > 0 then begin
+    let first = off / line_size and last = (off + len - 1) / line_size in
+    for li = first to last do
+      (* [pre_store] has already captured the pre-store baseline, so the
+         entry must exist; append the after-store snapshot. *)
+      let st = Hashtbl.find t.lines li in
+      st.snapshots <- st.snapshots @ [ copy_line t li ]
+    done
+  end
+
+(* Capture the pre-store persisted baseline for lines about to be
+   stored for the first time since they were last clean. Must be called
+   BEFORE mutating the volatile view. *)
+let pre_store t ~off ~len =
+  if t.mode = Crash_safe && len > 0 then begin
+    let first = off / line_size and last = (off + len - 1) / line_size in
+    for li = first to last do
+      match Hashtbl.find_opt t.lines li with
+      | Some _ -> ()
+      | None ->
+          Hashtbl.add t.lines li { persisted = copy_line t li; snapshots = []; queued = None }
+    done
+  end
+
+let check_bounds t off len =
+  if off < 0 || len < 0 || off + len > t.size then
+    invalid_arg (Printf.sprintf "Pmem: range [%d, %d) out of bounds (size %d)" off (off + len) len)
+
+let get_i64 t off =
+  assert (off land 7 = 0);
+  check_bounds t off 8;
+  Bytes.get_int64_le t.data off
+
+let set_i64 t off v =
+  assert (off land 7 = 0);
+  check_bounds t off 8;
+  pre_store t ~off ~len:8;
+  Bytes.set_int64_le t.data off v;
+  note_store t ~off ~len:8
+
+let get_i32 t off =
+  assert (off land 3 = 0);
+  check_bounds t off 4;
+  Bytes.get_int32_le t.data off
+
+let set_i32 t off v =
+  assert (off land 3 = 0);
+  check_bounds t off 4;
+  pre_store t ~off ~len:4;
+  Bytes.set_int32_le t.data off v;
+  note_store t ~off ~len:4
+
+let get_u8 t off =
+  check_bounds t off 1;
+  Char.code (Bytes.get t.data off)
+
+let set_u8 t off v =
+  check_bounds t off 1;
+  pre_store t ~off ~len:1;
+  Bytes.set t.data off (Char.chr (v land 0xFF));
+  note_store t ~off ~len:1
+
+let read_bytes t ~off ~len =
+  check_bounds t off len;
+  Bytes.sub t.data off len
+
+let blit_to t ~src ~src_off ~dst_off ~len =
+  check_bounds t dst_off len;
+  pre_store t ~off:dst_off ~len;
+  Bytes.blit src src_off t.data dst_off len;
+  note_store t ~off:dst_off ~len
+
+let write_bytes t ~off b = blit_to t ~src:b ~src_off:0 ~dst_off:off ~len:(Bytes.length b)
+
+let blit_from t ~src_off ~dst ~dst_off ~len =
+  check_bounds t src_off len;
+  Bytes.blit t.data src_off dst dst_off len
+
+let fill t ~off ~len c =
+  check_bounds t off len;
+  pre_store t ~off ~len;
+  Bytes.fill t.data off len c;
+  note_store t ~off ~len
+
+let flush t stats ~off ~len =
+  if len > 0 then begin
+    check_bounds t off len;
+    let first = off / line_size and last = (off + len - 1) / line_size in
+    for li = first to last do
+      Stats.flush stats;
+      if t.mode = Crash_safe then
+        match Hashtbl.find_opt t.lines li with
+        | None -> () (* clean line: clwb is a no-op *)
+        | Some st -> st.queued <- Some (copy_line t li, List.length st.snapshots)
+    done
+  end
+
+let fence t stats =
+  Stats.fence stats;
+  if t.mode = Crash_safe then begin
+    let cleaned = ref [] in
+    Hashtbl.iter
+      (fun li st ->
+        match st.queued with
+        | None -> ()
+        | Some (content, n_at_capture) ->
+            st.persisted <- content;
+            st.queued <- None;
+            (* Drop snapshots that predate the captured content: they can
+               no longer be crash states because something newer is
+               guaranteed durable. *)
+            let total = List.length st.snapshots in
+            let keep = total - n_at_capture in
+            st.snapshots <- (if keep <= 0 then [] else List.filteri (fun i _ -> i >= n_at_capture) st.snapshots);
+            if st.snapshots = [] && Bytes.equal st.persisted (copy_line t li) then
+              cleaned := li :: !cleaned)
+      t.lines;
+    List.iter (fun li -> Hashtbl.remove t.lines li) !cleaned
+  end
+
+let persist t stats ~off ~len =
+  flush t stats ~off ~len;
+  fence t stats
+
+let charge_read _t stats ~off ~len = Stats.nvmm_read stats ~off ~len
+let charge_write _t stats ~off ~len = Stats.nvmm_write stats ~off ~len
+let charge_seq_write _t stats ~bytes = Stats.nvmm_seq_write stats ~bytes
+
+let apply_crash_choice t li st idx =
+  let content =
+    if idx = 0 then st.persisted
+    else List.nth st.snapshots (idx - 1)
+  in
+  Bytes.blit content 0 t.data (li * line_size) line_size
+
+let finish_crash t = Hashtbl.reset t.lines
+
+let require_crash_safe t =
+  if t.mode <> Crash_safe then invalid_arg "Pmem.crash: region is in Fast mode"
+
+let crash_with t ~choose =
+  require_crash_safe t;
+  (* Iterate in sorted line order so the callback sees a deterministic
+     sequence regardless of hash-table iteration order. *)
+  let lis = Hashtbl.fold (fun li _ acc -> li :: acc) t.lines [] in
+  let lis = List.sort compare lis in
+  List.iter
+    (fun li ->
+      let st = Hashtbl.find t.lines li in
+      let options = 1 + List.length st.snapshots in
+      let idx = choose ~line:li ~options in
+      assert (idx >= 0 && idx < options);
+      apply_crash_choice t li st idx)
+    lis;
+  finish_crash t
+
+let crash t ~rng = crash_with t ~choose:(fun ~line:_ ~options -> Nv_util.Rng.int rng options)
+
+let crash_all_persisted t = crash_with t ~choose:(fun ~line:_ ~options -> options - 1)
+
+let dirty_line_count t = Hashtbl.length t.lines
+
+let unpersisted_ranges t =
+  let lis = Hashtbl.fold (fun li _ acc -> li :: acc) t.lines [] in
+  List.map (fun li -> (li * line_size, line_size)) (List.sort compare lis)

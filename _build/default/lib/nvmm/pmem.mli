@@ -1,0 +1,94 @@
+(** Simulated byte-addressable non-volatile main memory.
+
+    The region behaves like Optane in app-direct mode as seen by
+    software: ordinary loads and stores hit a volatile (CPU-cached)
+    view; a store is guaranteed to survive a crash only once its cache
+    line has been written back ([flush], modelling [clwb]) and a fence
+    ([fence], modelling [sfence]) has completed. A crash discards every
+    store that was not persisted — or, at the simulator's discretion,
+    keeps an arbitrary prefix-consistent subset of them, exactly the
+    freedom real hardware has (cache lines may be evicted at any time,
+    and stores to one line become visible in program order).
+
+    Two modes:
+    - [Fast]: a single byte array plus accounting; [crash] is not
+      available. Used for throughput benchmarks.
+    - [Crash_safe]: full persistence tracking; [crash] replaces the
+      volatile view with a legal crash image chosen by an RNG or an
+      adversarial callback. Used by recovery tests and experiments.
+
+    Accessor functions do NOT charge simulated time — charging is
+    explicit via [charge_read] / [charge_write] / [charge_seq_write] so
+    that composite structures (a 256 B persistent row, a 1 KiB value)
+    charge once per logical access, matching how CPU caches coalesce
+    same-line traffic. Higher layers ({!Nv_storage}) encapsulate the
+    pairing so engine code cannot forget it. *)
+
+type mode = Fast | Crash_safe
+
+type t
+
+val create : ?mode:mode -> size:int -> unit -> t
+(** Fresh zeroed region of [size] bytes. Default mode is [Fast]. *)
+
+val mode : t -> mode
+val size : t -> int
+
+(** {1 Typed volatile-view accessors}
+
+    Offsets are absolute byte offsets into the region. Multi-byte
+    accessors use little-endian layout and require natural alignment
+    (asserted), which guarantees single-store atomicity as on x86. *)
+
+val get_i64 : t -> int -> int64
+val set_i64 : t -> int -> int64 -> unit
+val get_i32 : t -> int -> int32
+val set_i32 : t -> int -> int32 -> unit
+val get_u8 : t -> int -> int
+val set_u8 : t -> int -> int -> unit
+val read_bytes : t -> off:int -> len:int -> bytes
+val write_bytes : t -> off:int -> bytes -> unit
+val blit_to : t -> src:bytes -> src_off:int -> dst_off:int -> len:int -> unit
+val blit_from : t -> src_off:int -> dst:bytes -> dst_off:int -> len:int -> unit
+val fill : t -> off:int -> len:int -> char -> unit
+
+(** {1 Persistence} *)
+
+val flush : t -> Stats.t -> off:int -> len:int -> unit
+(** Write back all cache lines overlapping the range ([clwb] loop).
+    Content captured now persists at the next [fence]. *)
+
+val fence : t -> Stats.t -> unit
+(** Store fence: all previously flushed lines become persistent. *)
+
+val persist : t -> Stats.t -> off:int -> len:int -> unit
+(** [flush] + [fence]. *)
+
+(** {1 Cost charging} *)
+
+val charge_read : t -> Stats.t -> off:int -> len:int -> unit
+val charge_write : t -> Stats.t -> off:int -> len:int -> unit
+val charge_seq_write : t -> Stats.t -> bytes:int -> unit
+
+(** {1 Crash simulation — [Crash_safe] mode only} *)
+
+val crash : t -> rng:Nv_util.Rng.t -> unit
+(** Replace the volatile view with a random legal crash image: for every
+    line, independently choose among its last persisted content and each
+    prefix-consistent store snapshot. After [crash] the region is clean
+    (volatile = persistent = chosen image), as if remapped at reboot. *)
+
+val crash_with : t -> choose:(line:int -> options:int -> int) -> unit
+(** Adversarial crash: for each dirty line (identified by line index),
+    [choose ~line ~options] picks which of the [options] states survives;
+    [0] is the last persisted content, [options - 1] the newest store. *)
+
+val crash_all_persisted : t -> unit
+(** Crash in which every outstanding store happens to have reached the
+    media (the weakest adversary). *)
+
+val dirty_line_count : t -> int
+(** Number of lines with unpersisted stores (testing aid). *)
+
+val unpersisted_ranges : t -> (int * int) list
+(** Sorted [(line_offset, line_size)] list of dirty lines (testing aid). *)

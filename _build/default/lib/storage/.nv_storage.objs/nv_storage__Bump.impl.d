@@ -1,0 +1,1 @@
+lib/storage/bump.ml: Int64 Nv_nvmm

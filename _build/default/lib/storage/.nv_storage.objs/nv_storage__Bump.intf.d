@@ -1,0 +1,1 @@
+lib/storage/bump.mli: Nv_nvmm

@@ -1,0 +1,1 @@
+lib/storage/freelist.ml: Int64 List Nv_nvmm

@@ -1,0 +1,1 @@
+lib/storage/freelist.mli: Nv_nvmm

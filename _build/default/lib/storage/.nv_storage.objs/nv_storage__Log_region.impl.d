@@ -1,0 +1,1 @@
+lib/storage/log_region.ml: Bytes Int32 Int64 List Nv_nvmm

@@ -1,0 +1,1 @@
+lib/storage/log_region.mli: Nv_nvmm

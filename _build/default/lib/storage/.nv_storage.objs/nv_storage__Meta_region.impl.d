@@ -1,0 +1,1 @@
+lib/storage/meta_region.ml: Array Int64 Nv_nvmm

@@ -1,0 +1,1 @@
+lib/storage/meta_region.mli: Nv_nvmm

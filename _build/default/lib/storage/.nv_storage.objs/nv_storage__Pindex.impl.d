@@ -1,0 +1,1 @@
+lib/storage/pindex.ml: Int64 List Nv_nvmm Nv_util Option

@@ -1,0 +1,1 @@
+lib/storage/pindex.mli: Nv_nvmm

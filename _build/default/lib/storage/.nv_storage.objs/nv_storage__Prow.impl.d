@@ -1,0 +1,1 @@
+lib/storage/prow.ml: Bytes Int32 Nv_nvmm Vptr

@@ -1,0 +1,1 @@
+lib/storage/prow.mli: Nv_nvmm Vptr

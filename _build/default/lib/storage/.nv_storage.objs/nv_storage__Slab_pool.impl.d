@@ -1,0 +1,1 @@
+lib/storage/slab_pool.ml: Array Bump Bytes Freelist Hashtbl Int64 List Nv_nvmm Printf

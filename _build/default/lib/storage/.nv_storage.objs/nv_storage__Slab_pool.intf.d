@@ -1,0 +1,1 @@
+lib/storage/slab_pool.mli: Hashtbl Nv_nvmm

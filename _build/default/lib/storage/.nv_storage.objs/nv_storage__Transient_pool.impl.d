@@ -1,0 +1,1 @@
+lib/storage/transient_pool.ml: Array Bytes Nv_nvmm

@@ -1,0 +1,1 @@
+lib/storage/transient_pool.mli: Nv_nvmm

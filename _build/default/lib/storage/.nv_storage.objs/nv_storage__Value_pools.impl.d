@@ -1,0 +1,1 @@
+lib/storage/value_pools.ml: Hashtbl Int64 List Nv_nvmm Printf Slab_pool Sys

@@ -1,0 +1,1 @@
+lib/storage/value_pools.mli: Hashtbl Nv_nvmm

@@ -1,0 +1,1 @@
+lib/storage/vptr.ml: Format Int64

@@ -1,0 +1,1 @@
+lib/storage/vptr.mli: Format

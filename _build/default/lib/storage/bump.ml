@@ -1,0 +1,30 @@
+module Pmem = Nv_nvmm.Pmem
+
+type t = { pmem : Pmem.t; meta_off : int; capacity : int; mutable offset : int }
+
+let meta_bytes = 16
+
+let slot_off t epoch = if epoch land 1 = 1 then t.meta_off else t.meta_off + 8
+
+let create pmem ~meta_off ~capacity =
+  assert (meta_off land 7 = 0);
+  { pmem; meta_off; capacity; offset = 0 }
+
+let offset t = t.offset
+
+let alloc t =
+  if t.offset >= t.capacity then failwith "Bump.alloc: pool capacity exhausted";
+  let i = t.offset in
+  t.offset <- i + 1;
+  i
+
+let checkpoint t stats ~epoch =
+  let off = slot_off t epoch in
+  Pmem.set_i64 t.pmem off (Int64.of_int t.offset);
+  Pmem.charge_write t.pmem stats ~off ~len:8;
+  Pmem.flush t.pmem stats ~off ~len:8
+
+let recover t ~last_checkpointed_epoch =
+  t.offset <-
+    (if last_checkpointed_epoch = 0 then 0
+     else Int64.to_int (Pmem.get_i64 t.pmem (slot_off t last_checkpointed_epoch)))

@@ -1,0 +1,35 @@
+(** Crash-consistent bump allocator offset (paper section 5.4).
+
+    The working offset lives in DRAM, so allocations cost no NVMM
+    writes. Two checkpointed copies live in NVMM: odd epochs persist
+    slot 1, even epochs slot 2, so the previous epoch's checkpoint is
+    never overwritten before the current epoch commits. Recovery loads
+    the slot belonging to the last checkpointed epoch, reverting every
+    allocation made in the crashed epoch.
+
+    The unit of the offset is up to the caller (the row pool counts
+    rows, the value pool counts slots). *)
+
+type t
+
+val meta_bytes : int
+(** NVMM bytes this allocator needs for its two slots. *)
+
+val create : Nv_nvmm.Pmem.t -> meta_off:int -> capacity:int -> t
+(** Attach to a fresh region; working offset starts at 0. [meta_off]
+    must be 8-byte aligned. *)
+
+val offset : t -> int
+(** Current working (DRAM) offset — the number of units ever bumped. *)
+
+val alloc : t -> int
+(** Take the next unit; returns its index. Raises [Failure] when
+    [capacity] is exhausted (the configuration sized the pool wrong). *)
+
+val checkpoint : t -> Nv_nvmm.Stats.t -> epoch:int -> unit
+(** Persist the working offset into the slot for [epoch] (flush only;
+    the caller issues the epoch-commit fence). *)
+
+val recover : t -> last_checkpointed_epoch:int -> unit
+(** Reload the working offset from [last_checkpointed_epoch]'s slot.
+    An epoch of 0 means nothing was ever checkpointed: offset 0. *)

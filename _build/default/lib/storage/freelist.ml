@@ -1,0 +1,100 @@
+module Pmem = Nv_nvmm.Pmem
+
+type t = {
+  pmem : Pmem.t;
+  meta_off : int;
+  ring_off : int;
+  capacity : int;
+  mutable head : int; (* monotone pop counter *)
+  mutable tail : int; (* monotone append counter *)
+  mutable allowed_tail : int; (* head may not cross this *)
+}
+
+(* Meta slot layout (8 bytes each):
+   0 head1 | 8 head2 | 16 tail1 | 24 tail2 | 32 current_tail | 40 current_tail_epoch *)
+let meta_bytes = 48
+let ring_bytes ~capacity = capacity * 8
+
+let head_slot t epoch = if epoch land 1 = 1 then t.meta_off else t.meta_off + 8
+let tail_slot t epoch = if epoch land 1 = 1 then t.meta_off + 16 else t.meta_off + 24
+let current_tail_off t = t.meta_off + 32
+let current_tail_epoch_off t = t.meta_off + 40
+
+let create pmem ~meta_off ~ring_off ~capacity =
+  assert (meta_off land 7 = 0 && ring_off land 7 = 0 && capacity > 0);
+  { pmem; meta_off; ring_off; capacity; head = 0; tail = 0; allowed_tail = 0 }
+
+let length t = t.tail - t.head
+let allocatable t = t.allowed_tail - t.head
+
+let entry_off t counter = t.ring_off + (counter mod t.capacity * 8)
+
+let alloc t stats =
+  if t.head >= t.allowed_tail then None
+  else begin
+    let off = entry_off t t.head in
+    let v = Pmem.get_i64 t.pmem off in
+    Pmem.charge_read t.pmem stats ~off ~len:8;
+    t.head <- t.head + 1;
+    Some v
+  end
+
+let free t stats v =
+  if t.tail - t.head >= t.capacity then failwith "Freelist.free: ring overflow";
+  let off = entry_off t t.tail in
+  Pmem.set_i64 t.pmem off v;
+  (* Appends are sequential; charge at streaming rate and write the line
+     back immediately so the entry is durable once the next fence hits. *)
+  Pmem.charge_seq_write t.pmem stats ~bytes:8;
+  Pmem.flush t.pmem stats ~off ~len:8;
+  t.tail <- t.tail + 1
+
+let persist_counter t stats off v =
+  Pmem.set_i64 t.pmem off (Int64.of_int v);
+  Pmem.charge_write t.pmem stats ~off ~len:8;
+  Pmem.flush t.pmem stats ~off ~len:8
+
+let checkpoint t stats ~epoch =
+  persist_counter t stats (head_slot t epoch) t.head;
+  persist_counter t stats (tail_slot t epoch) t.tail;
+  (* Once this epoch commits, every entry (including this epoch's
+     transaction frees) may be reused by the next epoch. *)
+  t.allowed_tail <- t.tail
+
+let persist_gc_tail t stats ~epoch =
+  (* Order matters: the tail value must hit NVMM before the epoch tag
+     that validates it, and the ring entries were already flushed by
+     [free]. Both stores share a cache line, so the store-order snapshot
+     model preserves "tail before tag". *)
+  persist_counter t stats (current_tail_off t) t.tail;
+  persist_counter t stats (current_tail_epoch_off t) epoch;
+  t.allowed_tail <- t.tail
+
+let iter_entries t ~f =
+  for c = t.head to t.tail - 1 do
+    f (Pmem.get_i64 t.pmem (entry_off t c))
+  done
+
+let recover t ~last_checkpointed_epoch ~crashed_epoch =
+  let lce = last_checkpointed_epoch in
+  let read off = Int64.to_int (Pmem.get_i64 t.pmem off) in
+  let head = if lce = 0 then 0 else read (head_slot t lce) in
+  let base_tail = if lce = 0 then 0 else read (tail_slot t lce) in
+  let ct_epoch = read (current_tail_epoch_off t) in
+  let tail, gc_frees =
+    if ct_epoch = crashed_epoch && crashed_epoch > 0 then begin
+      (* Major GC of the crashed epoch completed pass 1: its frees are
+         durable and must not be replayed. *)
+      let ct = read (current_tail_off t) in
+      let frees = ref [] in
+      for c = base_tail to ct - 1 do
+        frees := Pmem.get_i64 t.pmem (entry_off t c) :: !frees
+      done;
+      (ct, List.rev !frees)
+    end
+    else (base_tail, [])
+  in
+  t.head <- head;
+  t.tail <- tail;
+  t.allowed_tail <- tail;
+  gc_frees

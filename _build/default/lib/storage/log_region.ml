@@ -1,0 +1,75 @@
+module Pmem = Nv_nvmm.Pmem
+module Layout = Nv_nvmm.Layout
+
+(* Header: 0 count | 8 epoch | 16 total_len. The count is stored first
+   and zeroed at begin_epoch *before* the epoch tag is stored, so every
+   torn prefix is either "stale log" or "epoch tagged, count 0" — never
+   a new tag with a stale count. *)
+type t = {
+  pmem : Pmem.t;
+  off : int;
+  capacity : int;
+  mutable write_pos : int;
+  mutable count : int;
+}
+
+let header_bytes = 24
+
+let reserve builder ~capacity_bytes =
+  Layout.reserve builder ~name:"log" ~len:(header_bytes + capacity_bytes) ()
+
+let attach pmem (r : Layout.region) =
+  { pmem; off = r.Layout.off; capacity = r.Layout.len - header_bytes; write_pos = 0; count = 0 }
+
+let begin_epoch t stats ~epoch =
+  Pmem.set_i64 t.pmem t.off 0L;
+  Pmem.set_i64 t.pmem (t.off + 8) (Int64.of_int epoch);
+  Pmem.set_i64 t.pmem (t.off + 16) 0L;
+  Pmem.charge_write t.pmem stats ~off:t.off ~len:24;
+  Pmem.persist t.pmem stats ~off:t.off ~len:24;
+  t.write_pos <- 0;
+  t.count <- 0
+
+let entry_base t = t.off + header_bytes
+
+let align4 v = (v + 3) land lnot 3
+
+let append t stats record =
+  let len = Bytes.length record in
+  let need = align4 (4 + len) in
+  if t.write_pos + need > t.capacity then failwith "Log_region.append: log region full";
+  let pos = entry_base t + t.write_pos in
+  Pmem.set_i32 t.pmem pos (Int32.of_int len);
+  Pmem.blit_to t.pmem ~src:record ~src_off:0 ~dst_off:(pos + 4) ~len;
+  Pmem.charge_seq_write t.pmem stats ~bytes:need;
+  Pmem.flush t.pmem stats ~off:pos ~len:(4 + len);
+  t.write_pos <- t.write_pos + need;
+  t.count <- t.count + 1
+
+let commit t stats =
+  (* Entries were written back by [append]; the first fence makes them
+     durable before the count that validates them is published. *)
+  Pmem.fence t.pmem stats;
+  Pmem.set_i64 t.pmem (t.off + 16) (Int64.of_int t.write_pos);
+  Pmem.set_i64 t.pmem t.off (Int64.of_int t.count);
+  Pmem.charge_write t.pmem stats ~off:t.off ~len:24;
+  Pmem.persist t.pmem stats ~off:t.off ~len:24
+
+let read_committed t stats =
+  let count = Int64.to_int (Pmem.get_i64 t.pmem t.off) in
+  let epoch = Int64.to_int (Pmem.get_i64 t.pmem (t.off + 8)) in
+  Pmem.charge_read t.pmem stats ~off:t.off ~len:24;
+  if count <= 0 then None
+  else begin
+    let entries = ref [] in
+    let pos = ref (entry_base t) in
+    for _ = 1 to count do
+      let len = Int32.to_int (Pmem.get_i32 t.pmem !pos) in
+      Pmem.charge_read t.pmem stats ~off:!pos ~len:(4 + len);
+      entries := Pmem.read_bytes t.pmem ~off:(!pos + 4) ~len :: !entries;
+      pos := !pos + align4 (4 + len)
+    done;
+    Some (epoch, List.rev !entries)
+  end
+
+let bytes_appended t = t.write_pos

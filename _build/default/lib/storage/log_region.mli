@@ -1,0 +1,39 @@
+(** Epoch input log (paper section 4.3).
+
+    At the start of each epoch, the serialized inputs of every
+    transaction in the batch are appended here and persisted before the
+    execution phase begins. Appends are sequential, so they run at
+    streaming NVMM bandwidth — the efficiency argument of section 4.3.
+
+    The region holds a single epoch's log: the previous epoch is always
+    checkpointed before the next begins, so its log is never needed
+    again. Commit protocol: entries are appended and written back,
+    then a fence makes them durable, and only then is the entry count
+    published (and fenced) — so a committed count implies every entry
+    is durable. An epoch whose log never committed is treated by
+    recovery as having never been submitted. *)
+
+type t
+
+val header_bytes : int
+
+val reserve : Nv_nvmm.Layout.builder -> capacity_bytes:int -> Nv_nvmm.Layout.region
+val attach : Nv_nvmm.Pmem.t -> Nv_nvmm.Layout.region -> t
+
+val begin_epoch : t -> Nv_nvmm.Stats.t -> epoch:int -> unit
+(** Invalidate the previous log and start logging [epoch]. *)
+
+val append : t -> Nv_nvmm.Stats.t -> bytes -> unit
+(** Append one transaction's input record. Raises [Failure] when the
+    region overflows (configuration error). *)
+
+val commit : t -> Nv_nvmm.Stats.t -> unit
+(** Fence entries, publish the count, fence again. After this returns,
+    the epoch's inputs are recoverable. *)
+
+val read_committed : t -> Nv_nvmm.Stats.t -> (int * bytes list) option
+(** [Some (epoch, entries)] if the region holds a committed log;
+    [None] if the last log never committed. Charges sequential reads. *)
+
+val bytes_appended : t -> int
+(** Bytes appended in the current epoch (logging-volume reporting). *)

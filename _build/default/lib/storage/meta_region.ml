@@ -1,0 +1,39 @@
+module Pmem = Nv_nvmm.Pmem
+module Layout = Nv_nvmm.Layout
+
+type t = { pmem : Pmem.t; off : int; n_counters : int }
+
+(* Layout: 0 epoch | then n_counters pairs of (slot1, slot2). *)
+let size ~n_counters = 8 + (n_counters * 16)
+
+let reserve builder ~n_counters =
+  Layout.reserve builder ~name:"meta" ~len:(size ~n_counters) ()
+
+let attach pmem (r : Layout.region) ~n_counters =
+  assert (r.Layout.len >= size ~n_counters);
+  { pmem; off = r.Layout.off; n_counters }
+
+let persist_epoch t stats ~epoch =
+  Pmem.fence t.pmem stats;
+  Pmem.set_i64 t.pmem t.off (Int64.of_int epoch);
+  Pmem.charge_write t.pmem stats ~off:t.off ~len:8;
+  Pmem.persist t.pmem stats ~off:t.off ~len:8
+
+let read_epoch t = Int64.to_int (Pmem.get_i64 t.pmem t.off)
+
+let counter_slot t i epoch = t.off + 8 + (i * 16) + if epoch land 1 = 1 then 0 else 8
+
+let checkpoint_counters t stats ~epoch values =
+  assert (Array.length values = t.n_counters);
+  Array.iteri
+    (fun i v ->
+      let off = counter_slot t i epoch in
+      Pmem.set_i64 t.pmem off v;
+      Pmem.charge_write t.pmem stats ~off ~len:8;
+      Pmem.flush t.pmem stats ~off ~len:8)
+    values
+
+let recover_counters t ~last_checkpointed_epoch =
+  Array.init t.n_counters (fun i ->
+      if last_checkpointed_epoch = 0 then 0L
+      else Pmem.get_i64 t.pmem (counter_slot t i last_checkpointed_epoch))

@@ -1,0 +1,27 @@
+(** Global persistent metadata: the committed epoch number and the
+    dual-slot checkpointed counters used by TPC-C's order-id generators
+    (paper sections 4.3 and 6.2.3).
+
+    The epoch number is the commit record of the whole epoch: it is
+    persisted (fence, store, flush, fence) only after every other write
+    of the epoch has been fenced, so recovery reads it to learn the
+    last fully-checkpointed epoch. *)
+
+type t
+
+val reserve : Nv_nvmm.Layout.builder -> n_counters:int -> Nv_nvmm.Layout.region
+val attach : Nv_nvmm.Pmem.t -> Nv_nvmm.Layout.region -> n_counters:int -> t
+
+val persist_epoch : t -> Nv_nvmm.Stats.t -> epoch:int -> unit
+(** The epoch-commit step of Algorithm 1: fence, publish [epoch],
+    flush, fence. *)
+
+val read_epoch : t -> int
+(** Last committed epoch; 0 if none. *)
+
+val checkpoint_counters : t -> Nv_nvmm.Stats.t -> epoch:int -> int64 array -> unit
+(** Persist counter values into [epoch]'s slots (flush only). *)
+
+val recover_counters : t -> last_checkpointed_epoch:int -> int64 array
+(** Counter values as of the last checkpoint (zeros if never
+    checkpointed). *)

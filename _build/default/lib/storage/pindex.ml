@@ -1,0 +1,151 @@
+module Pmem = Nv_nvmm.Pmem
+module Stats = Nv_nvmm.Stats
+module Layout = Nv_nvmm.Layout
+
+let bucket_bytes = 24
+
+(* state word: table << 48 | epoch << 2 | tombstone | used *)
+let state_used = 1L
+let state_tomb = 2L
+
+type t = {
+  pmem : Pmem.t;
+  off : int;
+  capacity : int;
+  mutable live : int;
+  mutable occupied : int; (* used buckets, live or tombstoned *)
+}
+
+let reserve builder ~capacity =
+  assert (capacity > 0);
+  Layout.reserve builder ~name:"pindex" ~len:(capacity * bucket_bytes) ()
+
+let attach pmem (r : Layout.region) =
+  { pmem; off = r.Layout.off; capacity = r.Layout.len / bucket_bytes; live = 0; occupied = 0 }
+
+let capacity t = t.capacity
+let live_entries t = t.live
+let nvmm_bytes t = t.capacity * bucket_bytes
+
+let bucket_off t i = t.off + (i * bucket_bytes)
+
+let mk_state ~table ~epoch ~tomb =
+  Int64.(
+    logor
+      (shift_left (of_int table) 48)
+      (logor (shift_left (of_int epoch) 2) (logor (if tomb then state_tomb else 0L) state_used)))
+
+let state_table s = Int64.to_int (Int64.shift_right_logical s 48)
+let state_epoch s = Int64.to_int (Int64.logand (Int64.shift_right_logical s 2) 0x3FFFFFFFFFFL)
+let state_is_used s = Int64.logand s state_used = state_used
+let state_is_tomb s = Int64.logand s state_tomb = state_tomb
+
+let read_bucket t i =
+  let off = bucket_off t i in
+  (Pmem.get_i64 t.pmem off, Pmem.get_i64 t.pmem (off + 8), Pmem.get_i64 t.pmem (off + 16))
+
+let hash_of ~key ~table = Nv_util.Fnv.combine (Nv_util.Fnv.hash_int64 key) table
+
+(* Write a bucket's fields with state last, flushing the lines touched;
+   charged at line granularity (batched updates are locality-friendly). *)
+let write_bucket t stats i ~key ~base ~state =
+  let off = bucket_off t i in
+  Pmem.set_i64 t.pmem off key;
+  Pmem.set_i64 t.pmem (off + 8) base;
+  Pmem.set_i64 t.pmem (off + 16) state;
+  Stats.nvmm_write_lines stats 1;
+  Pmem.flush t.pmem stats ~off ~len:bucket_bytes
+
+let write_state t stats i ~state =
+  let off = bucket_off t i in
+  Pmem.set_i64 t.pmem (off + 16) state;
+  Stats.nvmm_write_lines stats 1;
+  Pmem.flush t.pmem stats ~off:(off + 16) ~len:8
+
+(* Probe for (key, table). Returns [`Live i] when a live or tombstoned
+   bucket holds the key, [`Empty (i, first_tomb)] at the end of the
+   chain. *)
+let probe t stats ~key ~table =
+  let start = hash_of ~key ~table mod t.capacity in
+  let rec go i steps first_tomb =
+    if steps > t.capacity then failwith "Pindex: table full during probe";
+    Stats.nvmm_read_lines stats 1;
+    let k, _, s = read_bucket t i in
+    if not (state_is_used s) then `Empty (i, first_tomb)
+    else if k = key && state_table s = table then `At i
+    else
+      let first_tomb =
+        match first_tomb with
+        | Some _ -> first_tomb
+        | None -> if state_is_tomb s then Some i else None
+      in
+      go ((i + 1) mod t.capacity) (steps + 1) first_tomb
+  in
+  go start 0 None
+
+let apply_batch t stats ~epoch ~inserts ~deletes =
+  (* Deletes first so a same-epoch delete + re-insert reuses cleanly. *)
+  List.iter
+    (fun (key, table) ->
+      match probe t stats ~key ~table with
+      | `At i ->
+          let _, _, s = read_bucket t i in
+          if not (state_is_tomb s) then begin
+            t.live <- t.live - 1;
+            write_state t stats i ~state:(mk_state ~table ~epoch ~tomb:true)
+          end
+      | `Empty _ -> ())
+    deletes;
+  List.iter
+    (fun (key, base, table) ->
+      if (t.occupied + 1) * 8 > t.capacity * 7 then
+        failwith "Pindex: capacity exceeded (resize not supported)";
+      match probe t stats ~key ~table with
+      | `At i ->
+          (* Overwrite (replay of a pre-crash insert, or resurrected
+             tombstone): kill the bucket first so a torn update can
+             never pair an old live state with a new base. *)
+          let _, _, s = read_bucket t i in
+          let was_live = not (state_is_tomb s) in
+          write_state t stats i ~state:(mk_state ~table ~epoch:(state_epoch s) ~tomb:true);
+          Pmem.fence t.pmem stats;
+          write_bucket t stats i ~key ~base:(Int64.of_int base)
+            ~state:(mk_state ~table ~epoch ~tomb:false);
+          if not was_live then t.live <- t.live + 1
+      | `Empty (i, first_tomb) ->
+          let target = Option.value first_tomb ~default:i in
+          if target = i then t.occupied <- t.occupied + 1;
+          t.live <- t.live + 1;
+          write_bucket t stats target ~key ~base:(Int64.of_int base)
+            ~state:(mk_state ~table ~epoch ~tomb:false))
+    inserts
+
+let iter_recovered t stats ~crashed_epoch ~f =
+  t.live <- 0;
+  t.occupied <- 0;
+  (* Sequential scan: line-granular read charge for the whole table. *)
+  Stats.nvmm_read_lines stats (((t.capacity * bucket_bytes) + 63) / 64);
+  for i = 0 to t.capacity - 1 do
+    let key, base, s = read_bucket t i in
+    if state_is_used s then begin
+      t.occupied <- t.occupied + 1;
+      let table = state_table s in
+      let tagged_crashed = state_epoch s = crashed_epoch && crashed_epoch > 0 in
+      if state_is_tomb s then begin
+        if tagged_crashed then begin
+          (* Reverted delete: resurrect. *)
+          write_state t stats i ~state:(mk_state ~table ~epoch:0 ~tomb:false);
+          t.live <- t.live + 1;
+          f ~key ~table ~base:(Int64.to_int base)
+        end
+      end
+      else if tagged_crashed then
+        (* Reverted insert: keep the bucket as a tombstone so probe
+           chains stay intact. *)
+        write_state t stats i ~state:(mk_state ~table ~epoch:0 ~tomb:true)
+      else begin
+        t.live <- t.live + 1;
+        f ~key ~table ~base:(Int64.to_int base)
+      end
+    end
+  done

@@ -1,0 +1,65 @@
+(** Persistent row index in NVMM (the paper's section 7 future work:
+    "persisting the row indexes to NVMM to improve recovery time and
+    reduce DRAM requirements further... our epoch-based design will
+    allow persisting index updates in batches efficiently").
+
+    An open-addressing hash table of 24-byte buckets in NVMM:
+
+    {v
+    off 0   key      (int64)
+    off 8   row base (int64)
+    off 16  state    (int64): epoch << 2 | tombstone | used
+    v}
+
+    The DRAM index remains the operational index; this table exists so
+    recovery can rebuild it from a sequential bucket scan instead of
+    scanning (and block-reading) every persistent row. Index changes
+    made during an epoch are buffered in DRAM and applied in one batch
+    at the end of the epoch, before the epoch number is persisted — so
+    the table is consistent as of the last checkpoint, plus entries
+    tagged with the crashed epoch that recovery knows to interpret:
+
+    - a {e live} entry tagged with the crashed epoch is a reverted
+      insert: ignored (its row allocation was rolled back);
+    - a {e tombstone} tagged with the crashed epoch is a reverted
+      delete: the key is still live and is resurrected;
+    - older tombstones stay dead (their slots are reusable).
+
+    Buckets are updated in place (24 bytes within one cache line after
+    alignment... a bucket may straddle; updates write state last), and
+    a batch's writes are flushed before the epoch-commit fence. *)
+
+type t
+
+val reserve : Nv_nvmm.Layout.builder -> capacity:int -> Nv_nvmm.Layout.region
+(** [capacity] buckets (sized >= 2x expected keys; load is capped). *)
+
+val attach : Nv_nvmm.Pmem.t -> Nv_nvmm.Layout.region -> t
+
+val capacity : t -> int
+val live_entries : t -> int
+
+val apply_batch :
+  t ->
+  Nv_nvmm.Stats.t ->
+  epoch:int ->
+  inserts:(int64 * int * int) list ->
+  deletes:(int64 * int) list ->
+  unit
+(** Apply one epoch's index delta: [(key, row_base, table)] inserts and
+    [(key, table)] deletes. Writes are flushed (the caller fences as
+    part of epoch commit). Raises [Failure] when the table would exceed
+    ~87% load. *)
+
+val iter_recovered :
+  t ->
+  Nv_nvmm.Stats.t ->
+  crashed_epoch:int ->
+  f:(key:int64 -> table:int -> base:int -> unit) ->
+  unit
+(** Visit every entry live as of the last checkpoint, resolving
+    crashed-epoch tags as described above; charges sequential
+    line-granular NVMM reads. Also repairs crashed-epoch tags in place
+    so a subsequent recovery sees a clean table. *)
+
+val nvmm_bytes : t -> int

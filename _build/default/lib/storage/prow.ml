@@ -1,0 +1,108 @@
+module Pmem = Nv_nvmm.Pmem
+module Stats = Nv_nvmm.Stats
+module Memspec = Nv_nvmm.Memspec
+
+type version = { sid : int64; ptr : Vptr.t }
+
+let header_bytes = 88
+let min_row_size = header_bytes + 8
+
+let inline_heap_bytes ~row_size =
+  assert (row_size >= min_row_size);
+  row_size - header_bytes
+
+let half_capacity ~row_size = inline_heap_bytes ~row_size / 2
+
+let inline_half_off ~row_size ~half =
+  assert (half = 0 || half = 1);
+  half * half_capacity ~row_size
+
+let key_off base = base
+let table_off base = base + 8
+let flags_off base = base + 12
+let sid_off base = function `V1 -> base + 16 | `V2 -> base + 32
+let ptr_off base = function `V1 -> base + 24 | `V2 -> base + 40
+let heap_off base = base + header_bytes
+
+let flush_header pmem stats ~base = Pmem.flush pmem stats ~off:base ~len:48
+
+let init pmem stats ~base ~key ~table =
+  Pmem.set_i64 pmem (key_off base) key;
+  Pmem.set_i32 pmem (table_off base) (Int32.of_int table);
+  Pmem.set_i32 pmem (flags_off base) 1l;
+  Pmem.set_i64 pmem (sid_off base `V1) 0L;
+  Pmem.set_i64 pmem (ptr_off base `V1) 0L;
+  Pmem.set_i64 pmem (sid_off base `V2) 0L;
+  Pmem.set_i64 pmem (ptr_off base `V2) 0L;
+  Stats.nvmm_write_blocks stats 1;
+  flush_header pmem stats ~base
+
+let peek_version pmem ~base slot =
+  { sid = Pmem.get_i64 pmem (sid_off base slot); ptr = Pmem.get_i64 pmem (ptr_off base slot) }
+
+let peek_versions pmem ~base = (peek_version pmem ~base `V1, peek_version pmem ~base `V2)
+let peek_key pmem ~base = Pmem.get_i64 pmem (key_off base)
+let peek_table pmem ~base = Int32.to_int (Pmem.get_i32 pmem (table_off base))
+
+let read_header pmem stats ~base =
+  Stats.nvmm_read_blocks stats 1;
+  let v1, v2 = peek_versions pmem ~base in
+  (peek_key pmem ~base, peek_table pmem ~base, v1, v2)
+
+let set_version pmem stats ~base ~slot ~sid ~ptr ?(charge = true) () =
+  (* SID strictly before pointer: recovery relies on this order. *)
+  Pmem.set_i64 pmem (sid_off base slot) sid;
+  Pmem.set_i64 pmem (ptr_off base slot) ptr;
+  if charge then Stats.nvmm_write_blocks stats 1;
+  flush_header pmem stats ~base
+
+let set_version_ptr pmem stats ~base ~slot ~ptr ?(charge = true) () =
+  Pmem.set_i64 pmem (ptr_off base slot) ptr;
+  if charge then Stats.nvmm_write_blocks stats 1;
+  flush_header pmem stats ~base
+
+let gc_move pmem stats ~base ?(charge = true) () =
+  let v2 = peek_version pmem ~base `V2 in
+  Pmem.set_i64 pmem (sid_off base `V1) v2.sid;
+  Pmem.set_i64 pmem (ptr_off base `V1) v2.ptr;
+  Pmem.set_i64 pmem (sid_off base `V2) 0L;
+  Pmem.set_i64 pmem (ptr_off base `V2) 0L;
+  if charge then Stats.nvmm_write_blocks stats 1;
+  flush_header pmem stats ~base
+
+(* Blocks touched by an in-row byte range, excluding the row's first
+   block (assumed already charged by the header access). *)
+let extra_blocks stats ~base ~off ~len =
+  let spec = Stats.spec stats in
+  if len <= 0 then 0
+  else
+    let block = spec.Memspec.nvmm_block in
+    let header_block = base / block in
+    let first = off / block and last = (off + len - 1) / block in
+    let n = last - first + 1 in
+    if first = header_block then n - 1 else n
+
+let write_inline_value pmem stats ~base ~row_size ~half ~data ?(charge = true) () =
+  let len = Bytes.length data in
+  assert (len > 0 && len <= half_capacity ~row_size);
+  let hoff = inline_half_off ~row_size ~half in
+  let abs = heap_off base + hoff in
+  Pmem.blit_to pmem ~src:data ~src_off:0 ~dst_off:abs ~len;
+  if charge then Stats.nvmm_write_blocks stats (extra_blocks stats ~base ~off:abs ~len);
+  Pmem.flush pmem stats ~off:abs ~len;
+  Vptr.inline ~heap_off:hoff ~len
+
+let read_value pmem stats ~base ptr ?(header_charged = true) () =
+  match Vptr.classify ptr with
+  | Vptr.Null -> invalid_arg "Prow.read_value: null pointer"
+  | Vptr.Inline { heap_off = hoff; len } ->
+      let abs = heap_off base + hoff in
+      let blocks =
+        if header_charged then extra_blocks stats ~base ~off:abs ~len
+        else Memspec.blocks_touched (Stats.spec stats) ~off:abs ~len
+      in
+      Stats.nvmm_read_blocks stats blocks;
+      Pmem.read_bytes pmem ~off:abs ~len
+  | Vptr.Pool { off; len } ->
+      Pmem.charge_read pmem stats ~off ~len;
+      Pmem.read_bytes pmem ~off ~len

@@ -1,0 +1,130 @@
+(** Persistent row codec (paper Figure 3 and sections 4.5, 5.3).
+
+    A persistent row is a fixed-size record in NVMM holding the row key,
+    a dual-version header, and an inline heap for small values:
+
+    {v
+    off  0  key        (int64)
+    off  8  table id   (int32)
+    off 12  flags      (int32)
+    off 16  v1.sid     (int64)   v1 = stale / older checkpointed version
+    off 24  v1.ptr     (Vptr)
+    off 32  v2.sid     (int64)   v2 = most recent version
+    off 40  v2.ptr     (Vptr)
+    off 48  reserved   (40 bytes)
+    off 88  inline heap (row_size - 88 bytes)
+    v}
+
+    Both version slots live in the first CPU cache line, and every
+    version update stores the SID strictly before the pointer, which is
+    what lets recovery disambiguate the three torn-update cases of
+    section 4.5. The invariant maintained by the engine is
+    [v1.sid < v2.sid] whenever both versions exist; SID 0 means empty.
+
+    The inline heap is split into two halves so the two versions can
+    each inline a value without moving bytes when versions rotate:
+    with the default 256-byte row the heap is 168 bytes, matching the
+    paper, and each half holds values up to 84 bytes.
+
+    Charging: reads/writes of the version header charge one NVMM block;
+    inline values charge only the blocks not already covered by the
+    header access, so a fully-inline row costs exactly one block per
+    access — the locality benefit section 6.4 measures. *)
+
+type version = { sid : int64; ptr : Vptr.t }
+
+val header_bytes : int
+(** 88. *)
+
+val inline_heap_bytes : row_size:int -> int
+val half_capacity : row_size:int -> int
+(** Max value length each inline half can hold. *)
+
+val inline_half_off : row_size:int -> half:int -> int
+(** Heap offset of half 0 or 1. *)
+
+val min_row_size : int
+(** Smallest legal row size (header plus a non-empty heap). *)
+
+(** {1 Row lifecycle} *)
+
+val init :
+  Nv_nvmm.Pmem.t -> Nv_nvmm.Stats.t -> base:int -> key:int64 -> table:int -> unit
+(** Initialize a freshly-allocated row: set key/table, clear both
+    versions. Charges one block write and flushes the header line. *)
+
+(** {1 Header access} *)
+
+val read_header :
+  Nv_nvmm.Pmem.t -> Nv_nvmm.Stats.t -> base:int -> int64 * int * version * version
+(** [key, table, v1, v2], charging one block read. *)
+
+val peek_versions : Nv_nvmm.Pmem.t -> base:int -> version * version
+(** Uncharged versions read — for tests, assertions and code paths that
+    already paid for the header block. *)
+
+val peek_key : Nv_nvmm.Pmem.t -> base:int -> int64
+val peek_table : Nv_nvmm.Pmem.t -> base:int -> int
+
+(** {1 Version updates}
+
+    Each of these writes the SID before the pointer and flushes the
+    header line. [charge] (default true) bills one block write; pass
+    false when the caller is coalescing several header stores into one
+    row update (e.g. a minor-GC move followed by the final write). *)
+
+val set_version :
+  Nv_nvmm.Pmem.t ->
+  Nv_nvmm.Stats.t ->
+  base:int ->
+  slot:[ `V1 | `V2 ] ->
+  sid:int64 ->
+  ptr:Vptr.t ->
+  ?charge:bool ->
+  unit ->
+  unit
+
+val set_version_ptr :
+  Nv_nvmm.Pmem.t ->
+  Nv_nvmm.Stats.t ->
+  base:int ->
+  slot:[ `V1 | `V2 ] ->
+  ptr:Vptr.t ->
+  ?charge:bool ->
+  unit ->
+  unit
+(** Pointer-only fix-up (recovery torn-case repair). *)
+
+val gc_move :
+  Nv_nvmm.Pmem.t -> Nv_nvmm.Stats.t -> base:int -> ?charge:bool -> unit -> unit
+(** The collector step both GCs share: copy v2 into v1 (SID first), then
+    null v2 (SID first). Afterwards v1 holds the most recent
+    checkpointed version and v2 is free. *)
+
+(** {1 Values} *)
+
+val write_inline_value :
+  Nv_nvmm.Pmem.t ->
+  Nv_nvmm.Stats.t ->
+  base:int ->
+  row_size:int ->
+  half:int ->
+  data:bytes ->
+  ?charge:bool ->
+  unit ->
+  Vptr.t
+(** Store [data] into inline half [half], flush it, and return the
+    pointer to record. Charges only blocks beyond the header block. *)
+
+val read_value :
+  Nv_nvmm.Pmem.t ->
+  Nv_nvmm.Stats.t ->
+  base:int ->
+  Vptr.t ->
+  ?header_charged:bool ->
+  unit ->
+  bytes
+(** Fetch the value bytes for a pointer. Inline values charge only
+    blocks beyond the header block when [header_charged] (default
+    true); pool values charge their full range. Raises [Invalid_argument]
+    on [Null]. *)

@@ -1,0 +1,44 @@
+module Stats = Nv_nvmm.Stats
+module Memspec = Nv_nvmm.Memspec
+
+type vref = { core : int; off : int; len : int }
+type arena = { mutable buf : bytes; mutable used : int }
+type t = { arenas : arena array; mutable peak : int }
+
+let create ~cores ~initial_capacity =
+  {
+    arenas = Array.init cores (fun _ -> { buf = Bytes.create initial_capacity; used = 0 });
+    peak = 0;
+  }
+
+let used_bytes t = Array.fold_left (fun acc a -> acc + a.used) 0 t.arenas
+let peak_bytes t = t.peak
+
+let ensure a len =
+  let cap = Bytes.length a.buf in
+  if a.used + len > cap then begin
+    let ncap = max (cap * 2) (a.used + len) in
+    let nb = Bytes.create ncap in
+    Bytes.blit a.buf 0 nb 0 a.used;
+    a.buf <- nb
+  end
+
+let lines stats len = Memspec.lines_touched (Stats.spec stats) ~off:0 ~len
+
+let write t stats ?(charge = true) ~core data =
+  let a = t.arenas.(core) in
+  let len = Bytes.length data in
+  ensure a len;
+  Bytes.blit data 0 a.buf a.used len;
+  let off = a.used in
+  a.used <- a.used + ((len + 7) land lnot 7);
+  if charge then Stats.dram_write stats ~lines:(lines stats len) ();
+  let total = used_bytes t in
+  if total > t.peak then t.peak <- total;
+  { core; off; len }
+
+let read t stats ?(charge = true) { core; off; len } =
+  if charge then Stats.dram_read stats ~lines:(lines stats len) ();
+  Bytes.sub t.arenas.(core).buf off len
+
+let reset t = Array.iter (fun a -> a.used <- 0) t.arenas

@@ -1,0 +1,34 @@
+(** Per-core transient pool in DRAM (paper section 5.1).
+
+    Intermediate row versions written within an epoch live here; the
+    whole pool is discarded at the end of the epoch by resetting each
+    core's bump offset — no per-object deallocation, no garbage
+    collection. Value bytes are stored in per-core byte arenas and
+    referenced by {!vref}s, and every access charges DRAM cache-line
+    costs to the accessing core's stats. *)
+
+type t
+
+type vref = { core : int; off : int; len : int }
+(** Reference to value bytes in some core's arena, valid until the next
+    [reset]. *)
+
+val create : cores:int -> initial_capacity:int -> t
+(** Arenas grow on demand; [initial_capacity] is per core. *)
+
+val write : t -> Nv_nvmm.Stats.t -> ?charge:bool -> core:int -> bytes -> vref
+(** Bump-allocate and store one value on [core]'s arena. [charge]
+    (default true) bills DRAM line writes; engine variants that model
+    NVMM-resident version values pass false and charge NVMM costs
+    themselves. *)
+
+val read : t -> Nv_nvmm.Stats.t -> ?charge:bool -> vref -> bytes
+
+val reset : t -> unit
+(** Free the entire pool (epoch end). O(cores). *)
+
+val used_bytes : t -> int
+(** Bytes currently allocated across all cores. *)
+
+val peak_bytes : t -> int
+(** High-water mark across the run (memory reporting, Figure 8). *)

@@ -1,0 +1,49 @@
+type t = int64
+
+type classified =
+  | Null
+  | Inline of { heap_off : int; len : int }
+  | Pool of { off : int; len : int }
+
+let null = 0L
+let is_null t = t = 0L
+
+let max_inline_off = (1 lsl 21) - 1
+let max_inline_len = (1 lsl 22) - 1
+let max_pool_off = (1 lsl 43) - 2
+let max_pool_len = (1 lsl 20) - 1
+
+let inline ~heap_off ~len =
+  assert (heap_off >= 0 && heap_off <= max_inline_off);
+  assert (len > 0 && len <= max_inline_len);
+  Int64.(logor 1L (logor (shift_left (of_int heap_off) 1) (shift_left (of_int len) 22)))
+
+let pool ~off ~len =
+  assert (off > 0 && off land 1 = 0 && off / 2 <= max_pool_off);
+  assert (len > 0 && len <= max_pool_len);
+  Int64.(logor (shift_left (of_int (off / 2)) 1) (shift_left (of_int len) 43))
+
+let classify t =
+  if t = 0L then Null
+  else if Int64.logand t 1L = 1L then
+    Inline
+      {
+        heap_off = Int64.to_int (Int64.logand (Int64.shift_right_logical t 1) 0x1FFFFFL);
+        len = Int64.to_int (Int64.logand (Int64.shift_right_logical t 22) 0x3FFFFFL);
+      }
+  else
+    Pool
+      {
+        off = 2 * Int64.to_int (Int64.logand (Int64.shift_right_logical t 1) 0x3FFFFFFFFFFL);
+        len = Int64.to_int (Int64.logand (Int64.shift_right_logical t 43) 0xFFFFFL);
+      }
+
+let len t = match classify t with Null -> 0 | Inline { len; _ } | Pool { len; _ } -> len
+
+let equal = Int64.equal
+
+let pp ppf t =
+  match classify t with
+  | Null -> Format.fprintf ppf "null"
+  | Inline { heap_off; len } -> Format.fprintf ppf "inline(+%d,%d)" heap_off len
+  | Pool { off; len } -> Format.fprintf ppf "pool(@%d,%d)" off len

@@ -1,0 +1,35 @@
+(** Persistent value pointers.
+
+    A version slot in a persistent row holds a serial ID and a value
+    pointer. The pointer is a single 64-bit word (so it can be updated
+    with one atomic store, which the recovery protocol relies on) that
+    encodes where the value bytes live:
+
+    - [Null] — no value;
+    - [Inline of {heap_off; len}] — inside the row's inline heap, at
+      byte offset [heap_off] from the heap start;
+    - [Pool of {off; len}] — at absolute pmem offset [off] in the
+      persistent value pool.
+
+    Layout: bit 0 tags inline pointers. Inline: bits 1–21 heap offset,
+    bits 22–43 length. Pool: bits 1–42 offset/2 (pool slots are
+    256-aligned so offsets are even), bits 43–62 length. *)
+
+type t = int64
+
+type classified =
+  | Null
+  | Inline of { heap_off : int; len : int }
+  | Pool of { off : int; len : int }
+
+val null : t
+val is_null : t -> bool
+val inline : heap_off:int -> len:int -> t
+val pool : off:int -> len:int -> t
+val classify : t -> classified
+
+val len : t -> int
+(** Value length; 0 for [Null]. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

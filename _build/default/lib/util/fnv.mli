@@ -1,0 +1,16 @@
+(** FNV-1a hashing for index keys.
+
+    A fixed, platform-independent hash keeps index layouts (and therefore
+    simulated memory-access patterns) identical across runs and machines. *)
+
+val hash_int64 : int64 -> int
+(** Hash a 64-bit key to a non-negative OCaml int. *)
+
+val hash_int : int -> int
+(** Hash a native int key to a non-negative OCaml int. *)
+
+val hash_string : string -> int
+(** Hash a string to a non-negative OCaml int. *)
+
+val combine : int -> int -> int
+(** Mix two hash values. *)

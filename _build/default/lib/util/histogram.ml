@@ -1,0 +1,69 @@
+(* Buckets are geometric with ratio 2^(1/4), giving <= ~19% relative error
+   on percentile queries, plenty for reporting latency shapes. *)
+
+let ratio_log = log 2.0 /. 4.0
+let n_buckets = 512
+
+type t = {
+  buckets : int array;
+  mutable count : int;
+  mutable sum : float;
+  mutable min_v : float;
+  mutable max_v : float;
+}
+
+let create () =
+  {
+    buckets = Array.make n_buckets 0;
+    count = 0;
+    sum = 0.0;
+    min_v = infinity;
+    max_v = neg_infinity;
+  }
+
+let bucket_of v = if v <= 1.0 then 0 else min (n_buckets - 1) (1 + int_of_float (log v /. ratio_log))
+
+let upper_bound i = if i = 0 then 1.0 else exp (float_of_int i *. ratio_log)
+
+let add t v =
+  let v = if v < 0.0 then 0.0 else v in
+  t.buckets.(bucket_of v) <- t.buckets.(bucket_of v) + 1;
+  t.count <- t.count + 1;
+  t.sum <- t.sum +. v;
+  if v < t.min_v then t.min_v <- v;
+  if v > t.max_v then t.max_v <- v
+
+let count t = t.count
+let mean t = if t.count = 0 then nan else t.sum /. float_of_int t.count
+let min_value t = t.min_v
+let max_value t = t.max_v
+
+let percentile t p =
+  if t.count = 0 then nan
+  else begin
+    let target = int_of_float (ceil (p /. 100.0 *. float_of_int t.count)) in
+    let target = if target < 1 then 1 else target in
+    let rec loop i acc =
+      if i >= n_buckets then t.max_v
+      else
+        let acc = acc + t.buckets.(i) in
+        if acc >= target then Float.min (upper_bound i) t.max_v else loop (i + 1) acc
+    in
+    loop 0 0
+  end
+
+let merge a b =
+  let r = create () in
+  Array.blit a.buckets 0 r.buckets 0 n_buckets;
+  Array.iteri (fun i v -> r.buckets.(i) <- r.buckets.(i) + v) b.buckets;
+  r.count <- a.count + b.count;
+  r.sum <- a.sum +. b.sum;
+  r.min_v <- Float.min a.min_v b.min_v;
+  r.max_v <- Float.max a.max_v b.max_v;
+  r
+
+let pp ppf t =
+  if t.count = 0 then Format.fprintf ppf "<empty>"
+  else
+    Format.fprintf ppf "n=%d mean=%.1f p50=%.1f p99=%.1f max=%.1f" t.count (mean t)
+      (percentile t 50.0) (percentile t 99.0) t.max_v

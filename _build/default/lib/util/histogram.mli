@@ -1,0 +1,25 @@
+(** Streaming latency / size histograms with power-of-two-ish buckets.
+
+    Used by the harness to report epoch latency distributions (Figure 12)
+    without retaining every sample. *)
+
+type t
+
+val create : unit -> t
+
+val add : t -> float -> unit
+(** Record one sample (any non-negative value; unit chosen by caller). *)
+
+val count : t -> int
+val mean : t -> float
+val min_value : t -> float
+val max_value : t -> float
+
+val percentile : t -> float -> float
+(** [percentile t p] for [p] in [\[0, 100\]]; approximate (bucket upper
+    bound). Returns [nan] when empty. *)
+
+val merge : t -> t -> t
+(** Combine two histograms (used to aggregate per-core stats). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,21 @@
+(** Binary min-heap priority queue.
+
+    The discrete-event scheduler keeps pending core events here, ordered
+    by (simulated time, tie-break sequence) so that runs are fully
+    deterministic even when events share a timestamp. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val push : 'a t -> prio:float -> 'a -> unit
+(** Insert with priority. Elements inserted earlier win ties. *)
+
+val pop : 'a t -> 'a option
+(** Remove and return the minimum, or [None] when empty. *)
+
+val peek_prio : 'a t -> float option
+(** Priority of the minimum without removing it. *)
+
+val size : 'a t -> int
+val is_empty : 'a t -> bool

@@ -1,0 +1,49 @@
+type t = {
+  n : int;
+  theta : float;
+  (* Precomputed constants for rejection-inversion sampling
+     (Hörmann & Derflinger 1996), valid for theta <> 1.0. *)
+  q : float; (* 1 - theta *)
+  h_x1 : float;
+  h_n : float;
+  s : float;
+}
+
+(* H(x) = integral of x^-theta: (x^(1-theta) - 1) / (1-theta). *)
+let h q x = ((x ** q) -. 1.0) /. q
+let h_inv q x = ((q *. x) +. 1.0) ** (1.0 /. q)
+
+let create ~n ~theta =
+  assert (n > 0);
+  assert (theta >= 0.0);
+  (* Avoid the theta = 1 singularity by nudging; the distribution is
+     continuous in theta so the perturbation is invisible. *)
+  let theta = if Float.abs (theta -. 1.0) < 1e-9 then 1.0 -. 1e-9 else theta in
+  let q = 1.0 -. theta in
+  {
+    n;
+    theta;
+    q;
+    h_x1 = h q 1.5 -. 1.0;
+    h_n = h q (float_of_int n +. 0.5);
+    s = 2.0 -. h_inv q (h q 2.5 -. (2.0 ** -.theta));
+  }
+
+let n t = t.n
+
+let sample t rng =
+  if t.theta = 0.0 then Rng.int rng t.n
+  else begin
+    let rec loop () =
+      let u = t.h_x1 +. (Rng.float rng *. (t.h_n -. t.h_x1)) in
+      let x = h_inv t.q u in
+      let k = Float.round x in
+      (* Accept k when u lies under the histogram bar for rank k. *)
+      if u >= h t.q (k +. 0.5) -. (k ** -.t.theta) || k -. x <= t.s then
+        int_of_float k
+      else loop ()
+    in
+    let k = loop () in
+    let k = if k < 1 then 1 else if k > t.n then t.n else k in
+    k - 1
+  end

@@ -1,0 +1,20 @@
+(** Zipfian key-popularity distribution.
+
+    Used by the YCSB workload generator for skewed key selection. The
+    sampler uses the rejection-inversion method of Hörmann and Derflinger,
+    which needs O(1) setup and O(1) expected time per sample, so large
+    keyspaces cost nothing to set up (unlike the classic YCSB generator
+    that precomputes the full harmonic sum). *)
+
+type t
+
+val create : n:int -> theta:float -> t
+(** [create ~n ~theta] prepares a sampler over ranks [\[0, n)] with skew
+    exponent [theta >= 0]. [theta = 0.0] degenerates to uniform;
+    YCSB's default skew is 0.99. Requires [n > 0]. *)
+
+val sample : t -> Rng.t -> int
+(** [sample t rng] draws a rank in [\[0, n)]; rank 0 is the most popular. *)
+
+val n : t -> int
+(** Size of the keyspace. *)

@@ -1,0 +1,1 @@
+lib/workloads/smallbank.ml: Array Buffer Bytes Char Int64 List Nv_util Nvcaracal Printf Seq Workload

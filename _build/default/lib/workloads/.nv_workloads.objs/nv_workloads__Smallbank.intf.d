@@ -1,0 +1,1 @@
+lib/workloads/smallbank.mli: Workload

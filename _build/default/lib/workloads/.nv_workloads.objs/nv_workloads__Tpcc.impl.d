@@ -1,0 +1,1 @@
+lib/workloads/tpcc.ml: Array Buffer Bytes Char Fun Hashtbl Int32 Int64 List Nv_util Nvcaracal Printf Seq Workload

@@ -1,0 +1,1 @@
+lib/workloads/ycsb.ml: Array Buffer Bytes Char Hashtbl Int64 Nv_util Nvcaracal Printf Seq Workload

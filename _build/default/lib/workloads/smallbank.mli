@@ -1,0 +1,35 @@
+(** SmallBank OLTP benchmark (paper section 6.2.2, Table 2).
+
+    Two tables — checking and savings — with 8-byte balances (fully
+    inlineable in 256-byte persistent rows). Five transaction types are
+    chosen uniformly; 90% of transactions target a hotspot subset of
+    customers, and the low/high contention configurations differ in the
+    hotspot size. TransactSavings and WriteCheck abort on insufficient
+    funds at a ~10% rate, exercising the user-level abort path
+    (section 4.6).
+
+    Paper scale is 18M customers (180M for SmallBank-large); here both
+    are divided by ~1000, keeping the hotspot-to-dataset ratios. *)
+
+type config = {
+  customers : int;
+  hot_customers : int;
+  hot_probability : float;  (** fraction of txns that target the hotspot (0.9) *)
+  abort_probability : float;  (** insufficient-funds rate for the 2 abortable types *)
+}
+
+val default : config
+(** 18,000 customers, low contention (1,000 hot). *)
+
+val large : config -> config
+(** 10x customers (SmallBank-large). *)
+
+val with_contention : [ `Low | `High ] -> config -> config
+(** Low: hotspot = customers/18 (the paper's 1M-of-18M ratio); high:
+    hotspot = customers/360 — scaled so hot rows see a paper-like
+    number of updates per (smaller) epoch. *)
+
+val checking_table : int
+val savings_table : int
+
+val make : config -> Workload.t

@@ -1,0 +1,463 @@
+module Txn = Nvcaracal.Txn
+module Table = Nvcaracal.Table
+
+type config = {
+  warehouses : int;
+  districts : int;
+  customers_per_district : int;
+  items : int;
+  max_order_lines : int;
+  invalid_item_rate : float;
+}
+
+let default =
+  {
+    warehouses = 8;
+    districts = 10;
+    customers_per_district = 60;
+    items = 1000;
+    max_order_lines = 15;
+    invalid_item_rate = 0.01;
+  }
+
+let with_contention level c =
+  { c with warehouses = (match level with `Low -> 8 | `High -> 1) }
+
+let warehouse_t = 0
+let district_t = 1
+let customer_t = 2
+let item_t = 3
+let stock_t = 4
+let order_t = 5
+let new_order_t = 6
+let order_line_t = 7
+let history_t = 8
+let last_order_t = 9
+
+let tables =
+  [
+    Table.make ~id:warehouse_t ~name:"warehouse" ();
+    Table.make ~id:district_t ~name:"district" ();
+    Table.make ~id:customer_t ~name:"customer" ();
+    Table.make ~id:item_t ~name:"item" ();
+    Table.make ~id:stock_t ~name:"stock" ();
+    Table.make ~id:order_t ~name:"order" ~index:Table.Ordered ();
+    Table.make ~id:new_order_t ~name:"new_order" ~index:Table.Ordered ();
+    Table.make ~id:order_line_t ~name:"order_line" ~index:Table.Ordered ();
+    Table.make ~id:history_t ~name:"history" ();
+    Table.make ~id:last_order_t ~name:"last_order" ();
+  ]
+
+(* --- Keys ---------------------------------------------------------- *)
+
+let dcode ~w ~d = (w * 10) + d
+let warehouse_key w = Int64.of_int w
+let district_key ~w ~d = Int64.of_int (dcode ~w ~d)
+let customer_key ~w ~d ~c = Int64.of_int ((dcode ~w ~d * 1_000_000) + c)
+let item_key i = Int64.of_int i
+let stock_key ~w ~i = Int64.of_int ((w * 10_000_000) + i)
+let order_key ~w ~d ~o = Int64.logor (Int64.shift_left (Int64.of_int (dcode ~w ~d)) 32) (Int64.of_int o)
+
+let order_line_key ~w ~d ~o ~line =
+  Int64.logor
+    (Int64.shift_left (Int64.of_int (dcode ~w ~d)) 36)
+    (Int64.of_int ((o * 16) + line))
+
+(* --- Values: fixed vectors of int64 fields ------------------------- *)
+
+let mk_fields vals =
+  let b = Bytes.create (8 * Array.length vals) in
+  Array.iteri (fun i v -> Bytes.set_int64_le b (8 * i) v) vals;
+  b
+
+let field b i = Bytes.get_int64_le b (8 * i)
+
+let set_field b i v =
+  let b = Bytes.copy b in
+  Bytes.set_int64_le b (8 * i) v;
+  b
+
+(* warehouse: [ytd]                customer: [balance; ytd_payment; payment_cnt; delivery_cnt]
+   district:  [ytd]                item:     [price]
+   stock:     [quantity; ytd; order_cnt]
+   order:     [customer; ol_cnt; carrier]
+   new_order: [o]                  order_line: [item; supply_w; qty; amount; delivery_flag]
+   history:   [w; d; c; amount]    last_order: [o] *)
+
+(* --- Counters ------------------------------------------------------ *)
+
+(* One persistent order-id counter per district, plus one for history
+   primary keys. *)
+let counter_of_district cfg ~w ~d =
+  ignore cfg;
+  dcode ~w ~d
+
+let history_counter cfg = cfg.warehouses * 10
+
+let n_counters cfg = history_counter cfg + 1
+
+(* --- Inputs -------------------------------------------------------- *)
+
+type input =
+  | New_order of { w : int; d : int; c : int; lines : (int * int * int) list; invalid : bool }
+      (** lines: (item, supply warehouse, quantity) *)
+  | Payment of { w : int; d : int; c : int; amount : int }
+  | Order_status of { w : int; d : int; c : int }
+  | Delivery of { w : int; carrier : int }
+  | Stock_level of { w : int; d : int; threshold : int }
+
+let encode input =
+  let buf = Buffer.create 64 in
+  let add_i v = Buffer.add_int32_le buf (Int32.of_int v) in
+  (match input with
+  | New_order { w; d; c; lines; invalid } ->
+      Buffer.add_uint8 buf 0;
+      add_i w;
+      add_i d;
+      add_i c;
+      Buffer.add_uint8 buf (if invalid then 1 else 0);
+      Buffer.add_uint8 buf (List.length lines);
+      List.iter
+        (fun (item, sw, qty) ->
+          add_i item;
+          add_i sw;
+          add_i qty)
+        lines
+  | Payment { w; d; c; amount } ->
+      Buffer.add_uint8 buf 1;
+      add_i w;
+      add_i d;
+      add_i c;
+      add_i amount
+  | Order_status { w; d; c } ->
+      Buffer.add_uint8 buf 2;
+      add_i w;
+      add_i d;
+      add_i c
+  | Delivery { w; carrier } ->
+      Buffer.add_uint8 buf 3;
+      add_i w;
+      add_i carrier
+  | Stock_level { w; d; threshold } ->
+      Buffer.add_uint8 buf 4;
+      add_i w;
+      add_i d;
+      add_i threshold);
+  Buffer.to_bytes buf
+
+let decode b =
+  let geti pos = Int32.to_int (Bytes.get_int32_le b pos) in
+  match Char.code (Bytes.get b 0) with
+  | 0 ->
+      let w = geti 1 and d = geti 5 and c = geti 9 in
+      let invalid = Bytes.get b 13 <> '\000' in
+      let n = Char.code (Bytes.get b 14) in
+      let lines =
+        List.init n (fun i ->
+            let base = 15 + (12 * i) in
+            (geti base, geti (base + 4), geti (base + 8)))
+      in
+      New_order { w; d; c; lines; invalid }
+  | 1 -> Payment { w = geti 1; d = geti 5; c = geti 9; amount = geti 13 }
+  | 2 -> Order_status { w = geti 1; d = geti 5; c = geti 9 }
+  | 3 -> Delivery { w = geti 1; carrier = geti 5 }
+  | 4 -> Stock_level { w = geti 1; d = geti 5; threshold = geti 9 }
+  | _ -> invalid_arg "Tpcc.decode"
+
+(* --- Transactions --------------------------------------------------- *)
+
+let require = function Some v -> v | None -> failwith "tpcc: missing row"
+
+let new_order_txn cfg ~w ~d ~c ~lines ~invalid =
+  let input = encode (New_order { w; d; c; lines; invalid }) in
+  let write_set =
+    Txn.Update { table = last_order_t; key = customer_key ~w ~d ~c }
+    :: List.map
+         (fun (item, sw, _) -> Txn.Update { table = stock_t; key = stock_key ~w:sw ~i:item })
+         lines
+  in
+  let insert_gen ctx =
+    let o = Int64.to_int (ctx.Txn.Ctx.counter_next ~idx:(counter_of_district cfg ~w ~d)) in
+    Hashtbl.replace ctx.Txn.Ctx.notes 0 (Int64.of_int o);
+    let okey = order_key ~w ~d ~o in
+    Txn.Insert
+      {
+        table = order_t;
+        key = okey;
+        data = Some (mk_fields [| Int64.of_int c; Int64.of_int (List.length lines); -1L |]);
+      }
+    :: Txn.Insert { table = new_order_t; key = okey; data = Some (mk_fields [| Int64.of_int o |]) }
+    :: List.mapi
+         (fun line _ ->
+           Txn.Insert { table = order_line_t; key = order_line_key ~w ~d ~o ~line; data = None })
+         lines
+  in
+  let body ctx =
+    if invalid then begin
+      (* Unused item id: TPC-C's 1% user abort, issued before writes. *)
+      ignore (ctx.Txn.Ctx.read ~table:item_t ~key:(item_key 0));
+      ctx.Txn.Ctx.abort ()
+    end;
+    let o = Int64.to_int (Hashtbl.find ctx.Txn.Ctx.notes 0) in
+    List.iteri
+      (fun line (item, sw, qty) ->
+        let price = field (require (ctx.Txn.Ctx.read ~table:item_t ~key:(item_key item))) 0 in
+        let skey = stock_key ~w:sw ~i:item in
+        let stock = require (ctx.Txn.Ctx.read ~table:stock_t ~key:skey) in
+        let quantity = field stock 0 in
+        let quantity =
+          if Int64.to_int quantity >= qty + 10 then Int64.sub quantity (Int64.of_int qty)
+          else Int64.of_int (Int64.to_int quantity - qty + 91)
+        in
+        let stock = set_field stock 0 quantity in
+        let stock = set_field stock 1 (Int64.add (field stock 1) (Int64.of_int qty)) in
+        let stock = set_field stock 2 (Int64.add (field stock 2) 1L) in
+        ctx.Txn.Ctx.write ~table:stock_t ~key:skey stock;
+        let amount = Int64.mul price (Int64.of_int qty) in
+        ctx.Txn.Ctx.write ~table:order_line_t ~key:(order_line_key ~w ~d ~o ~line)
+          (mk_fields [| Int64.of_int item; Int64.of_int sw; Int64.of_int qty; amount; 0L |]))
+      lines;
+    ctx.Txn.Ctx.write ~table:last_order_t ~key:(customer_key ~w ~d ~c)
+      (mk_fields [| Int64.of_int o |])
+  in
+  Txn.make ~insert_gen ~input ~write_set body
+
+let payment_txn cfg ~w ~d ~c ~amount =
+  let input = encode (Payment { w; d; c; amount }) in
+  let write_set =
+    [
+      Txn.Update { table = warehouse_t; key = warehouse_key w };
+      Txn.Update { table = district_t; key = district_key ~w ~d };
+      Txn.Update { table = customer_t; key = customer_key ~w ~d ~c };
+    ]
+  in
+  let insert_gen ctx =
+    let h = ctx.Txn.Ctx.counter_next ~idx:(history_counter cfg) in
+    [
+      Txn.Insert
+        {
+          table = history_t;
+          key = h;
+          data =
+            Some
+              (mk_fields
+                 [| Int64.of_int w; Int64.of_int d; Int64.of_int c; Int64.of_int amount |]);
+        };
+    ]
+  in
+  let body ctx =
+    let amt = Int64.of_int amount in
+    let wh = require (ctx.Txn.Ctx.read ~table:warehouse_t ~key:(warehouse_key w)) in
+    ctx.Txn.Ctx.write ~table:warehouse_t ~key:(warehouse_key w)
+      (set_field wh 0 (Int64.add (field wh 0) amt));
+    let di = require (ctx.Txn.Ctx.read ~table:district_t ~key:(district_key ~w ~d)) in
+    ctx.Txn.Ctx.write ~table:district_t ~key:(district_key ~w ~d)
+      (set_field di 0 (Int64.add (field di 0) amt));
+    let ckey = customer_key ~w ~d ~c in
+    let cust = require (ctx.Txn.Ctx.read ~table:customer_t ~key:ckey) in
+    let cust = set_field cust 0 (Int64.sub (field cust 0) amt) in
+    let cust = set_field cust 1 (Int64.add (field cust 1) amt) in
+    let cust = set_field cust 2 (Int64.add (field cust 2) 1L) in
+    ctx.Txn.Ctx.write ~table:customer_t ~key:ckey cust
+  in
+  Txn.make ~insert_gen ~input ~write_set body
+
+let order_status_txn ~w ~d ~c =
+  let input = encode (Order_status { w; d; c }) in
+  let body ctx =
+    match ctx.Txn.Ctx.read ~table:last_order_t ~key:(customer_key ~w ~d ~c) with
+    | None -> ()
+    | Some lo ->
+        let o = Int64.to_int (field lo 0) in
+        if o >= 0 then begin
+          ignore (ctx.Txn.Ctx.read ~table:order_t ~key:(order_key ~w ~d ~o));
+          ignore
+            (ctx.Txn.Ctx.range_read ~table:order_line_t
+               ~lo:(order_line_key ~w ~d ~o ~line:0)
+               ~hi:(order_line_key ~w ~d ~o ~line:15))
+        end
+  in
+  Txn.make ~input ~write_set:[] body
+
+let delivery_txn cfg ~w ~carrier =
+  let input = encode (Delivery { w; carrier }) in
+  (* The oldest undelivered order per district is only known once the
+     insert step has run — a dynamic write set (Caracal's two-step
+     initialization). *)
+  let dynamic_write_set ctx =
+    List.concat_map
+      (fun d ->
+        let lo_bound = order_key ~w ~d ~o:0 in
+        let hi_code = Int64.of_int (dcode ~w ~d) in
+        match ctx.Txn.Ctx.min_above ~table:new_order_t lo_bound with
+        | Some (key, _) when Int64.shift_right_logical key 32 = hi_code ->
+            let o = Int64.to_int (Int64.logand key 0xFFFFFFFFL) in
+            Hashtbl.replace ctx.Txn.Ctx.notes d (Int64.of_int o);
+            let order = ctx.Txn.Ctx.read ~table:order_t ~key:(order_key ~w ~d ~o) in
+            let ol_cnt, c =
+              match order with
+              | Some data -> (Int64.to_int (field data 1), Int64.to_int (field data 0))
+              | None -> (0, -1)
+            in
+            Txn.Delete { table = new_order_t; key }
+            :: Txn.Update { table = order_t; key = order_key ~w ~d ~o }
+            :: Txn.Update { table = customer_t; key = customer_key ~w ~d ~c }
+            :: List.init ol_cnt (fun line ->
+                   Txn.Update { table = order_line_t; key = order_line_key ~w ~d ~o ~line })
+        | Some _ | None -> [])
+      (List.init cfg.districts (fun d -> d))
+  in
+  let body ctx =
+    for d = 0 to cfg.districts - 1 do
+      match Hashtbl.find_opt ctx.Txn.Ctx.notes d with
+      | None -> ()
+      | Some o64 -> (
+          let o = Int64.to_int o64 in
+          let nkey = order_key ~w ~d ~o in
+          (* If an earlier Delivery in this epoch already took this
+             order, its tombstone is visible: skip the district. *)
+          match ctx.Txn.Ctx.read ~table:new_order_t ~key:nkey with
+          | None -> ()
+          | Some _ ->
+              ctx.Txn.Ctx.delete ~table:new_order_t ~key:nkey;
+              let order = require (ctx.Txn.Ctx.read ~table:order_t ~key:nkey) in
+              let c = Int64.to_int (field order 0) in
+              let ol_cnt = Int64.to_int (field order 1) in
+              ctx.Txn.Ctx.write ~table:order_t ~key:nkey
+                (set_field order 2 (Int64.of_int carrier));
+              let total = ref 0L in
+              for line = 0 to ol_cnt - 1 do
+                let olkey = order_line_key ~w ~d ~o ~line in
+                match ctx.Txn.Ctx.read ~table:order_line_t ~key:olkey with
+                | None -> ()
+                | Some ol ->
+                    total := Int64.add !total (field ol 3);
+                    ctx.Txn.Ctx.write ~table:order_line_t ~key:olkey (set_field ol 4 1L)
+              done;
+              let ckey = customer_key ~w ~d ~c in
+              let cust = require (ctx.Txn.Ctx.read ~table:customer_t ~key:ckey) in
+              let cust = set_field cust 0 (Int64.add (field cust 0) !total) in
+              let cust = set_field cust 3 (Int64.add (field cust 3) 1L) in
+              ctx.Txn.Ctx.write ~table:customer_t ~key:ckey cust)
+    done
+  in
+  Txn.make ~dynamic_write_set ~input ~write_set:[] body
+
+let stock_level_txn ~w ~d ~threshold =
+  let input = encode (Stock_level { w; d; threshold }) in
+  let body ctx =
+    match ctx.Txn.Ctx.max_below ~table:order_t (order_key ~w ~d ~o:0xFFFFFFF) with
+    | Some (key, _) when Int64.shift_right_logical key 32 = Int64.of_int (dcode ~w ~d) ->
+        let o_hi = Int64.to_int (Int64.logand key 0xFFFFFFFFL) in
+        let o_lo = max 0 (o_hi - 19) in
+        let lines =
+          ctx.Txn.Ctx.range_read ~table:order_line_t
+            ~lo:(order_line_key ~w ~d ~o:o_lo ~line:0)
+            ~hi:(order_line_key ~w ~d ~o:o_hi ~line:15)
+        in
+        let items = Hashtbl.create 32 in
+        List.iter (fun (_, ol) -> Hashtbl.replace items (field ol 0) ()) lines;
+        let low = ref 0 in
+        Hashtbl.iter
+          (fun item () ->
+            let skey = stock_key ~w ~i:(Int64.to_int item) in
+            match ctx.Txn.Ctx.read ~table:stock_t ~key:skey with
+            | Some stock -> if Int64.to_int (field stock 0) < threshold then incr low
+            | None -> ())
+          items;
+        ignore !low
+    | Some _ | None -> ()
+  in
+  Txn.make ~input ~write_set:[] body
+
+let txn_of cfg input =
+  match input with
+  | New_order { w; d; c; lines; invalid } -> new_order_txn cfg ~w ~d ~c ~lines ~invalid
+  | Payment { w; d; c; amount } -> payment_txn cfg ~w ~d ~c ~amount
+  | Order_status { w; d; c } -> order_status_txn ~w ~d ~c
+  | Delivery { w; carrier } -> delivery_txn cfg ~w ~carrier
+  | Stock_level { w; d; threshold } -> stock_level_txn ~w ~d ~threshold
+
+(* --- Generation ----------------------------------------------------- *)
+
+let gen_input cfg rng =
+  let w = Nv_util.Rng.int rng cfg.warehouses in
+  let d = Nv_util.Rng.int rng cfg.districts in
+  let c = Nv_util.Rng.int rng cfg.customers_per_district in
+  (* Standard mix: 45% NewOrder, 43% Payment, 4% each of the rest. *)
+  let roll = Nv_util.Rng.int rng 100 in
+  if roll < 45 then begin
+    let n_lines = 5 + Nv_util.Rng.int rng (cfg.max_order_lines - 4) in
+    let lines =
+      List.init n_lines (fun _ ->
+          let item = Nv_util.Rng.int rng cfg.items in
+          (* 1% remote warehouse, as in the spec. *)
+          let sw =
+            if cfg.warehouses > 1 && Nv_util.Rng.int rng 100 = 0 then
+              (w + 1 + Nv_util.Rng.int rng (cfg.warehouses - 1)) mod cfg.warehouses
+            else w
+          in
+          (item, sw, 1 + Nv_util.Rng.int rng 10))
+    in
+    let invalid = Nv_util.Rng.float rng < cfg.invalid_item_rate in
+    New_order { w; d; c; lines; invalid }
+  end
+  else if roll < 88 then Payment { w; d; c; amount = 1 + Nv_util.Rng.int rng 5000 }
+  else if roll < 92 then Order_status { w; d; c }
+  else if roll < 96 then Delivery { w; carrier = 1 + Nv_util.Rng.int rng 10 }
+  else Stock_level { w; d; threshold = 10 + Nv_util.Rng.int rng 10 }
+
+let load cfg () =
+  let warehouses = Seq.init cfg.warehouses (fun w -> (warehouse_t, warehouse_key w, mk_fields [| 0L |])) in
+  let districts =
+    Seq.concat_map
+      (fun w ->
+        Seq.init cfg.districts (fun d -> (district_t, district_key ~w ~d, mk_fields [| 0L |])))
+      (Seq.init cfg.warehouses Fun.id)
+  in
+  let customers =
+    Seq.concat_map
+      (fun w ->
+        Seq.concat_map
+          (fun d ->
+            Seq.init cfg.customers_per_district (fun c ->
+                ( customer_t,
+                  customer_key ~w ~d ~c,
+                  mk_fields [| 0L; 0L; 0L; 0L |] )))
+          (Seq.init cfg.districts Fun.id))
+      (Seq.init cfg.warehouses Fun.id)
+  in
+  let last_orders =
+    Seq.concat_map
+      (fun w ->
+        Seq.concat_map
+          (fun d ->
+            Seq.init cfg.customers_per_district (fun c ->
+                (last_order_t, customer_key ~w ~d ~c, mk_fields [| -1L |])))
+          (Seq.init cfg.districts Fun.id))
+      (Seq.init cfg.warehouses Fun.id)
+  in
+  let items =
+    Seq.init cfg.items (fun i ->
+        (item_t, item_key i, mk_fields [| Int64.of_int (1 + (i * 7 mod 100)) |]))
+  in
+  let stock =
+    Seq.concat_map
+      (fun w ->
+        Seq.init cfg.items (fun i -> (stock_t, stock_key ~w ~i, mk_fields [| 50L; 0L; 0L |])))
+      (Seq.init cfg.warehouses Fun.id)
+  in
+  Seq.concat
+    (List.to_seq [ warehouses; districts; customers; last_orders; items; stock ])
+
+let make cfg =
+  {
+    Workload.name = Printf.sprintf "tpcc(w=%d)" cfg.warehouses;
+    tables;
+    n_counters = n_counters cfg;
+    revert_on_recovery = true;
+    typical_value = 40;
+    load = load cfg;
+    gen_batch = (fun rng n -> Array.init n (fun _ -> txn_of cfg (gen_input cfg rng)));
+    rebuild = (fun input -> txn_of cfg (decode input));
+  }

@@ -1,0 +1,12 @@
+type t = {
+  name : string;
+  tables : Nvcaracal.Table.t list;
+  n_counters : int;
+  revert_on_recovery : bool;
+  typical_value : int;
+  load : unit -> (int * int64 * bytes) Seq.t;
+  gen_batch : Nv_util.Rng.t -> int -> Nvcaracal.Txn.t array;
+  rebuild : bytes -> Nvcaracal.Txn.t;
+}
+
+let total_rows t = Seq.fold_left (fun acc _ -> acc + 1) 0 (t.load ())

@@ -1,0 +1,22 @@
+(** Common shape of the three benchmarks (paper section 6.2).
+
+    A workload is engine-agnostic: it yields initial table contents and
+    deterministic batches of {!Nvcaracal.Txn.t}, which both the
+    deterministic engine and the Zen baseline execute. [rebuild]
+    deserializes a logged input record back into its transaction, which
+    is what deterministic replay uses after a crash. *)
+
+type t = {
+  name : string;
+  tables : Nvcaracal.Table.t list;
+  n_counters : int;  (** persistent counters the workload needs *)
+  revert_on_recovery : bool;  (** TPC-C's non-deterministic order ids *)
+  typical_value : int;  (** representative value size, bytes *)
+  load : unit -> (int * int64 * bytes) Seq.t;
+  gen_batch : Nv_util.Rng.t -> int -> Nvcaracal.Txn.t array;
+  rebuild : bytes -> Nvcaracal.Txn.t;
+}
+
+val total_rows : t -> int
+(** Number of rows [load] yields (memoized on first call is NOT done;
+    callers should treat this as O(load)). *)

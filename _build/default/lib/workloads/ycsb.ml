@@ -1,0 +1,140 @@
+module Txn = Nvcaracal.Txn
+module Table = Nvcaracal.Table
+
+type distribution = Hotspot | Zipfian of float
+
+type config = {
+  rows : int;
+  value_size : int;
+  update_bytes : int;
+  hot_rows : int;
+  hot_per_txn : int;
+  ops_per_txn : int;
+  distribution : distribution;
+}
+
+let default =
+  {
+    rows = 50_000;
+    value_size = 1000;
+    update_bytes = 100;
+    hot_rows = 256;
+    hot_per_txn = 0;
+    ops_per_txn = 10;
+    distribution = Hotspot;
+  }
+
+let smallrow c = { c with value_size = 64; update_bytes = 64 }
+let large c = { c with rows = c.rows * 4 }
+
+let with_contention level c =
+  { c with hot_per_txn = (match level with `Low -> 0 | `Medium -> 4 | `High -> 7) }
+
+let zipfian ~theta c = { c with distribution = Zipfian theta }
+
+let table = Table.make ~id:0 ~name:"usertable" ()
+
+(* Input record: [nonce:8][key:8 x ops]. The nonce seeds the rewritten
+   prefix so replay regenerates identical bytes. *)
+let encode ~nonce keys =
+  let buf = Buffer.create (8 + (8 * Array.length keys)) in
+  Buffer.add_int64_le buf nonce;
+  Array.iter (fun k -> Buffer.add_int64_le buf k) keys;
+  Buffer.to_bytes buf
+
+let decode b =
+  let nonce = Bytes.get_int64_le b 0 in
+  let n = (Bytes.length b - 8) / 8 in
+  (nonce, Array.init n (fun i -> Bytes.get_int64_le b (8 + (8 * i))))
+
+(* Rewrite the first [update_bytes] of [old] with a pattern derived
+   from (nonce, key): deterministic, distinct per write. *)
+let apply_update cfg ~nonce ~key old =
+  let v = Bytes.copy old in
+  let n = min cfg.update_bytes (Bytes.length v) in
+  let seed = Int64.logxor nonce key in
+  for i = 0 to n - 1 do
+    Bytes.set v i
+      (Char.chr ((Int64.to_int (Int64.shift_right_logical seed (i mod 8 * 8)) + i) land 0xFF))
+  done;
+  v
+
+let txn_of cfg ~nonce keys =
+  let write_set =
+    Array.to_list (Array.map (fun key -> Txn.Update { table = 0; key }) keys)
+  in
+  Txn.make ~input:(encode ~nonce keys) ~write_set (fun ctx ->
+      Array.iter
+        (fun key ->
+          match ctx.Txn.Ctx.read ~table:0 ~key with
+          | None -> failwith "ycsb: missing row"
+          | Some old -> ctx.Txn.Ctx.write ~table:0 ~key (apply_update cfg ~nonce ~key old))
+        keys)
+
+let initial_value cfg i =
+  let v = Bytes.make cfg.value_size '\000' in
+  Bytes.set_int64_le v 0 (Int64.of_int i);
+  v
+
+let gen_keys cfg ?zipf rng =
+  (* Unique keys per transaction, drawn per the configured distribution:
+     the paper's hotspot knob, or classic YCSB Zipfian skew. *)
+  let keys = Array.make cfg.ops_per_txn 0L in
+  let seen = Hashtbl.create 16 in
+  let unique draw =
+    let rec go () =
+      let k = draw () in
+      if Hashtbl.mem seen k then go ()
+      else begin
+        Hashtbl.replace seen k ();
+        k
+      end
+    in
+    go ()
+  in
+  (match (cfg.distribution, zipf) with
+  | Hotspot, _ ->
+      for i = 0 to cfg.ops_per_txn - 1 do
+        let bound = if i < cfg.hot_per_txn then cfg.hot_rows else cfg.rows in
+        keys.(i) <- unique (fun () -> Int64.of_int (Nv_util.Rng.int rng bound))
+      done
+  | Zipfian _, Some z ->
+      for i = 0 to cfg.ops_per_txn - 1 do
+        (* Scramble ranks so popular keys spread over the keyspace. *)
+        keys.(i) <-
+          unique (fun () ->
+              let rank = Nv_util.Zipf.sample z rng in
+              Int64.of_int (Nv_util.Fnv.hash_int rank mod cfg.rows))
+      done
+  | Zipfian _, None -> assert false);
+  keys
+
+let make cfg =
+  let zipf =
+    match cfg.distribution with
+    | Hotspot -> None
+    | Zipfian theta -> Some (Nv_util.Zipf.create ~n:cfg.rows ~theta)
+  in
+  {
+    Workload.name =
+      (match cfg.distribution with
+      | Hotspot ->
+          Printf.sprintf "ycsb(rows=%d,val=%d,hot=%d/%d)" cfg.rows cfg.value_size
+            cfg.hot_per_txn cfg.ops_per_txn
+      | Zipfian theta ->
+          Printf.sprintf "ycsb(rows=%d,val=%d,zipf=%.2f)" cfg.rows cfg.value_size theta);
+    tables = [ table ];
+    n_counters = 0;
+    revert_on_recovery = false;
+    typical_value = cfg.value_size;
+    load = (fun () -> Seq.init cfg.rows (fun i -> (0, Int64.of_int i, initial_value cfg i)));
+    gen_batch =
+      (fun rng n ->
+        Array.init n (fun _ ->
+            let nonce = Nv_util.Rng.next_int64 rng in
+            txn_of cfg ~nonce (gen_keys cfg ?zipf rng)));
+    rebuild =
+      (fun input ->
+        let nonce, keys = decode input in
+        txn_of cfg ~nonce keys);
+  }

@@ -1,0 +1,46 @@
+(** YCSB microbenchmark, Caracal-style (paper section 6.2.1, Table 1).
+
+    One table; each transaction groups 10 read-modify-write operations
+    to unique keys. The contention knob designates 256 rows as "hot"
+    and draws a configurable number of each transaction's 10 keys from
+    the hot set; remaining keys are uniform over the whole table.
+    Each write rewrites the row value with its first [update_bytes]
+    bytes replaced.
+
+    Paper configurations (dataset sizes here are scaled by ~1/80; the
+    contention and hot-set ratios are preserved — see DESIGN.md):
+    - default: 1000-byte values (values live in the persistent value
+      pool; rows cannot inline them at 256-byte row size);
+    - YCSB-smallrow: 64-byte values, fully rewritten (inlineable);
+    - YCSB-large: 4x the rows. *)
+
+type distribution =
+  | Hotspot  (** the paper's contention knob: k-of-10 keys from a hot set *)
+  | Zipfian of float  (** classic YCSB skew (theta, typically 0.99) *)
+
+type config = {
+  rows : int;
+  value_size : int;
+  update_bytes : int;  (** prefix rewritten by each write *)
+  hot_rows : int;  (** size of the hot set (paper: 256) *)
+  hot_per_txn : int;  (** how many of the 10 keys are hot: 0 / 4 / 7 *)
+  ops_per_txn : int;
+  distribution : distribution;
+}
+
+val default : config
+(** 50k rows, 1000-byte values, 100-byte updates, low contention. *)
+
+val smallrow : config -> config
+(** 64-byte values rewritten entirely. *)
+
+val large : config -> config
+(** 4x the rows. *)
+
+val with_contention : [ `Low | `Medium | `High ] -> config -> config
+(** 0, 4 or 7 of the 10 keys hot (Table 1). *)
+
+val zipfian : theta:float -> config -> config
+(** Replace the hotspot knob with classic YCSB Zipfian key selection. *)
+
+val make : config -> Workload.t

@@ -1,0 +1,1 @@
+lib/zen/zen_db.ml: Array Bytes Float Hashtbl Int64 List Nv_index Nv_nvmm Nvcaracal Option Seq Zen_store

@@ -1,0 +1,1 @@
+lib/zen/zen_db.mli: Nv_nvmm Nvcaracal Seq

@@ -1,0 +1,1 @@
+lib/zen/zen_store.ml: Array Bytes Int32 Nv_nvmm Printf

@@ -1,0 +1,1 @@
+lib/zen/zen_store.mli: Nv_nvmm

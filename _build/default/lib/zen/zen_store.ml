@@ -1,0 +1,104 @@
+module Pmem = Nv_nvmm.Pmem
+module Stats = Nv_nvmm.Stats
+module Layout = Nv_nvmm.Layout
+
+let header_bytes = 24
+
+type core_state = {
+  arena_off : int;
+  slots : int;
+  mutable bump : int;
+  mutable free : int list;
+  mutable free_len : int;
+}
+
+type t = { pmem : Pmem.t; record_size : int; per_core : core_state array }
+
+let reserve builder ~cores ~slots_per_core ~record_size =
+  assert (record_size > header_bytes);
+  let per_core =
+    Array.init cores (fun c ->
+        let r =
+          Layout.reserve builder
+            ~name:(Printf.sprintf "zen.%d.arena" c)
+            ~len:(slots_per_core * record_size) ()
+        in
+        (r.Layout.off, slots_per_core))
+  in
+  (per_core, record_size)
+
+let attach pmem ~per_core ~record_size =
+  {
+    pmem;
+    record_size;
+    per_core =
+      Array.map
+        (fun (arena_off, slots) -> { arena_off; slots; bump = 0; free = []; free_len = 0 })
+        per_core;
+  }
+
+let record_size t = t.record_size
+
+let alloc t stats ~core =
+  let cs = t.per_core.(core) in
+  Stats.dram_read stats ();
+  match cs.free with
+  | off :: rest ->
+      cs.free <- rest;
+      cs.free_len <- cs.free_len - 1;
+      off
+  | [] ->
+      if cs.bump >= cs.slots then failwith "Zen_store.alloc: arena full";
+      let off = cs.arena_off + (cs.bump * t.record_size) in
+      cs.bump <- cs.bump + 1;
+      off
+
+let free t ~core off =
+  let cs = t.per_core.(core) in
+  cs.free <- off :: cs.free;
+  cs.free_len <- cs.free_len + 1
+
+let write_record t stats ~off ~key ~table ~version ~data =
+  let len = Bytes.length data in
+  assert (len <= t.record_size - header_bytes);
+  Pmem.set_i64 t.pmem off key;
+  Pmem.set_i32 t.pmem (off + 8) (Int32.of_int table);
+  Pmem.set_i32 t.pmem (off + 12) (Int32.of_int len);
+  Pmem.set_i64 t.pmem (off + 16) version;
+  Pmem.blit_to t.pmem ~src:data ~src_off:0 ~dst_off:(off + header_bytes) ~len;
+  Pmem.charge_write t.pmem stats ~off ~len:(header_bytes + len);
+  Pmem.flush t.pmem stats ~off ~len:(header_bytes + len)
+
+let read_value t stats ~off =
+  let len = Int32.to_int (Pmem.get_i32 t.pmem (off + 12)) in
+  Pmem.charge_read t.pmem stats ~off ~len:(header_bytes + len);
+  Pmem.read_bytes t.pmem ~off:(off + header_bytes) ~len
+
+let peek t ~off =
+  ( Pmem.get_i64 t.pmem off,
+    Int32.to_int (Pmem.get_i32 t.pmem (off + 8)),
+    Pmem.get_i64 t.pmem (off + 16),
+    Int32.to_int (Pmem.get_i32 t.pmem (off + 12)) )
+
+let invalidate t stats ~off =
+  Pmem.set_i64 t.pmem (off + 16) 0L;
+  Pmem.charge_write t.pmem stats ~off ~len:8;
+  Pmem.flush t.pmem stats ~off ~len:8
+
+let iter_slots t ~f =
+  Array.iter
+    (fun cs ->
+      for i = 0 to cs.slots - 1 do
+        f ~off:(cs.arena_off + (i * t.record_size))
+      done)
+    t.per_core
+
+let set_fully_bumped t = Array.iter (fun cs -> cs.bump <- cs.slots) t.per_core
+
+let bumped_slots t = Array.fold_left (fun acc cs -> acc + cs.bump) 0 t.per_core
+let free_list_slots t = Array.fold_left (fun acc cs -> acc + cs.free_len) 0 t.per_core
+
+let nvmm_bytes t =
+  Array.fold_left (fun acc cs -> acc + (cs.slots * t.record_size)) 0 t.per_core
+
+let dram_freelist_bytes t = free_list_slots t * 16

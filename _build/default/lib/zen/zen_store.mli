@@ -1,0 +1,72 @@
+(** Zen-style NVMM record store (the comparator of paper section 6.3,
+    after Liu et al., VLDB 2021).
+
+    Zen is a log-free OLTP engine: every committed update writes a new
+    fixed-size record directly to NVMM with per-record commit metadata;
+    there is no separate log and no checkpoint phase. Free slots are
+    tracked in DRAM free lists (one of Zen's costs the paper contrasts
+    with the dual-version design), and recovery rebuilds everything by
+    scanning the record arenas — more than once.
+
+    Record layout ([record_size] total):
+    {v
+    off  0  key      (int64)
+    off  8  table    (int32)
+    off 12  len      (int32)
+    off 16  version  (int64)  commit counter; 0 = never written
+    off 24  value    (record_size - 24 bytes)
+    v} *)
+
+type t
+
+val header_bytes : int
+
+val reserve :
+  Nv_nvmm.Layout.builder -> cores:int -> slots_per_core:int -> record_size:int ->
+  (int * int) array * int
+(** Returns per-core (arena_off, slots) and the record size echo;
+    feed to [attach]. *)
+
+val attach :
+  Nv_nvmm.Pmem.t -> per_core:(int * int) array -> record_size:int -> t
+
+val record_size : t -> int
+
+val alloc : t -> Nv_nvmm.Stats.t -> core:int -> int
+(** A free record slot: from the core's DRAM free list, else bumped.
+    Raises [Failure] when the arena is full. *)
+
+val free : t -> core:int -> int -> unit
+(** Return a slot to the core's DRAM free list (no NVMM traffic). *)
+
+val write_record :
+  t -> Nv_nvmm.Stats.t -> off:int -> key:int64 -> table:int -> version:int64 ->
+  data:bytes -> unit
+(** Persist one record: header + value, charged as NVMM block writes,
+    written back immediately. The caller fences once per commit. *)
+
+val read_value : t -> Nv_nvmm.Stats.t -> off:int -> bytes
+(** Value bytes of a record, charging header + value blocks. *)
+
+val peek : t -> off:int -> int64 * int * int64 * int
+(** (key, table, version, len) without charging (recovery helpers
+    charge their own scan reads). *)
+
+val invalidate : t -> Nv_nvmm.Stats.t -> off:int -> unit
+(** Clear a record's version (used when a row is deleted so recovery
+    does not resurrect it). *)
+
+val iter_slots : t -> f:(off:int -> unit) -> unit
+(** Every slot of every arena, written or not — Zen's recovery scan
+    walks the whole arena, which is why its recovery cost scales with
+    capacity (paper section 6.8). *)
+
+val set_fully_bumped : t -> unit
+(** Mark every arena fully bumped (recovery claims all slots via the
+    rebuilt free lists). *)
+
+val bumped_slots : t -> int
+val free_list_slots : t -> int
+val nvmm_bytes : t -> int
+val dram_freelist_bytes : t -> int
+(** DRAM consumed by the free lists (a Zen overhead the paper notes). *)

@@ -1,0 +1,1 @@
+test/test_aria.ml: Alcotest Array Bytes Char Config Db Hashtbl Int64 List Nv_util Nvcaracal Option Printf QCheck QCheck_alcotest Report Seq String Table Txn

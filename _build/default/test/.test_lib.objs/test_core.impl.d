@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Bytes Char Config Db Int64 List Nv_util Nvcaracal Option Printf Replication Report Seq Session String Table Test_recovery Txn

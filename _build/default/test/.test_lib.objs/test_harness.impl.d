@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Buffer Format List Nv_harness Nv_util Nv_workloads Nvcaracal Printf String

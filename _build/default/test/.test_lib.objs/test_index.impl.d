@@ -1,0 +1,1 @@
+test/test_index.ml: Alcotest Hashtbl Int64 List Nv_index Nv_nvmm QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_nvmm.ml: Alcotest Bytes Hashtbl Int64 Nv_nvmm Nv_util Printf QCheck QCheck_alcotest

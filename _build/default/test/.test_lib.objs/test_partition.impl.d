@@ -1,0 +1,1 @@
+test/test_partition.ml: Alcotest Array Bytes Config Db Int64 List Nv_util Nvcaracal Partition Printf Seq Table Txn

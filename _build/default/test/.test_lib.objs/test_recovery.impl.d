@@ -1,0 +1,1 @@
+test/test_recovery.ml: Alcotest Array Buffer Bytes Char Config Db Fun Hashtbl Int64 List Nv_nvmm Nv_util Nvcaracal Printf QCheck QCheck_alcotest Report Seq String Table Txn

@@ -1,0 +1,1 @@
+test/test_storage.ml: Alcotest Bytes Hashtbl Int64 List Nv_nvmm Nv_storage Nv_util Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Array Bytes Config Db Int64 List Nv_util Nv_workloads Nv_zen Nvcaracal Printf Report Table Txn

@@ -1,0 +1,1 @@
+test/test_zen.ml: Alcotest Array Bytes Int64 List Nv_nvmm Nv_util Nv_zen Nvcaracal Option Printf Seq

@@ -1,0 +1,679 @@
+(* Engine-level tests: epoch processing, visibility, aborts, deletes,
+   GC behaviour, caching, design variants. *)
+
+open Nvcaracal
+
+let bytes_of_string = Bytes.of_string
+
+let small_config ?(variant = Config.Nvcaracal) ?(crash_safe = false) ?(cores = 4)
+    ?(minor_gc = true) ?(cached_versions = true) ?(row_size = 256) () =
+  Config.make ~variant ~cores ~row_size ~cache_k:3 ~minor_gc ~cached_versions ~crash_safe
+    ~rows_per_core:4096 ~values_per_core:4096 ~freelist_capacity:4096
+    ~log_capacity:(1 lsl 20) ()
+
+let one_table = [ Table.make ~id:0 ~name:"t" () ]
+
+let mk_db ?variant ?crash_safe ?cores ?minor_gc ?cached_versions ?row_size () =
+  let config = small_config ?variant ?crash_safe ?cores ?minor_gc ?cached_versions ?row_size () in
+  let db = Db.create ~config ~tables:one_table () in
+  db
+
+let load_n db n =
+  Db.bulk_load db
+    (Seq.init n (fun i -> (0, Int64.of_int i, bytes_of_string (Printf.sprintf "v0-%d" i))))
+
+let update_txn key data =
+  Txn.make ~input:Bytes.empty ~write_set:[ Txn.Update { table = 0; key } ] (fun ctx ->
+      ctx.Txn.Ctx.write ~table:0 ~key data)
+
+let rmw_txn key f =
+  Txn.make ~input:Bytes.empty ~write_set:[ Txn.Update { table = 0; key } ] (fun ctx ->
+      match ctx.Txn.Ctx.read ~table:0 ~key with
+      | None -> failwith "rmw: missing row"
+      | Some v -> ctx.Txn.Ctx.write ~table:0 ~key (f v))
+
+let check_committed db key expected =
+  match Db.read_committed db ~table:0 ~key with
+  | None -> Alcotest.failf "key %Ld missing" key
+  | Some v -> Alcotest.(check string) (Printf.sprintf "key %Ld" key) expected (Bytes.to_string v)
+
+let test_basic_update () =
+  let db = mk_db () in
+  load_n db 16;
+  check_committed db 3L "v0-3";
+  let stats = Db.run_epoch db [| update_txn 3L (bytes_of_string "new3") |] in
+  Alcotest.(check int) "txns" 1 stats.Report.txns;
+  Alcotest.(check int) "persistent writes" 1 stats.Report.persistent_writes;
+  check_committed db 3L "new3";
+  check_committed db 4L "v0-4"
+
+let test_last_writer_wins () =
+  let db = mk_db () in
+  load_n db 4;
+  let txns = Array.init 10 (fun i -> update_txn 1L (bytes_of_string (Printf.sprintf "w%d" i))) in
+  let stats = Db.run_epoch db txns in
+  check_committed db 1L "w9";
+  (* Ten writes to one row: only the last goes to NVMM. *)
+  Alcotest.(check int) "version writes" 10 stats.Report.version_writes;
+  Alcotest.(check int) "persistent writes" 1 stats.Report.persistent_writes;
+  Alcotest.(check int) "transient" 9 stats.Report.transient_only_writes
+
+let test_serial_visibility () =
+  let db = mk_db () in
+  load_n db 4;
+  (* A chain of read-modify-writes within one epoch must observe each
+     predecessor's write (early write visibility). *)
+  let txns =
+    Array.init 8 (fun _ -> rmw_txn 2L (fun v -> bytes_of_string (Bytes.to_string v ^ "+")))
+  in
+  ignore (Db.run_epoch db txns);
+  check_committed db 2L "v0-2++++++++"
+
+let test_read_before_write_sees_old () =
+  let db = mk_db () in
+  load_n db 4;
+  let observed = ref None in
+  let reader =
+    Txn.make ~input:Bytes.empty ~write_set:[] (fun ctx ->
+        observed := ctx.Txn.Ctx.read ~table:0 ~key:1L)
+  in
+  (* Reader has SID 0, writer SID 1: the reader must see the pre-epoch
+     value even though the writer also runs in this epoch. *)
+  let txns = [| reader; update_txn 1L (bytes_of_string "later") |] in
+  ignore (Db.run_epoch db txns);
+  Alcotest.(check (option string))
+    "reader saw old value" (Some "v0-1")
+    (Option.map Bytes.to_string !observed);
+  check_committed db 1L "later"
+
+let test_insert_then_read_next_epoch () =
+  let db = mk_db () in
+  load_n db 4;
+  let ins =
+    Txn.make ~input:Bytes.empty
+      ~write_set:[ Txn.Insert { table = 0; key = 100L; data = Some (bytes_of_string "fresh") } ]
+      (fun _ -> ())
+  in
+  ignore (Db.run_epoch db [| ins |]);
+  check_committed db 100L "fresh";
+  (* And visible within the inserting epoch to later SIDs. *)
+  let seen = ref None in
+  let reader =
+    Txn.make ~input:Bytes.empty ~write_set:[] (fun ctx ->
+        seen := ctx.Txn.Ctx.read ~table:0 ~key:200L)
+  in
+  let ins2 =
+    Txn.make ~input:Bytes.empty
+      ~write_set:[ Txn.Insert { table = 0; key = 200L; data = Some (bytes_of_string "f2") } ]
+      (fun _ -> ())
+  in
+  ignore (Db.run_epoch db [| ins2; reader |]);
+  Alcotest.(check (option string)) "in-epoch insert visible" (Some "f2")
+    (Option.map Bytes.to_string !seen)
+
+let test_insert_invisible_to_earlier_sid () =
+  let db = mk_db () in
+  load_n db 4;
+  let seen = ref (Some (bytes_of_string "sentinel")) in
+  let reader =
+    Txn.make ~input:Bytes.empty ~write_set:[] (fun ctx ->
+        seen := ctx.Txn.Ctx.read ~table:0 ~key:300L)
+  in
+  let ins =
+    Txn.make ~input:Bytes.empty
+      ~write_set:[ Txn.Insert { table = 0; key = 300L; data = Some (bytes_of_string "f3") } ]
+      (fun _ -> ())
+  in
+  ignore (Db.run_epoch db [| reader; ins |]);
+  Alcotest.(check (option string)) "earlier reader sees nothing" None
+    (Option.map Bytes.to_string !seen)
+
+let test_abort_restores_previous () =
+  let db = mk_db () in
+  load_n db 4;
+  let aborter =
+    Txn.make ~input:Bytes.empty ~write_set:[ Txn.Update { table = 0; key = 1L } ] (fun ctx ->
+        ctx.Txn.Ctx.abort ())
+  in
+  let stats = Db.run_epoch db [| aborter |] in
+  Alcotest.(check int) "aborted" 1 stats.Report.aborted;
+  Alcotest.(check int) "no persistent writes" 0 stats.Report.persistent_writes;
+  check_committed db 1L "v0-1"
+
+let test_abort_final_falls_back () =
+  let db = mk_db () in
+  load_n db 4;
+  (* Writer w1 commits, w2 (the final writer) aborts: w1's value must be
+     the epoch's persistent version (section 4.6). *)
+  let w1 = update_txn 1L (bytes_of_string "keep-me") in
+  let w2 =
+    Txn.make ~input:Bytes.empty ~write_set:[ Txn.Update { table = 0; key = 1L } ] (fun ctx ->
+        ctx.Txn.Ctx.abort ())
+  in
+  let stats = Db.run_epoch db [| w1; w2 |] in
+  Alcotest.(check int) "one persistent write" 1 stats.Report.persistent_writes;
+  check_committed db 1L "keep-me"
+
+let test_abort_reader_skips_ignored () =
+  let db = mk_db () in
+  load_n db 4;
+  let w1 =
+    Txn.make ~input:Bytes.empty ~write_set:[ Txn.Update { table = 0; key = 1L } ] (fun ctx ->
+        ctx.Txn.Ctx.abort ())
+  in
+  let seen = ref None in
+  let reader =
+    Txn.make ~input:Bytes.empty ~write_set:[] (fun ctx ->
+        seen := ctx.Txn.Ctx.read ~table:0 ~key:1L)
+  in
+  ignore (Db.run_epoch db [| w1; reader |]);
+  Alcotest.(check (option string))
+    "reader skipped IGNORE" (Some "v0-1")
+    (Option.map Bytes.to_string !seen)
+
+let test_delete () =
+  let db = mk_db () in
+  load_n db 4;
+  let del =
+    Txn.make ~input:Bytes.empty ~write_set:[ Txn.Delete { table = 0; key = 2L } ] (fun ctx ->
+        ctx.Txn.Ctx.delete ~table:0 ~key:2L)
+  in
+  ignore (Db.run_epoch db [| del |]);
+  Alcotest.(check (option string)) "deleted" None
+    (Option.map Bytes.to_string (Db.read_committed db ~table:0 ~key:2L));
+  (* Deleted keys can be re-inserted in a later epoch. *)
+  let ins =
+    Txn.make ~input:Bytes.empty
+      ~write_set:[ Txn.Insert { table = 0; key = 2L; data = Some (bytes_of_string "back") } ]
+      (fun _ -> ())
+  in
+  ignore (Db.run_epoch db [| ins |]);
+  check_committed db 2L "back"
+
+let test_tombstone_visible_in_epoch () =
+  let db = mk_db () in
+  load_n db 4;
+  let del =
+    Txn.make ~input:Bytes.empty ~write_set:[ Txn.Delete { table = 0; key = 2L } ] (fun ctx ->
+        ctx.Txn.Ctx.delete ~table:0 ~key:2L)
+  in
+  let seen = ref (Some (bytes_of_string "sentinel")) in
+  let reader =
+    Txn.make ~input:Bytes.empty ~write_set:[] (fun ctx ->
+        seen := ctx.Txn.Ctx.read ~table:0 ~key:2L)
+  in
+  ignore (Db.run_epoch db [| del; reader |]);
+  Alcotest.(check (option string)) "tombstone read as absent" None
+    (Option.map Bytes.to_string !seen)
+
+let test_minor_gc_counts () =
+  let db = mk_db () in
+  load_n db 4;
+  (* Small values inline; consecutive-epoch updates to the same row
+     trigger the minor collector from the third update on (the first
+     creates v2, the second rotates a null v1, the third must displace a
+     stale inline v1). *)
+  ignore (Db.run_epoch db [| update_txn 1L (bytes_of_string "a") |]);
+  ignore (Db.run_epoch db [| update_txn 1L (bytes_of_string "b") |]);
+  let s3 = Db.run_epoch db [| update_txn 1L (bytes_of_string "c") |] in
+  Alcotest.(check int) "minor gc ran" 1 s3.Report.minor_gc;
+  Alcotest.(check int) "no major gc" 0 s3.Report.major_gc;
+  check_committed db 1L "c"
+
+let test_major_gc_for_pool_values () =
+  let db = mk_db () in
+  let big s = Bytes.make 400 s in
+  Db.bulk_load db (Seq.init 4 (fun i -> (0, Int64.of_int i, big 'x')));
+  ignore (Db.run_epoch db [| update_txn 1L (big 'a') |]);
+  ignore (Db.run_epoch db [| update_txn 1L (big 'b') |]);
+  (* The epoch after an update of a pool-valued row must major-GC it. *)
+  let s3 = Db.run_epoch db [| update_txn 2L (big 'z') |] in
+  Alcotest.(check bool) "major gc ran" true (s3.Report.major_gc >= 1);
+  Alcotest.(check string) "value" (Bytes.to_string (big 'b'))
+    (Bytes.to_string (Option.get (Db.read_committed db ~table:0 ~key:1L)))
+
+let test_cache_hits () =
+  let db = mk_db () in
+  load_n db 8;
+  let read_only key =
+    Txn.make ~input:Bytes.empty ~write_set:[] (fun ctx ->
+        ignore (ctx.Txn.Ctx.read ~table:0 ~key))
+  in
+  let s1 = Db.run_epoch db [| read_only 5L |] in
+  Alcotest.(check int) "first read misses" 1 s1.Report.cache_misses;
+  let s2 = Db.run_epoch db [| read_only 5L |] in
+  Alcotest.(check int) "second read hits" 1 s2.Report.cache_hits
+
+let test_cache_eviction () =
+  let db = mk_db () in
+  load_n db 8;
+  let read_only key =
+    Txn.make ~input:Bytes.empty ~write_set:[] (fun ctx ->
+        ignore (ctx.Txn.Ctx.read ~table:0 ~key))
+  in
+  ignore (Db.run_epoch db [| read_only 5L |]);
+  (* K = 3 in the test config: after 5 idle epochs the entry is gone. *)
+  let evicted = ref 0 in
+  for _ = 1 to 6 do
+    let s = Db.run_epoch db [| read_only 7L |] in
+    evicted := !evicted + s.Report.evicted
+  done;
+  Alcotest.(check bool) "eviction happened" true (!evicted >= 1);
+  let s = Db.run_epoch db [| read_only 5L |] in
+  Alcotest.(check int) "read misses again after eviction" 1 s.Report.cache_misses
+
+let test_counters_persist () =
+  let config =
+    Config.make ~cores:2 ~n_counters:2 ~rows_per_core:1024 ~values_per_core:1024
+      ~freelist_capacity:1024 ()
+  in
+  let db = Db.create ~config ~tables:one_table () in
+  load_n db 2;
+  let t =
+    Txn.make ~input:Bytes.empty ~write_set:[] (fun ctx ->
+        ignore (ctx.Txn.Ctx.counter_next ~idx:0);
+        ignore (ctx.Txn.Ctx.counter_next ~idx:0);
+        ignore (ctx.Txn.Ctx.counter_next ~idx:1))
+  in
+  ignore (Db.run_epoch db [| t |]);
+  Alcotest.(check int64) "counter 0" 2L (Db.counter_value db 0);
+  Alcotest.(check int64) "counter 1" 1L (Db.counter_value db 1)
+
+let test_variants_agree_on_state () =
+  (* All design variants must produce identical database contents; they
+     only differ in cost accounting. *)
+  let run variant =
+    let db = mk_db ~variant () in
+    load_n db 16;
+    let rng = Nv_util.Rng.create 7 in
+    for _ = 1 to 5 do
+      let txns =
+        Array.init 20 (fun _ ->
+            let key = Int64.of_int (Nv_util.Rng.int rng 16) in
+            rmw_txn key (fun v -> bytes_of_string (Bytes.to_string v ^ "x")))
+      in
+      ignore (Db.run_epoch db txns)
+    done;
+    let out = ref [] in
+    Db.iter_committed db ~table:0 (fun k v -> out := (k, Bytes.to_string v) :: !out);
+    List.sort compare !out
+  in
+  let reference = run Config.Nvcaracal in
+  List.iter
+    (fun v ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s matches nvcaracal" (Config.variant_name v))
+        true
+        (run v = reference))
+    [ Config.All_nvmm; Config.Hybrid; Config.No_logging; Config.All_dram; Config.Wal ]
+
+let test_toggles_agree_on_state () =
+  (* Cost-model toggles never change the committed state. *)
+  let run ~batch_append ~selective_caching ~minor_gc =
+    let config =
+      Config.make ~cores:4 ~rows_per_core:4096 ~values_per_core:4096 ~freelist_capacity:4096
+        ~batch_append ~selective_caching ~minor_gc ()
+    in
+    let db = Db.create ~config ~tables:one_table () in
+    load_n db 16;
+    let rng = Nv_util.Rng.create 9 in
+    for _ = 1 to 4 do
+      let txns =
+        Array.init 20 (fun _ ->
+            let key = Int64.of_int (Nv_util.Rng.int rng 16) in
+            rmw_txn key (fun v -> bytes_of_string (Bytes.to_string v ^ "t")))
+      in
+      ignore (Db.run_epoch db txns)
+    done;
+    let out = ref [] in
+    Db.iter_committed db ~table:0 (fun k v -> out := (k, Bytes.to_string v) :: !out);
+    List.sort compare !out
+  in
+  let reference = run ~batch_append:false ~selective_caching:false ~minor_gc:true in
+  List.iter
+    (fun (ba, sc, mg) ->
+      Alcotest.(check bool) "toggle-equal" true
+        (run ~batch_append:ba ~selective_caching:sc ~minor_gc:mg = reference))
+    [ (true, false, true); (false, true, true); (false, false, false); (true, true, false) ]
+
+let test_all_nvmm_slower () =
+  let throughput variant =
+    let db = mk_db ~variant ~cached_versions:(variant <> Config.All_nvmm) () in
+    load_n db 64;
+    let rng = Nv_util.Rng.create 3 in
+    for _ = 1 to 5 do
+      let txns =
+        Array.init 64 (fun _ ->
+            (* Contended: half the writes hit 4 hot keys. *)
+            let key =
+              if Nv_util.Rng.bool rng then Int64.of_int (Nv_util.Rng.int rng 4)
+              else Int64.of_int (Nv_util.Rng.int rng 64)
+            in
+            update_txn key (Bytes.make 100 'q'))
+      in
+      ignore (Db.run_epoch db txns)
+    done;
+    float_of_int (Db.committed_txns db) /. Db.total_time_ns db
+  in
+  let nv = throughput Config.Nvcaracal in
+  let all_nvmm = throughput Config.All_nvmm in
+  let all_dram = throughput Config.All_dram in
+  Alcotest.(check bool) "all-NVMM slower than NVCaracal" true (all_nvmm < nv);
+  Alcotest.(check bool) "NVCaracal slower than all-DRAM" true (nv < all_dram)
+
+let test_mem_report () =
+  let db = mk_db () in
+  load_n db 32;
+  ignore (Db.run_epoch db [| update_txn 1L (bytes_of_string "x") |]);
+  let m = Db.mem_report db in
+  Alcotest.(check bool) "rows accounted" true (m.Report.nvmm_rows >= 32 * 256);
+  Alcotest.(check bool) "index accounted" true (m.Report.dram_index > 0);
+  Alcotest.(check bool) "transient accounted" true (m.Report.dram_transient > 0)
+
+let test_write_outside_write_set_rejected () =
+  let db = mk_db () in
+  load_n db 4;
+  let bad =
+    Txn.make ~input:Bytes.empty ~write_set:[ Txn.Update { table = 0; key = 1L } ] (fun ctx ->
+        ctx.Txn.Ctx.write ~table:0 ~key:2L (bytes_of_string "sneak"))
+  in
+  Alcotest.check_raises "undeclared write rejected"
+    (Invalid_argument "Txn.Ctx.write: key (0, 2) is not in the write set") (fun () ->
+      ignore (Db.run_epoch db [| bad |]))
+
+let test_abort_after_write_rejected () =
+  let db = mk_db () in
+  load_n db 4;
+  let bad =
+    Txn.make ~input:Bytes.empty ~write_set:[ Txn.Update { table = 0; key = 1L } ] (fun ctx ->
+        ctx.Txn.Ctx.write ~table:0 ~key:1L (bytes_of_string "w");
+        ctx.Txn.Ctx.abort ())
+  in
+  (match Db.run_epoch db [| bad |] with
+  | _ -> Alcotest.fail "expected failure"
+  | exception Failure _ -> ());
+  ()
+
+let test_ordered_table_ranges () =
+  let tables = [ Table.make ~id:0 ~name:"ord" ~index:Table.Ordered () ] in
+  let config = small_config () in
+  let db = Db.create ~config ~tables () in
+  Db.bulk_load db
+    (Seq.init 10 (fun i -> (0, Int64.of_int (i * 10), bytes_of_string (string_of_int i))));
+  let seen = ref [] in
+  let reader =
+    Txn.make ~input:Bytes.empty ~write_set:[] (fun ctx ->
+        seen := ctx.Txn.Ctx.range_read ~table:0 ~lo:15L ~hi:45L;
+        Alcotest.(check (option (pair int64 string)))
+          "min_above" (Some (50L, "5"))
+          (Option.map (fun (k, v) -> (k, Bytes.to_string v)) (ctx.Txn.Ctx.min_above ~table:0 46L));
+        Alcotest.(check (option (pair int64 string)))
+          "max_below" (Some (40L, "4"))
+          (Option.map (fun (k, v) -> (k, Bytes.to_string v)) (ctx.Txn.Ctx.max_below ~table:0 45L)))
+  in
+  ignore (Db.run_epoch db [| reader |]);
+  Alcotest.(check (list (pair int64 string)))
+    "range" [ (20L, "2"); (30L, "3"); (40L, "4") ]
+    (List.map (fun (k, v) -> (k, Bytes.to_string v)) !seen)
+
+(* Reconnaissance transactions (paper section 3.1.1): key 0 holds a
+   pointer naming the row to update; the recon pass reads it to build
+   the write set and execution validates the read. *)
+let recon_txn data =
+  let target ctx =
+    match ctx.Txn.Ctx.read ~table:0 ~key:0L with
+    | Some v -> Int64.of_string (Bytes.to_string v)
+    | None -> failwith "missing pointer row"
+  in
+  Txn.make ~input:Bytes.empty ~write_set:[]
+    ~recon:(fun ctx -> [ Txn.Update { table = 0; key = target ctx } ])
+    (fun ctx -> ctx.Txn.Ctx.write ~table:0 ~key:(target ctx) data)
+
+let test_recon_write_set () =
+  let db = mk_db () in
+  Db.bulk_load db
+    (Seq.cons (0, 0L, bytes_of_string "3")
+       (Seq.init 8 (fun i -> (0, Int64.of_int (i + 1), bytes_of_string "old"))));
+  let stats = Db.run_epoch db [| recon_txn (bytes_of_string "via-recon") |] in
+  Alcotest.(check int) "committed" 0 stats.Report.aborted;
+  check_committed db 3L "via-recon";
+  check_committed db 4L "old"
+
+let test_recon_validation_aborts () =
+  let db = mk_db () in
+  Db.bulk_load db
+    (Seq.cons (0, 0L, bytes_of_string "3")
+       (Seq.init 8 (fun i -> (0, Int64.of_int (i + 1), bytes_of_string "old"))));
+  (* An earlier transaction redirects the pointer row, invalidating the
+     recon read: the recon transaction must abort deterministically. *)
+  let redirect = update_txn 0L (bytes_of_string "5") in
+  let stats = Db.run_epoch db [| redirect; recon_txn (bytes_of_string "stale") |] in
+  Alcotest.(check int) "recon txn aborted" 1 stats.Report.aborted;
+  check_committed db 3L "old";
+  check_committed db 5L "old";
+  (* Resubmitted next epoch, it sees the new pointer and succeeds. *)
+  let stats2 = Db.run_epoch db [| recon_txn (bytes_of_string "retried") |] in
+  Alcotest.(check int) "retry committed" 0 stats2.Report.aborted;
+  check_committed db 5L "retried"
+
+let test_recon_untouched_read_commits () =
+  let db = mk_db () in
+  Db.bulk_load db
+    (Seq.cons (0, 0L, bytes_of_string "3")
+       (Seq.init 8 (fun i -> (0, Int64.of_int (i + 1), bytes_of_string "old"))));
+  (* A concurrent writer touching an unrelated key does not invalidate
+     the recon. *)
+  let unrelated = update_txn 7L (bytes_of_string "x") in
+  let stats = Db.run_epoch db [| unrelated; recon_txn (bytes_of_string "fine") |] in
+  Alcotest.(check int) "no aborts" 0 stats.Report.aborted;
+  check_committed db 3L "fine"
+
+let test_btree_and_avl_engines_agree () =
+  let run ordered_index =
+    let config =
+      Config.make ~cores:4 ~rows_per_core:4096 ~values_per_core:4096 ~freelist_capacity:4096
+        ~ordered_index ()
+    in
+    let tables = [ Table.make ~id:0 ~name:"ord" ~index:Table.Ordered () ] in
+    let db = Db.create ~config ~tables () in
+    Db.bulk_load db
+      (Seq.init 64 (fun i -> (0, Int64.of_int (i * 3), bytes_of_string (string_of_int i))));
+    let rng = Nv_util.Rng.create 17 in
+    for _ = 1 to 4 do
+      let txns =
+        Array.init 30 (fun _ ->
+            let key = Int64.of_int (Nv_util.Rng.int rng 64 * 3) in
+            rmw_txn key (fun v -> bytes_of_string (Bytes.to_string v ^ "y")))
+      in
+      ignore (Db.run_epoch db txns)
+    done;
+    let out = ref [] in
+    Db.iter_committed db ~table:0 (fun k v -> out := (k, Bytes.to_string v) :: !out);
+    List.sort compare !out
+  in
+  Alcotest.(check bool) "identical state" true (run Config.Avl = run Config.Btree)
+
+let test_size_classed_value_pools () =
+  (* Mixed value sizes across three classes, including growth across
+     epochs and crash recovery. *)
+  let config =
+    Config.make ~cores:2 ~crash_safe:true ~rows_per_core:1024 ~values_per_core:256
+      ~freelist_capacity:1024
+      ~value_size_classes:[ 256; 1024; 4096 ]
+      ()
+  in
+  let db = Db.create ~config ~tables:one_table () in
+  let size_of i = match i mod 3 with 0 -> 100 | 1 -> 900 | _ -> 3000 in
+  Db.bulk_load db (Seq.init 12 (fun i -> (0, Int64.of_int i, Bytes.make (size_of i) 'i')));
+  let batch tag =
+    Array.init 12 (fun i -> update_txn (Int64.of_int i) (Bytes.make (size_of (i + 1)) tag))
+  in
+  ignore (Db.run_epoch db (batch 'a'));
+  ignore (Db.run_epoch db (batch 'b'));
+  for i = 0 to 11 do
+    let v = Option.get (Db.read_committed db ~table:0 ~key:(Int64.of_int i)) in
+    Alcotest.(check int) (Printf.sprintf "len of %d" i) (size_of (i + 1)) (Bytes.length v);
+    Alcotest.(check char) "tag" 'b' (Bytes.get v 0)
+  done;
+  (* Crash and recover with multiple classes in play. *)
+  let pmem = Db.crash db ~rng:(Nv_util.Rng.create 3) in
+  let db2, _ =
+    Db.recover ~config ~tables:one_table ~pmem ~rebuild:(fun _ -> failwith "no log") ()
+  in
+  for i = 0 to 11 do
+    let v = Option.get (Db.read_committed db2 ~table:0 ~key:(Int64.of_int i)) in
+    Alcotest.(check int) (Printf.sprintf "recovered len of %d" i) (size_of (i + 1))
+      (Bytes.length v)
+  done
+
+(* --- Replication by input-log shipping --- *)
+
+let repl_pair () =
+  let config = small_config () in
+  (* Reuse the recovery mini-workload codec for rebuildable txns. *)
+  let pair =
+    Replication.create ~config ~tables:one_table ~rebuild:Test_recovery.rebuild ()
+  in
+  Replication.bulk_load pair
+    (Seq.init 16 (fun i -> (0, Int64.of_int i, Bytes.make 16 '0')));
+  pair
+
+let repl_batch ~seed n =
+  let rng = Nv_util.Rng.create seed in
+  Array.init n (fun _ ->
+      let key = Int64.of_int (Nv_util.Rng.int rng 16) in
+      let tag = Char.chr (Char.code 'a' + Nv_util.Rng.int rng 26) in
+      Test_recovery.txn_of_ops [ Test_recovery.Set { key; len = 16; tag } ])
+
+let test_replication_sync () =
+  let pair = repl_pair () in
+  for e = 1 to 5 do
+    ignore (Replication.submit pair (repl_batch ~seed:e 20))
+  done;
+  Alcotest.(check int) "lag before sync" 5 (Replication.replica_lag pair);
+  Alcotest.(check bool) "shipped bytes counted" true (Replication.shipped_bytes pair > 0);
+  Alcotest.(check bool) "states equal after sync" true (Replication.states_equal pair);
+  Alcotest.(check int) "lag drained" 0 (Replication.replica_lag pair)
+
+let test_replication_lagged_reads () =
+  let pair = repl_pair () in
+  ignore
+    (Replication.submit pair
+       [| Test_recovery.txn_of_ops [ Test_recovery.Set { key = 3L; len = 16; tag = 'z' } ] |]);
+  (* Replica still serves the pre-epoch value until synced. *)
+  Alcotest.(check (option string)) "replica stale" (Some "0000000000000000")
+    (Option.map Bytes.to_string
+       (Db.read_committed (Replication.replica pair) ~table:0 ~key:3L));
+  Replication.sync pair ();
+  Alcotest.(check (option string)) "replica caught up" (Some (String.make 16 'z'))
+    (Option.map Bytes.to_string
+       (Db.read_committed (Replication.replica pair) ~table:0 ~key:3L))
+
+let test_replication_failover () =
+  let pair = repl_pair () in
+  for e = 1 to 3 do
+    ignore (Replication.submit pair (repl_batch ~seed:(100 + e) 20))
+  done;
+  let expected = ref [] in
+  Db.iter_committed (Replication.primary pair) ~table:0 (fun k v ->
+      expected := (k, Bytes.to_string v) :: !expected);
+  (* Primary "dies"; promote the replica and keep processing. *)
+  let promoted = Replication.failover pair in
+  let got = ref [] in
+  Db.iter_committed promoted ~table:0 (fun k v -> got := (k, Bytes.to_string v) :: !got);
+  Alcotest.(check bool) "promoted state equals primary" true
+    (List.sort compare !expected = List.sort compare !got);
+  ignore (Db.run_epoch promoted [| update_txn 1L (bytes_of_string "post-failover") |]);
+  Alcotest.(check (option string)) "promoted keeps working" (Some "post-failover")
+    (Option.map Bytes.to_string (Db.read_committed promoted ~table:0 ~key:1L))
+
+let test_replication_partial_sync () =
+  let pair = repl_pair () in
+  for e = 1 to 4 do
+    ignore (Replication.submit pair (repl_batch ~seed:(200 + e) 10))
+  done;
+  Replication.sync pair ~upto:2 ();
+  Alcotest.(check int) "partial lag" 2 (Replication.replica_lag pair);
+  Alcotest.(check bool) "eventually equal" true (Replication.states_equal pair)
+
+(* --- Session layer: batching + checkpoint-gated results --- *)
+
+let test_session_visibility () =
+  let db = mk_db () in
+  load_n db 8;
+  let s = Session.create ~db ~epoch_target:100 ~auto_flush:false () in
+  let h1 = Session.submit s (update_txn 1L (bytes_of_string "one")) in
+  let h2 =
+    Session.submit s
+      (Txn.make ~input:Bytes.empty ~write_set:[ Txn.Update { table = 0; key = 2L } ]
+         (fun ctx -> ctx.Txn.Ctx.abort ()))
+  in
+  (* Nothing visible before the epoch runs. *)
+  Alcotest.(check bool) "h1 pending" true (Session.result s h1 = None);
+  Alcotest.(check int) "queued" 2 (Session.pending s);
+  (match Session.flush s with
+  | Some stats -> Alcotest.(check int) "epoch ran both" 2 stats.Report.txns
+  | None -> Alcotest.fail "expected an epoch");
+  Alcotest.(check bool) "h1 committed" true (Session.result s h1 = Some `Committed);
+  Alcotest.(check bool) "h2 aborted" true (Session.result s h2 = Some `Aborted);
+  check_committed db 1L "one";
+  Alcotest.(check bool) "empty flush" true (Session.flush s = None)
+
+let test_session_auto_flush () =
+  let db = mk_db () in
+  load_n db 8;
+  let s = Session.create ~db ~epoch_target:5 () in
+  let handles =
+    List.init 12 (fun i -> Session.submit s (update_txn 1L (bytes_of_string (string_of_int i))))
+  in
+  (* Two auto-flushes happened (at submissions 6 and 11). *)
+  Alcotest.(check int) "two epochs ran" 3 (Db.epoch db);
+  Alcotest.(check bool) "early handle resolved" true
+    (Session.result s (List.hd handles) = Some `Committed);
+  Alcotest.(check bool) "late handle pending" true
+    (Session.result s (List.nth handles 11) = None);
+  ignore (Session.flush s);
+  Alcotest.(check bool) "late handle resolved" true
+    (Session.result s (List.nth handles 11) = Some `Committed);
+  check_committed db 1L "11"
+
+let suites =
+  [
+    ( "core.engine",
+      [
+        Alcotest.test_case "basic update" `Quick test_basic_update;
+        Alcotest.test_case "last writer wins" `Quick test_last_writer_wins;
+        Alcotest.test_case "serial visibility" `Quick test_serial_visibility;
+        Alcotest.test_case "read before write" `Quick test_read_before_write_sees_old;
+        Alcotest.test_case "insert visibility" `Quick test_insert_then_read_next_epoch;
+        Alcotest.test_case "insert invisible earlier" `Quick test_insert_invisible_to_earlier_sid;
+        Alcotest.test_case "abort restores" `Quick test_abort_restores_previous;
+        Alcotest.test_case "abort final fallback" `Quick test_abort_final_falls_back;
+        Alcotest.test_case "abort reader skips" `Quick test_abort_reader_skips_ignored;
+        Alcotest.test_case "delete" `Quick test_delete;
+        Alcotest.test_case "tombstone visible" `Quick test_tombstone_visible_in_epoch;
+        Alcotest.test_case "minor gc" `Quick test_minor_gc_counts;
+        Alcotest.test_case "major gc" `Quick test_major_gc_for_pool_values;
+        Alcotest.test_case "cache hits" `Quick test_cache_hits;
+        Alcotest.test_case "cache eviction" `Quick test_cache_eviction;
+        Alcotest.test_case "counters" `Quick test_counters_persist;
+        Alcotest.test_case "variants agree" `Quick test_variants_agree_on_state;
+        Alcotest.test_case "toggles agree" `Quick test_toggles_agree_on_state;
+        Alcotest.test_case "variant ordering" `Quick test_all_nvmm_slower;
+        Alcotest.test_case "mem report" `Quick test_mem_report;
+        Alcotest.test_case "undeclared write" `Quick test_write_outside_write_set_rejected;
+        Alcotest.test_case "abort after write" `Quick test_abort_after_write_rejected;
+        Alcotest.test_case "ordered ranges" `Quick test_ordered_table_ranges;
+        Alcotest.test_case "recon write set" `Quick test_recon_write_set;
+        Alcotest.test_case "recon validation aborts" `Quick test_recon_validation_aborts;
+        Alcotest.test_case "recon unrelated ok" `Quick test_recon_untouched_read_commits;
+        Alcotest.test_case "avl/btree engines agree" `Quick test_btree_and_avl_engines_agree;
+        Alcotest.test_case "size-classed value pools" `Quick test_size_classed_value_pools;
+        Alcotest.test_case "replication sync" `Quick test_replication_sync;
+        Alcotest.test_case "replication lagged reads" `Quick test_replication_lagged_reads;
+        Alcotest.test_case "replication failover" `Quick test_replication_failover;
+        Alcotest.test_case "replication partial sync" `Quick test_replication_partial_sync;
+        Alcotest.test_case "session visibility" `Quick test_session_visibility;
+        Alcotest.test_case "session auto-flush" `Quick test_session_auto_flush;
+      ] );
+  ]

@@ -1,0 +1,236 @@
+(* Index tests: hash index and ordered (AVL) index, against model
+   hashtables/maps, plus qcheck properties. *)
+
+module HIdx = Nv_index.Hash_index
+module OIdx = Nv_index.Ordered_index
+module BIdx = Nv_index.Btree_index
+
+let stats () = Nv_nvmm.Stats.create Nv_nvmm.Memspec.default
+
+let test_hash_basic () =
+  let s = stats () in
+  let h = HIdx.create () in
+  HIdx.insert h s 1L "one";
+  HIdx.insert h s 2L "two";
+  Alcotest.(check (option string)) "find 1" (Some "one") (HIdx.find h s 1L);
+  Alcotest.(check (option string)) "find 2" (Some "two") (HIdx.find h s 2L);
+  Alcotest.(check (option string)) "find 3" None (HIdx.find h s 3L);
+  HIdx.insert h s 1L "uno";
+  Alcotest.(check (option string)) "replace" (Some "uno") (HIdx.find h s 1L);
+  Alcotest.(check int) "length" 2 (HIdx.length h);
+  HIdx.remove h s 1L;
+  Alcotest.(check (option string)) "removed" None (HIdx.find h s 1L);
+  Alcotest.(check int) "length after remove" 1 (HIdx.length h)
+
+let test_hash_growth () =
+  let s = stats () in
+  let h = HIdx.create ~initial_capacity:8 () in
+  for i = 0 to 9999 do
+    HIdx.insert h s (Int64.of_int i) i
+  done;
+  Alcotest.(check int) "length" 10000 (HIdx.length h);
+  for i = 0 to 9999 do
+    match HIdx.find h s (Int64.of_int i) with
+    | Some v when v = i -> ()
+    | _ -> Alcotest.failf "lost key %d" i
+  done
+
+let test_hash_tombstone_churn () =
+  let s = stats () in
+  let h = HIdx.create ~initial_capacity:8 () in
+  (* Insert/remove churn exercises tombstone handling. *)
+  for round = 0 to 99 do
+    for i = 0 to 49 do
+      HIdx.insert h s (Int64.of_int i) (round * 100 + i)
+    done;
+    for i = 0 to 24 do
+      HIdx.remove h s (Int64.of_int i)
+    done
+  done;
+  Alcotest.(check int) "final length" 25 (HIdx.length h);
+  Alcotest.(check (option int)) "survivor" (Some (99 * 100 + 30)) (HIdx.find h s 30L)
+
+let prop_hash_matches_model =
+  QCheck.Test.make ~name:"hash index matches model" ~count:100
+    QCheck.(list (pair (int_range 0 50) bool))
+    (fun ops ->
+      let s = stats () in
+      let h = HIdx.create ~initial_capacity:8 () in
+      let model = Hashtbl.create 16 in
+      List.iteri
+        (fun i (k, ins) ->
+          let k = Int64.of_int k in
+          if ins then begin
+            HIdx.insert h s k i;
+            Hashtbl.replace model k i
+          end
+          else begin
+            HIdx.remove h s k;
+            Hashtbl.remove model k
+          end)
+        ops;
+      Hashtbl.fold (fun k v acc -> acc && HIdx.find h s k = Some v) model true
+      && HIdx.length h = Hashtbl.length model)
+
+let test_ordered_basic () =
+  let s = stats () in
+  let o = OIdx.create () in
+  List.iter (fun i -> OIdx.insert o s (Int64.of_int i) (i * 10)) [ 5; 1; 9; 3; 7 ];
+  Alcotest.(check bool) "balanced" true (OIdx.check_balanced o);
+  Alcotest.(check (option int)) "find" (Some 30) (OIdx.find o s 3L);
+  OIdx.remove o s 3L;
+  Alcotest.(check (option int)) "removed" None (OIdx.find o s 3L);
+  Alcotest.(check bool) "still balanced" true (OIdx.check_balanced o);
+  Alcotest.(check int) "length" 4 (OIdx.length o)
+
+let test_ordered_range () =
+  let s = stats () in
+  let o = OIdx.create () in
+  for i = 0 to 99 do
+    OIdx.insert o s (Int64.of_int i) i
+  done;
+  let r = OIdx.fold_range o s ~lo:10L ~hi:20L ~init:[] ~f:(fun acc k _ -> k :: acc) in
+  Alcotest.(check (list int64)) "range keys" (List.init 11 (fun i -> Int64.of_int (10 + i)))
+    (List.rev r);
+  Alcotest.(check (option (pair int64 int))) "max_below" (Some (42L, 42)) (OIdx.max_below o s 42L);
+  Alcotest.(check (option (pair int64 int))) "min_above" (Some (43L, 43)) (OIdx.min_above o s 43L);
+  Alcotest.(check (option (pair int64 int))) "max_below low" None (OIdx.max_below o s (-1L));
+  Alcotest.(check (option (pair int64 int))) "min_above high" None (OIdx.min_above o s 1000L)
+
+let prop_ordered_matches_sorted_model =
+  QCheck.Test.make ~name:"ordered index sorted iteration" ~count:100
+    QCheck.(list (int_range 0 1000))
+    (fun keys ->
+      let s = stats () in
+      let o = OIdx.create () in
+      List.iter (fun k -> OIdx.insert o s (Int64.of_int k) k) keys;
+      let expect = List.sort_uniq compare (List.map Int64.of_int keys) in
+      let got = ref [] in
+      OIdx.iter o (fun k _ -> got := k :: !got);
+      List.rev !got = expect && OIdx.check_balanced o)
+
+let prop_ordered_delete_keeps_balance =
+  QCheck.Test.make ~name:"ordered index delete keeps AVL invariant" ~count:100
+    QCheck.(pair (list (int_range 0 200)) (list (int_range 0 200)))
+    (fun (ins, del) ->
+      let s = stats () in
+      let o = OIdx.create () in
+      List.iter (fun k -> OIdx.insert o s (Int64.of_int k) k) ins;
+      List.iter (fun k -> OIdx.remove o s (Int64.of_int k)) del;
+      let model =
+        List.filter (fun k -> not (List.mem k del)) (List.sort_uniq compare ins)
+      in
+      let got = ref [] in
+      OIdx.iter o (fun k _ -> got := k :: !got);
+      List.rev !got = List.map Int64.of_int model && OIdx.check_balanced o)
+
+(* --- B+-tree --- *)
+
+let test_btree_basic () =
+  let s = stats () in
+  let b = BIdx.create () in
+  List.iter (fun i -> BIdx.insert b s (Int64.of_int i) (i * 10)) [ 5; 1; 9; 3; 7 ];
+  Alcotest.(check bool) "invariants" true (BIdx.check_invariants b);
+  Alcotest.(check (option int)) "find" (Some 30) (BIdx.find b s 3L);
+  Alcotest.(check (option int)) "miss" None (BIdx.find b s 4L);
+  BIdx.insert b s 3L 333;
+  Alcotest.(check (option int)) "replace" (Some 333) (BIdx.find b s 3L);
+  Alcotest.(check int) "length" 5 (BIdx.length b);
+  BIdx.remove b s 3L;
+  Alcotest.(check (option int)) "removed" None (BIdx.find b s 3L);
+  Alcotest.(check int) "length after remove" 4 (BIdx.length b);
+  Alcotest.(check bool) "invariants after remove" true (BIdx.check_invariants b)
+
+let test_btree_splits () =
+  let s = stats () in
+  let b = BIdx.create () in
+  (* Far beyond one leaf / one inner node: forces multi-level splits. *)
+  let n = 20_000 in
+  for i = 0 to n - 1 do
+    BIdx.insert b s (Int64.of_int ((i * 7919) mod n)) i
+  done;
+  Alcotest.(check bool) "invariants" true (BIdx.check_invariants b);
+  Alcotest.(check int) "length" n (BIdx.length b);
+  for i = 0 to n - 1 do
+    if BIdx.find b s (Int64.of_int i) = None then Alcotest.failf "lost key %d" i
+  done
+
+let test_btree_range_and_bounds () =
+  let s = stats () in
+  let b = BIdx.create () in
+  for i = 0 to 999 do
+    BIdx.insert b s (Int64.of_int (i * 2)) i (* even keys *)
+  done;
+  let r = BIdx.fold_range b s ~lo:100L ~hi:120L ~init:[] ~f:(fun acc k _ -> k :: acc) in
+  Alcotest.(check (list int64)) "range"
+    [ 100L; 102L; 104L; 106L; 108L; 110L; 112L; 114L; 116L; 118L; 120L ]
+    (List.rev r);
+  Alcotest.(check (option (pair int64 int))) "max_below exact" (Some (100L, 50))
+    (BIdx.max_below b s 100L);
+  Alcotest.(check (option (pair int64 int))) "max_below odd" (Some (100L, 50))
+    (BIdx.max_below b s 101L);
+  Alcotest.(check (option (pair int64 int))) "min_above odd" (Some (102L, 51))
+    (BIdx.min_above b s 101L);
+  Alcotest.(check (option (pair int64 int))) "max_below under" None (BIdx.max_below b s (-1L));
+  Alcotest.(check (option (pair int64 int))) "min_above over" None (BIdx.min_above b s 3000L)
+
+let prop_btree_matches_model =
+  QCheck.Test.make ~name:"btree matches model under churn" ~count:60
+    QCheck.(list (pair (int_range 0 500) bool))
+    (fun ops ->
+      let s = stats () in
+      let b = BIdx.create () in
+      let model = Hashtbl.create 64 in
+      List.iteri
+        (fun i (k, ins) ->
+          let k = Int64.of_int k in
+          if ins then begin
+            BIdx.insert b s k i;
+            Hashtbl.replace model k i
+          end
+          else begin
+            BIdx.remove b s k;
+            Hashtbl.remove model k
+          end)
+        ops;
+      BIdx.check_invariants b
+      && BIdx.length b = Hashtbl.length model
+      && Hashtbl.fold (fun k v acc -> acc && BIdx.find b s k = Some v) model true)
+
+let prop_btree_agrees_with_avl =
+  QCheck.Test.make ~name:"btree agrees with avl on range queries" ~count:40
+    QCheck.(pair (list (int_range 0 300)) (pair (int_range 0 300) (int_range 0 300)))
+    (fun (keys, (a, bnd)) ->
+      let s = stats () in
+      let bt = BIdx.create () and avl = OIdx.create () in
+      List.iter
+        (fun k ->
+          BIdx.insert bt s (Int64.of_int k) k;
+          OIdx.insert avl s (Int64.of_int k) k)
+        keys;
+      let lo = Int64.of_int (min a bnd) and hi = Int64.of_int (max a bnd) in
+      let rb = BIdx.fold_range bt s ~lo ~hi ~init:[] ~f:(fun acc k _ -> k :: acc) in
+      let ra = OIdx.fold_range avl s ~lo ~hi ~init:[] ~f:(fun acc k _ -> k :: acc) in
+      rb = ra
+      && BIdx.max_below bt s hi = OIdx.max_below avl s hi
+      && BIdx.min_above bt s lo = OIdx.min_above avl s lo)
+
+let suites =
+  [
+    ( "index",
+      [
+        Alcotest.test_case "hash basic" `Quick test_hash_basic;
+        Alcotest.test_case "hash growth" `Quick test_hash_growth;
+        Alcotest.test_case "hash tombstones" `Quick test_hash_tombstone_churn;
+        QCheck_alcotest.to_alcotest prop_hash_matches_model;
+        Alcotest.test_case "ordered basic" `Quick test_ordered_basic;
+        Alcotest.test_case "ordered range" `Quick test_ordered_range;
+        QCheck_alcotest.to_alcotest prop_ordered_matches_sorted_model;
+        QCheck_alcotest.to_alcotest prop_ordered_delete_keeps_balance;
+        Alcotest.test_case "btree basic" `Quick test_btree_basic;
+        Alcotest.test_case "btree splits" `Quick test_btree_splits;
+        Alcotest.test_case "btree ranges" `Quick test_btree_range_and_bounds;
+        QCheck_alcotest.to_alcotest prop_btree_matches_model;
+        QCheck_alcotest.to_alcotest prop_btree_agrees_with_avl;
+      ] );
+  ]

@@ -1,0 +1,189 @@
+(* NVMM simulator tests: accessors, persistence semantics, crash
+   images, cost charging. *)
+
+module Pmem = Nv_nvmm.Pmem
+module Stats = Nv_nvmm.Stats
+module Memspec = Nv_nvmm.Memspec
+module Layout = Nv_nvmm.Layout
+
+let stats () = Stats.create Memspec.default
+
+let test_accessors () =
+  let p = Pmem.create ~size:4096 () in
+  Pmem.set_i64 p 0 0x1122334455667788L;
+  Alcotest.(check int64) "i64 roundtrip" 0x1122334455667788L (Pmem.get_i64 p 0);
+  Pmem.set_i32 p 8 0x0BADF00Dl;
+  Alcotest.(check int32) "i32 roundtrip" 0x0BADF00Dl (Pmem.get_i32 p 8);
+  Pmem.set_u8 p 12 0xAB;
+  Alcotest.(check int) "u8 roundtrip" 0xAB (Pmem.get_u8 p 12);
+  Pmem.write_bytes p ~off:100 (Bytes.of_string "hello");
+  Alcotest.(check string) "bytes roundtrip" "hello"
+    (Bytes.to_string (Pmem.read_bytes p ~off:100 ~len:5))
+
+let test_bounds_checked () =
+  let p = Pmem.create ~size:64 () in
+  Alcotest.check_raises "oob write"
+    (Invalid_argument "Pmem: range [64, 72) out of bounds (size 8)") (fun () ->
+      Pmem.set_i64 p 64 0L)
+
+let test_crash_discards_unflushed () =
+  let s = stats () in
+  let p = Pmem.create ~mode:Pmem.Crash_safe ~size:4096 () in
+  Pmem.set_i64 p 0 42L;
+  (* no flush, no fence *)
+  Pmem.crash_with p ~choose:(fun ~line:_ ~options:_ -> 0);
+  Alcotest.(check int64) "unflushed store lost" 0L (Pmem.get_i64 p 0);
+  (* flushed + fenced survives the harshest adversary *)
+  Pmem.set_i64 p 0 43L;
+  Pmem.persist p s ~off:0 ~len:8;
+  Pmem.set_i64 p 8 99L;
+  Pmem.crash_with p ~choose:(fun ~line:_ ~options:_ -> 0);
+  Alcotest.(check int64) "persisted store kept" 43L (Pmem.get_i64 p 0);
+  Alcotest.(check int64) "same-line later store lost" 0L (Pmem.get_i64 p 8)
+
+let test_crash_may_keep_everything () =
+  let p = Pmem.create ~mode:Pmem.Crash_safe ~size:4096 () in
+  Pmem.set_i64 p 0 7L;
+  Pmem.set_i64 p 128 8L;
+  Pmem.crash_all_persisted p;
+  Alcotest.(check int64) "kept 0" 7L (Pmem.get_i64 p 0);
+  Alcotest.(check int64) "kept 128" 8L (Pmem.get_i64 p 128)
+
+let test_crash_prefix_consistency () =
+  (* Two stores to the same line: the crash image may hold neither, the
+     first only, or both — never the second without the first. *)
+  let observations = Hashtbl.create 4 in
+  for seed = 1 to 200 do
+    let p = Pmem.create ~mode:Pmem.Crash_safe ~size:4096 () in
+    Pmem.set_i64 p 0 1L;
+    Pmem.set_i64 p 8 2L;
+    Pmem.crash p ~rng:(Nv_util.Rng.create seed);
+    let a = Pmem.get_i64 p 0 and b = Pmem.get_i64 p 8 in
+    Hashtbl.replace observations (a, b) ();
+    Alcotest.(check bool)
+      (Printf.sprintf "legal prefix state (%Ld, %Ld)" a b)
+      true
+      (match (a, b) with (0L, 0L) | (1L, 0L) | (1L, 2L) -> true | _ -> false)
+  done;
+  (* Over many seeds, all three legal states appear. *)
+  Alcotest.(check int) "all prefixes observed" 3 (Hashtbl.length observations)
+
+let test_fence_clears_dirty () =
+  let s = stats () in
+  let p = Pmem.create ~mode:Pmem.Crash_safe ~size:4096 () in
+  Pmem.set_i64 p 0 1L;
+  Pmem.set_i64 p 256 2L;
+  Alcotest.(check int) "two dirty lines" 2 (Pmem.dirty_line_count p);
+  Pmem.flush p s ~off:0 ~len:8;
+  Pmem.fence p s;
+  Alcotest.(check int) "one dirty line after fence" 1 (Pmem.dirty_line_count p);
+  Pmem.flush p s ~off:256 ~len:8;
+  Pmem.fence p s;
+  Alcotest.(check int) "clean" 0 (Pmem.dirty_line_count p)
+
+let test_flush_without_fence_not_durable () =
+  let s = stats () in
+  let p = Pmem.create ~mode:Pmem.Crash_safe ~size:4096 () in
+  Pmem.set_i64 p 0 5L;
+  Pmem.flush p s ~off:0 ~len:8;
+  (* no fence: adversary may drop it *)
+  Pmem.crash_with p ~choose:(fun ~line:_ ~options:_ -> 0);
+  Alcotest.(check int64) "flushed-unfenced may be lost" 0L (Pmem.get_i64 p 0)
+
+let test_store_after_flush () =
+  let s = stats () in
+  let p = Pmem.create ~mode:Pmem.Crash_safe ~size:4096 () in
+  Pmem.set_i64 p 0 1L;
+  Pmem.flush p s ~off:0 ~len:8;
+  Pmem.set_i64 p 0 2L;
+  Pmem.fence p s;
+  (* The fence persists the clwb capture (value 1); value 2 is still
+     volatile. *)
+  Pmem.crash_with p ~choose:(fun ~line:_ ~options:_ -> 0);
+  Alcotest.(check int64) "capture-time content persisted" 1L (Pmem.get_i64 p 0)
+
+let test_fast_mode_rejects_crash () =
+  let p = Pmem.create ~size:64 () in
+  Alcotest.check_raises "crash rejected" (Invalid_argument "Pmem.crash: region is in Fast mode")
+    (fun () -> Pmem.crash p ~rng:(Nv_util.Rng.create 1))
+
+let test_charging () =
+  let s = stats () in
+  let p = Pmem.create ~size:4096 () in
+  Pmem.charge_read p s ~off:0 ~len:256;
+  Pmem.charge_write p s ~off:0 ~len:1;
+  Pmem.charge_write p s ~off:255 ~len:2 (* straddles two blocks *);
+  let c = Stats.counters s in
+  Alcotest.(check int) "one block read" 1 c.Stats.nvmm_block_reads;
+  Alcotest.(check int) "three block writes" 3 c.Stats.nvmm_block_writes
+
+let test_stats_clock () =
+  let s = stats () in
+  let spec = Memspec.default in
+  Stats.dram_read s ();
+  Alcotest.(check (float 0.001)) "dram read time" spec.Memspec.dram_read_ns (Stats.now s);
+  Stats.nvmm_write s ~off:0 ~len:256;
+  Alcotest.(check (float 0.001)) "nvmm write adds"
+    (spec.Memspec.dram_read_ns +. spec.Memspec.nvmm_write_block_ns)
+    (Stats.now s);
+  Stats.set_now s 1.0;
+  Alcotest.(check bool) "set_now never rewinds" true (Stats.now s > 1.0)
+
+let test_blocks_touched () =
+  let spec = Memspec.default in
+  Alcotest.(check int) "empty" 0 (Memspec.blocks_touched spec ~off:0 ~len:0);
+  Alcotest.(check int) "within" 1 (Memspec.blocks_touched spec ~off:10 ~len:100);
+  Alcotest.(check int) "exact" 1 (Memspec.blocks_touched spec ~off:256 ~len:256);
+  Alcotest.(check int) "straddle" 2 (Memspec.blocks_touched spec ~off:200 ~len:100);
+  Alcotest.(check int) "big" 5 (Memspec.blocks_touched spec ~off:100 ~len:1024)
+
+let test_layout () =
+  let b = Layout.builder () in
+  let r1 = Layout.reserve b ~name:"a" ~len:100 () in
+  let r2 = Layout.reserve b ~name:"b" ~len:50 ~align:64 () in
+  Alcotest.(check int) "first at 0" 0 r1.Layout.off;
+  Alcotest.(check int) "aligned" 0 (r2.Layout.off mod 64);
+  Alcotest.(check bool) "non-overlapping" true (r2.Layout.off >= 100);
+  Alcotest.(check string) "find" "b" (Layout.find b "b").Layout.name;
+  Alcotest.(check bool) "total covers" true (Layout.total_size b >= r2.Layout.off + 50)
+
+(* Property: any sequence of stores/flushes/fences followed by a crash
+   yields, per line, one of the snapshots that existed — checked by
+   writing a monotone counter and requiring the crash value to be one
+   of the written values or the initial zero. *)
+let prop_crash_value_was_written =
+  QCheck.Test.make ~name:"crash image holds a written value" ~count:200
+    QCheck.(pair (int_range 1 20) (int_range 1 1_000_000))
+    (fun (n_stores, seed) ->
+      let s = stats () in
+      let p = Pmem.create ~mode:Pmem.Crash_safe ~size:256 () in
+      let rng = Nv_util.Rng.create seed in
+      for i = 1 to n_stores do
+        Pmem.set_i64 p 0 (Int64.of_int i);
+        if Nv_util.Rng.int rng 3 = 0 then Pmem.flush p s ~off:0 ~len:8;
+        if Nv_util.Rng.int rng 4 = 0 then Pmem.fence p s
+      done;
+      Pmem.crash p ~rng;
+      let v = Int64.to_int (Pmem.get_i64 p 0) in
+      v >= 0 && v <= n_stores)
+
+let suites =
+  [
+    ( "nvmm",
+      [
+        Alcotest.test_case "accessors" `Quick test_accessors;
+        Alcotest.test_case "bounds" `Quick test_bounds_checked;
+        Alcotest.test_case "crash discards unflushed" `Quick test_crash_discards_unflushed;
+        Alcotest.test_case "crash may keep all" `Quick test_crash_may_keep_everything;
+        Alcotest.test_case "prefix consistency" `Quick test_crash_prefix_consistency;
+        Alcotest.test_case "fence clears dirty" `Quick test_fence_clears_dirty;
+        Alcotest.test_case "flush alone not durable" `Quick test_flush_without_fence_not_durable;
+        Alcotest.test_case "store after flush" `Quick test_store_after_flush;
+        Alcotest.test_case "fast mode no crash" `Quick test_fast_mode_rejects_crash;
+        Alcotest.test_case "charging" `Quick test_charging;
+        Alcotest.test_case "stats clock" `Quick test_stats_clock;
+        Alcotest.test_case "blocks touched" `Quick test_blocks_touched;
+        Alcotest.test_case "layout" `Quick test_layout;
+        QCheck_alcotest.to_alcotest prop_crash_value_was_written;
+      ] );
+  ]

@@ -1,0 +1,157 @@
+(* Utility-layer tests: RNG determinism, Zipf shape, histogram
+   percentiles, priority-queue ordering, hash properties. *)
+
+let test_rng_determinism () =
+  let a = Nv_util.Rng.create 42 and b = Nv_util.Rng.create 42 in
+  for _ = 1 to 1000 do
+    Alcotest.(check int64) "same stream" (Nv_util.Rng.next_int64 a) (Nv_util.Rng.next_int64 b)
+  done
+
+let test_rng_split_independent () =
+  let a = Nv_util.Rng.create 42 in
+  let c = Nv_util.Rng.split a in
+  let x = Nv_util.Rng.next_int64 a and y = Nv_util.Rng.next_int64 c in
+  Alcotest.(check bool) "split streams differ" true (x <> y)
+
+let test_rng_bounds () =
+  let rng = Nv_util.Rng.create 1 in
+  for _ = 1 to 10000 do
+    let v = Nv_util.Rng.int rng 17 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 17);
+    let w = Nv_util.Rng.int_in rng 5 9 in
+    Alcotest.(check bool) "in closed range" true (w >= 5 && w <= 9);
+    let f = Nv_util.Rng.float rng in
+    Alcotest.(check bool) "unit float" true (f >= 0.0 && f < 1.0)
+  done
+
+let test_rng_uniformity () =
+  let rng = Nv_util.Rng.create 9 in
+  let buckets = Array.make 10 0 in
+  let n = 100_000 in
+  for _ = 1 to n do
+    let i = Nv_util.Rng.int rng 10 in
+    buckets.(i) <- buckets.(i) + 1
+  done;
+  Array.iter
+    (fun c ->
+      let expected = n / 10 in
+      Alcotest.(check bool) "within 5% of uniform" true (abs (c - expected) < expected / 20))
+    buckets
+
+let test_shuffle_permutes () =
+  let rng = Nv_util.Rng.create 5 in
+  let a = Array.init 100 Fun.id in
+  Nv_util.Rng.shuffle rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "permutation" (Array.init 100 Fun.id) sorted
+
+let test_zipf_skew () =
+  let z = Nv_util.Zipf.create ~n:10_000 ~theta:0.99 in
+  let rng = Nv_util.Rng.create 77 in
+  let top10 = ref 0 and n = 50_000 in
+  for _ = 1 to n do
+    let r = Nv_util.Zipf.sample z rng in
+    Alcotest.(check bool) "rank in range" true (r >= 0 && r < 10_000);
+    if r < 10 then incr top10
+  done;
+  (* With theta = 0.99 over 10k items, the top-10 ranks draw roughly a
+     quarter of the mass; uniform would give 0.1%. *)
+  Alcotest.(check bool) "skewed towards head" true (float_of_int !top10 /. float_of_int n > 0.15)
+
+let test_zipf_uniform_degenerate () =
+  let z = Nv_util.Zipf.create ~n:100 ~theta:0.0 in
+  let rng = Nv_util.Rng.create 3 in
+  let buckets = Array.make 100 0 in
+  for _ = 1 to 100_000 do
+    buckets.(Nv_util.Zipf.sample z rng) <- buckets.(Nv_util.Zipf.sample z rng) + 1
+  done;
+  let max_b = Array.fold_left max 0 buckets and min_b = Array.fold_left min max_int buckets in
+  Alcotest.(check bool) "roughly uniform" true (float_of_int max_b /. float_of_int min_b < 2.0)
+
+let test_histogram_basic () =
+  let h = Nv_util.Histogram.create () in
+  for i = 1 to 1000 do
+    Nv_util.Histogram.add h (float_of_int i)
+  done;
+  Alcotest.(check int) "count" 1000 (Nv_util.Histogram.count h);
+  Alcotest.(check bool) "mean near 500" true (abs_float (Nv_util.Histogram.mean h -. 500.5) < 1.0);
+  let p50 = Nv_util.Histogram.percentile h 50.0 in
+  Alcotest.(check bool) "p50 within bucket error" true (p50 > 400.0 && p50 < 620.0);
+  let p99 = Nv_util.Histogram.percentile h 99.0 in
+  Alcotest.(check bool) "p99 near max" true (p99 > 900.0 && p99 <= 1000.0)
+
+let test_histogram_merge () =
+  let a = Nv_util.Histogram.create () and b = Nv_util.Histogram.create () in
+  Nv_util.Histogram.add a 10.0;
+  Nv_util.Histogram.add b 20.0;
+  let m = Nv_util.Histogram.merge a b in
+  Alcotest.(check int) "merged count" 2 (Nv_util.Histogram.count m);
+  Alcotest.(check (float 0.01)) "merged mean" 15.0 (Nv_util.Histogram.mean m)
+
+let test_pqueue_ordering () =
+  let q = Nv_util.Pqueue.create () in
+  let rng = Nv_util.Rng.create 11 in
+  let items = List.init 500 (fun i -> (Nv_util.Rng.float rng, i)) in
+  List.iter (fun (p, v) -> Nv_util.Pqueue.push q ~prio:p v) items;
+  Alcotest.(check int) "size" 500 (Nv_util.Pqueue.size q);
+  let rec drain last acc =
+    match Nv_util.Pqueue.peek_prio q with
+    | None -> acc
+    | Some p ->
+        Alcotest.(check bool) "non-decreasing" true (p >= last);
+        ignore (Nv_util.Pqueue.pop q);
+        drain p (acc + 1)
+  in
+  Alcotest.(check int) "drained all" 500 (drain neg_infinity 0)
+
+let test_pqueue_fifo_ties () =
+  let q = Nv_util.Pqueue.create () in
+  List.iter (fun v -> Nv_util.Pqueue.push q ~prio:1.0 v) [ 1; 2; 3; 4 ];
+  let order = List.init 4 (fun _ -> Option.get (Nv_util.Pqueue.pop q)) in
+  Alcotest.(check (list int)) "ties pop in insertion order" [ 1; 2; 3; 4 ] order
+
+let prop_fnv_nonnegative =
+  QCheck.Test.make ~name:"fnv hashes are non-negative" ~count:1000 QCheck.int64 (fun k ->
+      Nv_util.Fnv.hash_int64 k >= 0)
+
+let prop_fnv_deterministic =
+  QCheck.Test.make ~name:"fnv deterministic" ~count:1000 QCheck.string (fun s ->
+      Nv_util.Fnv.hash_string s = Nv_util.Fnv.hash_string s)
+
+let prop_pqueue_sorted =
+  QCheck.Test.make ~name:"pqueue pops sorted" ~count:100
+    QCheck.(list (float_bound_exclusive 1.0))
+    (fun prios ->
+      let q = Nv_util.Pqueue.create () in
+      List.iteri (fun i p -> Nv_util.Pqueue.push q ~prio:p i) prios;
+      let rec drain acc =
+        match Nv_util.Pqueue.peek_prio q with
+        | None -> List.rev acc
+        | Some p ->
+            ignore (Nv_util.Pqueue.pop q);
+            drain (p :: acc)
+      in
+      let out = drain [] in
+      out = List.sort compare prios)
+
+let suites =
+  [
+    ( "util",
+      [
+        Alcotest.test_case "rng determinism" `Quick test_rng_determinism;
+        Alcotest.test_case "rng split" `Quick test_rng_split_independent;
+        Alcotest.test_case "rng bounds" `Quick test_rng_bounds;
+        Alcotest.test_case "rng uniformity" `Quick test_rng_uniformity;
+        Alcotest.test_case "shuffle permutes" `Quick test_shuffle_permutes;
+        Alcotest.test_case "zipf skew" `Quick test_zipf_skew;
+        Alcotest.test_case "zipf uniform" `Quick test_zipf_uniform_degenerate;
+        Alcotest.test_case "histogram basic" `Quick test_histogram_basic;
+        Alcotest.test_case "histogram merge" `Quick test_histogram_merge;
+        Alcotest.test_case "pqueue ordering" `Quick test_pqueue_ordering;
+        Alcotest.test_case "pqueue fifo ties" `Quick test_pqueue_fifo_ties;
+        QCheck_alcotest.to_alcotest prop_fnv_nonnegative;
+        QCheck_alcotest.to_alcotest prop_fnv_deterministic;
+        QCheck_alcotest.to_alcotest prop_pqueue_sorted;
+      ] );
+  ]

@@ -1,0 +1,144 @@
+(* Zen baseline tests: commit semantics, caching, deletion, recovery
+   via double scan, and cost-profile contrasts with NVCaracal. *)
+
+module Txn = Nvcaracal.Txn
+module Table = Nvcaracal.Table
+module Stats = Nv_nvmm.Stats
+
+let tables = [ Table.make ~id:0 ~name:"t" () ]
+
+let config =
+  { Nv_zen.Zen_db.default_config with cores = 4; slots_per_core = 4096; cache_entries = 64 }
+
+let update key data =
+  Txn.make ~input:Bytes.empty ~write_set:[ Txn.Update { table = 0; key } ] (fun ctx ->
+      ctx.Txn.Ctx.write ~table:0 ~key data)
+
+let mk_db ?(n = 16) () =
+  let db = Nv_zen.Zen_db.create ~config ~tables () in
+  Nv_zen.Zen_db.bulk_load db
+    (Seq.init n (fun i -> (0, Int64.of_int i, Bytes.of_string (Printf.sprintf "z%d" i))));
+  db
+
+let test_basic () =
+  let db = mk_db () in
+  Alcotest.(check (option string)) "loaded" (Some "z3")
+    (Option.map Bytes.to_string (Nv_zen.Zen_db.read_committed db ~table:0 ~key:3L));
+  Nv_zen.Zen_db.exec_batch db [| update 3L (Bytes.of_string "new") |];
+  Alcotest.(check (option string)) "updated" (Some "new")
+    (Option.map Bytes.to_string (Nv_zen.Zen_db.read_committed db ~table:0 ~key:3L));
+  Alcotest.(check int) "committed" 1 (Nv_zen.Zen_db.committed_txns db)
+
+let test_abort_discards () =
+  let db = mk_db () in
+  let aborter =
+    Txn.make ~input:Bytes.empty ~write_set:[ Txn.Update { table = 0; key = 1L } ] (fun ctx ->
+        ctx.Txn.Ctx.write ~table:0 ~key:1L (Bytes.of_string "never");
+        ctx.Txn.Ctx.abort ())
+  in
+  Nv_zen.Zen_db.exec_batch db [| aborter |];
+  Alcotest.(check int) "aborted" 1 (Nv_zen.Zen_db.aborted_txns db);
+  Alcotest.(check (option string)) "unchanged" (Some "z1")
+    (Option.map Bytes.to_string (Nv_zen.Zen_db.read_committed db ~table:0 ~key:1L))
+
+let test_rmw_chain () =
+  let db = mk_db () in
+  let rmw key =
+    Txn.make ~input:Bytes.empty ~write_set:[ Txn.Update { table = 0; key } ] (fun ctx ->
+        match ctx.Txn.Ctx.read ~table:0 ~key with
+        | Some v -> ctx.Txn.Ctx.write ~table:0 ~key (Bytes.cat v (Bytes.of_string "+"))
+        | None -> failwith "missing")
+  in
+  Nv_zen.Zen_db.exec_batch db (Array.init 5 (fun _ -> rmw 2L));
+  Alcotest.(check (option string)) "chained" (Some "z2+++++")
+    (Option.map Bytes.to_string (Nv_zen.Zen_db.read_committed db ~table:0 ~key:2L))
+
+let test_insert_delete () =
+  let db = mk_db () in
+  let ins =
+    Txn.make ~input:Bytes.empty
+      ~write_set:[ Txn.Insert { table = 0; key = 100L; data = Some (Bytes.of_string "fresh") } ]
+      (fun _ -> ())
+  in
+  let del =
+    Txn.make ~input:Bytes.empty ~write_set:[ Txn.Delete { table = 0; key = 100L } ] (fun ctx ->
+        ctx.Txn.Ctx.delete ~table:0 ~key:100L)
+  in
+  Nv_zen.Zen_db.exec_batch db [| ins |];
+  Alcotest.(check bool) "inserted" true (Nv_zen.Zen_db.read_committed db ~table:0 ~key:100L <> None);
+  Nv_zen.Zen_db.exec_batch db [| del |];
+  Alcotest.(check bool) "deleted" true (Nv_zen.Zen_db.read_committed db ~table:0 ~key:100L = None)
+
+let test_every_update_hits_nvmm () =
+  (* Zen's defining cost: N updates to one hot key = N NVMM record
+     writes. NVCaracal in the same situation persists once. *)
+  let db = mk_db () in
+  let t0 = Nv_zen.Zen_db.total_time_ns db in
+  Nv_zen.Zen_db.exec_batch db (Array.init 10 (fun _ -> update 1L (Bytes.of_string "hot")));
+  Alcotest.(check bool) "time advanced" true (Nv_zen.Zen_db.total_time_ns db > t0);
+  let m = Nv_zen.Zen_db.mem_report db in
+  (* 16 loaded plus at least one fresh record per core before freed
+     slots start being recycled. *)
+  Alcotest.(check bool) "record churn" true
+    (m.Nvcaracal.Report.nvmm_rows >= 17 * config.record_size)
+
+let test_recovery_two_scans () =
+  let db = mk_db ~n:32 () in
+  Nv_zen.Zen_db.exec_batch db (Array.init 20 (fun i -> update (Int64.of_int (i mod 8)) (Bytes.make 8 'u')));
+  let expected = ref [] in
+  Nv_zen.Zen_db.iter_committed db ~table:0 (fun k v -> expected := (k, Bytes.to_string v) :: !expected);
+  let db2, report = Nv_zen.Zen_db.recover ~config ~tables ~pmem:(Nv_zen.Zen_db.pmem db) () in
+  let got = ref [] in
+  Nv_zen.Zen_db.iter_committed db2 ~table:0 (fun k v -> got := (k, Bytes.to_string v) :: !got);
+  Alcotest.(check bool) "state preserved" true
+    (List.sort compare !expected = List.sort compare !got);
+  Alcotest.(check int) "live rows" 32 report.Nv_zen.Zen_db.live_rows;
+  (* Both scans cover the full arena capacity. *)
+  Alcotest.(check int) "scans full arena" (config.cores * config.slots_per_core)
+    report.Nv_zen.Zen_db.scanned_slots;
+  Alcotest.(check bool) "two scan phases" true
+    (report.Nv_zen.Zen_db.scan1_ns > 0.0 && report.Nv_zen.Zen_db.scan2_ns > 0.0);
+  (* The recovered engine keeps working. *)
+  Nv_zen.Zen_db.exec_batch db2 [| update 1L (Bytes.of_string "post") |];
+  Alcotest.(check (option string)) "post-recovery update" (Some "post")
+    (Option.map Bytes.to_string (Nv_zen.Zen_db.read_committed db2 ~table:0 ~key:1L))
+
+(* The same transaction stream produces the same final state on both
+   engines (Zen executes serially; NVCaracal's serial order is the
+   batch order). *)
+let test_same_final_state_as_nvcaracal () =
+  let rng = Nv_util.Rng.create 99 in
+  let batches =
+    List.init 4 (fun _ ->
+        Array.init 16 (fun _ ->
+            let key = Int64.of_int (Nv_util.Rng.int rng 16) in
+            update key (Bytes.of_string (Printf.sprintf "v%d" (Nv_util.Rng.int rng 1000)))))
+  in
+  let zen = mk_db () in
+  List.iter (fun b -> Nv_zen.Zen_db.exec_batch zen b) batches;
+  let nv_config =
+    Nvcaracal.Config.make ~cores:4 ~rows_per_core:4096 ~values_per_core:4096
+      ~freelist_capacity:4096 ()
+  in
+  let nv = Nvcaracal.Db.create ~config:nv_config ~tables () in
+  Nvcaracal.Db.bulk_load nv
+    (Seq.init 16 (fun i -> (0, Int64.of_int i, Bytes.of_string (Printf.sprintf "z%d" i))));
+  List.iter (fun b -> ignore (Nvcaracal.Db.run_epoch nv b)) batches;
+  let z = ref [] and n = ref [] in
+  Nv_zen.Zen_db.iter_committed zen ~table:0 (fun k v -> z := (k, Bytes.to_string v) :: !z);
+  Nvcaracal.Db.iter_committed nv ~table:0 (fun k v -> n := (k, Bytes.to_string v) :: !n);
+  Alcotest.(check bool) "states agree" true (List.sort compare !z = List.sort compare !n)
+
+let suites =
+  [
+    ( "zen",
+      [
+        Alcotest.test_case "basic" `Quick test_basic;
+        Alcotest.test_case "abort discards" `Quick test_abort_discards;
+        Alcotest.test_case "rmw chain" `Quick test_rmw_chain;
+        Alcotest.test_case "insert/delete" `Quick test_insert_delete;
+        Alcotest.test_case "every update hits NVMM" `Quick test_every_update_hits_nvmm;
+        Alcotest.test_case "recovery two scans" `Quick test_recovery_two_scans;
+        Alcotest.test_case "matches nvcaracal" `Quick test_same_final_state_as_nvcaracal;
+      ] );
+  ]
