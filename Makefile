@@ -1,0 +1,27 @@
+# Convenience entry points; everything is plain dune underneath.
+
+.PHONY: all build test fmt-check check bench clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+# ocamlformat is optional in the dev image; enforce only when present.
+fmt-check:
+	@if command -v ocamlformat >/dev/null 2>&1; then \
+	  dune build @fmt; \
+	else \
+	  echo "ocamlformat not installed; skipping format check"; \
+	fi
+
+check: build test fmt-check
+
+bench:
+	dune exec bench/main.exe
+
+clean:
+	dune clean

@@ -16,6 +16,48 @@ let list_experiments () =
     (fun (id, desc, _) -> Format.fprintf ppf "%-8s %s@." id desc)
     Nv_harness.Experiments.all
 
+(* Install the shared observability sinks behind --trace/--metrics and
+   return a flush function writing the collected data out after the
+   selected experiments ran. *)
+let setup_observability ~trace_file ~metrics_file =
+  let tracer =
+    match trace_file with
+    | None -> None
+    | Some _ ->
+        let tr = Nv_obs.Tracer.create () in
+        Nv_harness.Runner.default_tracer := tr;
+        Some tr
+  in
+  let metrics =
+    match metrics_file with
+    | None -> None
+    | Some _ ->
+        let m = Nv_obs.Metrics.create () in
+        Nv_harness.Runner.default_metrics := m;
+        Some m
+  in
+  let write what f file =
+    try f file
+    with Sys_error msg ->
+      Format.eprintf "nvcaracal-bench: cannot write %s file: %s@." what msg;
+      exit 1
+  in
+  fun () ->
+    (match (trace_file, tracer) with
+    | Some file, Some tr ->
+        write "trace" (Nv_obs.Trace_export.write_file tr) file;
+        Format.fprintf ppf "@.wrote %d trace events to %s (open in ui.perfetto.dev)@."
+          (Nv_obs.Tracer.event_count tr)
+          file
+    | _ -> ());
+    match (metrics_file, metrics) with
+    | Some file, Some m ->
+        write "metrics" (Nv_obs.Metrics.write_jsonl m) file;
+        Format.fprintf ppf "wrote %d epoch metric records to %s@."
+          (List.length (Nv_obs.Metrics.records m))
+          file
+    | _ -> ()
+
 let run_experiments only =
   let selected =
     match only with
@@ -142,14 +184,32 @@ let () =
   let micro_flag =
     Arg.(value & flag & info [ "micro" ] ~doc:"Run Bechamel microbenchmarks instead.")
   in
-  let main only list_it micro_it =
+  let trace_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:"Record simulated-time spans and write a Perfetto/Chrome trace to $(docv).")
+  in
+  let metrics_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics" ] ~docv:"FILE"
+          ~doc:"Write per-epoch metric snapshots (JSON lines) to $(docv).")
+  in
+  let main only list_it micro_it trace_file metrics_file =
     if list_it then list_experiments ()
     else if micro_it then micro ()
-    else run_experiments only
+    else begin
+      let flush_obs = setup_observability ~trace_file ~metrics_file in
+      run_experiments only;
+      flush_obs ()
+    end
   in
   let cmd =
     Cmd.v
       (Cmd.info "nvcaracal-bench" ~doc:"Regenerate the paper's tables and figures")
-      Term.(const main $ only $ list_flag $ micro_flag)
+      Term.(const main $ only $ list_flag $ micro_flag $ trace_file $ metrics_file)
   in
   exit (Cmd.eval cmd)

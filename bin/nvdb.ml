@@ -43,6 +43,45 @@ let engine_arg =
   in
   Arg.(value & opt string "nvcaracal" & info [ "e"; "engine" ] ~docv:"ENGINE" ~doc)
 
+let trace_arg =
+  let doc = "Record simulated-time spans and write a Perfetto/Chrome trace to $(docv)." in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let metrics_arg =
+  let doc = "Write per-epoch metric snapshots (JSON lines) to $(docv)." in
+  Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
+
+(* Build the sinks requested on the command line; the returned flush
+   writes the files once the run completed. *)
+let observability trace_file metrics_file =
+  let tracer = match trace_file with None -> None | Some _ -> Some (Nv_obs.Tracer.create ()) in
+  let metrics =
+    match metrics_file with None -> None | Some _ -> Some (Nv_obs.Metrics.create ())
+  in
+  let write what f file =
+    try f file
+    with Sys_error msg ->
+      Format.eprintf "nvdb: cannot write %s file: %s@." what msg;
+      exit 1
+  in
+  let flush () =
+    (match (trace_file, tracer) with
+    | Some file, Some tr ->
+        write "trace" (Nv_obs.Trace_export.write_file tr) file;
+        Format.fprintf ppf "wrote %d trace events to %s (open in ui.perfetto.dev)@."
+          (Nv_obs.Tracer.event_count tr)
+          file
+    | _ -> ());
+    match (metrics_file, metrics) with
+    | Some file, Some m ->
+        write "metrics" (Nv_obs.Metrics.write_jsonl m) file;
+        Format.fprintf ppf "wrote %d epoch metric records to %s@."
+          (List.length (Nv_obs.Metrics.records m))
+          file
+    | _ -> ()
+  in
+  (tracer, metrics, flush)
+
 let resolve_workload name contention =
   let level3 =
     match contention with
@@ -79,13 +118,17 @@ let print_result (r : Runner.result) =
       r.Runner.last_epoch_phases
 
 let run_cmd =
-  let run workload contention engine epochs txns seed =
+  let run workload contention engine epochs txns seed trace_file metrics_file =
     let w, growth = resolve_workload workload contention in
     let setup = Runner.setup ~epochs ~epoch_txns:txns ~seed ~insert_growth:growth () in
+    let tracer, metrics, flush_obs = observability trace_file metrics_file in
     let result =
       match engine with
-      | "zen" -> Runner.run_zen setup w ()
-      | "aria" -> Runner.run_aria setup w ()
+      | "zen" ->
+          if trace_file <> None || metrics_file <> None then
+            Format.fprintf ppf "note: --trace/--metrics instrument the NVCaracal engines only@.";
+          Runner.run_zen setup w ()
+      | "aria" -> Runner.run_aria setup w ?tracer ?metrics ()
       | name -> (
           let variant =
             List.find_opt
@@ -94,29 +137,35 @@ let run_cmd =
                 Config.All_dram; Config.Wal ]
           in
           match variant with
-          | Some variant -> Runner.run_nvcaracal setup w ~variant ()
+          | Some variant -> Runner.run_nvcaracal setup w ~variant ?tracer ?metrics ()
           | None -> failwith (Printf.sprintf "unknown engine %S" name))
     in
-    print_result result
+    print_result result;
+    flush_obs ()
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run a benchmark workload")
     Term.(
-      const run $ workload_arg $ contention_arg $ engine_arg $ epochs_arg $ txns_arg $ seed_arg)
+      const run $ workload_arg $ contention_arg $ engine_arg $ epochs_arg $ txns_arg $ seed_arg
+      $ trace_arg $ metrics_arg)
 
 let recover_cmd =
-  let run workload contention epochs txns seed =
+  let run workload contention epochs txns seed trace_file metrics_file =
     let w, growth = resolve_workload workload contention in
     let setup = Runner.setup ~epochs ~epoch_txns:txns ~seed ~insert_growth:growth () in
+    let tracer, metrics, flush_obs = observability trace_file metrics_file in
     let { Runner.r_label; report } =
-      Runner.run_recovery setup w ~crash_after_txns:(txns * 9 / 10) ()
+      Runner.run_recovery setup w ~crash_after_txns:(txns * 9 / 10) ?tracer ?metrics ()
     in
     Format.fprintf ppf "workload %s crashed mid-epoch and recovered:@." r_label;
-    Format.fprintf ppf "%a@." Nvcaracal.Report.pp_recovery_report report
+    Format.fprintf ppf "%a@." Nvcaracal.Report.pp_recovery_report report;
+    flush_obs ()
   in
   Cmd.v
     (Cmd.info "recover" ~doc:"Crash a run mid-epoch and measure recovery")
-    Term.(const run $ workload_arg $ contention_arg $ epochs_arg $ txns_arg $ seed_arg)
+    Term.(
+      const run $ workload_arg $ contention_arg $ epochs_arg $ txns_arg $ seed_arg $ trace_arg
+      $ metrics_arg)
 
 let mem_cmd =
   let run workload contention epochs txns seed =

@@ -14,6 +14,8 @@ module HIdx = Nv_index.Hash_index
 module OIdx = Nv_index.Ordered_index
 module BIdx = Nv_index.Btree_index
 module VA = Version_array
+module Tracer = Nv_obs.Tracer
+module Metrics = Nv_obs.Metrics
 
 type index = Hash of Row.t HIdx.t | Ord of Row.t OIdx.t | Bt of Row.t BIdx.t
 
@@ -79,6 +81,10 @@ type t = {
   mutable m_cache_misses0 : int;
   mutable last_outcomes : bool array; (* per-txn aborted flags, last epoch *)
   mutable phase_hook : (phase -> unit) option;
+  (* Observability (no-op sinks unless installed). *)
+  mutable tracer : Tracer.t;
+  mutable metrics : Metrics.t;
+  mutable m_access0 : Stats.counters; (* access-counter totals at epoch start *)
 }
 
 let config t = t.config
@@ -161,6 +167,9 @@ let attach (cfg : Config.t) tables pmem =
     m_cache_misses0 = 0;
     last_outcomes = [||];
     phase_hook = None;
+    tracer = Tracer.null;
+    metrics = Metrics.null;
+    m_access0 = Stats.zero_counters;
   }
 
 let create ~config ~tables () =
@@ -171,6 +180,89 @@ let create ~config ~tables () =
 let epoch t = t.epoch
 let set_phase_hook t hook = t.phase_hook <- Some hook
 let hook t phase = match t.phase_hook with Some f -> f phase | None -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Observability                                                       *)
+
+let counters_total t =
+  Array.fold_left
+    (fun acc s -> Stats.merge_counters acc (Stats.counters s))
+    Stats.zero_counters t.core_stats
+
+let set_observability ?tracer ?metrics ?name t =
+  (match tracer with
+  | Some tr ->
+      t.tracer <- tr;
+      Tracer.set_clock tr (fun core ->
+          Stats.now t.core_stats.(core mod Array.length t.core_stats));
+      Tracer.open_process tr ~name:(Option.value name ~default:"nvcaracal")
+  | None -> ());
+  match metrics with
+  | Some m ->
+      t.metrics <- m;
+      if Metrics.enabled m then t.m_access0 <- counters_total t
+  | None -> ()
+
+(* Record one epoch-phase span per core: each begins at the core's
+   clock when the phase starts (cores are aligned by the preceding
+   barrier) and ends at that core's clock when the phase's work is done
+   — so per-core skew inside a phase is visible in the trace. If [f]
+   raises (crash injection), no span is recorded. *)
+let phase_span t name f =
+  let tr = t.tracer in
+  if not (Tracer.enabled tr) then f ()
+  else begin
+    let begins = Array.map Stats.now t.core_stats in
+    let r = f () in
+    Array.iteri
+      (fun core s ->
+        Tracer.complete tr ~core ~name ~cat:"epoch" ~ts:begins.(core)
+          ~dur:(Stats.now s -. begins.(core)) ())
+      t.core_stats;
+    r
+  end
+
+(* Per-epoch metrics snapshot: engine counters come straight from the
+   epoch report (so JSONL records reconcile exactly with what the
+   harness prints); access counters are the per-epoch delta of the
+   merged per-core {!Stats}; allocator/cache levels are gauges. *)
+let publish_epoch_metrics t (r : Report.epoch_stats) =
+  let m = t.metrics in
+  if Metrics.enabled m then begin
+    let c name v = Metrics.set_counter (Metrics.counter m name) v in
+    let g name v = Metrics.set_gauge (Metrics.gauge m name) v in
+    c "txns" r.Report.txns;
+    c "committed" (r.Report.txns - r.Report.aborted);
+    c "aborted" r.Report.aborted;
+    c "version_writes" r.Report.version_writes;
+    c "persistent_writes" r.Report.persistent_writes;
+    c "transient_only_writes" r.Report.transient_only_writes;
+    c "minor_gc" r.Report.minor_gc;
+    c "major_gc" r.Report.major_gc;
+    c "evicted" r.Report.evicted;
+    c "cache_hits" r.Report.cache_hits;
+    c "cache_misses" r.Report.cache_misses;
+    c "log_bytes" r.Report.log_bytes;
+    g "duration_ns" r.Report.duration_ns;
+    let tot = counters_total t in
+    let d = t.m_access0 in
+    c "dram_reads" (tot.Stats.dram_reads - d.Stats.dram_reads);
+    c "dram_writes" (tot.Stats.dram_writes - d.Stats.dram_writes);
+    c "nvmm_block_reads" (tot.Stats.nvmm_block_reads - d.Stats.nvmm_block_reads);
+    c "nvmm_block_writes" (tot.Stats.nvmm_block_writes - d.Stats.nvmm_block_writes);
+    c "nvmm_seq_bytes" (tot.Stats.nvmm_seq_bytes - d.Stats.nvmm_seq_bytes);
+    c "pmem_flushes" (tot.Stats.flushes - d.Stats.flushes);
+    c "pmem_fences" (tot.Stats.fences - d.Stats.fences);
+    c "compute_ops" (tot.Stats.compute_ops - d.Stats.compute_ops);
+    t.m_access0 <- tot;
+    g "rows_allocated" (float_of_int (Slab.allocated_slots t.row_pool));
+    g "value_bytes_allocated" (float_of_int (VPools.allocated_bytes t.value_pool));
+    g "transient_peak_bytes" (float_of_int (TP.peak_bytes t.tpool));
+    g "cache_entries" (float_of_int (Cache.entries t.cache));
+    g "cache_bytes" (float_of_int (Cache.data_bytes t.cache));
+    g "log_high_water_bytes" (float_of_int t.log_high_water);
+    ignore (Metrics.snapshot m ~epoch:t.epoch)
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Small helpers                                                       *)
@@ -547,7 +639,10 @@ let major_gc t =
       collect_frees ();
       rotate_rows ()
     end;
-    t.m_major_gc <- t.m_major_gc + n
+    t.m_major_gc <- t.m_major_gc + n;
+    Tracer.instant t.tracer ~core:0 ~name:"major-gc rows" ~cat:"gc"
+      ~args:[ ("rows", Nv_obs.Jsonx.Int n) ]
+      ()
   end
 
 (* Flush the epoch's net index changes to the persistent index in one
@@ -781,15 +876,16 @@ let run_epoch_internal ?(replay = false) t txns =
   let n = Array.length txns in
   let t_start = barrier t in
   (* --- Log transaction inputs (section 4.3). --- *)
-  if Config.logging_enabled cfg && not replay then begin
-    Log.begin_epoch t.log (stats_of t 0) ~epoch:t.epoch;
-    Array.iteri
-      (fun i (txn : Txn.t) -> Log.append t.log (stats_of t (core_of t i)) txn.Txn.input)
-      txns;
-    Log.commit t.log (stats_of t 0);
-    t.log_high_water <- max t.log_high_water (Log.bytes_appended t.log)
-  end;
-  hook t Log_done;
+  phase_span t "input-log" (fun () ->
+      if Config.logging_enabled cfg && not replay then begin
+        Log.begin_epoch t.log (stats_of t 0) ~epoch:t.epoch;
+        Array.iteri
+          (fun i (txn : Txn.t) -> Log.append t.log (stats_of t (core_of t i)) txn.Txn.input)
+          txns;
+        Log.commit t.log (stats_of t 0);
+        t.log_high_water <- max t.log_high_water (Log.bytes_appended t.log)
+      end;
+      hook t Log_done);
   let t_log = barrier t in
   (* --- Insert step. --- *)
   let entries = Array.make n (ref []) in
@@ -798,48 +894,57 @@ let run_epoch_internal ?(replay = false) t txns =
   for i = 0 to n - 1 do
     entries.(i) <- ref []
   done;
-  for i = 0 to n - 1 do
-    let core = core_of t i in
-    let stats = stats_of t core in
-    let sid = Sid.make ~epoch:t.epoch ~seq:i in
-    let static_inserts =
-      List.filter_map
-        (function
-          | Txn.Insert { table; key; data } -> Some (table, key, data)
-          | Txn.Update _ | Txn.Delete _ -> None)
-        txns.(i).Txn.write_set
-    in
-    let generated =
-      match txns.(i).Txn.insert_gen with
-      | None -> []
-      | Some gen ->
-          let ctx =
-            make_ctx t ~core ~sid ~mode:Init ~entries_of_txn:entries.(i) ~notes:notes.(i)
-              ~wrote:(ref true)
-          in
-          List.map
+  phase_span t "insert" (fun () ->
+      for i = 0 to n - 1 do
+        let core = core_of t i in
+        let stats = stats_of t core in
+        let sid = Sid.make ~epoch:t.epoch ~seq:i in
+        let static_inserts =
+          List.filter_map
             (function
-              | Txn.Insert { table; key; data } -> (table, key, data)
-              | Txn.Update _ | Txn.Delete _ ->
-                  invalid_arg "Db: insert_gen may only produce Insert ops")
-            (gen ctx)
-    in
-    List.iter
-      (fun (table, key, data) -> do_insert t stats ~core ~sid ~table ~key ~data entries.(i))
-      (static_inserts @ generated)
-  done;
-  hook t Insert_done;
+              | Txn.Insert { table; key; data } -> Some (table, key, data)
+              | Txn.Update _ | Txn.Delete _ -> None)
+            txns.(i).Txn.write_set
+        in
+        let generated =
+          match txns.(i).Txn.insert_gen with
+          | None -> []
+          | Some gen ->
+              let ctx =
+                make_ctx t ~core ~sid ~mode:Init ~entries_of_txn:entries.(i) ~notes:notes.(i)
+                  ~wrote:(ref true)
+              in
+              List.map
+                (function
+                  | Txn.Insert { table; key; data } -> (table, key, data)
+                  | Txn.Update _ | Txn.Delete _ ->
+                      invalid_arg "Db: insert_gen may only produce Insert ops")
+                (gen ctx)
+        in
+        List.iter
+          (fun (table, key, data) -> do_insert t stats ~core ~sid ~table ~key ~data entries.(i))
+          (static_inserts @ generated)
+      done;
+      hook t Insert_done);
   let t_insert = barrier t in
   (* --- Major GC, then cache eviction (initialization phase). --- *)
-  major_gc t;
-  hook t Gc_done;
-  if Config.caching_enabled cfg then
-    t.m_evicted <-
-      Cache.evict t.cache (stats_of t (t.epoch mod cfg.Config.cores)) ~current_epoch:t.epoch
-        ~k:cfg.Config.cache_k;
+  phase_span t "major-gc" (fun () ->
+      major_gc t;
+      hook t Gc_done);
+  phase_span t "evict" (fun () ->
+      if Config.caching_enabled cfg then begin
+        t.m_evicted <-
+          Cache.evict t.cache (stats_of t (t.epoch mod cfg.Config.cores)) ~current_epoch:t.epoch
+            ~k:cfg.Config.cache_k;
+        Tracer.instant t.tracer ~core:(t.epoch mod cfg.Config.cores) ~name:"cache-evict"
+          ~cat:"cache"
+          ~args:[ ("evicted", Nv_obs.Jsonx.Int t.m_evicted) ]
+          ()
+      end);
   let t_gc = barrier t in
   (* --- Append step. --- *)
   let recon_reads = Array.make n [] in
+  phase_span t "append" (fun () ->
   for i = 0 to n - 1 do
     let core = core_of t i in
     let stats = stats_of t core in
@@ -889,13 +994,20 @@ let run_epoch_internal ?(replay = false) t txns =
       (fun (table, key, kind) -> do_append t stats ~core ~sid ~table ~key ~kind entries.(i))
       (static_ops @ dynamic_ops @ recon_ops)
   done;
-  hook t Append_done;
+  hook t Append_done);
   let t_append = barrier t in
   (* --- Execution phase. --- *)
+  let txn_sample = if Tracer.enabled t.tracer then Tracer.txn_sample t.tracer else 0 in
+  let exec_hist =
+    if Metrics.enabled t.metrics then Some (Metrics.histogram t.metrics "txn_exec_ns") else None
+  in
+  phase_span t "execute" (fun () ->
   for i = 0 to n - 1 do
     let core = core_of t i in
     let stats = stats_of t core in
     let sid = Sid.make ~epoch:t.epoch ~seq:i in
+    let traced = txn_sample > 0 && i mod txn_sample = 0 in
+    let ts0 = if traced || exec_hist <> None then Stats.now stats else 0.0 in
     let wrote = ref false in
     let ctx =
       make_ctx t ~core ~sid ~mode:(Exec sid) ~entries_of_txn:entries.(i) ~notes:notes.(i) ~wrote
@@ -945,20 +1057,30 @@ let run_epoch_internal ?(replay = false) t txns =
             finalize_row t stats ~core e.e_row
         | Some _ | None -> ())
       !(entries.(i));
+    (if traced || exec_hist <> None then begin
+       let dur = Stats.now stats -. ts0 in
+       if traced then
+         Tracer.complete t.tracer ~core ~name:"txn" ~cat:"txn"
+           ~args:[ ("seq", Nv_obs.Jsonx.Int i); ("aborted", Nv_obs.Jsonx.Bool aborted) ]
+           ~ts:ts0 ~dur ();
+       match exec_hist with Some h -> Metrics.observe h dur | None -> ()
+     end);
     hook t (Exec_txn i)
   done;
-  hook t Exec_done;
+  hook t Exec_done);
   let t_exec = barrier t in
-  (* --- Checkpoint: persist allocators and the epoch number. --- *)
+  (* --- Checkpoint: persist allocators (fence), then the epoch number. --- *)
   let stats0 = stats_of t 0 in
-  Slab.checkpoint t.row_pool (stats_of t) ~epoch:t.epoch;
-  VPools.checkpoint t.value_pool (stats_of t) ~epoch:t.epoch;
-  if cfg.Config.n_counters > 0 then
-    Meta.checkpoint_counters t.meta stats0 ~epoch:t.epoch (Array.copy t.counters);
-  apply_pindex_delta t stats0;
-  Meta.persist_epoch t.meta stats0 ~epoch:t.epoch;
-  t.last_outcomes <- outcomes;
-  hook t Checkpointed;
+  phase_span t "fence" (fun () ->
+      Slab.checkpoint t.row_pool (stats_of t) ~epoch:t.epoch;
+      VPools.checkpoint t.value_pool (stats_of t) ~epoch:t.epoch;
+      if cfg.Config.n_counters > 0 then
+        Meta.checkpoint_counters t.meta stats0 ~epoch:t.epoch (Array.copy t.counters);
+      apply_pindex_delta t stats0);
+  phase_span t "epoch-persist" (fun () ->
+      Meta.persist_epoch t.meta stats0 ~epoch:t.epoch;
+      t.last_outcomes <- outcomes;
+      hook t Checkpointed);
   (* --- Discard the transient pool and per-epoch row state. --- *)
   List.iter
     (fun (row : Row.t) ->
@@ -970,30 +1092,35 @@ let run_epoch_internal ?(replay = false) t txns =
   TP.reset t.tpool;
   if replay && not t.retain_gc_dedup then t.gc_dedup <- Hashtbl.create 16;
   let t_end = barrier t in
-  {
-    Report.epoch = t.epoch;
-    txns = n;
-    aborted = t.m_aborted;
-    version_writes = t.m_version_writes;
-    persistent_writes = t.m_persistent_writes;
-    transient_only_writes = t.m_version_writes - t.m_persistent_writes;
-    minor_gc = t.m_minor_gc;
-    major_gc = t.m_major_gc;
-    evicted = t.m_evicted;
-    cache_hits = Cache.hits t.cache - t.m_cache_hits0;
-    cache_misses = Cache.misses t.cache - t.m_cache_misses0;
-    log_bytes = (if Config.logging_enabled cfg && not replay then Log.bytes_appended t.log else 0);
-    duration_ns = t_end -. t_start;
-    phases =
-      [
-        ("log", t_log -. t_start);
-        ("insert", t_insert -. t_log);
-        ("gc+evict", t_gc -. t_insert);
-        ("append", t_append -. t_gc);
-        ("execute", t_exec -. t_append);
-        ("checkpoint", t_end -. t_exec);
-      ];
-  }
+  let report =
+    {
+      Report.epoch = t.epoch;
+      txns = n;
+      aborted = t.m_aborted;
+      version_writes = t.m_version_writes;
+      persistent_writes = t.m_persistent_writes;
+      transient_only_writes = t.m_version_writes - t.m_persistent_writes;
+      minor_gc = t.m_minor_gc;
+      major_gc = t.m_major_gc;
+      evicted = t.m_evicted;
+      cache_hits = Cache.hits t.cache - t.m_cache_hits0;
+      cache_misses = Cache.misses t.cache - t.m_cache_misses0;
+      log_bytes =
+        (if Config.logging_enabled cfg && not replay then Log.bytes_appended t.log else 0);
+      duration_ns = t_end -. t_start;
+      phases =
+        [
+          ("log", t_log -. t_start);
+          ("insert", t_insert -. t_log);
+          ("gc+evict", t_gc -. t_insert);
+          ("append", t_append -. t_gc);
+          ("execute", t_exec -. t_append);
+          ("checkpoint", t_end -. t_exec);
+        ];
+    }
+  in
+  publish_epoch_metrics t report;
+  report
 
 let run_epoch t txns =
   if not t.loaded then invalid_arg "Db.run_epoch: call bulk_load first";
@@ -1010,30 +1137,34 @@ let run_epoch_aria_internal ?(replay = false) t txns =
   t.touched <- [];
   let n = Array.length txns in
   let t_start = barrier t in
-  if Config.logging_enabled cfg && not replay then begin
-    Log.begin_epoch t.log (stats_of t 0) ~epoch:t.epoch;
-    Array.iteri
-      (fun i (txn : Txn.t) -> Log.append t.log (stats_of t (core_of t i)) txn.Txn.input)
-      txns;
-    Log.commit t.log (stats_of t 0);
-    t.log_high_water <- max t.log_high_water (Log.bytes_appended t.log)
-  end;
-  hook t Log_done;
+  phase_span t "input-log" (fun () ->
+      if Config.logging_enabled cfg && not replay then begin
+        Log.begin_epoch t.log (stats_of t 0) ~epoch:t.epoch;
+        Array.iteri
+          (fun i (txn : Txn.t) -> Log.append t.log (stats_of t (core_of t i)) txn.Txn.input)
+          txns;
+        Log.commit t.log (stats_of t 0);
+        t.log_high_water <- max t.log_high_water (Log.bytes_appended t.log)
+      end;
+      hook t Log_done);
   let t_log = barrier t in
   (* Initialization housekeeping is unchanged: collect the previous
      epoch's stale versions, evict cold cached versions. *)
-  major_gc t;
-  hook t Gc_done;
-  if Config.caching_enabled cfg then
-    t.m_evicted <-
-      Cache.evict t.cache (stats_of t (t.epoch mod cfg.Config.cores)) ~current_epoch:t.epoch
-        ~k:cfg.Config.cache_k;
+  phase_span t "major-gc" (fun () ->
+      major_gc t;
+      hook t Gc_done);
+  phase_span t "evict" (fun () ->
+      if Config.caching_enabled cfg then
+        t.m_evicted <-
+          Cache.evict t.cache (stats_of t (t.epoch mod cfg.Config.cores)) ~current_epoch:t.epoch
+            ~k:cfg.Config.cache_k);
   let t_gc = barrier t in
   (* Phase 1: every transaction executes against the epoch-start
      snapshot; writes are buffered privately; read sets are recorded. *)
   let buffers = Array.init n (fun _ -> Hashtbl.create 8) in
   let read_sets = Array.init n (fun _ -> Hashtbl.create 8) in
   let user_aborted = Array.make n false in
+  phase_span t "execute" (fun () ->
   for i = 0 to n - 1 do
     let core = core_of t i in
     let stats = stats_of t core in
@@ -1130,11 +1261,14 @@ let run_epoch_aria_internal ?(replay = false) t txns =
         user_aborted.(i) <- true;
         Hashtbl.reset buffer);
     hook t (Exec_txn i)
-  done;
+  done);
   let t_exec = barrier t in
   (* Phase 2: Aria's deterministic reservations. Each key records the
      smallest SID that wrote it; a transaction aborts (for retry) if
      any key it wrote or read carries a smaller reservation. *)
+  let reserve_apply_begins =
+    if Tracer.enabled t.tracer then Array.map Stats.now t.core_stats else [||]
+  in
   let reservations : (int * int64, int) Hashtbl.t = Hashtbl.create 256 in
   Array.iteri
     (fun i buffer ->
@@ -1199,16 +1333,26 @@ let run_epoch_aria_internal ?(replay = false) t txns =
       t.touched <- row :: t.touched)
     decisions;
   hook t Exec_done;
+  if Tracer.enabled t.tracer then
+    Array.iteri
+      (fun core s ->
+        Tracer.complete t.tracer ~core ~name:"reserve+apply" ~cat:"epoch"
+          ~ts:reserve_apply_begins.(core)
+          ~dur:(Stats.now s -. reserve_apply_begins.(core))
+          ())
+      t.core_stats;
   let t_apply = barrier t in
   (* Checkpoint, exactly as in the Caracal mode. *)
   let stats0 = stats_of t 0 in
-  Slab.checkpoint t.row_pool (stats_of t) ~epoch:t.epoch;
-  VPools.checkpoint t.value_pool (stats_of t) ~epoch:t.epoch;
-  if cfg.Config.n_counters > 0 then
-    Meta.checkpoint_counters t.meta stats0 ~epoch:t.epoch (Array.copy t.counters);
-  apply_pindex_delta t stats0;
-  Meta.persist_epoch t.meta stats0 ~epoch:t.epoch;
-  hook t Checkpointed;
+  phase_span t "fence" (fun () ->
+      Slab.checkpoint t.row_pool (stats_of t) ~epoch:t.epoch;
+      VPools.checkpoint t.value_pool (stats_of t) ~epoch:t.epoch;
+      if cfg.Config.n_counters > 0 then
+        Meta.checkpoint_counters t.meta stats0 ~epoch:t.epoch (Array.copy t.counters);
+      apply_pindex_delta t stats0);
+  phase_span t "epoch-persist" (fun () ->
+      Meta.persist_epoch t.meta stats0 ~epoch:t.epoch;
+      hook t Checkpointed);
   List.iter
     (fun (row : Row.t) ->
       if row.Row.pv2.Row.fresh then row.Row.pv2 <- { row.Row.pv2 with Row.fresh = false };
@@ -1217,7 +1361,8 @@ let run_epoch_aria_internal ?(replay = false) t txns =
   t.touched <- [];
   if replay && not t.retain_gc_dedup then t.gc_dedup <- Hashtbl.create 16;
   let t_end = barrier t in
-  ( {
+  let report =
+    {
       Report.epoch = t.epoch;
       txns = n;
       aborted = t.m_aborted;
@@ -1240,8 +1385,10 @@ let run_epoch_aria_internal ?(replay = false) t txns =
           ("reserve+apply", t_apply -. t_exec);
           ("checkpoint", t_end -. t_apply);
         ];
-    },
-    Array.of_list (List.rev !deferred) )
+    }
+  in
+  publish_epoch_metrics t report;
+  (report, Array.of_list (List.rev !deferred))
 
 let run_epoch_aria t txns =
   if not t.loaded then invalid_arg "Db.run_epoch_aria: call bulk_load first";
@@ -1373,11 +1520,6 @@ let debug_row t ~table ~key =
         row.Row.pv1.Row.pptr Sid.pp row.Row.pv2.Row.psid Vptr.pp row.Row.pv2.Row.pptr
         (if row.Row.lazily_recovered then " lazy" else "")
 
-let counters_total t =
-  Array.fold_left
-    (fun acc s -> Stats.merge_counters acc (Stats.counters s))
-    Stats.zero_counters t.core_stats
-
 (* ------------------------------------------------------------------ *)
 (* Crash and recovery                                                  *)
 
@@ -1387,9 +1529,11 @@ let crash t ~rng =
   Pmem.crash t.pmem ~rng;
   t.pmem
 
-let recover ~config ~tables ~pmem ~rebuild ?(replay_mode = `Caracal) ?phase_hook () =
+let recover ~config ~tables ~pmem ~rebuild ?(replay_mode = `Caracal) ?phase_hook ?tracer
+    ?metrics () =
   let t = attach config tables pmem in
   (match phase_hook with Some h -> set_phase_hook t h | None -> ());
+  set_observability ?tracer ?metrics ~name:"recovery" t;
   t.loaded <- true;
   let stats0 = stats_of t 0 in
   let lce = Meta.read_epoch t.meta in
@@ -1506,6 +1650,17 @@ let recover ~config ~tables ~pmem ~rebuild ?(replay_mode = `Caracal) ?phase_hook
       end)
   end;
   let t_scan = Stats.now stats0 -. t1 -. !revert_ns in
+  if Tracer.enabled t.tracer then begin
+    Tracer.complete t.tracer ~core:0 ~name:"load-log" ~cat:"recovery" ~ts:t0 ~dur:t_load ();
+    Tracer.complete t.tracer ~core:0 ~name:"revert" ~cat:"recovery"
+      ~args:[ ("rows", Nv_obs.Jsonx.Int !reverted) ]
+      ~ts:t1 ~dur:!revert_ns ();
+    Tracer.complete t.tracer ~core:0 ~name:"scan" ~cat:"recovery"
+      ~args:[ ("rows", Nv_obs.Jsonx.Int !scanned) ]
+      ~ts:t1
+      ~dur:(t_scan +. !revert_ns)
+      ()
+  end;
   (* Deterministic replay of the crashed epoch. *)
   let t2 = Stats.now stats0 in
   ignore (barrier t);
@@ -1520,6 +1675,10 @@ let recover ~config ~tables ~pmem ~rebuild ?(replay_mode = `Caracal) ?phase_hook
         Array.length txns
   in
   let t_replay = total_time_ns t -. t2 in
+  if Tracer.enabled t.tracer then
+    Tracer.complete t.tracer ~core:0 ~name:"replay" ~cat:"recovery"
+      ~args:[ ("txns", Nv_obs.Jsonx.Int replayed) ]
+      ~ts:t2 ~dur:t_replay ();
   let report =
     {
       Report.load_log_ns = t_load;

@@ -102,6 +102,21 @@ val debug_row : t -> table:int -> key:int64 -> string
 val counters_total : t -> Nv_nvmm.Stats.counters
 (** Aggregate access counters across all cores (diagnostics). *)
 
+(** {1 Observability} *)
+
+val set_observability :
+  ?tracer:Nv_obs.Tracer.t -> ?metrics:Nv_obs.Metrics.t -> ?name:string -> t -> unit
+(** Attach a span tracer and/or metrics registry. The tracer gets this
+    database's simulated clock installed and a new trace process opened
+    (named [name], default ["nvcaracal"]); every subsequent epoch then
+    records the Algorithm-1 phase spans (input-log, insert, major-gc,
+    evict, append, execute, fence, epoch-persist), sampled
+    per-transaction spans, and GC / eviction instants on per-core
+    tracks. The metrics registry receives one snapshot per epoch whose
+    counters reconcile exactly with the returned
+    {!Report.epoch_stats}. Defaults keep the engine on the no-op
+    {!Nv_obs.Tracer.null} / {!Nv_obs.Metrics.null} sinks. *)
+
 (** {1 Crash / recovery} *)
 
 type phase =
@@ -134,6 +149,8 @@ val recover :
   rebuild:(bytes -> Txn.t) ->
   ?replay_mode:[ `Caracal | `Aria ] ->
   ?phase_hook:(phase -> unit) ->
+  ?tracer:Nv_obs.Tracer.t ->
+  ?metrics:Nv_obs.Metrics.t ->
   unit ->
   t * Report.recovery_report
 (** Reconstruct a database from a (crashed) region. [rebuild]
@@ -141,4 +158,7 @@ val recover :
     must be deterministic and agree with what was originally submitted.
     If the crashed epoch's input log committed, the epoch is replayed
     to completion with the concurrency control the database was running
-    ([replay_mode], default [`Caracal]). *)
+    ([replay_mode], default [`Caracal]). A [tracer] is installed before
+    any work (see {!set_observability}), so the four recovery phases
+    (load-log, scan, revert, replay) appear as spans, with the replay's
+    epoch phases nested inside. *)

@@ -36,6 +36,18 @@ let setup ?(epochs = 12) ?(epoch_txns = 1500) ?(seed = 42) ?(row_size = 256)
 
 let cores = 8
 
+(* Observability sinks shared by every run in the process. The bench /
+   CLI front-ends point these at real instances when --trace/--metrics
+   is given; the defaults are the no-op sinks, so experiment code never
+   has to thread them through. *)
+let default_tracer : Nv_obs.Tracer.t ref = ref Nv_obs.Tracer.null
+let default_metrics : Nv_obs.Metrics.t ref = ref Nv_obs.Metrics.null
+
+let observe ?tracer ?metrics ~label db =
+  let tracer = match tracer with Some t -> t | None -> !default_tracer in
+  let metrics = match metrics with Some m -> m | None -> !default_metrics in
+  Db.set_observability ~tracer ~metrics ~name:label db
+
 (* Derive pool capacities: the loaded dataset, plus insert growth, plus
    one epoch of value churn (freed slots are not reusable within the
    epoch that freed them). *)
@@ -98,12 +110,16 @@ let collect ~label ~txns ~committed ~aborted ~sim_ns ~stats_list ~mem =
   }
 
 let run_nvcaracal s (w : W.t) ~variant ?minor_gc ?cached_versions ?batch_append
-    ?selective_caching ?ordered_index ?label () =
+    ?selective_caching ?ordered_index ?label ?tracer ?metrics () =
   let config =
     nvcaracal_config s w ~variant ?minor_gc ?cached_versions ?batch_append ?selective_caching
       ?ordered_index ()
   in
+  let label =
+    match label with Some l -> l | None -> Config.variant_name variant ^ "/" ^ w.W.name
+  in
   let db = Db.create ~config ~tables:w.W.tables () in
+  observe ?tracer ?metrics ~label db;
   Db.bulk_load db (w.W.load ());
   let rng = Nv_util.Rng.create s.seed in
   let stats_list = ref [] in
@@ -111,9 +127,6 @@ let run_nvcaracal s (w : W.t) ~variant ?minor_gc ?cached_versions ?batch_append
     let st = Db.run_epoch db (w.W.gen_batch rng s.epoch_txns) in
     stats_list := st :: !stats_list
   done;
-  let label =
-    match label with Some l -> l | None -> Config.variant_name variant ^ "/" ^ w.W.name
-  in
   collect ~label ~txns:(s.epochs * s.epoch_txns) ~committed:(Db.committed_txns db)
     ~aborted:(s.epochs * s.epoch_txns - Db.committed_txns db)
     ~sim_ns:(Db.total_time_ns db) ~stats_list:!stats_list ~mem:(Db.mem_report db)
@@ -168,9 +181,12 @@ let run_zen s (w : W.t) ?record_size ?label () =
   }
 
 (* Aria-mode run: deferred transactions carry over into the next batch. *)
-let run_aria s (w : W.t) ?label () =
+let run_aria s (w : W.t) ?label ?tracer ?metrics () =
   let config = nvcaracal_config s w ~variant:Config.Nvcaracal () in
   let db = Db.create ~config ~tables:w.W.tables () in
+  observe ?tracer ?metrics
+    ~label:(match label with Some l -> l | None -> "aria/" ^ w.W.name)
+    db;
   Db.bulk_load db (w.W.load ());
   let rng = Nv_util.Rng.create s.seed in
   let stats_list = ref [] in
@@ -192,7 +208,8 @@ type recovery_result = { r_label : string; report : Report.recovery_report }
 
 exception Crash_now
 
-let run_recovery s (w : W.t) ~crash_after_txns ?(persistent_index = false) ?label () =
+let run_recovery s (w : W.t) ~crash_after_txns ?(persistent_index = false) ?label ?tracer
+    ?metrics () =
   let base_rows = W.total_rows w in
   let config =
     let c = nvcaracal_config s w ~variant:Config.Nvcaracal ~crash_safe:true () in
@@ -210,5 +227,9 @@ let run_recovery s (w : W.t) ~crash_after_txns ?(persistent_index = false) ?labe
   Db.set_phase_hook db (fun p -> if p = Db.Exec_txn crash_at then raise Crash_now);
   (try ignore (Db.run_epoch db (w.W.gen_batch rng s.epoch_txns)) with Crash_now -> ());
   let pmem = Db.crash db ~rng:(Nv_util.Rng.create (s.seed + 1)) in
-  let _db2, report = Db.recover ~config ~tables:w.W.tables ~pmem ~rebuild:w.W.rebuild () in
+  let tracer = match tracer with Some t -> t | None -> !default_tracer in
+  let metrics = match metrics with Some m -> m | None -> !default_metrics in
+  let _db2, report =
+    Db.recover ~config ~tables:w.W.tables ~pmem ~rebuild:w.W.rebuild ~tracer ~metrics ()
+  in
   { r_label = (match label with Some l -> l | None -> w.W.name); report }

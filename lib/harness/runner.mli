@@ -47,6 +47,14 @@ val setup :
 (** Defaults: 12 epochs x 1500 txns, seed 42, 256-byte rows, cache
     capped at the dataset size, no insert growth. *)
 
+val default_tracer : Nv_obs.Tracer.t ref
+val default_metrics : Nv_obs.Metrics.t ref
+(** Observability sinks used when a run is not given explicit ones.
+    Initially the no-op {!Nv_obs.Tracer.null} / {!Nv_obs.Metrics.null};
+    the bench and CLI front-ends repoint them when [--trace] /
+    [--metrics] is requested, so existing experiment code picks up
+    instrumentation without signature churn. *)
+
 val nvcaracal_config :
   setup -> Nv_workloads.Workload.t -> variant:Nvcaracal.Config.variant ->
   ?minor_gc:bool -> ?cached_versions:bool -> ?crash_safe:bool -> ?batch_append:bool ->
@@ -65,6 +73,8 @@ val run_nvcaracal :
   ?selective_caching:bool ->
   ?ordered_index:Nvcaracal.Config.ordered_index ->
   ?label:string ->
+  ?tracer:Nv_obs.Tracer.t ->
+  ?metrics:Nv_obs.Metrics.t ->
   unit ->
   result
 
@@ -74,7 +84,13 @@ val run_zen :
     typical value plus the record header (Table 4's optimal sizes). *)
 
 val run_aria :
-  setup -> Nv_workloads.Workload.t -> ?label:string -> unit -> result
+  setup ->
+  Nv_workloads.Workload.t ->
+  ?label:string ->
+  ?tracer:Nv_obs.Tracer.t ->
+  ?metrics:Nv_obs.Metrics.t ->
+  unit ->
+  result
 (** Aria-mode run ({!Nvcaracal.Db.run_epoch_aria}): deferred
     transactions are resubmitted with the next batch; [aborted] reports
     cumulative deferrals. *)
@@ -90,8 +106,12 @@ val run_recovery :
   crash_after_txns:int ->
   ?persistent_index:bool ->
   ?label:string ->
+  ?tracer:Nv_obs.Tracer.t ->
+  ?metrics:Nv_obs.Metrics.t ->
   unit ->
   recovery_result
 (** Run the workload, crash the final epoch after [crash_after_txns]
     transactions executed, tear the region, recover, and report the
-    breakdown (Figure 11). *)
+    breakdown (Figure 11). Observability is attached to the {e
+    recovery} ([Db.recover]), so the trace shows the four recovery
+    phases plus the replayed epoch. *)

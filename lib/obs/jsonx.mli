@@ -1,0 +1,31 @@
+(** Minimal dependency-free JSON values: enough for trace/metrics export
+    and for round-trip tests. Not a general-purpose JSON library. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Assoc of (string * t) list
+
+val to_string : t -> string
+(** Compact (single-line) rendering. Non-finite floats render as
+    [null] — JSON has no literal for them. *)
+
+exception Parse_error of string
+
+val of_string : string -> t
+(** Parse a complete JSON document. Raises {!Parse_error} on malformed
+    input or trailing garbage. *)
+
+(** {1 Accessors} *)
+
+val member : string -> t -> t option
+(** Field of an [Assoc]; [None] for other shapes or a missing key. *)
+
+val to_list : t -> t list
+val to_int : t -> int
+val to_float : t -> float
+val to_str : t -> string

@@ -1,0 +1,120 @@
+type counter = { mutable c : int }
+type gauge = { mutable g : float }
+type histogram = { mutable h : Nv_util.Histogram.t }
+type instrument = C of counter | G of gauge | H of histogram
+
+type t = {
+  enabled : bool;
+  by_name : (string, instrument) Hashtbl.t;
+  mutable order : string list; (* reverse registration order *)
+  mutable records : Jsonx.t list; (* newest first *)
+}
+
+let null = { enabled = false; by_name = Hashtbl.create 1; order = []; records = [] }
+
+let create () = { enabled = true; by_name = Hashtbl.create 64; order = []; records = [] }
+
+let enabled t = t.enabled
+
+let register t name make wrong =
+  match Hashtbl.find_opt t.by_name name with
+  | Some i -> (
+      match i with
+      | i when wrong i ->
+          invalid_arg (Printf.sprintf "Metrics: %S already registered with another type" name)
+      | i -> i)
+  | None ->
+      let i = make () in
+      Hashtbl.add t.by_name name i;
+      t.order <- name :: t.order;
+      i
+
+let counter t name =
+  match
+    register t name (fun () -> C { c = 0 }) (function C _ -> false | G _ | H _ -> true)
+  with
+  | C c -> c
+  | G _ | H _ -> assert false
+
+let gauge t name =
+  match
+    register t name (fun () -> G { g = 0.0 }) (function G _ -> false | C _ | H _ -> true)
+  with
+  | G g -> g
+  | C _ | H _ -> assert false
+
+let histogram t name =
+  match
+    register t name
+      (fun () -> H { h = Nv_util.Histogram.create () })
+      (function H _ -> false | C _ | G _ -> true)
+  with
+  | H h -> h
+  | C _ | G _ -> assert false
+
+let add c n = c.c <- c.c + n
+let set_counter c n = c.c <- n
+let set_gauge g v = g.g <- v
+let observe h v = Nv_util.Histogram.add h.h v
+
+let histogram_json h =
+  let open Nv_util.Histogram in
+  if count h = 0 then Jsonx.Assoc [ ("count", Jsonx.Int 0) ]
+  else
+    Jsonx.Assoc
+      [
+        ("count", Jsonx.Int (count h));
+        ("mean", Jsonx.Float (mean h));
+        ("min", Jsonx.Float (min_value h));
+        ("p50", Jsonx.Float (percentile h 50.0));
+        ("p99", Jsonx.Float (percentile h 99.0));
+        ("max", Jsonx.Float (max_value h));
+        ( "buckets",
+          Jsonx.List
+            (List.map
+               (fun (ub, n) -> Jsonx.List [ Jsonx.Float ub; Jsonx.Int n ])
+               (buckets h)) );
+      ]
+
+let snapshot t ~epoch =
+  if not t.enabled then []
+  else begin
+    let fields =
+      List.rev_map
+        (fun name ->
+          match Hashtbl.find t.by_name name with
+          | C c -> (name, Jsonx.Int c.c)
+          | G g -> (name, Jsonx.Float g.g)
+          | H h -> (name, histogram_json h.h))
+        t.order
+    in
+    let fields = ("epoch", Jsonx.Int epoch) :: fields in
+    t.records <- Jsonx.Assoc fields :: t.records;
+    (* Counters and histograms are per-interval: reset after emission.
+       Gauges are levels and persist. *)
+    List.iter
+      (fun name ->
+        match Hashtbl.find t.by_name name with
+        | C c -> c.c <- 0
+        | H h -> h.h <- Nv_util.Histogram.create ()
+        | G _ -> ())
+      t.order;
+    fields
+  end
+
+let records t = List.rev t.records
+
+let to_jsonl t =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun r ->
+      Buffer.add_string buf (Jsonx.to_string r);
+      Buffer.add_char buf '\n')
+    (records t);
+  Buffer.contents buf
+
+let write_jsonl t path =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (to_jsonl t))
+
+let clear t = t.records <- []

@@ -1,0 +1,55 @@
+(** Metrics registry: named counters, gauges and histograms that the
+    engine registers into, snapshotted at epoch boundaries into one
+    JSONL record per epoch.
+
+    - {e Counters} are per-interval: the engine sets/accumulates them
+      during an epoch, [snapshot] emits them and resets them to 0.
+    - {e Gauges} are levels (allocator high-water marks, cache size):
+      they persist across snapshots.
+    - {e Histograms} are per-interval distributions (e.g. sampled
+      per-transaction execution time), emitted with their buckets and
+      reset.
+
+    Requesting an instrument name twice returns the same instrument;
+    requesting it with a different type raises [Invalid_argument]. The
+    disabled registry ({!null}) accepts all operations as no-ops and
+    snapshots to nothing. *)
+
+type t
+
+type counter
+type gauge
+type histogram
+
+val null : t
+(** Disabled registry ([enabled] is false). *)
+
+val create : unit -> t
+val enabled : t -> bool
+
+val counter : t -> string -> counter
+val gauge : t -> string -> gauge
+val histogram : t -> string -> histogram
+
+val add : counter -> int -> unit
+val set_counter : counter -> int -> unit
+val set_gauge : gauge -> float -> unit
+val observe : histogram -> float -> unit
+
+val snapshot : t -> epoch:int -> (string * Jsonx.t) list
+(** Emit one record: [("epoch", epoch)] followed by every registered
+    instrument in registration order. The record is appended to
+    {!records}; counters and histograms reset. Returns the emitted
+    fields ([[]] when disabled). *)
+
+val records : t -> Jsonx.t list
+(** All snapshots, oldest first. *)
+
+val to_jsonl : t -> string
+(** One compact JSON object per line, oldest first. *)
+
+val write_jsonl : t -> string -> unit
+(** Write {!to_jsonl} output to a file. *)
+
+val clear : t -> unit
+(** Drop accumulated records (instruments stay registered). *)

@@ -1,0 +1,82 @@
+(* Chrome trace-event format (the JSON object form), loadable by
+   Perfetto and chrome://tracing. Timestamps in the format are
+   microseconds; the tracer records simulated nanoseconds, so values
+   are divided by 1e3 (fractional microseconds are allowed). *)
+
+let us ns = ns /. 1e3
+
+let event_json (e : Tracer.event) =
+  let common =
+    [
+      ("name", Jsonx.String e.Tracer.name);
+      ("cat", Jsonx.String (if e.Tracer.cat = "" then "default" else e.Tracer.cat));
+      ("pid", Jsonx.Int e.Tracer.pid);
+      ("tid", Jsonx.Int e.Tracer.track);
+      ("ts", Jsonx.Float (us e.Tracer.ts));
+    ]
+  in
+  let specific =
+    match e.Tracer.ph with
+    | Tracer.Complete ->
+        [ ("ph", Jsonx.String "X"); ("dur", Jsonx.Float (us e.Tracer.dur)) ]
+    | Tracer.Instant -> [ ("ph", Jsonx.String "i"); ("s", Jsonx.String "t") ]
+  in
+  let args = match e.Tracer.args with [] -> [] | args -> [ ("args", Jsonx.Assoc args) ] in
+  Jsonx.Assoc (common @ specific @ args)
+
+let metadata ~pid ?(tid = 0) ~meta ~value () =
+  Jsonx.Assoc
+    [
+      ("name", Jsonx.String meta);
+      ("ph", Jsonx.String "M");
+      ("pid", Jsonx.Int pid);
+      ("tid", Jsonx.Int tid);
+      ("args", Jsonx.Assoc [ ("name", Jsonx.String value) ]);
+    ]
+
+let to_json tracer =
+  let events = Tracer.events tracer in
+  let named = Tracer.processes tracer in
+  let pids = Hashtbl.create 8 in
+  let tracks = Hashtbl.create 16 in
+  List.iter
+    (fun (e : Tracer.event) ->
+      Hashtbl.replace pids e.Tracer.pid ();
+      Hashtbl.replace tracks (e.Tracer.pid, e.Tracer.track) ())
+    events;
+  let process_meta =
+    Hashtbl.fold
+      (fun pid () acc ->
+        let label =
+          match List.assoc_opt pid named with
+          | Some l -> Printf.sprintf "%s (simulated time)" l
+          | None -> "nvcaracal (simulated time)"
+        in
+        metadata ~pid ~meta:"process_name" ~value:label () :: acc)
+      pids []
+  in
+  let thread_meta =
+    Hashtbl.fold
+      (fun (pid, tid) () acc ->
+        metadata ~pid ~tid ~meta:"thread_name" ~value:(Printf.sprintf "core %d" tid) () :: acc)
+      tracks []
+  in
+  let sort_meta =
+    List.sort
+      (fun a b ->
+        compare (Jsonx.member "pid" a, Jsonx.member "tid" a)
+          (Jsonx.member "pid" b, Jsonx.member "tid" b))
+  in
+  Jsonx.Assoc
+    [
+      ( "traceEvents",
+        Jsonx.List (sort_meta process_meta @ sort_meta thread_meta @ List.map event_json events)
+      );
+      ("displayTimeUnit", Jsonx.String "ns");
+    ]
+
+let to_string tracer = Jsonx.to_string (to_json tracer)
+
+let write_file tracer path =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (to_string tracer))

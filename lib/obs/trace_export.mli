@@ -1,0 +1,13 @@
+(** Export a {!Tracer} to the Chrome trace-event JSON format, loadable
+    by Perfetto ([ui.perfetto.dev]) and [chrome://tracing].
+
+    Layout: one trace {e process} per engine instance
+    ({!Tracer.open_process}), one {e thread} ("core N") per simulated
+    core. Phase and transaction spans are complete ("X") events; GC and
+    eviction markers are instant ("i") events. Timestamps are simulated
+    nanoseconds, exported as fractional microseconds (the format's
+    unit). *)
+
+val to_json : Tracer.t -> Jsonx.t
+val to_string : Tracer.t -> string
+val write_file : Tracer.t -> string -> unit

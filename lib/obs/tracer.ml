@@ -1,0 +1,91 @@
+type phase = Complete | Instant
+
+type event = {
+  pid : int;
+  track : int;
+  name : string;
+  cat : string;
+  ph : phase;
+  ts : float;
+  dur : float;
+  args : (string * Jsonx.t) list;
+}
+
+type t = {
+  enabled : bool;
+  txn_sample : int;
+  mutable clock : int -> float;
+  mutable events : event list; (* newest first *)
+  mutable n_events : int;
+  mutable cur_pid : int;
+  mutable next_pid : int;
+  mutable processes : (int * string) list; (* pid -> label, newest first *)
+}
+
+let no_clock (_ : int) = 0.0
+
+let null =
+  {
+    enabled = false;
+    txn_sample = 0;
+    clock = no_clock;
+    events = [];
+    n_events = 0;
+    cur_pid = 0;
+    next_pid = 0;
+    processes = [];
+  }
+
+let create ?(txn_sample = 8) () =
+  {
+    enabled = true;
+    txn_sample = max 0 txn_sample;
+    clock = no_clock;
+    events = [];
+    n_events = 0;
+    cur_pid = 0;
+    next_pid = 1;
+    processes = [];
+  }
+
+let enabled t = t.enabled
+let txn_sample t = t.txn_sample
+let set_clock t clock = if t.enabled then t.clock <- clock
+let now t ~core = t.clock core
+
+let open_process t ~name =
+  if t.enabled then begin
+    t.cur_pid <- t.next_pid;
+    t.next_pid <- t.next_pid + 1;
+    t.processes <- (t.cur_pid, name) :: t.processes
+  end
+
+let record t e =
+  t.events <- e :: t.events;
+  t.n_events <- t.n_events + 1
+
+let complete t ~core ~name ?(cat = "") ?(args = []) ~ts ~dur () =
+  if t.enabled then
+    record t { pid = t.cur_pid; track = core; name; cat; ph = Complete; ts; dur; args }
+
+let instant t ~core ~name ?(cat = "") ?(args = []) () =
+  if t.enabled then
+    record t
+      { pid = t.cur_pid; track = core; name; cat; ph = Instant; ts = t.clock core; dur = 0.0; args }
+
+let span t ~core ~name ?cat f =
+  if not t.enabled then f ()
+  else begin
+    let ts = t.clock core in
+    let r = f () in
+    complete t ~core ~name ?cat ~ts ~dur:(t.clock core -. ts) ();
+    r
+  end
+
+let events t = List.rev t.events
+let event_count t = t.n_events
+let processes t = List.rev t.processes
+
+let clear t =
+  t.events <- [];
+  t.n_events <- 0

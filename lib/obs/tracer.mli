@@ -1,0 +1,83 @@
+(** Span tracer over {e simulated} time.
+
+    The engine runs on a discrete-event clock (every memory access
+    advances the owning core's [Nv_nvmm.Stats] clock), so a tracer
+    cannot read wall time: instead the owner installs a clock closure
+    ([set_clock]) mapping a core id to its current simulated
+    nanoseconds. Spans and instants are then recorded on per-core
+    tracks and exported to the Chrome/Perfetto trace format by
+    {!Trace_export}.
+
+    A disabled tracer ({!null}) makes every operation a no-op — the
+    engine's hot path pays one field read per potential span. *)
+
+type phase = Complete | Instant
+
+type event = {
+  pid : int;  (** process (one engine instance / run) *)
+  track : int;  (** per-core track (thread id in the export) *)
+  name : string;
+  cat : string;
+  ph : phase;
+  ts : float;  (** begin time, simulated ns *)
+  dur : float;  (** duration, simulated ns; 0 for instants *)
+  args : (string * Jsonx.t) list;
+}
+
+type t
+
+val null : t
+(** The disabled tracer: every operation is a no-op, [enabled] is
+    false. Shared; safe to install into any number of engines. *)
+
+val create : ?txn_sample:int -> unit -> t
+(** Fresh enabled tracer. [txn_sample] is the per-transaction span
+    sampling stride the engine should apply (1 = trace every
+    transaction, 0 = no transaction spans; default 8). *)
+
+val enabled : t -> bool
+val txn_sample : t -> int
+
+val set_clock : t -> (int -> float) -> unit
+(** Install the simulated clock: [clock core] returns that core's
+    current time in ns. The engine installs this when the tracer is
+    attached; re-attaching to a new engine rebinds it. *)
+
+val now : t -> core:int -> float
+
+val open_process : t -> name:string -> unit
+(** Start a new logical process (one benchmark run / engine instance);
+    subsequent events carry its pid, and the export names the process
+    group accordingly. *)
+
+val span : t -> core:int -> name:string -> ?cat:string -> (unit -> 'a) -> 'a
+(** [span t ~core ~name ~cat f] runs [f], recording a complete span on
+    [core]'s track from the clock reading before [f] to the one after.
+    If [f] raises, nothing is recorded. *)
+
+val complete :
+  t ->
+  core:int ->
+  name:string ->
+  ?cat:string ->
+  ?args:(string * Jsonx.t) list ->
+  ts:float ->
+  dur:float ->
+  unit ->
+  unit
+(** Record a span with explicit begin/duration (for phases whose
+    boundary timestamps are computed by the caller). *)
+
+val instant :
+  t -> core:int -> name:string -> ?cat:string -> ?args:(string * Jsonx.t) list -> unit -> unit
+(** Point event at the core's current clock reading. *)
+
+val events : t -> event list
+(** All recorded events, oldest first. *)
+
+val event_count : t -> int
+
+val processes : t -> (int * string) list
+(** [(pid, label)] pairs from {!open_process}, oldest first. *)
+
+val clear : t -> unit

@@ -40,6 +40,8 @@ let max_value t = t.max_v
 
 let percentile t p =
   if t.count = 0 then nan
+  else if p <= 0.0 then t.min_v
+  else if p >= 100.0 then t.max_v
   else begin
     let target = int_of_float (ceil (p /. 100.0 *. float_of_int t.count)) in
     let target = if target < 1 then 1 else target in
@@ -47,10 +49,18 @@ let percentile t p =
       if i >= n_buckets then t.max_v
       else
         let acc = acc + t.buckets.(i) in
-        if acc >= target then Float.min (upper_bound i) t.max_v else loop (i + 1) acc
+        if acc >= target then Float.max (Float.min (upper_bound i) t.max_v) t.min_v
+        else loop (i + 1) acc
     in
     loop 0 0
   end
+
+let buckets t =
+  let acc = ref [] in
+  for i = n_buckets - 1 downto 0 do
+    if t.buckets.(i) > 0 then acc := (upper_bound i, t.buckets.(i)) :: !acc
+  done;
+  !acc
 
 let merge a b =
   let r = create () in

@@ -17,7 +17,13 @@ val max_value : t -> float
 
 val percentile : t -> float -> float
 (** [percentile t p] for [p] in [\[0, 100\]]; approximate (bucket upper
-    bound). Returns [nan] when empty. *)
+    bound, clamped to the observed [\[min, max\]] range). [p <= 0]
+    returns {!min_value}, [p >= 100] returns {!max_value}. Returns
+    [nan] when empty. *)
+
+val buckets : t -> (float * int) list
+(** Non-empty buckets as [(upper_bound, count)] pairs in ascending
+    bound order (metrics export). The counts sum to {!count}. *)
 
 val merge : t -> t -> t
 (** Combine two histograms (used to aggregate per-core stats). *)

@@ -16,4 +16,5 @@ let () =
          Test_units_extra.suites;
          Test_aria.suites;
          Test_partition.suites;
+         Test_obs.suites;
        ])
