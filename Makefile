@@ -1,6 +1,6 @@
 # Convenience entry points; everything is plain dune underneath.
 
-.PHONY: all build test fmt-check check bench clean
+.PHONY: all build test fmt-check check bench fuzz clean
 
 all: build
 
@@ -22,6 +22,17 @@ check: build test fmt-check
 
 bench:
 	dune exec bench/main.exe
+
+# Seeded crash-recovery fuzz campaign with media faults (torn lines,
+# bit-rot, dead lines) and crash-during-recovery injection. Override:
+# make fuzz FUZZ_ITERS=200 FUZZ_SEEDS="1 2 3 4"
+FUZZ_ITERS ?= 50
+FUZZ_SEEDS ?= 1 2 3 4
+fuzz:
+	@for s in $(FUZZ_SEEDS); do \
+	  echo "== fuzz --faults seed $$s =="; \
+	  dune exec bin/nvdb.exe -- fuzz --iterations $(FUZZ_ITERS) --faults --seed $$s || exit 1; \
+	done
 
 clean:
 	dune clean

@@ -182,24 +182,75 @@ let fuzz_cmd =
   let iters =
     Arg.(value & opt int 25 & info [ "iterations" ] ~docv:"N" ~doc:"Fuzz iterations.")
   in
-  let run seed iterations =
+  let faults_flag =
+    let doc =
+      "Fuzz through random media-fault models (torn lines, bit-rot, dead lines) and recover \
+       in scrub mode, checking the damage report against the oracle."
+    in
+    Arg.(value & flag & info [ "faults" ] ~doc)
+  in
+  let run seed iterations faults =
     let outcome =
-      Nv_harness.Fuzzer.run ~seed ~iterations ~log:(fun line -> Format.fprintf ppf "%s@." line) ()
+      Nv_harness.Fuzzer.run ~seed ~iterations ~faults
+        ~log:(fun line -> Format.fprintf ppf "%s@." line)
+        ()
     in
     Format.fprintf ppf "@.%d iterations, %d crashes injected, %d replays, %d failures@."
       outcome.Nv_harness.Fuzzer.iterations outcome.Nv_harness.Fuzzer.crashes_injected
       outcome.Nv_harness.Fuzzer.replays
       (List.length outcome.Nv_harness.Fuzzer.failures);
+    if faults then
+      Format.fprintf ppf
+        "%d faulted, %d mid-recovery crashes, %d salvage recoveries, %d detection-only@."
+        outcome.Nv_harness.Fuzzer.faulted outcome.Nv_harness.Fuzzer.recrashes
+        outcome.Nv_harness.Fuzzer.salvages outcome.Nv_harness.Fuzzer.detection_only;
     List.iter (fun f -> Format.fprintf ppf "FAILURE: %s@." f) outcome.Nv_harness.Fuzzer.failures;
     if outcome.Nv_harness.Fuzzer.failures <> [] then exit 1
   in
   Cmd.v
     (Cmd.info "fuzz" ~doc:"Randomized crash-recovery fuzzing against an oracle")
-    Term.(const run $ seed_arg $ iters)
+    Term.(const run $ seed_arg $ iters $ faults_flag)
+
+let scrub_cmd =
+  let fault_arg =
+    let doc = "Fault model for the crash: legal, torn, rot, or dead." in
+    Arg.(value & opt string "rot" & info [ "fault" ] ~docv:"KIND" ~doc)
+  in
+  let run workload contention epochs txns seed fault =
+    let w, growth = resolve_workload workload contention in
+    let setup = Runner.setup ~epochs ~epoch_txns:txns ~seed ~insert_growth:growth () in
+    let faults =
+      let open Nv_nvmm.Pmem in
+      match fault with
+      | "legal" -> no_faults
+      | "torn" -> { no_faults with torn_frac = 0.5 }
+      | "rot" -> { no_faults with rot_lines = 4; rot_max_bits = 3 }
+      | "dead" -> { no_faults with dead = 2 }
+      | other -> failwith (Printf.sprintf "unknown fault kind %S" other)
+    in
+    match Runner.run_scrub setup w ~crash_after_txns:(txns * 9 / 10) ~faults () with
+    | { Runner.r_label; report } ->
+        Format.fprintf ppf "workload %s crashed with %s faults; scrub recovery:@." r_label
+          fault;
+        Format.fprintf ppf "%a@." Nvcaracal.Report.pp_recovery_report report
+    | exception Nv_storage.Meta_region.Corrupt msg ->
+        Format.fprintf ppf "UNRECOVERABLE: %s@." msg;
+        exit 2
+    | exception Failure msg ->
+        (* E.g. a torn identity header dropped a row the crashed epoch's
+           replay then needed: detected loudly, not salvageable. *)
+        Format.fprintf ppf "UNRECOVERABLE: corruption broke deterministic replay: %s@." msg;
+        exit 2
+  in
+  Cmd.v
+    (Cmd.info "scrub"
+       ~doc:"Crash through a media-fault model and recover with checksum scrubbing")
+    Term.(
+      const run $ workload_arg $ contention_arg $ epochs_arg $ txns_arg $ seed_arg $ fault_arg)
 
 let () =
   let info =
     Cmd.info "nvdb" ~version:"1.0.0"
       ~doc:"NVCaracal: a deterministic database with NVMM storage (EuroSys'23 reproduction)"
   in
-  exit (Cmd.eval (Cmd.group info [ run_cmd; recover_cmd; mem_cmd; fuzz_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ run_cmd; recover_cmd; mem_cmd; fuzz_cmd; scrub_cmd ]))

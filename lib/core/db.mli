@@ -137,10 +137,21 @@ val set_phase_hook : t -> (phase -> unit) -> unit
     precise point and then call [crash]. *)
 
 
-val crash : t -> rng:Nv_util.Rng.t -> Nv_nvmm.Pmem.t
-(** Tear the region to a random legal crash image and return it; the
-    database object must not be used afterwards. Requires
-    [config.crash_safe]. *)
+type recovery_phase =
+  | Rec_meta_recovered  (** allocator and counter state rebuilt *)
+  | Rec_log_loaded  (** input log read back and verified *)
+  | Rec_scan_done  (** index rebuilt; repairs and reverts persisted *)
+  | Rec_replay_done  (** crashed epoch re-executed (or dropped) *)
+      (** Recovery milestones, in order — the recovery-side analogue of
+          {!phase}. *)
+
+val crash : ?faults:Nv_nvmm.Pmem.fault_model -> t -> rng:Nv_util.Rng.t -> Nv_nvmm.Pmem.t
+(** Tear the region to a crash image and return it; the database object
+    must not be used afterwards. Without [faults] the image is a random
+    {e legal} one; with a {!Nv_nvmm.Pmem.fault_model} it additionally
+    suffers torn lines, bit-rot and dead lines (recover with
+    [~scrub:true] to detect them). Requires [config.crash_safe].
+    @raise Invalid_argument otherwise. *)
 
 val recover :
   config:Config.t ->
@@ -149,6 +160,8 @@ val recover :
   rebuild:(bytes -> Txn.t) ->
   ?replay_mode:[ `Caracal | `Aria ] ->
   ?phase_hook:(phase -> unit) ->
+  ?recovery_hook:(recovery_phase -> unit) ->
+  ?scrub:bool ->
   ?tracer:Nv_obs.Tracer.t ->
   ?metrics:Nv_obs.Metrics.t ->
   unit ->
@@ -161,4 +174,20 @@ val recover :
     ([replay_mode], default [`Caracal]). A [tracer] is installed before
     any work (see {!set_observability}), so the four recovery phases
     (load-log, scan, revert, replay) appear as spans, with the replay's
-    epoch phases nested inside. *)
+    epoch phases nested inside.
+
+    [recovery_hook] is called at each {!recovery_phase} milestone; tests
+    raise from it to simulate a crash in the middle of recovery (all
+    recovery-time writes are idempotent, so recovering again converges).
+
+    [scrub] (default false) forces the eager scan and verifies every
+    checksum in the persistent layout: stale checksum words are
+    rewritten, corrupt stale versions dropped, corrupt current versions
+    dropped {e and} reported in [damage], a corrupt committed log makes
+    the crashed epoch revert instead of replay ([log_dropped]), and
+    corrupt allocator or counter checkpoints are salvaged conservatively
+    (leaking slots, never double-allocating). See docs/FAULTS.md.
+
+    Requires [config.crash_safe]. @raise Invalid_argument otherwise.
+    @raise Nv_storage.Meta_region.Corrupt if the epoch commit record
+    itself is unreadable — the one unrecoverable corruption. *)

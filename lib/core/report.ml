@@ -25,6 +25,16 @@ type mem_report = {
   dram_cache : int;
 }
 
+type damage_kind =
+  [ `Header  (** row identity header failed its checksum *)
+  | `Current_version  (** a stable (pre-crash) version failed; data lost *)
+  | `Stale_version  (** an old version failed; dropped, current survives *)
+  | `Counter  (** a persistent counter slot failed both parities *)
+  | `Log  (** the committed input log failed; crashed epoch dropped *)
+  | `Allocator  (** allocator metadata failed; salvaged conservatively *) ]
+
+type damage = { d_table : int; d_key : int64; d_kind : damage_kind }
+
 type recovery_report = {
   load_log_ns : float;
   scan_ns : float;
@@ -34,6 +44,14 @@ type recovery_report = {
   scanned_rows : int;
   reverted_rows : int;
   replayed_txns : int;
+  scrubbed : bool;  (** eager verification scan was forced *)
+  log_dropped : bool;  (** committed log failed checksums; epoch not replayed *)
+  crc_repaired : int;  (** stale slot checksums rewritten in place *)
+  stale_dropped : int;  (** corrupt stale versions dropped (current survives) *)
+  alloc_salvaged : int;  (** allocator metadata words rebuilt from fallbacks *)
+  alloc_corrupt_entries : int;  (** freelist ring entries skipped *)
+  counter_salvaged : int;  (** counters recovered from the older parity slot *)
+  damage : damage list;  (** unrecoverable losses, reported loudly *)
 }
 
 let pp_phases ppf phases =
@@ -59,12 +77,48 @@ let pp_mem_report ppf m =
     m.nvmm_rows m.nvmm_values m.nvmm_log m.nvmm_freelists m.dram_index m.dram_transient
     m.dram_cache
 
+let pp_damage_kind ppf = function
+  | `Header -> Format.pp_print_string ppf "header"
+  | `Current_version -> Format.pp_print_string ppf "current-version"
+  | `Stale_version -> Format.pp_print_string ppf "stale-version"
+  | `Counter -> Format.pp_print_string ppf "counter"
+  | `Log -> Format.pp_print_string ppf "log"
+  | `Allocator -> Format.pp_print_string ppf "allocator"
+
+let pp_damage ppf d =
+  if d.d_table >= 0 then
+    Format.fprintf ppf "%a table=%d key=%Ld" pp_damage_kind d.d_kind d.d_table d.d_key
+  else Format.fprintf ppf "%a" pp_damage_kind d.d_kind
+
+let has_salvage r =
+  r.log_dropped || r.crc_repaired > 0 || r.stale_dropped > 0 || r.alloc_salvaged > 0
+  || r.alloc_corrupt_entries > 0 || r.counter_salvaged > 0 || r.damage <> []
+
+let damage_count ~table r =
+  List.length (List.filter (fun d -> d.d_table = table) r.damage)
+
 let pp_recovery_report ppf r =
   Format.fprintf ppf
     "recovery: load-log %.0fus, scan %.0fus (%d rows), revert %.0fus (%d rows), replay %.0fus \
      (%d txns), total %.0fus"
     (r.load_log_ns /. 1e3) (r.scan_ns /. 1e3) r.scanned_rows (r.revert_ns /. 1e3)
-    r.reverted_rows (r.replay_ns /. 1e3) r.replayed_txns (r.total_ns /. 1e3)
+    r.reverted_rows (r.replay_ns /. 1e3) r.replayed_txns (r.total_ns /. 1e3);
+  if r.scrubbed || has_salvage r then begin
+    Format.fprintf ppf "@\nscrub:";
+    if r.scrubbed then Format.fprintf ppf " verified";
+    if r.log_dropped then Format.fprintf ppf " log-dropped";
+    if r.crc_repaired > 0 then Format.fprintf ppf " crc-repaired %d" r.crc_repaired;
+    if r.stale_dropped > 0 then Format.fprintf ppf " stale-dropped %d" r.stale_dropped;
+    if r.alloc_salvaged > 0 then Format.fprintf ppf " alloc-salvaged %d" r.alloc_salvaged;
+    if r.alloc_corrupt_entries > 0 then
+      Format.fprintf ppf " alloc-corrupt-entries %d" r.alloc_corrupt_entries;
+    if r.counter_salvaged > 0 then
+      Format.fprintf ppf " counter-salvaged %d" r.counter_salvaged;
+    if r.damage <> [] then begin
+      Format.fprintf ppf "@\nDAMAGE (%d):" (List.length r.damage);
+      List.iter (fun d -> Format.fprintf ppf "@\n  %a" pp_damage d) r.damage
+    end
+  end
 
 let transient_fraction s =
   if s.version_writes = 0 then nan

@@ -35,6 +35,20 @@ type mem_report = {
   dram_cache : int;
 }
 
+type damage_kind =
+  [ `Header  (** row identity header failed its checksum *)
+  | `Current_version  (** a stable (pre-crash) version failed; data lost *)
+  | `Stale_version  (** an old version failed; dropped, current survives *)
+  | `Counter  (** a persistent counter slot failed both parities *)
+  | `Log  (** the committed input log failed; crashed epoch dropped *)
+  | `Allocator  (** allocator metadata failed; salvaged conservatively *) ]
+
+type damage = {
+  d_table : int;  (** -1 when the loss is not attributable to a row *)
+  d_key : int64;
+  d_kind : damage_kind;
+}
+
 type recovery_report = {
   load_log_ns : float;
   scan_ns : float;
@@ -44,7 +58,24 @@ type recovery_report = {
   scanned_rows : int;
   reverted_rows : int;
   replayed_txns : int;
+  scrubbed : bool;  (** eager verification scan was forced *)
+  log_dropped : bool;  (** committed log failed checksums; epoch not replayed *)
+  crc_repaired : int;  (** stale slot checksums rewritten in place *)
+  stale_dropped : int;  (** corrupt stale versions dropped (current survives) *)
+  alloc_salvaged : int;  (** allocator metadata words rebuilt from fallbacks *)
+  alloc_corrupt_entries : int;  (** freelist ring entries skipped *)
+  counter_salvaged : int;  (** counters recovered from the older parity slot *)
+  damage : damage list;  (** unrecoverable losses, reported loudly *)
 }
+
+val has_salvage : recovery_report -> bool
+(** True when any corruption was repaired, salvaged, or reported —
+    i.e. the recovery was not a clean crash-image recovery. *)
+
+val damage_count : table:int -> recovery_report -> int
+(** Number of damage entries attributed to [table]. *)
+
+val pp_damage : Format.formatter -> damage -> unit
 
 val pp_epoch_stats : Format.formatter -> epoch_stats -> unit
 val pp_phases : Format.formatter -> (string * float) list -> unit

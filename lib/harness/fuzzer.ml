@@ -4,10 +4,17 @@ module Table = Nvcaracal.Table
 module W = Nv_workloads.Workload
 module Rng = Nv_util.Rng
 
+module Pmem = Nv_nvmm.Pmem
+module Report = Nvcaracal.Report
+
 type outcome = {
   iterations : int;
   crashes_injected : int;
   replays : int;
+  faulted : int;  (* iterations that injected media faults *)
+  recrashes : int;  (* crashes injected in the middle of recovery *)
+  salvages : int;  (* recoveries that repaired/salvaged/reported corruption *)
+  detection_only : int;  (* iterations verified by damage report alone *)
   failures : string list;
 }
 
@@ -155,12 +162,206 @@ let state db (w : W.t) =
       List.sort compare !out)
     w.W.tables
 
-let run ~seed ~iterations ?(log = fun _ -> ()) () =
+(* ------------------------------------------------------------------ *)
+(* Media-fault campaign ([~faults:true]): each iteration crashes the
+   victim through a random fault model — legal image, torn lines,
+   bit-rot into cold media, dead lines — optionally crashes again in
+   the middle of recovery, then recovers with [~scrub:true]. What the
+   verdict checks depends on what the scrub found:
+
+   - no damage: recovered state must equal the oracle exactly;
+   - [log_dropped]: the crashed epoch reverted, so the oracle is
+     rebuilt without its final batch;
+   - damage attributed to a (table, key): the key is excluded from the
+     comparison on both sides — the scrub already reported it lost;
+   - [`Header] damage (row identity destroyed, loss not attributable):
+     the iteration is verified by the damage report alone;
+   - [Meta_region.Corrupt] or [Failure] escaping recovery counts as a
+     loud detection when faults were injected, and as a failure on a
+     legal image.
+
+   Allocator and counter salvage never touch committed row state, so
+   they leave the comparison strict. Crash-during-recovery is only
+   paired with the legal and torn models: rot and dead lines can null
+   stable versions in the first attempt, and the rerun's report would
+   then under-state the damage those keys already suffered. *)
+
+type fault_kind = F_legal | F_torn | F_rot | F_dead
+
+let kind_name = function
+  | F_legal -> "legal"
+  | F_torn -> "torn"
+  | F_rot -> "rot"
+  | F_dead -> "dead"
+
+let pick_fault rng =
+  match Rng.int rng 4 with
+  | 0 -> (F_legal, Pmem.no_faults)
+  | 1 -> (F_torn, { Pmem.no_faults with Pmem.torn_frac = 0.5 })
+  | 2 ->
+      ( F_rot,
+        {
+          Pmem.no_faults with
+          Pmem.rot_lines = 1 + Rng.int rng 4;
+          rot_max_bits = 1 + Rng.int rng 3;
+        } )
+  | _ -> (F_dead, { Pmem.no_faults with Pmem.dead = 1 + Rng.int rng 2 })
+
+let pick_rec_phase rng =
+  match Rng.int rng 4 with
+  | 0 -> Db.Rec_meta_recovered
+  | 1 -> Db.Rec_log_loaded
+  | 2 -> Db.Rec_scan_done
+  | _ -> Db.Rec_replay_done
+
+let fuzz_faults iter_rng iter ~crashes ~replays ~recrashes ~salvages ~detections
+    ~failures ~log =
+  let w = pick_workload iter_rng in
+  let config = pick_config iter_rng w in
+  let epochs = 2 + Rng.int iter_rng 3 in
+  let epoch_txns = 30 + Rng.int iter_rng 50 in
+  let batch_seed = Rng.int iter_rng 1_000_000 in
+  let batches =
+    let brng = Rng.create batch_seed in
+    List.init epochs (fun _ -> w.W.gen_batch brng epoch_txns)
+  in
+  let oracle_without_last () =
+    let o = Db.create ~config ~tables:w.W.tables () in
+    Db.bulk_load o (w.W.load ());
+    List.iteri (fun i b -> if i < epochs - 1 then ignore (Db.run_epoch o b)) batches;
+    o
+  in
+  let oracle = Db.create ~config ~tables:w.W.tables () in
+  Db.bulk_load oracle (w.W.load ());
+  List.iter (fun b -> ignore (Db.run_epoch oracle b)) batches;
+  let db = Db.create ~config ~tables:w.W.tables () in
+  Db.bulk_load db (w.W.load ());
+  List.iteri (fun i b -> if i < epochs - 1 then ignore (Db.run_epoch db b)) batches;
+  let phase = pick_phase iter_rng ~epoch_txns in
+  let log_committed = ref false in
+  Db.set_phase_hook db (fun p ->
+      if p = Db.Log_done then log_committed := true;
+      if p = phase then raise Crash_now);
+  let completed =
+    try
+      ignore (Db.run_epoch db (List.nth batches (epochs - 1)));
+      true
+    with Crash_now -> false
+  in
+  let kind, model = pick_fault iter_rng in
+  let recrash = (kind = F_legal || kind = F_torn) && Rng.int iter_rng 3 = 0 in
+  let recrash_at = pick_rec_phase iter_rng in
+  incr crashes;
+  let pmem =
+    match kind with
+    | F_legal -> Db.crash db ~rng:iter_rng
+    | _ -> Db.crash ~faults:model db ~rng:iter_rng
+  in
+  let attempt ?recovery_hook () =
+    Db.recover ~config ~tables:w.W.tables ~pmem ~rebuild:w.W.rebuild ?recovery_hook
+      ~scrub:true ()
+  in
+  let verdict = ref "ok" in
+  let fail msg =
+    verdict := "MISMATCH";
+    failures :=
+      Printf.sprintf "iter %d: %s [%s%s] (epochs=%d txns=%d) %s" iter w.W.name
+        (kind_name kind)
+        (if recrash then "+recrash" else "")
+        epochs epoch_txns msg
+      :: !failures
+  in
+  let result =
+    try
+      let r =
+        if recrash then begin
+          match
+            attempt ~recovery_hook:(fun p -> if p = recrash_at then raise Crash_now) ()
+          with
+          | r -> r
+          | exception Crash_now ->
+              incr recrashes;
+              incr crashes;
+              Pmem.crash pmem ~rng:iter_rng;
+              attempt ()
+        end
+        else attempt ()
+      in
+      `Recovered r
+    with
+    | Nv_storage.Meta_region.Corrupt msg -> `Detected ("meta corrupt: " ^ msg)
+    | Failure msg -> `Detected ("failure: " ^ msg)
+  in
+  (match result with
+  | `Detected msg ->
+      if kind = F_legal then fail ("raised on a legal image: " ^ msg)
+      else begin
+        incr detections;
+        verdict := "detected"
+      end
+  | `Recovered (db2, report) ->
+      if report.Report.replayed_txns > 0 then incr replays;
+      if Report.has_salvage report then incr salvages;
+      let damage = report.Report.damage in
+      if kind = F_legal && (damage <> [] || report.Report.log_dropped) then
+        fail
+          (Printf.sprintf "false-positive damage on a legal crash image (log_dropped=%b %s)"
+             report.Report.log_dropped
+             (String.concat ","
+                (List.map
+                   (fun d ->
+                     Format.asprintf "%a@%d/%Ld" Report.pp_damage d d.Report.d_table
+                       d.Report.d_key)
+                   damage)))
+      else if List.exists (fun d -> d.Report.d_kind = `Header) damage then begin
+        (* A destroyed row identity can't be attributed to a table, so
+           the state comparison is meaningless; the loud report is the
+           verdict. *)
+        incr detections;
+        verdict := Printf.sprintf "detected (%d damage)" (List.length damage)
+      end
+      else begin
+        let oracle =
+          if report.Report.log_dropped || not (completed || !log_committed) then
+            oracle_without_last ()
+          else oracle
+        in
+        let excluded =
+          List.filter_map
+            (fun d ->
+              if d.Report.d_table >= 0 then Some (d.Report.d_table, d.Report.d_key)
+              else None)
+            damage
+        in
+        let filter st =
+          List.filter (fun (tb, k, _) -> not (List.mem (tb, k) excluded)) st
+        in
+        if filter (state db2 w) <> filter (state oracle w) then
+          fail "state mismatch after faulted crash"
+        else if excluded <> [] then
+          verdict := Printf.sprintf "ok (%d keys reported lost)" (List.length excluded)
+      end);
+  log
+    (Printf.sprintf "iter %3d: %-32s epochs=%d txns=%d fault=%-5s%s %s" iter w.W.name
+       epochs epoch_txns (kind_name kind)
+       (if recrash then "+recrash" else "")
+       !verdict)
+
+let run ~seed ~iterations ?(faults = false) ?(log = fun _ -> ()) () =
   let rng = Rng.create seed in
   let crashes = ref 0 and replays = ref 0 and failures = ref [] in
+  let faulted = ref 0
+  and recrashes = ref 0
+  and salvages = ref 0
+  and detections = ref 0 in
   for iter = 1 to iterations do
     let iter_rng = Rng.split rng in
-    if iter mod 5 = 0 then begin
+    if faults then begin
+      incr faulted;
+      fuzz_faults iter_rng iter ~crashes ~replays ~recrashes ~salvages ~detections
+        ~failures ~log
+    end
+    else if iter mod 5 = 0 then begin
       incr crashes;
       fuzz_partition iter_rng iter failures;
       log (Printf.sprintf "iter %3d: partition cluster fuzz %s" iter
@@ -234,5 +435,9 @@ let run ~seed ~iterations ?(log = fun _ -> ()) () =
     iterations;
     crashes_injected = !crashes;
     replays = !replays;
+    faulted = !faulted;
+    recrashes = !recrashes;
+    salvages = !salvages;
+    detection_only = !detections;
     failures = List.rev !failures;
   }

@@ -8,6 +8,17 @@
     that executed the same batches without crashing. Any mismatch is a
     correctness bug.
 
+    With [~faults:true] each iteration instead crashes through a random
+    media-fault model (legal image, torn lines, bit-rot, dead lines —
+    see {!Nv_nvmm.Pmem.fault_model}), sometimes crashes {e again} in
+    the middle of recovery, and recovers with [~scrub:true]. The oracle
+    comparison then accounts for what the scrub loudly reported: keys
+    listed in the damage report are excluded, a dropped log shrinks the
+    oracle by the crashed epoch, and corruption the scrub can only
+    detect (destroyed row identity, unreadable epoch record) is
+    verified by the report alone. Silent divergence is always a
+    failure.
+
     Exposed as `nvdb fuzz`; the test suite runs a handful of
     iterations, the CLI as many as you like. *)
 
@@ -15,9 +26,15 @@ type outcome = {
   iterations : int;
   crashes_injected : int;
   replays : int;  (** iterations whose crashed epoch was replayed *)
+  faulted : int;  (** iterations that injected media faults *)
+  recrashes : int;  (** crashes injected in the middle of recovery *)
+  salvages : int;  (** recoveries that repaired, salvaged or reported corruption *)
+  detection_only : int;  (** iterations verified by the damage report alone *)
   failures : string list;  (** human-readable mismatch descriptions *)
 }
 
-val run : seed:int -> iterations:int -> ?log:(string -> unit) -> unit -> outcome
-(** Deterministic for a given [seed]. [log] receives one line per
-    iteration. *)
+val run :
+  seed:int -> iterations:int -> ?faults:bool -> ?log:(string -> unit) -> unit -> outcome
+(** Deterministic for a given [seed]. [faults] (default false) switches
+    every iteration to the media-fault campaign. [log] receives one
+    line per iteration. *)

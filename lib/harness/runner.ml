@@ -233,3 +233,20 @@ let run_recovery s (w : W.t) ~crash_after_txns ?(persistent_index = false) ?labe
     Db.recover ~config ~tables:w.W.tables ~pmem ~rebuild:w.W.rebuild ~tracer ~metrics ()
   in
   { r_label = (match label with Some l -> l | None -> w.W.name); report }
+
+let run_scrub s (w : W.t) ~crash_after_txns ~faults ?label () =
+  let config = nvcaracal_config s w ~variant:Config.Nvcaracal ~crash_safe:true () in
+  let db = Db.create ~config ~tables:w.W.tables () in
+  Db.bulk_load db (w.W.load ());
+  let rng = Nv_util.Rng.create s.seed in
+  for _ = 1 to s.epochs - 1 do
+    ignore (Db.run_epoch db (w.W.gen_batch rng s.epoch_txns))
+  done;
+  let crash_at = min crash_after_txns (s.epoch_txns - 1) in
+  Db.set_phase_hook db (fun p -> if p = Db.Exec_txn crash_at then raise Crash_now);
+  (try ignore (Db.run_epoch db (w.W.gen_batch rng s.epoch_txns)) with Crash_now -> ());
+  let pmem = Db.crash ~faults db ~rng:(Nv_util.Rng.create (s.seed + 1)) in
+  let _db2, report =
+    Db.recover ~config ~tables:w.W.tables ~pmem ~rebuild:w.W.rebuild ~scrub:true ()
+  in
+  { r_label = (match label with Some l -> l | None -> w.W.name); report }

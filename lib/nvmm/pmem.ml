@@ -15,15 +15,47 @@ type line_state = {
   mutable queued : (bytes * int) option;
 }
 
+(* Media-fault bookkeeping. All fields stay at their zero state unless a
+   fault-injection entry point was called, so fault-free runs (including
+   every benchmark) take exactly the original code paths. *)
+type fault_report = {
+  torn_lines : int;
+  rotted_lines : int;
+  flipped_bits : int;
+  dead_lines : int;
+}
+
+type fault_model = {
+  torn_frac : float;
+  rot_lines : int;
+  rot_max_bits : int;
+  dead : int;
+}
+
+let no_faults = { torn_frac = 0.0; rot_lines = 0; rot_max_bits = 0; dead = 0 }
+
 type t = {
   mode : mode;
   data : bytes; (* volatile view *)
   size : int;
   lines : (int, line_state) Hashtbl.t; (* keyed by line index *)
+  dead_lines : (int, unit) Hashtbl.t; (* lines whose reads fault *)
+  crash_dirty : (int, unit) Hashtbl.t; (* lines dirty at any past crash *)
+  mutable faults : fault_report;
 }
 
+let zero_faults = { torn_lines = 0; rotted_lines = 0; flipped_bits = 0; dead_lines = 0 }
+
 let create ?(mode = Fast) ~size () =
-  { mode; data = Bytes.make size '\000'; size; lines = Hashtbl.create 4096 }
+  {
+    mode;
+    data = Bytes.make size '\000';
+    size;
+    lines = Hashtbl.create 4096;
+    dead_lines = Hashtbl.create 4;
+    crash_dirty = Hashtbl.create 64;
+    faults = zero_faults;
+  }
 
 let mode t = t.mode
 let size t = t.size
@@ -120,12 +152,12 @@ let fill t ~off ~len c =
   Bytes.fill t.data off len c;
   note_store t ~off ~len
 
-let flush t stats ~off ~len =
+let flush ?(charge = true) t stats ~off ~len =
   if len > 0 then begin
     check_bounds t off len;
     let first = off / line_size and last = (off + len - 1) / line_size in
     for li = first to last do
-      Stats.flush stats;
+      if charge then Stats.flush stats;
       if t.mode = Crash_safe then
         match Hashtbl.find_opt t.lines li with
         | None -> () (* clean line: clwb is a no-op *)
@@ -160,7 +192,18 @@ let persist t stats ~off ~len =
   flush t stats ~off ~len;
   fence t stats
 
-let charge_read _t stats ~off ~len = Stats.nvmm_read stats ~off ~len
+let charge_read t stats ~off ~len =
+  (if len > 0 && Hashtbl.length t.dead_lines > 0 then
+     let first = off / line_size and last = (off + len - 1) / line_size in
+     try
+       for li = first to last do
+         if Hashtbl.mem t.dead_lines li then begin
+           Stats.media_fault stats;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+  Stats.nvmm_read stats ~off ~len
 let charge_write _t stats ~off ~len = Stats.nvmm_write stats ~off ~len
 let charge_seq_write _t stats ~bytes = Stats.nvmm_seq_write stats ~bytes
 
@@ -171,7 +214,14 @@ let apply_crash_choice t li st idx =
   in
   Bytes.blit content 0 t.data (li * line_size) line_size
 
-let finish_crash t = Hashtbl.reset t.lines
+(* Remember which lines were in flight when the machine died —
+   accumulated across crashes so a crash during recovery keeps the
+   evidence of the original one. Recovery's scrub consults this to tell
+   legitimate epoch turnover (a stale version whose value bytes were
+   being overwritten) apart from media damage to cold data. *)
+let finish_crash t =
+  Hashtbl.iter (fun li _ -> Hashtbl.replace t.crash_dirty li ()) t.lines;
+  Hashtbl.reset t.lines
 
 let require_crash_safe t =
   if t.mode <> Crash_safe then invalid_arg "Pmem.crash: region is in Fast mode"
@@ -195,6 +245,117 @@ let crash_with t ~choose =
 let crash t ~rng = crash_with t ~choose:(fun ~line:_ ~options -> Nv_util.Rng.int rng options)
 
 let crash_all_persisted t = crash_with t ~choose:(fun ~line:_ ~options -> options - 1)
+
+(* ------------------------------------------------------------------ *)
+(* Media-fault injection.
+
+   These entry points produce *illegal* crash images — states the
+   prefix-consistency contract above can never yield — modelling torn
+   multi-line persists, bit-rot in cold media, and dead lines. The
+   checksummed layout in {!Nv_storage} exists to detect exactly these
+   states; see docs/FAULTS.md for the taxonomy. *)
+
+(* Compose a torn line: each naturally-aligned 8-byte word independently
+   picks one of the line's states (persisted baseline or any store
+   snapshot). Word granularity respects the 8-byte power-fail store
+   atomicity of real hardware, so single-word structures survive whole
+   while anything larger can surface impossible mixes. *)
+let torn_mix t rng li st =
+  let states = Array.of_list (st.persisted :: st.snapshots) in
+  let line = Bytes.create line_size in
+  for w = 0 to (line_size / 8) - 1 do
+    let src = states.(Nv_util.Rng.int rng (Array.length states)) in
+    Bytes.blit src (w * 8) line (w * 8) 8
+  done;
+  Bytes.blit line 0 t.data (li * line_size) line_size
+
+let flip_bit t ~bit_off =
+  let off = bit_off / 8 in
+  let mask = 1 lsl (bit_off mod 8) in
+  Bytes.set t.data off (Char.chr (Char.code (Bytes.get t.data off) lxor mask))
+
+(* Flip random bits in up to [lines] randomly chosen *clean* (persisted)
+   lines. Returns (lines hit, bits flipped). *)
+let inject_bit_rot t ~rng ~lines ~max_bits =
+  let n_lines = t.size / line_size in
+  let hit = ref 0 and flipped = ref 0 in
+  for _ = 1 to lines do
+    let li = Nv_util.Rng.int rng n_lines in
+    if not (Hashtbl.mem t.lines li) then begin
+      incr hit;
+      let bits = 1 + Nv_util.Rng.int rng (max 1 max_bits) in
+      for _ = 1 to bits do
+        flip_bit t ~bit_off:((li * line_size * 8) + Nv_util.Rng.int rng (line_size * 8));
+        incr flipped
+      done
+    end
+  done;
+  t.faults <-
+    {
+      t.faults with
+      rotted_lines = t.faults.rotted_lines + !hit;
+      flipped_bits = t.faults.flipped_bits + !flipped;
+    };
+  (!hit, !flipped)
+
+(* Mark [n] random lines dead: their content reads back as all-ones (a
+   poisoned ECC block) and any charged read overlapping them records a
+   media fault in {!Stats}. *)
+let kill_lines t ~rng ~n =
+  let n_lines = t.size / line_size in
+  let killed = ref 0 in
+  for _ = 1 to n do
+    let li = Nv_util.Rng.int rng n_lines in
+    if not (Hashtbl.mem t.dead_lines li) then begin
+      Hashtbl.add t.dead_lines li ();
+      Bytes.fill t.data (li * line_size) line_size '\xFF';
+      incr killed
+    end
+  done;
+  t.faults <- { t.faults with dead_lines = t.faults.dead_lines + !killed };
+  !killed
+
+let crash_with_faults t ~rng ~model =
+  require_crash_safe t;
+  let torn = ref 0 in
+  let lis = Hashtbl.fold (fun li _ acc -> li :: acc) t.lines [] in
+  let lis = List.sort compare lis in
+  List.iter
+    (fun li ->
+      let st = Hashtbl.find t.lines li in
+      let options = 1 + List.length st.snapshots in
+      if options > 1 && Nv_util.Rng.float rng < model.torn_frac then begin
+        incr torn;
+        torn_mix t rng li st
+      end
+      else apply_crash_choice t li st (Nv_util.Rng.int rng options))
+    lis;
+  finish_crash t;
+  t.faults <- { t.faults with torn_lines = t.faults.torn_lines + !torn };
+  if model.rot_lines > 0 then
+    ignore (inject_bit_rot t ~rng ~lines:model.rot_lines ~max_bits:model.rot_max_bits);
+  if model.dead > 0 then ignore (kill_lines t ~rng ~n:model.dead);
+  t.faults
+
+(* Deterministic corruption of an exact byte range (testing aid): xor
+   every byte with [mask]. Only meaningful on clean lines (e.g. a
+   post-crash image), since it bypasses persistence tracking. *)
+let corrupt_range t ~off ~len ~mask =
+  check_bounds t off len;
+  for i = off to off + len - 1 do
+    Bytes.set t.data i (Char.chr (Char.code (Bytes.get t.data i) lxor (mask land 0xFF)))
+  done
+
+let faults t = t.faults
+let faults_injected t = t.faults <> zero_faults
+let is_dead_line t ~off = Hashtbl.mem t.dead_lines (off / line_size)
+
+let dirty_at_crash t ~off ~len =
+  len > 0 && off >= 0 && off < t.size
+  &&
+  let last = min (off + len - 1) (t.size - 1) / line_size in
+  let rec go li = li <= last && (Hashtbl.mem t.crash_dirty li || go (li + 1)) in
+  go (off / line_size)
 
 let dirty_line_count t = Hashtbl.length t.lines
 

@@ -54,9 +54,13 @@ val fill : t -> off:int -> len:int -> char -> unit
 
 (** {1 Persistence} *)
 
-val flush : t -> Stats.t -> off:int -> len:int -> unit
+val flush : ?charge:bool -> t -> Stats.t -> off:int -> len:int -> unit
 (** Write back all cache lines overlapping the range ([clwb] loop).
-    Content captured now persists at the next [fence]. *)
+    Content captured now persists at the next [fence]. [~charge:false]
+    skips the per-line {!Stats.flush} charge — used by layouts whose
+    physical footprint carries checksum metadata that real hardware
+    (the media controller) would write for free, so simulated costs
+    stay those of the logical layout. *)
 
 val fence : t -> Stats.t -> unit
 (** Store fence: all previously flushed lines become persistent. *)
@@ -92,3 +96,69 @@ val dirty_line_count : t -> int
 
 val unpersisted_ranges : t -> (int * int) list
 (** Sorted [(line_offset, line_size)] list of dirty lines (testing aid). *)
+
+(** {1 Media-fault injection — [Crash_safe] mode only}
+
+    Everything above produces only {e legal} crash images. The entry
+    points below inject the failure modes real NVMM adds on top of
+    fail-stop — torn multi-line persists, bit-rot in cold media, dead
+    lines — which the checksummed layout in [Nv_storage] is designed to
+    detect. Fault state is empty unless one of these was called, so
+    fault-free runs are byte-for-byte unaffected. See docs/FAULTS.md. *)
+
+type fault_model = {
+  torn_frac : float;
+      (** probability that a dirty line tears (each aligned 8-byte word
+          independently picks one of the line's store states) instead of
+          surfacing a legal prefix state *)
+  rot_lines : int;  (** number of random cold lines to hit with bit-rot *)
+  rot_max_bits : int;  (** 1..n bits flipped per rotted line *)
+  dead : int;  (** number of lines that die (reads fault, content all-ones) *)
+}
+
+val no_faults : fault_model
+
+type fault_report = {
+  torn_lines : int;
+  rotted_lines : int;
+  flipped_bits : int;
+  dead_lines : int;
+}
+
+val crash_with_faults : t -> rng:Nv_util.Rng.t -> model:fault_model -> fault_report
+(** Crash like {!crash}, except each dirty line tears with probability
+    [torn_frac]; then inject bit-rot and dead lines per [model] into the
+    resulting (cold) image. Returns the cumulative {!faults} report. *)
+
+val inject_bit_rot : t -> rng:Nv_util.Rng.t -> lines:int -> max_bits:int -> int * int
+(** Flip 1..[max_bits] random bits in up to [lines] random clean lines;
+    dirty lines are left alone (rot takes time — it hits cold media).
+    Returns [(lines_hit, bits_flipped)]. *)
+
+val kill_lines : t -> rng:Nv_util.Rng.t -> n:int -> int
+(** Mark up to [n] random lines dead: content reads back all-ones (a
+    poisoned ECC block) and any charged read overlapping them records a
+    media fault in {!Nv_nvmm.Stats}. Returns the number actually
+    killed (already-dead picks don't count twice). *)
+
+val corrupt_range : t -> off:int -> len:int -> mask:int -> unit
+(** Xor every byte of the range with [mask] (deterministic testing aid;
+    bypasses persistence tracking, meaningful on clean lines only). *)
+
+val faults : t -> fault_report
+(** Cumulative faults injected into this region. *)
+
+val faults_injected : t -> bool
+
+val is_dead_line : t -> off:int -> bool
+(** Whether the line containing [off] has been killed. *)
+
+val dirty_at_crash : t -> off:int -> len:int -> bool
+(** Whether any line of the range was dirty (unflushed stores in
+    flight) at a past {!crash}. Accumulated across crashes, so a crash
+    in the middle of recovery keeps the original crash's evidence.
+    Recovery's scrub uses this to tell a stale version whose value
+    bytes were legitimately being overwritten by the crashed epoch —
+    lines tear independently, so a torn-back row header can still
+    reference them — apart from bit-rot in cold data. False before the
+    first crash. *)

@@ -7,6 +7,7 @@ type counters = {
   flushes : int;
   fences : int;
   compute_ops : int;
+  media_faults : int;
 }
 
 type t = {
@@ -20,6 +21,7 @@ type t = {
   mutable flushes : int;
   mutable fences : int;
   mutable compute_ops : int;
+  mutable media_faults : int;
 }
 
 let create spec =
@@ -34,6 +36,7 @@ let create spec =
     flushes = 0;
     fences = 0;
     compute_ops = 0;
+    media_faults = 0;
   }
 
 let spec t = t.spec
@@ -51,6 +54,7 @@ let counters t =
     flushes = t.flushes;
     fences = t.fences;
     compute_ops = t.compute_ops;
+    media_faults = t.media_faults;
   }
 
 let dram_read t ?(lines = 1) () =
@@ -91,6 +95,11 @@ let nvmm_seq_write t ~bytes =
   t.nvmm_seq_bytes <- t.nvmm_seq_bytes + bytes;
   t.now <- t.now +. (float_of_int bytes *. t.spec.Memspec.nvmm_seq_write_ns_per_byte)
 
+(* A detected media fault (dead-line read) is a counter only: detection
+   happens inside the media controller, so no extra latency is modelled
+   and fault-free runs are numerically unaffected. *)
+let media_fault t = t.media_faults <- t.media_faults + 1
+
 let flush t =
   t.flushes <- t.flushes + 1;
   t.now <- t.now +. t.spec.Memspec.flush_ns
@@ -113,6 +122,7 @@ let zero_counters =
     flushes = 0;
     fences = 0;
     compute_ops = 0;
+    media_faults = 0;
   }
 
 let merge_counters (a : counters) (b : counters) =
@@ -125,13 +135,15 @@ let merge_counters (a : counters) (b : counters) =
     flushes = a.flushes + b.flushes;
     fences = a.fences + b.fences;
     compute_ops = a.compute_ops + b.compute_ops;
+    media_faults = a.media_faults + b.media_faults;
   }
 
 let pp_counters ppf (c : counters) =
   Format.fprintf ppf
     "dram r/w %d/%d  nvmm-blk r/w %d/%d  log %dB  flush %d  fence %d  ops %d" c.dram_reads
     c.dram_writes c.nvmm_block_reads c.nvmm_block_writes c.nvmm_seq_bytes c.flushes c.fences
-    c.compute_ops
+    c.compute_ops;
+  if c.media_faults > 0 then Format.fprintf ppf "  media-faults %d" c.media_faults
 
 let reset t =
   t.now <- 0.0;
@@ -142,4 +154,5 @@ let reset t =
   t.nvmm_seq_bytes <- 0;
   t.flushes <- 0;
   t.fences <- 0;
-  t.compute_ops <- 0
+  t.compute_ops <- 0;
+  t.media_faults <- 0

@@ -17,6 +17,7 @@ type counters = {
   flushes : int;
   fences : int;
   compute_ops : int;
+  media_faults : int;  (** detected dead-line reads (fault injection only) *)
 }
 
 val create : Memspec.t -> t
@@ -66,6 +67,11 @@ val nvmm_seq_write : t -> bytes:int -> unit
 val flush : t -> unit
 val fence : t -> unit
 val compute : t -> ?ops:int -> unit -> unit
+
+val media_fault : t -> unit
+(** Record a detected media fault (a charged read touched a dead line).
+    Counter only — detection happens in the media controller, so no
+    simulated latency is added. *)
 
 val merge_counters : counters -> counters -> counters
 val zero_counters : counters

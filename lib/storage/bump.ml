@@ -1,8 +1,10 @@
 module Pmem = Nv_nvmm.Pmem
+module Crc = Nv_util.Crc32c
 
 type t = { pmem : Pmem.t; meta_off : int; capacity : int; mutable offset : int }
 
 let meta_bytes = 16
+let salt = 0x25
 
 let slot_off t epoch = if epoch land 1 = 1 then t.meta_off else t.meta_off + 8
 
@@ -20,11 +22,29 @@ let alloc t =
 
 let checkpoint t stats ~epoch =
   let off = slot_off t epoch in
-  Pmem.set_i64 t.pmem off (Int64.of_int t.offset);
+  Pmem.set_i64 t.pmem off (Crc.pack_int ~salt t.offset);
   Pmem.charge_write t.pmem stats ~off ~len:8;
   Pmem.flush t.pmem stats ~off ~len:8
 
 let recover t ~last_checkpointed_epoch =
-  t.offset <-
-    (if last_checkpointed_epoch = 0 then 0
-     else Int64.to_int (Pmem.get_i64 t.pmem (slot_off t last_checkpointed_epoch)))
+  if last_checkpointed_epoch = 0 then begin
+    t.offset <- 0;
+    `Ok
+  end
+  else
+    match Crc.unpack_int ~salt (Pmem.get_i64 t.pmem (slot_off t last_checkpointed_epoch)) with
+    | Some v ->
+        t.offset <- v;
+        `Ok
+    | None ->
+        (* The live checkpoint word is corrupt. The other parity slot
+           (previous epoch) is only a *floor* — trusting it could
+           re-issue slots allocated since — so with no way to rescan,
+           leak the whole pool rather than risk double-allocation.
+           Callers able to rescan their arena (row slabs, whose slots
+           carry checksummed identity headers) tighten this to the
+           exact offset via [force_offset]. *)
+        t.offset <- t.capacity;
+        `Salvaged
+
+let force_offset t v = t.offset <- max 0 (min v t.capacity)

@@ -30,6 +30,17 @@ val checkpoint : t -> Nv_nvmm.Stats.t -> epoch:int -> unit
 (** Persist the working offset into the slot for [epoch] (flush only;
     the caller issues the epoch-commit fence). *)
 
-val recover : t -> last_checkpointed_epoch:int -> unit
+val recover : t -> last_checkpointed_epoch:int -> [ `Ok | `Salvaged ]
 (** Reload the working offset from [last_checkpointed_epoch]'s slot.
-    An epoch of 0 means nothing was ever checkpointed: offset 0. *)
+    An epoch of 0 means nothing was ever checkpointed: offset 0.
+    Checkpoint words are crc32c-packed: a corrupt live word returns
+    [`Salvaged] with the offset forced to the full capacity. The other
+    parity slot is only a floor — trusting it could re-issue slots
+    allocated since — so the whole pool is leaked rather than risking
+    double-allocation. Callers that can rescan their arena should then
+    call [force_offset]. *)
+
+val force_offset : t -> int -> unit
+(** Override the working offset after an arena rescan reconstructed a
+    better value than [`Salvaged]'s conservative fallback (clamped to
+    [0, capacity]). *)

@@ -58,9 +58,22 @@ val iter_entries : t -> f:(int64 -> unit) -> unit
 (** Visit entries currently in the list, head to tail, without charging
     (introspection for the recovery scan's free set). *)
 
-val recover :
-  t -> last_checkpointed_epoch:int -> crashed_epoch:int -> int64 list
+type recovery = {
+  gc_frees : int64 list;
+      (** the crashed epoch's durable GC frees (the dedup set replay
+          uses to avoid double-freeing — paper section 5.5) *)
+  meta_salvaged : int;  (** corrupt checkpointed offset words salvaged *)
+  corrupt_entries : int;  (** corrupt ring entries in the live window *)
+}
+
+val recover : t -> last_checkpointed_epoch:int -> crashed_epoch:int -> recovery
 (** Reload DRAM offsets from the last checkpointed slots; if the crashed
     epoch's major GC had persisted its current tail, keep those frees.
-    Returns the GC-freed pointers of the crashed epoch (the dedup set
-    replay uses to avoid double-freeing — paper section 5.5). *)
+
+    Every persistent word is crc32c-packed, so corruption is detected
+    and salvaged rather than absorbed: a corrupt checkpointed offset
+    resets the list to empty (leaking its entries — nothing can be
+    double-allocated, and replay re-frees append fresh entries); a
+    corrupt GC-tail record falls back to the checkpointed tail; corrupt
+    ring entries stay in the window but are skipped by [alloc] and
+    counted here. *)

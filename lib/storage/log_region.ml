@@ -1,75 +1,163 @@
 module Pmem = Nv_nvmm.Pmem
+module Stats = Nv_nvmm.Stats
+module Memspec = Nv_nvmm.Memspec
 module Layout = Nv_nvmm.Layout
+module Crc = Nv_util.Crc32c
 
-(* Header: 0 count | 8 epoch | 16 total_len. The count is stored first
-   and zeroed at begin_epoch *before* the epoch tag is stored, so every
-   torn prefix is either "stale log" or "epoch tagged, count 0" — never
-   a new tag with a stale count. *)
+(* Header: 0 count | 8 epoch | 16 total_len — each a self-checking
+   packed word (value + crc32c in one int64, distinct salts), so a
+   bit-rotted or torn header reads as corrupt rather than as a plausible
+   count. The count is stored first and zeroed at begin_epoch *before*
+   the epoch tag is stored, so every torn prefix is either "stale log"
+   or "epoch tagged, count 0" — never a new tag with a stale count.
+
+   Records carry a per-record crc32c salted with (epoch, index): a torn
+   header that mixes an old count with a new epoch tag then fails record
+   verification instead of replaying a stale epoch's inputs.
+
+   Physical record layout: [len i32][crc i32][payload][pad to 4]. The
+   4-byte crc is modelled as media-controller metadata: all simulated
+   charges (sequential-write bytes, clwb count, read blocks) are
+   computed against the *logical* pre-checksum layout
+   [len i32][payload][pad to 4], tracked by [log_pos], so timing and
+   counters are identical to a layout without checksums. *)
 type t = {
   pmem : Pmem.t;
   off : int;
   capacity : int;
-  mutable write_pos : int;
+  mutable write_pos : int; (* physical append position *)
+  mutable log_pos : int; (* logical (charging) position *)
   mutable count : int;
 }
 
+type committed =
+  | Empty
+  | Committed of int * bytes list
+  | Corrupt of { epoch : int option; reason : string }
+
 let header_bytes = 24
+let salt_count = 0x10
+let salt_epoch = 0x11
+let salt_total = 0x12
 
 let reserve builder ~capacity_bytes =
   Layout.reserve builder ~name:"log" ~len:(header_bytes + capacity_bytes) ()
 
 let attach pmem (r : Layout.region) =
-  { pmem; off = r.Layout.off; capacity = r.Layout.len - header_bytes; write_pos = 0; count = 0 }
+  {
+    pmem;
+    off = r.Layout.off;
+    capacity = r.Layout.len - header_bytes;
+    write_pos = 0;
+    log_pos = 0;
+    count = 0;
+  }
+
+let record_crc ~epoch ~index record =
+  let c = Crc.init () in
+  let c = Crc.update c record 0 (Bytes.length record) in
+  let c = Crc.int64 c (Int64.of_int epoch) in
+  let c = Crc.int64 c (Int64.of_int index) in
+  Crc.finish c
 
 let begin_epoch t stats ~epoch =
   Pmem.set_i64 t.pmem t.off 0L;
-  Pmem.set_i64 t.pmem (t.off + 8) (Int64.of_int epoch);
+  Pmem.set_i64 t.pmem (t.off + 8) (Crc.pack_int ~salt:salt_epoch epoch);
   Pmem.set_i64 t.pmem (t.off + 16) 0L;
   Pmem.charge_write t.pmem stats ~off:t.off ~len:24;
   Pmem.persist t.pmem stats ~off:t.off ~len:24;
   t.write_pos <- 0;
+  t.log_pos <- 0;
   t.count <- 0
 
 let entry_base t = t.off + header_bytes
 
 let align4 v = (v + 3) land lnot 3
 
+let epoch_of_header t =
+  match Crc.unpack_int ~salt:salt_epoch (Pmem.get_i64 t.pmem (t.off + 8)) with
+  | Some e -> e
+  | None -> 0 (* only used to salt appends; recovery re-validates *)
+
 let append t stats record =
   let len = Bytes.length record in
-  let need = align4 (4 + len) in
-  if t.write_pos + need > t.capacity then failwith "Log_region.append: log region full";
+  let phys = align4 (8 + len) in
+  let logical = align4 (4 + len) in
+  if t.write_pos + phys > t.capacity then failwith "Log_region.append: log region full";
   let pos = entry_base t + t.write_pos in
   Pmem.set_i32 t.pmem pos (Int32.of_int len);
-  Pmem.blit_to t.pmem ~src:record ~src_off:0 ~dst_off:(pos + 4) ~len;
-  Pmem.charge_seq_write t.pmem stats ~bytes:need;
-  Pmem.flush t.pmem stats ~off:pos ~len:(4 + len);
-  t.write_pos <- t.write_pos + need;
+  Pmem.set_i32 t.pmem (pos + 4) (record_crc ~epoch:(epoch_of_header t) ~index:t.count record);
+  Pmem.blit_to t.pmem ~src:record ~src_off:0 ~dst_off:(pos + 8) ~len;
+  Pmem.charge_seq_write t.pmem stats ~bytes:logical;
+  (* Write back the physical range, but charge the clwb loop of the
+     logical layout so flush counts match the pre-checksum baseline. *)
+  Pmem.flush ~charge:false t.pmem stats ~off:pos ~len:(8 + len);
+  let lines =
+    Memspec.lines_touched (Stats.spec stats) ~off:(entry_base t + t.log_pos) ~len:(4 + len)
+  in
+  for _ = 1 to lines do
+    Stats.flush stats
+  done;
+  t.write_pos <- t.write_pos + phys;
+  t.log_pos <- t.log_pos + logical;
   t.count <- t.count + 1
 
 let commit t stats =
   (* Entries were written back by [append]; the first fence makes them
      durable before the count that validates them is published. *)
   Pmem.fence t.pmem stats;
-  Pmem.set_i64 t.pmem (t.off + 16) (Int64.of_int t.write_pos);
-  Pmem.set_i64 t.pmem t.off (Int64.of_int t.count);
+  Pmem.set_i64 t.pmem (t.off + 16) (Crc.pack_int ~salt:salt_total t.write_pos);
+  Pmem.set_i64 t.pmem t.off (Crc.pack_int ~salt:salt_count t.count);
   Pmem.charge_write t.pmem stats ~off:t.off ~len:24;
   Pmem.persist t.pmem stats ~off:t.off ~len:24
 
 let read_committed t stats =
-  let count = Int64.to_int (Pmem.get_i64 t.pmem t.off) in
-  let epoch = Int64.to_int (Pmem.get_i64 t.pmem (t.off + 8)) in
   Pmem.charge_read t.pmem stats ~off:t.off ~len:24;
-  if count <= 0 then None
-  else begin
-    let entries = ref [] in
-    let pos = ref (entry_base t) in
-    for _ = 1 to count do
-      let len = Int32.to_int (Pmem.get_i32 t.pmem !pos) in
-      Pmem.charge_read t.pmem stats ~off:!pos ~len:(4 + len);
-      entries := Pmem.read_bytes t.pmem ~off:(!pos + 4) ~len :: !entries;
-      pos := !pos + align4 (4 + len)
-    done;
-    Some (epoch, List.rev !entries)
-  end
+  let count_w = Pmem.get_i64 t.pmem t.off in
+  let epoch_w = Pmem.get_i64 t.pmem (t.off + 8) in
+  let total_w = Pmem.get_i64 t.pmem (t.off + 16) in
+  match
+    ( Crc.unpack_int ~salt:salt_count count_w,
+      Crc.unpack_int ~salt:salt_epoch epoch_w,
+      Crc.unpack_int ~salt:salt_total total_w )
+  with
+  | None, _, _ -> Corrupt { epoch = None; reason = "log header: corrupt count word" }
+  | Some _, None, _ -> Corrupt { epoch = None; reason = "log header: corrupt epoch word" }
+  | Some count, Some _, _ when count <= 0 -> Empty
+  | Some _, Some epoch, None ->
+      Corrupt { epoch = Some epoch; reason = "log header: corrupt total-length word" }
+  | Some count, Some epoch, Some total -> (
+      let corrupt reason = Corrupt { epoch = Some epoch; reason } in
+      let entries = ref [] in
+      let pos = ref (entry_base t) in
+      let lpos = ref (entry_base t) (* logical position, for charging *) in
+      let result = ref None in
+      let i = ref 0 in
+      while !result = None && !i < count do
+        let len = Int32.to_int (Pmem.get_i32 t.pmem !pos) in
+        if len < 0 || !pos + align4 (8 + len) > entry_base t + t.capacity then
+          result := Some (corrupt (Printf.sprintf "log record %d: bad length %d" !i len))
+        else begin
+          Pmem.charge_read t.pmem stats ~off:!lpos ~len:(4 + len);
+          let stored = Pmem.get_i32 t.pmem (!pos + 4) in
+          let record = Pmem.read_bytes t.pmem ~off:(!pos + 8) ~len in
+          if stored <> record_crc ~epoch ~index:!i record then
+            result := Some (corrupt (Printf.sprintf "log record %d: checksum mismatch" !i))
+          else begin
+            entries := record :: !entries;
+            pos := !pos + align4 (8 + len);
+            lpos := !lpos + align4 (4 + len);
+            incr i
+          end
+        end
+      done;
+      match !result with
+      | Some c -> c
+      | None ->
+          if !pos - entry_base t <> total then
+            corrupt
+              (Printf.sprintf "log: record bytes %d disagree with committed total %d"
+                 (!pos - entry_base t) total)
+          else Committed (epoch, List.rev !entries))
 
-let bytes_appended t = t.write_pos
+let bytes_appended t = t.log_pos

@@ -11,9 +11,24 @@
     then a fence makes them durable, and only then is the entry count
     published (and fenced) — so a committed count implies every entry
     is durable. An epoch whose log never committed is treated by
-    recovery as having never been submitted. *)
+    recovery as having never been submitted.
+
+    The persistent layout is checksummed (crc32c): the three header
+    words are self-checking packed words and every record carries a
+    crc salted with its epoch and index, so bit-rot and torn persists
+    surface as [Corrupt] at recovery rather than as silent bad replay.
+    Checksums are modelled as media-controller metadata: all simulated
+    charges are those of the pre-checksum logical layout (see
+    docs/FAULTS.md). *)
 
 type t
+
+(** Result of reading back the log region at recovery. *)
+type committed =
+  | Empty  (** last log never committed — epoch was never submitted *)
+  | Committed of int * bytes list  (** committed epoch and its records *)
+  | Corrupt of { epoch : int option; reason : string }
+      (** checksum mismatch; [epoch] when the header was still readable *)
 
 val header_bytes : int
 
@@ -31,9 +46,10 @@ val commit : t -> Nv_nvmm.Stats.t -> unit
 (** Fence entries, publish the count, fence again. After this returns,
     the epoch's inputs are recoverable. *)
 
-val read_committed : t -> Nv_nvmm.Stats.t -> (int * bytes list) option
-(** [Some (epoch, entries)] if the region holds a committed log;
-    [None] if the last log never committed. Charges sequential reads. *)
+val read_committed : t -> Nv_nvmm.Stats.t -> committed
+(** Read back and verify the last log. Charges sequential reads (at
+    logical-layout offsets). *)
 
 val bytes_appended : t -> int
-(** Bytes appended in the current epoch (logging-volume reporting). *)
+(** Logical bytes appended in the current epoch (logging-volume
+    reporting; excludes checksum metadata). *)

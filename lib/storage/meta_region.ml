@@ -1,10 +1,30 @@
 module Pmem = Nv_nvmm.Pmem
 module Layout = Nv_nvmm.Layout
+module Crc = Nv_util.Crc32c
 
 type t = { pmem : Pmem.t; off : int; n_counters : int }
 
-(* Layout: 0 epoch | then n_counters pairs of (slot1, slot2). *)
-let size ~n_counters = 8 + (n_counters * 16)
+exception Corrupt of string
+
+(* Layout (layout version 2, checksummed):
+     0  epoch            crc32c-packed word — the commit record
+     8  magic            crc32c-packed word holding the layout version
+    16  reserved         (48 bytes, so counters start line-aligned)
+    64  counter pairs    32 bytes per counter:
+                           +0  value slot 1 (odd epochs)   int64
+                           +8  guard slot 1                packed crc32c of value
+                          +16  value slot 2 (even epochs)  int64
+                          +24  guard slot 2                packed crc32c of value
+   Counters keep full 64-bit range, so each parity slot stores the raw
+   value plus a packed guard word carrying the value's crc32c; a pair
+   never straddles a cache line. An all-zero pair is valid (fresh). *)
+let size ~n_counters = 64 + (n_counters * 32)
+
+let salt_epoch = 0x30
+let salt_magic = 0x31
+let salt_counter = 0x32
+
+let layout_version = 2
 
 let reserve builder ~n_counters =
   Layout.reserve builder ~name:"meta" ~len:(size ~n_counters) ()
@@ -15,13 +35,33 @@ let attach pmem (r : Layout.region) ~n_counters =
 
 let persist_epoch t stats ~epoch =
   Pmem.fence t.pmem stats;
-  Pmem.set_i64 t.pmem t.off (Int64.of_int epoch);
+  Pmem.set_i64 t.pmem t.off (Crc.pack_int ~salt:salt_epoch epoch);
   Pmem.charge_write t.pmem stats ~off:t.off ~len:8;
   Pmem.persist t.pmem stats ~off:t.off ~len:8
 
-let read_epoch t = Int64.to_int (Pmem.get_i64 t.pmem t.off)
+let read_epoch t =
+  match Crc.unpack_int ~salt:salt_epoch (Pmem.get_i64 t.pmem t.off) with
+  | Some e -> e
+  | None ->
+      (* Without a trustworthy epoch number nothing else can be
+         interpreted; this is the one unrecoverable corruption. *)
+      raise (Corrupt "meta region: epoch commit record fails its checksum")
 
-let counter_slot t i epoch = t.off + 8 + (i * 16) + if epoch land 1 = 1 then 0 else 8
+let persist_magic t stats =
+  Pmem.set_i64 t.pmem (t.off + 8) (Crc.pack_int ~salt:salt_magic layout_version);
+  Pmem.charge_write t.pmem stats ~off:(t.off + 8) ~len:8;
+  Pmem.persist t.pmem stats ~off:(t.off + 8) ~len:8
+
+let check_magic t =
+  match Crc.unpack_int ~salt:salt_magic (Pmem.get_i64 t.pmem (t.off + 8)) with
+  | Some 0 -> `Absent (* never bulk-loaded *)
+  | Some v when v = layout_version -> `Ok
+  | Some v -> `Version_mismatch v
+  | None -> `Corrupt
+
+let counter_slot t i epoch = t.off + 64 + (i * 32) + if epoch land 1 = 1 then 0 else 16
+
+let guard v = Crc.pack ~salt:salt_counter (Int64.logand (Int64.of_int32 (Crc.int64_crc v)) 0xFFFFFFFFL)
 
 let checkpoint_counters t stats ~epoch values =
   assert (Array.length values = t.n_counters);
@@ -29,11 +69,43 @@ let checkpoint_counters t stats ~epoch values =
     (fun i v ->
       let off = counter_slot t i epoch in
       Pmem.set_i64 t.pmem off v;
+      Pmem.set_i64 t.pmem (off + 8) (guard v);
+      (* The guard word is controller metadata: charge and account the
+         8-byte value store only, but write back the full pair. *)
       Pmem.charge_write t.pmem stats ~off ~len:8;
-      Pmem.flush t.pmem stats ~off ~len:8)
+      Pmem.flush ~charge:false t.pmem stats ~off ~len:16;
+      Nv_nvmm.Stats.flush stats)
     values
 
+let check_counter t i epoch =
+  let off = counter_slot t i epoch in
+  let v = Pmem.get_i64 t.pmem off in
+  let g = Pmem.get_i64 t.pmem (off + 8) in
+  if v = 0L && g = 0L then Some 0L (* fresh *)
+  else
+    match Crc.unpack ~salt:salt_counter g with
+    | Some c when c = Int64.logand (Int64.of_int32 (Crc.int64_crc v)) 0xFFFFFFFFL -> Some v
+    | _ -> None
+
+type counter_recovery = { values : int64 array; salvaged : int list }
+
 let recover_counters t ~last_checkpointed_epoch =
-  Array.init t.n_counters (fun i ->
-      if last_checkpointed_epoch = 0 then 0L
-      else Pmem.get_i64 t.pmem (counter_slot t i last_checkpointed_epoch))
+  let salvaged = ref [] in
+  let values =
+    Array.init t.n_counters (fun i ->
+        if last_checkpointed_epoch = 0 then 0L
+        else
+          match check_counter t i last_checkpointed_epoch with
+          | Some v -> v
+          | None -> (
+              (* Live slot corrupt: the other parity slot holds the
+                 previous epoch's value. Replay of the crashed epoch
+                 re-derives the increments of the last epoch only if it
+                 is the same epoch, so this is best-effort — recorded as
+                 damage either way. *)
+              salvaged := i :: !salvaged;
+              match check_counter t i (last_checkpointed_epoch + 1) with
+              | Some v -> v
+              | None -> 0L))
+  in
+  { values; salvaged = List.rev !salvaged }

@@ -5,23 +5,49 @@
     The epoch number is the commit record of the whole epoch: it is
     persisted (fence, store, flush, fence) only after every other write
     of the epoch has been fenced, so recovery reads it to learn the
-    last fully-checkpointed epoch. *)
+    last fully-checkpointed epoch.
+
+    Layout version 2 checksums everything: the epoch and magic words
+    are crc32c-packed, and each counter parity slot pairs the raw
+    64-bit value with a packed guard word holding its crc32c. Guards
+    are modelled as controller metadata and charge nothing extra. *)
 
 type t
 
+exception Corrupt of string
+(** Raised by {!read_epoch} when the epoch commit record fails its
+    checksum — the one corruption recovery cannot work around. *)
+
 val reserve : Nv_nvmm.Layout.builder -> n_counters:int -> Nv_nvmm.Layout.region
 val attach : Nv_nvmm.Pmem.t -> Nv_nvmm.Layout.region -> n_counters:int -> t
+
+val layout_version : int
 
 val persist_epoch : t -> Nv_nvmm.Stats.t -> epoch:int -> unit
 (** The epoch-commit step of Algorithm 1: fence, publish [epoch],
     flush, fence. *)
 
 val read_epoch : t -> int
-(** Last committed epoch; 0 if none. *)
+(** Last committed epoch; 0 if none. @raise Corrupt on checksum failure. *)
+
+val persist_magic : t -> Nv_nvmm.Stats.t -> unit
+(** Stamp the layout-version magic word (done once, at bulk load). *)
+
+val check_magic : t -> [ `Ok | `Absent | `Version_mismatch of int | `Corrupt ]
+(** Verify the magic word: [`Absent] means the region was never
+    stamped (no bulk load — treated as fine), [`Version_mismatch] a
+    layout from a different code version, [`Corrupt] a failed
+    checksum. *)
 
 val checkpoint_counters : t -> Nv_nvmm.Stats.t -> epoch:int -> int64 array -> unit
 (** Persist counter values into [epoch]'s slots (flush only). *)
 
-val recover_counters : t -> last_checkpointed_epoch:int -> int64 array
+type counter_recovery = {
+  values : int64 array;
+  salvaged : int list;  (** indices whose live slot failed its guard *)
+}
+
+val recover_counters : t -> last_checkpointed_epoch:int -> counter_recovery
 (** Counter values as of the last checkpoint (zeros if never
-    checkpointed). *)
+    checkpointed). A corrupt live slot falls back to the other parity
+    slot (the previous epoch's value) and is reported in [salvaged]. *)

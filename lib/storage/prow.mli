@@ -11,9 +11,20 @@
     off 24  v1.ptr     (Vptr)
     off 32  v2.sid     (int64)   v2 = most recent version
     off 40  v2.ptr     (Vptr)
-    off 48  reserved   (40 bytes)
+    off 48  id crc32c  (int32)   over bytes 0..15 (key, table, flags)
+    off 52  v1 crc32c  (int32)   over (v1.sid, v1.ptr, crc32c(v1 value))
+    off 56  v2 crc32c  (int32)   over (v2.sid, v2.ptr, crc32c(v2 value))
+    off 60  reserved   (28 bytes)
     off 88  inline heap (row_size - 88 bytes)
     v}
+
+    The three checksum words make media corruption (bit-rot, torn
+    multi-line persists, dead lines) detectable by the scrub pass of
+    recovery; they live in the header's cache line, are maintained
+    transparently by every version update, and are computed host-side
+    (modelled as controller ECC — no simulated cost; docs/FAULTS.md).
+    A slot's crc has no slot identity folded in, so [gc_move] carries
+    v2's stored word to v1 unchanged.
 
     Both version slots live in the first CPU cache line, and every
     version update stores the SID strictly before the pointer, which is
@@ -100,6 +111,44 @@ val gc_move :
 (** The collector step both GCs share: copy v2 into v1 (SID first), then
     null v2 (SID first). Afterwards v1 holds the most recent
     checkpointed version and v2 is free. *)
+
+(** {1 Recovery repair and scrub verification} *)
+
+val repair_case1 :
+  Nv_nvmm.Pmem.t -> Nv_nvmm.Stats.t -> base:int -> ?charge:bool -> unit -> unit
+(** Finish a torn [gc_move] ([v1.sid = v2.sid <> 0]): v1 adopts v2's
+    pointer and checksum word, v2 is nulled. Idempotent. *)
+
+val repair_case2 :
+  Nv_nvmm.Pmem.t -> Nv_nvmm.Stats.t -> base:int -> ?charge:bool -> unit -> unit
+(** Null a pointer whose SID was already nulled (torn null). *)
+
+type slot_check =
+  | Slot_ok
+  | Slot_stale_crc  (** empty slot whose crc word went stale (torn null) *)
+  | Slot_corrupt
+
+val check_id : Nv_nvmm.Pmem.t -> base:int -> bool
+(** Verify the key/table/flags checksum (host-side, uncharged). *)
+
+val check_slot : Nv_nvmm.Pmem.t -> base:int -> slot:[ `V1 | `V2 ] -> slot_check
+(** Verify one version slot against its checksum word, including the
+    value bytes it points to (host-side, uncharged; a pointer leading
+    out of bounds counts as corrupt rather than raising). *)
+
+val rewrite_slot_crc : Nv_nvmm.Pmem.t -> Nv_nvmm.Stats.t -> base:int -> slot:[ `V1 | `V2 ] -> unit
+(** Recompute and persist a slot's checksum word from its current
+    content (scrub normalization of [Slot_stale_crc]). *)
+
+val value_in_crash_turnover : Nv_nvmm.Pmem.t -> base:int -> Vptr.t -> bool
+(** Whether the pointer's value bytes overlap lines that were dirty at
+    the crash — the crashed epoch was legitimately overwriting them
+    (half or pool-slot reuse), so a checksum mismatch on a {e stale}
+    version referencing them is epoch turnover, not media damage. *)
+
+val value_crc : Nv_nvmm.Pmem.t -> base:int -> Vptr.t -> int32
+(** crc32c of the value a pointer refers to (0 for null). May raise
+    [Invalid_argument] if the pointer is corrupt. *)
 
 (** {1 Values} *)
 

@@ -80,15 +80,39 @@ let checkpoint t stats_of ~epoch =
       Freelist.checkpoint cs.fl stats ~epoch)
     t.per_core
 
-let recover t ~last_checkpointed_epoch ~crashed_epoch =
+type recovery = {
+  dedup : (int64, unit) Hashtbl.t;
+  meta_salvaged : int;
+  corrupt_entries : int;
+}
+
+let recover t ~last_checkpointed_epoch ~crashed_epoch ?(row_scan = false) () =
   let dedup = Hashtbl.create 64 in
+  let salvaged = ref 0 and corrupt = ref 0 in
   Array.iter
     (fun cs ->
-      Bump.recover cs.bump ~last_checkpointed_epoch;
-      let gc_frees = Freelist.recover cs.fl ~last_checkpointed_epoch ~crashed_epoch in
-      List.iter (fun p -> Hashtbl.replace dedup p ()) gc_frees)
+      (match Bump.recover cs.bump ~last_checkpointed_epoch with
+      | `Ok -> ()
+      | `Salvaged ->
+          incr salvaged;
+          if row_scan then begin
+            (* Row arenas can do better than Bump's conservative
+               fallback: every allocated row was initialized with a
+               checksummed key/table header, so the highest slot whose
+               identity verifies bounds the true bump offset. *)
+            let last_valid = ref (-1) in
+            for i = 0 to t.spec.slots_per_core - 1 do
+              let base = cs.arena_off + (i * t.spec.slot_size) in
+              if Prow.check_id t.pmem ~base then last_valid := i
+            done;
+            Bump.force_offset cs.bump (!last_valid + 1)
+          end);
+      let r = Freelist.recover cs.fl ~last_checkpointed_epoch ~crashed_epoch in
+      salvaged := !salvaged + r.Freelist.meta_salvaged;
+      corrupt := !corrupt + r.Freelist.corrupt_entries;
+      List.iter (fun p -> Hashtbl.replace dedup p ()) r.Freelist.gc_frees)
     t.per_core;
-  dedup
+  { dedup; meta_salvaged = !salvaged; corrupt_entries = !corrupt }
 
 let write_value t stats ?(charge = true) ~off ~data () =
   let len = Bytes.length data in

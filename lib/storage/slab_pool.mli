@@ -60,10 +60,26 @@ val checkpoint : t -> (int -> Nv_nvmm.Stats.t) -> epoch:int -> unit
     writes are charged to that core's stats — the checkpoint step runs
     in parallel. *)
 
-val recover : t -> last_checkpointed_epoch:int -> crashed_epoch:int -> (int64, unit) Hashtbl.t
+type recovery = {
+  dedup : (int64, unit) Hashtbl.t;
+      (** crashed-epoch GC-freed pointers (replay must not re-free) *)
+  meta_salvaged : int;  (** corrupt allocator checkpoint words salvaged *)
+  corrupt_entries : int;  (** corrupt free-list ring entries (leaked) *)
+}
+
+val recover :
+  t ->
+  last_checkpointed_epoch:int ->
+  crashed_epoch:int ->
+  ?row_scan:bool ->
+  unit ->
+  recovery
 (** Reload allocation state as of the last checkpoint (keeping durable
     GC frees of the crashed epoch) and return the dedup set of
-    crashed-epoch GC-freed pointers. *)
+    crashed-epoch GC-freed pointers plus corruption-salvage counts.
+    With [row_scan] (row slabs only), a corrupt bump checkpoint is
+    reconstructed by scanning the arena for the highest slot whose
+    {!Prow} identity checksum verifies. *)
 
 (** {1 Value access (value-pool use)} *)
 

@@ -83,14 +83,25 @@ let persist_gc_tail t stats ~epoch =
 let checkpoint t stats_of ~epoch =
   List.iter (fun c -> Slab_pool.checkpoint c.pool stats_of ~epoch) t.cls
 
+type recovery = {
+  dedup : (int64, unit) Hashtbl.t;
+  meta_salvaged : int;
+  corrupt_entries : int;
+}
+
 let recover t ~last_checkpointed_epoch ~crashed_epoch =
   let dedup = Hashtbl.create 64 in
+  let salvaged = ref 0 and corrupt = ref 0 in
   List.iter
     (fun c ->
-      let d = Slab_pool.recover c.pool ~last_checkpointed_epoch ~crashed_epoch in
-      Hashtbl.iter (fun k () -> Hashtbl.replace dedup k ()) d)
+      (* Value arenas have no per-slot headers to rescan; a salvaged
+         bump falls back to Bump's conservative estimate. *)
+      let r = Slab_pool.recover c.pool ~last_checkpointed_epoch ~crashed_epoch () in
+      salvaged := !salvaged + r.Slab_pool.meta_salvaged;
+      corrupt := !corrupt + r.Slab_pool.corrupt_entries;
+      Hashtbl.iter (fun k () -> Hashtbl.replace dedup k ()) r.Slab_pool.dedup)
     t.cls;
-  dedup
+  { dedup; meta_salvaged = !salvaged; corrupt_entries = !corrupt }
 
 let allocated_bytes t =
   List.fold_left (fun acc c -> acc + (Slab_pool.allocated_slots c.pool * c.size)) 0 t.cls

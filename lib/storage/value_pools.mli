@@ -42,8 +42,14 @@ val write_value : t -> Nv_nvmm.Stats.t -> ?charge:bool -> off:int -> data:bytes 
 val persist_gc_tail : t -> Nv_nvmm.Stats.t -> epoch:int -> unit
 val checkpoint : t -> (int -> Nv_nvmm.Stats.t) -> epoch:int -> unit
 
-val recover : t -> last_checkpointed_epoch:int -> crashed_epoch:int -> (int64, unit) Hashtbl.t
-(** Combined dedup set across all classes. *)
+type recovery = {
+  dedup : (int64, unit) Hashtbl.t;
+  meta_salvaged : int;
+  corrupt_entries : int;
+}
+
+val recover : t -> last_checkpointed_epoch:int -> crashed_epoch:int -> recovery
+(** Combined dedup set and salvage counts across all classes. *)
 
 val allocated_bytes : t -> int
 (** Sum over classes of allocated slots x slot size. *)

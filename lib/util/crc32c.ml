@@ -1,0 +1,92 @@
+(* CRC-32C (Castagnoli), the polynomial used by SSE4.2 [crc32] and by
+   most storage formats (iSCSI, ext4, Btrfs). Software table-driven
+   implementation; on real hardware this is one instruction per word,
+   which is why checksum computation is never charged to the simulated
+   clock (see docs/FAULTS.md).
+
+   The checksum state is kept pre- and post-inverted as usual, so
+   [finish (update (init ()) b 0 (Bytes.length b))] matches the
+   standard test vectors (crc32c "123456789" = 0xE3069283). *)
+
+let poly = 0x82F63B78l (* reflected 0x1EDC6F41 *)
+
+let table =
+  lazy
+    (let t = Array.make 256 0l in
+     for n = 0 to 255 do
+       let c = ref (Int32.of_int n) in
+       for _ = 0 to 7 do
+         if Int32.logand !c 1l <> 0l then c := Int32.logxor (Int32.shift_right_logical !c 1) poly
+         else c := Int32.shift_right_logical !c 1
+       done;
+       t.(n) <- !c
+     done;
+     t)
+
+let init () = 0xFFFFFFFFl
+let finish crc = Int32.logxor crc 0xFFFFFFFFl
+
+let update_byte crc b =
+  let t = Lazy.force table in
+  let idx = Int32.to_int (Int32.logand (Int32.logxor crc (Int32.of_int b)) 0xFFl) in
+  Int32.logxor t.(idx) (Int32.shift_right_logical crc 8)
+
+let update crc buf off len =
+  let c = ref crc in
+  for i = off to off + len - 1 do
+    c := update_byte !c (Char.code (Bytes.unsafe_get buf i))
+  done;
+  !c
+
+let bytes buf off len = finish (update (init ()) buf off len)
+let string s = bytes (Bytes.unsafe_of_string s) 0 (String.length s)
+
+let int64 crc v =
+  let c = ref crc in
+  for i = 0 to 7 do
+    c := update_byte !c (Int64.to_int (Int64.shift_right_logical v (i * 8)) land 0xff)
+  done;
+  !c
+
+let int32 crc v =
+  let c = ref crc in
+  for i = 0 to 3 do
+    c := update_byte !c (Int32.to_int (Int32.shift_right_logical v (i * 8)) land 0xff)
+  done;
+  !c
+
+let int64_crc v = finish (int64 (init ()) v)
+
+(* ------------------------------------------------------------------ *)
+(* Packed self-checking words.
+
+   A [packed] word stores a value < 2^32 in the low half of an int64
+   and crc32c(value_le ++ salt_le) in the high half. The all-zero word
+   decodes as value 0, so freshly zeroed NVMM parses as valid empty
+   state; any other corruption of either half is detected. *)
+
+let mix ~salt v =
+  let c = init () in
+  let c = int32 c (Int64.to_int32 v) in
+  let c = int32 c (Int32.of_int salt) in
+  finish c
+
+let pack ?(salt = 0) v =
+  if Int64.logand v 0xFFFFFFFF00000000L <> 0L then
+    invalid_arg (Printf.sprintf "Crc32c.pack: value %Ld exceeds 32 bits" v);
+  if v = 0L then 0L
+  else
+    let crc = mix ~salt v in
+    Int64.logor v (Int64.shift_left (Int64.logand (Int64.of_int32 crc) 0xFFFFFFFFL) 32)
+
+let unpack ?(salt = 0) w =
+  if w = 0L then Some 0L
+  else
+    let v = Int64.logand w 0xFFFFFFFFL in
+    let stored = Int64.to_int32 (Int64.shift_right_logical w 32) in
+    if stored = mix ~salt v then Some v else None
+
+let pack_int ?salt v = pack ?salt (Int64.of_int v)
+
+let unpack_int ?salt w =
+  match unpack ?salt w with Some v -> Some (Int64.to_int v) | None -> None

@@ -14,6 +14,7 @@ let () =
          Test_zen.suites;
          Test_harness.suites;
          Test_units_extra.suites;
+         Test_faults.suites;
          Test_aria.suites;
          Test_partition.suites;
          Test_obs.suites;

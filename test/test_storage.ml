@@ -68,7 +68,7 @@ let test_bump_checkpoint_recover () =
   Alcotest.(check int) "offset advanced" 8 (Bump.offset b);
   (* Crash: uncheckpointed allocations are reverted. *)
   Pmem.crash_all_persisted p;
-  Bump.recover b ~last_checkpointed_epoch:2;
+  ignore (Bump.recover b ~last_checkpointed_epoch:2);
   Alcotest.(check int) "reverted to checkpoint" 5 (Bump.offset b)
 
 let test_bump_parity_slots () =
@@ -80,9 +80,9 @@ let test_bump_parity_slots () =
   ignore (Bump.alloc b);
   Bump.checkpoint b s ~epoch:2;
   (* Both checkpoints remain readable. *)
-  Bump.recover b ~last_checkpointed_epoch:1;
+  ignore (Bump.recover b ~last_checkpointed_epoch:1);
   Alcotest.(check int) "epoch-1 slot" 1 (Bump.offset b);
-  Bump.recover b ~last_checkpointed_epoch:2;
+  ignore (Bump.recover b ~last_checkpointed_epoch:2);
   Alcotest.(check int) "epoch-2 slot" 2 (Bump.offset b)
 
 let test_bump_capacity () =
@@ -124,7 +124,7 @@ let test_freelist_crash_reverts_txn_frees () =
   Alcotest.(check (option int64)) "alloc 1" (Some 1L) (Freelist.alloc fl s);
   Pmem.crash_all_persisted p;
   let gc = Freelist.recover fl ~last_checkpointed_epoch:2 ~crashed_epoch:3 in
-  Alcotest.(check int) "no gc frees" 0 (List.length gc);
+  Alcotest.(check int) "no gc frees" 0 (List.length gc.Freelist.gc_frees);
   (* The free of 2L is gone; the alloc of 1L is undone. *)
   Alcotest.(check (option int64)) "1L back" (Some 1L) (Freelist.alloc fl s);
   Alcotest.(check (option int64)) "2L gone" None (Freelist.alloc fl s)
@@ -145,7 +145,7 @@ let test_freelist_gc_tail_survives () =
   Freelist.free fl s 9L;
   Pmem.crash_all_persisted p;
   let gc = Freelist.recover fl ~last_checkpointed_epoch:2 ~crashed_epoch:3 in
-  Alcotest.(check (list int64)) "gc dedup set" [ 7L; 8L ] gc;
+  Alcotest.(check (list int64)) "gc dedup set" [ 7L; 8L ] gc.Freelist.gc_frees;
   (* GC frees survive; the txn free of 9L is reverted; the alloc of 7L
      is reverted (replay will redo it deterministically). *)
   Alcotest.(check (option int64)) "7L still there" (Some 7L) (Freelist.alloc fl s);
@@ -163,7 +163,7 @@ let test_freelist_gc_tail_stale_epoch_ignored () =
      not be mistaken for epoch 4's. *)
   Pmem.crash_all_persisted p;
   let gc = Freelist.recover fl ~last_checkpointed_epoch:3 ~crashed_epoch:4 in
-  Alcotest.(check int) "no gc frees of epoch 4" 0 (List.length gc);
+  Alcotest.(check int) "no gc frees of epoch 4" 0 (List.length gc.Freelist.gc_frees);
   Alcotest.(check (option int64)) "epoch-3 free intact" (Some 7L) (Freelist.alloc fl s)
 
 let test_freelist_wraparound () =
@@ -314,8 +314,8 @@ let test_slab_crash_recovery_allocation_state () =
   let _c = Slab.alloc pool s ~core:0 in
   Slab.free pool s ~core:0 a;
   Pmem.crash_all_persisted p;
-  let dedup = Slab.recover pool ~last_checkpointed_epoch:2 ~crashed_epoch:3 in
-  Alcotest.(check int) "no gc frees" 0 (Hashtbl.length dedup);
+  let r = Slab.recover pool ~last_checkpointed_epoch:2 ~crashed_epoch:3 () in
+  Alcotest.(check int) "no gc frees" 0 (Hashtbl.length r.Slab.dedup);
   Alcotest.(check int) "allocation state reverted" 2 (Slab.allocated_slots pool);
   (* [a] remains allocated (its free reverted). *)
   let visited = ref [] in
@@ -391,8 +391,8 @@ let test_vpools_crash_recovery () =
   Pmem.fence p s;
   VP.free vp s ~core:1 b;
   Pmem.crash_all_persisted p;
-  let dedup = VP.recover vp ~last_checkpointed_epoch:2 ~crashed_epoch:3 in
-  Alcotest.(check bool) "gc free in dedup" true (Hashtbl.mem dedup (Int64.of_int a));
+  let r = VP.recover vp ~last_checkpointed_epoch:2 ~crashed_epoch:3 in
+  Alcotest.(check bool) "gc free in dedup" true (Hashtbl.mem r.VP.dedup (Int64.of_int a));
   (* [b]'s alloc reverted; [a]'s GC free survived and is allocatable. *)
   Alcotest.(check int) "gc-freed slot allocatable" a (VP.alloc vp s ~core:0 ~len:100)
 
@@ -524,7 +524,7 @@ let test_log_roundtrip () =
   Log.append log s (Bytes.of_string "txn-two");
   Log.commit log s;
   match Log.read_committed log s with
-  | Some (5, [ a; b ]) ->
+  | Log.Committed (5, [ a; b ]) ->
       Alcotest.(check string) "entry 1" "txn-one" (Bytes.to_string a);
       Alcotest.(check string) "entry 2" "txn-two" (Bytes.to_string b)
   | _ -> Alcotest.fail "expected committed log with 2 entries"
@@ -536,7 +536,7 @@ let test_log_uncommitted_invisible () =
   Log.append log s (Bytes.of_string "lost");
   (* no commit *)
   Pmem.crash_all_persisted p;
-  Alcotest.(check bool) "uncommitted log unreadable" true (Log.read_committed log s = None)
+  Alcotest.(check bool) "uncommitted log unreadable" true (Log.read_committed log s = Log.Empty)
 
 let test_log_commit_then_crash () =
   let s = stats () in
@@ -547,7 +547,7 @@ let test_log_commit_then_crash () =
   Pmem.crash_with p ~choose:(fun ~line:_ ~options:_ -> 0);
   (* Commit fenced everything: even the harshest adversary keeps it. *)
   match Log.read_committed log s with
-  | Some (6, [ e ]) -> Alcotest.(check string) "entry" "kept" (Bytes.to_string e)
+  | Log.Committed (6, [ e ]) -> Alcotest.(check string) "entry" "kept" (Bytes.to_string e)
   | _ -> Alcotest.fail "committed log lost"
 
 let test_log_new_epoch_invalidates () =
@@ -557,7 +557,7 @@ let test_log_new_epoch_invalidates () =
   Log.append log s (Bytes.of_string "old");
   Log.commit log s;
   Log.begin_epoch log s ~epoch:6;
-  Alcotest.(check bool) "previous log invalidated" true (Log.read_committed log s = None)
+  Alcotest.(check bool) "previous log invalidated" true (Log.read_committed log s = Log.Empty)
 
 (* --- Meta region --- *)
 
@@ -573,9 +573,9 @@ let test_meta_epoch_and_counters () =
   Meta.checkpoint_counters m s ~epoch:7 [| 10L; 20L |];
   Meta.checkpoint_counters m s ~epoch:8 [| 11L; 21L |];
   Alcotest.(check (array int64)) "epoch-7 slot" [| 10L; 20L |]
-    (Meta.recover_counters m ~last_checkpointed_epoch:7);
+    (Meta.recover_counters m ~last_checkpointed_epoch:7).Meta.values;
   Alcotest.(check (array int64)) "epoch-8 slot" [| 11L; 21L |]
-    (Meta.recover_counters m ~last_checkpointed_epoch:8)
+    (Meta.recover_counters m ~last_checkpointed_epoch:8).Meta.values
 
 (* --- Transient pool --- *)
 

@@ -374,7 +374,7 @@ let test_bump_fresh_recover () =
   let p = Pmem.create ~size:64 () in
   let b = Nv_storage.Bump.create p ~meta_off:0 ~capacity:10 in
   ignore (Nv_storage.Bump.alloc b);
-  Nv_storage.Bump.recover b ~last_checkpointed_epoch:0;
+  ignore (Nv_storage.Bump.recover b ~last_checkpointed_epoch:0);
   Alcotest.(check int) "never-checkpointed reverts to zero" 0 (Nv_storage.Bump.offset b)
 
 let test_log_overflow () =
