@@ -1,6 +1,6 @@
 # Convenience entry points; everything is plain dune underneath.
 
-.PHONY: all build test fmt-check check bench fuzz clean
+.PHONY: all build test fmt-check golden check bench fuzz diff-fuzz clean
 
 all: build
 
@@ -18,10 +18,20 @@ fmt-check:
 	  echo "ocamlformat not installed; skipping format check"; \
 	fi
 
-check: build test fmt-check
+# Byte-identity check of a seeded run against the committed golden
+# stdout/trace/metrics (see scripts/golden_check.sh).
+golden:
+	bash scripts/golden_check.sh
+
+check: build test fmt-check golden
 
 bench:
 	dune exec bench/main.exe
+
+# Differential fuzz: NVCaracal vs Zen behind the shared engine
+# interface, same seeded batches, one oracle.
+diff-fuzz:
+	dune exec bin/nvdb.exe -- fuzz --diff --iterations 200 --seed 11
 
 # Seeded crash-recovery fuzz campaign with media faults (torn lines,
 # bit-rot, dead lines) and crash-during-recovery injection. Override:

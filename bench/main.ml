@@ -82,6 +82,23 @@ let run_experiments only =
       Format.fprintf ppf "(%s took %.1fs wall)@." id (Unix.gettimeofday () -. t0))
     selected
 
+(* Write the headline fig5/fig8 metrics as a JSON snapshot; the
+   committed copy (BENCH_pr3.json) documents the throughputs a clean
+   checkout reproduces, since all numbers are simulated-time and
+   deterministic. *)
+let write_snapshot file =
+  let metrics = Nv_harness.Experiments.snapshot () in
+  let oc = open_out file in
+  output_string oc "{\n";
+  List.iteri
+    (fun i (name, v) ->
+      Printf.fprintf oc "  %S: %.3f%s\n" name v
+        (if i = List.length metrics - 1 then "" else ","))
+    metrics;
+  output_string oc "}\n";
+  close_out oc;
+  Format.fprintf ppf "wrote %d benchmark metrics to %s@." (List.length metrics) file
+
 (* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks: host-level costs of hot primitives.       *)
 
@@ -198,18 +215,30 @@ let () =
       & info [ "metrics" ] ~docv:"FILE"
           ~doc:"Write per-epoch metric snapshots (JSON lines) to $(docv).")
   in
-  let main only list_it micro_it trace_file metrics_file =
+  let snapshot_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "snapshot" ] ~docv:"FILE"
+          ~doc:
+            "Write the headline fig5/fig8 metrics (deterministic simulated-time numbers) as \
+             JSON to $(docv) and exit.")
+  in
+  let main only list_it micro_it trace_file metrics_file snapshot_file =
     if list_it then list_experiments ()
     else if micro_it then micro ()
-    else begin
-      let flush_obs = setup_observability ~trace_file ~metrics_file in
-      run_experiments only;
-      flush_obs ()
-    end
+    else
+      match snapshot_file with
+      | Some file -> write_snapshot file
+      | None ->
+          let flush_obs = setup_observability ~trace_file ~metrics_file in
+          run_experiments only;
+          flush_obs ()
   in
   let cmd =
     Cmd.v
       (Cmd.info "nvcaracal-bench" ~doc:"Regenerate the paper's tables and figures")
-      Term.(const main $ only $ list_flag $ micro_flag $ trace_file $ metrics_file)
+      Term.(
+        const main $ only $ list_flag $ micro_flag $ trace_file $ metrics_file $ snapshot_file)
   in
   exit (Cmd.eval cmd)

@@ -122,25 +122,12 @@ let run_cmd =
     let w, growth = resolve_workload workload contention in
     let setup = Runner.setup ~epochs ~epoch_txns:txns ~seed ~insert_growth:growth () in
     let tracer, metrics, flush_obs = observability trace_file metrics_file in
-    let result =
-      match engine with
-      | "zen" ->
-          if trace_file <> None || metrics_file <> None then
-            Format.fprintf ppf "note: --trace/--metrics instrument the NVCaracal engines only@.";
-          Runner.run_zen setup w ()
-      | "aria" -> Runner.run_aria setup w ?tracer ?metrics ()
-      | name -> (
-          let variant =
-            List.find_opt
-              (fun v -> Config.variant_name v = name)
-              [ Config.Nvcaracal; Config.All_nvmm; Config.Hybrid; Config.No_logging;
-                Config.All_dram; Config.Wal ]
-          in
-          match variant with
-          | Some variant -> Runner.run_nvcaracal setup w ~variant ?tracer ?metrics ()
-          | None -> failwith (Printf.sprintf "unknown engine %S" name))
+    let spec =
+      match Nv_harness.Engine.of_string engine with
+      | Some spec -> spec
+      | None -> failwith (Printf.sprintf "unknown engine %S" engine)
     in
-    print_result result;
+    print_result (Runner.run ?tracer ?metrics spec setup w);
     flush_obs ()
   in
   Cmd.v
@@ -189,9 +176,16 @@ let fuzz_cmd =
     in
     Arg.(value & flag & info [ "faults" ] ~doc)
   in
-  let run seed iterations faults =
+  let diff_flag =
+    let doc =
+      "Differential fuzzing: run the same seeded batches through the NVCaracal and Zen \
+       engines behind the shared engine interface and compare committed state."
+    in
+    Arg.(value & flag & info [ "diff" ] ~doc)
+  in
+  let run seed iterations faults diff =
     let outcome =
-      Nv_harness.Fuzzer.run ~seed ~iterations ~faults
+      Nv_harness.Fuzzer.run ~seed ~iterations ~faults ~diff
         ~log:(fun line -> Format.fprintf ppf "%s@." line)
         ()
     in
@@ -199,7 +193,10 @@ let fuzz_cmd =
       outcome.Nv_harness.Fuzzer.iterations outcome.Nv_harness.Fuzzer.crashes_injected
       outcome.Nv_harness.Fuzzer.replays
       (List.length outcome.Nv_harness.Fuzzer.failures);
-    if faults then
+    if diff then
+      Format.fprintf ppf "%d NVCaracal-vs-Zen differential iterations@."
+        outcome.Nv_harness.Fuzzer.diffed
+    else if faults then
       Format.fprintf ppf
         "%d faulted, %d mid-recovery crashes, %d salvage recoveries, %d detection-only@."
         outcome.Nv_harness.Fuzzer.faulted outcome.Nv_harness.Fuzzer.recrashes
@@ -209,7 +206,7 @@ let fuzz_cmd =
   in
   Cmd.v
     (Cmd.info "fuzz" ~doc:"Randomized crash-recovery fuzzing against an oracle")
-    Term.(const run $ seed_arg $ iters $ faults_flag)
+    Term.(const run $ seed_arg $ iters $ faults_flag $ diff_flag)
 
 let scrub_cmd =
   let fault_arg =

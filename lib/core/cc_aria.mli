@@ -1,0 +1,16 @@
+(** Aria-style concurrency control (section 7 future work, after Lu et
+    al.): snapshot execution + deterministic reservations.
+
+    An epoch runs: input log → major GC + cache eviction → phase 1
+    (every transaction executes against the epoch-start snapshot,
+    buffering writes privately and recording its read set) → phase 2
+    (each key keeps the smallest SID that wrote it; a transaction whose
+    read or write set hits a smaller reservation is deferred to the
+    next epoch) → apply surviving writes through the shared
+    dual-version NVMM path in deterministic key order → checkpoint.
+
+    No declared write sets; deletes are not supported. [run]'s second
+    component is the deferred transactions, which the harness feeds
+    into the next batch. *)
+
+include Cc_intf.S

@@ -1,0 +1,23 @@
+(** The concurrency-control strategy seam.
+
+    A strategy owns one epoch end to end — from the input log through
+    execution to the checkpoint — over the shared substrate in
+    {!Epoch}. Two instances exist: {!Cc_serial} (Caracal's write-set
+    initialization + serial-order execution, Algorithm 1) and
+    {!Cc_aria} (Aria-style snapshot execution + deterministic
+    reservations). Crash recovery replays the crashed epoch through
+    whichever strategy produced it, picked as a first-class module. *)
+
+module type S = sig
+  (** Strategy name, for labels and diagnostics. *)
+  val name : string
+
+  (** [run ?replay t txns] executes one epoch over [txns] in batch
+      order and returns its report plus the transactions deferred to
+      the next epoch ([[||]] for strategies without retry).
+
+      [replay] marks deterministic re-execution during recovery: the
+      input log is not rewritten, and the crashed epoch's durable-GC
+      dedup set is consumed. *)
+  val run : ?replay:bool -> Epoch.t -> Txn.t array -> Report.epoch_stats * Txn.t array
+end

@@ -1,0 +1,480 @@
+(* Caracal's serial concurrency control (Algorithm 1): the write-set
+   initialization phases (insert step, append step) build per-row
+   version arrays, then bodies execute in SID order against them.
+   Moved verbatim out of the Db monolith; the shared substrate —
+   version arrays, committed reads, the final persistent write — is in
+   {!Epoch}. *)
+
+module Stats = Nv_nvmm.Stats
+module Prow = Nv_storage.Prow
+module Slab = Nv_storage.Slab_pool
+module Meta = Nv_storage.Meta_region
+module TP = Nv_storage.Transient_pool
+module OIdx = Nv_index.Ordered_index
+module BIdx = Nv_index.Btree_index
+module VA = Version_array
+module Tracer = Nv_obs.Tracer
+module Metrics = Nv_obs.Metrics
+
+open Epoch
+
+let name = "caracal"
+
+(* Work declared for one transaction on one row: the registry built by
+   the initialization phase, consumed by the execution phase. *)
+type entry = {
+  e_op : [ `Insert | `Update | `Delete ];
+  e_table : int;
+  e_key : int64;
+  e_row : Row.t;
+  e_slot : VA.slot;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Transaction contexts                                                *)
+
+type ctx_mode = Init | Exec of Sid.t
+
+(* Visibility of a row's value at a serial position (Exec) or at
+   initialization time (Init: everything resolved so far, which is how
+   dynamic write sets observe insert-step data). *)
+let visible_value t stats (row : Row.t) ~mode =
+  if row.Row.varray_epoch = t.epoch && row.Row.varray <> None then begin
+    let va = match row.Row.varray with Some va -> va | None -> assert false in
+    let slot =
+      match mode with
+      | Exec before -> VA.latest_visible va stats ~before
+      | Init -> VA.latest_resolved va stats
+    in
+    match slot with
+    | Some ({ VA.value = VA.Written vref; _ } as s) ->
+        Stats.set_now stats s.VA.write_time;
+        Some (load_version_value t stats ~initial:(Sid.is_none s.VA.sid) vref)
+    | Some { VA.value = VA.Tombstone; _ } -> None
+    | Some { VA.value = VA.Pending | VA.Ignored; _ } -> assert false
+    | None ->
+        if row.Row.created_epoch = t.epoch then None
+        else committed_read t stats row ~fill_cache:true
+  end
+  else committed_read t stats row ~fill_cache:true
+
+exception Found of (int64 * bytes)
+
+let make_ctx t ~core ~sid ~mode ~entries_of_txn ~notes ~wrote =
+  let stats = stats_of t core in
+  let read ~table ~key =
+    Stats.compute stats ();
+    (* Keys in the write set were already resolved during the
+       initialization phase; the execution phase holds direct row
+       references (as Caracal does) and only probes the index for
+       read-only keys. *)
+    let row =
+      match
+        List.find_opt (fun e -> e.e_table = table && e.e_key = key) !entries_of_txn
+      with
+      | Some e -> Some e.e_row
+      | None -> find_row t stats ~table ~key
+    in
+    match row with None -> None | Some row -> visible_value t stats row ~mode
+  in
+  let write ~table ~key data =
+    (match mode with Exec _ -> () | Init -> invalid_arg "Txn.Ctx.write: not in execution phase");
+    Stats.compute stats ();
+    let entry =
+      try
+        List.find
+          (fun e -> e.e_table = table && e.e_key = key && e.e_op <> `Delete)
+          !entries_of_txn
+      with Not_found ->
+        invalid_arg
+          (Printf.sprintf "Txn.Ctx.write: key (%d, %Ld) is not in the write set" table key)
+    in
+    entry.e_slot.VA.value <- VA.Written (store_version_value t stats ~core data);
+    entry.e_slot.VA.write_time <- Stats.now stats;
+    wrote := true
+  in
+  let delete ~table ~key =
+    (match mode with Exec _ -> () | Init -> invalid_arg "Txn.Ctx.delete: not in execution phase");
+    Stats.compute stats ();
+    let entry =
+      try
+        List.find (fun e -> e.e_table = table && e.e_key = key && e.e_op = `Delete) !entries_of_txn
+      with Not_found ->
+        invalid_arg
+          (Printf.sprintf "Txn.Ctx.delete: key (%d, %Ld) is not in the delete set" table key)
+    in
+    entry.e_slot.VA.value <- VA.Tombstone;
+    entry.e_slot.VA.write_time <- Stats.now stats;
+    t.m_version_writes <- t.m_version_writes + 1;
+    wrote := true
+  in
+  (* Ordered-table operations, uniform over the AVL and B+-tree
+     implementations. *)
+  let ordered_fold table ~lo ~hi ~init ~f =
+    match t.indexes.(table) with
+    | Ord o -> OIdx.fold_range o stats ~lo ~hi ~init ~f
+    | Bt b -> BIdx.fold_range b stats ~lo ~hi ~init ~f
+    | Hash _ -> invalid_arg "Txn.Ctx: range operation on a hash-indexed table"
+  in
+  let ordered_max_below table bound =
+    match t.indexes.(table) with
+    | Ord o -> OIdx.max_below o stats bound
+    | Bt b -> BIdx.max_below b stats bound
+    | Hash _ -> invalid_arg "Txn.Ctx: range operation on a hash-indexed table"
+  in
+  let range_read ~table ~lo ~hi =
+    List.rev
+      (ordered_fold table ~lo ~hi ~init:[] ~f:(fun acc key row ->
+           match visible_value t stats row ~mode with
+           | Some data -> (key, data) :: acc
+           | None -> acc))
+  in
+  let min_above ~table bound =
+    (* Ascending scan with early exit on the first visible entry. *)
+    try
+      ordered_fold table ~lo:bound ~hi:Int64.max_int ~init:() ~f:(fun () key row ->
+          match visible_value t stats row ~mode with
+          | Some data -> raise (Found (key, data))
+          | None -> ());
+      None
+    with Found kv -> Some kv
+  in
+  let max_below ~table bound =
+    (* Descend from the bound; visibility is rechecked walking down in
+       key order. *)
+    let rec go bound =
+      match ordered_max_below table bound with
+      | None -> None
+      | Some (key, row) -> (
+          match visible_value t stats row ~mode with
+          | Some data -> Some (key, data)
+          | None -> if key = Int64.min_int then None else go (Int64.pred key))
+    in
+    go bound
+  in
+  let abort () =
+    if !wrote then failwith "Txn.Ctx.abort: user aborts must precede the first write";
+    raise Txn.Aborted
+  in
+  let compute ~ops = Stats.compute stats ~ops () in
+  let counter_next ~idx =
+    Stats.compute stats ();
+    let v = t.counters.(idx) in
+    t.counters.(idx) <- Int64.add v 1L;
+    v
+  in
+  {
+    Txn.Ctx.sid;
+    core;
+    read;
+    write;
+    delete;
+    range_read;
+    max_below;
+    min_above;
+    abort;
+    compute;
+    counter_next;
+    notes;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Initialization phase                                                *)
+
+let do_insert t stats ~core ~sid ~table ~key ~data entries =
+  Stats.compute stats ();
+  (match find_row t stats ~table ~key with
+  | Some _ -> invalid_arg (Printf.sprintf "Db: duplicate insert of key (%d, %Ld)" table key)
+  | None -> ());
+  let base = Slab.alloc t.row_pool stats ~core in
+  Prow.init t.pmem stats ~base ~key ~table;
+  let row = Row.make ~key ~table ~home_core:core ~prow_base:base ~created_epoch:t.epoch in
+  index_insert t stats ~table ~key row;
+  if t.pindex <> None then Hashtbl.replace t.pix_delta (table, key) (`Ins base);
+  let va = ensure_varray t stats ~core row in
+  VA.append va stats sid;
+  let slot = VA.find va stats sid in
+  (match data with
+  | Some d ->
+      slot.VA.value <- VA.Written (store_version_value t stats ~core d);
+      slot.VA.write_time <- Stats.now stats
+  | None -> ());
+  entries := { e_op = `Insert; e_table = table; e_key = key; e_row = row; e_slot = slot } :: !entries
+
+let do_append t stats ~core ~sid ~table ~key ~(kind : [ `Update | `Delete ]) entries =
+  Stats.compute stats ();
+  match find_row t stats ~table ~key with
+  | None -> invalid_arg (Printf.sprintf "Db: update/delete of missing key (%d, %Ld)" table key)
+  | Some row ->
+      let va = ensure_varray t stats ~core row in
+      (* A transaction may declare the same key more than once (multiple
+         writes per item, section 3.1.1): reuse its slot. *)
+      let slot =
+        match VA.find va stats sid with
+        | slot -> slot
+        | exception Not_found ->
+            VA.append va stats sid;
+            VA.find va stats sid
+      in
+      entries :=
+        { e_op = (kind :> [ `Insert | `Update | `Delete ]); e_table = table; e_key = key;
+          e_row = row; e_slot = slot }
+        :: !entries
+
+(* ------------------------------------------------------------------ *)
+(* Finalization (section 4.6)                                          *)
+
+(* Selective caching (section 7): the write-set information gathered
+   during initialization identifies hot rows — rows with several
+   versions this epoch are worth caching; rows written once are not. *)
+let worth_caching t va =
+  (not t.config.Config.selective_caching) || VA.length va > 2
+
+(* Resolve the epoch-final version of a row once its last declared
+   writer has executed (handles aborted final writers, section 4.6). *)
+let finalize_row t stats ~core (row : Row.t) =
+  let va = match row.Row.varray with Some va -> va | None -> assert false in
+  match VA.latest_resolved va stats with
+  | None -> () (* a fresh insert whose every version aborted *)
+  | Some slot -> (
+      match slot.VA.value with
+      | VA.Written vref when Sid.is_none slot.VA.sid ->
+          (* Every real write aborted; the initial version stands. The
+             persistent row is untouched; restore the cached version the
+             append step consumed (section 4.6). *)
+          if Config.caching_enabled t.config && worth_caching t va then begin
+            let data = load_version_value t stats ~initial:true vref in
+            Cache.insert t.cache stats row ~data ~epoch:t.epoch
+          end
+      | VA.Written vref ->
+          let data = load_version_value t stats ~initial:false vref in
+          do_prow_final_write t stats ~core row ~sid:slot.VA.sid ~data;
+          if Config.caching_enabled t.config && worth_caching t va then
+            Cache.insert t.cache stats row ~data ~epoch:t.epoch
+      | VA.Tombstone -> do_prow_delete t stats ~core row
+      | VA.Pending | VA.Ignored -> assert false)
+
+(* ------------------------------------------------------------------ *)
+(* Epoch driver (Algorithm 1)                                          *)
+
+let run ?(replay = false) t txns =
+  let cfg = t.config in
+  begin_epoch t;
+  let n = Array.length txns in
+  let t_start = barrier t in
+  (* --- Log transaction inputs (section 4.3). --- *)
+  log_inputs t ~replay txns;
+  let t_log = barrier t in
+  (* --- Insert step. --- *)
+  let entries = Array.make n (ref []) in
+  let notes = Array.init n (fun _ -> Hashtbl.create 4) in
+  let outcomes = Array.make n false in
+  for i = 0 to n - 1 do
+    entries.(i) <- ref []
+  done;
+  phase_span t "insert" (fun () ->
+      for i = 0 to n - 1 do
+        let core = core_of t i in
+        let stats = stats_of t core in
+        let sid = Sid.make ~epoch:t.epoch ~seq:i in
+        let static_inserts =
+          List.filter_map
+            (function
+              | Txn.Insert { table; key; data } -> Some (table, key, data)
+              | Txn.Update _ | Txn.Delete _ -> None)
+            txns.(i).Txn.write_set
+        in
+        let generated =
+          match txns.(i).Txn.insert_gen with
+          | None -> []
+          | Some gen ->
+              let ctx =
+                make_ctx t ~core ~sid ~mode:Init ~entries_of_txn:entries.(i) ~notes:notes.(i)
+                  ~wrote:(ref true)
+              in
+              List.map
+                (function
+                  | Txn.Insert { table; key; data } -> (table, key, data)
+                  | Txn.Update _ | Txn.Delete _ ->
+                      invalid_arg "Db: insert_gen may only produce Insert ops")
+                (gen ctx)
+        in
+        List.iter
+          (fun (table, key, data) -> do_insert t stats ~core ~sid ~table ~key ~data entries.(i))
+          (static_inserts @ generated)
+      done;
+      hook t Insert_done);
+  let t_insert = barrier t in
+  (* --- Major GC, then cache eviction (initialization phase). --- *)
+  phase_span t "major-gc" (fun () ->
+      Gc.major_gc t;
+      hook t Gc_done);
+  phase_span t "evict" (fun () ->
+      if Config.caching_enabled cfg then begin
+        t.m_evicted <-
+          Cache.evict t.cache (stats_of t (t.epoch mod cfg.Config.cores)) ~current_epoch:t.epoch
+            ~k:cfg.Config.cache_k;
+        Tracer.instant t.tracer ~core:(t.epoch mod cfg.Config.cores) ~name:"cache-evict"
+          ~cat:"cache"
+          ~args:[ ("evicted", Nv_obs.Jsonx.Int t.m_evicted) ]
+          ()
+      end);
+  let t_gc = barrier t in
+  (* --- Append step. --- *)
+  let recon_reads = Array.make n [] in
+  phase_span t "append" (fun () ->
+  for i = 0 to n - 1 do
+    let core = core_of t i in
+    let stats = stats_of t core in
+    let sid = Sid.make ~epoch:t.epoch ~seq:i in
+    let static_ops =
+      List.filter_map
+        (function
+          | Txn.Update { table; key } -> Some (table, key, `Update)
+          | Txn.Delete { table; key } -> Some (table, key, `Delete)
+          | Txn.Insert _ -> None)
+        txns.(i).Txn.write_set
+    in
+    let ops_of gen =
+      let ctx =
+        make_ctx t ~core ~sid ~mode:Init ~entries_of_txn:entries.(i) ~notes:notes.(i)
+          ~wrote:(ref true)
+      in
+      List.map
+        (function
+          | Txn.Update { table; key } -> (table, key, `Update)
+          | Txn.Delete { table; key } -> (table, key, `Delete)
+          | Txn.Insert _ -> invalid_arg "Db: computed write sets may not produce Insert ops")
+        (gen ctx)
+    in
+    let dynamic_ops =
+      match txns.(i).Txn.dynamic_write_set with None -> [] | Some gen -> ops_of gen
+    in
+    (* Reconnaissance (section 3.1.1): run the read-only pass, record
+       every value it observes, and derive the write set from it. The
+       reads are re-validated just before execution. *)
+    let recon_ops =
+      match txns.(i).Txn.recon with
+      | None -> []
+      | Some gen ->
+          ops_of (fun ctx ->
+              let recorded = ref [] in
+              let recording_read ~table ~key =
+                let v = ctx.Txn.Ctx.read ~table ~key in
+                recorded := (table, key, Option.map Bytes.copy v) :: !recorded;
+                v
+              in
+              let ops = gen { ctx with Txn.Ctx.read = recording_read } in
+              recon_reads.(i) <- !recorded;
+              ops)
+    in
+    List.iter
+      (fun (table, key, kind) -> do_append t stats ~core ~sid ~table ~key ~kind entries.(i))
+      (static_ops @ dynamic_ops @ recon_ops)
+  done;
+  hook t Append_done);
+  let t_append = barrier t in
+  (* --- Execution phase. --- *)
+  let txn_sample = if Tracer.enabled t.tracer then Tracer.txn_sample t.tracer else 0 in
+  let exec_hist =
+    if Metrics.enabled t.metrics then Some (Metrics.histogram t.metrics "txn_exec_ns") else None
+  in
+  phase_span t "execute" (fun () ->
+  for i = 0 to n - 1 do
+    let core = core_of t i in
+    let stats = stats_of t core in
+    let sid = Sid.make ~epoch:t.epoch ~seq:i in
+    let traced = txn_sample > 0 && i mod txn_sample = 0 in
+    let ts0 = if traced || exec_hist <> None then Stats.now stats else 0.0 in
+    let wrote = ref false in
+    let ctx =
+      make_ctx t ~core ~sid ~mode:(Exec sid) ~entries_of_txn:entries.(i) ~notes:notes.(i) ~wrote
+    in
+    (* Validate reconnaissance reads: if any value the recon pass
+       observed was changed by an earlier transaction in this epoch,
+       abort deterministically. *)
+    let recon_valid =
+      List.for_all
+        (fun (table, key, observed) ->
+          match (ctx.Txn.Ctx.read ~table ~key, observed) with
+          | None, None -> true
+          | Some a, Some b -> Bytes.equal a b
+          | _ -> false)
+        recon_reads.(i)
+    in
+    let aborted =
+      (not recon_valid)
+      ||
+      try
+        txns.(i).Txn.body ctx;
+        false
+      with Txn.Aborted -> true
+    in
+    outcomes.(i) <- aborted;
+    if aborted then begin
+      t.m_aborted <- t.m_aborted + 1;
+      t.total_aborted <- t.total_aborted + 1;
+      List.iter (fun e -> e.e_slot.VA.value <- VA.Ignored) !(entries.(i))
+    end
+    else t.committed <- t.committed + 1;
+    (* Declared writes the body never issued are equivalent to aborted
+       single writes: mark them IGNORE so readers skip them. *)
+    List.iter
+      (fun e -> if e.e_slot.VA.value = VA.Pending then e.e_slot.VA.value <- VA.Ignored)
+      !(entries.(i));
+    (* Rows whose last declared writer is this transaction get their
+       final version persisted now. *)
+    List.iter
+      (fun e ->
+        match e.e_row.Row.varray with
+        | Some va
+          when Sid.compare (VA.max_sid va) sid = 0
+               && Sid.compare e.e_slot.VA.sid sid = 0
+               && not (VA.finalized va) ->
+            VA.set_finalized va;
+            finalize_row t stats ~core e.e_row
+        | Some _ | None -> ())
+      !(entries.(i));
+    (if traced || exec_hist <> None then begin
+       let dur = Stats.now stats -. ts0 in
+       if traced then
+         Tracer.complete t.tracer ~core ~name:"txn" ~cat:"txn"
+           ~args:[ ("seq", Nv_obs.Jsonx.Int i); ("aborted", Nv_obs.Jsonx.Bool aborted) ]
+           ~ts:ts0 ~dur ();
+       match exec_hist with Some h -> Metrics.observe h dur | None -> ()
+     end);
+    hook t (Exec_txn i)
+  done;
+  hook t Exec_done);
+  let t_exec = barrier t in
+  (* --- Checkpoint: persist allocators (fence), then the epoch number. --- *)
+  let stats0 = stats_of t 0 in
+  checkpoint_allocators t;
+  phase_span t "epoch-persist" (fun () ->
+      Meta.persist_epoch t.meta stats0 ~epoch:t.epoch;
+      t.last_outcomes <- outcomes;
+      hook t Checkpointed);
+  (* --- Discard the transient pool and per-epoch row state. --- *)
+  List.iter
+    (fun (row : Row.t) ->
+      row.Row.varray <- None;
+      if row.Row.pv2.Row.fresh then row.Row.pv2 <- { row.Row.pv2 with Row.fresh = false };
+      if row.Row.pv1.Row.fresh then row.Row.pv1 <- { row.Row.pv1 with Row.fresh = false })
+    t.touched;
+  t.touched <- [];
+  TP.reset t.tpool;
+  if replay && not t.retain_gc_dedup then t.gc_dedup <- Hashtbl.create 16;
+  let t_end = barrier t in
+  let report =
+    epoch_report t ~txns:n ~replay ~duration:(t_end -. t_start)
+      ~phases:
+        [
+          ("log", t_log -. t_start);
+          ("insert", t_insert -. t_log);
+          ("gc+evict", t_gc -. t_insert);
+          ("append", t_append -. t_gc);
+          ("execute", t_exec -. t_append);
+          ("checkpoint", t_end -. t_exec);
+        ]
+  in
+  (report, [||])

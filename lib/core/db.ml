@@ -1,35 +1,13 @@
-module Pmem = Nv_nvmm.Pmem
-module Stats = Nv_nvmm.Stats
-module Memspec = Nv_nvmm.Memspec
-module Layout = Nv_nvmm.Layout
-module TP = Nv_storage.Transient_pool
-module Prow = Nv_storage.Prow
-module Vptr = Nv_storage.Vptr
-module Slab = Nv_storage.Slab_pool
-module VPools = Nv_storage.Value_pools
-module PIdx = Nv_storage.Pindex
-module Log = Nv_storage.Log_region
-module Meta = Nv_storage.Meta_region
-module HIdx = Nv_index.Hash_index
-module OIdx = Nv_index.Ordered_index
-module BIdx = Nv_index.Btree_index
-module VA = Version_array
-module Tracer = Nv_obs.Tracer
-module Metrics = Nv_obs.Metrics
+(* The public façade of the NVCaracal engine. The implementation lives
+   in the layered modules: {!Epoch} (state + shared substrate),
+   {!Cc_serial} / {!Cc_aria} (the two concurrency-control strategies),
+   {!Gc} (major collection) and {!Recovery} (crash + recover). This
+   module re-exports the stable surface and packages both CC modes as
+   {!Engine_intf.S} instances. *)
 
-type index = Hash of Row.t HIdx.t | Ord of Row.t OIdx.t | Bt of Row.t BIdx.t
+type t = Epoch.t
 
-(* Work declared for one transaction on one row: the registry built by
-   the initialization phase, consumed by the execution phase. *)
-type entry = {
-  e_op : [ `Insert | `Update | `Delete ];
-  e_table : int;
-  e_key : int64;
-  e_row : Row.t;
-  e_slot : VA.slot;
-}
-
-type phase =
+type phase = Epoch.phase =
   | Log_done
   | Insert_done
   | Gc_pass1_done
@@ -39,1828 +17,85 @@ type phase =
   | Exec_done
   | Checkpointed
 
-(* Recovery milestones, mirroring [phase] for the epoch pipeline: a
-   [recovery_hook] is called at each one, and may raise to simulate a
-   crash in the middle of recovery (every recovery-time write is
-   idempotent, so recovering again from the resulting image must
-   converge to the same state). *)
-type recovery_phase =
-  | Rec_meta_recovered  (* allocator and counter state rebuilt *)
-  | Rec_log_loaded  (* input log read back and verified *)
-  | Rec_scan_done  (* index rebuilt; repairs and reverts persisted *)
-  | Rec_replay_done  (* crashed epoch re-executed (or dropped) *)
+type recovery_phase = Epoch.recovery_phase =
+  | Rec_meta_recovered
+  | Rec_log_loaded
+  | Rec_scan_done
+  | Rec_replay_done
 
-type t = {
-  config : Config.t;
-  tables : Table.t array;
-  pmem : Pmem.t;
-  core_stats : Stats.t array;
-  scratch : Stats.t; (* uncharged inspection accesses *)
-  row_pool : Slab.t;
-  value_pool : VPools.t;
-  pindex : PIdx.t option;
-  pix_delta : (int * int64, [ `Ins of int | `Del ]) Hashtbl.t;
-      (* net index changes of the current epoch, batched to NVMM at
-         epoch end when the persistent index is enabled *)
-  log : Log.t;
-  meta : Meta.t;
-  indexes : index array;
-  tpool : TP.t;
-  cache : Cache.t;
-  counters : int64 array;
-  mutable epoch : int; (* epoch currently being processed (= last committed between epochs) *)
-  mutable gc_list : Row.t list;
-  mutable gc_dedup : (int64, unit) Hashtbl.t;
-  mutable touched : Row.t list; (* rows holding a version array this epoch *)
-  mutable retain_gc_dedup : bool;
-      (* lazy (persistent-index) recovery: stale versions are collected
-         on first touch, possibly many epochs later, so the crashed
-         epoch's durable-GC dedup set must outlive the replay *)
-  mutable loaded : bool;
-  (* Cumulative measurements. *)
-  mutable committed : int;
-  mutable total_aborted : int;
-  mutable log_high_water : int;
-  (* Per-epoch measurements (reset each epoch). *)
-  mutable m_aborted : int;
-  mutable m_version_writes : int;
-  mutable m_persistent_writes : int;
-  mutable m_minor_gc : int;
-  mutable m_major_gc : int;
-  mutable m_evicted : int;
-  mutable m_cache_hits0 : int;
-  mutable m_cache_misses0 : int;
-  mutable last_outcomes : bool array; (* per-txn aborted flags, last epoch *)
-  mutable phase_hook : (phase -> unit) option;
-  (* Observability (no-op sinks unless installed). *)
-  mutable tracer : Tracer.t;
-  mutable metrics : Metrics.t;
-  mutable m_access0 : Stats.counters; (* access-counter totals at epoch start *)
-}
-
-let config t = t.config
-let tables t = t.tables
-let pmem t = t.pmem
-
-(* ------------------------------------------------------------------ *)
-(* Construction                                                        *)
-
-let build_layout (cfg : Config.t) =
-  let b = Layout.builder () in
-  let meta_r = Meta.reserve b ~n_counters:cfg.n_counters in
-  let log_r = Log.reserve b ~capacity_bytes:cfg.log_capacity in
-  let row_spec =
-    Slab.reserve b ~name:"rows" ~cores:cfg.cores ~slots_per_core:cfg.rows_per_core
-      ~slot_size:cfg.row_size ~freelist_capacity:cfg.freelist_capacity
-  in
-  let classes =
-    match cfg.value_size_classes with [] -> [ cfg.value_slot_size ] | cs -> cs
-  in
-  let value_spec =
-    VPools.reserve b ~cores:cfg.cores ~slots_per_core:cfg.values_per_core ~classes
-      ~freelist_capacity:cfg.freelist_capacity
-  in
-  let pindex_r =
-    if cfg.persistent_index then begin
-      let capacity =
-        if cfg.pindex_capacity > 0 then cfg.pindex_capacity
-        else 2 * cfg.cores * cfg.rows_per_core
-      in
-      Some (PIdx.reserve b ~capacity)
-    end
-    else None
-  in
-  (Layout.total_size b, meta_r, log_r, row_spec, value_spec, pindex_r)
-
-let attach (cfg : Config.t) tables pmem =
-  let tables = Array.of_list tables in
-  Array.iteri (fun i (tb : Table.t) -> assert (tb.Table.id = i)) tables;
-  let _, meta_r, log_r, row_spec, value_spec, pindex_r = build_layout cfg in
-  {
-    config = cfg;
-    tables;
-    pmem;
-    core_stats = Array.init cfg.cores (fun _ -> Stats.create cfg.spec);
-    scratch = Stats.create cfg.spec;
-    row_pool = Slab.attach pmem row_spec;
-    value_pool = VPools.attach pmem value_spec;
-    pindex = Option.map (PIdx.attach pmem) pindex_r;
-    pix_delta = Hashtbl.create 256;
-    log = Log.attach pmem log_r;
-    meta = Meta.attach pmem meta_r ~n_counters:cfg.n_counters;
-    indexes =
-      Array.map
-        (fun (tb : Table.t) ->
-          match (tb.Table.index, cfg.Config.ordered_index) with
-          | Table.Hash, _ -> Hash (HIdx.create ())
-          | Table.Ordered, Config.Avl -> Ord (OIdx.create ())
-          | Table.Ordered, Config.Btree -> Bt (BIdx.create ()))
-        tables;
-    tpool = TP.create ~cores:cfg.cores ~initial_capacity:(1 lsl 16);
-    cache = Cache.create ~max_entries:cfg.cache_entries_max;
-    counters = Array.make cfg.n_counters 0L;
-    epoch = 0;
-    gc_list = [];
-    gc_dedup = Hashtbl.create 16;
-    touched = [];
-    retain_gc_dedup = false;
-    loaded = false;
-    committed = 0;
-    total_aborted = 0;
-    log_high_water = 0;
-    m_aborted = 0;
-    m_version_writes = 0;
-    m_persistent_writes = 0;
-    m_minor_gc = 0;
-    m_major_gc = 0;
-    m_evicted = 0;
-    m_cache_hits0 = 0;
-    m_cache_misses0 = 0;
-    last_outcomes = [||];
-    phase_hook = None;
-    tracer = Tracer.null;
-    metrics = Metrics.null;
-    m_access0 = Stats.zero_counters;
-  }
-
-let create ~config ~tables () =
-  let size, _, _, _, _, _ = build_layout config in
-  let mode = if config.Config.crash_safe then Pmem.Crash_safe else Pmem.Fast in
-  attach config tables (Pmem.create ~mode ~size ())
-
-let epoch t = t.epoch
-let set_phase_hook t hook = t.phase_hook <- Some hook
-let hook t phase = match t.phase_hook with Some f -> f phase | None -> ()
-
-(* ------------------------------------------------------------------ *)
-(* Observability                                                       *)
-
-let counters_total t =
-  Array.fold_left
-    (fun acc s -> Stats.merge_counters acc (Stats.counters s))
-    Stats.zero_counters t.core_stats
-
-let set_observability ?tracer ?metrics ?name t =
-  (match tracer with
-  | Some tr ->
-      t.tracer <- tr;
-      Tracer.set_clock tr (fun core ->
-          Stats.now t.core_stats.(core mod Array.length t.core_stats));
-      Tracer.open_process tr ~name:(Option.value name ~default:"nvcaracal")
-  | None -> ());
-  match metrics with
-  | Some m ->
-      t.metrics <- m;
-      if Metrics.enabled m then t.m_access0 <- counters_total t
-  | None -> ()
-
-(* Record one epoch-phase span per core: each begins at the core's
-   clock when the phase starts (cores are aligned by the preceding
-   barrier) and ends at that core's clock when the phase's work is done
-   — so per-core skew inside a phase is visible in the trace. If [f]
-   raises (crash injection), no span is recorded. *)
-let phase_span t name f =
-  let tr = t.tracer in
-  if not (Tracer.enabled tr) then f ()
-  else begin
-    let begins = Array.map Stats.now t.core_stats in
-    let r = f () in
-    Array.iteri
-      (fun core s ->
-        Tracer.complete tr ~core ~name ~cat:"epoch" ~ts:begins.(core)
-          ~dur:(Stats.now s -. begins.(core)) ())
-      t.core_stats;
-    r
-  end
-
-(* Per-epoch metrics snapshot: engine counters come straight from the
-   epoch report (so JSONL records reconcile exactly with what the
-   harness prints); access counters are the per-epoch delta of the
-   merged per-core {!Stats}; allocator/cache levels are gauges. *)
-let publish_epoch_metrics t (r : Report.epoch_stats) =
-  let m = t.metrics in
-  if Metrics.enabled m then begin
-    let c name v = Metrics.set_counter (Metrics.counter m name) v in
-    let g name v = Metrics.set_gauge (Metrics.gauge m name) v in
-    c "txns" r.Report.txns;
-    c "committed" (r.Report.txns - r.Report.aborted);
-    c "aborted" r.Report.aborted;
-    c "version_writes" r.Report.version_writes;
-    c "persistent_writes" r.Report.persistent_writes;
-    c "transient_only_writes" r.Report.transient_only_writes;
-    c "minor_gc" r.Report.minor_gc;
-    c "major_gc" r.Report.major_gc;
-    c "evicted" r.Report.evicted;
-    c "cache_hits" r.Report.cache_hits;
-    c "cache_misses" r.Report.cache_misses;
-    c "log_bytes" r.Report.log_bytes;
-    g "duration_ns" r.Report.duration_ns;
-    let tot = counters_total t in
-    let d = t.m_access0 in
-    c "dram_reads" (tot.Stats.dram_reads - d.Stats.dram_reads);
-    c "dram_writes" (tot.Stats.dram_writes - d.Stats.dram_writes);
-    c "nvmm_block_reads" (tot.Stats.nvmm_block_reads - d.Stats.nvmm_block_reads);
-    c "nvmm_block_writes" (tot.Stats.nvmm_block_writes - d.Stats.nvmm_block_writes);
-    c "nvmm_seq_bytes" (tot.Stats.nvmm_seq_bytes - d.Stats.nvmm_seq_bytes);
-    c "pmem_flushes" (tot.Stats.flushes - d.Stats.flushes);
-    c "pmem_fences" (tot.Stats.fences - d.Stats.fences);
-    c "compute_ops" (tot.Stats.compute_ops - d.Stats.compute_ops);
-    t.m_access0 <- tot;
-    g "rows_allocated" (float_of_int (Slab.allocated_slots t.row_pool));
-    g "value_bytes_allocated" (float_of_int (VPools.allocated_bytes t.value_pool));
-    g "transient_peak_bytes" (float_of_int (TP.peak_bytes t.tpool));
-    g "cache_entries" (float_of_int (Cache.entries t.cache));
-    g "cache_bytes" (float_of_int (Cache.data_bytes t.cache));
-    g "log_high_water_bytes" (float_of_int t.log_high_water);
-    (* Fault gauges only exist once faults have been injected, so
-       fault-free runs emit byte-identical metric records. *)
-    if Pmem.faults_injected t.pmem then begin
-      let fr = Pmem.faults t.pmem in
-      c "media_fault_reads" (counters_total t).Stats.media_faults;
-      g "faults_torn_lines" (float_of_int fr.Pmem.torn_lines);
-      g "faults_rotted_lines" (float_of_int fr.Pmem.rotted_lines);
-      g "faults_flipped_bits" (float_of_int fr.Pmem.flipped_bits);
-      g "faults_dead_lines" (float_of_int fr.Pmem.dead_lines)
-    end;
-    ignore (Metrics.snapshot m ~epoch:t.epoch)
-  end
-
-(* ------------------------------------------------------------------ *)
-(* Small helpers                                                       *)
-
-let core_of t seq = seq mod t.config.Config.cores
-let stats_of t core = t.core_stats.(core)
-
-let barrier t =
-  let m = Array.fold_left (fun acc s -> Float.max acc (Stats.now s)) 0.0 t.core_stats in
-  Array.iter (fun s -> Stats.set_now s m) t.core_stats;
-  m
-
-let find_row t stats ~table ~key =
-  match t.indexes.(table) with
-  | Hash h -> HIdx.find h stats key
-  | Ord o -> OIdx.find o stats key
-  | Bt b -> BIdx.find b stats key
-
-let index_insert t stats ~table ~key row =
-  match t.indexes.(table) with
-  | Hash h -> HIdx.insert h stats key row
-  | Ord o -> OIdx.insert o stats key row
-  | Bt b -> BIdx.insert b stats key row
-
-let index_remove t stats ~table ~key =
-  match t.indexes.(table) with
-  | Hash h -> HIdx.remove h stats key
-  | Ord o -> OIdx.remove o stats key
-  | Bt b -> BIdx.remove b stats key
-
-let is_pool ptr = match Vptr.classify ptr with Vptr.Pool _ -> true | _ -> false
-let is_inline ptr = match Vptr.classify ptr with Vptr.Inline _ -> true | _ -> false
-
-(* Store one version value into the transient pool, charging per the
-   design variant: DRAM for NVCaracal/all-DRAM, NVMM for designs that
-   persist every update. The initial-version copy counts as a DRAM
-   cache fill for the hybrid design (its cache works like Zen's). *)
-let store_version_value t stats ~core ?(initial = false) data =
-  let nvmm_path =
-    Config.writes_all_updates_to_nvmm t.config
-    && not (initial && t.config.Config.variant = Config.Hybrid)
-  in
-  let vref = TP.write t.tpool stats ~charge:(not nvmm_path) ~core data in
-  if nvmm_path then begin
-    (* Every update is individually made durable (these designs recover
-       from the updates themselves): a flush per update costs a full
-       NVMM block write — Optane's 256-byte internal write — even for
-       small values. *)
-    let len = Bytes.length data in
-    Stats.nvmm_write_blocks stats (Memspec.blocks_touched (Stats.spec stats) ~off:0 ~len)
-  end;
-  if Config.redo_logs_updates t.config then
-    (* Traditional WAL (section 2.1): every committed update is
-       redo-logged to NVMM before it is checkpointed in place. *)
-    Stats.nvmm_seq_write stats ~bytes:(24 + Bytes.length data);
-  t.m_version_writes <- t.m_version_writes + 1;
-  vref
-
-let load_version_value t stats ~initial vref =
-  let nvmm_path =
-    Config.writes_all_updates_to_nvmm t.config
-    && not (initial && t.config.Config.variant = Config.Hybrid)
-  in
-  let data = TP.read t.tpool stats ~charge:(not nvmm_path) vref in
-  if nvmm_path then
-    Stats.nvmm_read_lines stats
-      (Memspec.lines_touched (Stats.spec stats) ~off:0 ~len:(Bytes.length data));
-  data
-
-(* The latest persistent version visible at checkpoint granularity:
-   v2 unless it is empty or newer than [max_epoch] — during epoch
-   execution the bound is the previous epoch (a replayed epoch must not
-   read its own pre-crash writes); between epochs it is the committed
-   epoch itself. *)
-let checkpoint_pversion ?max_epoch t (row : Row.t) =
-  let limit = match max_epoch with Some e -> e | None -> t.epoch - 1 in
-  let usable (v : Row.pversion) =
-    (not (Sid.is_none v.Row.psid)) && Sid.epoch_of v.Row.psid <= limit
-  in
-  if usable row.Row.pv2 then Some row.Row.pv2
-  else if usable row.Row.pv1 then Some row.Row.pv1
-  else None
-
-(* Lazily load the DRAM mirror of a row recovered via the persistent
-   index, completing any torn version update found in the header (the
-   same section 4.5 repairs the recovery scan performs eagerly). *)
-let ensure_mirror t stats (row : Row.t) =
-  if not row.Row.mirror_loaded then begin
-    let _key, _table, v1, v2 = Prow.read_header t.pmem stats ~base:row.Row.prow_base in
-    let base = row.Row.prow_base in
-    (* Torn case 1: equal SIDs = an interrupted GC move; complete it. *)
-    let v1, v2 =
-      if (not (Sid.is_none v1.Prow.sid)) && Sid.compare v1.Prow.sid v2.Prow.sid = 0 then begin
-        Prow.repair_case1 t.pmem stats ~base ();
-        let v1, v2 = Prow.peek_versions t.pmem ~base in
-        (v1, v2)
-      end
-      else (v1, v2)
-    in
-    (* Torn case 2: SID nulled but not the pointer. *)
-    let v2 =
-      if Sid.is_none v2.Prow.sid && not (Vptr.is_null v2.Prow.ptr) then begin
-        Prow.repair_case2 t.pmem stats ~base ();
-        { Prow.sid = Sid.none; ptr = Vptr.null }
-      end
-      else v2
-    in
-    row.Row.pv1 <- { Row.psid = v1.Prow.sid; pptr = v1.Prow.ptr; fresh = false };
-    row.Row.pv2 <- { Row.psid = v2.Prow.sid; pptr = v2.Prow.ptr; fresh = false };
-    row.Row.mirror_loaded <- true
-  end
-
-(* Read a row's committed value from the DRAM cache or from NVMM,
-   optionally filling the cache on a miss. *)
-let committed_read ?max_epoch t stats (row : Row.t) ~fill_cache =
-  ensure_mirror t stats row;
-  let caching = Config.caching_enabled t.config in
-  match row.Row.cached with
-  | Some c when caching ->
-      Cache.touch t.cache row ~epoch:t.epoch;
-      Stats.dram_read stats
-        ~lines:(Memspec.lines_touched (Stats.spec stats) ~off:0 ~len:(Bytes.length c.Row.data))
-        ();
-      Some c.Row.data
-  | _ -> (
-      match checkpoint_pversion ?max_epoch t row with
-      | None -> None
-      | Some pv ->
-          if caching then Cache.note_miss t.cache;
-          Stats.nvmm_read_blocks stats 1;
-          let data =
-            Prow.read_value t.pmem stats ~base:row.Row.prow_base pv.Row.pptr
-              ~header_charged:true ()
-          in
-          (* Selective caching (section 7 future work): cold reads do
-             not populate the cache; only written rows do. *)
-          if caching && fill_cache && not t.config.Config.selective_caching then
-            Cache.insert t.cache stats row ~data ~epoch:t.epoch;
-          Some data)
-
-(* ------------------------------------------------------------------ *)
-(* Version arrays                                                      *)
-
-let ensure_varray t stats ~core (row : Row.t) =
-  if row.Row.varray_epoch <> t.epoch || row.Row.varray = None then begin
-    let va =
-      VA.create ~epoch:t.epoch
-        ~nvmm_resident:(not (Config.uses_dram_version_arrays t.config))
-        ~batch_append:t.config.Config.batch_append ()
-    in
-    row.Row.varray <- Some va;
-    row.Row.varray_epoch <- t.epoch;
-    t.touched <- row :: t.touched;
-    ensure_mirror t stats row;
-    (* Copy the committed value in as the initial version; the cached
-       version, if any, is consumed (paper section 4.1). *)
-    let init_data =
-      match row.Row.cached with
-      | Some c when Config.caching_enabled t.config ->
-          Stats.dram_read stats
-            ~lines:
-              (Memspec.lines_touched (Stats.spec stats) ~off:0 ~len:(Bytes.length c.Row.data))
-            ();
-          let data = c.Row.data in
-          Cache.drop t.cache stats row;
-          Some data
-      | _ -> (
-          match checkpoint_pversion t row with
-          | None -> None
-          | Some pv ->
-              Stats.nvmm_read_blocks stats 1;
-              Some
-                (Prow.read_value t.pmem stats ~base:row.Row.prow_base pv.Row.pptr
-                   ~header_charged:true ()))
-    in
-    match init_data with
-    | None -> ()
-    | Some data ->
-        VA.append va stats Sid.none;
-        let slot = VA.find va stats Sid.none in
-        slot.VA.value <- VA.Written (store_version_value t stats ~core ~initial:true data);
-        slot.VA.write_time <- Stats.now stats;
-        (* The copy is bookkeeping, not an update. *)
-        t.m_version_writes <- t.m_version_writes - 1
-  end;
-  match row.Row.varray with Some va -> va | None -> assert false
-
-(* ------------------------------------------------------------------ *)
-(* Final persistent write (sections 4.4–4.6, 5.3)                      *)
-
-let free_pool_value ?(guard_dedup = false) t stats ~core ptr =
-  match Vptr.classify ptr with
-  | Vptr.Pool { off; _ } ->
-      (* A lazily-recovered row may still reference a value the crashed
-         epoch's GC already freed durably (its pass 2 never cleared the
-         version slot): freeing it again would hand the slot out twice. *)
-      if not (guard_dedup && Hashtbl.mem t.gc_dedup (Int64.of_int off)) then
-        VPools.free t.value_pool stats ~core off
-  | Vptr.Null | Vptr.Inline _ -> ()
-
-(* Write (sid, data) as the row's new recent version, rotating the
-   dual-version slots as required and preserving the previous epoch's
-   checkpointed version. *)
-let do_prow_final_write t stats ~core (row : Row.t) ~sid ~data =
-  ensure_mirror t stats row;
-  let cfg = t.config in
-  let charge = not (Config.writes_all_updates_to_nvmm cfg) in
-  let base = row.Row.prow_base in
-  if Sid.epoch_of row.Row.pv2.Row.psid = t.epoch then begin
-    (* Overwrite: the slot was written this epoch (insert-step data
-       followed by an update, or a pre-crash write found during replay).
-       A value slot we allocated ourselves is freed (revertible free); a
-       slot inherited from the crashed epoch was already reverted by the
-       pool recovery and must not be freed. *)
-    if row.Row.pv2.Row.fresh then free_pool_value t stats ~core row.Row.pv2.Row.pptr
-  end
-  else if not (Sid.is_none row.Row.pv2.Row.psid) then begin
-    (* Rotate v2 (the previous checkpoint) into v1 before overwriting.
-       A stale v1 can only be inline here: stale pool values are always
-       collected by the major collector during initialization. *)
-    let v1 = row.Row.pv1 in
-    if not (Sid.is_none v1.Row.psid) then begin
-      if is_inline v1.Row.pptr && cfg.Config.minor_gc then t.m_minor_gc <- t.m_minor_gc + 1
-      else if row.Row.lazily_recovered then begin
-        (* Lazy (persistent-index) recovery skips the scan that rebuilds
-           the major-GC list, so a stale version is collected here, on
-           first touch. The dedup set guards against re-freeing a value
-           the crashed epoch's GC already made durable. *)
-        (match Vptr.classify v1.Row.pptr with
-        | Vptr.Pool { off; _ } when not (Hashtbl.mem t.gc_dedup (Int64.of_int off)) ->
-            VPools.free t.value_pool stats ~core off
-        | Vptr.Pool _ | Vptr.Null | Vptr.Inline _ -> ());
-        t.m_major_gc <- t.m_major_gc + 1
-      end
-      else if not (is_inline v1.Row.pptr) then
-        failwith "Db: stale non-inline v1 at write time (major GC missed a row)"
-      else failwith "Db: stale v1 at write time with minor GC disabled"
-    end;
-    Prow.gc_move t.pmem stats ~base ~charge:false ();
-    row.Row.pv1 <- { row.Row.pv2 with Row.fresh = false };
-    row.Row.pv2 <- Row.no_version
-  end;
-  let len = Bytes.length data in
-  let ptr, fresh =
-    if len <= Prow.half_capacity ~row_size:cfg.Config.row_size then begin
-      let half = Row.free_half ~row_size:cfg.Config.row_size row.Row.pv1 in
-      ( Prow.write_inline_value t.pmem stats ~base ~row_size:cfg.Config.row_size ~half ~data
-          ~charge (),
-        false )
-    end
-    else begin
-      let off = VPools.alloc t.value_pool stats ~core ~len in
-      VPools.write_value t.value_pool stats ~charge ~off ~data ();
-      (Vptr.pool ~off ~len, true)
-    end
-  in
-  Prow.set_version t.pmem stats ~base ~slot:`V2 ~sid ~ptr ~charge ();
-  row.Row.pv2 <- { Row.psid = sid; pptr = ptr; fresh };
-  t.m_persistent_writes <- t.m_persistent_writes + 1;
-  (* Track the now-stale v1 for the major collector; inline stale
-     versions are left for the minor collector instead. *)
-  if
-    (not (Sid.is_none row.Row.pv1.Row.psid))
-    && (not row.Row.in_gc_list)
-    && (is_pool row.Row.pv1.Row.pptr || not cfg.Config.minor_gc)
-  then begin
-    t.gc_list <- row :: t.gc_list;
-    row.Row.in_gc_list <- true
-  end
-
-(* Persistently delete a row: free its value slots and the row itself
-   (all revertible transaction frees), and unhook the DRAM state. *)
-let do_prow_delete t stats ~core (row : Row.t) =
-  ensure_mirror t stats row;
-  let guard_dedup = row.Row.lazily_recovered in
-  free_pool_value ~guard_dedup t stats ~core row.Row.pv1.Row.pptr;
-  free_pool_value ~guard_dedup t stats ~core row.Row.pv2.Row.pptr;
-  Slab.free t.row_pool stats ~core row.Row.prow_base;
-  index_remove t stats ~table:row.Row.table ~key:row.Row.key;
-  if t.pindex <> None then begin
-    (* Net delta: an insert and delete of the same key in one epoch
-       cancel out; a delete of a pre-existing key becomes a tombstone. *)
-    let k = (row.Row.table, row.Row.key) in
-    match Hashtbl.find_opt t.pix_delta k with
-    | Some (`Ins _) -> Hashtbl.remove t.pix_delta k
-    | Some `Del | None -> Hashtbl.replace t.pix_delta k `Del
-  end;
-  Cache.drop t.cache stats row;
-  row.Row.pv1 <- Row.no_version;
-  row.Row.pv2 <- Row.no_version;
-  t.m_persistent_writes <- t.m_persistent_writes + 1
-
-(* Selective caching (section 7): the write-set information gathered
-   during initialization identifies hot rows — rows with several
-   versions this epoch are worth caching; rows written once are not. *)
-let worth_caching t va =
-  (not t.config.Config.selective_caching) || VA.length va > 2
-
-(* Resolve the epoch-final version of a row once its last declared
-   writer has executed (handles aborted final writers, section 4.6). *)
-let finalize_row t stats ~core (row : Row.t) =
-  let va = match row.Row.varray with Some va -> va | None -> assert false in
-  match VA.latest_resolved va stats with
-  | None -> () (* a fresh insert whose every version aborted *)
-  | Some slot -> (
-      match slot.VA.value with
-      | VA.Written vref when Sid.is_none slot.VA.sid ->
-          (* Every real write aborted; the initial version stands. The
-             persistent row is untouched; restore the cached version the
-             append step consumed (section 4.6). *)
-          if Config.caching_enabled t.config && worth_caching t va then begin
-            let data = load_version_value t stats ~initial:true vref in
-            Cache.insert t.cache stats row ~data ~epoch:t.epoch
-          end
-      | VA.Written vref ->
-          let data = load_version_value t stats ~initial:false vref in
-          do_prow_final_write t stats ~core row ~sid:slot.VA.sid ~data;
-          if Config.caching_enabled t.config && worth_caching t va then
-            Cache.insert t.cache stats row ~data ~epoch:t.epoch
-      | VA.Tombstone -> do_prow_delete t stats ~core row
-      | VA.Pending | VA.Ignored -> assert false)
-
-(* ------------------------------------------------------------------ *)
-(* Major GC (sections 4.4, 5.5)                                        *)
-
-let major_gc t =
-  let list = t.gc_list in
-  t.gc_list <- [];
-  if list <> [] then begin
-    let n = List.length list in
-    let stale_ptrs = List.map (fun (row : Row.t) -> row.Row.pv1.Row.pptr) list in
-    let collect_frees () =
-      (* Make every stale pool value durable in the free list, skipping
-         pointers the crashed epoch's GC already freed. *)
-      List.iteri
-        (fun i ptr ->
-          let stats = stats_of t (i mod t.config.Config.cores) in
-          match Vptr.classify ptr with
-          | Vptr.Pool { off; _ } ->
-              VPools.free_gc t.value_pool stats ~core:(i mod t.config.Config.cores) off
-                ~dedup:t.gc_dedup
-          | Vptr.Null | Vptr.Inline _ -> ())
-        stale_ptrs;
-      VPools.persist_gc_tail t.value_pool (stats_of t 0) ~epoch:t.epoch;
-      Pmem.fence t.pmem (stats_of t 0);
-      hook t Gc_pass1_done
-    in
-    let rotate_rows () =
-      (* Rotate each row so v2 is free for this epoch's write. *)
-      List.iteri
-        (fun i (row : Row.t) ->
-          let stats = stats_of t (i mod t.config.Config.cores) in
-          Prow.gc_move t.pmem stats ~base:row.Row.prow_base ~charge:true ();
-          row.Row.pv1 <- { row.Row.pv2 with Row.fresh = false };
-          row.Row.pv2 <- Row.no_version;
-          row.Row.in_gc_list <- false)
-        list
-    in
-    if t.config.Config.persistent_index then begin
-      (* Lazy (persistent-index) recovery never rebuilds the GC list,
-         so a row must never reference a value that is already in the
-         free list. Clearing rows BEFORE appending frees guarantees
-         that: a crash in between leaks at most one epoch's stale
-         values, instead of leaving dangling pointers that a later lazy
-         recovery could double-free. *)
-      rotate_rows ();
-      collect_frees ()
-    end
-    else begin
-      (* Paper order (section 5.5): frees first, made durable via the
-         current tail; the recovery scan rebuilds the GC list and the
-         dedup set resolves a crash in between. *)
-      collect_frees ();
-      rotate_rows ()
-    end;
-    t.m_major_gc <- t.m_major_gc + n;
-    Tracer.instant t.tracer ~core:0 ~name:"major-gc rows" ~cat:"gc"
-      ~args:[ ("rows", Nv_obs.Jsonx.Int n) ]
-      ()
-  end
-
-(* Flush the epoch's net index changes to the persistent index in one
-   batch (section 7 future work): part of the epoch checkpoint, before
-   the epoch number is persisted. *)
-let apply_pindex_delta t stats =
-  match t.pindex with
-  | None -> ()
-  | Some pix ->
-      if Hashtbl.length t.pix_delta > 0 then begin
-        let inserts = ref [] and deletes = ref [] in
-        Hashtbl.iter
-          (fun (table, key) change ->
-            match change with
-            | `Ins base -> inserts := (key, base, table) :: !inserts
-            | `Del -> deletes := (key, table) :: !deletes)
-          t.pix_delta;
-        PIdx.apply_batch pix stats ~epoch:t.epoch ~inserts:!inserts ~deletes:!deletes;
-        Hashtbl.reset t.pix_delta
-      end
-
-(* ------------------------------------------------------------------ *)
-(* Transaction contexts                                                *)
-
-type ctx_mode = Init | Exec of Sid.t
-
-(* Visibility of a row's value at a serial position (Exec) or at
-   initialization time (Init: everything resolved so far, which is how
-   dynamic write sets observe insert-step data). *)
-let visible_value t stats (row : Row.t) ~mode =
-  if row.Row.varray_epoch = t.epoch && row.Row.varray <> None then begin
-    let va = match row.Row.varray with Some va -> va | None -> assert false in
-    let slot =
-      match mode with
-      | Exec before -> VA.latest_visible va stats ~before
-      | Init -> VA.latest_resolved va stats
-    in
-    match slot with
-    | Some ({ VA.value = VA.Written vref; _ } as s) ->
-        Stats.set_now stats s.VA.write_time;
-        Some (load_version_value t stats ~initial:(Sid.is_none s.VA.sid) vref)
-    | Some { VA.value = VA.Tombstone; _ } -> None
-    | Some { VA.value = VA.Pending | VA.Ignored; _ } -> assert false
-    | None ->
-        if row.Row.created_epoch = t.epoch then None
-        else committed_read t stats row ~fill_cache:true
-  end
-  else committed_read t stats row ~fill_cache:true
-
-exception Found of (int64 * bytes)
-
-let make_ctx t ~core ~sid ~mode ~entries_of_txn ~notes ~wrote =
-  let stats = stats_of t core in
-  let read ~table ~key =
-    Stats.compute stats ();
-    (* Keys in the write set were already resolved during the
-       initialization phase; the execution phase holds direct row
-       references (as Caracal does) and only probes the index for
-       read-only keys. *)
-    let row =
-      match
-        List.find_opt (fun e -> e.e_table = table && e.e_key = key) !entries_of_txn
-      with
-      | Some e -> Some e.e_row
-      | None -> find_row t stats ~table ~key
-    in
-    match row with None -> None | Some row -> visible_value t stats row ~mode
-  in
-  let write ~table ~key data =
-    (match mode with Exec _ -> () | Init -> invalid_arg "Txn.Ctx.write: not in execution phase");
-    Stats.compute stats ();
-    let entry =
-      try
-        List.find
-          (fun e -> e.e_table = table && e.e_key = key && e.e_op <> `Delete)
-          !entries_of_txn
-      with Not_found ->
-        invalid_arg
-          (Printf.sprintf "Txn.Ctx.write: key (%d, %Ld) is not in the write set" table key)
-    in
-    entry.e_slot.VA.value <- VA.Written (store_version_value t stats ~core data);
-    entry.e_slot.VA.write_time <- Stats.now stats;
-    wrote := true
-  in
-  let delete ~table ~key =
-    (match mode with Exec _ -> () | Init -> invalid_arg "Txn.Ctx.delete: not in execution phase");
-    Stats.compute stats ();
-    let entry =
-      try
-        List.find (fun e -> e.e_table = table && e.e_key = key && e.e_op = `Delete) !entries_of_txn
-      with Not_found ->
-        invalid_arg
-          (Printf.sprintf "Txn.Ctx.delete: key (%d, %Ld) is not in the delete set" table key)
-    in
-    entry.e_slot.VA.value <- VA.Tombstone;
-    entry.e_slot.VA.write_time <- Stats.now stats;
-    t.m_version_writes <- t.m_version_writes + 1;
-    wrote := true
-  in
-  (* Ordered-table operations, uniform over the AVL and B+-tree
-     implementations. *)
-  let ordered_fold table ~lo ~hi ~init ~f =
-    match t.indexes.(table) with
-    | Ord o -> OIdx.fold_range o stats ~lo ~hi ~init ~f
-    | Bt b -> BIdx.fold_range b stats ~lo ~hi ~init ~f
-    | Hash _ -> invalid_arg "Txn.Ctx: range operation on a hash-indexed table"
-  in
-  let ordered_max_below table bound =
-    match t.indexes.(table) with
-    | Ord o -> OIdx.max_below o stats bound
-    | Bt b -> BIdx.max_below b stats bound
-    | Hash _ -> invalid_arg "Txn.Ctx: range operation on a hash-indexed table"
-  in
-  let range_read ~table ~lo ~hi =
-    List.rev
-      (ordered_fold table ~lo ~hi ~init:[] ~f:(fun acc key row ->
-           match visible_value t stats row ~mode with
-           | Some data -> (key, data) :: acc
-           | None -> acc))
-  in
-  let min_above ~table bound =
-    (* Ascending scan with early exit on the first visible entry. *)
-    try
-      ordered_fold table ~lo:bound ~hi:Int64.max_int ~init:() ~f:(fun () key row ->
-          match visible_value t stats row ~mode with
-          | Some data -> raise (Found (key, data))
-          | None -> ());
-      None
-    with Found kv -> Some kv
-  in
-  let max_below ~table bound =
-    (* Descend from the bound; visibility is rechecked walking down in
-       key order. *)
-    let rec go bound =
-      match ordered_max_below table bound with
-      | None -> None
-      | Some (key, row) -> (
-          match visible_value t stats row ~mode with
-          | Some data -> Some (key, data)
-          | None -> if key = Int64.min_int then None else go (Int64.pred key))
-    in
-    go bound
-  in
-  let abort () =
-    if !wrote then failwith "Txn.Ctx.abort: user aborts must precede the first write";
-    raise Txn.Aborted
-  in
-  let compute ~ops = Stats.compute stats ~ops () in
-  let counter_next ~idx =
-    Stats.compute stats ();
-    let v = t.counters.(idx) in
-    t.counters.(idx) <- Int64.add v 1L;
-    v
-  in
-  {
-    Txn.Ctx.sid;
-    core;
-    read;
-    write;
-    delete;
-    range_read;
-    max_below;
-    min_above;
-    abort;
-    compute;
-    counter_next;
-    notes;
-  }
-
-(* ------------------------------------------------------------------ *)
-(* Initialization phase                                                *)
-
-let do_insert t stats ~core ~sid ~table ~key ~data entries =
-  Stats.compute stats ();
-  (match find_row t stats ~table ~key with
-  | Some _ -> invalid_arg (Printf.sprintf "Db: duplicate insert of key (%d, %Ld)" table key)
-  | None -> ());
-  let base = Slab.alloc t.row_pool stats ~core in
-  Prow.init t.pmem stats ~base ~key ~table;
-  let row = Row.make ~key ~table ~home_core:core ~prow_base:base ~created_epoch:t.epoch in
-  index_insert t stats ~table ~key row;
-  if t.pindex <> None then Hashtbl.replace t.pix_delta (table, key) (`Ins base);
-  let va = ensure_varray t stats ~core row in
-  VA.append va stats sid;
-  let slot = VA.find va stats sid in
-  (match data with
-  | Some d ->
-      slot.VA.value <- VA.Written (store_version_value t stats ~core d);
-      slot.VA.write_time <- Stats.now stats
-  | None -> ());
-  entries := { e_op = `Insert; e_table = table; e_key = key; e_row = row; e_slot = slot } :: !entries
-
-let do_append t stats ~core ~sid ~table ~key ~(kind : [ `Update | `Delete ]) entries =
-  Stats.compute stats ();
-  match find_row t stats ~table ~key with
-  | None -> invalid_arg (Printf.sprintf "Db: update/delete of missing key (%d, %Ld)" table key)
-  | Some row ->
-      let va = ensure_varray t stats ~core row in
-      (* A transaction may declare the same key more than once (multiple
-         writes per item, section 3.1.1): reuse its slot. *)
-      let slot =
-        match VA.find va stats sid with
-        | slot -> slot
-        | exception Not_found ->
-            VA.append va stats sid;
-            VA.find va stats sid
-      in
-      entries :=
-        { e_op = (kind :> [ `Insert | `Update | `Delete ]); e_table = table; e_key = key;
-          e_row = row; e_slot = slot }
-        :: !entries
-
-(* ------------------------------------------------------------------ *)
-(* Epoch driver (Algorithm 1)                                          *)
-
-let reset_epoch_measurements t =
-  t.m_aborted <- 0;
-  t.m_version_writes <- 0;
-  t.m_persistent_writes <- 0;
-  t.m_minor_gc <- 0;
-  t.m_major_gc <- 0;
-  t.m_evicted <- 0;
-  t.m_cache_hits0 <- Cache.hits t.cache;
-  t.m_cache_misses0 <- Cache.misses t.cache
-
-let run_epoch_internal ?(replay = false) t txns =
-  let cfg = t.config in
-  t.epoch <- t.epoch + 1;
-  reset_epoch_measurements t;
-  t.touched <- [];
-  let n = Array.length txns in
-  let t_start = barrier t in
-  (* --- Log transaction inputs (section 4.3). --- *)
-  phase_span t "input-log" (fun () ->
-      if Config.logging_enabled cfg && not replay then begin
-        Log.begin_epoch t.log (stats_of t 0) ~epoch:t.epoch;
-        Array.iteri
-          (fun i (txn : Txn.t) -> Log.append t.log (stats_of t (core_of t i)) txn.Txn.input)
-          txns;
-        Log.commit t.log (stats_of t 0);
-        t.log_high_water <- max t.log_high_water (Log.bytes_appended t.log)
-      end;
-      hook t Log_done);
-  let t_log = barrier t in
-  (* --- Insert step. --- *)
-  let entries = Array.make n (ref []) in
-  let notes = Array.init n (fun _ -> Hashtbl.create 4) in
-  let outcomes = Array.make n false in
-  for i = 0 to n - 1 do
-    entries.(i) <- ref []
-  done;
-  phase_span t "insert" (fun () ->
-      for i = 0 to n - 1 do
-        let core = core_of t i in
-        let stats = stats_of t core in
-        let sid = Sid.make ~epoch:t.epoch ~seq:i in
-        let static_inserts =
-          List.filter_map
-            (function
-              | Txn.Insert { table; key; data } -> Some (table, key, data)
-              | Txn.Update _ | Txn.Delete _ -> None)
-            txns.(i).Txn.write_set
-        in
-        let generated =
-          match txns.(i).Txn.insert_gen with
-          | None -> []
-          | Some gen ->
-              let ctx =
-                make_ctx t ~core ~sid ~mode:Init ~entries_of_txn:entries.(i) ~notes:notes.(i)
-                  ~wrote:(ref true)
-              in
-              List.map
-                (function
-                  | Txn.Insert { table; key; data } -> (table, key, data)
-                  | Txn.Update _ | Txn.Delete _ ->
-                      invalid_arg "Db: insert_gen may only produce Insert ops")
-                (gen ctx)
-        in
-        List.iter
-          (fun (table, key, data) -> do_insert t stats ~core ~sid ~table ~key ~data entries.(i))
-          (static_inserts @ generated)
-      done;
-      hook t Insert_done);
-  let t_insert = barrier t in
-  (* --- Major GC, then cache eviction (initialization phase). --- *)
-  phase_span t "major-gc" (fun () ->
-      major_gc t;
-      hook t Gc_done);
-  phase_span t "evict" (fun () ->
-      if Config.caching_enabled cfg then begin
-        t.m_evicted <-
-          Cache.evict t.cache (stats_of t (t.epoch mod cfg.Config.cores)) ~current_epoch:t.epoch
-            ~k:cfg.Config.cache_k;
-        Tracer.instant t.tracer ~core:(t.epoch mod cfg.Config.cores) ~name:"cache-evict"
-          ~cat:"cache"
-          ~args:[ ("evicted", Nv_obs.Jsonx.Int t.m_evicted) ]
-          ()
-      end);
-  let t_gc = barrier t in
-  (* --- Append step. --- *)
-  let recon_reads = Array.make n [] in
-  phase_span t "append" (fun () ->
-  for i = 0 to n - 1 do
-    let core = core_of t i in
-    let stats = stats_of t core in
-    let sid = Sid.make ~epoch:t.epoch ~seq:i in
-    let static_ops =
-      List.filter_map
-        (function
-          | Txn.Update { table; key } -> Some (table, key, `Update)
-          | Txn.Delete { table; key } -> Some (table, key, `Delete)
-          | Txn.Insert _ -> None)
-        txns.(i).Txn.write_set
-    in
-    let ops_of gen =
-      let ctx =
-        make_ctx t ~core ~sid ~mode:Init ~entries_of_txn:entries.(i) ~notes:notes.(i)
-          ~wrote:(ref true)
-      in
-      List.map
-        (function
-          | Txn.Update { table; key } -> (table, key, `Update)
-          | Txn.Delete { table; key } -> (table, key, `Delete)
-          | Txn.Insert _ -> invalid_arg "Db: computed write sets may not produce Insert ops")
-        (gen ctx)
-    in
-    let dynamic_ops =
-      match txns.(i).Txn.dynamic_write_set with None -> [] | Some gen -> ops_of gen
-    in
-    (* Reconnaissance (section 3.1.1): run the read-only pass, record
-       every value it observes, and derive the write set from it. The
-       reads are re-validated just before execution. *)
-    let recon_ops =
-      match txns.(i).Txn.recon with
-      | None -> []
-      | Some gen ->
-          ops_of (fun ctx ->
-              let recorded = ref [] in
-              let recording_read ~table ~key =
-                let v = ctx.Txn.Ctx.read ~table ~key in
-                recorded := (table, key, Option.map Bytes.copy v) :: !recorded;
-                v
-              in
-              let ops = gen { ctx with Txn.Ctx.read = recording_read } in
-              recon_reads.(i) <- !recorded;
-              ops)
-    in
-    List.iter
-      (fun (table, key, kind) -> do_append t stats ~core ~sid ~table ~key ~kind entries.(i))
-      (static_ops @ dynamic_ops @ recon_ops)
-  done;
-  hook t Append_done);
-  let t_append = barrier t in
-  (* --- Execution phase. --- *)
-  let txn_sample = if Tracer.enabled t.tracer then Tracer.txn_sample t.tracer else 0 in
-  let exec_hist =
-    if Metrics.enabled t.metrics then Some (Metrics.histogram t.metrics "txn_exec_ns") else None
-  in
-  phase_span t "execute" (fun () ->
-  for i = 0 to n - 1 do
-    let core = core_of t i in
-    let stats = stats_of t core in
-    let sid = Sid.make ~epoch:t.epoch ~seq:i in
-    let traced = txn_sample > 0 && i mod txn_sample = 0 in
-    let ts0 = if traced || exec_hist <> None then Stats.now stats else 0.0 in
-    let wrote = ref false in
-    let ctx =
-      make_ctx t ~core ~sid ~mode:(Exec sid) ~entries_of_txn:entries.(i) ~notes:notes.(i) ~wrote
-    in
-    (* Validate reconnaissance reads: if any value the recon pass
-       observed was changed by an earlier transaction in this epoch,
-       abort deterministically. *)
-    let recon_valid =
-      List.for_all
-        (fun (table, key, observed) ->
-          match (ctx.Txn.Ctx.read ~table ~key, observed) with
-          | None, None -> true
-          | Some a, Some b -> Bytes.equal a b
-          | _ -> false)
-        recon_reads.(i)
-    in
-    let aborted =
-      (not recon_valid)
-      ||
-      try
-        txns.(i).Txn.body ctx;
-        false
-      with Txn.Aborted -> true
-    in
-    outcomes.(i) <- aborted;
-    if aborted then begin
-      t.m_aborted <- t.m_aborted + 1;
-      t.total_aborted <- t.total_aborted + 1;
-      List.iter (fun e -> e.e_slot.VA.value <- VA.Ignored) !(entries.(i))
-    end
-    else t.committed <- t.committed + 1;
-    (* Declared writes the body never issued are equivalent to aborted
-       single writes: mark them IGNORE so readers skip them. *)
-    List.iter
-      (fun e -> if e.e_slot.VA.value = VA.Pending then e.e_slot.VA.value <- VA.Ignored)
-      !(entries.(i));
-    (* Rows whose last declared writer is this transaction get their
-       final version persisted now. *)
-    List.iter
-      (fun e ->
-        match e.e_row.Row.varray with
-        | Some va
-          when Sid.compare (VA.max_sid va) sid = 0
-               && Sid.compare e.e_slot.VA.sid sid = 0
-               && not (VA.finalized va) ->
-            VA.set_finalized va;
-            finalize_row t stats ~core e.e_row
-        | Some _ | None -> ())
-      !(entries.(i));
-    (if traced || exec_hist <> None then begin
-       let dur = Stats.now stats -. ts0 in
-       if traced then
-         Tracer.complete t.tracer ~core ~name:"txn" ~cat:"txn"
-           ~args:[ ("seq", Nv_obs.Jsonx.Int i); ("aborted", Nv_obs.Jsonx.Bool aborted) ]
-           ~ts:ts0 ~dur ();
-       match exec_hist with Some h -> Metrics.observe h dur | None -> ()
-     end);
-    hook t (Exec_txn i)
-  done;
-  hook t Exec_done);
-  let t_exec = barrier t in
-  (* --- Checkpoint: persist allocators (fence), then the epoch number. --- *)
-  let stats0 = stats_of t 0 in
-  phase_span t "fence" (fun () ->
-      Slab.checkpoint t.row_pool (stats_of t) ~epoch:t.epoch;
-      VPools.checkpoint t.value_pool (stats_of t) ~epoch:t.epoch;
-      if cfg.Config.n_counters > 0 then
-        Meta.checkpoint_counters t.meta stats0 ~epoch:t.epoch (Array.copy t.counters);
-      apply_pindex_delta t stats0);
-  phase_span t "epoch-persist" (fun () ->
-      Meta.persist_epoch t.meta stats0 ~epoch:t.epoch;
-      t.last_outcomes <- outcomes;
-      hook t Checkpointed);
-  (* --- Discard the transient pool and per-epoch row state. --- *)
-  List.iter
-    (fun (row : Row.t) ->
-      row.Row.varray <- None;
-      if row.Row.pv2.Row.fresh then row.Row.pv2 <- { row.Row.pv2 with Row.fresh = false };
-      if row.Row.pv1.Row.fresh then row.Row.pv1 <- { row.Row.pv1 with Row.fresh = false })
-    t.touched;
-  t.touched <- [];
-  TP.reset t.tpool;
-  if replay && not t.retain_gc_dedup then t.gc_dedup <- Hashtbl.create 16;
-  let t_end = barrier t in
-  let report =
-    {
-      Report.epoch = t.epoch;
-      txns = n;
-      aborted = t.m_aborted;
-      version_writes = t.m_version_writes;
-      persistent_writes = t.m_persistent_writes;
-      transient_only_writes = t.m_version_writes - t.m_persistent_writes;
-      minor_gc = t.m_minor_gc;
-      major_gc = t.m_major_gc;
-      evicted = t.m_evicted;
-      cache_hits = Cache.hits t.cache - t.m_cache_hits0;
-      cache_misses = Cache.misses t.cache - t.m_cache_misses0;
-      log_bytes =
-        (if Config.logging_enabled cfg && not replay then Log.bytes_appended t.log else 0);
-      duration_ns = t_end -. t_start;
-      phases =
-        [
-          ("log", t_log -. t_start);
-          ("insert", t_insert -. t_log);
-          ("gc+evict", t_gc -. t_insert);
-          ("append", t_append -. t_gc);
-          ("execute", t_exec -. t_append);
-          ("checkpoint", t_end -. t_exec);
-        ];
-    }
-  in
-  publish_epoch_metrics t report;
-  report
+let create = Epoch.create
+let config = Epoch.config
+let tables = Epoch.tables
+let pmem = Epoch.pmem
+let epoch = Epoch.epoch
+let bulk_load = Epoch.bulk_load
 
 let run_epoch t txns =
-  if not t.loaded then invalid_arg "Db.run_epoch: call bulk_load first";
-  run_epoch_internal t txns
-
-(* ------------------------------------------------------------------ *)
-(* Aria-style execution (section 7 future work, after Lu et al.):      *)
-(* snapshot execution + deterministic reservations, no write sets.     *)
-
-let run_epoch_aria_internal ?(replay = false) t txns =
-  let cfg = t.config in
-  t.epoch <- t.epoch + 1;
-  reset_epoch_measurements t;
-  t.touched <- [];
-  let n = Array.length txns in
-  let t_start = barrier t in
-  phase_span t "input-log" (fun () ->
-      if Config.logging_enabled cfg && not replay then begin
-        Log.begin_epoch t.log (stats_of t 0) ~epoch:t.epoch;
-        Array.iteri
-          (fun i (txn : Txn.t) -> Log.append t.log (stats_of t (core_of t i)) txn.Txn.input)
-          txns;
-        Log.commit t.log (stats_of t 0);
-        t.log_high_water <- max t.log_high_water (Log.bytes_appended t.log)
-      end;
-      hook t Log_done);
-  let t_log = barrier t in
-  (* Initialization housekeeping is unchanged: collect the previous
-     epoch's stale versions, evict cold cached versions. *)
-  phase_span t "major-gc" (fun () ->
-      major_gc t;
-      hook t Gc_done);
-  phase_span t "evict" (fun () ->
-      if Config.caching_enabled cfg then
-        t.m_evicted <-
-          Cache.evict t.cache (stats_of t (t.epoch mod cfg.Config.cores)) ~current_epoch:t.epoch
-            ~k:cfg.Config.cache_k);
-  let t_gc = barrier t in
-  (* Phase 1: every transaction executes against the epoch-start
-     snapshot; writes are buffered privately; read sets are recorded. *)
-  let buffers = Array.init n (fun _ -> Hashtbl.create 8) in
-  let read_sets = Array.init n (fun _ -> Hashtbl.create 8) in
-  let user_aborted = Array.make n false in
-  phase_span t "execute" (fun () ->
-  for i = 0 to n - 1 do
-    let core = core_of t i in
-    let stats = stats_of t core in
-    let sid = Sid.make ~epoch:t.epoch ~seq:i in
-    let buffer = buffers.(i) and rset = read_sets.(i) in
-    let snapshot_read ~table ~key =
-      match find_row t stats ~table ~key with
-      | None -> None
-      | Some row -> committed_read t stats row ~fill_cache:true
-    in
-    let read ~table ~key =
-      Stats.compute stats ();
-      match Hashtbl.find_opt buffer (table, key) with
-      | Some v -> Some v (* read-your-own-buffered-writes *)
-      | None ->
-          Hashtbl.replace rset (table, key) ();
-          snapshot_read ~table ~key
-    in
-    let write ~table ~key data =
-      Stats.compute stats ();
-      Stats.dram_write stats
-        ~lines:(Memspec.lines_touched (Stats.spec stats) ~off:0 ~len:(Bytes.length data))
-        ();
-      t.m_version_writes <- t.m_version_writes + 1;
-      Hashtbl.replace buffer (table, key) data
-    in
-    let delete ~table:_ ~key:_ = invalid_arg "Db.run_epoch_aria: deletes are not supported" in
-    let ordered_fold table ~lo ~hi ~init ~f =
-      match t.indexes.(table) with
-      | Ord o -> OIdx.fold_range o stats ~lo ~hi ~init ~f
-      | Bt b -> BIdx.fold_range b stats ~lo ~hi ~init ~f
-      | Hash _ -> invalid_arg "Db.run_epoch_aria: range operation on a hash-indexed table"
-    in
-    let range_read ~table ~lo ~hi =
-      List.rev
-        (ordered_fold table ~lo ~hi ~init:[] ~f:(fun acc key row ->
-             Hashtbl.replace rset (table, key) ();
-             match committed_read t stats row ~fill_cache:true with
-             | Some data -> (key, data) :: acc
-             | None -> acc))
-    in
-    let first ~table ~lo ~hi =
-      try
-        ordered_fold table ~lo ~hi ~init:() ~f:(fun () key row ->
-            Hashtbl.replace rset (table, key) ();
-            match committed_read t stats row ~fill_cache:true with
-            | Some data -> raise (Found (key, data))
-            | None -> ());
-        None
-      with Found kv -> Some kv
-    in
-    let min_above ~table bound = first ~table ~lo:bound ~hi:Int64.max_int in
-    let max_below ~table bound =
-      (* Committed snapshot, so index max_below suffices. *)
-      match t.indexes.(table) with
-      | Ord o -> (
-          match OIdx.max_below o stats bound with
-          | Some (key, row) ->
-              Hashtbl.replace rset (table, key) ();
-              Option.map (fun d -> (key, d)) (committed_read t stats row ~fill_cache:true)
-          | None -> None)
-      | Bt b -> (
-          match BIdx.max_below b stats bound with
-          | Some (key, row) ->
-              Hashtbl.replace rset (table, key) ();
-              Option.map (fun d -> (key, d)) (committed_read t stats row ~fill_cache:true)
-          | None -> None)
-      | Hash _ -> invalid_arg "Db.run_epoch_aria: range operation on a hash-indexed table"
-    in
-    let ctx =
-      {
-        Txn.Ctx.sid;
-        core;
-        read;
-        write;
-        delete;
-        range_read;
-        max_below;
-        min_above;
-        abort = (fun () -> raise Txn.Aborted);
-        compute = (fun ~ops -> Stats.compute stats ~ops ());
-        counter_next =
-          (fun ~idx ->
-            Stats.compute stats ();
-            let v = t.counters.(idx) in
-            t.counters.(idx) <- Int64.add v 1L;
-            v);
-        notes = Hashtbl.create 4;
-      }
-    in
-    (match txns.(i).Txn.body ctx with
-    | () -> ()
-    | exception Txn.Aborted ->
-        user_aborted.(i) <- true;
-        Hashtbl.reset buffer);
-    hook t (Exec_txn i)
-  done);
-  let t_exec = barrier t in
-  (* Phase 2: Aria's deterministic reservations. Each key records the
-     smallest SID that wrote it; a transaction aborts (for retry) if
-     any key it wrote or read carries a smaller reservation. *)
-  let reserve_apply_begins =
-    if Tracer.enabled t.tracer then Array.map Stats.now t.core_stats else [||]
-  in
-  let reservations : (int * int64, int) Hashtbl.t = Hashtbl.create 256 in
-  Array.iteri
-    (fun i buffer ->
-      if not user_aborted.(i) then
-        Hashtbl.iter
-          (fun key _ ->
-            Stats.compute (stats_of t (core_of t i)) ();
-            match Hashtbl.find_opt reservations key with
-            | Some j when j <= i -> ()
-            | Some _ | None -> Hashtbl.replace reservations key i)
-          buffer)
-    buffers;
-  let deferred = ref [] in
-  let decisions : ((int * int64) * int * bytes) list ref = ref [] in
-  for i = 0 to n - 1 do
-    let stats = stats_of t (core_of t i) in
-    if user_aborted.(i) then begin
-      t.m_aborted <- t.m_aborted + 1;
-      t.total_aborted <- t.total_aborted + 1
-    end
-    else begin
-      let reserved_earlier key =
-        match Hashtbl.find_opt reservations key with Some j -> j < i | None -> false
-      in
-      let conflict =
-        Hashtbl.fold (fun key _ acc -> acc || reserved_earlier key) buffers.(i) false
-        || Hashtbl.fold (fun key () acc -> acc || reserved_earlier key) read_sets.(i) false
-      in
-      Stats.compute stats ~ops:(1 + Hashtbl.length read_sets.(i)) ();
-      if conflict then begin
-        deferred := txns.(i) :: !deferred;
-        t.m_aborted <- t.m_aborted + 1
-      end
-      else begin
-        t.committed <- t.committed + 1;
-        Hashtbl.iter (fun key data -> decisions := (key, i, data) :: !decisions) buffers.(i)
-      end
-    end
-  done;
-  (* Apply the surviving writes through the dual-version NVMM path, in
-     deterministic key order (one persistent write per row). *)
-  let decisions = List.sort compare !decisions in
-  List.iter
-    (fun (((table, key) : int * int64), i, data) ->
-      let core = core_of t i in
-      let stats = stats_of t core in
-      let sid = Sid.make ~epoch:t.epoch ~seq:i in
-      let row =
-        match find_row t stats ~table ~key with
-        | Some row -> row
-        | None ->
-            (* Writing a missing key inserts it. *)
-            let base = Slab.alloc t.row_pool stats ~core in
-            Prow.init t.pmem stats ~base ~key ~table;
-            let row = Row.make ~key ~table ~home_core:core ~prow_base:base ~created_epoch:t.epoch in
-            index_insert t stats ~table ~key row;
-            if t.pindex <> None then Hashtbl.replace t.pix_delta (table, key) (`Ins base);
-            row
-      in
-      do_prow_final_write t stats ~core row ~sid ~data;
-      if Config.caching_enabled cfg then Cache.insert t.cache stats row ~data ~epoch:t.epoch;
-      t.touched <- row :: t.touched)
-    decisions;
-  hook t Exec_done;
-  if Tracer.enabled t.tracer then
-    Array.iteri
-      (fun core s ->
-        Tracer.complete t.tracer ~core ~name:"reserve+apply" ~cat:"epoch"
-          ~ts:reserve_apply_begins.(core)
-          ~dur:(Stats.now s -. reserve_apply_begins.(core))
-          ())
-      t.core_stats;
-  let t_apply = barrier t in
-  (* Checkpoint, exactly as in the Caracal mode. *)
-  let stats0 = stats_of t 0 in
-  phase_span t "fence" (fun () ->
-      Slab.checkpoint t.row_pool (stats_of t) ~epoch:t.epoch;
-      VPools.checkpoint t.value_pool (stats_of t) ~epoch:t.epoch;
-      if cfg.Config.n_counters > 0 then
-        Meta.checkpoint_counters t.meta stats0 ~epoch:t.epoch (Array.copy t.counters);
-      apply_pindex_delta t stats0);
-  phase_span t "epoch-persist" (fun () ->
-      Meta.persist_epoch t.meta stats0 ~epoch:t.epoch;
-      hook t Checkpointed);
-  List.iter
-    (fun (row : Row.t) ->
-      if row.Row.pv2.Row.fresh then row.Row.pv2 <- { row.Row.pv2 with Row.fresh = false };
-      if row.Row.pv1.Row.fresh then row.Row.pv1 <- { row.Row.pv1 with Row.fresh = false })
-    t.touched;
-  t.touched <- [];
-  if replay && not t.retain_gc_dedup then t.gc_dedup <- Hashtbl.create 16;
-  let t_end = barrier t in
-  let report =
-    {
-      Report.epoch = t.epoch;
-      txns = n;
-      aborted = t.m_aborted;
-      version_writes = t.m_version_writes;
-      persistent_writes = t.m_persistent_writes;
-      transient_only_writes = t.m_version_writes - t.m_persistent_writes;
-      minor_gc = t.m_minor_gc;
-      major_gc = t.m_major_gc;
-      evicted = t.m_evicted;
-      cache_hits = Cache.hits t.cache - t.m_cache_hits0;
-      cache_misses = Cache.misses t.cache - t.m_cache_misses0;
-      log_bytes =
-        (if Config.logging_enabled cfg && not replay then Log.bytes_appended t.log else 0);
-      duration_ns = t_end -. t_start;
-      phases =
-        [
-          ("log", t_log -. t_start);
-          ("gc+evict", t_gc -. t_log);
-          ("execute", t_exec -. t_gc);
-          ("reserve+apply", t_apply -. t_exec);
-          ("checkpoint", t_end -. t_apply);
-        ];
-    }
-  in
-  publish_epoch_metrics t report;
-  (report, Array.of_list (List.rev !deferred))
+  if not t.Epoch.loaded then invalid_arg "Db.run_epoch: call bulk_load first";
+  fst (Cc_serial.run t txns)
 
 let run_epoch_aria t txns =
-  if not t.loaded then invalid_arg "Db.run_epoch_aria: call bulk_load first";
-  run_epoch_aria_internal t txns
+  if not t.Epoch.loaded then invalid_arg "Db.run_epoch_aria: call bulk_load first";
+  Cc_aria.run t txns
+
+let last_epoch_outcomes = Epoch.last_epoch_outcomes
+let advance_core = Epoch.advance_core
+let snapshot_read = Epoch.snapshot_read
+let read_committed = Epoch.read_committed
+let iter_committed = Epoch.iter_committed
+let mem_report = Epoch.mem_report
+let committed_txns = Epoch.committed_txns
+let aborted_txns = Epoch.aborted_txns
+let total_time_ns = Epoch.total_time_ns
+let counter_value = Epoch.counter_value
+let debug_row = Epoch.debug_row
+let counters_total = Epoch.counters_total
+let set_observability = Epoch.set_observability
+let set_phase_hook = Epoch.set_phase_hook
+let crash = Recovery.crash
+let recover = Recovery.recover
 
 (* ------------------------------------------------------------------ *)
-(* Bulk load                                                           *)
+(* Engine instances                                                    *)
 
-let bulk_load t rows =
-  if t.loaded then invalid_arg "Db.bulk_load: already loaded";
-  t.epoch <- 1;
-  let cfg = t.config in
-  let i = ref 0 in
-  Seq.iter
-    (fun (table, key, data) ->
-      let core = core_of t !i in
-      incr i;
-      let stats = stats_of t core in
-      let base = Slab.alloc t.row_pool stats ~core in
-      Prow.init t.pmem stats ~base ~key ~table;
-      let row = Row.make ~key ~table ~home_core:core ~prow_base:base ~created_epoch:0 in
-      index_insert t stats ~table ~key row;
-      if t.pindex <> None then Hashtbl.replace t.pix_delta (table, key) (`Ins base);
-      let sid = Sid.make ~epoch:1 ~seq:0 in
-      let len = Bytes.length data in
-      let ptr =
-        if len <= Prow.half_capacity ~row_size:cfg.Config.row_size then
-          Prow.write_inline_value t.pmem stats ~base ~row_size:cfg.Config.row_size ~half:0 ~data
-            ()
-        else begin
-          let off = VPools.alloc t.value_pool stats ~core ~len in
-          VPools.write_value t.value_pool stats ~off ~data ();
-          Vptr.pool ~off ~len
-        end
-      in
-      Prow.set_version t.pmem stats ~base ~slot:`V2 ~sid ~ptr ();
-      row.Row.pv2 <- { Row.psid = sid; pptr = ptr; fresh = false })
-    rows;
-  let stats0 = stats_of t 0 in
-  Slab.checkpoint t.row_pool (stats_of t) ~epoch:1;
-  VPools.checkpoint t.value_pool (stats_of t) ~epoch:1;
-  if cfg.Config.n_counters > 0 then
-    Meta.checkpoint_counters t.meta stats0 ~epoch:1 (Array.copy t.counters);
-  apply_pindex_delta t stats0;
-  Meta.persist_magic t.meta stats0;
-  Meta.persist_epoch t.meta stats0 ~epoch:1;
-  (* Loading is setup, not workload: forget its costs. *)
-  Array.iter Stats.reset t.core_stats;
-  t.committed <- 0;
-  t.total_aborted <- 0;
-  t.loaded <- true
+(* Shared by both CC modes; only [name] and [run_batch] differ. *)
+module Engine_common = struct
+  type nonrec t = t
+  type config = Config.t
 
-(* ------------------------------------------------------------------ *)
-(* Inspection                                                          *)
+  let create = create
+  let bulk_load = bulk_load
+  let read_committed = read_committed
+  let iter_committed = iter_committed
+  let committed_txns = committed_txns
+  let aborted_txns = aborted_txns
+  let total_time_ns = total_time_ns
+  let mem_report = mem_report
+  let counters_total = counters_total
+  let set_observability = set_observability
+  let pmem = pmem
+  let crash = crash
+end
 
-let latest_pversion t (row : Row.t) =
-  ensure_mirror t t.scratch row;
-  if not (Sid.is_none row.Row.pv2.Row.psid) then Some row.Row.pv2
-  else if not (Sid.is_none row.Row.pv1.Row.psid) then Some row.Row.pv1
-  else None
+module Serial_engine : Engine_intf.S with type t = t and type config = Config.t = struct
+  include Engine_common
 
-let advance_core t ~core ~ns = Stats.advance (stats_of t core) ns
+  let name = "nvcaracal"
+  let run_batch t txns = (Some (run_epoch t txns), [||])
 
-let snapshot_read t ~core ~table ~key =
-  let stats = stats_of t core in
-  match find_row t stats ~table ~key with
-  | None -> None
-  | Some row -> committed_read ~max_epoch:t.epoch t stats row ~fill_cache:true
+  let recover ~config ~tables ~pmem ~rebuild () =
+    fst (recover ~config ~tables ~pmem ~rebuild ~replay_mode:`Caracal ())
+end
 
-let read_committed t ~table ~key =
-  match find_row t t.scratch ~table ~key with
-  | None -> None
-  | Some row -> (
-      match latest_pversion t row with
-      | None -> None
-      | Some pv -> Some (Prow.read_value t.pmem t.scratch ~base:row.Row.prow_base pv.Row.pptr ()))
+module Aria_engine : Engine_intf.S with type t = t and type config = Config.t = struct
+  include Engine_common
 
-let iter_committed t ~table f =
-  let visit key (row : Row.t) =
-    match latest_pversion t row with
-    | None -> ()
-    | Some pv -> f key (Prow.read_value t.pmem t.scratch ~base:row.Row.prow_base pv.Row.pptr ())
-  in
-  match t.indexes.(table) with
-  | Hash h -> HIdx.iter h visit
-  | Ord o -> OIdx.iter o visit
-  | Bt b -> BIdx.iter b visit
+  let name = "aria"
 
-let mem_report t =
-  let index_bytes =
-    Array.fold_left
-      (fun acc idx ->
-        acc
-        + (match idx with
-          | Hash h -> HIdx.dram_bytes h
-          | Ord o -> OIdx.dram_bytes o
-          | Bt b -> BIdx.dram_bytes b))
-      0 t.indexes
-  in
-  {
-    Report.nvmm_rows = Slab.allocated_slots t.row_pool * t.config.Config.row_size;
-    nvmm_values = VPools.allocated_bytes t.value_pool;
-    nvmm_log = t.log_high_water;
-    nvmm_freelists =
-      Slab.nvmm_bytes t.row_pool
-      - (t.config.Config.rows_per_core * t.config.Config.cores * t.config.Config.row_size)
-      + VPools.meta_bytes t.value_pool
-      + (match t.pindex with Some p -> PIdx.nvmm_bytes p | None -> 0);
-    dram_index = index_bytes;
-    dram_transient = TP.peak_bytes t.tpool;
-    dram_cache = Cache.dram_bytes t.cache;
-  }
+  let run_batch t txns =
+    let stats, deferred = run_epoch_aria t txns in
+    (Some stats, deferred)
 
-let committed_txns t = t.committed
-
-let total_time_ns t =
-  Array.fold_left (fun acc s -> Float.max acc (Stats.now s)) 0.0 t.core_stats
-
-let counter_value t i = t.counters.(i)
-
-let last_epoch_outcomes t =
-  Array.map (fun aborted -> if aborted then `Aborted else `Committed) t.last_outcomes
-
-let debug_row t ~table ~key =
-  match find_row t t.scratch ~table ~key with
-  | None -> "absent"
-  | Some row ->
-      ensure_mirror t t.scratch row;
-      Format.asprintf "v1=(%a,%a) v2=(%a,%a)%s" Sid.pp row.Row.pv1.Row.psid Vptr.pp
-        row.Row.pv1.Row.pptr Sid.pp row.Row.pv2.Row.psid Vptr.pp row.Row.pv2.Row.pptr
-        (if row.Row.lazily_recovered then " lazy" else "")
-
-(* ------------------------------------------------------------------ *)
-(* Crash and recovery                                                  *)
-
-let crash ?faults t ~rng =
-  if not t.config.Config.crash_safe then
-    invalid_arg "Db.crash: requires a crash_safe configuration";
-  (match faults with
-  | None -> Pmem.crash t.pmem ~rng
-  | Some model -> ignore (Pmem.crash_with_faults t.pmem ~rng ~model));
-  t.pmem
-
-let recover ~config ~tables ~pmem ~rebuild ?(replay_mode = `Caracal) ?phase_hook
-    ?recovery_hook ?(scrub = false) ?tracer ?metrics () =
-  if not config.Config.crash_safe then
-    invalid_arg "Db.recover: requires a crash_safe configuration";
-  let t = attach config tables pmem in
-  (match phase_hook with Some h -> set_phase_hook t h | None -> ());
-  let rhook p = match recovery_hook with Some f -> f p | None -> () in
-  set_observability ?tracer ?metrics ~name:"recovery" t;
-  t.loaded <- true;
-  let stats0 = stats_of t 0 in
-  (* Damage and salvage accounting (populated by the scrub checks; all
-     zero/empty on a clean legal-crash recovery). *)
-  let damage = ref [] in
-  let crc_repaired = ref 0 in
-  let stale_dropped = ref 0 in
-  let report_damage ~table ~key kind =
-    damage := { Report.d_table = table; d_key = key; d_kind = kind } :: !damage
-  in
-  (match Meta.check_magic t.meta with
-  | `Ok | `Absent -> ()
-  | `Version_mismatch v ->
-      failwith
-        (Printf.sprintf "Db.recover: persistent layout version %d, this build expects %d" v
-           Meta.layout_version)
-  | `Corrupt ->
-      (* Advisory only — the epoch word is the commit record. Restamp. *)
-      Meta.persist_magic t.meta stats0;
-      incr crc_repaired);
-  let lce = Meta.read_epoch t.meta in
-  let crashed = lce + 1 in
-  t.epoch <- lce;
-  (* Allocator state reverts to the last checkpoint; durable GC frees of
-     the crashed epoch are kept and feed the dedup set. *)
-  let row_rec =
-    Slab.recover t.row_pool ~last_checkpointed_epoch:lce ~crashed_epoch:crashed ~row_scan:true
-      ()
-  in
-  let val_rec =
-    VPools.recover t.value_pool ~last_checkpointed_epoch:lce ~crashed_epoch:crashed
-  in
-  t.gc_dedup <- val_rec.VPools.dedup;
-  let alloc_salvaged = row_rec.Slab.meta_salvaged + val_rec.VPools.meta_salvaged in
-  let alloc_corrupt = row_rec.Slab.corrupt_entries + val_rec.VPools.corrupt_entries in
-  if alloc_salvaged > 0 then report_damage ~table:(-1) ~key:0L `Allocator;
-  let counter_salvaged = ref 0 in
-  if config.Config.n_counters > 0 then begin
-    let cr = Meta.recover_counters t.meta ~last_checkpointed_epoch:lce in
-    Array.blit cr.Meta.values 0 t.counters 0 (Array.length cr.Meta.values);
-    counter_salvaged := List.length cr.Meta.salvaged;
-    List.iter
-      (fun i -> report_damage ~table:(-1) ~key:(Int64.of_int i) `Counter)
-      cr.Meta.salvaged
-  end;
-  rhook Rec_meta_recovered;
-  (* Load the crashed epoch's input log, if it committed. *)
-  let t0 = Stats.now stats0 in
-  let log_dropped = ref false in
-  let log_entries =
-    match Log.read_committed t.log stats0 with
-    | Log.Committed (ep, entries) when ep = crashed -> Some entries
-    | Log.Committed _ | Log.Empty -> None
-    | Log.Corrupt { epoch = Some ep; reason = _ } when ep <> crashed ->
-        (* A superseded epoch's log went bad; it was never going to be
-           read again. *)
-        None
-    | Log.Corrupt _ ->
-        (* The crashed epoch committed but its inputs are unreadable:
-           it cannot be replayed. Drop the epoch — reverting its row
-           writes below — and report the loss loudly. *)
-        log_dropped := true;
-        report_damage ~table:(-1) ~key:0L `Log;
-        None
-  in
-  let t_load = Stats.now stats0 -. t0 in
-  rhook Rec_log_loaded;
-  (* Rebuild the DRAM index. With the persistent index enabled (and no
-     revert pass required), recovery reads the sequential NVMM bucket
-     table and defers per-row version state to first touch — the
-     section 7 fast path. Otherwise, scan every persistent row: fix
-     torn version updates, rebuild the index and the GC list, and
-     optionally revert crashed-epoch writes. *)
-  let scanned = ref 0 in
-  let reverted = ref 0 in
-  let revert_ns = ref 0.0 in
-  let t1 = Stats.now stats0 in
-  (* Scrub and a dropped log both force the eager scan: the former to
-     verify every row, the latter to revert the unreplayable epoch. *)
-  let lazy_path =
-    config.Config.persistent_index && (not config.Config.revert_on_recovery)
-    && (not scrub) && (not !log_dropped)
-    && t.pindex <> None
-  in
-  let do_revert = config.Config.revert_on_recovery || !log_dropped in
-  (* Rows whose v2 carries the crashed epoch's SID but fails its
-     checksum. A genuine torn write of the crashed epoch is made whole
-     by the replay; one fabricated by bit-rot (a stable SID rotted into
-     the crashed epoch) is not, so judgement is deferred to after the
-     replay. Until then the slot is left untouched — in particular the
-     revert below skips it, so the post-replay check can still tell the
-     two apart. *)
-  let suspects = ref [] in
-  if lazy_path then begin
-    let pix = match t.pindex with Some p -> p | None -> assert false in
-    PIdx.iter_recovered pix stats0 ~crashed_epoch:crashed ~f:(fun ~key ~table ~base ->
-        incr scanned;
-        let row = Row.make ~key ~table ~home_core:0 ~prow_base:base ~created_epoch:0 in
-        row.Row.mirror_loaded <- false;
-        row.Row.lazily_recovered <- true;
-        index_insert t stats0 ~table ~key row);
-    (* Stale versions are now collected lazily, so the crashed epoch's
-       durable-GC dedup set must survive past the replay. *)
-    t.retain_gc_dedup <- true
-  end
-  else begin
-    (* With a persistent index maintained but the scan path taken (the
-       TPC-C revert mode), still repair crashed-epoch bucket tags so
-       the table stays consistent for future recoveries. *)
-    (match t.pindex with
-    | Some pix ->
-        PIdx.iter_recovered pix stats0 ~crashed_epoch:crashed ~f:(fun ~key:_ ~table:_ ~base:_ ->
-            ())
-    | None -> ());
-  Slab.iter_allocated t.row_pool ~f:(fun ~base ->
-      incr scanned;
-      if scrub && not (Prow.check_id t.pmem ~base) then
-        (* The identity header fails its checksum: nothing about this
-           slot can be trusted. Leave it unindexed and report it —
-           the key as read may itself be garbage. *)
-        report_damage ~table:(-1) ~key:(Prow.peek_key t.pmem ~base) `Header
-      else begin
-      let key, table, v1, v2 = Prow.read_header t.pmem stats0 ~base in
-      (* Torn case 1: a GC move copied the SID (and possibly the
-         pointer) to v1 but did not finish nulling v2. Complete it. *)
-      let v1, v2 =
-        if
-          (not (Sid.is_none v1.Prow.sid))
-          && Sid.compare v1.Prow.sid v2.Prow.sid = 0
-          && Sid.epoch_of v1.Prow.sid <> crashed
-        then begin
-          Prow.repair_case1 t.pmem stats0 ~base ();
-          Prow.peek_versions t.pmem ~base
-        end
-        else (v1, v2)
-      in
-      (* Torn case 2: v2's SID was nulled but not its pointer. *)
-      let v2 =
-        if Sid.is_none v2.Prow.sid && not (Vptr.is_null v2.Prow.ptr) then begin
-          Prow.repair_case2 t.pmem stats0 ~base ();
-          { Prow.sid = Sid.none; ptr = Vptr.null }
-        end
-        else v2
-      in
-      (* Scrub: verify v2 against its checksum word. Slots carrying the
-         crashed epoch's SID are judged after the replay instead. *)
-      let suspect = ref false in
-      let v2 =
-        if not scrub then v2
-        else if (not (Sid.is_none v2.Prow.sid)) && Sid.epoch_of v2.Prow.sid = crashed
-        then begin
-          if Prow.check_slot t.pmem ~base ~slot:`V2 = Prow.Slot_corrupt then
-            suspect := true;
-          v2
-        end
-        else
-          match Prow.check_slot t.pmem ~base ~slot:`V2 with
-          | Prow.Slot_ok -> v2
-          | Prow.Slot_stale_crc ->
-              Prow.rewrite_slot_crc t.pmem stats0 ~base ~slot:`V2;
-              incr crc_repaired;
-              v2
-          | Prow.Slot_corrupt ->
-              (* A stable current version fails its checksum: the data
-                 is lost. Drop the version so reads fall back to v1 (or
-                 to absence) and report the damage loudly. *)
-              report_damage ~table ~key `Current_version;
-              Prow.set_version t.pmem stats0 ~base ~slot:`V2 ~sid:Sid.none ~ptr:Vptr.null ();
-              { Prow.sid = Sid.none; ptr = Vptr.null }
-      in
-      (* Revert of crashed-epoch writes: configured (TPC-C, section
-         6.2.3) or forced because the epoch's log was dropped. *)
-      let v2 =
-        if
-          do_revert && (not !suspect)
-          && (not (Sid.is_none v2.Prow.sid))
-          && Sid.epoch_of v2.Prow.sid = crashed
-        then begin
-          let r0 = Stats.now stats0 in
-          Prow.set_version t.pmem stats0 ~base ~slot:`V2 ~sid:Sid.none ~ptr:Vptr.null ();
-          incr reverted;
-          revert_ns := !revert_ns +. (Stats.now stats0 -. r0);
-          { Prow.sid = Sid.none; ptr = Vptr.null }
-        end
-        else v2
-      in
-      (* Scrub: verify v1. With a live v2 it is only the stale version;
-         without one it was the row's current value. *)
-      let v1 =
-        if not scrub then v1
-        else
-          match Prow.check_slot t.pmem ~base ~slot:`V1 with
-          | Prow.Slot_ok -> v1
-          | Prow.Slot_stale_crc ->
-              Prow.rewrite_slot_crc t.pmem stats0 ~base ~slot:`V1;
-              incr crc_repaired;
-              v1
-          | Prow.Slot_corrupt ->
-              let was_current = Sid.is_none v2.Prow.sid && not !suspect in
-              (* A stale version whose value bytes were in flight at the
-                 crash was being overwritten by the crashed epoch (half
-                 or pool-slot reuse behind a torn-back header): drop it
-                 silently — the turnover was legal and the current
-                 version survives. Anything else is media damage. *)
-              let turnover =
-                (not was_current)
-                && Prow.value_in_crash_turnover t.pmem ~base v1.Prow.ptr
-              in
-              if not turnover then
-                report_damage ~table ~key
-                  (if was_current then `Current_version else `Stale_version);
-              if not was_current then incr stale_dropped;
-              Prow.set_version t.pmem stats0 ~base ~slot:`V1 ~sid:Sid.none ~ptr:Vptr.null ();
-              { Prow.sid = Sid.none; ptr = Vptr.null }
-      in
-      let row = Row.make ~key ~table ~home_core:0 ~prow_base:base ~created_epoch:0 in
-      row.Row.pv1 <- { Row.psid = v1.Prow.sid; pptr = v1.Prow.ptr; fresh = false };
-      row.Row.pv2 <- { Row.psid = v2.Prow.sid; pptr = v2.Prow.ptr; fresh = false };
-      index_insert t stats0 ~table ~key row;
-      if !suspect then suspects := (base, table, key, row) :: !suspects;
-      (* Rebuild the GC list (section 5.5): two live versions whose
-         recent one predates the crash and whose stale one needs the
-         major collector. *)
-      if
-        (not (Sid.is_none v1.Prow.sid))
-        && (not (Sid.is_none v2.Prow.sid))
-        && Sid.epoch_of v2.Prow.sid <> crashed
-        && (is_pool v1.Prow.ptr || not config.Config.minor_gc)
-      then begin
-        t.gc_list <- row :: t.gc_list;
-        row.Row.in_gc_list <- true
-      end
-      end)
-  end;
-  let t_scan = Stats.now stats0 -. t1 -. !revert_ns in
-  if Tracer.enabled t.tracer then begin
-    Tracer.complete t.tracer ~core:0 ~name:"load-log" ~cat:"recovery" ~ts:t0 ~dur:t_load ();
-    Tracer.complete t.tracer ~core:0 ~name:"revert" ~cat:"recovery"
-      ~args:[ ("rows", Nv_obs.Jsonx.Int !reverted) ]
-      ~ts:t1 ~dur:!revert_ns ();
-    Tracer.complete t.tracer ~core:0 ~name:"scan" ~cat:"recovery"
-      ~args:[ ("rows", Nv_obs.Jsonx.Int !scanned) ]
-      ~ts:t1
-      ~dur:(t_scan +. !revert_ns)
-      ()
-  end;
-  rhook Rec_scan_done;
-  (* Deterministic replay of the crashed epoch. *)
-  let t2 = Stats.now stats0 in
-  ignore (barrier t);
-  let replayed =
-    match log_entries with
-    | None -> 0
-    | Some entries ->
-        let txns = Array.of_list (List.map rebuild entries) in
-        (match replay_mode with
-        | `Caracal -> ignore (run_epoch_internal ~replay:true t txns)
-        | `Aria -> ignore (run_epoch_aria_internal ~replay:true t txns));
-        Array.length txns
-  in
-  let t_replay = total_time_ns t -. t2 in
-  (* Judge the deferred suspects. A genuine torn crashed-epoch write
-     was just rewritten by the replay (deterministic inputs produce the
-     same write set), so its slot now verifies; one that still fails
-     was fabricated by media corruption — or belongs to an epoch whose
-     log was dropped — and is reverted and reported. *)
-  List.iter
-    (fun (base, table, key, (row : Row.t)) ->
-      match Prow.check_slot t.pmem ~base ~slot:`V2 with
-      | Prow.Slot_ok -> ()
-      | Prow.Slot_stale_crc ->
-          Prow.rewrite_slot_crc t.pmem stats0 ~base ~slot:`V2;
-          incr crc_repaired
-      | Prow.Slot_corrupt ->
-          report_damage ~table ~key `Current_version;
-          Prow.set_version t.pmem stats0 ~base ~slot:`V2 ~sid:Sid.none ~ptr:Vptr.null ();
-          row.Row.pv2 <- { Row.psid = Sid.none; pptr = Vptr.null; fresh = false })
-    !suspects;
-  if Tracer.enabled t.tracer then
-    Tracer.complete t.tracer ~core:0 ~name:"replay" ~cat:"recovery"
-      ~args:[ ("txns", Nv_obs.Jsonx.Int replayed) ]
-      ~ts:t2 ~dur:t_replay ();
-  rhook Rec_replay_done;
-  let report =
-    {
-      Report.load_log_ns = t_load;
-      scan_ns = t_scan;
-      revert_ns = !revert_ns;
-      replay_ns = t_replay;
-      total_ns = total_time_ns t;
-      scanned_rows = !scanned;
-      reverted_rows = !reverted;
-      replayed_txns = replayed;
-      scrubbed = scrub;
-      log_dropped = !log_dropped;
-      crc_repaired = !crc_repaired;
-      stale_dropped = !stale_dropped;
-      alloc_salvaged;
-      alloc_corrupt_entries = alloc_corrupt;
-      counter_salvaged = !counter_salvaged;
-      damage = List.rev !damage;
-    }
-  in
-  (t, report)
+  let recover ~config ~tables ~pmem ~rebuild () =
+    fst (recover ~config ~tables ~pmem ~rebuild ~replay_mode:`Aria ())
+end

@@ -26,7 +26,17 @@
     image, and [recover] rebuilds a database from the bytes alone:
     reload allocator checkpoints, scan persistent rows (fixing torn
     version updates), rebuild the DRAM index and GC list, and
-    deterministically replay the crashed epoch from the input log. *)
+    deterministically replay the crashed epoch from the input log.
+
+    {2 Layering}
+
+    This module is a thin façade: the state record and shared substrate
+    live in {!Epoch}, the two concurrency-control strategies in
+    {!Cc_serial} and {!Cc_aria} (instances of {!Cc_intf.S}), major
+    collection in {!Gc} and crash recovery in {!Recovery}. Both CC
+    modes are also packaged as {!Engine_intf.S} instances
+    ({!Serial_engine}, {!Aria_engine}) for backend-generic harness
+    code. *)
 
 type t
 
@@ -90,6 +100,12 @@ val iter_committed : t -> table:int -> (int64 -> bytes -> unit) -> unit
 
 val mem_report : t -> Report.mem_report
 val committed_txns : t -> int
+
+val aborted_txns : t -> int
+(** Cumulative aborted transactions (user aborts and reconnaissance
+    aborts; Aria conflict deferrals are not counted — they commit in a
+    later epoch). *)
+
 val total_time_ns : t -> float
 (** Simulated time consumed so far (max over core clocks). *)
 
@@ -119,7 +135,7 @@ val set_observability :
 
 (** {1 Crash / recovery} *)
 
-type phase =
+type phase = Epoch.phase =
   | Log_done
   | Insert_done
   | Gc_pass1_done
@@ -137,7 +153,7 @@ val set_phase_hook : t -> (phase -> unit) -> unit
     precise point and then call [crash]. *)
 
 
-type recovery_phase =
+type recovery_phase = Epoch.recovery_phase =
   | Rec_meta_recovered  (** allocator and counter state rebuilt *)
   | Rec_log_loaded  (** input log read back and verified *)
   | Rec_scan_done  (** index rebuilt; repairs and reverts persisted *)
@@ -191,3 +207,14 @@ val recover :
     Requires [config.crash_safe]. @raise Invalid_argument otherwise.
     @raise Nv_storage.Meta_region.Corrupt if the epoch commit record
     itself is unreadable — the one unrecoverable corruption. *)
+
+(** {1 Engine instances}
+
+    Both CC modes packaged behind the shared {!Engine_intf.S} seam.
+    [run_batch] maps to {!run_epoch} (serial; never defers) or
+    {!run_epoch_aria} (deferred transactions returned for
+    resubmission); [recover] replays with the matching CC strategy and
+    drops the recovery report. *)
+
+module Serial_engine : Engine_intf.S with type t = t and type config = Config.t
+module Aria_engine : Engine_intf.S with type t = t and type config = Config.t

@@ -1,0 +1,95 @@
+(** The storage-engine seam.
+
+    The paper frames NVCaracal and Zen as interchangeable storage
+    engines under one deterministic front end; this signature is that
+    claim in code. Both the NVCaracal {!Db} (serial and Aria CC) and
+    [Nv_zen.Zen_db] implement [S], and harness code drives either
+    through a first-class module — see [Nv_harness.Engine] for the
+    packing and config derivation.
+
+    The contract every instance obeys:
+
+    - {b Determinism.} Equal configs, loads and batches produce equal
+      committed state and equal simulated-time accounting, byte for
+      byte.
+    - {b Batch order is serial order.} [run_batch] commits effects as
+      if transactions ran one at a time in array order; strategies that
+      defer conflicting transactions return them for resubmission
+      instead of reordering.
+    - {b Committed reads see checkpoint state.} [read_committed] /
+      [iter_committed] observe the last batch boundary, uncharged. *)
+
+module type S = sig
+  type t
+  (** One engine instance. *)
+
+  type config
+  (** Engine-specific configuration. *)
+
+  val name : string
+  (** Engine family name ("nvcaracal", "aria", "zen", ...). *)
+
+  val create : config:config -> tables:Table.t list -> unit -> t
+  (** Fresh engine over a fresh NVMM arena. Table ids must be
+      contiguous from 0. *)
+
+  val bulk_load : t -> (int * int64 * bytes) Seq.t -> unit
+  (** Populate tables ((table, key, value) triples) before driving
+      batches; resets measurement state. At most once, before any
+      [run_batch]. *)
+
+  val run_batch : t -> Txn.t array -> Report.epoch_stats option * Txn.t array
+  (** Process one batch in serial order. Returns the epoch report
+      (engines without epoch-granular accounting return [None]) and the
+      transactions deferred to the next batch ([[||]] for
+      non-deferring engines). *)
+
+  val read_committed : t -> table:int -> key:int64 -> bytes option
+  (** Committed value of a key as of the last batch boundary
+      (uncharged; tests and validation). *)
+
+  val iter_committed : t -> table:int -> (int64 -> bytes -> unit) -> unit
+  (** Visit all live keys of a table with their committed values, in
+      unspecified order (uncharged). *)
+
+  val committed_txns : t -> int
+  val aborted_txns : t -> int
+  (** Cumulative commit/abort counts. Deferred-then-committed
+      transactions count once as committed; what "aborted" counts is
+      engine-specific (user aborts always; conflict deferrals only
+      until they commit). *)
+
+  val total_time_ns : t -> float
+  (** Simulated time consumed so far (max over core clocks). *)
+
+  val mem_report : t -> Report.mem_report
+  val counters_total : t -> Nv_nvmm.Stats.counters
+
+  val set_observability :
+    ?tracer:Nv_obs.Tracer.t -> ?metrics:Nv_obs.Metrics.t -> ?name:string -> t -> unit
+  (** Attach trace/metrics sinks. Engines without instrumentation
+      accept and ignore the sinks, so harness code never branches. *)
+
+  val pmem : t -> Nv_nvmm.Pmem.t
+
+  val crash : ?faults:Nv_nvmm.Pmem.fault_model -> t -> rng:Nv_util.Rng.t -> Nv_nvmm.Pmem.t
+  (** Tear the arena to a legal crash image and return it; the engine
+      must not be used afterwards. Requires a crash-safe config.
+      @raise Invalid_argument otherwise. *)
+
+  val recover :
+    config:config ->
+    tables:Table.t list ->
+    pmem:Nv_nvmm.Pmem.t ->
+    rebuild:(bytes -> Txn.t) ->
+    unit ->
+    t
+  (** Reconstruct an engine from a (crashed) arena. [rebuild]
+      deserializes a logged input record back into its transaction;
+      engines that recover from data alone (no input log) ignore it. *)
+end
+
+(** An engine instance packed with its operations: the existential that
+    lets harness code hold a heterogeneous engine without knowing which
+    one. *)
+type packed = Packed : (module S with type t = 'e) * 'e -> packed

@@ -1,0 +1,794 @@
+(* Epoch state and the shared substrate of the phase pipeline: the
+   engine record, construction/attachment, observability plumbing,
+   version-store access paths, bulk load and inspection. The phase
+   *drivers* live in {!Cc_serial} and {!Cc_aria}; GC in {!Gc}; crash
+   recovery in {!Recovery}; {!Db} re-exports the public surface. *)
+
+module Pmem = Nv_nvmm.Pmem
+module Stats = Nv_nvmm.Stats
+module Memspec = Nv_nvmm.Memspec
+module Layout = Nv_nvmm.Layout
+module TP = Nv_storage.Transient_pool
+module Prow = Nv_storage.Prow
+module Vptr = Nv_storage.Vptr
+module Slab = Nv_storage.Slab_pool
+module VPools = Nv_storage.Value_pools
+module PIdx = Nv_storage.Pindex
+module Log = Nv_storage.Log_region
+module Meta = Nv_storage.Meta_region
+module HIdx = Nv_index.Hash_index
+module OIdx = Nv_index.Ordered_index
+module BIdx = Nv_index.Btree_index
+module VA = Version_array
+module Tracer = Nv_obs.Tracer
+module Metrics = Nv_obs.Metrics
+
+type index = Hash of Row.t HIdx.t | Ord of Row.t OIdx.t | Bt of Row.t BIdx.t
+
+type phase =
+  | Log_done
+  | Insert_done
+  | Gc_pass1_done
+  | Gc_done
+  | Append_done
+  | Exec_txn of int
+  | Exec_done
+  | Checkpointed
+
+(* Recovery milestones, mirroring [phase] for the epoch pipeline: a
+   [recovery_hook] is called at each one, and may raise to simulate a
+   crash in the middle of recovery (every recovery-time write is
+   idempotent, so recovering again from the resulting image must
+   converge to the same state). *)
+type recovery_phase =
+  | Rec_meta_recovered  (* allocator and counter state rebuilt *)
+  | Rec_log_loaded  (* input log read back and verified *)
+  | Rec_scan_done  (* index rebuilt; repairs and reverts persisted *)
+  | Rec_replay_done  (* crashed epoch re-executed (or dropped) *)
+
+type t = {
+  config : Config.t;
+  tables : Table.t array;
+  pmem : Pmem.t;
+  core_stats : Stats.t array;
+  scratch : Stats.t; (* uncharged inspection accesses *)
+  row_pool : Slab.t;
+  value_pool : VPools.t;
+  pindex : PIdx.t option;
+  pix_delta : (int * int64, [ `Ins of int | `Del ]) Hashtbl.t;
+      (* net index changes of the current epoch, batched to NVMM at
+         epoch end when the persistent index is enabled *)
+  log : Log.t;
+  meta : Meta.t;
+  indexes : index array;
+  tpool : TP.t;
+  cache : Cache.t;
+  counters : int64 array;
+  mutable epoch : int; (* epoch currently being processed (= last committed between epochs) *)
+  mutable gc_list : Row.t list;
+  mutable gc_dedup : (int64, unit) Hashtbl.t;
+  mutable touched : Row.t list; (* rows holding a version array this epoch *)
+  mutable retain_gc_dedup : bool;
+      (* lazy (persistent-index) recovery: stale versions are collected
+         on first touch, possibly many epochs later, so the crashed
+         epoch's durable-GC dedup set must outlive the replay *)
+  mutable loaded : bool;
+  (* Cumulative measurements. *)
+  mutable committed : int;
+  mutable total_aborted : int;
+  mutable log_high_water : int;
+  (* Per-epoch measurements (reset each epoch). *)
+  mutable m_aborted : int;
+  mutable m_version_writes : int;
+  mutable m_persistent_writes : int;
+  mutable m_minor_gc : int;
+  mutable m_major_gc : int;
+  mutable m_evicted : int;
+  mutable m_cache_hits0 : int;
+  mutable m_cache_misses0 : int;
+  mutable last_outcomes : bool array; (* per-txn aborted flags, last epoch *)
+  mutable phase_hook : (phase -> unit) option;
+  (* Observability (no-op sinks unless installed). *)
+  mutable tracer : Tracer.t;
+  mutable metrics : Metrics.t;
+  mutable m_access0 : Stats.counters; (* access-counter totals at epoch start *)
+}
+
+let config t = t.config
+let tables t = t.tables
+let pmem t = t.pmem
+
+(* ------------------------------------------------------------------ *)
+(* Construction                                                        *)
+
+let build_layout (cfg : Config.t) =
+  let b = Layout.builder () in
+  let meta_r = Meta.reserve b ~n_counters:cfg.n_counters in
+  let log_r = Log.reserve b ~capacity_bytes:cfg.log_capacity in
+  let row_spec =
+    Slab.reserve b ~name:"rows" ~cores:cfg.cores ~slots_per_core:cfg.rows_per_core
+      ~slot_size:cfg.row_size ~freelist_capacity:cfg.freelist_capacity
+  in
+  let classes =
+    match cfg.value_size_classes with [] -> [ cfg.value_slot_size ] | cs -> cs
+  in
+  let value_spec =
+    VPools.reserve b ~cores:cfg.cores ~slots_per_core:cfg.values_per_core ~classes
+      ~freelist_capacity:cfg.freelist_capacity
+  in
+  let pindex_r =
+    if cfg.persistent_index then begin
+      let capacity =
+        if cfg.pindex_capacity > 0 then cfg.pindex_capacity
+        else 2 * cfg.cores * cfg.rows_per_core
+      in
+      Some (PIdx.reserve b ~capacity)
+    end
+    else None
+  in
+  (Layout.total_size b, meta_r, log_r, row_spec, value_spec, pindex_r)
+
+let attach (cfg : Config.t) tables pmem =
+  let tables = Array.of_list tables in
+  Array.iteri (fun i (tb : Table.t) -> assert (tb.Table.id = i)) tables;
+  let _, meta_r, log_r, row_spec, value_spec, pindex_r = build_layout cfg in
+  {
+    config = cfg;
+    tables;
+    pmem;
+    core_stats = Array.init cfg.cores (fun _ -> Stats.create cfg.spec);
+    scratch = Stats.create cfg.spec;
+    row_pool = Slab.attach pmem row_spec;
+    value_pool = VPools.attach pmem value_spec;
+    pindex = Option.map (PIdx.attach pmem) pindex_r;
+    pix_delta = Hashtbl.create 256;
+    log = Log.attach pmem log_r;
+    meta = Meta.attach pmem meta_r ~n_counters:cfg.n_counters;
+    indexes =
+      Array.map
+        (fun (tb : Table.t) ->
+          match (tb.Table.index, cfg.Config.ordered_index) with
+          | Table.Hash, _ -> Hash (HIdx.create ())
+          | Table.Ordered, Config.Avl -> Ord (OIdx.create ())
+          | Table.Ordered, Config.Btree -> Bt (BIdx.create ()))
+        tables;
+    tpool = TP.create ~cores:cfg.cores ~initial_capacity:(1 lsl 16);
+    cache = Cache.create ~max_entries:cfg.cache_entries_max;
+    counters = Array.make cfg.n_counters 0L;
+    epoch = 0;
+    gc_list = [];
+    gc_dedup = Hashtbl.create 16;
+    touched = [];
+    retain_gc_dedup = false;
+    loaded = false;
+    committed = 0;
+    total_aborted = 0;
+    log_high_water = 0;
+    m_aborted = 0;
+    m_version_writes = 0;
+    m_persistent_writes = 0;
+    m_minor_gc = 0;
+    m_major_gc = 0;
+    m_evicted = 0;
+    m_cache_hits0 = 0;
+    m_cache_misses0 = 0;
+    last_outcomes = [||];
+    phase_hook = None;
+    tracer = Tracer.null;
+    metrics = Metrics.null;
+    m_access0 = Stats.zero_counters;
+  }
+
+let create ~config ~tables () =
+  let size, _, _, _, _, _ = build_layout config in
+  let mode = if config.Config.crash_safe then Pmem.Crash_safe else Pmem.Fast in
+  attach config tables (Pmem.create ~mode ~size ())
+
+let epoch t = t.epoch
+let set_phase_hook t hook = t.phase_hook <- Some hook
+let hook t phase = match t.phase_hook with Some f -> f phase | None -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Observability                                                       *)
+
+let counters_total t =
+  Array.fold_left
+    (fun acc s -> Stats.merge_counters acc (Stats.counters s))
+    Stats.zero_counters t.core_stats
+
+let set_observability ?tracer ?metrics ?name t =
+  (match tracer with
+  | Some tr ->
+      t.tracer <- tr;
+      Tracer.set_clock tr (fun core ->
+          Stats.now t.core_stats.(core mod Array.length t.core_stats));
+      Tracer.open_process tr ~name:(Option.value name ~default:"nvcaracal")
+  | None -> ());
+  match metrics with
+  | Some m ->
+      t.metrics <- m;
+      if Metrics.enabled m then t.m_access0 <- counters_total t
+  | None -> ()
+
+(* Record one epoch-phase span per core: each begins at the core's
+   clock when the phase starts (cores are aligned by the preceding
+   barrier) and ends at that core's clock when the phase's work is done
+   — so per-core skew inside a phase is visible in the trace. If [f]
+   raises (crash injection), no span is recorded. *)
+let phase_span t name f =
+  let tr = t.tracer in
+  if not (Tracer.enabled tr) then f ()
+  else begin
+    let begins = Array.map Stats.now t.core_stats in
+    let r = f () in
+    Array.iteri
+      (fun core s ->
+        Tracer.complete tr ~core ~name ~cat:"epoch" ~ts:begins.(core)
+          ~dur:(Stats.now s -. begins.(core)) ())
+      t.core_stats;
+    r
+  end
+
+(* Per-epoch metrics snapshot: engine counters come straight from the
+   epoch report (so JSONL records reconcile exactly with what the
+   harness prints); access counters are the per-epoch delta of the
+   merged per-core {!Stats}; allocator/cache levels are gauges. *)
+let publish_epoch_metrics t (r : Report.epoch_stats) =
+  let m = t.metrics in
+  if Metrics.enabled m then begin
+    let c name v = Metrics.set_counter (Metrics.counter m name) v in
+    let g name v = Metrics.set_gauge (Metrics.gauge m name) v in
+    c "txns" r.Report.txns;
+    c "committed" (r.Report.txns - r.Report.aborted);
+    c "aborted" r.Report.aborted;
+    c "version_writes" r.Report.version_writes;
+    c "persistent_writes" r.Report.persistent_writes;
+    c "transient_only_writes" r.Report.transient_only_writes;
+    c "minor_gc" r.Report.minor_gc;
+    c "major_gc" r.Report.major_gc;
+    c "evicted" r.Report.evicted;
+    c "cache_hits" r.Report.cache_hits;
+    c "cache_misses" r.Report.cache_misses;
+    c "log_bytes" r.Report.log_bytes;
+    g "duration_ns" r.Report.duration_ns;
+    let tot = counters_total t in
+    let d = t.m_access0 in
+    c "dram_reads" (tot.Stats.dram_reads - d.Stats.dram_reads);
+    c "dram_writes" (tot.Stats.dram_writes - d.Stats.dram_writes);
+    c "nvmm_block_reads" (tot.Stats.nvmm_block_reads - d.Stats.nvmm_block_reads);
+    c "nvmm_block_writes" (tot.Stats.nvmm_block_writes - d.Stats.nvmm_block_writes);
+    c "nvmm_seq_bytes" (tot.Stats.nvmm_seq_bytes - d.Stats.nvmm_seq_bytes);
+    c "pmem_flushes" (tot.Stats.flushes - d.Stats.flushes);
+    c "pmem_fences" (tot.Stats.fences - d.Stats.fences);
+    c "compute_ops" (tot.Stats.compute_ops - d.Stats.compute_ops);
+    t.m_access0 <- tot;
+    g "rows_allocated" (float_of_int (Slab.allocated_slots t.row_pool));
+    g "value_bytes_allocated" (float_of_int (VPools.allocated_bytes t.value_pool));
+    g "transient_peak_bytes" (float_of_int (TP.peak_bytes t.tpool));
+    g "cache_entries" (float_of_int (Cache.entries t.cache));
+    g "cache_bytes" (float_of_int (Cache.data_bytes t.cache));
+    g "log_high_water_bytes" (float_of_int t.log_high_water);
+    (* Fault gauges only exist once faults have been injected, so
+       fault-free runs emit byte-identical metric records. *)
+    if Pmem.faults_injected t.pmem then begin
+      let fr = Pmem.faults t.pmem in
+      c "media_fault_reads" (counters_total t).Stats.media_faults;
+      g "faults_torn_lines" (float_of_int fr.Pmem.torn_lines);
+      g "faults_rotted_lines" (float_of_int fr.Pmem.rotted_lines);
+      g "faults_flipped_bits" (float_of_int fr.Pmem.flipped_bits);
+      g "faults_dead_lines" (float_of_int fr.Pmem.dead_lines)
+    end;
+    ignore (Metrics.snapshot m ~epoch:t.epoch)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Small helpers                                                       *)
+
+let core_of t seq = seq mod t.config.Config.cores
+let stats_of t core = t.core_stats.(core)
+
+let barrier t =
+  let m = Array.fold_left (fun acc s -> Float.max acc (Stats.now s)) 0.0 t.core_stats in
+  Array.iter (fun s -> Stats.set_now s m) t.core_stats;
+  m
+
+let find_row t stats ~table ~key =
+  match t.indexes.(table) with
+  | Hash h -> HIdx.find h stats key
+  | Ord o -> OIdx.find o stats key
+  | Bt b -> BIdx.find b stats key
+
+let index_insert t stats ~table ~key row =
+  match t.indexes.(table) with
+  | Hash h -> HIdx.insert h stats key row
+  | Ord o -> OIdx.insert o stats key row
+  | Bt b -> BIdx.insert b stats key row
+
+let index_remove t stats ~table ~key =
+  match t.indexes.(table) with
+  | Hash h -> HIdx.remove h stats key
+  | Ord o -> OIdx.remove o stats key
+  | Bt b -> BIdx.remove b stats key
+
+let is_pool ptr = match Vptr.classify ptr with Vptr.Pool _ -> true | _ -> false
+let is_inline ptr = match Vptr.classify ptr with Vptr.Inline _ -> true | _ -> false
+
+(* Store one version value into the transient pool, charging per the
+   design variant: DRAM for NVCaracal/all-DRAM, NVMM for designs that
+   persist every update. The initial-version copy counts as a DRAM
+   cache fill for the hybrid design (its cache works like Zen's). *)
+let store_version_value t stats ~core ?(initial = false) data =
+  let nvmm_path =
+    Config.writes_all_updates_to_nvmm t.config
+    && not (initial && t.config.Config.variant = Config.Hybrid)
+  in
+  let vref = TP.write t.tpool stats ~charge:(not nvmm_path) ~core data in
+  if nvmm_path then begin
+    (* Every update is individually made durable (these designs recover
+       from the updates themselves): a flush per update costs a full
+       NVMM block write — Optane's 256-byte internal write — even for
+       small values. *)
+    let len = Bytes.length data in
+    Stats.nvmm_write_blocks stats (Memspec.blocks_touched (Stats.spec stats) ~off:0 ~len)
+  end;
+  if Config.redo_logs_updates t.config then
+    (* Traditional WAL (section 2.1): every committed update is
+       redo-logged to NVMM before it is checkpointed in place. *)
+    Stats.nvmm_seq_write stats ~bytes:(24 + Bytes.length data);
+  t.m_version_writes <- t.m_version_writes + 1;
+  vref
+
+let load_version_value t stats ~initial vref =
+  let nvmm_path =
+    Config.writes_all_updates_to_nvmm t.config
+    && not (initial && t.config.Config.variant = Config.Hybrid)
+  in
+  let data = TP.read t.tpool stats ~charge:(not nvmm_path) vref in
+  if nvmm_path then
+    Stats.nvmm_read_lines stats
+      (Memspec.lines_touched (Stats.spec stats) ~off:0 ~len:(Bytes.length data));
+  data
+
+(* The latest persistent version visible at checkpoint granularity:
+   v2 unless it is empty or newer than [max_epoch] — during epoch
+   execution the bound is the previous epoch (a replayed epoch must not
+   read its own pre-crash writes); between epochs it is the committed
+   epoch itself. *)
+let checkpoint_pversion ?max_epoch t (row : Row.t) =
+  let limit = match max_epoch with Some e -> e | None -> t.epoch - 1 in
+  let usable (v : Row.pversion) =
+    (not (Sid.is_none v.Row.psid)) && Sid.epoch_of v.Row.psid <= limit
+  in
+  if usable row.Row.pv2 then Some row.Row.pv2
+  else if usable row.Row.pv1 then Some row.Row.pv1
+  else None
+
+(* Lazily load the DRAM mirror of a row recovered via the persistent
+   index, completing any torn version update found in the header (the
+   same section 4.5 repairs the recovery scan performs eagerly). *)
+let ensure_mirror t stats (row : Row.t) =
+  if not row.Row.mirror_loaded then begin
+    let _key, _table, v1, v2 = Prow.read_header t.pmem stats ~base:row.Row.prow_base in
+    let base = row.Row.prow_base in
+    (* Torn case 1: equal SIDs = an interrupted GC move; complete it. *)
+    let v1, v2 =
+      if (not (Sid.is_none v1.Prow.sid)) && Sid.compare v1.Prow.sid v2.Prow.sid = 0 then begin
+        Prow.repair_case1 t.pmem stats ~base ();
+        let v1, v2 = Prow.peek_versions t.pmem ~base in
+        (v1, v2)
+      end
+      else (v1, v2)
+    in
+    (* Torn case 2: SID nulled but not the pointer. *)
+    let v2 =
+      if Sid.is_none v2.Prow.sid && not (Vptr.is_null v2.Prow.ptr) then begin
+        Prow.repair_case2 t.pmem stats ~base ();
+        { Prow.sid = Sid.none; ptr = Vptr.null }
+      end
+      else v2
+    in
+    row.Row.pv1 <- { Row.psid = v1.Prow.sid; pptr = v1.Prow.ptr; fresh = false };
+    row.Row.pv2 <- { Row.psid = v2.Prow.sid; pptr = v2.Prow.ptr; fresh = false };
+    row.Row.mirror_loaded <- true
+  end
+
+(* Read a row's committed value from the DRAM cache or from NVMM,
+   optionally filling the cache on a miss. *)
+let committed_read ?max_epoch t stats (row : Row.t) ~fill_cache =
+  ensure_mirror t stats row;
+  let caching = Config.caching_enabled t.config in
+  match row.Row.cached with
+  | Some c when caching ->
+      Cache.touch t.cache row ~epoch:t.epoch;
+      Stats.dram_read stats
+        ~lines:(Memspec.lines_touched (Stats.spec stats) ~off:0 ~len:(Bytes.length c.Row.data))
+        ();
+      Some c.Row.data
+  | _ -> (
+      match checkpoint_pversion ?max_epoch t row with
+      | None -> None
+      | Some pv ->
+          if caching then Cache.note_miss t.cache;
+          Stats.nvmm_read_blocks stats 1;
+          let data =
+            Prow.read_value t.pmem stats ~base:row.Row.prow_base pv.Row.pptr
+              ~header_charged:true ()
+          in
+          (* Selective caching (section 7 future work): cold reads do
+             not populate the cache; only written rows do. *)
+          if caching && fill_cache && not t.config.Config.selective_caching then
+            Cache.insert t.cache stats row ~data ~epoch:t.epoch;
+          Some data)
+
+(* ------------------------------------------------------------------ *)
+(* Version arrays                                                      *)
+
+let ensure_varray t stats ~core (row : Row.t) =
+  if row.Row.varray_epoch <> t.epoch || row.Row.varray = None then begin
+    let va =
+      VA.create ~epoch:t.epoch
+        ~nvmm_resident:(not (Config.uses_dram_version_arrays t.config))
+        ~batch_append:t.config.Config.batch_append ()
+    in
+    row.Row.varray <- Some va;
+    row.Row.varray_epoch <- t.epoch;
+    t.touched <- row :: t.touched;
+    ensure_mirror t stats row;
+    (* Copy the committed value in as the initial version; the cached
+       version, if any, is consumed (paper section 4.1). *)
+    let init_data =
+      match row.Row.cached with
+      | Some c when Config.caching_enabled t.config ->
+          Stats.dram_read stats
+            ~lines:
+              (Memspec.lines_touched (Stats.spec stats) ~off:0 ~len:(Bytes.length c.Row.data))
+            ();
+          let data = c.Row.data in
+          Cache.drop t.cache stats row;
+          Some data
+      | _ -> (
+          match checkpoint_pversion t row with
+          | None -> None
+          | Some pv ->
+              Stats.nvmm_read_blocks stats 1;
+              Some
+                (Prow.read_value t.pmem stats ~base:row.Row.prow_base pv.Row.pptr
+                   ~header_charged:true ()))
+    in
+    match init_data with
+    | None -> ()
+    | Some data ->
+        VA.append va stats Sid.none;
+        let slot = VA.find va stats Sid.none in
+        slot.VA.value <- VA.Written (store_version_value t stats ~core ~initial:true data);
+        slot.VA.write_time <- Stats.now stats;
+        (* The copy is bookkeeping, not an update. *)
+        t.m_version_writes <- t.m_version_writes - 1
+  end;
+  match row.Row.varray with Some va -> va | None -> assert false
+
+(* ------------------------------------------------------------------ *)
+(* Final persistent write (sections 4.4–4.6, 5.3)                      *)
+
+let free_pool_value ?(guard_dedup = false) t stats ~core ptr =
+  match Vptr.classify ptr with
+  | Vptr.Pool { off; _ } ->
+      (* A lazily-recovered row may still reference a value the crashed
+         epoch's GC already freed durably (its pass 2 never cleared the
+         version slot): freeing it again would hand the slot out twice. *)
+      if not (guard_dedup && Hashtbl.mem t.gc_dedup (Int64.of_int off)) then
+        VPools.free t.value_pool stats ~core off
+  | Vptr.Null | Vptr.Inline _ -> ()
+
+(* Write (sid, data) as the row's new recent version, rotating the
+   dual-version slots as required and preserving the previous epoch's
+   checkpointed version. *)
+let do_prow_final_write t stats ~core (row : Row.t) ~sid ~data =
+  ensure_mirror t stats row;
+  let cfg = t.config in
+  let charge = not (Config.writes_all_updates_to_nvmm cfg) in
+  let base = row.Row.prow_base in
+  if Sid.epoch_of row.Row.pv2.Row.psid = t.epoch then begin
+    (* Overwrite: the slot was written this epoch (insert-step data
+       followed by an update, or a pre-crash write found during replay).
+       A value slot we allocated ourselves is freed (revertible free); a
+       slot inherited from the crashed epoch was already reverted by the
+       pool recovery and must not be freed. *)
+    if row.Row.pv2.Row.fresh then free_pool_value t stats ~core row.Row.pv2.Row.pptr
+  end
+  else if not (Sid.is_none row.Row.pv2.Row.psid) then begin
+    (* Rotate v2 (the previous checkpoint) into v1 before overwriting.
+       A stale v1 can only be inline here: stale pool values are always
+       collected by the major collector during initialization. *)
+    let v1 = row.Row.pv1 in
+    if not (Sid.is_none v1.Row.psid) then begin
+      if is_inline v1.Row.pptr && cfg.Config.minor_gc then t.m_minor_gc <- t.m_minor_gc + 1
+      else if row.Row.lazily_recovered then begin
+        (* Lazy (persistent-index) recovery skips the scan that rebuilds
+           the major-GC list, so a stale version is collected here, on
+           first touch. The dedup set guards against re-freeing a value
+           the crashed epoch's GC already made durable. *)
+        (match Vptr.classify v1.Row.pptr with
+        | Vptr.Pool { off; _ } when not (Hashtbl.mem t.gc_dedup (Int64.of_int off)) ->
+            VPools.free t.value_pool stats ~core off
+        | Vptr.Pool _ | Vptr.Null | Vptr.Inline _ -> ());
+        t.m_major_gc <- t.m_major_gc + 1
+      end
+      else if not (is_inline v1.Row.pptr) then
+        failwith "Db: stale non-inline v1 at write time (major GC missed a row)"
+      else failwith "Db: stale v1 at write time with minor GC disabled"
+    end;
+    Prow.gc_move t.pmem stats ~base ~charge:false ();
+    row.Row.pv1 <- { row.Row.pv2 with Row.fresh = false };
+    row.Row.pv2 <- Row.no_version
+  end;
+  let len = Bytes.length data in
+  let ptr, fresh =
+    if len <= Prow.half_capacity ~row_size:cfg.Config.row_size then begin
+      let half = Row.free_half ~row_size:cfg.Config.row_size row.Row.pv1 in
+      ( Prow.write_inline_value t.pmem stats ~base ~row_size:cfg.Config.row_size ~half ~data
+          ~charge (),
+        false )
+    end
+    else begin
+      let off = VPools.alloc t.value_pool stats ~core ~len in
+      VPools.write_value t.value_pool stats ~charge ~off ~data ();
+      (Vptr.pool ~off ~len, true)
+    end
+  in
+  Prow.set_version t.pmem stats ~base ~slot:`V2 ~sid ~ptr ~charge ();
+  row.Row.pv2 <- { Row.psid = sid; pptr = ptr; fresh };
+  t.m_persistent_writes <- t.m_persistent_writes + 1;
+  (* Track the now-stale v1 for the major collector; inline stale
+     versions are left for the minor collector instead. *)
+  if
+    (not (Sid.is_none row.Row.pv1.Row.psid))
+    && (not row.Row.in_gc_list)
+    && (is_pool row.Row.pv1.Row.pptr || not cfg.Config.minor_gc)
+  then begin
+    t.gc_list <- row :: t.gc_list;
+    row.Row.in_gc_list <- true
+  end
+
+(* Persistently delete a row: free its value slots and the row itself
+   (all revertible transaction frees), and unhook the DRAM state. *)
+let do_prow_delete t stats ~core (row : Row.t) =
+  ensure_mirror t stats row;
+  let guard_dedup = row.Row.lazily_recovered in
+  free_pool_value ~guard_dedup t stats ~core row.Row.pv1.Row.pptr;
+  free_pool_value ~guard_dedup t stats ~core row.Row.pv2.Row.pptr;
+  Slab.free t.row_pool stats ~core row.Row.prow_base;
+  index_remove t stats ~table:row.Row.table ~key:row.Row.key;
+  if t.pindex <> None then begin
+    (* Net delta: an insert and delete of the same key in one epoch
+       cancel out; a delete of a pre-existing key becomes a tombstone. *)
+    let k = (row.Row.table, row.Row.key) in
+    match Hashtbl.find_opt t.pix_delta k with
+    | Some (`Ins _) -> Hashtbl.remove t.pix_delta k
+    | Some `Del | None -> Hashtbl.replace t.pix_delta k `Del
+  end;
+  Cache.drop t.cache stats row;
+  row.Row.pv1 <- Row.no_version;
+  row.Row.pv2 <- Row.no_version;
+  t.m_persistent_writes <- t.m_persistent_writes + 1
+
+(* Flush the epoch's net index changes to the persistent index in one
+   batch (section 7 future work): part of the epoch checkpoint, before
+   the epoch number is persisted. *)
+let apply_pindex_delta t stats =
+  match t.pindex with
+  | None -> ()
+  | Some pix ->
+      if Hashtbl.length t.pix_delta > 0 then begin
+        let inserts = ref [] and deletes = ref [] in
+        Hashtbl.iter
+          (fun (table, key) change ->
+            match change with
+            | `Ins base -> inserts := (key, base, table) :: !inserts
+            | `Del -> deletes := (key, table) :: !deletes)
+          t.pix_delta;
+        PIdx.apply_batch pix stats ~epoch:t.epoch ~inserts:!inserts ~deletes:!deletes;
+        Hashtbl.reset t.pix_delta
+      end
+
+(* ------------------------------------------------------------------ *)
+(* Shared epoch scaffolding (used by both CC strategies)               *)
+
+let reset_epoch_measurements t =
+  t.m_aborted <- 0;
+  t.m_version_writes <- 0;
+  t.m_persistent_writes <- 0;
+  t.m_minor_gc <- 0;
+  t.m_major_gc <- 0;
+  t.m_evicted <- 0;
+  t.m_cache_hits0 <- Cache.hits t.cache;
+  t.m_cache_misses0 <- Cache.misses t.cache
+
+(* Open the next epoch: bump the number, reset the per-epoch meters and
+   the touched-row list. *)
+let begin_epoch t =
+  t.epoch <- t.epoch + 1;
+  reset_epoch_measurements t;
+  t.touched <- []
+
+(* Log transaction inputs (section 4.3): length-prefixed records,
+   clwb'd, fence, publish the count, fence. Skipped during replay (the
+   log being replayed must not be overwritten). *)
+let log_inputs t ~replay txns =
+  phase_span t "input-log" (fun () ->
+      if Config.logging_enabled t.config && not replay then begin
+        Log.begin_epoch t.log (stats_of t 0) ~epoch:t.epoch;
+        Array.iteri
+          (fun i (txn : Txn.t) -> Log.append t.log (stats_of t (core_of t i)) txn.Txn.input)
+          txns;
+        Log.commit t.log (stats_of t 0);
+        t.log_high_water <- max t.log_high_water (Log.bytes_appended t.log)
+      end;
+      hook t Log_done)
+
+(* The epoch checkpoint's first half: persist each core's allocator
+   bump offsets and free-list head/tail into the epoch-parity slots,
+   persist counters, apply the persistent-index delta. The caller
+   persists the epoch number afterwards. *)
+let checkpoint_allocators t =
+  let stats0 = stats_of t 0 in
+  phase_span t "fence" (fun () ->
+      Slab.checkpoint t.row_pool (stats_of t) ~epoch:t.epoch;
+      VPools.checkpoint t.value_pool (stats_of t) ~epoch:t.epoch;
+      if t.config.Config.n_counters > 0 then
+        Meta.checkpoint_counters t.meta stats0 ~epoch:t.epoch (Array.copy t.counters);
+      apply_pindex_delta t stats0)
+
+(* Assemble the epoch's report from the per-epoch meters and publish it
+   to the metrics sink. [phases] is the CC strategy's barrier-to-barrier
+   breakdown. *)
+let epoch_report t ~txns:n ~replay ~duration ~phases =
+  let report =
+    {
+      Report.epoch = t.epoch;
+      txns = n;
+      aborted = t.m_aborted;
+      version_writes = t.m_version_writes;
+      persistent_writes = t.m_persistent_writes;
+      transient_only_writes = t.m_version_writes - t.m_persistent_writes;
+      minor_gc = t.m_minor_gc;
+      major_gc = t.m_major_gc;
+      evicted = t.m_evicted;
+      cache_hits = Cache.hits t.cache - t.m_cache_hits0;
+      cache_misses = Cache.misses t.cache - t.m_cache_misses0;
+      log_bytes =
+        (if Config.logging_enabled t.config && not replay then Log.bytes_appended t.log else 0);
+      duration_ns = duration;
+      phases;
+    }
+  in
+  publish_epoch_metrics t report;
+  report
+
+(* ------------------------------------------------------------------ *)
+(* Bulk load                                                           *)
+
+let bulk_load t rows =
+  if t.loaded then invalid_arg "Db.bulk_load: already loaded";
+  t.epoch <- 1;
+  let cfg = t.config in
+  let i = ref 0 in
+  Seq.iter
+    (fun (table, key, data) ->
+      let core = core_of t !i in
+      incr i;
+      let stats = stats_of t core in
+      let base = Slab.alloc t.row_pool stats ~core in
+      Prow.init t.pmem stats ~base ~key ~table;
+      let row = Row.make ~key ~table ~home_core:core ~prow_base:base ~created_epoch:0 in
+      index_insert t stats ~table ~key row;
+      if t.pindex <> None then Hashtbl.replace t.pix_delta (table, key) (`Ins base);
+      let sid = Sid.make ~epoch:1 ~seq:0 in
+      let len = Bytes.length data in
+      let ptr =
+        if len <= Prow.half_capacity ~row_size:cfg.Config.row_size then
+          Prow.write_inline_value t.pmem stats ~base ~row_size:cfg.Config.row_size ~half:0 ~data
+            ()
+        else begin
+          let off = VPools.alloc t.value_pool stats ~core ~len in
+          VPools.write_value t.value_pool stats ~off ~data ();
+          Vptr.pool ~off ~len
+        end
+      in
+      Prow.set_version t.pmem stats ~base ~slot:`V2 ~sid ~ptr ();
+      row.Row.pv2 <- { Row.psid = sid; pptr = ptr; fresh = false })
+    rows;
+  let stats0 = stats_of t 0 in
+  Slab.checkpoint t.row_pool (stats_of t) ~epoch:1;
+  VPools.checkpoint t.value_pool (stats_of t) ~epoch:1;
+  if cfg.Config.n_counters > 0 then
+    Meta.checkpoint_counters t.meta stats0 ~epoch:1 (Array.copy t.counters);
+  apply_pindex_delta t stats0;
+  Meta.persist_magic t.meta stats0;
+  Meta.persist_epoch t.meta stats0 ~epoch:1;
+  (* Loading is setup, not workload: forget its costs. *)
+  Array.iter Stats.reset t.core_stats;
+  t.committed <- 0;
+  t.total_aborted <- 0;
+  t.loaded <- true
+
+(* ------------------------------------------------------------------ *)
+(* Inspection                                                          *)
+
+let latest_pversion t (row : Row.t) =
+  ensure_mirror t t.scratch row;
+  if not (Sid.is_none row.Row.pv2.Row.psid) then Some row.Row.pv2
+  else if not (Sid.is_none row.Row.pv1.Row.psid) then Some row.Row.pv1
+  else None
+
+let advance_core t ~core ~ns = Stats.advance (stats_of t core) ns
+
+let snapshot_read t ~core ~table ~key =
+  let stats = stats_of t core in
+  match find_row t stats ~table ~key with
+  | None -> None
+  | Some row -> committed_read ~max_epoch:t.epoch t stats row ~fill_cache:true
+
+let read_committed t ~table ~key =
+  match find_row t t.scratch ~table ~key with
+  | None -> None
+  | Some row -> (
+      match latest_pversion t row with
+      | None -> None
+      | Some pv -> Some (Prow.read_value t.pmem t.scratch ~base:row.Row.prow_base pv.Row.pptr ()))
+
+let iter_committed t ~table f =
+  let visit key (row : Row.t) =
+    match latest_pversion t row with
+    | None -> ()
+    | Some pv -> f key (Prow.read_value t.pmem t.scratch ~base:row.Row.prow_base pv.Row.pptr ())
+  in
+  match t.indexes.(table) with
+  | Hash h -> HIdx.iter h visit
+  | Ord o -> OIdx.iter o visit
+  | Bt b -> BIdx.iter b visit
+
+let mem_report t =
+  let index_bytes =
+    Array.fold_left
+      (fun acc idx ->
+        acc
+        + (match idx with
+          | Hash h -> HIdx.dram_bytes h
+          | Ord o -> OIdx.dram_bytes o
+          | Bt b -> BIdx.dram_bytes b))
+      0 t.indexes
+  in
+  {
+    Report.nvmm_rows = Slab.allocated_slots t.row_pool * t.config.Config.row_size;
+    nvmm_values = VPools.allocated_bytes t.value_pool;
+    nvmm_log = t.log_high_water;
+    nvmm_freelists =
+      Slab.nvmm_bytes t.row_pool
+      - (t.config.Config.rows_per_core * t.config.Config.cores * t.config.Config.row_size)
+      + VPools.meta_bytes t.value_pool
+      + (match t.pindex with Some p -> PIdx.nvmm_bytes p | None -> 0);
+    dram_index = index_bytes;
+    dram_transient = TP.peak_bytes t.tpool;
+    dram_cache = Cache.dram_bytes t.cache;
+  }
+
+let committed_txns t = t.committed
+let aborted_txns t = t.total_aborted
+
+let total_time_ns t =
+  Array.fold_left (fun acc s -> Float.max acc (Stats.now s)) 0.0 t.core_stats
+
+let counter_value t i = t.counters.(i)
+
+let last_epoch_outcomes t =
+  Array.map (fun aborted -> if aborted then `Aborted else `Committed) t.last_outcomes
+
+let debug_row t ~table ~key =
+  match find_row t t.scratch ~table ~key with
+  | None -> "absent"
+  | Some row ->
+      ensure_mirror t t.scratch row;
+      Format.asprintf "v1=(%a,%a) v2=(%a,%a)%s" Sid.pp row.Row.pv1.Row.psid Vptr.pp
+        row.Row.pv1.Row.pptr Sid.pp row.Row.pv2.Row.psid Vptr.pp row.Row.pv2.Row.pptr
+        (if row.Row.lazily_recovered then " lazy" else "")

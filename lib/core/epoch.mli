@@ -1,0 +1,259 @@
+(** Epoch state and the shared substrate of the phase pipeline.
+
+    This module owns the engine's state record and everything the phase
+    drivers have in common: construction and NVMM layout, observability
+    plumbing, the version-store access paths (committed reads, version
+    arrays, the dual-version final write), bulk load and inspection.
+
+    It is an {e internal seam}: the state record is exposed field by
+    field so that the concurrency-control strategies ({!Cc_serial},
+    {!Cc_aria}), the garbage collector ({!Gc}) and crash recovery
+    ({!Recovery}) can be separate compilation units. External code
+    should go through {!Db} (the public façade) or a first-class
+    {!Engine_intf.S} instance instead. *)
+
+module Pmem = Nv_nvmm.Pmem
+module Stats = Nv_nvmm.Stats
+module Memspec = Nv_nvmm.Memspec
+module TP = Nv_storage.Transient_pool
+module Prow = Nv_storage.Prow
+module Vptr = Nv_storage.Vptr
+module Slab = Nv_storage.Slab_pool
+module VPools = Nv_storage.Value_pools
+module PIdx = Nv_storage.Pindex
+module Log = Nv_storage.Log_region
+module Meta = Nv_storage.Meta_region
+module HIdx = Nv_index.Hash_index
+module OIdx = Nv_index.Ordered_index
+module BIdx = Nv_index.Btree_index
+module VA = Version_array
+module Tracer = Nv_obs.Tracer
+module Metrics = Nv_obs.Metrics
+
+(** One DRAM index per table, chosen by the table's kind and the
+    configured ordered-index implementation. *)
+type index = Hash of Row.t HIdx.t | Ord of Row.t OIdx.t | Bt of Row.t BIdx.t
+
+(** Milestones of one epoch, in pipeline order; a phase hook installed
+    with {!set_phase_hook} is called at each and may raise to simulate
+    a crash mid-epoch. *)
+type phase =
+  | Log_done
+  | Insert_done
+  | Gc_pass1_done
+  | Gc_done
+  | Append_done
+  | Exec_txn of int
+  | Exec_done
+  | Checkpointed
+
+(** Recovery milestones, mirroring [phase] for the recovery pipeline. *)
+type recovery_phase =
+  | Rec_meta_recovered  (** allocator and counter state rebuilt *)
+  | Rec_log_loaded  (** input log read back and verified *)
+  | Rec_scan_done  (** index rebuilt; repairs and reverts persisted *)
+  | Rec_replay_done  (** crashed epoch re-executed (or dropped) *)
+
+(** The engine state. Every field is visible to the sibling phase
+    modules; treat it as private elsewhere. *)
+type t = {
+  config : Config.t;
+  tables : Table.t array;
+  pmem : Pmem.t;
+  core_stats : Stats.t array;
+  scratch : Stats.t;  (** uncharged inspection accesses *)
+  row_pool : Slab.t;
+  value_pool : VPools.t;
+  pindex : PIdx.t option;
+  pix_delta : (int * int64, [ `Ins of int | `Del ]) Hashtbl.t;
+      (** net index changes of the current epoch, batched to NVMM at
+          epoch end when the persistent index is enabled *)
+  log : Log.t;
+  meta : Meta.t;
+  indexes : index array;
+  tpool : TP.t;
+  cache : Cache.t;
+  counters : int64 array;
+  mutable epoch : int;
+      (** epoch currently being processed (= last committed between
+          epochs) *)
+  mutable gc_list : Row.t list;
+  mutable gc_dedup : (int64, unit) Hashtbl.t;
+  mutable touched : Row.t list;
+      (** rows holding a version array this epoch *)
+  mutable retain_gc_dedup : bool;
+      (** lazy (persistent-index) recovery: stale versions are
+          collected on first touch, possibly many epochs later, so the
+          crashed epoch's durable-GC dedup set must outlive the replay *)
+  mutable loaded : bool;
+  mutable committed : int;
+  mutable total_aborted : int;
+  mutable log_high_water : int;
+  mutable m_aborted : int;
+  mutable m_version_writes : int;
+  mutable m_persistent_writes : int;
+  mutable m_minor_gc : int;
+  mutable m_major_gc : int;
+  mutable m_evicted : int;
+  mutable m_cache_hits0 : int;
+  mutable m_cache_misses0 : int;
+  mutable last_outcomes : bool array;
+      (** per-txn aborted flags, last epoch *)
+  mutable phase_hook : (phase -> unit) option;
+  mutable tracer : Tracer.t;
+  mutable metrics : Metrics.t;
+  mutable m_access0 : Stats.counters;
+      (** access-counter totals at epoch start *)
+}
+
+val config : t -> Config.t
+val tables : t -> Table.t array
+val pmem : t -> Pmem.t
+
+(** {1 Construction} *)
+
+(** [attach config tables pmem] builds engine state over an existing
+    NVMM arena (used by {!create} and by recovery). *)
+val attach : Config.t -> Table.t list -> Pmem.t -> t
+
+(** [create ~config ~tables ()] sizes an NVMM arena from the config's
+    layout and attaches fresh engine state to it. *)
+val create : config:Config.t -> tables:Table.t list -> unit -> t
+
+val epoch : t -> int
+val set_phase_hook : t -> (phase -> unit) -> unit
+
+(** Fire the installed phase hook, if any. *)
+val hook : t -> phase -> unit
+
+(** {1 Observability} *)
+
+(** Merged access counters of all simulated cores. *)
+val counters_total : t -> Stats.counters
+
+(** Install trace/metrics sinks; [name] labels the Perfetto process. *)
+val set_observability :
+  ?tracer:Tracer.t -> ?metrics:Metrics.t -> ?name:string -> t -> unit
+
+(** [phase_span t name f] runs [f] and records one span per core from
+    each core's clock at entry to its clock at exit (no span if [f]
+    raises — crash injection). *)
+val phase_span : t -> string -> (unit -> 'a) -> 'a
+
+(** Publish one epoch's report plus access-counter deltas and allocator
+    gauges to the metrics sink. *)
+val publish_epoch_metrics : t -> Report.epoch_stats -> unit
+
+(** {1 Cores, clocks and indexes} *)
+
+(** Home core of serial position [seq] ([seq mod cores]). *)
+val core_of : t -> int -> int
+
+(** The per-core simulated clock and counters. *)
+val stats_of : t -> int -> Stats.t
+
+(** Synchronize all core clocks to the maximum; returns it. Phase
+    boundaries are barriers. *)
+val barrier : t -> float
+
+val find_row : t -> Stats.t -> table:int -> key:int64 -> Row.t option
+val index_insert : t -> Stats.t -> table:int -> key:int64 -> Row.t -> unit
+val index_remove : t -> Stats.t -> table:int -> key:int64 -> unit
+val is_pool : Vptr.t -> bool
+val is_inline : Vptr.t -> bool
+
+(** {1 Version-store access} *)
+
+(** Store one version value into the transient pool, charging per the
+    design variant (NVMM for designs that persist every update). *)
+val store_version_value :
+  t -> Stats.t -> core:int -> ?initial:bool -> bytes -> TP.vref
+
+(** Load a version value back, with the matching charge. *)
+val load_version_value : t -> Stats.t -> initial:bool -> TP.vref -> bytes
+
+(** The latest persistent version visible at checkpoint granularity
+    (bounded by [max_epoch], default the previous epoch). *)
+val checkpoint_pversion : ?max_epoch:int -> t -> Row.t -> Row.pversion option
+
+(** Lazily load a row's DRAM mirror from its NVMM header, completing
+    any torn version update found there (section 4.5 repairs). *)
+val ensure_mirror : t -> Stats.t -> Row.t -> unit
+
+(** Read a row's committed value from the DRAM cache or NVMM,
+    optionally filling the cache on a miss. *)
+val committed_read :
+  ?max_epoch:int -> t -> Stats.t -> Row.t -> fill_cache:bool -> bytes option
+
+(** Get (or create, registering the row in [touched] and seeding the
+    initial version) the row's version array for the current epoch. *)
+val ensure_varray : t -> Stats.t -> core:int -> Row.t -> VA.t
+
+(** Free a pool value (no-op for inline/null pointers); [guard_dedup]
+    skips values the crashed epoch's GC already freed durably. *)
+val free_pool_value :
+  ?guard_dedup:bool -> t -> Stats.t -> core:int -> Vptr.t -> unit
+
+(** Write (sid, data) as the row's new recent version, rotating the
+    dual-version slots as required (sections 4.4–4.6, 5.3). *)
+val do_prow_final_write :
+  t -> Stats.t -> core:int -> Row.t -> sid:Sid.t -> data:bytes -> unit
+
+(** Persistently delete a row: free its values and slot, unhook the
+    DRAM state. *)
+val do_prow_delete : t -> Stats.t -> core:int -> Row.t -> unit
+
+(** Flush the epoch's net index changes to the persistent index in one
+    batch (part of the epoch checkpoint). *)
+val apply_pindex_delta : t -> Stats.t -> unit
+
+(** {1 Shared epoch scaffolding}
+
+    The pieces of Algorithm 1 common to both CC strategies; the
+    strategies sequence them. *)
+
+(** Reset the per-epoch meters (kept separate from {!begin_epoch} for
+    recovery, which re-runs an epoch at the same number). *)
+val reset_epoch_measurements : t -> unit
+
+(** Bump the epoch number and reset per-epoch state. *)
+val begin_epoch : t -> unit
+
+(** Log transaction inputs (section 4.3); skipped during replay. *)
+val log_inputs : t -> replay:bool -> Txn.t array -> unit
+
+(** First half of the epoch checkpoint: persist allocators and
+    counters, apply the persistent-index delta. The caller persists the
+    epoch number. *)
+val checkpoint_allocators : t -> unit
+
+(** Assemble the epoch's report from the per-epoch meters and publish
+    it to the metrics sink. *)
+val epoch_report :
+  t ->
+  txns:int ->
+  replay:bool ->
+  duration:float ->
+  phases:(string * float) list ->
+  Report.epoch_stats
+
+(** {1 Bulk load} *)
+
+(** Load the initial database as epoch 1, then reset the simulated
+    clocks (loading is setup, not workload). *)
+val bulk_load : t -> (int * int64 * bytes) Seq.t -> unit
+
+(** {1 Inspection} *)
+
+val latest_pversion : t -> Row.t -> Row.pversion option
+val advance_core : t -> core:int -> ns:float -> unit
+val snapshot_read : t -> core:int -> table:int -> key:int64 -> bytes option
+val read_committed : t -> table:int -> key:int64 -> bytes option
+val iter_committed : t -> table:int -> (int64 -> bytes -> unit) -> unit
+val mem_report : t -> Report.mem_report
+val committed_txns : t -> int
+val aborted_txns : t -> int
+val total_time_ns : t -> float
+val counter_value : t -> int -> int64
+val last_epoch_outcomes : t -> [ `Committed | `Aborted ] array
+val debug_row : t -> table:int -> key:int64 -> string

@@ -1,0 +1,69 @@
+(* Major garbage collection (paper sections 4.4, 5.5): collect the
+   stale versions left by the previous epoch's writes before this
+   epoch's append step runs. Moved verbatim out of the Db monolith; the
+   minor collector is not a pass — it is the inline-slot reuse inside
+   {!Epoch.do_prow_final_write}. *)
+
+module Pmem = Nv_nvmm.Pmem
+module Prow = Nv_storage.Prow
+module Vptr = Nv_storage.Vptr
+module VPools = Nv_storage.Value_pools
+module Tracer = Nv_obs.Tracer
+
+open Epoch
+
+let major_gc t =
+  let list = t.gc_list in
+  t.gc_list <- [];
+  if list <> [] then begin
+    let n = List.length list in
+    let stale_ptrs = List.map (fun (row : Row.t) -> row.Row.pv1.Row.pptr) list in
+    let collect_frees () =
+      (* Make every stale pool value durable in the free list, skipping
+         pointers the crashed epoch's GC already freed. *)
+      List.iteri
+        (fun i ptr ->
+          let stats = stats_of t (i mod t.config.Config.cores) in
+          match Vptr.classify ptr with
+          | Vptr.Pool { off; _ } ->
+              VPools.free_gc t.value_pool stats ~core:(i mod t.config.Config.cores) off
+                ~dedup:t.gc_dedup
+          | Vptr.Null | Vptr.Inline _ -> ())
+        stale_ptrs;
+      VPools.persist_gc_tail t.value_pool (stats_of t 0) ~epoch:t.epoch;
+      Pmem.fence t.pmem (stats_of t 0);
+      hook t Gc_pass1_done
+    in
+    let rotate_rows () =
+      (* Rotate each row so v2 is free for this epoch's write. *)
+      List.iteri
+        (fun i (row : Row.t) ->
+          let stats = stats_of t (i mod t.config.Config.cores) in
+          Prow.gc_move t.pmem stats ~base:row.Row.prow_base ~charge:true ();
+          row.Row.pv1 <- { row.Row.pv2 with Row.fresh = false };
+          row.Row.pv2 <- Row.no_version;
+          row.Row.in_gc_list <- false)
+        list
+    in
+    if t.config.Config.persistent_index then begin
+      (* Lazy (persistent-index) recovery never rebuilds the GC list,
+         so a row must never reference a value that is already in the
+         free list. Clearing rows BEFORE appending frees guarantees
+         that: a crash in between leaks at most one epoch's stale
+         values, instead of leaving dangling pointers that a later lazy
+         recovery could double-free. *)
+      rotate_rows ();
+      collect_frees ()
+    end
+    else begin
+      (* Paper order (section 5.5): frees first, made durable via the
+         current tail; the recovery scan rebuilds the GC list and the
+         dedup set resolves a crash in between. *)
+      collect_frees ();
+      rotate_rows ()
+    end;
+    t.m_major_gc <- t.m_major_gc + n;
+    Tracer.instant t.tracer ~core:0 ~name:"major-gc rows" ~cat:"gc"
+      ~args:[ ("rows", Nv_obs.Jsonx.Int n) ]
+      ()
+  end

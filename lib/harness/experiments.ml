@@ -620,6 +620,43 @@ let ablations ppf =
     ~header:[ "workload"; "Caracal mode"; "Aria mode"; "deferrals"; "deferral rate" ]
     aria_rows
 
+(* ------------------------------------------------------------------ *)
+(* Headline numbers for the committed benchmark snapshot
+   (bench --snapshot): the fig5 default-dataset YCSB matchup and the
+   fig8-config throughput and memory totals. Deterministic — the same
+   seeded runs the figures print. *)
+
+let snapshot () =
+  let fig5_rows =
+    List.concat_map
+      (fun (name, level) ->
+        let w = ycsb level in
+        let setup =
+          Runner.setup ~epochs:10 ~epoch_txns:1200 ~row_size:ycsb_row_size
+            ~cache_entries:Ycsb.default.Ycsb.rows ()
+        in
+        let nv, zen = vs_zen_row setup w in
+        [
+          ("fig5/ycsb-" ^ name ^ "/nvcaracal_tps", nv.Runner.throughput);
+          ("fig5/ycsb-" ^ name ^ "/zen_tps", zen.Runner.throughput);
+        ])
+      contention3
+  in
+  let fig8_rows =
+    List.concat_map
+      (fun (bname, w, growth) ->
+        let setup = Runner.setup ~epochs:8 ~epoch_txns:1000 ~insert_growth:growth () in
+        let r = Runner.run_nvcaracal setup w ~variant:Config.Nvcaracal () in
+        let m = r.Runner.mem in
+        [
+          ("fig8/" ^ bname ^ "/throughput_tps", r.Runner.throughput);
+          ("fig8/" ^ bname ^ "/nvmm_bytes", float_of_int (Report.total_nvmm m));
+          ("fig8/" ^ bname ^ "/dram_bytes", float_of_int (Report.total_dram m));
+        ])
+      [ ("ycsb", ycsb `Medium, 0); ("smallbank", smallbank `Low, 0); ("tpcc", tpcc `Low, 15) ]
+  in
+  fig5_rows @ fig8_rows
+
 let all =
   [
     ("table1", "YCSB configurations", table1);

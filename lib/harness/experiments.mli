@@ -40,3 +40,10 @@ val ablations : Format.formatter -> unit
 
 val all : (string * string * (Format.formatter -> unit)) list
 (** (id, description, run) for every experiment, in paper order. *)
+
+val snapshot : unit -> (string * float) list
+(** Headline metrics for the committed benchmark snapshot
+    ([bench --snapshot]): the fig5 default-dataset NVCaracal-vs-Zen
+    throughputs and the fig8-config throughput and memory totals, as
+    (metric name, value) pairs. Deterministic — the same seeded runs
+    the figures print. *)

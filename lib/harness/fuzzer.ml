@@ -15,6 +15,7 @@ type outcome = {
   recrashes : int;  (* crashes injected in the middle of recovery *)
   salvages : int;  (* recoveries that repaired/salvaged/reported corruption *)
   detection_only : int;  (* iterations verified by damage report alone *)
+  diffed : int;  (* iterations that cross-checked NVCaracal against Zen *)
   failures : string list;
 }
 
@@ -153,14 +154,82 @@ let pick_phase rng ~epoch_txns =
   | 6 -> Db.Exec_done
   | _ -> Db.Checkpointed
 
-let state db (w : W.t) =
+(* One oracle for every backend: the committed state as a sorted
+   (table, key, value) list, read through the shared engine seam. *)
+let engine_state (type e) (module E : Nvcaracal.Engine_intf.S with type t = e) (db : e)
+    (w : W.t) =
   List.concat_map
     (fun (tb : Table.t) ->
       let out = ref [] in
-      Db.iter_committed db ~table:tb.Table.id (fun k v ->
+      E.iter_committed db ~table:tb.Table.id (fun k v ->
           out := (tb.Table.id, k, Bytes.to_string v) :: !out);
       List.sort compare !out)
     w.W.tables
+
+let state db (w : W.t) = engine_state (module Db.Serial_engine) db w
+
+(* ------------------------------------------------------------------ *)
+(* Differential campaign ([~diff:true]): each iteration runs the same
+   seeded batches through the deterministic NVCaracal engine and
+   through Zen via the shared {!Nvcaracal.Engine_intf.S} seam, and
+   compares committed state and commit counts. Both engines execute
+   batches in serial order, so any divergence is an engine bug (or a
+   seam bug — which is the point of the campaign). Restricted to YCSB
+   and SmallBank: Zen supports neither dynamic write sets nor the
+   persistent counters TPC-C needs. *)
+
+let pick_diff_workload rng =
+  if Rng.bool rng then
+    Nv_workloads.Ycsb.make
+      {
+        Nv_workloads.Ycsb.rows = 200 + Rng.int rng 400;
+        value_size = Rng.pick rng [| 16; 64; 200; 600 |];
+        update_bytes = 16;
+        hot_rows = 16;
+        hot_per_txn = Rng.int rng 8;
+        ops_per_txn = 4;
+        distribution =
+          (if Rng.bool rng then Nv_workloads.Ycsb.Hotspot
+           else Nv_workloads.Ycsb.Zipfian 0.99);
+      }
+  else
+    Nv_workloads.Smallbank.make
+      {
+        Nv_workloads.Smallbank.default with
+        Nv_workloads.Smallbank.customers = 200 + Rng.int rng 400;
+        hot_customers = 10 + Rng.int rng 20;
+      }
+
+let run_packed packed (w : W.t) batches =
+  match (packed : Nvcaracal.Engine_intf.packed) with
+  | Nvcaracal.Engine_intf.Packed ((module E), db) ->
+      E.bulk_load db (w.W.load ());
+      List.iter (fun b -> ignore (E.run_batch db b)) batches;
+      (engine_state (module E) db w, E.committed_txns db)
+
+let fuzz_diff iter_rng iter ~failures ~log =
+  let w = pick_diff_workload iter_rng in
+  let epochs = 2 + Rng.int iter_rng 3 in
+  let epoch_txns = 30 + Rng.int iter_rng 50 in
+  let batch_seed = Rng.int iter_rng 1_000_000 in
+  let batches =
+    let brng = Rng.create batch_seed in
+    List.init epochs (fun _ -> w.W.gen_batch brng epoch_txns)
+  in
+  let s = Engine.setup ~epochs ~epoch_txns () in
+  let run spec = run_packed (Engine.instantiate spec s w) w batches in
+  let nv_state, nv_committed = run (Engine.spec (Engine.Caracal Config.Nvcaracal)) in
+  let zen_state, zen_committed = run (Engine.spec Engine.Zen) in
+  let ok = nv_state = zen_state && nv_committed = zen_committed in
+  if not ok then
+    failures :=
+      Printf.sprintf "iter %d: %s (epochs=%d txns=%d) nvcaracal/zen divergence (committed %d vs %d)"
+        iter w.W.name epochs epoch_txns nv_committed zen_committed
+      :: !failures;
+  log
+    (Printf.sprintf "iter %3d: %-32s epochs=%d txns=%d diff %s" iter w.W.name epochs
+       epoch_txns
+       (if ok then "ok" else "MISMATCH"))
 
 (* ------------------------------------------------------------------ *)
 (* Media-fault campaign ([~faults:true]): each iteration crashes the
@@ -347,16 +416,21 @@ let fuzz_faults iter_rng iter ~crashes ~replays ~recrashes ~salvages ~detections
        (if recrash then "+recrash" else "")
        !verdict)
 
-let run ~seed ~iterations ?(faults = false) ?(log = fun _ -> ()) () =
+let run ~seed ~iterations ?(faults = false) ?(diff = false) ?(log = fun _ -> ()) () =
   let rng = Rng.create seed in
   let crashes = ref 0 and replays = ref 0 and failures = ref [] in
   let faulted = ref 0
   and recrashes = ref 0
   and salvages = ref 0
-  and detections = ref 0 in
+  and detections = ref 0
+  and diffs = ref 0 in
   for iter = 1 to iterations do
     let iter_rng = Rng.split rng in
-    if faults then begin
+    if diff then begin
+      incr diffs;
+      fuzz_diff iter_rng iter ~failures ~log
+    end
+    else if faults then begin
       incr faulted;
       fuzz_faults iter_rng iter ~crashes ~replays ~recrashes ~salvages ~detections
         ~failures ~log
@@ -439,5 +513,6 @@ let run ~seed ~iterations ?(faults = false) ?(log = fun _ -> ()) () =
     recrashes = !recrashes;
     salvages = !salvages;
     detection_only = !detections;
+    diffed = !diffs;
     failures = List.rev !failures;
   }

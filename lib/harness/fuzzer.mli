@@ -19,6 +19,14 @@
     verified by the report alone. Silent divergence is always a
     failure.
 
+    With [~diff:true] each iteration instead runs the same seeded
+    batches through the deterministic NVCaracal engine {e and} through
+    Zen via the shared {!Nvcaracal.Engine_intf.S} seam, comparing
+    committed state and commit counts — a differential check that the
+    two backends agree on what a serial-order batch means. Restricted
+    to YCSB and SmallBank (Zen supports neither dynamic write sets nor
+    persistent counters).
+
     Exposed as `nvdb fuzz`; the test suite runs a handful of
     iterations, the CLI as many as you like. *)
 
@@ -30,11 +38,19 @@ type outcome = {
   recrashes : int;  (** crashes injected in the middle of recovery *)
   salvages : int;  (** recoveries that repaired, salvaged or reported corruption *)
   detection_only : int;  (** iterations verified by the damage report alone *)
+  diffed : int;  (** iterations that cross-checked NVCaracal against Zen *)
   failures : string list;  (** human-readable mismatch descriptions *)
 }
 
 val run :
-  seed:int -> iterations:int -> ?faults:bool -> ?log:(string -> unit) -> unit -> outcome
+  seed:int ->
+  iterations:int ->
+  ?faults:bool ->
+  ?diff:bool ->
+  ?log:(string -> unit) ->
+  unit ->
+  outcome
 (** Deterministic for a given [seed]. [faults] (default false) switches
-    every iteration to the media-fault campaign. [log] receives one
-    line per iteration. *)
+    every iteration to the media-fault campaign; [diff] (default false)
+    to the NVCaracal-vs-Zen differential campaign ([diff] wins if both
+    are set). [log] receives one line per iteration. *)

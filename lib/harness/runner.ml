@@ -1,5 +1,6 @@
 module Config = Nvcaracal.Config
 module Db = Nvcaracal.Db
+module Engine_intf = Nvcaracal.Engine_intf
 module Report = Nvcaracal.Report
 module W = Nv_workloads.Workload
 
@@ -21,7 +22,7 @@ type result = {
   mem : Report.mem_report;
 }
 
-type setup = {
+type setup = Engine.setup = {
   epochs : int;
   epoch_txns : int;
   seed : int;
@@ -30,11 +31,7 @@ type setup = {
   insert_growth : int;
 }
 
-let setup ?(epochs = 12) ?(epoch_txns = 1500) ?(seed = 42) ?(row_size = 256)
-    ?(cache_entries = 0) ?(insert_growth = 0) () =
-  { epochs; epoch_txns; seed; row_size; cache_entries; insert_growth }
-
-let cores = 8
+let setup = Engine.setup
 
 (* Observability sinks shared by every run in the process. The bench /
    CLI front-ends point these at real instances when --trace/--metrics
@@ -42,41 +39,6 @@ let cores = 8
    has to thread them through. *)
 let default_tracer : Nv_obs.Tracer.t ref = ref Nv_obs.Tracer.null
 let default_metrics : Nv_obs.Metrics.t ref = ref Nv_obs.Metrics.null
-
-let observe ?tracer ?metrics ~label db =
-  let tracer = match tracer with Some t -> t | None -> !default_tracer in
-  let metrics = match metrics with Some m -> m | None -> !default_metrics in
-  Db.set_observability ~tracer ~metrics ~name:label db
-
-(* Derive pool capacities: the loaded dataset, plus insert growth, plus
-   one epoch of value churn (freed slots are not reusable within the
-   epoch that freed them). *)
-let sizing s (w : W.t) =
-  let base_rows = W.total_rows w in
-  let grown = base_rows + (s.epochs * s.epoch_txns * s.insert_growth) + 1024 in
-  let rows_per_core = (grown * 3 / 2 / cores) + 64 in
-  let values_per_core =
-    let pool_valued =
-      if w.W.typical_value > Nv_storage.Prow.half_capacity ~row_size:s.row_size then grown
-      else 1024
-    in
-    ((pool_valued + (s.epoch_txns * 12)) * 3 / 2 / cores) + 64
-  in
-  let freelist_capacity = 2 * (max rows_per_core values_per_core) in
-  (base_rows, rows_per_core, values_per_core, freelist_capacity)
-
-let nvcaracal_config s (w : W.t) ~variant ?(minor_gc = true) ?(cached_versions = true)
-    ?(crash_safe = false) ?(batch_append = false) ?(selective_caching = false)
-    ?(ordered_index = Config.Btree) () =
-  let base_rows, rows_per_core, values_per_core, freelist_capacity = sizing s w in
-  let cache_entries = if s.cache_entries > 0 then s.cache_entries else base_rows in
-  Config.make ~variant ~cores ~row_size:s.row_size
-    ~value_slot_size:(max 1024 (w.W.typical_value + 24))
-    ~minor_gc ~cached_versions ~crash_safe ~rows_per_core ~values_per_core
-    ~freelist_capacity
-    ~log_capacity:(max (1 lsl 20) (s.epoch_txns * 256))
-    ~n_counters:w.W.n_counters ~revert_on_recovery:w.W.revert_on_recovery
-    ~cache_entries_max:cache_entries ~ordered_index ~batch_append ~selective_caching ()
 
 let collect ~label ~txns ~committed ~aborted ~sim_ns ~stats_list ~mem =
   let last_epoch_phases =
@@ -109,100 +71,63 @@ let collect ~label ~txns ~committed ~aborted ~sim_ns ~stats_list ~mem =
     mem;
   }
 
-let run_nvcaracal s (w : W.t) ~variant ?minor_gc ?cached_versions ?batch_append
-    ?selective_caching ?ordered_index ?label ?tracer ?metrics () =
-  let config =
-    nvcaracal_config s w ~variant ?minor_gc ?cached_versions ?batch_append ?selective_caching
-      ?ordered_index ()
-  in
-  let label =
-    match label with Some l -> l | None -> Config.variant_name variant ^ "/" ^ w.W.name
-  in
-  let db = Db.create ~config ~tables:w.W.tables () in
-  observe ?tracer ?metrics ~label db;
-  Db.bulk_load db (w.W.load ());
-  let rng = Nv_util.Rng.create s.seed in
-  let stats_list = ref [] in
-  for _ = 1 to s.epochs do
-    let st = Db.run_epoch db (w.W.gen_batch rng s.epoch_txns) in
-    stats_list := st :: !stats_list
-  done;
-  collect ~label ~txns:(s.epochs * s.epoch_txns) ~committed:(Db.committed_txns db)
-    ~aborted:(s.epochs * s.epoch_txns - Db.committed_txns db)
-    ~sim_ns:(Db.total_time_ns db) ~stats_list:!stats_list ~mem:(Db.mem_report db)
-
-let run_zen s (w : W.t) ?record_size ?label () =
-  let record_size =
-    match record_size with
-    | Some r -> r
-    | None ->
-        (* Zen's optimal record size: value plus header, rounded up to
-           a multiple of 8 (Table 4). *)
-        (w.W.typical_value + Zen_record_size.header + 7) / 8 * 8
-  in
-  let base_rows = W.total_rows w in
-  let slots_per_core =
-    ((base_rows + (s.epochs * s.epoch_txns * (s.insert_growth + 2))) * 2 / cores) + 64
-  in
-  let cache_entries = if s.cache_entries > 0 then s.cache_entries else base_rows in
-  let config =
-    {
-      Nv_zen.Zen_db.cores;
-      record_size;
-      cache_entries;
-      slots_per_core;
-      spec = Nv_nvmm.Memspec.default;
-    }
-  in
-  let db = Nv_zen.Zen_db.create ~config ~tables:w.W.tables () in
-  Nv_zen.Zen_db.bulk_load db (w.W.load ());
-  let rng = Nv_util.Rng.create s.seed in
-  for _ = 1 to s.epochs do
-    Nv_zen.Zen_db.exec_batch db (w.W.gen_batch rng s.epoch_txns)
-  done;
-  let committed = Nv_zen.Zen_db.committed_txns db in
-  let sim_ns = Nv_zen.Zen_db.total_time_ns db in
-  {
-    label = (match label with Some l -> l | None -> "zen/" ^ w.W.name);
-    txns = s.epochs * s.epoch_txns;
-    committed;
-    aborted = Nv_zen.Zen_db.aborted_txns db;
-    sim_seconds = sim_ns /. 1e9;
-    throughput = (if sim_ns > 0.0 then float_of_int committed /. (sim_ns /. 1e9) else 0.0);
-    transient_frac = 0.0;
-    minor_gc = 0;
-    major_gc = 0;
-    cache_hits = 0;
-    cache_misses = 0;
-    log_bytes = 0;
-    epoch_latency = Nv_util.Histogram.create ();
-    last_epoch_phases = [];
-    mem = Nv_zen.Zen_db.mem_report db;
-  }
-
-(* Aria-mode run: deferred transactions carry over into the next batch. *)
-let run_aria s (w : W.t) ?label ?tracer ?metrics () =
-  let config = nvcaracal_config s w ~variant:Config.Nvcaracal () in
-  let db = Db.create ~config ~tables:w.W.tables () in
-  observe ?tracer ?metrics
-    ~label:(match label with Some l -> l | None -> "aria/" ^ w.W.name)
-    db;
-  Db.bulk_load db (w.W.load ());
+(* The one generic driver: every backend runs the same loop through the
+   Engine_intf seam; only the meaning of "aborted" is backend-specific
+   (serial CC aborts in place, Aria defers and retries, Zen counts its
+   own user aborts). *)
+let run ?label ?tracer ?metrics (sp : Engine.spec) s (w : W.t) =
+  let label = match label with Some l -> l | None -> Engine.label sp w in
+  let (Engine_intf.Packed ((module E), db)) = Engine.instantiate sp s w in
+  let tracer = match tracer with Some t -> t | None -> !default_tracer in
+  let metrics = match metrics with Some m -> m | None -> !default_metrics in
+  E.set_observability ~tracer ~metrics ~name:label db;
+  E.bulk_load db (w.W.load ());
   let rng = Nv_util.Rng.create s.seed in
   let stats_list = ref [] in
   let deferred = ref [||] in
   let total_deferred = ref 0 in
   for _ = 1 to s.epochs do
     let fresh = w.W.gen_batch rng s.epoch_txns in
-    let st, d = Db.run_epoch_aria db (Array.append !deferred fresh) in
-    stats_list := st :: !stats_list;
+    let batch =
+      if Engine.feeds_deferred sp then Array.append !deferred fresh else fresh
+    in
+    let st, d = E.run_batch db batch in
+    (match st with Some st -> stats_list := st :: !stats_list | None -> ());
     total_deferred := !total_deferred + Array.length d;
     deferred := d
   done;
-  let label = match label with Some l -> l | None -> "aria/" ^ w.W.name in
-  collect ~label ~txns:(s.epochs * s.epoch_txns) ~committed:(Db.committed_txns db)
-    ~aborted:!total_deferred ~sim_ns:(Db.total_time_ns db) ~stats_list:!stats_list
-    ~mem:(Db.mem_report db)
+  let txns = s.epochs * s.epoch_txns in
+  let committed = E.committed_txns db in
+  let aborted =
+    match sp.Engine.backend with
+    | Engine.Caracal _ -> txns - committed
+    | Engine.Caracal_aria -> !total_deferred
+    | Engine.Zen -> E.aborted_txns db
+  in
+  collect ~label ~txns ~committed ~aborted ~sim_ns:(E.total_time_ns db)
+    ~stats_list:!stats_list ~mem:(E.mem_report db)
+
+(* Thin spec-building wrappers keeping the experiment code's call sites
+   stable. *)
+
+let nvcaracal_config s w ~variant ?minor_gc ?cached_versions ?crash_safe ?batch_append
+    ?selective_caching ?ordered_index () =
+  Engine.caracal_config s w
+    (Engine.spec ?minor_gc ?cached_versions ?crash_safe ?batch_append ?selective_caching
+       ?ordered_index (Engine.Caracal variant))
+
+let run_nvcaracal s w ~variant ?minor_gc ?cached_versions ?batch_append
+    ?selective_caching ?ordered_index ?label ?tracer ?metrics () =
+  run ?label ?tracer ?metrics
+    (Engine.spec ?minor_gc ?cached_versions ?batch_append ?selective_caching ?ordered_index
+       (Engine.Caracal variant))
+    s w
+
+let run_zen s w ?record_size ?label () =
+  run ?label (Engine.spec ?record_size Engine.Zen) s w
+
+let run_aria s w ?label ?tracer ?metrics () =
+  run ?label ?tracer ?metrics (Engine.spec Engine.Caracal_aria) s w
 
 type recovery_result = { r_label : string; report : Report.recovery_report }
 
@@ -210,12 +135,9 @@ exception Crash_now
 
 let run_recovery s (w : W.t) ~crash_after_txns ?(persistent_index = false) ?label ?tracer
     ?metrics () =
-  let base_rows = W.total_rows w in
   let config =
-    let c = nvcaracal_config s w ~variant:Config.Nvcaracal ~crash_safe:true () in
-    if persistent_index then
-      { c with Config.persistent_index = true; pindex_capacity = 4 * base_rows }
-    else c
+    Engine.caracal_config s w
+      (Engine.spec ~crash_safe:true ~persistent_index (Engine.Caracal Config.Nvcaracal))
   in
   let db = Db.create ~config ~tables:w.W.tables () in
   Db.bulk_load db (w.W.load ());
@@ -235,7 +157,10 @@ let run_recovery s (w : W.t) ~crash_after_txns ?(persistent_index = false) ?labe
   { r_label = (match label with Some l -> l | None -> w.W.name); report }
 
 let run_scrub s (w : W.t) ~crash_after_txns ~faults ?label () =
-  let config = nvcaracal_config s w ~variant:Config.Nvcaracal ~crash_safe:true () in
+  let config =
+    Engine.caracal_config s w
+      (Engine.spec ~crash_safe:true (Engine.Caracal Config.Nvcaracal))
+  in
   let db = Db.create ~config ~tables:w.W.tables () in
   Db.bulk_load db (w.W.load ());
   let rng = Nv_util.Rng.create s.seed in

@@ -26,7 +26,7 @@ type result = {
   mem : Nvcaracal.Report.mem_report;
 }
 
-type setup = {
+type setup = Engine.setup = {
   epochs : int;
   epoch_txns : int;
   seed : int;
@@ -54,6 +54,20 @@ val default_metrics : Nv_obs.Metrics.t ref
     the bench and CLI front-ends repoint them when [--trace] /
     [--metrics] is requested, so existing experiment code picks up
     instrumentation without signature churn. *)
+
+val run :
+  ?label:string ->
+  ?tracer:Nv_obs.Tracer.t ->
+  ?metrics:Nv_obs.Metrics.t ->
+  Engine.spec ->
+  setup ->
+  Nv_workloads.Workload.t ->
+  result
+(** Drive any backend through the {!Nvcaracal.Engine_intf.S} seam: one
+    instantiation from the spec, one batch per epoch (Aria-deferred
+    transactions resubmitted with the next batch), measurements
+    collected from the shared engine surface. The [run_*] entry points
+    below are thin spec-building wrappers over this driver. *)
 
 val nvcaracal_config :
   setup -> Nv_workloads.Workload.t -> variant:Nvcaracal.Config.variant ->

@@ -1,4 +1,7 @@
-(* Re-export Zen's record header size so the runner can compute
-   Table 4's "optimal" record sizes without depending on store
-   internals elsewhere. *)
+(* Zen record sizing (Table 4), kept out of store internals so the
+   engine-spec layer owns every derived configuration number. *)
+
 let header = Nv_zen.Zen_store.header_bytes
+
+let optimal (w : Nv_workloads.Workload.t) =
+  (w.Nv_workloads.Workload.typical_value + header + 7) / 8 * 8

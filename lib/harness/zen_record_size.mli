@@ -1,0 +1,14 @@
+(** Zen record sizing.
+
+    Zen stores one fixed-size NVMM record per committed update; Table 4
+    of the paper picks the record size per workload so the typical
+    value just fits. This module owns that derivation for the harness,
+    so configuration plumbing (see {!Engine.spec}) never reaches into
+    [Nv_zen.Zen_store] internals. *)
+
+val header : int
+(** Per-record header bytes ([Nv_zen.Zen_store.header_bytes]). *)
+
+val optimal : Nv_workloads.Workload.t -> int
+(** Table 4's "optimal" record size for a workload: its typical value
+    plus the record header, rounded up to a multiple of 8. *)

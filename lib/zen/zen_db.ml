@@ -13,6 +13,7 @@ type config = {
   record_size : int;
   cache_entries : int;
   slots_per_core : int;
+  crash_safe : bool;
   spec : Memspec.t;
 }
 
@@ -22,6 +23,7 @@ let default_config =
     record_size = 256;
     cache_entries = 65536;
     slots_per_core = 65536;
+    crash_safe = false;
     spec = Memspec.default;
   }
 
@@ -85,9 +87,22 @@ let attach (cfg : config) tables pmem per_core =
 
 let create ~config ~tables () =
   let size, per_core = build_layout config in
-  attach config tables (Pmem.create ~size ()) per_core
+  let mode = if config.crash_safe then Pmem.Crash_safe else Pmem.Fast in
+  attach config tables (Pmem.create ~mode ~size ()) per_core
 
 let pmem t = t.pmem
+
+let crash ?faults t ~rng =
+  if not t.config.crash_safe then
+    invalid_arg "Zen_db.crash: requires a crash_safe configuration";
+  (match faults with
+  | None -> Pmem.crash t.pmem ~rng
+  | Some model -> ignore (Pmem.crash_with_faults t.pmem ~rng ~model));
+  t.pmem
+
+(* Zen has no epoch phases or per-epoch reports to instrument; accept
+   the sinks so backend-generic harness code never has to branch. *)
+let set_observability ?tracer:_ ?metrics:_ ?name:_ _t = ()
 let stats_of t core = t.core_stats.(core)
 
 let find_row t stats ~table ~key =
@@ -398,3 +413,38 @@ let recover ~config ~tables ~pmem () =
       live_rows = Hashtbl.length latest;
       scanned_slots = !scanned;
     } )
+
+(* ------------------------------------------------------------------ *)
+(* Engine instance                                                     *)
+
+module Engine :
+  Nvcaracal.Engine_intf.S with type t = t and type config = config = struct
+  type nonrec t = t
+  type nonrec config = config
+
+  let name = "zen"
+  let create = create
+  let bulk_load = bulk_load
+
+  (* Zen commits every transaction as it executes: no epoch report, no
+     deferrals. *)
+  let run_batch t txns =
+    exec_batch t txns;
+    (None, [||])
+
+  let read_committed = read_committed
+  let iter_committed = iter_committed
+  let committed_txns = committed_txns
+  let aborted_txns = aborted_txns
+  let total_time_ns = total_time_ns
+  let mem_report = mem_report
+  let counters_total = counters_total
+  let set_observability = set_observability
+  let pmem = pmem
+  let crash = crash
+
+  (* Zen recovers from the record arenas alone; the input-log [rebuild]
+     closure has nothing to deserialize. *)
+  let recover ~config ~tables ~pmem ~rebuild:_ () =
+    fst (recover ~config ~tables ~pmem ())
+end

@@ -27,6 +27,11 @@ type config = {
   record_size : int;  (** Table 4: 1024 for YCSB, 32 for SmallBank *)
   cache_entries : int;
   slots_per_core : int;
+  crash_safe : bool;
+      (** Allocate the arena in {!Nv_nvmm.Pmem.Crash_safe} mode so
+          {!crash} can tear it to a legal crash image. Off by default:
+          persistence tracking costs host time the throughput
+          experiments don't need. *)
   spec : Nv_nvmm.Memspec.t;
 }
 
@@ -68,3 +73,21 @@ val recover :
     DRAM free lists. *)
 
 val pmem : t -> Nv_nvmm.Pmem.t
+
+val crash :
+  ?faults:Nv_nvmm.Pmem.fault_model -> t -> rng:Nv_util.Rng.t -> Nv_nvmm.Pmem.t
+(** Tear the arena to a crash image and return it; the engine must not
+    be used afterwards. Requires [config.crash_safe].
+    @raise Invalid_argument otherwise. *)
+
+val set_observability :
+  ?tracer:Nv_obs.Tracer.t -> ?metrics:Nv_obs.Metrics.t -> ?name:string -> t -> unit
+(** Accepted and ignored: Zen has no epoch phases or per-epoch reports
+    to instrument. Exists so backend-generic harness code can attach
+    sinks unconditionally. *)
+
+(** Zen behind the shared {!Nvcaracal.Engine_intf.S} seam: [run_batch]
+    executes the batch serially with per-commit durability and returns
+    neither an epoch report nor deferrals; [recover] rebuilds from the
+    record arenas and ignores [rebuild]. *)
+module Engine : Nvcaracal.Engine_intf.S with type t = t and type config = config

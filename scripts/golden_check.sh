@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Golden-output check: a seeded `nvdb run` with --trace/--metrics must
+# reproduce the committed reference outputs byte for byte. The engine's
+# entire pipeline is deterministic in simulated time, so any diff here
+# is a real behaviour change — commit new goldens only when the change
+# is intended (regenerate with the command below, writing stdout to
+# test/golden/run_ycsb_stdout.txt).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+dune build bin/nvdb.exe
+
+rm -rf _golden_tmp
+mkdir -p _golden_tmp
+
+# The stdout echoes the trace/metrics paths, so the golden run always
+# uses the same fixed relative paths under _golden_tmp/.
+./_build/default/bin/nvdb.exe run -w ycsb -e nvcaracal --epochs 3 --txns 300 \
+  --trace _golden_tmp/trace.json --metrics _golden_tmp/metrics.jsonl \
+  > _golden_tmp/stdout.txt
+
+diff -u test/golden/run_ycsb_stdout.txt _golden_tmp/stdout.txt
+diff -u test/golden/run_ycsb_trace.json _golden_tmp/trace.json
+diff -u test/golden/run_ycsb_metrics.jsonl _golden_tmp/metrics.jsonl
+
+rm -rf _golden_tmp
+echo "golden outputs byte-identical"

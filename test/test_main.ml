@@ -18,4 +18,5 @@ let () =
          Test_aria.suites;
          Test_partition.suites;
          Test_obs.suites;
+         Test_engine_conf.suites;
        ])
