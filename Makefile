@@ -1,6 +1,6 @@
 # Convenience entry points; everything is plain dune underneath.
 
-.PHONY: all build test fmt-check golden check bench fuzz diff-fuzz clean
+.PHONY: all build test test-parallel fmt-check golden check bench fuzz diff-fuzz clean
 
 all: build
 
@@ -9,6 +9,11 @@ build:
 
 test:
 	dune runtest
+
+# Same suite with the engine's domain pool at width 4; all results are
+# byte-identical to the serial run, so every test passes unmodified.
+test-parallel:
+	NVC_JOBS=4 dune runtest --force
 
 # ocamlformat is optional in the dev image; enforce only when present.
 fmt-check:
@@ -23,7 +28,7 @@ fmt-check:
 golden:
 	bash scripts/golden_check.sh
 
-check: build test fmt-check golden
+check: build test test-parallel fmt-check golden
 
 bench:
 	dune exec bench/main.exe

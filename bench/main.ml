@@ -11,6 +11,10 @@
 
 let ppf = Format.std_formatter
 
+(* Host wall-clock from the monotonic clock (immune to NTP steps and
+   clock slews mid-run, unlike [Unix.gettimeofday]). *)
+let wall_now () = Int64.to_float (Monotonic_clock.now ()) /. 1e9
+
 let list_experiments () =
   List.iter
     (fun (id, desc, _) -> Format.fprintf ppf "%-8s %s@." id desc)
@@ -77,9 +81,9 @@ let run_experiments only =
   List.iter
     (fun (id, desc, run) ->
       Format.fprintf ppf "@.[%s] %s@." id desc;
-      let t0 = Unix.gettimeofday () in
+      let t0 = wall_now () in
       run ppf;
-      Format.fprintf ppf "(%s took %.1fs wall)@." id (Unix.gettimeofday () -. t0))
+      Format.fprintf ppf "(%s took %.1fs wall)@." id (wall_now () -. t0))
     selected
 
 (* Write the headline fig5/fig8 metrics as a JSON snapshot; the
@@ -100,6 +104,81 @@ let write_snapshot file =
   Format.fprintf ppf "wrote %d benchmark metrics to %s@." (List.length metrics) file
 
 (* ------------------------------------------------------------------ *)
+(* Wall-clock scaling of the domain pool: run the headline workloads
+   at --jobs 1 and --jobs 4 and record host wall-clock seconds. The
+   committed copy (BENCH_pr4.json) documents the speedup a clean
+   checkout reproduces. Simulated-time results are byte-identical at
+   any width, so committed counts and simulated time are asserted
+   equal across widths as a sanity check. *)
+
+let parallel_snapshot file =
+  let module W = Nv_workloads.Workload in
+  let module Db = Nvcaracal.Db in
+  let module Engine = Nv_harness.Engine in
+  let run_once (w : W.t) (s : Engine.setup) jobs =
+    let saved = !Engine.default_jobs in
+    Engine.default_jobs := jobs;
+    Fun.protect ~finally:(fun () -> Engine.default_jobs := saved) @@ fun () ->
+    let config = Engine.caracal_config s w (Engine.spec (Engine.Caracal Nvcaracal.Config.Nvcaracal)) in
+    let db = Db.create ~config ~tables:w.W.tables () in
+    Db.bulk_load db (w.W.load ());
+    let rng = Nv_util.Rng.create s.Engine.seed in
+    let batches = Array.init s.Engine.epochs (fun _ -> w.W.gen_batch rng s.Engine.epoch_txns) in
+    let t0 = wall_now () in
+    Array.iter (fun b -> ignore (Db.run_epoch db b)) batches;
+    let wall = wall_now () -. t0 in
+    (wall, Db.committed_txns db, Db.total_time_ns db, Db.wide_execs db)
+  in
+  let cases =
+    [
+      ( "ycsb-default",
+        Nv_workloads.Ycsb.make Nv_workloads.Ycsb.default,
+        Nv_harness.Runner.setup ~epochs:6 ~epoch_txns:6000 () );
+      ( "smallbank",
+        Nv_workloads.Smallbank.make Nv_workloads.Smallbank.default,
+        Nv_harness.Runner.setup ~epochs:8 ~epoch_txns:6000 ~row_size:128 () );
+      ( "tpcc",
+        Nv_workloads.Tpcc.make Nv_workloads.Tpcc.default,
+        Nv_harness.Runner.setup ~epochs:6 ~epoch_txns:1500 ~insert_growth:15 () );
+    ]
+  in
+  let rows =
+    List.map
+      (fun (name, w, s) ->
+        let w1, c1, sim1, _ = run_once w s 1 in
+        let w4, c4, sim4, wide4 = run_once w s 4 in
+        if c1 <> c4 || sim1 <> sim4 then (
+          Format.eprintf "nvcaracal-bench: %s diverged across widths (%d/%d txns, %g/%g ns)@."
+            name c1 c4 sim1 sim4;
+          exit 1);
+        Format.fprintf ppf "%-14s jobs=1 %6.2fs   jobs=4 %6.2fs   speedup %.2fx   wide epochs %d@."
+          name w1 w4 (w1 /. w4) wide4;
+        (name, w1, w4, c1, wide4))
+      cases
+  in
+  let host_cpus = Domain.recommended_domain_count () in
+  if host_cpus < 4 then
+    Format.fprintf ppf
+      "note: host has %d hardware core(s); jobs=4 oversubscribes it, so wall-clock gains \
+       require a >= 4-core machine (results stay byte-identical regardless)@."
+      host_cpus;
+  let oc = open_out file in
+  Printf.fprintf oc "{\n  \"jobs_compared\": [1, 4],\n  \"host_cpus\": %d,\n  \"workloads\": [\n"
+    host_cpus;
+  List.iteri
+    (fun i (name, w1, w4, committed, wide4) ->
+      Printf.fprintf oc
+        "    { \"name\": %S, \"jobs1_wall_s\": %.3f, \"jobs4_wall_s\": %.3f, \"speedup\": %.2f, \
+         \"committed_txns\": %d, \"wide_epochs_jobs4\": %d }%s\n"
+        name w1 w4 (w1 /. w4) committed wide4
+        (if i = List.length rows - 1 then "" else ",")
+    )
+    rows;
+  output_string oc "  ]\n}\n";
+  close_out oc;
+  Format.fprintf ppf "wrote %d workload scaling records to %s@." (List.length rows) file
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks: host-level costs of hot primitives.       *)
 
 let micro () =
@@ -115,6 +194,20 @@ let micro () =
            incr i;
            Nv_nvmm.Pmem.set_i64 p off 42L;
            Nv_nvmm.Pmem.flush p s ~off ~len:8))
+  in
+  let pmem_write_cs =
+    let p = Nv_nvmm.Pmem.create ~mode:Nv_nvmm.Pmem.Crash_safe ~size:(1 lsl 20) () in
+    let s = stats () in
+    let i = ref 0 in
+    Test.make ~name:"pmem.set_i64+flush (crash-safe)"
+      (Staged.stage (fun () ->
+           let off = !i land 0xFFFF8 in
+           incr i;
+           Nv_nvmm.Pmem.set_i64 p off 42L;
+           Nv_nvmm.Pmem.flush p s ~off ~len:8;
+           (* Periodic fence so dirty-line state doesn't grow without
+              bound across iterations. *)
+           if !i land 0xFFF = 0 then Nv_nvmm.Pmem.fence p s))
   in
   let hash_index =
     let h = Nv_index.Hash_index.create ~initial_capacity:(1 lsl 16) () in
@@ -168,7 +261,7 @@ let micro () =
   in
   let tests =
     Test.make_grouped ~name:"nvcaracal-micro"
-      [ pmem_write; hash_index; ordered_index; btree_index; version_append; zipf ]
+      [ pmem_write; pmem_write_cs; hash_index; ordered_index; btree_index; version_append; zipf ]
   in
   let benchmark () =
     let instances = Toolkit.Instance.[ monotonic_clock ] in
@@ -224,13 +317,34 @@ let () =
             "Write the headline fig5/fig8 metrics (deterministic simulated-time numbers) as \
              JSON to $(docv) and exit.")
   in
-  let main only list_it micro_it trace_file metrics_file snapshot_file =
+  let parallel_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "parallel-snapshot" ] ~docv:"FILE"
+          ~doc:
+            "Measure wall-clock scaling of the engine's domain pool (jobs 1 vs 4 on the \
+             headline workloads), write the results as JSON to $(docv) and exit.")
+  in
+  let jobs_arg =
+    Arg.(
+      value
+      & opt int !Nv_harness.Engine.default_jobs
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:
+            "Domain-pool width for the engine's per-core phase loops (default from \
+             $(b,NVC_JOBS), else 1 = serial). Simulated-time results are identical at any \
+             value; only host wall-clock changes.")
+  in
+  let main only list_it micro_it trace_file metrics_file snapshot_file parallel_file jobs =
+    Nv_harness.Engine.default_jobs := max 1 jobs;
     if list_it then list_experiments ()
     else if micro_it then micro ()
     else
-      match snapshot_file with
-      | Some file -> write_snapshot file
-      | None ->
+      match (snapshot_file, parallel_file) with
+      | Some file, _ -> write_snapshot file
+      | None, Some file -> parallel_snapshot file
+      | None, None ->
           let flush_obs = setup_observability ~trace_file ~metrics_file in
           run_experiments only;
           flush_obs ()
@@ -239,6 +353,7 @@ let () =
     Cmd.v
       (Cmd.info "nvcaracal-bench" ~doc:"Regenerate the paper's tables and figures")
       Term.(
-        const main $ only $ list_flag $ micro_flag $ trace_file $ metrics_file $ snapshot_file)
+        const main $ only $ list_flag $ micro_flag $ trace_file $ metrics_file $ snapshot_file
+        $ parallel_file $ jobs_arg)
   in
   exit (Cmd.eval cmd)

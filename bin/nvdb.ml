@@ -36,6 +36,19 @@ let txns_arg =
 
 let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Workload seed.")
 
+let jobs_arg =
+  let doc =
+    "Domain-pool width for the engine's per-core phase loops (default from \\$(b,NVC_JOBS), \
+     else 1 = serial). Seeded results are byte-identical at any value."
+  in
+  Arg.(
+    value
+    & opt int !Nv_harness.Engine.default_jobs
+    & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
+(* The pool width is global harness state, set once at parse time. *)
+let set_jobs jobs = Nv_harness.Engine.default_jobs := max 1 jobs
+
 let engine_arg =
   let doc =
     "Engine or design variant: nvcaracal, all-nvmm, hybrid, no-logging, all-dram, wal, aria, \
@@ -118,7 +131,8 @@ let print_result (r : Runner.result) =
       r.Runner.last_epoch_phases
 
 let run_cmd =
-  let run workload contention engine epochs txns seed trace_file metrics_file =
+  let run workload contention engine epochs txns seed jobs trace_file metrics_file =
+    set_jobs jobs;
     let w, growth = resolve_workload workload contention in
     let setup = Runner.setup ~epochs ~epoch_txns:txns ~seed ~insert_growth:growth () in
     let tracer, metrics, flush_obs = observability trace_file metrics_file in
@@ -134,10 +148,11 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Run a benchmark workload")
     Term.(
       const run $ workload_arg $ contention_arg $ engine_arg $ epochs_arg $ txns_arg $ seed_arg
-      $ trace_arg $ metrics_arg)
+      $ jobs_arg $ trace_arg $ metrics_arg)
 
 let recover_cmd =
-  let run workload contention epochs txns seed trace_file metrics_file =
+  let run workload contention epochs txns seed jobs trace_file metrics_file =
+    set_jobs jobs;
     let w, growth = resolve_workload workload contention in
     let setup = Runner.setup ~epochs ~epoch_txns:txns ~seed ~insert_growth:growth () in
     let tracer, metrics, flush_obs = observability trace_file metrics_file in
@@ -151,11 +166,12 @@ let recover_cmd =
   Cmd.v
     (Cmd.info "recover" ~doc:"Crash a run mid-epoch and measure recovery")
     Term.(
-      const run $ workload_arg $ contention_arg $ epochs_arg $ txns_arg $ seed_arg $ trace_arg
-      $ metrics_arg)
+      const run $ workload_arg $ contention_arg $ epochs_arg $ txns_arg $ seed_arg $ jobs_arg
+      $ trace_arg $ metrics_arg)
 
 let mem_cmd =
-  let run workload contention epochs txns seed =
+  let run workload contention epochs txns seed jobs =
+    set_jobs jobs;
     let w, growth = resolve_workload workload contention in
     let setup = Runner.setup ~epochs ~epoch_txns:txns ~seed ~insert_growth:growth () in
     let r = Runner.run_nvcaracal setup w ~variant:Config.Nvcaracal () in
@@ -163,7 +179,7 @@ let mem_cmd =
   in
   Cmd.v
     (Cmd.info "mem" ~doc:"Report DRAM/NVMM consumption for a workload")
-    Term.(const run $ workload_arg $ contention_arg $ epochs_arg $ txns_arg $ seed_arg)
+    Term.(const run $ workload_arg $ contention_arg $ epochs_arg $ txns_arg $ seed_arg $ jobs_arg)
 
 let fuzz_cmd =
   let iters =
@@ -183,7 +199,8 @@ let fuzz_cmd =
     in
     Arg.(value & flag & info [ "diff" ] ~doc)
   in
-  let run seed iterations faults diff =
+  let run seed iterations faults diff jobs =
+    set_jobs jobs;
     let outcome =
       Nv_harness.Fuzzer.run ~seed ~iterations ~faults ~diff
         ~log:(fun line -> Format.fprintf ppf "%s@." line)
@@ -206,14 +223,15 @@ let fuzz_cmd =
   in
   Cmd.v
     (Cmd.info "fuzz" ~doc:"Randomized crash-recovery fuzzing against an oracle")
-    Term.(const run $ seed_arg $ iters $ faults_flag $ diff_flag)
+    Term.(const run $ seed_arg $ iters $ faults_flag $ diff_flag $ jobs_arg)
 
 let scrub_cmd =
   let fault_arg =
     let doc = "Fault model for the crash: legal, torn, rot, or dead." in
     Arg.(value & opt string "rot" & info [ "fault" ] ~docv:"KIND" ~doc)
   in
-  let run workload contention epochs txns seed fault =
+  let run workload contention epochs txns seed jobs fault =
+    set_jobs jobs;
     let w, growth = resolve_workload workload contention in
     let setup = Runner.setup ~epochs ~epoch_txns:txns ~seed ~insert_growth:growth () in
     let faults =
@@ -243,7 +261,8 @@ let scrub_cmd =
     (Cmd.info "scrub"
        ~doc:"Crash through a media-fault model and recover with checksum scrubbing")
     Term.(
-      const run $ workload_arg $ contention_arg $ epochs_arg $ txns_arg $ seed_arg $ fault_arg)
+      const run $ workload_arg $ contention_arg $ epochs_arg $ txns_arg $ seed_arg $ jobs_arg
+      $ fault_arg)
 
 let () =
   let info =

@@ -41,8 +41,7 @@ let run ?(replay = false) t txns =
   let buffers = Array.init n (fun _ -> Hashtbl.create 8) in
   let read_sets = Array.init n (fun _ -> Hashtbl.create 8) in
   let user_aborted = Array.make n false in
-  phase_span t "execute" (fun () ->
-  for i = 0 to n - 1 do
+  let exec_one i =
     let core = core_of t i in
     let stats = stats_of t core in
     let sid = Sid.make ~epoch:t.epoch ~seq:i in
@@ -65,7 +64,7 @@ let run ?(replay = false) t txns =
       Stats.dram_write stats
         ~lines:(Memspec.lines_touched (Stats.spec stats) ~off:0 ~len:(Bytes.length data))
         ();
-      t.m_version_writes <- t.m_version_writes + 1;
+      t.m_version_writes.(core) <- t.m_version_writes.(core) + 1;
       Hashtbl.replace buffer (table, key) data
     in
     let delete ~table:_ ~key:_ = invalid_arg "Db.run_epoch_aria: deletes are not supported" in
@@ -138,7 +137,40 @@ let run ?(replay = false) t txns =
         user_aborted.(i) <- true;
         Hashtbl.reset buffer);
     hook t (Exec_txn i)
-  done);
+  in
+  (* Snapshot execution has no cross-transaction dependencies, so it
+     runs wide whenever nothing order-sensitive can observe it: reads
+     hit the epoch-start snapshot, writes buffer privately, and core
+     [c]'s transactions stay on stripe [c mod d] in serial order (the
+     committed cache, counters, crash-safe tracking and hooks are the
+     shared pieces that force the serial loop). *)
+  let wide_d =
+    let d = Dpool.stripes (pool t) ~cores:cfg.Config.cores in
+    if
+      d > 1 && n > 1
+      && (not cfg.Config.crash_safe)
+      && t.pindex = None
+      && (match t.phase_hook with None -> true | Some _ -> false)
+      && (not (Config.caching_enabled cfg))
+      && cfg.Config.n_counters = 0
+    then d
+    else 1
+  in
+  phase_span t "execute" (fun () ->
+      if wide_d = 1 then
+        for i = 0 to n - 1 do
+          exec_one i
+        done
+      else begin
+        t.wide_execs <- t.wide_execs + 1;
+        ignore
+          (Dpool.run (pool t) ~n:wide_d (fun s ->
+               let i = ref s in
+               while !i < n do
+                 exec_one !i;
+                 i := !i + wide_d
+               done))
+      end);
   let t_exec = barrier t in
   (* Phase 2: Aria's deterministic reservations. Each key records the
      smallest SID that wrote it; a transaction aborts (for retry) if
@@ -161,10 +193,11 @@ let run ?(replay = false) t txns =
   let deferred = ref [] in
   let decisions : ((int * int64) * int * bytes) list ref = ref [] in
   for i = 0 to n - 1 do
-    let stats = stats_of t (core_of t i) in
+    let core = core_of t i in
+    let stats = stats_of t core in
     if user_aborted.(i) then begin
-      t.m_aborted <- t.m_aborted + 1;
-      t.total_aborted <- t.total_aborted + 1
+      t.m_aborted.(core) <- t.m_aborted.(core) + 1;
+      t.total_aborted.(core) <- t.total_aborted.(core) + 1
     end
     else begin
       let reserved_earlier key =
@@ -177,10 +210,10 @@ let run ?(replay = false) t txns =
       Stats.compute stats ~ops:(1 + Hashtbl.length read_sets.(i)) ();
       if conflict then begin
         deferred := txns.(i) :: !deferred;
-        t.m_aborted <- t.m_aborted + 1
+        t.m_aborted.(core) <- t.m_aborted.(core) + 1
       end
       else begin
-        t.committed <- t.committed + 1;
+        t.committed.(core) <- t.committed.(core) + 1;
         Hashtbl.iter (fun key data -> decisions := (key, i, data) :: !decisions) buffers.(i)
       end
     end

@@ -37,13 +37,14 @@ type ctx_mode = Init | Exec of Sid.t
 
 (* Visibility of a row's value at a serial position (Exec) or at
    initialization time (Init: everything resolved so far, which is how
-   dynamic write sets observe insert-step data). *)
-let visible_value t stats (row : Row.t) ~mode =
+   dynamic write sets observe insert-step data). [wait_for] is the wide
+   execution hook: it blocks until the slot's writer has resolved it. *)
+let visible_value ?wait_for t stats (row : Row.t) ~mode =
   if row.Row.varray_epoch = t.epoch && row.Row.varray <> None then begin
     let va = match row.Row.varray with Some va -> va | None -> assert false in
     let slot =
       match mode with
-      | Exec before -> VA.latest_visible va stats ~before
+      | Exec before -> VA.latest_visible ?wait_for va stats ~before
       | Init -> VA.latest_resolved va stats
     in
     match slot with
@@ -60,7 +61,7 @@ let visible_value t stats (row : Row.t) ~mode =
 
 exception Found of (int64 * bytes)
 
-let make_ctx t ~core ~sid ~mode ~entries_of_txn ~notes ~wrote =
+let make_ctx ?wait_for t ~core ~sid ~mode ~entries_of_txn ~notes ~wrote =
   let stats = stats_of t core in
   let read ~table ~key =
     Stats.compute stats ();
@@ -75,7 +76,7 @@ let make_ctx t ~core ~sid ~mode ~entries_of_txn ~notes ~wrote =
       | Some e -> Some e.e_row
       | None -> find_row t stats ~table ~key
     in
-    match row with None -> None | Some row -> visible_value t stats row ~mode
+    match row with None -> None | Some row -> visible_value ?wait_for t stats row ~mode
   in
   let write ~table ~key data =
     (match mode with Exec _ -> () | Init -> invalid_arg "Txn.Ctx.write: not in execution phase");
@@ -105,7 +106,7 @@ let make_ctx t ~core ~sid ~mode ~entries_of_txn ~notes ~wrote =
     in
     entry.e_slot.VA.value <- VA.Tombstone;
     entry.e_slot.VA.write_time <- Stats.now stats;
-    t.m_version_writes <- t.m_version_writes + 1;
+    t.m_version_writes.(core) <- t.m_version_writes.(core) + 1;
     wrote := true
   in
   (* Ordered-table operations, uniform over the AVL and B+-tree
@@ -231,10 +232,14 @@ let worth_caching t va =
   (not t.config.Config.selective_caching) || VA.length va > 2
 
 (* Resolve the epoch-final version of a row once its last declared
-   writer has executed (handles aborted final writers, section 4.6). *)
-let finalize_row t stats ~core (row : Row.t) =
+   writer has executed (handles aborted final writers, section 4.6).
+   [seq] is the finalizing transaction's serial position (used to order
+   journaled cache fills under wide execution); [wait_for] blocks on
+   slots whose writers — earlier transactions the finalizer never read
+   from, e.g. before a blind write — are still in flight. *)
+let finalize_row ?wait_for t stats ~core ~seq (row : Row.t) =
   let va = match row.Row.varray with Some va -> va | None -> assert false in
-  match VA.latest_resolved va stats with
+  match VA.latest_resolved ?wait_for va stats with
   | None -> () (* a fresh insert whose every version aborted *)
   | Some slot -> (
       match slot.VA.value with
@@ -244,13 +249,13 @@ let finalize_row t stats ~core (row : Row.t) =
              append step consumed (section 4.6). *)
           if Config.caching_enabled t.config && worth_caching t va then begin
             let data = load_version_value t stats ~initial:true vref in
-            Cache.insert t.cache stats row ~data ~epoch:t.epoch
+            cache_insert_final t stats ~core ~seq row ~data
           end
       | VA.Written vref ->
           let data = load_version_value t stats ~initial:false vref in
           do_prow_final_write t stats ~core row ~sid:slot.VA.sid ~data;
           if Config.caching_enabled t.config && worth_caching t va then
-            Cache.insert t.cache stats row ~data ~epoch:t.epoch
+            cache_insert_final t stats ~core ~seq row ~data
       | VA.Tombstone -> do_prow_delete t stats ~core row
       | VA.Pending | VA.Ignored -> assert false)
 
@@ -379,8 +384,11 @@ let run ?(replay = false) t txns =
   let exec_hist =
     if Metrics.enabled t.metrics then Some (Metrics.histogram t.metrics "txn_exec_ns") else None
   in
-  phase_span t "execute" (fun () ->
-  for i = 0 to n - 1 do
+  (* One transaction at serial position [i]. [wait_for] is the wide
+     execution hook (block until an earlier transaction's slot is
+     resolved); [traces] redirects sampled txn spans into a per-stripe
+     buffer flushed in serial order after the join. *)
+  let exec_one ?wait_for ?traces i =
     let core = core_of t i in
     let stats = stats_of t core in
     let sid = Sid.make ~epoch:t.epoch ~seq:i in
@@ -388,7 +396,8 @@ let run ?(replay = false) t txns =
     let ts0 = if traced || exec_hist <> None then Stats.now stats else 0.0 in
     let wrote = ref false in
     let ctx =
-      make_ctx t ~core ~sid ~mode:(Exec sid) ~entries_of_txn:entries.(i) ~notes:notes.(i) ~wrote
+      make_ctx ?wait_for t ~core ~sid ~mode:(Exec sid) ~entries_of_txn:entries.(i)
+        ~notes:notes.(i) ~wrote
     in
     (* Validate reconnaissance reads: if any value the recon pass
        observed was changed by an earlier transaction in this epoch,
@@ -412,11 +421,11 @@ let run ?(replay = false) t txns =
     in
     outcomes.(i) <- aborted;
     if aborted then begin
-      t.m_aborted <- t.m_aborted + 1;
-      t.total_aborted <- t.total_aborted + 1;
+      t.m_aborted.(core) <- t.m_aborted.(core) + 1;
+      t.total_aborted.(core) <- t.total_aborted.(core) + 1;
       List.iter (fun e -> e.e_slot.VA.value <- VA.Ignored) !(entries.(i))
     end
-    else t.committed <- t.committed + 1;
+    else t.committed.(core) <- t.committed.(core) + 1;
     (* Declared writes the body never issued are equivalent to aborted
        single writes: mark them IGNORE so readers skip them. *)
     List.iter
@@ -432,20 +441,169 @@ let run ?(replay = false) t txns =
                && Sid.compare e.e_slot.VA.sid sid = 0
                && not (VA.finalized va) ->
             VA.set_finalized va;
-            finalize_row t stats ~core e.e_row
+            finalize_row ?wait_for t stats ~core ~seq:i e.e_row
         | Some _ | None -> ())
       !(entries.(i));
     (if traced || exec_hist <> None then begin
        let dur = Stats.now stats -. ts0 in
-       if traced then
-         Tracer.complete t.tracer ~core ~name:"txn" ~cat:"txn"
-           ~args:[ ("seq", Nv_obs.Jsonx.Int i); ("aborted", Nv_obs.Jsonx.Bool aborted) ]
-           ~ts:ts0 ~dur ();
+       (if traced then
+          let emit () =
+            Tracer.complete t.tracer ~core ~name:"txn" ~cat:"txn"
+              ~args:[ ("seq", Nv_obs.Jsonx.Int i); ("aborted", Nv_obs.Jsonx.Bool aborted) ]
+              ~ts:ts0 ~dur ()
+          in
+          match traces with Some buf -> buf := (i, emit) :: !buf | None -> emit ());
        match exec_hist with Some h -> Metrics.observe h dur | None -> ()
      end);
     hook t (Exec_txn i)
-  done;
-  hook t Exec_done);
+  in
+  (* Wide execution is a pure performance path: it must be bit-for-bit
+     equivalent to the serial loop at any pool width, so it engages only
+     when nothing order-sensitive can observe it (docs/PARALLELISM.md
+     develops the full argument). Transactions synchronize through
+     version-array slots: stripe [s] runs positions congruent to [s]
+     modulo [wide_d] in ascending order, and a read of a slot written by
+     another stripe spins on that transaction's done flag. Since every
+     declared read targets the reader's own write set, dependencies only
+     point backwards in serial order and every stripe is always
+     runnable. *)
+  let wide_d =
+    let d = Dpool.stripes (pool t) ~cores:cfg.Config.cores in
+    if
+      d > 1 && n > 1
+      && (not cfg.Config.crash_safe) (* dirty-line tracking is shared state *)
+      && t.pindex = None (* shared delta table; lazy-recovery row repairs *)
+      && (match t.phase_hook with None -> true | Some _ -> false)
+      && (not (Metrics.enabled t.metrics)) (* histogram sums are order-sensitive *)
+      && cfg.Config.n_counters = 0 (* counters draw in serial order *)
+      && Array.for_all
+           (fun (txn : Txn.t) ->
+             txn.Txn.reads_declared
+             && Option.is_none txn.Txn.recon
+             && Option.is_none txn.Txn.insert_gen
+             && Option.is_none txn.Txn.dynamic_write_set
+             && List.for_all
+                  (function Txn.Delete _ -> false | Txn.Insert _ | Txn.Update _ -> true)
+                  txn.Txn.write_set)
+           txns
+    then d
+    else 1
+  in
+  (* The committed-value cache charges DRAM only for inserts it admits
+     (or in-place updates); a full cache refuses new rows silently. With
+     headroom for every touched row, each journaled fill charges
+     unconditionally. Otherwise pre-play the serial loop's admission
+     rule against the pre-exec cache state — the finalize order (per
+     transaction, in registry order, first finalizer per row wins) and
+     each row's cached status are all known before execution starts.
+     The one unpredictable case: a row created this epoch never calls
+     insert if its every writer aborts, shifting later admissions — run
+     serial then. *)
+  let cache_plan =
+    if wide_d = 1 || not (Config.caching_enabled cfg) then Some Epoch.Charge_all
+    else if
+      Cache.entries t.cache + List.length t.touched <= cfg.Config.cache_entries_max
+    then Some Epoch.Charge_all
+    else
+      let exception Created_this_epoch in
+      try
+        let charged = Hashtbl.create 256 in
+        let newly_cached = Hashtbl.create 256 in
+        let seen = Hashtbl.create 256 in
+        let entries_left = ref (cfg.Config.cache_entries_max - Cache.entries t.cache) in
+        for i = 0 to n - 1 do
+          let sid = Sid.make ~epoch:t.epoch ~seq:i in
+          List.iter
+            (fun e ->
+              match e.e_row.Row.varray with
+              | Some va
+                when Sid.compare (VA.max_sid va) sid = 0
+                     && Sid.compare e.e_slot.VA.sid sid = 0
+                     && not (Hashtbl.mem seen e.e_row.Row.prow_base) ->
+                  Hashtbl.replace seen e.e_row.Row.prow_base ();
+                  if worth_caching t va then begin
+                    if e.e_row.Row.created_epoch = t.epoch then raise Created_this_epoch;
+                    let base = e.e_row.Row.prow_base in
+                    if e.e_row.Row.cached <> None || Hashtbl.mem newly_cached base then
+                      Hashtbl.replace charged base ()
+                    else if !entries_left > 0 then begin
+                      decr entries_left;
+                      Hashtbl.replace newly_cached base ();
+                      Hashtbl.replace charged base ()
+                    end
+                  end
+              | Some _ | None -> ())
+            !(entries.(i))
+        done;
+        Some (Epoch.Charge_rows charged)
+      with Created_this_epoch -> None
+  in
+  let wide_d, cache_plan =
+    match cache_plan with None -> (1, Epoch.Charge_all) | Some p -> (wide_d, p)
+  in
+  phase_span t "execute" (fun () ->
+      if wide_d = 1 then
+        for i = 0 to n - 1 do
+          exec_one i
+        done
+      else begin
+        begin_wide_exec ~cache_plan t;
+        match
+          let done_flags = Array.init n (fun _ -> Atomic.make false) in
+          let trace_buf = Array.make wide_d [] in
+          ignore
+            (Dpool.run (pool t) ~n:wide_d (fun s ->
+                 let traces = ref [] in
+                 let cur = ref s in
+                 let wait_for sid =
+                   let seq = Sid.seq_of sid in
+                   if Sid.epoch_of sid = t.epoch && seq <> !cur && seq < n then begin
+                     let spins = ref 0 in
+                     while not (Atomic.get done_flags.(seq)) do
+                       Dpool.backoff !spins;
+                       incr spins
+                     done
+                   end
+                 in
+                 (try
+                    while !cur < n do
+                      exec_one ~wait_for ~traces !cur;
+                      Atomic.set done_flags.(!cur) true;
+                      cur := !cur + wide_d
+                    done
+                  with e ->
+                    (* Poison the rest of the stripe — resolve its slots
+                       and raise its done flags — so the other stripes'
+                       waits terminate; Dpool re-raises after the join. *)
+                    let bt = Printexc.get_raw_backtrace () in
+                    let j = ref !cur in
+                    while !j < n do
+                      List.iter
+                        (fun e ->
+                          if e.e_slot.VA.value = VA.Pending then
+                            e.e_slot.VA.value <- VA.Ignored)
+                        !(entries.(!j));
+                      Atomic.set done_flags.(!j) true;
+                      j := !j + wide_d
+                    done;
+                    Printexc.raise_with_backtrace e bt);
+                 trace_buf.(s) <- !traces));
+          (* Sampled txn spans carry explicit timestamps: emitting them
+             in ascending serial position reproduces the serial loop's
+             event stream byte for byte. *)
+          List.iter
+            (fun (_, emit) -> emit ())
+            (List.stable_sort
+               (fun ((a : int), _) (b, _) -> compare a b)
+               (List.concat (Array.to_list trace_buf)))
+        with
+        | () -> end_wide_exec t
+        | exception e ->
+            t.gc_accum <- None;
+            t.cache_accum <- None;
+            raise e
+      end;
+      hook t Exec_done);
   let t_exec = barrier t in
   (* --- Checkpoint: persist allocators (fence), then the epoch number. --- *)
   let stats0 = stats_of t 0 in

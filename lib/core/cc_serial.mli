@@ -33,6 +33,13 @@ type entry = {
 type ctx_mode = Init | Exec of Sid.t
 
 (** The value of [row] visible under [mode]: the version array when the
-    row was touched this epoch, the committed read otherwise. *)
+    row was touched this epoch, the committed read otherwise. [wait_for]
+    is the wide-execution hook — it receives the SID of every non-empty
+    slot inspected and blocks until that writer has resolved it. *)
 val visible_value :
-  Epoch.t -> Nv_nvmm.Stats.t -> Row.t -> mode:ctx_mode -> bytes option
+  ?wait_for:(Sid.t -> unit) ->
+  Epoch.t ->
+  Nv_nvmm.Stats.t ->
+  Row.t ->
+  mode:ctx_mode ->
+  bytes option

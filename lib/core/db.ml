@@ -45,6 +45,7 @@ let read_committed = Epoch.read_committed
 let iter_committed = Epoch.iter_committed
 let mem_report = Epoch.mem_report
 let committed_txns = Epoch.committed_txns
+let wide_execs = Epoch.wide_execs
 let aborted_txns = Epoch.aborted_txns
 let total_time_ns = Epoch.total_time_ns
 let counter_value = Epoch.counter_value

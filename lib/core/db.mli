@@ -101,6 +101,11 @@ val iter_committed : t -> table:int -> (int64 -> bytes -> unit) -> unit
 val mem_report : t -> Report.mem_report
 val committed_txns : t -> int
 
+val wide_execs : t -> int
+(** Epochs whose execute phase ran on more than one domain (cumulative;
+    always 0 under [config.parallelism = 1]). Inspection only — seeded
+    results are identical whether or not an epoch ran wide. *)
+
 val aborted_txns : t -> int
 (** Cumulative aborted transactions (user aborts and reconnaissance
     aborts; Aria conflict deferrals are not counted — they commit in a

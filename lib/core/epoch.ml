@@ -22,6 +22,7 @@ module BIdx = Nv_index.Btree_index
 module VA = Version_array
 module Tracer = Nv_obs.Tracer
 module Metrics = Nv_obs.Metrics
+module Dpool = Nv_util.Dpool
 
 type index = Hash of Row.t HIdx.t | Ord of Row.t OIdx.t | Bt of Row.t BIdx.t
 
@@ -45,6 +46,14 @@ type recovery_phase =
   | Rec_log_loaded  (* input log read back and verified *)
   | Rec_scan_done  (* index rebuilt; repairs and reverts persisted *)
   | Rec_replay_done  (* crashed epoch re-executed (or dropped) *)
+
+(* Which finalizer cache fills charge DRAM during wide execution.
+   [Charge_all] when every insert is guaranteed admission (enough cache
+   headroom for the epoch's touched rows); [Charge_rows bases] when the
+   CC strategy pre-played the serial loop's admission rule and knows
+   exactly which rows it would charge ([Cache.insert] is silent when a
+   full cache refuses a new row). *)
+type cache_charge_plan = Charge_all | Charge_rows of (int, unit) Hashtbl.t
 
 type t = {
   config : Config.t;
@@ -73,16 +82,31 @@ type t = {
          on first touch, possibly many epochs later, so the crashed
          epoch's durable-GC dedup set must outlive the replay *)
   mutable loaded : bool;
-  (* Cumulative measurements. *)
-  mutable committed : int;
-  mutable total_aborted : int;
+  pool : Dpool.t; (* domain pool driving eligible per-core phase loops *)
+  mutable gc_accum : (int * Row.t) list array option;
+      (* wide execution: per-core (seq, row) journals of gc-list pushes,
+         merged back in serial order at the join barrier *)
+  mutable cache_accum : (int * Row.t * bytes) list array option;
+      (* wide execution: per-core (seq, row, data) journals of cache
+         fills whose structural insert is deferred to the join barrier *)
+  mutable cache_plan : cache_charge_plan;
+      (* which journaled cache fills charge DRAM at finalize time (the
+         serial loop charges only admitted or updating inserts) *)
+  mutable wide_execs : int;
+      (* epochs whose execute phase actually ran wide (cumulative) —
+         inspection only, so tests can assert the eligibility gate does
+         not silently disengage *)
+  (* Cumulative measurements, sharded by core so wide execution meters
+     without contention (each stripe owns a disjoint set of cores). *)
+  committed : int array;
+  total_aborted : int array;
   mutable log_high_water : int;
-  (* Per-epoch measurements (reset each epoch). *)
-  mutable m_aborted : int;
-  mutable m_version_writes : int;
-  mutable m_persistent_writes : int;
-  mutable m_minor_gc : int;
-  mutable m_major_gc : int;
+  (* Per-epoch measurements (reset each epoch), sharded like the above. *)
+  m_aborted : int array;
+  m_version_writes : int array;
+  m_persistent_writes : int array;
+  m_minor_gc : int array;
+  m_major_gc : int array;
   mutable m_evicted : int;
   mutable m_cache_hits0 : int;
   mutable m_cache_misses0 : int;
@@ -161,14 +185,19 @@ let attach (cfg : Config.t) tables pmem =
     touched = [];
     retain_gc_dedup = false;
     loaded = false;
-    committed = 0;
-    total_aborted = 0;
+    pool = Dpool.shared ~width:cfg.parallelism;
+    gc_accum = None;
+    cache_accum = None;
+    cache_plan = Charge_all;
+    wide_execs = 0;
+    committed = Array.make cfg.cores 0;
+    total_aborted = Array.make cfg.cores 0;
     log_high_water = 0;
-    m_aborted = 0;
-    m_version_writes = 0;
-    m_persistent_writes = 0;
-    m_minor_gc = 0;
-    m_major_gc = 0;
+    m_aborted = Array.make cfg.cores 0;
+    m_version_writes = Array.make cfg.cores 0;
+    m_persistent_writes = Array.make cfg.cores 0;
+    m_minor_gc = Array.make cfg.cores 0;
+    m_major_gc = Array.make cfg.cores 0;
     m_evicted = 0;
     m_cache_hits0 = 0;
     m_cache_misses0 = 0;
@@ -286,6 +315,7 @@ let publish_epoch_metrics t (r : Report.epoch_stats) =
 
 let core_of t seq = seq mod t.config.Config.cores
 let stats_of t core = t.core_stats.(core)
+let pool t = t.pool
 
 let barrier t =
   let m = Array.fold_left (fun acc s -> Float.max acc (Stats.now s)) 0.0 t.core_stats in
@@ -335,7 +365,7 @@ let store_version_value t stats ~core ?(initial = false) data =
     (* Traditional WAL (section 2.1): every committed update is
        redo-logged to NVMM before it is checkpointed in place. *)
     Stats.nvmm_seq_write stats ~bytes:(24 + Bytes.length data);
-  t.m_version_writes <- t.m_version_writes + 1;
+  t.m_version_writes.(core) <- t.m_version_writes.(core) + 1;
   vref
 
 let load_version_value t stats ~initial vref =
@@ -463,7 +493,7 @@ let ensure_varray t stats ~core (row : Row.t) =
         slot.VA.value <- VA.Written (store_version_value t stats ~core ~initial:true data);
         slot.VA.write_time <- Stats.now stats;
         (* The copy is bookkeeping, not an update. *)
-        t.m_version_writes <- t.m_version_writes - 1
+        t.m_version_writes.(core) <- t.m_version_writes.(core) - 1
   end;
   match row.Row.varray with Some va -> va | None -> assert false
 
@@ -502,7 +532,8 @@ let do_prow_final_write t stats ~core (row : Row.t) ~sid ~data =
        collected by the major collector during initialization. *)
     let v1 = row.Row.pv1 in
     if not (Sid.is_none v1.Row.psid) then begin
-      if is_inline v1.Row.pptr && cfg.Config.minor_gc then t.m_minor_gc <- t.m_minor_gc + 1
+      if is_inline v1.Row.pptr && cfg.Config.minor_gc then
+        t.m_minor_gc.(core) <- t.m_minor_gc.(core) + 1
       else if row.Row.lazily_recovered then begin
         (* Lazy (persistent-index) recovery skips the scan that rebuilds
            the major-GC list, so a stale version is collected here, on
@@ -512,7 +543,7 @@ let do_prow_final_write t stats ~core (row : Row.t) ~sid ~data =
         | Vptr.Pool { off; _ } when not (Hashtbl.mem t.gc_dedup (Int64.of_int off)) ->
             VPools.free t.value_pool stats ~core off
         | Vptr.Pool _ | Vptr.Null | Vptr.Inline _ -> ());
-        t.m_major_gc <- t.m_major_gc + 1
+        t.m_major_gc.(core) <- t.m_major_gc.(core) + 1
       end
       else if not (is_inline v1.Row.pptr) then
         failwith "Db: stale non-inline v1 at write time (major GC missed a row)"
@@ -538,15 +569,19 @@ let do_prow_final_write t stats ~core (row : Row.t) ~sid ~data =
   in
   Prow.set_version t.pmem stats ~base ~slot:`V2 ~sid ~ptr ~charge ();
   row.Row.pv2 <- { Row.psid = sid; pptr = ptr; fresh };
-  t.m_persistent_writes <- t.m_persistent_writes + 1;
+  t.m_persistent_writes.(core) <- t.m_persistent_writes.(core) + 1;
   (* Track the now-stale v1 for the major collector; inline stale
-     versions are left for the minor collector instead. *)
+     versions are left for the minor collector instead. During wide
+     execution the push is journaled per core with the transaction's
+     serial position; the join barrier rebuilds the serial list. *)
   if
     (not (Sid.is_none row.Row.pv1.Row.psid))
     && (not row.Row.in_gc_list)
     && (is_pool row.Row.pv1.Row.pptr || not cfg.Config.minor_gc)
   then begin
-    t.gc_list <- row :: t.gc_list;
+    (match t.gc_accum with
+    | Some shards -> shards.(core) <- (Sid.seq_of sid, row) :: shards.(core)
+    | None -> t.gc_list <- row :: t.gc_list);
     row.Row.in_gc_list <- true
   end
 
@@ -570,7 +605,7 @@ let do_prow_delete t stats ~core (row : Row.t) =
   Cache.drop t.cache stats row;
   row.Row.pv1 <- Row.no_version;
   row.Row.pv2 <- Row.no_version;
-  t.m_persistent_writes <- t.m_persistent_writes + 1
+  t.m_persistent_writes.(core) <- t.m_persistent_writes.(core) + 1
 
 (* Flush the epoch's net index changes to the persistent index in one
    batch (section 7 future work): part of the epoch checkpoint, before
@@ -592,14 +627,78 @@ let apply_pindex_delta t stats =
       end
 
 (* ------------------------------------------------------------------ *)
+(* Wide-execution journals                                             *)
+
+(* While the journals are installed, transaction finalizers record the
+   structural side effects that must land in serial order — gc-list
+   pushes and cache fills — per core, tagged with the transaction's
+   serial position. The join barrier merges them back, so wide execution
+   leaves exactly the structures the serial loop builds. Sorting is
+   stable and entries with equal seq never span shards (a transaction
+   finalizes on one stripe), so the per-shard push order survives. *)
+let begin_wide_exec ?(cache_plan = Charge_all) t =
+  let cores = t.config.Config.cores in
+  t.gc_accum <- Some (Array.make cores []);
+  t.cache_accum <- Some (Array.make cores []);
+  t.cache_plan <- cache_plan;
+  t.wide_execs <- t.wide_execs + 1
+
+let end_wide_exec t =
+  (match t.gc_accum with
+  | Some shards ->
+      (* The serial loop prepends rows in ascending finalize order,
+         leaving gc_list descending by seq; each shard is already
+         descending, so a stable descending sort of the concatenation
+         reproduces the serial list. *)
+      let all = List.concat (Array.to_list shards) in
+      let merged = List.stable_sort (fun (a, _) (b, _) -> compare b a) all in
+      t.gc_list <- List.rev_append (List.rev_map snd merged) t.gc_list
+  | None -> ());
+  (match t.cache_accum with
+  | Some shards ->
+      (* Cache fills replay in ascending serial order with uncharged
+         stats: the DRAM cost was charged at finalize time (see
+         {!cache_insert_final}). *)
+      let all = List.concat (Array.to_list (Array.map List.rev shards)) in
+      let merged = List.stable_sort (fun (a, _, _) (b, _, _) -> compare a b) all in
+      List.iter
+        (fun (_, row, data) -> Cache.insert t.cache t.scratch row ~data ~epoch:t.epoch)
+        merged
+  | None -> ());
+  t.gc_accum <- None;
+  t.cache_accum <- None;
+  t.cache_plan <- Charge_all
+
+(* Insert a finalized value into the committed-value cache — or, during
+   wide execution, charge the DRAM cost now (both [Cache.insert]
+   branches charge the same line count; the charge plan says which
+   inserts the serial loop would have charged) and journal the
+   structural insert for the join barrier, where the admission rule
+   replays in serial order against uncharged stats. *)
+let cache_insert_final t stats ~core ~seq (row : Row.t) ~data =
+  match t.cache_accum with
+  | Some shards ->
+      let charged =
+        match t.cache_plan with
+        | Charge_all -> true
+        | Charge_rows bases -> Hashtbl.mem bases row.Row.prow_base
+      in
+      if charged then
+        Stats.dram_write stats
+          ~lines:(Memspec.lines_touched (Stats.spec stats) ~off:0 ~len:(Bytes.length data))
+          ();
+      shards.(core) <- (seq, row, data) :: shards.(core)
+  | None -> Cache.insert t.cache stats row ~data ~epoch:t.epoch
+
+(* ------------------------------------------------------------------ *)
 (* Shared epoch scaffolding (used by both CC strategies)               *)
 
 let reset_epoch_measurements t =
-  t.m_aborted <- 0;
-  t.m_version_writes <- 0;
-  t.m_persistent_writes <- 0;
-  t.m_minor_gc <- 0;
-  t.m_major_gc <- 0;
+  Array.fill t.m_aborted 0 (Array.length t.m_aborted) 0;
+  Array.fill t.m_version_writes 0 (Array.length t.m_version_writes) 0;
+  Array.fill t.m_persistent_writes 0 (Array.length t.m_persistent_writes) 0;
+  Array.fill t.m_minor_gc 0 (Array.length t.m_minor_gc) 0;
+  Array.fill t.m_major_gc 0 (Array.length t.m_major_gc) 0;
   t.m_evicted <- 0;
   t.m_cache_hits0 <- Cache.hits t.cache;
   t.m_cache_misses0 <- Cache.misses t.cache
@@ -643,24 +742,36 @@ let checkpoint_allocators t =
    to the metrics sink. [phases] is the CC strategy's barrier-to-barrier
    breakdown. *)
 let epoch_report t ~txns:n ~replay ~duration ~phases =
-  let report =
+  let cache_hits = Cache.hits t.cache - t.m_cache_hits0 in
+  let cache_misses = Cache.misses t.cache - t.m_cache_misses0 in
+  let log_bytes =
+    if Config.logging_enabled t.config && not replay then Log.bytes_appended t.log else 0
+  in
+  (* Fold the per-core meter shards with the associative merge: shard
+     [c] carries core [c]'s counters, and the epoch-global pieces ride
+     on shard 0. Folding in core order gives one deterministic result at
+     any pool width. *)
+  let shard c =
     {
       Report.epoch = t.epoch;
       txns = n;
-      aborted = t.m_aborted;
-      version_writes = t.m_version_writes;
-      persistent_writes = t.m_persistent_writes;
-      transient_only_writes = t.m_version_writes - t.m_persistent_writes;
-      minor_gc = t.m_minor_gc;
-      major_gc = t.m_major_gc;
-      evicted = t.m_evicted;
-      cache_hits = Cache.hits t.cache - t.m_cache_hits0;
-      cache_misses = Cache.misses t.cache - t.m_cache_misses0;
-      log_bytes =
-        (if Config.logging_enabled t.config && not replay then Log.bytes_appended t.log else 0);
+      aborted = t.m_aborted.(c);
+      version_writes = t.m_version_writes.(c);
+      persistent_writes = t.m_persistent_writes.(c);
+      transient_only_writes = t.m_version_writes.(c) - t.m_persistent_writes.(c);
+      minor_gc = t.m_minor_gc.(c);
+      major_gc = t.m_major_gc.(c);
+      evicted = (if c = 0 then t.m_evicted else 0);
+      cache_hits = (if c = 0 then cache_hits else 0);
+      cache_misses = (if c = 0 then cache_misses else 0);
+      log_bytes = (if c = 0 then log_bytes else 0);
       duration_ns = duration;
-      phases;
+      phases = (if c = 0 then phases else []);
     }
+  in
+  let report =
+    Array.fold_left Report.merge_epoch_stats Report.zero_epoch_stats
+      (Array.init t.config.Config.cores shard)
   in
   publish_epoch_metrics t report;
   report
@@ -668,36 +779,73 @@ let epoch_report t ~txns:n ~replay ~duration ~phases =
 (* ------------------------------------------------------------------ *)
 (* Bulk load                                                           *)
 
+(* Materialize one initial row (slab slot, persistent header, value,
+   version) on its home core; indexing is the caller's job. Everything
+   here touches only core-local allocators and this row's NVMM bytes,
+   so distinct rows may load on distinct domains. *)
+let bulk_load_row t idx (table, key, data) =
+  let cfg = t.config in
+  let core = core_of t idx in
+  let stats = stats_of t core in
+  let base = Slab.alloc t.row_pool stats ~core in
+  Prow.init t.pmem stats ~base ~key ~table;
+  let row = Row.make ~key ~table ~home_core:core ~prow_base:base ~created_epoch:0 in
+  let sid = Sid.make ~epoch:1 ~seq:0 in
+  let len = Bytes.length data in
+  let ptr =
+    if len <= Prow.half_capacity ~row_size:cfg.Config.row_size then
+      Prow.write_inline_value t.pmem stats ~base ~row_size:cfg.Config.row_size ~half:0 ~data ()
+    else begin
+      let off = VPools.alloc t.value_pool stats ~core ~len in
+      VPools.write_value t.value_pool stats ~off ~data ();
+      Vptr.pool ~off ~len
+    end
+  in
+  Prow.set_version t.pmem stats ~base ~slot:`V2 ~sid ~ptr ();
+  row.Row.pv2 <- { Row.psid = sid; pptr = ptr; fresh = false };
+  row
+
 let bulk_load t rows =
   if t.loaded then invalid_arg "Db.bulk_load: already loaded";
   t.epoch <- 1;
   let cfg = t.config in
-  let i = ref 0 in
-  Seq.iter
-    (fun (table, key, data) ->
-      let core = core_of t !i in
-      incr i;
-      let stats = stats_of t core in
-      let base = Slab.alloc t.row_pool stats ~core in
-      Prow.init t.pmem stats ~base ~key ~table;
-      let row = Row.make ~key ~table ~home_core:core ~prow_base:base ~created_epoch:0 in
-      index_insert t stats ~table ~key row;
-      if t.pindex <> None then Hashtbl.replace t.pix_delta (table, key) (`Ins base);
-      let sid = Sid.make ~epoch:1 ~seq:0 in
-      let len = Bytes.length data in
-      let ptr =
-        if len <= Prow.half_capacity ~row_size:cfg.Config.row_size then
-          Prow.write_inline_value t.pmem stats ~base ~row_size:cfg.Config.row_size ~half:0 ~data
-            ()
-        else begin
-          let off = VPools.alloc t.value_pool stats ~core ~len in
-          VPools.write_value t.value_pool stats ~off ~data ();
-          Vptr.pool ~off ~len
-        end
-      in
-      Prow.set_version t.pmem stats ~base ~slot:`V2 ~sid ~ptr ();
-      row.Row.pv2 <- { Row.psid = sid; pptr = ptr; fresh = false })
-    rows;
+  let wide = Dpool.width t.pool > 1 && (not cfg.Config.crash_safe) && t.pindex = None in
+  if not wide then begin
+    let i = ref 0 in
+    Seq.iter
+      (fun ((table, key, _) as spec) ->
+        let idx = !i in
+        incr i;
+        let row = bulk_load_row t idx spec in
+        index_insert t (stats_of t (core_of t idx)) ~table ~key row;
+        if t.pindex <> None then
+          Hashtbl.replace t.pix_delta (table, key) (`Ins row.Row.prow_base))
+      rows
+  end
+  else begin
+    (* Wide load (Fast mode, no persistent index): stripes own disjoint
+       cores, so allocators, clocks and persistent row bytes are
+       domain-confined; the DRAM index is then built serially in
+       ascending order — the exact structure the serial loop builds.
+       (Load-time access charges are reset below either way.) *)
+    let arr = Array.of_seq rows in
+    let n = Array.length arr in
+    let made = Array.make n None in
+    let d = Dpool.stripes t.pool ~cores:cfg.Config.cores in
+    ignore
+      (Dpool.run t.pool ~n:d (fun s ->
+           let i = ref s in
+           while !i < n do
+             made.(!i) <- Some (bulk_load_row t !i arr.(!i));
+             i := !i + d
+           done));
+    Array.iteri
+      (fun idx (table, key, _) ->
+        match made.(idx) with
+        | Some row -> index_insert t (stats_of t (core_of t idx)) ~table ~key row
+        | None -> assert false)
+      arr
+  end;
   let stats0 = stats_of t 0 in
   Slab.checkpoint t.row_pool (stats_of t) ~epoch:1;
   VPools.checkpoint t.value_pool (stats_of t) ~epoch:1;
@@ -708,8 +856,8 @@ let bulk_load t rows =
   Meta.persist_epoch t.meta stats0 ~epoch:1;
   (* Loading is setup, not workload: forget its costs. *)
   Array.iter Stats.reset t.core_stats;
-  t.committed <- 0;
-  t.total_aborted <- 0;
+  Array.fill t.committed 0 (Array.length t.committed) 0;
+  Array.fill t.total_aborted 0 (Array.length t.total_aborted) 0;
   t.loaded <- true
 
 (* ------------------------------------------------------------------ *)
@@ -773,8 +921,9 @@ let mem_report t =
     dram_cache = Cache.dram_bytes t.cache;
   }
 
-let committed_txns t = t.committed
-let aborted_txns t = t.total_aborted
+let committed_txns t = Array.fold_left ( + ) 0 t.committed
+let aborted_txns t = Array.fold_left ( + ) 0 t.total_aborted
+let wide_execs t = t.wide_execs
 
 let total_time_ns t =
   Array.fold_left (fun acc s -> Float.max acc (Stats.now s)) 0.0 t.core_stats

@@ -29,6 +29,7 @@ module BIdx = Nv_index.Btree_index
 module VA = Version_array
 module Tracer = Nv_obs.Tracer
 module Metrics = Nv_obs.Metrics
+module Dpool = Nv_util.Dpool
 
 (** One DRAM index per table, chosen by the table's kind and the
     configured ordered-index implementation. *)
@@ -46,6 +47,14 @@ type phase =
   | Exec_txn of int
   | Exec_done
   | Checkpointed
+
+(** Which finalizer cache fills charge DRAM during wide execution:
+    [Charge_all] when every insert is guaranteed admission (enough cache
+    headroom for the epoch's touched rows), [Charge_rows bases] when the
+    CC strategy pre-played the serial admission rule and knows exactly
+    which rows (by persistent-row base offset) the serial loop would
+    charge — a full cache silently refuses new rows. *)
+type cache_charge_plan = Charge_all | Charge_rows of (int, unit) Hashtbl.t
 
 (** Recovery milestones, mirroring [phase] for the recovery pipeline. *)
 type recovery_phase =
@@ -86,14 +95,26 @@ type t = {
           collected on first touch, possibly many epochs later, so the
           crashed epoch's durable-GC dedup set must outlive the replay *)
   mutable loaded : bool;
-  mutable committed : int;
-  mutable total_aborted : int;
+  pool : Dpool.t;
+      (** domain pool driving eligible per-core phase loops (width =
+          {!Config.t.parallelism}) *)
+  mutable gc_accum : (int * Row.t) list array option;
+      (** wide execution: per-core (seq, row) journals of gc-list
+          pushes, merged back in serial order at the join barrier *)
+  mutable cache_accum : (int * Row.t * bytes) list array option;
+      (** wide execution: per-core journals of deferred cache fills *)
+  mutable cache_plan : cache_charge_plan;
+      (** which journaled cache fills charge DRAM at finalize time *)
+  mutable wide_execs : int;
+      (** epochs whose execute phase actually ran wide (cumulative) *)
+  committed : int array;  (** cumulative, sharded by core *)
+  total_aborted : int array;  (** cumulative, sharded by core *)
   mutable log_high_water : int;
-  mutable m_aborted : int;
-  mutable m_version_writes : int;
-  mutable m_persistent_writes : int;
-  mutable m_minor_gc : int;
-  mutable m_major_gc : int;
+  m_aborted : int array;
+  m_version_writes : int array;
+  m_persistent_writes : int array;
+  m_minor_gc : int array;
+  m_major_gc : int array;
   mutable m_evicted : int;
   mutable m_cache_hits0 : int;
   mutable m_cache_misses0 : int;
@@ -152,6 +173,10 @@ val core_of : t -> int -> int
 (** The per-core simulated clock and counters. *)
 val stats_of : t -> int -> Stats.t
 
+(** The engine's domain pool ({!Nv_util.Dpool}); width 1 means every
+    phase loop runs serially on the calling domain. *)
+val pool : t -> Dpool.t
+
 (** Synchronize all core clocks to the maximum; returns it. Phase
     boundaries are barriers. *)
 val barrier : t -> float
@@ -207,6 +232,23 @@ val do_prow_delete : t -> Stats.t -> core:int -> Row.t -> unit
     batch (part of the epoch checkpoint). *)
 val apply_pindex_delta : t -> Stats.t -> unit
 
+(** {1 Wide execution}
+
+    While the journals installed by {!begin_wide_exec} are live,
+    transaction finalizers record side effects that must land in serial
+    order (gc-list pushes, cache fills) per core, tagged with the
+    transaction's serial position; {!end_wide_exec} — called after the
+    pool join — merges them back so wide execution leaves exactly the
+    structures the serial loop builds. *)
+
+val begin_wide_exec : ?cache_plan:cache_charge_plan -> t -> unit
+val end_wide_exec : t -> unit
+
+(** Insert a finalized value into the committed-value cache; during
+    wide execution the DRAM cost is charged immediately and the
+    structural insert deferred to {!end_wide_exec}. *)
+val cache_insert_final : t -> Stats.t -> core:int -> seq:int -> Row.t -> data:bytes -> unit
+
 (** {1 Shared epoch scaffolding}
 
     The pieces of Algorithm 1 common to both CC strategies; the
@@ -253,6 +295,11 @@ val iter_committed : t -> table:int -> (int64 -> bytes -> unit) -> unit
 val mem_report : t -> Report.mem_report
 val committed_txns : t -> int
 val aborted_txns : t -> int
+
+(** Epochs whose execute phase ran on more than one domain (cumulative;
+    0 under [parallelism = 1]). Inspection only — tests assert the wide
+    path engages where expected. *)
+val wide_execs : t -> int
 val total_time_ns : t -> float
 val counter_value : t -> int -> int64
 val last_epoch_outcomes : t -> [ `Committed | `Aborted ] array

@@ -17,33 +17,53 @@ let major_gc t =
   t.gc_list <- [];
   if list <> [] then begin
     let n = List.length list in
-    let stale_ptrs = List.map (fun (row : Row.t) -> row.Row.pv1.Row.pptr) list in
+    let rows = Array.of_list list in
+    let stale_ptrs = Array.map (fun (row : Row.t) -> row.Row.pv1.Row.pptr) rows in
+    let cores = t.config.Config.cores in
+    (* Both passes charge item [i] to core [i mod cores] and touch only
+       that core's freelist (or row [i]'s own bytes), so striping by
+       [i mod d] with [d] dividing [cores] keeps every core's work on
+       one stripe, in list order — identical charges at any width. Fast
+       mode only: crash-safe dirty-line tracking is shared state. The
+       dedup table is read-only here. *)
+    let d = if t.config.Config.crash_safe then 1 else Dpool.stripes (pool t) ~cores in
+    let striped_iter f =
+      if d = 1 then
+        for i = 0 to n - 1 do
+          f i
+        done
+      else
+        ignore
+          (Dpool.run (pool t) ~n:d (fun s ->
+               let i = ref s in
+               while !i < n do
+                 f !i;
+                 i := !i + d
+               done))
+    in
     let collect_frees () =
       (* Make every stale pool value durable in the free list, skipping
          pointers the crashed epoch's GC already freed. *)
-      List.iteri
-        (fun i ptr ->
-          let stats = stats_of t (i mod t.config.Config.cores) in
-          match Vptr.classify ptr with
+      striped_iter (fun i ->
+          let core = i mod cores in
+          let stats = stats_of t core in
+          match Vptr.classify stale_ptrs.(i) with
           | Vptr.Pool { off; _ } ->
-              VPools.free_gc t.value_pool stats ~core:(i mod t.config.Config.cores) off
-                ~dedup:t.gc_dedup
-          | Vptr.Null | Vptr.Inline _ -> ())
-        stale_ptrs;
+              VPools.free_gc t.value_pool stats ~core off ~dedup:t.gc_dedup
+          | Vptr.Null | Vptr.Inline _ -> ());
       VPools.persist_gc_tail t.value_pool (stats_of t 0) ~epoch:t.epoch;
       Pmem.fence t.pmem (stats_of t 0);
       hook t Gc_pass1_done
     in
     let rotate_rows () =
       (* Rotate each row so v2 is free for this epoch's write. *)
-      List.iteri
-        (fun i (row : Row.t) ->
-          let stats = stats_of t (i mod t.config.Config.cores) in
+      striped_iter (fun i ->
+          let row = rows.(i) in
+          let stats = stats_of t (i mod cores) in
           Prow.gc_move t.pmem stats ~base:row.Row.prow_base ~charge:true ();
           row.Row.pv1 <- { row.Row.pv2 with Row.fresh = false };
           row.Row.pv2 <- Row.no_version;
           row.Row.in_gc_list <- false)
-        list
     in
     if t.config.Config.persistent_index then begin
       (* Lazy (persistent-index) recovery never rebuilds the GC list,
@@ -62,7 +82,7 @@ let major_gc t =
       collect_frees ();
       rotate_rows ()
     end;
-    t.m_major_gc <- t.m_major_gc + n;
+    t.m_major_gc.(0) <- t.m_major_gc.(0) + n;
     Tracer.instant t.tracer ~core:0 ~name:"major-gc rows" ~cat:"gc"
       ~args:[ ("rows", Nv_obs.Jsonx.Int n) ]
       ()

@@ -1,4 +1,5 @@
 module Rng = Nv_util.Rng
+module Dpool = Nv_util.Dpool
 
 type node_state = Up of Db.t | Down of Nv_nvmm.Pmem.t
 
@@ -10,6 +11,7 @@ type t = {
   mutable nodes : node_state array;
   mutable epoch : int;
   mutable committed : int;
+  pool : Dpool.t;
   (* Retained apply batches for node catch-up: (epoch, per-node inputs). *)
   retained : (int * bytes array array) Queue.t;
   retention : int;
@@ -25,9 +27,30 @@ let create ~config ~tables ~nodes ?(remote_read_ns = 2000.0) () =
     nodes = Array.init nodes (fun _ -> Up (Db.create ~config ~tables ()));
     epoch = 0;
     committed = 0;
+    pool = Dpool.shared ~width:config.Config.parallelism;
     retained = Queue.create ();
     retention = 64;
   }
+
+(* Fan [f 0 .. f (n_nodes - 1)] over the pool: nodes are independent
+   engines, so per-node work (bulk load, local apply epochs) carries no
+   shared state beyond each node's own [Db.t]. Node [i] stays on stripe
+   [i mod d] in ascending order, so each node's work sequence is the
+   serial one at any width. *)
+let each_node t f =
+  let d = min (Dpool.width t.pool) t.n_nodes in
+  if d <= 1 then
+    for i = 0 to t.n_nodes - 1 do
+      f i
+    done
+  else
+    ignore
+      (Dpool.run t.pool ~n:d (fun s ->
+           let i = ref s in
+           while !i < t.n_nodes do
+             f !i;
+             i := !i + d
+           done))
 
 let nodes t = t.n_nodes
 
@@ -53,7 +76,7 @@ let bulk_load t rows =
       let o = owner t ~table ~key in
       per_node.(o) <- row :: per_node.(o))
     rows;
-  Array.iteri (fun i rows -> Db.bulk_load (db t i) (List.to_seq (List.rev rows))) per_node;
+  each_node t (fun i -> Db.bulk_load (db t i) (List.to_seq (List.rev per_node.(i))));
   t.epoch <- 1
 
 (* --- Apply-batch transactions: one blind write per key, with a
@@ -172,12 +195,10 @@ let run_epoch t txns =
       per_node.(o) <- encode_write ~table ~key data :: per_node.(o))
     (List.sort compare !decisions);
   let retained_inputs = Array.map (fun l -> Array.of_list (List.rev l)) per_node in
-  Array.iteri
-    (fun o inputs ->
-      let batch = Array.map apply_txn_of_input inputs in
+  each_node t (fun o ->
+      let batch = Array.map apply_txn_of_input retained_inputs.(o) in
       let _, d = Db.run_epoch_aria (db t o) batch in
-      assert (Array.length d = 0))
-    retained_inputs;
+      assert (Array.length d = 0));
   Queue.push (t.epoch, retained_inputs) t.retained;
   if Queue.length t.retained > t.retention then ignore (Queue.pop t.retained);
   let t_after = total_time_ns t in

@@ -54,6 +54,61 @@ type recovery_report = {
   damage : damage list;  (** unrecoverable losses, reported loudly *)
 }
 
+let zero_epoch_stats =
+  {
+    epoch = 0;
+    txns = 0;
+    aborted = 0;
+    version_writes = 0;
+    persistent_writes = 0;
+    transient_only_writes = 0;
+    minor_gc = 0;
+    major_gc = 0;
+    evicted = 0;
+    cache_hits = 0;
+    cache_misses = 0;
+    log_bytes = 0;
+    duration_ns = 0.0;
+    phases = [];
+  }
+
+(* Sum phase durations by name. Names keep their order of first
+   appearance (left operand first), so folding shards in core order
+   gives one deterministic result, and the grouping of the fold does
+   not change which names appear or their order. *)
+let merge_phases a b =
+  let merged =
+    List.map
+      (fun (name, v) ->
+        match List.assoc_opt name b with None -> (name, v) | Some w -> (name, v +. w))
+      a
+  in
+  merged @ List.filter (fun (name, _) -> not (List.mem_assoc name a)) b
+
+(* Combine two shards of one epoch's statistics. Counters add; the
+   duration is the slowest shard (cores run the epoch's phases between
+   shared barriers, so epoch duration is a max, not a sum); [epoch] and
+   [txns] describe the whole epoch, identical in every real shard, so
+   max keeps them stable against zero shards. Associative, with
+   [zero_epoch_stats] as identity. *)
+let merge_epoch_stats a b =
+  {
+    epoch = max a.epoch b.epoch;
+    txns = max a.txns b.txns;
+    aborted = a.aborted + b.aborted;
+    version_writes = a.version_writes + b.version_writes;
+    persistent_writes = a.persistent_writes + b.persistent_writes;
+    transient_only_writes = a.transient_only_writes + b.transient_only_writes;
+    minor_gc = a.minor_gc + b.minor_gc;
+    major_gc = a.major_gc + b.major_gc;
+    evicted = a.evicted + b.evicted;
+    cache_hits = a.cache_hits + b.cache_hits;
+    cache_misses = a.cache_misses + b.cache_misses;
+    log_bytes = a.log_bytes + b.log_bytes;
+    duration_ns = Float.max a.duration_ns b.duration_ns;
+    phases = merge_phases a.phases b.phases;
+  }
+
 let pp_phases ppf phases =
   Format.pp_print_list
     ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")

@@ -25,6 +25,18 @@ type epoch_stats = {
           insert / gc+evict / append / execute / checkpoint) *)
 }
 
+val zero_epoch_stats : epoch_stats
+(** Identity element of {!merge_epoch_stats}. *)
+
+val merge_epoch_stats : epoch_stats -> epoch_stats -> epoch_stats
+(** Combine two shards of epoch statistics: counters add, [duration_ns]
+    takes the slower shard (phases run between shared barriers),
+    [epoch]/[txns] take the max (identical in every non-zero shard),
+    and [phases] are summed by name keeping first-appearance order.
+    Associative with identity {!zero_epoch_stats}, so per-core shards
+    may be folded in any grouping — the engine folds them in core
+    order. *)
+
 type mem_report = {
   nvmm_rows : int;  (** persistent row bytes in use *)
   nvmm_values : int;  (** persistent value-pool bytes in use *)

@@ -28,11 +28,13 @@ type t = {
   recon : (Ctx.t -> op list) option;
   insert_gen : (Ctx.t -> op list) option;
   dynamic_write_set : (Ctx.t -> op list) option;
+  reads_declared : bool;
   body : Ctx.t -> unit;
 }
 
-let make ?recon ?insert_gen ?dynamic_write_set ~input ~write_set body =
-  { input; write_set; recon; insert_gen; dynamic_write_set; body }
+let make ?recon ?insert_gen ?dynamic_write_set ?(reads_declared = false) ~input ~write_set
+    body =
+  { input; write_set; recon; insert_gen; dynamic_write_set; reads_declared; body }
 
 let op_key = function
   | Insert { table; key; _ } | Update { table; key } | Delete { table; key } -> (table, key)

@@ -79,6 +79,12 @@ type t = {
       (** Evaluated in the append step with a read-only context; the
           returned Update/Delete ops extend the write set. May consult
           rows and insert-step data but not execution-phase writes. *)
+  reads_declared : bool;
+      (** Workload promise: the body's point reads ([Ctx.read]) touch
+          only keys in [write_set], and it uses no range operations.
+          Such transactions synchronize purely through version-array
+          slots, which lets the execution phase run them on parallel
+          domains (default false — serial execution is always safe). *)
   body : Ctx.t -> unit;
 }
 
@@ -86,6 +92,7 @@ val make :
   ?recon:(Ctx.t -> op list) ->
   ?insert_gen:(Ctx.t -> op list) ->
   ?dynamic_write_set:(Ctx.t -> op list) ->
+  ?reads_declared:bool ->
   input:bytes ->
   write_set:op list ->
   (Ctx.t -> unit) ->

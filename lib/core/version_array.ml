@@ -93,28 +93,43 @@ let find t stats sid =
   charge t stats ~write:false 1;
   if pos < t.n && Sid.compare t.slots.(pos).sid sid = 0 then t.slots.(pos) else raise Not_found
 
-let latest_visible t stats ~before =
+(* When the execution phase runs wide, a reader may reach a slot whose
+   writer transaction is still executing on another domain; [wait_for]
+   blocks until that writer has published its outcome (it is the
+   caller's happens-before edge, so the subsequent plain reads of
+   [value]/[write_time] are well-defined). The initial slot (Sid.none)
+   was published by the serial append phase and needs no wait. *)
+let wait_slot wait_for (s : slot) =
+  match wait_for with
+  | Some w when not (Sid.is_none s.sid) -> w s.sid
+  | _ -> ()
+
+let latest_visible ?wait_for t stats ~before =
   let pos = lower_bound t before in
   charge t stats ~write:false 1;
   let rec scan i =
     if i < 0 then None
-    else
+    else begin
+      wait_slot wait_for t.slots.(i);
       match t.slots.(i).value with
       | Ignored -> scan (i - 1)
       | Pending ->
           invalid_arg "Version_array.latest_visible: PENDING predecessor (serial order violated)"
       | Written _ | Tombstone -> Some t.slots.(i)
+    end
   in
   scan (pos - 1)
 
-let latest_resolved t stats =
+let latest_resolved ?wait_for t stats =
   charge t stats ~write:false 1;
   let rec scan i =
     if i < 0 then None
-    else
+    else begin
+      wait_slot wait_for t.slots.(i);
       match t.slots.(i).value with
       | Ignored | Pending -> scan (i - 1)
       | Written _ | Tombstone -> Some t.slots.(i)
+    end
   in
   scan (t.n - 1)
 

@@ -45,15 +45,21 @@ val find : t -> Nv_nvmm.Stats.t -> Sid.t -> slot
 (** Exact slot for a writer about to fill its placeholder. Raises
     [Not_found]. *)
 
-val latest_visible : t -> Nv_nvmm.Stats.t -> before:Sid.t -> slot option
+val latest_visible :
+  ?wait_for:(Sid.t -> unit) -> t -> Nv_nvmm.Stats.t -> before:Sid.t -> slot option
 (** Latest non-PENDING, non-IGNORED slot with [sid < before] — what a
     reader at serial position [before] observes. PENDING slots below
-    [before] violate serial-order execution and raise [Invalid_argument]. *)
+    [before] violate serial-order execution and raise [Invalid_argument].
 
-val latest_resolved : t -> Nv_nvmm.Stats.t -> slot option
+    [wait_for sid] is invoked before each inspected slot whose SID is
+    real; parallel execution passes a blocking wait on the writer
+    transaction's completion flag so the slot's fields are published
+    (see docs/PARALLELISM.md). Serial execution omits it. *)
+
+val latest_resolved : ?wait_for:(Sid.t -> unit) -> t -> Nv_nvmm.Stats.t -> slot option
 (** Latest non-IGNORED slot overall, treating PENDING as absent — used
     when an aborted final writer must determine the replacement final
-    version (section 4.6). *)
+    version (section 4.6). [wait_for] as in {!latest_visible}. *)
 
 val max_sid : t -> Sid.t
 (** Largest SID in the array ([Sid.none] when empty). *)

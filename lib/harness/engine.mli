@@ -43,6 +43,13 @@ val cores : int
 (** Simulated cores every derived configuration uses (8, as in the
     paper's evaluation). *)
 
+val default_jobs : int ref
+(** Domain-pool width ({!Nvcaracal.Config.t.parallelism}) every derived
+    configuration requests. Initialised from the [NVC_JOBS] environment
+    variable (default 1 — serial); the CLI front-ends overwrite it once
+    at argument-parse time ([--jobs]). Seeded runs produce byte-identical
+    results at any value. *)
+
 type spec = {
   backend : backend;
   minor_gc : bool;

@@ -47,9 +47,14 @@ let collect ~label ~txns ~committed ~aborted ~sim_ns ~stats_list ~mem =
   let latency = Nv_util.Histogram.create () in
   List.iter (fun (e : Report.epoch_stats) -> Nv_util.Histogram.add latency e.Report.duration_ns)
     stats_list;
-  let sum f = List.fold_left (fun acc e -> acc + f e) 0 stats_list in
-  let version_writes = sum (fun e -> e.Report.version_writes) in
-  let persistent = sum (fun e -> e.Report.persistent_writes) in
+  (* Counter totals come from the associative epoch-stats merge (the
+     same fold the engine applies to its per-core shards), not from
+     per-field sums. *)
+  let total =
+    List.fold_left Report.merge_epoch_stats Report.zero_epoch_stats stats_list
+  in
+  let version_writes = total.Report.version_writes in
+  let persistent = total.Report.persistent_writes in
   {
     label;
     txns;
@@ -61,11 +66,11 @@ let collect ~label ~txns ~committed ~aborted ~sim_ns ~stats_list ~mem =
       (if version_writes > 0 then
          float_of_int (version_writes - persistent) /. float_of_int version_writes
        else 0.0);
-    minor_gc = sum (fun e -> e.Report.minor_gc);
-    major_gc = sum (fun e -> e.Report.major_gc);
-    cache_hits = sum (fun e -> e.Report.cache_hits);
-    cache_misses = sum (fun e -> e.Report.cache_misses);
-    log_bytes = sum (fun e -> e.Report.log_bytes);
+    minor_gc = total.Report.minor_gc;
+    major_gc = total.Report.major_gc;
+    cache_hits = total.Report.cache_hits;
+    cache_misses = total.Report.cache_misses;
+    log_bytes = total.Report.log_bytes;
     epoch_latency = latency;
     last_epoch_phases;
     mem;

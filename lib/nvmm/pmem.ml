@@ -34,11 +34,20 @@ type fault_model = {
 
 let no_faults = { torn_frac = 0.0; rot_lines = 0; rot_max_bits = 0; dead = 0 }
 
+(* Dirty-line tracking is direct-mapped: a preallocated per-line state
+   array (indexed by line number; [Some] iff the line has unpersisted
+   stores) plus an unordered list of the dirty line numbers so [fence]
+   and [crash] never scan the whole region. The array replaces a
+   hashtable keyed by line index — the per-store membership probe is the
+   hottest operation in Crash_safe mode, and an array load beats
+   hashing. Fast mode allocates no tracking at all. *)
 type t = {
   mode : mode;
   data : bytes; (* volatile view *)
   size : int;
-  lines : (int, line_state) Hashtbl.t; (* keyed by line index *)
+  line_states : line_state option array; (* per line; empty in Fast mode *)
+  mutable dirty_lines : int list; (* lines with [Some] state, unordered *)
+  mutable n_dirty : int;
   dead_lines : (int, unit) Hashtbl.t; (* lines whose reads fault *)
   crash_dirty : (int, unit) Hashtbl.t; (* lines dirty at any past crash *)
   mutable faults : fault_report;
@@ -46,12 +55,27 @@ type t = {
 
 let zero_faults = { torn_lines = 0; rotted_lines = 0; flipped_bits = 0; dead_lines = 0 }
 
+(* Alignment/bounds precondition checks on every typed accessor. The
+   byte layer below stays memory-safe without them (OCaml [Bytes]
+   bounds-checks its own accesses), so the engine may turn them off for
+   throughput runs; keep them on when debugging layout code for the
+   precise range in the error. *)
+let checks =
+  ref (match Sys.getenv_opt "NVC_PMEM_CHECKS" with Some ("0" | "false") -> false | _ -> true)
+
+let set_checks b = checks := b
+let checks_enabled () = !checks
+
 let create ?(mode = Fast) ~size () =
   {
     mode;
     data = Bytes.make size '\000';
     size;
-    lines = Hashtbl.create 4096;
+    line_states =
+      (if mode = Crash_safe then Array.make ((size + line_size - 1) / line_size) None
+       else [||]);
+    dirty_lines = [];
+    n_dirty = 0;
     dead_lines = Hashtbl.create 4;
     crash_dirty = Hashtbl.create 64;
     faults = zero_faults;
@@ -72,9 +96,10 @@ let note_store t ~off ~len =
     let first = off / line_size and last = (off + len - 1) / line_size in
     for li = first to last do
       (* [pre_store] has already captured the pre-store baseline, so the
-         entry must exist; append the after-store snapshot. *)
-      let st = Hashtbl.find t.lines li in
-      st.snapshots <- st.snapshots @ [ copy_line t li ]
+         state must exist; append the after-store snapshot. *)
+      match t.line_states.(li) with
+      | Some st -> st.snapshots <- st.snapshots @ [ copy_line t li ]
+      | None -> assert false
     done
   end
 
@@ -85,10 +110,13 @@ let pre_store t ~off ~len =
   if t.mode = Crash_safe && len > 0 then begin
     let first = off / line_size and last = (off + len - 1) / line_size in
     for li = first to last do
-      match Hashtbl.find_opt t.lines li with
+      match t.line_states.(li) with
       | Some _ -> ()
       | None ->
-          Hashtbl.add t.lines li { persisted = copy_line t li; snapshots = []; queued = None }
+          t.line_states.(li) <-
+            Some { persisted = copy_line t li; snapshots = []; queued = None };
+          t.dirty_lines <- li :: t.dirty_lines;
+          t.n_dirty <- t.n_dirty + 1
     done
   end
 
@@ -97,45 +125,53 @@ let check_bounds t off len =
     invalid_arg (Printf.sprintf "Pmem: range [%d, %d) out of bounds (size %d)" off (off + len) len)
 
 let get_i64 t off =
-  assert (off land 7 = 0);
-  check_bounds t off 8;
+  if !checks then begin
+    assert (off land 7 = 0);
+    check_bounds t off 8
+  end;
   Bytes.get_int64_le t.data off
 
 let set_i64 t off v =
-  assert (off land 7 = 0);
-  check_bounds t off 8;
+  if !checks then begin
+    assert (off land 7 = 0);
+    check_bounds t off 8
+  end;
   pre_store t ~off ~len:8;
   Bytes.set_int64_le t.data off v;
   note_store t ~off ~len:8
 
 let get_i32 t off =
-  assert (off land 3 = 0);
-  check_bounds t off 4;
+  if !checks then begin
+    assert (off land 3 = 0);
+    check_bounds t off 4
+  end;
   Bytes.get_int32_le t.data off
 
 let set_i32 t off v =
-  assert (off land 3 = 0);
-  check_bounds t off 4;
+  if !checks then begin
+    assert (off land 3 = 0);
+    check_bounds t off 4
+  end;
   pre_store t ~off ~len:4;
   Bytes.set_int32_le t.data off v;
   note_store t ~off ~len:4
 
 let get_u8 t off =
-  check_bounds t off 1;
+  if !checks then check_bounds t off 1;
   Char.code (Bytes.get t.data off)
 
 let set_u8 t off v =
-  check_bounds t off 1;
+  if !checks then check_bounds t off 1;
   pre_store t ~off ~len:1;
   Bytes.set t.data off (Char.chr (v land 0xFF));
   note_store t ~off ~len:1
 
 let read_bytes t ~off ~len =
-  check_bounds t off len;
+  if !checks then check_bounds t off len;
   Bytes.sub t.data off len
 
 let blit_to t ~src ~src_off ~dst_off ~len =
-  check_bounds t dst_off len;
+  if !checks then check_bounds t dst_off len;
   pre_store t ~off:dst_off ~len;
   Bytes.blit src src_off t.data dst_off len;
   note_store t ~off:dst_off ~len
@@ -143,23 +179,23 @@ let blit_to t ~src ~src_off ~dst_off ~len =
 let write_bytes t ~off b = blit_to t ~src:b ~src_off:0 ~dst_off:off ~len:(Bytes.length b)
 
 let blit_from t ~src_off ~dst ~dst_off ~len =
-  check_bounds t src_off len;
+  if !checks then check_bounds t src_off len;
   Bytes.blit t.data src_off dst dst_off len
 
 let fill t ~off ~len c =
-  check_bounds t off len;
+  if !checks then check_bounds t off len;
   pre_store t ~off ~len;
   Bytes.fill t.data off len c;
   note_store t ~off ~len
 
 let flush ?(charge = true) t stats ~off ~len =
   if len > 0 then begin
-    check_bounds t off len;
+    if !checks then check_bounds t off len;
     let first = off / line_size and last = (off + len - 1) / line_size in
     for li = first to last do
       if charge then Stats.flush stats;
       if t.mode = Crash_safe then
-        match Hashtbl.find_opt t.lines li with
+        match t.line_states.(li) with
         | None -> () (* clean line: clwb is a no-op *)
         | Some st -> st.queued <- Some (copy_line t li, List.length st.snapshots)
     done
@@ -168,24 +204,36 @@ let flush ?(charge = true) t stats ~off ~len =
 let fence t stats =
   Stats.fence stats;
   if t.mode = Crash_safe then begin
-    let cleaned = ref [] in
-    Hashtbl.iter
-      (fun li st ->
-        match st.queued with
+    let still = ref [] and n = ref 0 in
+    List.iter
+      (fun li ->
+        match t.line_states.(li) with
         | None -> ()
-        | Some (content, n_at_capture) ->
-            st.persisted <- content;
-            st.queued <- None;
-            (* Drop snapshots that predate the captured content: they can
-               no longer be crash states because something newer is
-               guaranteed durable. *)
-            let total = List.length st.snapshots in
-            let keep = total - n_at_capture in
-            st.snapshots <- (if keep <= 0 then [] else List.filteri (fun i _ -> i >= n_at_capture) st.snapshots);
-            if st.snapshots = [] && Bytes.equal st.persisted (copy_line t li) then
-              cleaned := li :: !cleaned)
-      t.lines;
-    List.iter (fun li -> Hashtbl.remove t.lines li) !cleaned
+        | Some st ->
+            (match st.queued with
+            | None ->
+                still := li :: !still;
+                incr n
+            | Some (content, n_at_capture) ->
+                st.persisted <- content;
+                st.queued <- None;
+                (* Drop snapshots that predate the captured content: they
+                   can no longer be crash states because something newer
+                   is guaranteed durable. *)
+                let total = List.length st.snapshots in
+                let keep = total - n_at_capture in
+                st.snapshots <-
+                  (if keep <= 0 then []
+                   else List.filteri (fun i _ -> i >= n_at_capture) st.snapshots);
+                if st.snapshots = [] && Bytes.equal st.persisted (copy_line t li) then
+                  t.line_states.(li) <- None
+                else begin
+                  still := li :: !still;
+                  incr n
+                end))
+      t.dirty_lines;
+    t.dirty_lines <- !still;
+    t.n_dirty <- !n
   end
 
 let persist t stats ~off ~len =
@@ -220,8 +268,19 @@ let apply_crash_choice t li st idx =
    legitimate epoch turnover (a stale version whose value bytes were
    being overwritten) apart from media damage to cold data. *)
 let finish_crash t =
-  Hashtbl.iter (fun li _ -> Hashtbl.replace t.crash_dirty li ()) t.lines;
-  Hashtbl.reset t.lines
+  List.iter
+    (fun li ->
+      Hashtbl.replace t.crash_dirty li ();
+      t.line_states.(li) <- None)
+    t.dirty_lines;
+  t.dirty_lines <- [];
+  t.n_dirty <- 0
+
+(* Dirty line numbers in ascending order, with their states. *)
+let sorted_dirty t =
+  List.map
+    (fun li -> (li, Option.get t.line_states.(li)))
+    (List.sort compare t.dirty_lines)
 
 let require_crash_safe t =
   if t.mode <> Crash_safe then invalid_arg "Pmem.crash: region is in Fast mode"
@@ -229,17 +288,14 @@ let require_crash_safe t =
 let crash_with t ~choose =
   require_crash_safe t;
   (* Iterate in sorted line order so the callback sees a deterministic
-     sequence regardless of hash-table iteration order. *)
-  let lis = Hashtbl.fold (fun li _ acc -> li :: acc) t.lines [] in
-  let lis = List.sort compare lis in
+     sequence regardless of store order. *)
   List.iter
-    (fun li ->
-      let st = Hashtbl.find t.lines li in
+    (fun (li, st) ->
       let options = 1 + List.length st.snapshots in
       let idx = choose ~line:li ~options in
       assert (idx >= 0 && idx < options);
       apply_crash_choice t li st idx)
-    lis;
+    (sorted_dirty t);
   finish_crash t
 
 let crash t ~rng = crash_with t ~choose:(fun ~line:_ ~options -> Nv_util.Rng.int rng options)
@@ -281,7 +337,7 @@ let inject_bit_rot t ~rng ~lines ~max_bits =
   let hit = ref 0 and flipped = ref 0 in
   for _ = 1 to lines do
     let li = Nv_util.Rng.int rng n_lines in
-    if not (Hashtbl.mem t.lines li) then begin
+    if t.mode <> Crash_safe || t.line_states.(li) = None then begin
       incr hit;
       let bits = 1 + Nv_util.Rng.int rng (max 1 max_bits) in
       for _ = 1 to bits do
@@ -318,18 +374,15 @@ let kill_lines t ~rng ~n =
 let crash_with_faults t ~rng ~model =
   require_crash_safe t;
   let torn = ref 0 in
-  let lis = Hashtbl.fold (fun li _ acc -> li :: acc) t.lines [] in
-  let lis = List.sort compare lis in
   List.iter
-    (fun li ->
-      let st = Hashtbl.find t.lines li in
+    (fun (li, st) ->
       let options = 1 + List.length st.snapshots in
       if options > 1 && Nv_util.Rng.float rng < model.torn_frac then begin
         incr torn;
         torn_mix t rng li st
       end
       else apply_crash_choice t li st (Nv_util.Rng.int rng options))
-    lis;
+    (sorted_dirty t);
   finish_crash t;
   t.faults <- { t.faults with torn_lines = t.faults.torn_lines + !torn };
   if model.rot_lines > 0 then
@@ -357,8 +410,7 @@ let dirty_at_crash t ~off ~len =
   let rec go li = li <= last && (Hashtbl.mem t.crash_dirty li || go (li + 1)) in
   go (off / line_size)
 
-let dirty_line_count t = Hashtbl.length t.lines
+let dirty_line_count t = t.n_dirty
 
 let unpersisted_ranges t =
-  let lis = Hashtbl.fold (fun li _ acc -> li :: acc) t.lines [] in
-  List.map (fun li -> (li * line_size, line_size)) (List.sort compare lis)
+  List.map (fun li -> (li * line_size, line_size)) (List.sort compare t.dirty_lines)

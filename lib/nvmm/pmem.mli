@@ -34,6 +34,16 @@ val create : ?mode:mode -> size:int -> unit -> t
 val mode : t -> mode
 val size : t -> int
 
+val set_checks : bool -> unit
+(** Toggle the per-call alignment/bounds precondition checks on the
+    typed accessors (process-wide; default on, or off when
+    [NVC_PMEM_CHECKS=0] is set). With checks off, a bad access still
+    fails safely on the underlying [Bytes] bounds check — what is lost
+    is only the precise range diagnostic, so throughput runs may turn
+    them off. *)
+
+val checks_enabled : unit -> bool
+
 (** {1 Typed volatile-view accessors}
 
     Offsets are absolute byte offsets into the region. Multi-byte

@@ -1,7 +1,13 @@
 module Stats = Nv_nvmm.Stats
 module Memspec = Nv_nvmm.Memspec
 
-type vref = { core : int; off : int; len : int }
+(* A vref captures the arena buffer it was written into, not just the
+   offset: arenas grow by swapping in a bigger buffer, and when cores
+   run on real domains a reader must not chase [arenas.(core).buf]
+   while the owning core is mid-swap. The captured buffer keeps the
+   value readable either way (growth copies the live prefix). *)
+type vref = { buf : bytes; core : int; off : int; len : int }
+
 type arena = { mutable buf : bytes; mutable used : int }
 type t = { arenas : arena array; mutable peak : int }
 
@@ -12,7 +18,12 @@ let create ~cores ~initial_capacity =
   }
 
 let used_bytes t = Array.fold_left (fun acc a -> acc + a.used) 0 t.arenas
-let peak_bytes t = t.peak
+
+(* Usage only ever grows between resets, so sampling at serial points
+   (metric gauges, mem reports, the epoch-end reset) sees the true
+   high-water mark; nothing is summed across arenas on the per-write
+   hot path, where other cores' [used] fields would race. *)
+let peak_bytes t = max t.peak (used_bytes t)
 
 let ensure a len =
   let cap = Bytes.length a.buf in
@@ -33,12 +44,12 @@ let write t stats ?(charge = true) ~core data =
   let off = a.used in
   a.used <- a.used + ((len + 7) land lnot 7);
   if charge then Stats.dram_write stats ~lines:(lines stats len) ();
-  let total = used_bytes t in
-  if total > t.peak then t.peak <- total;
-  { core; off; len }
+  { buf = a.buf; core; off; len }
 
-let read t stats ?(charge = true) { core; off; len } =
+let read _t stats ?(charge = true) { buf; off; len; _ } =
   if charge then Stats.dram_read stats ~lines:(lines stats len) ();
-  Bytes.sub t.arenas.(core).buf off len
+  Bytes.sub buf off len
 
-let reset t = Array.iter (fun a -> a.used <- 0) t.arenas
+let reset t =
+  t.peak <- peak_bytes t;
+  Array.iter (fun a -> a.used <- 0) t.arenas

@@ -9,9 +9,10 @@
 
 type t
 
-type vref = { core : int; off : int; len : int }
+type vref = { buf : bytes; core : int; off : int; len : int }
 (** Reference to value bytes in some core's arena, valid until the next
-    [reset]. *)
+    [reset]. The buffer is captured at write time so a reader on
+    another domain never races the owning core growing its arena. *)
 
 val create : cores:int -> initial_capacity:int -> t
 (** Arenas grow on demand; [initial_capacity] is per core. *)

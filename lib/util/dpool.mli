@@ -1,0 +1,52 @@
+(** A lazily-spawned pool of OCaml 5 domains for per-core epoch work.
+
+    [run] fans an indexed task out over the pool and returns the results
+    in index order. The pool guarantees nothing about evaluation order
+    when it actually runs wide — callers own their determinism argument
+    (see docs/PARALLELISM.md) — but degenerate runs (width 1, [n <= 1],
+    or a nested call from inside a pool task) evaluate [f 0 .. f (n-1)]
+    in ascending order on the calling domain, exactly like the serial
+    loop they replace.
+
+    Worker domains are spawned lazily on the first wide [run] and are
+    shared process-wide via {!shared}: domains are too scarce (and too
+    slow to start) to give every database instance its own. A [t] is a
+    width-capped view over that shared worker state, so databases with
+    different [parallelism] settings coexist in one process — a width-1
+    view stays serial even after a wider view has spawned workers. *)
+
+type t
+
+val create : width:int -> t
+(** A pool that runs at most [width] domains at once (including the
+    calling domain; [width - 1] workers are spawned lazily). Width is
+    clamped to [1, 64]. Private worker state — prefer {!shared}. *)
+
+val shared : width:int -> t
+(** A view of exactly [width] (clamped to [1, 64]) over the process-wide
+    worker state. Workers are spawned lazily up to the largest width in
+    live use and never shrink. *)
+
+val width : t -> int
+
+val run : t -> n:int -> (int -> 'a) -> 'a array
+(** [run t ~n f] evaluates [f i] for every [i] in [0, n) — concurrently
+    when the pool is wide — and returns [| f 0; ...; f (n-1) |]. Every
+    index is evaluated exactly once even if some raise; after all have
+    finished, the exception with the smallest index is re-raised with
+    its backtrace. Nested calls from inside a pool task run inline,
+    serially. The width cap is enforced through the work size: pass
+    [n <= width t] (derive [n] from {!stripes} or clamp by {!width}). *)
+
+val stripes : t -> cores:int -> int
+(** Largest divisor of [cores] not exceeding the pool width: the number
+    of work stripes that keeps each simulated core's work sequence on a
+    single stripe, in order (stripe of core [c] = [c mod d]). Returns 1
+    when parallel execution is pointless. *)
+
+val backoff : int -> unit
+(** Escalating wait for caller-owned spin loops ([backoff spins] with a
+    counter the caller increments): a pipeline pause for the first few
+    hundred spins, a microsleep beyond. The sleep path keeps spin-waits
+    from burning whole OS timeslices when domains outnumber hardware
+    cores. *)

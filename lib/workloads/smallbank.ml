@@ -137,7 +137,15 @@ let txn_of op =
         ctx.Txn.Ctx.write ~table:checking_table ~key:c
           (balance_bytes (Int64.sub (Int64.sub chk amount) penalty))
   in
-  Txn.make ~input:(encode op) ~write_set body
+  (* Balance reads two undeclared keys and Write_check reads an
+     undeclared savings row; the other three transaction kinds read
+     exactly the keys they declare, so only they may run wide. *)
+  let reads_declared =
+    match op with
+    | Deposit_checking _ | Transact_savings _ | Amalgamate _ -> true
+    | Balance _ | Write_check _ -> false
+  in
+  Txn.make ~reads_declared ~input:(encode op) ~write_set body
 
 let gen_op cfg rng =
   let pick_customer () =

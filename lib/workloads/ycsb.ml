@@ -63,7 +63,9 @@ let txn_of cfg ~nonce keys =
   let write_set =
     Array.to_list (Array.map (fun key -> Txn.Update { table = 0; key }) keys)
   in
-  Txn.make ~input:(encode ~nonce keys) ~write_set (fun ctx ->
+  (* Read-modify-write over exactly the declared update keys: eligible
+     for parallel execution. *)
+  Txn.make ~reads_declared:true ~input:(encode ~nonce keys) ~write_set (fun ctx ->
       Array.iter
         (fun key ->
           match ctx.Txn.Ctx.read ~table:0 ~key with

@@ -17,6 +17,7 @@ let () =
          Test_faults.suites;
          Test_aria.suites;
          Test_partition.suites;
+         Test_parallel.suites;
          Test_obs.suites;
          Test_engine_conf.suites;
        ])

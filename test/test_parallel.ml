@@ -1,0 +1,319 @@
+(* Wide-execution determinism: the same seeded run must be byte-identical
+   at any domain-pool width (--jobs), the wide path must actually engage
+   where the eligibility gate promises it, and the shard-merge algebra
+   the engine folds its per-core meters with must be associative. *)
+
+open Nvcaracal
+module Engine = Nv_harness.Engine
+module Runner = Nv_harness.Runner
+module Ycsb = Nv_workloads.Ycsb
+module W = Nv_workloads.Workload
+module Histogram = Nv_util.Histogram
+module Tracer = Nv_obs.Tracer
+module Pmem = Nv_nvmm.Pmem
+
+let jobs_sweep = [ 1; 2; 4 ]
+
+let with_jobs jobs f =
+  let saved = !Engine.default_jobs in
+  Engine.default_jobs := jobs;
+  Fun.protect ~finally:(fun () -> Engine.default_jobs := saved) f
+
+let tiny_ycsb = Ycsb.make { Ycsb.default with Ycsb.rows = 2000; hot_rows = 64 }
+let setup = Runner.setup ~epochs:4 ~epoch_txns:240 ()
+
+(* Everything observable about one run, folded to comparable values. *)
+type fingerprint = {
+  reports : string list;  (** pp_epoch_stats per epoch, oldest first *)
+  committed : int;
+  time_ns : float;
+  table_digest : string;  (** committed keys and values, sorted *)
+  pmem_digest : string;  (** every byte of the NVMM arena *)
+  trace : Tracer.event list;
+  wide : int;
+}
+
+let digest_table db ~table =
+  let rows = ref [] in
+  Db.iter_committed db ~table (fun key data -> rows := (key, Bytes.to_string data) :: !rows);
+  let rows = List.sort compare !rows in
+  Digest.to_hex
+    (Digest.string
+       (String.concat ";"
+          (List.map (fun (k, v) -> Printf.sprintf "%Ld=%s" k (Digest.string v)) rows)))
+
+let digest_pmem db =
+  let pmem = Db.pmem db in
+  Digest.to_hex (Digest.bytes (Pmem.read_bytes pmem ~off:0 ~len:(Pmem.size pmem)))
+
+(* One serial-engine run with the committed-value cache and the tracer
+   live (the genuinely wide configuration — the golden-output check only
+   covers metrics runs, which force the serial path). *)
+let run_serial_engine ~jobs =
+  with_jobs jobs (fun () ->
+      let w = tiny_ycsb in
+      let config =
+        Engine.caracal_config setup w (Engine.spec (Engine.Caracal Config.Nvcaracal))
+      in
+      let db = Db.create ~config ~tables:w.W.tables () in
+      let tracer = Tracer.create ~txn_sample:4 () in
+      Db.set_observability ~tracer ~name:"parallel-test" db;
+      Db.bulk_load db (w.W.load ());
+      let rng = Nv_util.Rng.create setup.Runner.seed in
+      let reports = ref [] in
+      for _ = 1 to setup.Runner.epochs do
+        let st = Db.run_epoch db (w.W.gen_batch rng setup.Runner.epoch_txns) in
+        reports := Format.asprintf "%a" Report.pp_epoch_stats st :: !reports
+      done;
+      {
+        reports = List.rev !reports;
+        committed = Db.committed_txns db;
+        time_ns = Db.total_time_ns db;
+        table_digest = digest_table db ~table:0;
+        pmem_digest = digest_pmem db;
+        trace = Tracer.events tracer;
+        wide = Db.wide_execs db;
+      })
+
+let run_aria_engine ~jobs =
+  with_jobs jobs (fun () ->
+      let w = tiny_ycsb in
+      (* Caching off: Aria's snapshot phase fills the committed cache on
+         reads, which only the serial loop may do. *)
+      let config =
+        Engine.caracal_config setup w
+          (Engine.spec ~cached_versions:false Engine.Caracal_aria)
+      in
+      let db = Db.create ~config ~tables:w.W.tables () in
+      Db.bulk_load db (w.W.load ());
+      let rng = Nv_util.Rng.create setup.Runner.seed in
+      let reports = ref [] in
+      let deferred = ref [||] in
+      for _ = 1 to setup.Runner.epochs do
+        let batch = Array.append !deferred (w.W.gen_batch rng setup.Runner.epoch_txns) in
+        let st, d = Db.run_epoch_aria db batch in
+        deferred := d;
+        reports := Format.asprintf "%a" Report.pp_epoch_stats st :: !reports
+      done;
+      {
+        reports = List.rev !reports;
+        committed = Db.committed_txns db;
+        time_ns = Db.total_time_ns db;
+        table_digest = digest_table db ~table:0;
+        pmem_digest = digest_pmem db;
+        trace = [];
+        wide = Db.wide_execs db;
+      })
+
+let check_identical what (base : fingerprint) (fp : fingerprint) ~jobs =
+  let tag s = Printf.sprintf "%s jobs=%d: %s" what jobs s in
+  Alcotest.(check (list string)) (tag "epoch reports") base.reports fp.reports;
+  Alcotest.(check int) (tag "committed") base.committed fp.committed;
+  Alcotest.(check (float 0.0)) (tag "simulated time") base.time_ns fp.time_ns;
+  Alcotest.(check string) (tag "committed state") base.table_digest fp.table_digest;
+  Alcotest.(check string) (tag "pmem bytes") base.pmem_digest fp.pmem_digest;
+  Alcotest.(check int) (tag "trace event count") (List.length base.trace)
+    (List.length fp.trace);
+  Alcotest.(check bool) (tag "trace events byte-identical") true (base.trace = fp.trace)
+
+let test_serial_engine_determinism () =
+  let base = run_serial_engine ~jobs:1 in
+  Alcotest.(check int) "jobs=1 never wide" 0 base.wide;
+  Alcotest.(check bool) "trace recorded" true (base.trace <> []);
+  List.iter
+    (fun jobs ->
+      let fp = run_serial_engine ~jobs in
+      check_identical "serial-cc" base fp ~jobs;
+      if jobs > 1 then
+        Alcotest.(check bool)
+          (Printf.sprintf "jobs=%d ran wide" jobs)
+          true (fp.wide > 0))
+    jobs_sweep
+
+let test_aria_engine_determinism () =
+  let base = run_aria_engine ~jobs:1 in
+  Alcotest.(check int) "jobs=1 never wide" 0 base.wide;
+  List.iter
+    (fun jobs ->
+      let fp = run_aria_engine ~jobs in
+      check_identical "aria-cc" base fp ~jobs;
+      if jobs > 1 then
+        Alcotest.(check bool)
+          (Printf.sprintf "jobs=%d ran wide" jobs)
+          true (fp.wide > 0))
+    jobs_sweep
+
+(* --- Partitioned runs: per-node work fans out over the pool. --- *)
+
+let accounts = 96
+
+let balance_bytes v =
+  let b = Bytes.create 8 in
+  Bytes.set_int64_le b 0 v;
+  b
+
+let transfer ~src ~dst ~amount =
+  Txn.make ~input:Bytes.empty ~write_set:[] (fun ctx ->
+      let bal key =
+        match ctx.Txn.Ctx.read ~table:0 ~key with
+        | Some v -> Bytes.get_int64_le v 0
+        | None -> failwith "missing account"
+      in
+      let s = bal src in
+      if Int64.compare s amount < 0 then ctx.Txn.Ctx.abort ();
+      let d = bal dst in
+      ctx.Txn.Ctx.write ~table:0 ~key:src (balance_bytes (Int64.sub s amount));
+      ctx.Txn.Ctx.write ~table:0 ~key:dst (balance_bytes (Int64.add d amount)))
+
+let gen_transfers seed n =
+  let rng = Nv_util.Rng.create seed in
+  Array.init n (fun _ ->
+      let src = Int64.of_int (Nv_util.Rng.int rng accounts) in
+      let rec dst () =
+        let d = Int64.of_int (Nv_util.Rng.int rng accounts) in
+        if d = src then dst () else d
+      in
+      transfer ~src ~dst:(dst ()) ~amount:(Int64.of_int (1 + Nv_util.Rng.int rng 20)))
+
+let run_partitioned ~jobs =
+  let config =
+    Config.make ~cores:4 ~rows_per_core:4096 ~values_per_core:4096
+      ~freelist_capacity:4096 ~parallelism:jobs ()
+  in
+  let tables = [ Table.make ~id:0 ~name:"accounts" () ] in
+  let c = Partition.create ~config ~tables ~nodes:3 () in
+  Partition.bulk_load c
+    (Seq.init accounts (fun i -> (0, Int64.of_int i, balance_bytes 100L)));
+  for seed = 1 to 5 do
+    let rec go batch rounds =
+      if Array.length batch > 0 && rounds <= 20 then
+        let _, deferred = Partition.run_epoch c (batch : Txn.t array) in
+        go deferred (rounds + 1)
+    in
+    go (gen_transfers seed 40) 0
+  done;
+  let balances =
+    List.init accounts (fun k ->
+        match Partition.read c ~table:0 ~key:(Int64.of_int k) with
+        | Some v -> Bytes.get_int64_le v 0
+        | None -> -1L)
+  in
+  (balances, Partition.committed_txns c, Partition.total_time_ns c)
+
+let test_partition_determinism () =
+  let base = run_partitioned ~jobs:1 in
+  List.iter
+    (fun jobs ->
+      let balances, committed, time_ns = run_partitioned ~jobs in
+      let b0, c0, t0 = base in
+      Alcotest.(check (list int64))
+        (Printf.sprintf "jobs=%d balances" jobs)
+        b0 balances;
+      Alcotest.(check int) (Printf.sprintf "jobs=%d committed" jobs) c0 committed;
+      Alcotest.(check (float 0.0)) (Printf.sprintf "jobs=%d time" jobs) t0 time_ns)
+    jobs_sweep
+
+(* --- Crash + recovery under a wide pool: crash-safe mode always runs
+   serial, so a parallelism setting must change nothing. --- *)
+
+let run_recovery ~jobs =
+  with_jobs jobs (fun () ->
+      let r =
+        Runner.run_recovery setup tiny_ycsb ~crash_after_txns:120 ()
+      in
+      Format.asprintf "%a" Report.pp_recovery_report r.Runner.report)
+
+let test_recovery_determinism () =
+  let base = run_recovery ~jobs:1 in
+  List.iter
+    (fun jobs ->
+      Alcotest.(check string)
+        (Printf.sprintf "jobs=%d recovery report" jobs)
+        base (run_recovery ~jobs))
+    jobs_sweep
+
+(* --- Merge algebra: the folds wide execution relies on. --- *)
+
+let mk_stats ~epoch ~txns ~vw ~dur ~phases =
+  {
+    Report.zero_epoch_stats with
+    Report.epoch;
+    txns;
+    aborted = epoch;
+    version_writes = vw;
+    persistent_writes = vw / 2;
+    minor_gc = epoch * 2;
+    cache_hits = vw + 1;
+    log_bytes = vw * 64;
+    duration_ns = dur;
+    phases;
+  }
+
+let test_epoch_stats_merge () =
+  let a = mk_stats ~epoch:3 ~txns:100 ~vw:10 ~dur:50.0 ~phases:[ ("log", 1.0); ("execute", 4.0) ] in
+  let b = mk_stats ~epoch:3 ~txns:100 ~vw:7 ~dur:75.0 ~phases:[ ("execute", 2.0); ("gc", 1.5) ] in
+  let c = mk_stats ~epoch:3 ~txns:100 ~vw:1 ~dur:60.0 ~phases:[ ("log", 0.5) ] in
+  let m = Report.merge_epoch_stats in
+  let ab = m a b in
+  Alcotest.(check int) "counters add" 17 ab.Report.version_writes;
+  Alcotest.(check int) "epoch maxes" 3 ab.Report.epoch;
+  Alcotest.(check (float 0.0)) "duration maxes" 75.0 ab.Report.duration_ns;
+  Alcotest.(check (list (pair string (float 0.0))))
+    "phases sum by name, first-appearance order"
+    [ ("log", 1.0); ("execute", 6.0); ("gc", 1.5) ]
+    ab.Report.phases;
+  (* Identity. *)
+  Alcotest.(check bool) "left identity" true (m Report.zero_epoch_stats a = a);
+  Alcotest.(check bool) "right identity" true (m a Report.zero_epoch_stats = a);
+  (* Associativity — the property that lets per-core shards fold in any
+     grouping. *)
+  Alcotest.(check bool) "associative" true (m (m a b) c = m a (m b c));
+  Alcotest.(check bool) "associative (rotated)" true (m (m b c) a = m b (m c a))
+
+let test_histogram_merge () =
+  let of_samples l =
+    let h = Histogram.create () in
+    List.iter (Histogram.add h) l;
+    h
+  in
+  let a = of_samples [ 1.0; 10.0; 100.0 ] in
+  let b = of_samples [ 5.0; 50.0 ] in
+  let c = of_samples [ 0.5; 2000.0; 7.0 ] in
+  let m = Histogram.merge in
+  let ab = m a b in
+  Alcotest.(check int) "counts add" 5 (Histogram.count ab);
+  Alcotest.(check (float 1e-9)) "mean combines" 33.2 (Histogram.mean ab);
+  Alcotest.(check (float 0.0)) "min combines" 1.0 (Histogram.min_value ab);
+  Alcotest.(check (float 0.0)) "max combines" 100.0 (Histogram.max_value ab);
+  let fp h =
+    ( Histogram.count h,
+      Histogram.mean h,
+      Histogram.min_value h,
+      Histogram.max_value h,
+      Histogram.buckets h )
+  in
+  (* Identity and associativity, up to the bucketed representation. *)
+  Alcotest.(check bool) "left identity" true (fp (m (Histogram.create ()) a) = fp a);
+  Alcotest.(check bool) "right identity" true (fp (m a (Histogram.create ())) = fp a);
+  Alcotest.(check bool) "associative" true (fp (m (m a b) c) = fp (m a (m b c)));
+  (* Merging must not alias or mutate its inputs. *)
+  ignore (m a b);
+  Alcotest.(check int) "left input untouched" 3 (Histogram.count a);
+  Alcotest.(check int) "right input untouched" 2 (Histogram.count b)
+
+let suites =
+  [
+    ( "parallel",
+      [
+        Alcotest.test_case "serial CC determinism across jobs" `Slow
+          test_serial_engine_determinism;
+        Alcotest.test_case "aria CC determinism across jobs" `Slow
+          test_aria_engine_determinism;
+        Alcotest.test_case "partitioned determinism across jobs" `Slow
+          test_partition_determinism;
+        Alcotest.test_case "recovery determinism across jobs" `Slow
+          test_recovery_determinism;
+        Alcotest.test_case "epoch-stats merge algebra" `Quick test_epoch_stats_merge;
+        Alcotest.test_case "histogram merge algebra" `Quick test_histogram_merge;
+      ] );
+  ]
