@@ -1,6 +1,6 @@
 # Convenience entry points; everything is plain dune underneath.
 
-.PHONY: all build test test-parallel fmt-check golden check bench fuzz diff-fuzz clean
+.PHONY: all build test test-parallel fmt-check golden serve-check check bench fuzz diff-fuzz clean
 
 all: build
 
@@ -28,7 +28,13 @@ fmt-check:
 golden:
 	bash scripts/golden_check.sh
 
-check: build test test-parallel fmt-check golden
+# Real-socket smoke of the networked front end: serve on a Unix
+# socket, drive 32 concurrent clients for 3200 transactions, assert a
+# clean drain/shutdown with zero protocol errors.
+serve-check:
+	bash scripts/serve_check.sh
+
+check: build test test-parallel fmt-check golden serve-check
 
 bench:
 	dune exec bench/main.exe

@@ -20,47 +20,18 @@ let list_experiments () =
     (fun (id, desc, _) -> Format.fprintf ppf "%-8s %s@." id desc)
     Nv_harness.Experiments.all
 
-(* Install the shared observability sinks behind --trace/--metrics and
-   return a flush function writing the collected data out after the
-   selected experiments ran. *)
+(* The shared observability sinks behind --trace/--metrics
+   (Nv_harness.Cli), installed into the Runner defaults so every
+   experiment reports into them; the returned flush writes the
+   collected data out after the selected experiments ran. *)
 let setup_observability ~trace_file ~metrics_file =
-  let tracer =
-    match trace_file with
-    | None -> None
-    | Some _ ->
-        let tr = Nv_obs.Tracer.create () in
-        Nv_harness.Runner.default_tracer := tr;
-        Some tr
+  let tracer, metrics, flush =
+    Nv_harness.Cli.observability ~prog:"nvcaracal-bench" ~trace:trace_file
+      ~metrics:metrics_file ()
   in
-  let metrics =
-    match metrics_file with
-    | None -> None
-    | Some _ ->
-        let m = Nv_obs.Metrics.create () in
-        Nv_harness.Runner.default_metrics := m;
-        Some m
-  in
-  let write what f file =
-    try f file
-    with Sys_error msg ->
-      Format.eprintf "nvcaracal-bench: cannot write %s file: %s@." what msg;
-      exit 1
-  in
-  fun () ->
-    (match (trace_file, tracer) with
-    | Some file, Some tr ->
-        write "trace" (Nv_obs.Trace_export.write_file tr) file;
-        Format.fprintf ppf "@.wrote %d trace events to %s (open in ui.perfetto.dev)@."
-          (Nv_obs.Tracer.event_count tr)
-          file
-    | _ -> ());
-    match (metrics_file, metrics) with
-    | Some file, Some m ->
-        write "metrics" (Nv_obs.Metrics.write_jsonl m) file;
-        Format.fprintf ppf "wrote %d epoch metric records to %s@."
-          (List.length (Nv_obs.Metrics.records m))
-          file
-    | _ -> ()
+  (match tracer with Some tr -> Nv_harness.Runner.default_tracer := tr | None -> ());
+  (match metrics with Some m -> Nv_harness.Runner.default_metrics := m | None -> ());
+  flush
 
 let run_experiments only =
   let selected =
@@ -294,20 +265,8 @@ let () =
   let micro_flag =
     Arg.(value & flag & info [ "micro" ] ~doc:"Run Bechamel microbenchmarks instead.")
   in
-  let trace_file =
-    Arg.(
-      value
-      & opt (some string) None
-      & info [ "trace" ] ~docv:"FILE"
-          ~doc:"Record simulated-time spans and write a Perfetto/Chrome trace to $(docv).")
-  in
-  let metrics_file =
-    Arg.(
-      value
-      & opt (some string) None
-      & info [ "metrics" ] ~docv:"FILE"
-          ~doc:"Write per-epoch metric snapshots (JSON lines) to $(docv).")
-  in
+  let trace_file = Nv_harness.Cli.trace in
+  let metrics_file = Nv_harness.Cli.metrics in
   let snapshot_file =
     Arg.(
       value
@@ -326,18 +285,9 @@ let () =
             "Measure wall-clock scaling of the engine's domain pool (jobs 1 vs 4 on the \
              headline workloads), write the results as JSON to $(docv) and exit.")
   in
-  let jobs_arg =
-    Arg.(
-      value
-      & opt int !Nv_harness.Engine.default_jobs
-      & info [ "j"; "jobs" ] ~docv:"N"
-          ~doc:
-            "Domain-pool width for the engine's per-core phase loops (default from \
-             $(b,NVC_JOBS), else 1 = serial). Simulated-time results are identical at any \
-             value; only host wall-clock changes.")
-  in
+  let jobs_arg = Nv_harness.Cli.jobs in
   let main only list_it micro_it trace_file metrics_file snapshot_file parallel_file jobs =
-    Nv_harness.Engine.default_jobs := max 1 jobs;
+    Nv_harness.Cli.set_jobs jobs;
     if list_it then list_experiments ()
     else if micro_it then micro ()
     else

@@ -4,114 +4,23 @@
      run      — run a benchmark workload on a chosen engine/design
      recover  — run, crash mid-epoch, recover, and report the breakdown
      mem      — run and print the DRAM/NVMM consumption breakdown
+     serve    — serve the wire protocol on a socket, batching clients
+     loadgen  — drive a running server with concurrent clients
 
    Examples:
      dune exec bin/nvdb.exe -- run --workload smallbank --contention high
      dune exec bin/nvdb.exe -- run --workload ycsb --engine zen
      dune exec bin/nvdb.exe -- recover --workload tpcc --epochs 4
-     dune exec bin/nvdb.exe -- mem --workload ycsb *)
+     dune exec bin/nvdb.exe -- serve --listen /tmp/nvdb.sock &
+     dune exec bin/nvdb.exe -- loadgen --clients 32 --txns 100 --shutdown *)
 
 open Cmdliner
 module Runner = Nv_harness.Runner
+module Cli = Nv_harness.Cli
 module Config = Nvcaracal.Config
+module Engine_intf = Nvcaracal.Engine_intf
 
 let ppf = Format.std_formatter
-
-(* ------------------------------------------------------------------ *)
-(* Shared arguments                                                    *)
-
-let workload_arg =
-  let doc = "Benchmark: ycsb, ycsb-smallrow, smallbank, or tpcc." in
-  Arg.(value & opt string "ycsb" & info [ "w"; "workload" ] ~docv:"NAME" ~doc)
-
-let contention_arg =
-  let doc = "Contention level: low, med (YCSB only), or high." in
-  Arg.(value & opt string "low" & info [ "c"; "contention" ] ~docv:"LEVEL" ~doc)
-
-let epochs_arg =
-  Arg.(value & opt int 8 & info [ "epochs" ] ~docv:"N" ~doc:"Number of epochs to run.")
-
-let txns_arg =
-  Arg.(value & opt int 1000 & info [ "txns" ] ~docv:"N" ~doc:"Transactions per epoch.")
-
-let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Workload seed.")
-
-let jobs_arg =
-  let doc =
-    "Domain-pool width for the engine's per-core phase loops (default from \\$(b,NVC_JOBS), \
-     else 1 = serial). Seeded results are byte-identical at any value."
-  in
-  Arg.(
-    value
-    & opt int !Nv_harness.Engine.default_jobs
-    & info [ "j"; "jobs" ] ~docv:"N" ~doc)
-
-(* The pool width is global harness state, set once at parse time. *)
-let set_jobs jobs = Nv_harness.Engine.default_jobs := max 1 jobs
-
-let engine_arg =
-  let doc =
-    "Engine or design variant: nvcaracal, all-nvmm, hybrid, no-logging, all-dram, wal, aria, \
-     or zen."
-  in
-  Arg.(value & opt string "nvcaracal" & info [ "e"; "engine" ] ~docv:"ENGINE" ~doc)
-
-let trace_arg =
-  let doc = "Record simulated-time spans and write a Perfetto/Chrome trace to $(docv)." in
-  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
-
-let metrics_arg =
-  let doc = "Write per-epoch metric snapshots (JSON lines) to $(docv)." in
-  Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
-
-(* Build the sinks requested on the command line; the returned flush
-   writes the files once the run completed. *)
-let observability trace_file metrics_file =
-  let tracer = match trace_file with None -> None | Some _ -> Some (Nv_obs.Tracer.create ()) in
-  let metrics =
-    match metrics_file with None -> None | Some _ -> Some (Nv_obs.Metrics.create ())
-  in
-  let write what f file =
-    try f file
-    with Sys_error msg ->
-      Format.eprintf "nvdb: cannot write %s file: %s@." what msg;
-      exit 1
-  in
-  let flush () =
-    (match (trace_file, tracer) with
-    | Some file, Some tr ->
-        write "trace" (Nv_obs.Trace_export.write_file tr) file;
-        Format.fprintf ppf "wrote %d trace events to %s (open in ui.perfetto.dev)@."
-          (Nv_obs.Tracer.event_count tr)
-          file
-    | _ -> ());
-    match (metrics_file, metrics) with
-    | Some file, Some m ->
-        write "metrics" (Nv_obs.Metrics.write_jsonl m) file;
-        Format.fprintf ppf "wrote %d epoch metric records to %s@."
-          (List.length (Nv_obs.Metrics.records m))
-          file
-    | _ -> ()
-  in
-  (tracer, metrics, flush)
-
-let resolve_workload name contention =
-  let level3 =
-    match contention with
-    | "low" -> `Low
-    | "med" | "medium" -> `Medium
-    | "high" -> `High
-    | other -> failwith (Printf.sprintf "unknown contention %S" other)
-  in
-  let level2 = match level3 with `Medium -> `High | (`Low | `High) as l -> l in
-  match name with
-  | "ycsb" ->
-      ( Nv_workloads.Ycsb.(make (with_contention level3 default)),
-        0 (* insert growth *) )
-  | "ycsb-smallrow" -> (Nv_workloads.Ycsb.(make (smallrow (with_contention level3 default))), 0)
-  | "smallbank" -> (Nv_workloads.Smallbank.(make (with_contention level2 default)), 0)
-  | "tpcc" -> (Nv_workloads.Tpcc.(make (with_contention level2 default)), 15)
-  | other -> failwith (Printf.sprintf "unknown workload %S" other)
 
 let print_result (r : Runner.result) =
   Format.fprintf ppf "workload        %s@." r.Runner.label;
@@ -132,30 +41,30 @@ let print_result (r : Runner.result) =
 
 let run_cmd =
   let run workload contention engine epochs txns seed jobs trace_file metrics_file =
-    set_jobs jobs;
-    let w, growth = resolve_workload workload contention in
+    Cli.set_jobs jobs;
+    let w, growth = Cli.resolve_workload workload contention in
     let setup = Runner.setup ~epochs ~epoch_txns:txns ~seed ~insert_growth:growth () in
-    let tracer, metrics, flush_obs = observability trace_file metrics_file in
-    let spec =
-      match Nv_harness.Engine.of_string engine with
-      | Some spec -> spec
-      | None -> failwith (Printf.sprintf "unknown engine %S" engine)
+    let tracer, metrics, flush_obs =
+      Cli.observability ~trace:trace_file ~metrics:metrics_file ()
     in
+    let spec = Cli.resolve_engine engine in
     print_result (Runner.run ?tracer ?metrics spec setup w);
     flush_obs ()
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run a benchmark workload")
     Term.(
-      const run $ workload_arg $ contention_arg $ engine_arg $ epochs_arg $ txns_arg $ seed_arg
-      $ jobs_arg $ trace_arg $ metrics_arg)
+      const run $ Cli.workload $ Cli.contention $ Cli.engine $ Cli.epochs $ Cli.txns $ Cli.seed
+      $ Cli.jobs $ Cli.trace $ Cli.metrics)
 
 let recover_cmd =
   let run workload contention epochs txns seed jobs trace_file metrics_file =
-    set_jobs jobs;
-    let w, growth = resolve_workload workload contention in
+    Cli.set_jobs jobs;
+    let w, growth = Cli.resolve_workload workload contention in
     let setup = Runner.setup ~epochs ~epoch_txns:txns ~seed ~insert_growth:growth () in
-    let tracer, metrics, flush_obs = observability trace_file metrics_file in
+    let tracer, metrics, flush_obs =
+      Cli.observability ~trace:trace_file ~metrics:metrics_file ()
+    in
     let { Runner.r_label; report } =
       Runner.run_recovery setup w ~crash_after_txns:(txns * 9 / 10) ?tracer ?metrics ()
     in
@@ -166,20 +75,21 @@ let recover_cmd =
   Cmd.v
     (Cmd.info "recover" ~doc:"Crash a run mid-epoch and measure recovery")
     Term.(
-      const run $ workload_arg $ contention_arg $ epochs_arg $ txns_arg $ seed_arg $ jobs_arg
-      $ trace_arg $ metrics_arg)
+      const run $ Cli.workload $ Cli.contention $ Cli.epochs $ Cli.txns $ Cli.seed $ Cli.jobs
+      $ Cli.trace $ Cli.metrics)
 
 let mem_cmd =
   let run workload contention epochs txns seed jobs =
-    set_jobs jobs;
-    let w, growth = resolve_workload workload contention in
+    Cli.set_jobs jobs;
+    let w, growth = Cli.resolve_workload workload contention in
     let setup = Runner.setup ~epochs ~epoch_txns:txns ~seed ~insert_growth:growth () in
     let r = Runner.run_nvcaracal setup w ~variant:Config.Nvcaracal () in
     Format.fprintf ppf "%a@." Nvcaracal.Report.pp_mem_report r.Runner.mem
   in
   Cmd.v
     (Cmd.info "mem" ~doc:"Report DRAM/NVMM consumption for a workload")
-    Term.(const run $ workload_arg $ contention_arg $ epochs_arg $ txns_arg $ seed_arg $ jobs_arg)
+    Term.(
+      const run $ Cli.workload $ Cli.contention $ Cli.epochs $ Cli.txns $ Cli.seed $ Cli.jobs)
 
 let fuzz_cmd =
   let iters =
@@ -200,7 +110,7 @@ let fuzz_cmd =
     Arg.(value & flag & info [ "diff" ] ~doc)
   in
   let run seed iterations faults diff jobs =
-    set_jobs jobs;
+    Cli.set_jobs jobs;
     let outcome =
       Nv_harness.Fuzzer.run ~seed ~iterations ~faults ~diff
         ~log:(fun line -> Format.fprintf ppf "%s@." line)
@@ -223,7 +133,7 @@ let fuzz_cmd =
   in
   Cmd.v
     (Cmd.info "fuzz" ~doc:"Randomized crash-recovery fuzzing against an oracle")
-    Term.(const run $ seed_arg $ iters $ faults_flag $ diff_flag $ jobs_arg)
+    Term.(const run $ Cli.seed $ iters $ faults_flag $ diff_flag $ Cli.jobs)
 
 let scrub_cmd =
   let fault_arg =
@@ -231,8 +141,8 @@ let scrub_cmd =
     Arg.(value & opt string "rot" & info [ "fault" ] ~docv:"KIND" ~doc)
   in
   let run workload contention epochs txns seed jobs fault =
-    set_jobs jobs;
-    let w, growth = resolve_workload workload contention in
+    Cli.set_jobs jobs;
+    let w, growth = Cli.resolve_workload workload contention in
     let setup = Runner.setup ~epochs ~epoch_txns:txns ~seed ~insert_growth:growth () in
     let faults =
       let open Nv_nvmm.Pmem in
@@ -261,12 +171,146 @@ let scrub_cmd =
     (Cmd.info "scrub"
        ~doc:"Crash through a media-fault model and recover with checksum scrubbing")
     Term.(
-      const run $ workload_arg $ contention_arg $ epochs_arg $ txns_arg $ seed_arg $ jobs_arg
+      const run $ Cli.workload $ Cli.contention $ Cli.epochs $ Cli.txns $ Cli.seed $ Cli.jobs
       $ fault_arg)
+
+(* ------------------------------------------------------------------ *)
+(* Networked front end                                                 *)
+
+let serve_cmd =
+  let batch_target_arg =
+    Arg.(
+      value & opt int 256
+      & info [ "batch-target" ] ~docv:"N" ~doc:"Close a batch at $(docv) admitted transactions.")
+  in
+  let deadline_arg =
+    Arg.(
+      value & opt int 8
+      & info [ "deadline-ticks" ] ~docv:"N"
+          ~doc:"Close an under-filled batch $(docv) event-loop rounds after its oldest arrival.")
+  in
+  let max_pending_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-pending" ] ~docv:"N"
+          ~doc:
+            "Admission bound: beyond $(docv) queued transactions submits are rejected as \
+             overloaded (default 4x the batch target).")
+  in
+  let capacity_arg =
+    Arg.(
+      value & opt int 200_000
+      & info [ "capacity" ] ~docv:"TXNS"
+          ~doc:"Provision engine pools for $(docv) admitted transactions over the server's life.")
+  in
+  let once_flag =
+    Arg.(
+      value & flag
+      & info [ "once" ]
+          ~doc:"Exit after the first wave of clients has disconnected (instead of Shutdown).")
+  in
+  let run workload contention engine seed jobs listen batch_target deadline max_pending capacity
+      once trace_file metrics_file =
+    Cli.set_jobs jobs;
+    let w, growth = Cli.resolve_workload workload contention in
+    let spec = Cli.resolve_engine engine in
+    let address = Cli.parse_address listen in
+    let batcher = Nv_frontend.Batcher.config ~batch_target ~deadline_ticks:deadline ?max_pending () in
+    let setup =
+      Nv_harness.Engine.setup
+        ~epochs:((capacity / batch_target) + 1)
+        ~epoch_txns:batch_target ~seed ~insert_growth:growth ()
+    in
+    let tracer, metrics, flush_obs =
+      Cli.observability ~trace:trace_file ~metrics:metrics_file ()
+    in
+    let (Engine_intf.Packed ((module E), db) as engine) =
+      Nv_harness.Engine.instantiate spec setup w
+    in
+    E.bulk_load db (w.Nv_workloads.Workload.load ());
+    E.set_observability ?tracer ?metrics db;
+    let registry = Nv_frontend.Proc.of_workload w in
+    Format.fprintf ppf "nvdb: serving %s on %s (%s; batch %d, deadline %d ticks)@."
+      w.Nv_workloads.Workload.name listen
+      (Nv_harness.Engine.label spec w)
+      batch_target deadline;
+    let stats =
+      Nv_frontend.Server.serve ?tracer ?metrics ~engine ~registry
+        ~tables:w.Nv_workloads.Workload.tables
+        (Nv_frontend.Server.config ~batcher ~once address)
+    in
+    Format.fprintf ppf "clients served    %d@." stats.Nv_frontend.Server.clients_served;
+    Format.fprintf ppf "admitted          %d@." stats.Nv_frontend.Server.admitted;
+    Format.fprintf ppf "committed         %d@." stats.Nv_frontend.Server.committed;
+    Format.fprintf ppf "aborted           %d@." stats.Nv_frontend.Server.aborted;
+    Format.fprintf ppf "rejected          %d@." stats.Nv_frontend.Server.rejected;
+    Format.fprintf ppf "epochs            %d@." stats.Nv_frontend.Server.epochs;
+    Format.fprintf ppf "protocol errors   %d@." stats.Nv_frontend.Server.protocol_errors;
+    Format.fprintf ppf "state digest      %Lx@." stats.Nv_frontend.Server.digest;
+    flush_obs ();
+    if stats.Nv_frontend.Server.protocol_errors > 0 then exit 3
+  in
+  Cmd.v
+    (Cmd.info "serve" ~doc:"Serve the wire protocol on a socket, batching clients into epochs")
+    Term.(
+      const run $ Cli.workload $ Cli.contention $ Cli.engine $ Cli.seed $ Cli.jobs $ Cli.listen
+      $ batch_target_arg $ deadline_arg $ max_pending_arg $ capacity_arg $ once_flag $ Cli.trace
+      $ Cli.metrics)
+
+let loadgen_cmd =
+  let clients_arg =
+    Arg.(value & opt int 8 & info [ "clients" ] ~docv:"N" ~doc:"Concurrent client connections.")
+  in
+  let txns_arg =
+    Arg.(value & opt int 100 & info [ "txns" ] ~docv:"N" ~doc:"Transactions per client.")
+  in
+  let window_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "window" ] ~docv:"N"
+          ~doc:"Max in-flight calls per client (1 = closed loop; large = open-loop overload).")
+  in
+  let think_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "think" ] ~docv:"TICKS" ~doc:"Think time in loop rounds after each completion.")
+  in
+  let shutdown_flag =
+    Arg.(
+      value & flag
+      & info [ "shutdown" ] ~doc:"Ask the server to drain and exit once every client is done.")
+  in
+  let run workload contention seed listen clients txns window think shutdown =
+    let w, _growth = Cli.resolve_workload workload contention in
+    let address = Cli.parse_address listen in
+    let cfg =
+      Nv_frontend.Loadgen.config ~clients ~txns_per_client:txns ~seed ~window ~think_ticks:think
+        ~shutdown address
+    in
+    let stats = Nv_frontend.Loadgen.run cfg w in
+    Format.fprintf ppf "sent              %d@." stats.Nv_frontend.Loadgen.sent;
+    Format.fprintf ppf "committed         %d@." stats.Nv_frontend.Loadgen.committed;
+    Format.fprintf ppf "aborted           %d@." stats.Nv_frontend.Loadgen.aborted;
+    Format.fprintf ppf "rejected          %d@." stats.Nv_frontend.Loadgen.rejected;
+    Format.fprintf ppf "protocol errors   %d@." stats.Nv_frontend.Loadgen.protocol_errors;
+    (match stats.Nv_frontend.Loadgen.digests with
+    | d :: _ -> Format.fprintf ppf "state digest      %Lx@." d
+    | [] -> ());
+    if stats.Nv_frontend.Loadgen.protocol_errors > 0 then exit 3
+  in
+  Cmd.v
+    (Cmd.info "loadgen" ~doc:"Drive a running nvdb server with concurrent clients")
+    Term.(
+      const run $ Cli.workload $ Cli.contention $ Cli.seed $ Cli.listen $ clients_arg $ txns_arg
+      $ window_arg $ think_arg $ shutdown_flag)
 
 let () =
   let info =
     Cmd.info "nvdb" ~version:"1.0.0"
       ~doc:"NVCaracal: a deterministic database with NVMM storage (EuroSys'23 reproduction)"
   in
-  exit (Cmd.eval (Cmd.group info [ run_cmd; recover_cmd; mem_cmd; fuzz_cmd; scrub_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ run_cmd; recover_cmd; mem_cmd; fuzz_cmd; scrub_cmd; serve_cmd; loadgen_cmd ]))

@@ -191,11 +191,13 @@ let run ?(replay = false) t txns =
           buffer)
     buffers;
   let deferred = ref [] in
+  let outcomes = Array.make n `Committed in
   let decisions : ((int * int64) * int * bytes) list ref = ref [] in
   for i = 0 to n - 1 do
     let core = core_of t i in
     let stats = stats_of t core in
     if user_aborted.(i) then begin
+      outcomes.(i) <- `Aborted;
       t.m_aborted.(core) <- t.m_aborted.(core) + 1;
       t.total_aborted.(core) <- t.total_aborted.(core) + 1
     end
@@ -209,6 +211,7 @@ let run ?(replay = false) t txns =
       in
       Stats.compute stats ~ops:(1 + Hashtbl.length read_sets.(i)) ();
       if conflict then begin
+        outcomes.(i) <- `Deferred;
         deferred := txns.(i) :: !deferred;
         t.m_aborted.(core) <- t.m_aborted.(core) + 1
       end
@@ -257,6 +260,7 @@ let run ?(replay = false) t txns =
   checkpoint_allocators t;
   phase_span t "epoch-persist" (fun () ->
       Meta.persist_epoch t.meta stats0 ~epoch:t.epoch;
+      t.last_outcomes <- outcomes;
       hook t Checkpointed);
   List.iter
     (fun (row : Row.t) ->

@@ -273,7 +273,7 @@ let run ?(replay = false) t txns =
   (* --- Insert step. --- *)
   let entries = Array.make n (ref []) in
   let notes = Array.init n (fun _ -> Hashtbl.create 4) in
-  let outcomes = Array.make n false in
+  let outcomes = Array.make n `Committed in
   for i = 0 to n - 1 do
     entries.(i) <- ref []
   done;
@@ -419,7 +419,7 @@ let run ?(replay = false) t txns =
         false
       with Txn.Aborted -> true
     in
-    outcomes.(i) <- aborted;
+    if aborted then outcomes.(i) <- `Aborted;
     if aborted then begin
       t.m_aborted.(core) <- t.m_aborted.(core) + 1;
       t.total_aborted.(core) <- t.total_aborted.(core) + 1;

@@ -39,6 +39,7 @@ let run_epoch_aria t txns =
   Cc_aria.run t txns
 
 let last_epoch_outcomes = Epoch.last_epoch_outcomes
+let last_batch_outcomes = Epoch.last_batch_outcomes
 let advance_core = Epoch.advance_core
 let snapshot_read = Epoch.snapshot_read
 let read_committed = Epoch.read_committed
@@ -74,6 +75,7 @@ module Engine_common = struct
   let mem_report = mem_report
   let counters_total = counters_total
   let set_observability = set_observability
+  let last_batch_outcomes = last_batch_outcomes
   let pmem = pmem
   let crash = crash
 end

@@ -62,6 +62,11 @@ val last_epoch_outcomes : t -> [ `Committed | `Aborted ] array
     order — set only once the epoch has been checkpointed (the
     visibility rule of section 6.2.3). *)
 
+val last_batch_outcomes : t -> [ `Committed | `Aborted | `Deferred ] array
+(** Like {!last_epoch_outcomes} but covering both CC modes: Aria marks
+    conflict victims [`Deferred] (they were returned for resubmission
+    and count neither as committed nor as finally aborted). *)
+
 val run_epoch_aria : t -> Txn.t array -> Report.epoch_stats * Txn.t array
 (** Aria-style deterministic execution (the paper's section 7 future
     work, after Lu et al., VLDB 2020): transactions need {e no}

@@ -52,6 +52,15 @@ module type S = sig
   (** Visit all live keys of a table with their committed values, in
       unspecified order (uncharged). *)
 
+  val last_batch_outcomes : t -> [ `Committed | `Aborted | `Deferred ] array
+  (** Per-transaction outcome of the last [run_batch], in batch order —
+      populated only once that batch's epoch is checkpointed (the
+      visibility rule of paper section 6.2.3), so front ends may hand
+      these outcomes straight to clients. [`Deferred] marks the
+      transactions the engine returned for resubmission; engines that
+      never defer report only [`Committed]/[`Aborted]. [[||]] before
+      the first batch. *)
+
   val committed_txns : t -> int
   val aborted_txns : t -> int
   (** Cumulative commit/abort counts. Deferred-then-committed

@@ -110,7 +110,8 @@ type t = {
   mutable m_evicted : int;
   mutable m_cache_hits0 : int;
   mutable m_cache_misses0 : int;
-  mutable last_outcomes : bool array; (* per-txn aborted flags, last epoch *)
+  mutable last_outcomes : [ `Committed | `Aborted | `Deferred ] array;
+      (* per-txn outcome of the last batch, set at its checkpoint *)
   mutable phase_hook : (phase -> unit) option;
   (* Observability (no-op sinks unless installed). *)
   mutable tracer : Tracer.t;
@@ -930,8 +931,14 @@ let total_time_ns t =
 
 let counter_value t i = t.counters.(i)
 
+let last_batch_outcomes t = t.last_outcomes
+
 let last_epoch_outcomes t =
-  Array.map (fun aborted -> if aborted then `Aborted else `Committed) t.last_outcomes
+  (* The historical two-variant view: serial CC never defers, so the
+     collapse below only matters if callers mix it with Aria batches. *)
+  Array.map
+    (function `Committed -> `Committed | `Aborted | `Deferred -> `Aborted)
+    t.last_outcomes
 
 let debug_row t ~table ~key =
   match find_row t t.scratch ~table ~key with

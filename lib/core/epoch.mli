@@ -118,8 +118,8 @@ type t = {
   mutable m_evicted : int;
   mutable m_cache_hits0 : int;
   mutable m_cache_misses0 : int;
-  mutable last_outcomes : bool array;
-      (** per-txn aborted flags, last epoch *)
+  mutable last_outcomes : [ `Committed | `Aborted | `Deferred ] array;
+      (** per-txn outcome of the last batch, set at its checkpoint *)
   mutable phase_hook : (phase -> unit) option;
   mutable tracer : Tracer.t;
   mutable metrics : Metrics.t;
@@ -303,4 +303,11 @@ val wide_execs : t -> int
 val total_time_ns : t -> float
 val counter_value : t -> int -> int64
 val last_epoch_outcomes : t -> [ `Committed | `Aborted ] array
+
+(** Per-transaction outcome of the last batch, in batch order, set only
+    once the batch's epoch has been checkpointed. Serial CC reports
+    [`Committed]/[`Aborted]; Aria additionally marks conflict victims
+    [`Deferred] (they were returned for resubmission). *)
+val last_batch_outcomes : t -> [ `Committed | `Aborted | `Deferred ] array
+
 val debug_row : t -> table:int -> key:int64 -> string

@@ -1,52 +1,83 @@
 type handle = int
 
+type entry = { handle : int; txn : Txn.t }
+
 type t = {
-  db : Db.t;
+  engine : Engine_intf.packed;
   epoch_target : int;
   auto_flush : bool;
-  queue : Txn.t Queue.t;
+  queue : entry Queue.t;
   mutable next_handle : int;
-  mutable queued_from : int; (* handle of the first queued transaction *)
   outcomes : (int, [ `Committed | `Aborted ]) Hashtbl.t;
+  mutable on_result : (handle -> [ `Committed | `Aborted ] -> unit) option;
 }
 
-let create ~db ?(epoch_target = 1000) ?(auto_flush = true) () =
-  assert (epoch_target > 0);
+let of_engine ~engine ?(epoch_target = 1000) ?(auto_flush = true) () =
+  if epoch_target <= 0 then invalid_arg "Session.of_engine: epoch_target must be positive";
   {
-    db;
+    engine;
     epoch_target;
     auto_flush;
     queue = Queue.create ();
     next_handle = 0;
-    queued_from = 0;
     outcomes = Hashtbl.create 256;
+    on_result = None;
   }
+
+let create ~db ?epoch_target ?auto_flush () =
+  of_engine
+    ~engine:(Engine_intf.Packed ((module Db.Serial_engine), db))
+    ?epoch_target ?auto_flush ()
 
 let pending t = Queue.length t.queue
 let submitted t = t.next_handle
-let db t = t.db
+let on_result t f = t.on_result <- Some f
+
+(* Put conflict-deferred entries back at the head of the queue, in
+   their original serial order, ahead of everything submitted since. *)
+let requeue_front t deferred =
+  let q = Queue.create () in
+  List.iter (fun e -> Queue.push e q) deferred;
+  Queue.transfer t.queue q;
+  Queue.transfer q t.queue
+
+let resolve t e outcome =
+  Hashtbl.replace t.outcomes e.handle outcome;
+  match t.on_result with Some f -> f e.handle outcome | None -> ()
 
 let flush t =
   if Queue.is_empty t.queue then None
   else begin
-    let batch = Array.init (Queue.length t.queue) (fun _ -> Queue.pop t.queue) in
-    let stats = Db.run_epoch t.db batch in
-    (* The epoch is checkpointed; only now do outcomes become
-       visible (section 6.2.3). *)
+    let entries = Array.init (Queue.length t.queue) (fun _ -> Queue.pop t.queue) in
+    let (Engine_intf.Packed ((module E), db)) = t.engine in
+    let stats, _deferred = E.run_batch db (Array.map (fun e -> e.txn) entries) in
+    (* run_batch has checkpointed the epoch; only now do outcomes become
+       visible (section 6.2.3). Conflict victims the engine returned for
+       resubmission stay pending and lead the next batch. *)
+    let outcomes = E.last_batch_outcomes db in
+    let deferred = ref [] in
     Array.iteri
-      (fun i outcome -> Hashtbl.replace t.outcomes (t.queued_from + i) outcome)
-      (Db.last_epoch_outcomes t.db);
-    t.queued_from <- t.queued_from + Array.length batch;
-    Some stats
+      (fun i e ->
+        match outcomes.(i) with
+        | `Deferred -> deferred := e :: !deferred
+        | (`Committed | `Aborted) as o -> resolve t e o)
+      entries;
+    requeue_front t (List.rev !deferred);
+    stats
   end
 
 let submit t txn =
-  if t.auto_flush && Queue.length t.queue >= t.epoch_target then ignore (flush t);
   let h = t.next_handle in
   t.next_handle <- h + 1;
-  Queue.push txn t.queue;
+  Queue.push { handle = h; txn } t.queue;
+  if t.auto_flush && Queue.length t.queue >= t.epoch_target then ignore (flush t);
   h
 
 let result t h =
   if h < 0 || h >= t.next_handle then invalid_arg "Session.result: unknown handle";
   Hashtbl.find_opt t.outcomes h
+
+let poll t h =
+  match result t h with
+  | None -> `Pending
+  | Some (`Committed | `Aborted as o) -> (o :> [ `Pending | `Committed | `Aborted ])

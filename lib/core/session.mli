@@ -9,6 +9,13 @@
     once [epoch_target] submissions are queued, if [auto_flush]), and
     answers [result] only for transactions whose epoch has committed.
 
+    A session is engine-generic: it drives any {!Engine_intf.S}
+    implementation through the packed form, so the same client code
+    runs against the deterministic engine, Aria, or the Zen baseline.
+    Transactions an engine defers to the next epoch (Aria's conflict
+    victims) stay pending under their original handle and lead the next
+    batch, preserving submission order.
+
     A transaction's effects on values captured by its body's closures
     follow the same rule: act on them only after [result] reports
     [`Committed]. *)
@@ -18,24 +25,42 @@ type t
 type handle
 (** Ticket for one submitted transaction. *)
 
+val of_engine : engine:Engine_intf.packed -> ?epoch_target:int -> ?auto_flush:bool -> unit -> t
+(** Wrap any loaded engine. [epoch_target] (default 1000) is the queue
+    depth at which [auto_flush] (default true) runs an epoch: the flush
+    happens immediately once the [epoch_target]-th transaction is
+    queued. Raises [Invalid_argument] if [epoch_target <= 0]. *)
+
 val create : db:Db.t -> ?epoch_target:int -> ?auto_flush:bool -> unit -> t
-(** Wrap an existing (loaded) database. [epoch_target] (default 1000)
-    is the batch size [auto_flush] (default true) triggers at. *)
+(** Wrap an existing (loaded) serial deterministic database; shorthand
+    for [of_engine] over {!Db.Serial_engine}. *)
 
 val submit : t -> Txn.t -> handle
-(** Queue a transaction; runs an epoch first if auto-flush triggers. *)
+(** Queue a transaction; runs an epoch afterwards if auto-flush
+    triggers. *)
 
 val flush : t -> Report.epoch_stats option
-(** Run an epoch with everything queued; [None] when the queue is
-    empty. After [flush] returns, the epoch is checkpointed and its
-    results are visible. *)
+(** Run an epoch with everything queued; [None] when the queue is empty
+    (or the engine reports no epoch statistics, as Zen does not). After
+    [flush] returns, the epoch is checkpointed and its results are
+    visible; engine-deferred transactions remain pending. *)
 
 val result : t -> handle -> [ `Committed | `Aborted ] option
-(** [None] while the transaction's epoch has not yet run; the final
-    outcome afterwards. *)
+(** [None] while the transaction's epoch has not yet run (or the engine
+    deferred it); the final outcome afterwards. Raises
+    [Invalid_argument] on a handle this session never issued. *)
+
+val poll : t -> handle -> [ `Pending | `Committed | `Aborted ]
+(** Non-blocking view of [result]: [`Pending] until the transaction's
+    epoch has checkpointed. *)
+
+val on_result : t -> (handle -> [ `Committed | `Aborted ] -> unit) -> unit
+(** Register a callback fired once per transaction, at the moment its
+    outcome becomes visible (after its epoch's checkpoint, during
+    [flush]). Replaces any previously registered callback. *)
 
 val pending : t -> int
-(** Queued, not-yet-executed transactions. *)
+(** Queued, not-yet-executed transactions (including engine-deferred
+    resubmissions). *)
 
 val submitted : t -> int
-val db : t -> Db.t

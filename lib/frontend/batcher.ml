@@ -1,0 +1,249 @@
+module Engine_intf = Nvcaracal.Engine_intf
+module Metrics = Nv_obs.Metrics
+module Tracer = Nv_obs.Tracer
+
+type config = {
+  batch_target : int;
+  deadline_ticks : int;
+  max_pending : int;
+}
+
+let config ?(batch_target = 256) ?(deadline_ticks = 8) ?max_pending () =
+  if batch_target <= 0 then invalid_arg "Batcher.config: batch_target must be positive";
+  if deadline_ticks <= 0 then invalid_arg "Batcher.config: deadline_ticks must be positive";
+  let max_pending = match max_pending with Some m -> m | None -> 4 * batch_target in
+  if max_pending < batch_target then
+    invalid_arg "Batcher.config: max_pending must be >= batch_target";
+  { batch_target; deadline_ticks; max_pending }
+
+type entry = {
+  e_client : int;
+  e_req : int;
+  e_txn : Nvcaracal.Txn.t;
+  e_call : string * bytes;
+  e_submit_tick : int;
+  mutable e_close_tick : int;  (** tick of the first batch that included it; -1 until then *)
+}
+
+type client = {
+  id : int;
+  mutable reply : (Wire.response -> unit) option;  (** [None] once disconnected *)
+  q : entry Queue.t;
+  mutable outstanding : int;  (** admitted, not yet replied *)
+}
+
+type t = {
+  cfg : config;
+  engine : Engine_intf.packed;
+  registry : Proc.t;
+  tables : Nvcaracal.Table.t list;
+  tracer : Tracer.t;
+  clients : (int, client) Hashtbl.t;
+  mutable next_client : int;
+  mutable carryover : entry list;  (** engine-deferred; lead the next batch *)
+  mutable pending_total : int;
+  mutable tick : int;
+  mutable open_since : int;  (** tick the oldest pending txn arrived; -1 when idle *)
+  mutable epochs : int;
+  mutable admitted : int;
+  mutable committed : int;
+  mutable aborted : int;
+  mutable rejected : int;
+  mutable batches_rev : (string * bytes) array list;
+  m_depth : Metrics.gauge;
+  m_queue_wait : Metrics.histogram;
+  m_batch_size : Metrics.histogram;
+  m_exec_ns : Metrics.histogram;
+  m_reply_ticks : Metrics.histogram;
+  m_rejected : Metrics.counter;
+}
+
+let create ?(cfg = config ()) ?(tracer = Tracer.null) ?(metrics = Metrics.null) ~engine
+    ~registry ~tables () =
+  {
+    cfg;
+    engine;
+    registry;
+    tables;
+    tracer;
+    clients = Hashtbl.create 64;
+    next_client = 0;
+    carryover = [];
+    pending_total = 0;
+    tick = 0;
+    open_since = -1;
+    epochs = 0;
+    admitted = 0;
+    committed = 0;
+    aborted = 0;
+    rejected = 0;
+    batches_rev = [];
+    m_depth = Metrics.gauge metrics "frontend.queue_depth";
+    m_queue_wait = Metrics.histogram metrics "frontend.queue_wait_ticks";
+    m_batch_size = Metrics.histogram metrics "frontend.batch_size";
+    m_exec_ns = Metrics.histogram metrics "frontend.epoch_exec_ns";
+    m_reply_ticks = Metrics.histogram metrics "frontend.checkpoint_to_reply_ticks";
+    m_rejected = Metrics.counter metrics "frontend.rejected";
+  }
+
+let engine t = t.engine
+let pending t = t.pending_total
+let epochs_run t = t.epochs
+let admitted t = t.admitted
+let committed t = t.committed
+let aborted t = t.aborted
+let rejected t = t.rejected
+let current_tick t = t.tick
+let admitted_batches t = List.rev t.batches_rev
+let client_id c = c.id
+let outstanding c = c.outstanding
+
+let connect t ~reply =
+  let id = t.next_client in
+  t.next_client <- id + 1;
+  let c = { id; reply; q = Queue.create (); outstanding = 0 } in
+  Hashtbl.replace t.clients id c;
+  c
+
+(* A disconnect never cancels admitted work: the paper's determinism
+   contract is that an admitted input is part of its epoch regardless
+   of who is still listening. We only drop the reply channel; the
+   client record lingers until its queue drains. *)
+let disconnect t c =
+  c.reply <- None;
+  if Queue.is_empty c.q then Hashtbl.remove t.clients c.id
+
+let send c resp = match c.reply with Some f -> f resp | None -> ()
+
+let depth_gauge t = Metrics.set_gauge t.m_depth (float_of_int t.pending_total)
+
+(* Reply to one finished entry; fires only after the entry's epoch has
+   been checkpointed by [run]. *)
+let reply_entry t e (outcome : [ `Committed | `Aborted ]) =
+  (match outcome with
+  | `Committed -> t.committed <- t.committed + 1
+  | `Aborted -> t.aborted <- t.aborted + 1);
+  Metrics.observe t.m_queue_wait (float_of_int (e.e_close_tick - e.e_submit_tick));
+  Metrics.observe t.m_reply_ticks (float_of_int (t.tick - e.e_close_tick));
+  match Hashtbl.find_opt t.clients e.e_client with
+  | None -> ()
+  | Some c ->
+      c.outstanding <- c.outstanding - 1;
+      send c (Wire.Result { req = e.e_req; outcome });
+      if c.reply = None && Queue.is_empty c.q && c.outstanding = 0 then
+        Hashtbl.remove t.clients c.id
+
+(* Form the next batch: engine-deferred carryover first (oldest serial
+   order), then round-robin over the per-client FIFOs in client-id
+   order — a deterministic function of queue contents, independent of
+   hash-table iteration order. *)
+let form t =
+  let target = max t.cfg.batch_target (List.length t.carryover) in
+  let out = ref (List.rev t.carryover) in
+  let n = ref (List.length t.carryover) in
+  t.carryover <- [];
+  let ids = List.sort compare (Hashtbl.fold (fun id _ acc -> id :: acc) t.clients []) in
+  let progress = ref true in
+  while !n < target && !progress do
+    progress := false;
+    List.iter
+      (fun id ->
+        if !n < target then
+          let c = Hashtbl.find t.clients id in
+          if not (Queue.is_empty c.q) then begin
+            out := Queue.pop c.q :: !out;
+            incr n;
+            progress := true
+          end)
+      ids
+  done;
+  t.pending_total <- t.pending_total - !n;
+  Array.of_list (List.rev !out)
+
+let run t =
+  let batch = form t in
+  if Array.length batch > 0 then begin
+    Array.iter (fun e -> e.e_close_tick <- t.tick) batch;
+    t.batches_rev <- Array.map (fun e -> e.e_call) batch :: t.batches_rev;
+    Metrics.observe t.m_batch_size (float_of_int (Array.length batch));
+    let (Engine_intf.Packed ((module E), db)) = t.engine in
+    let before = E.total_time_ns db in
+    let _stats, _deferred =
+      Tracer.span t.tracer ~core:0 ~name:"frontend.batch" ~cat:"frontend" (fun () ->
+          E.run_batch db (Array.map (fun e -> e.e_txn) batch))
+    in
+    Metrics.observe t.m_exec_ns (E.total_time_ns db -. before);
+    t.epochs <- t.epochs + 1;
+    (* The epoch is checkpointed: outcomes are now visible (section
+       6.2.3) and replies may flow. Deferred conflict victims stay
+       unanswered and head the next batch under their original order. *)
+    let outcomes = E.last_batch_outcomes db in
+    let deferred = ref [] in
+    Array.iteri
+      (fun i e ->
+        match outcomes.(i) with
+        | `Deferred -> deferred := e :: !deferred
+        | (`Committed | `Aborted) as o -> reply_entry t e o)
+      batch;
+    t.carryover <- List.rev !deferred;
+    t.pending_total <- t.pending_total + List.length t.carryover
+  end;
+  t.open_since <- (if t.pending_total > 0 then t.tick else -1);
+  depth_gauge t
+
+let submit t c ~req ~proc ~args =
+  if c.reply = None then invalid_arg "Batcher.submit: disconnected client";
+  if t.pending_total >= t.cfg.max_pending then begin
+    t.rejected <- t.rejected + 1;
+    Metrics.add t.m_rejected 1;
+    send c (Wire.Rejected { req; reason = `Overloaded });
+    `Rejected `Overloaded
+  end
+  else
+    match Proc.build t.registry ~proc ~args with
+    | Error `Unknown_proc ->
+        t.rejected <- t.rejected + 1;
+        Metrics.add t.m_rejected 1;
+        send c (Wire.Rejected { req; reason = `Unknown_proc });
+        `Rejected `Unknown_proc
+    | Ok txn ->
+        let e =
+          {
+            e_client = c.id;
+            e_req = req;
+            e_txn = txn;
+            e_call = (proc, args);
+            e_submit_tick = t.tick;
+            e_close_tick = -1;
+          }
+        in
+        Queue.push e c.q;
+        c.outstanding <- c.outstanding + 1;
+        t.admitted <- t.admitted + 1;
+        t.pending_total <- t.pending_total + 1;
+        if t.open_since < 0 then t.open_since <- t.tick;
+        depth_gauge t;
+        `Admitted
+
+(* Batches close on ticks, not inside [submit]: submissions arriving
+   within one event-loop round pile up (bounded by [max_pending]), and
+   the next tick closes a batch once the size target is met or the
+   oldest arrival has waited out the deadline. *)
+let tick t =
+  t.tick <- t.tick + 1;
+  if
+    t.pending_total >= t.cfg.batch_target
+    || (t.pending_total > 0 && t.tick - t.open_since >= t.cfg.deadline_ticks)
+  then run t
+
+let flush t = if t.pending_total > 0 then run t
+
+let drain t =
+  let guard = ref 0 in
+  while t.pending_total > 0 do
+    incr guard;
+    if !guard > 100_000 then failwith "Batcher.drain: no progress";
+    run t
+  done
+
+let state_digest t = Nv_harness.Engine.state_digest t.engine ~tables:t.tables

@@ -1,0 +1,102 @@
+(** The epoch batcher: multi-client admission, deterministic batch
+    forming, and checkpoint-gated reply delivery.
+
+    This is the serving pipeline's core, kept free of sockets so tests
+    drive it directly. Clients connect with a reply callback and submit
+    framed procedure calls; the batcher keeps one FIFO per client,
+    closes a batch when the {e size target} is reached or the
+    {e deadline} (in ticks of the caller's event loop) expires, runs it
+    as one engine epoch, and only then — after the epoch's checkpoint —
+    fires the replies (paper section 6.2.3). Admission is bounded:
+    beyond [max_pending] queued transactions a submit is answered
+    [Rejected `Overloaded], never silently dropped.
+
+    Batch forming is deterministic given queue contents: engine-deferred
+    carryover first (original serial order), then round-robin over the
+    per-client FIFOs in client-id order. Every admitted batch is
+    recorded ({!admitted_batches}) so an offline replay of the same
+    batches through a fresh engine must reproduce the same committed
+    state — the end-to-end determinism check. *)
+
+type t
+type client
+
+type config = private {
+  batch_target : int;  (** close the batch at this many transactions *)
+  deadline_ticks : int;  (** ... or this many ticks after the oldest arrival *)
+  max_pending : int;  (** admission bound across all clients *)
+}
+
+val config : ?batch_target:int -> ?deadline_ticks:int -> ?max_pending:int -> unit -> config
+(** Defaults: target 256, deadline 8 ticks, [max_pending] 4x target.
+    Raises [Invalid_argument] on non-positive values or
+    [max_pending < batch_target]. *)
+
+val create :
+  ?cfg:config ->
+  ?tracer:Nv_obs.Tracer.t ->
+  ?metrics:Nv_obs.Metrics.t ->
+  engine:Nvcaracal.Engine_intf.packed ->
+  registry:Proc.t ->
+  tables:Nvcaracal.Table.t list ->
+  unit ->
+  t
+(** Wrap a loaded engine. [metrics] (if enabled) gains queue-depth
+    gauges plus queue-wait, batch-size, epoch-execution and
+    checkpoint-to-reply histograms under the [frontend.] prefix. *)
+
+val connect : t -> reply:(Wire.response -> unit) option -> client
+(** Register a client. [reply] receives this client's [Result] and
+    [Rejected] messages (pass [None] for a fire-and-forget client). *)
+
+val disconnect : t -> client -> unit
+(** Drop the reply channel. Already-admitted transactions still execute
+    in their epoch — admission is a determinism commitment — but their
+    replies go nowhere. *)
+
+val submit :
+  t ->
+  client ->
+  req:int ->
+  proc:string ->
+  args:bytes ->
+  [ `Admitted | `Rejected of Wire.reject_reason ]
+(** Admit one framed call into the client's FIFO, or reject it — the
+    rejection is also sent on the reply channel. Raises
+    [Invalid_argument] on a disconnected client. *)
+
+val tick : t -> unit
+(** Advance the batcher's clock one tick; closes and runs the open
+    batch once the size target is met or the deadline has expired with
+    transactions pending. Batches never close inside {!submit}, so
+    admissions within one tick pile up to [max_pending]. *)
+
+val flush : t -> unit
+(** Close and run the open batch now, if non-empty. *)
+
+val drain : t -> unit
+(** Run batches until nothing is pending (deferred transactions are
+    resubmitted until they commit); what [Shutdown] triggers. *)
+
+val client_id : client -> int
+val outstanding : client -> int
+(** Admitted-but-unanswered transactions of this client (what [Bye]
+    waits on). *)
+
+val engine : t -> Nvcaracal.Engine_intf.packed
+val pending : t -> int
+val epochs_run : t -> int
+val admitted : t -> int
+val committed : t -> int
+val aborted : t -> int
+val rejected : t -> int
+val current_tick : t -> int
+
+val admitted_batches : t -> (string * bytes) array list
+(** Every batch run so far (oldest first) as the framed calls admitted
+    into it, including deferred resubmissions — replaying these batches
+    through {!Proc.build} and [run_batch] on a fresh engine reproduces
+    the served state exactly. *)
+
+val state_digest : t -> int64
+(** {!Nv_harness.Engine.state_digest} of the engine's committed state. *)

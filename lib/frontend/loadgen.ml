@@ -1,0 +1,195 @@
+module Rng = Nv_util.Rng
+
+type config = {
+  address : Server.address;
+  clients : int;
+  txns_per_client : int;
+  seed : int;
+  window : int;
+  think_ticks : int;
+  shutdown : bool;
+}
+
+let config ?(clients = 8) ?(txns_per_client = 100) ?(seed = 42) ?(window = 1)
+    ?(think_ticks = 0) ?(shutdown = false) address =
+  if clients <= 0 then invalid_arg "Loadgen.config: clients must be positive";
+  if window <= 0 then invalid_arg "Loadgen.config: window must be positive";
+  { address; clients; txns_per_client; seed; window; think_ticks; shutdown }
+
+type stats = {
+  sent : int;
+  committed : int;
+  aborted : int;
+  rejected : int;
+  protocol_errors : int;
+  digests : int64 list;  (** per-client [Bye_ok] digests, client order *)
+}
+
+type phase = Awaiting_hello | Running | Awaiting_bye | Done
+
+type client = {
+  id : int;
+  fd : Unix.file_descr;
+  reader : Wire.Reader.t;
+  rng : Rng.t;
+  mutable phase : phase;
+  mutable sent : int;
+  mutable acked : int;
+  mutable inflight : int;
+  mutable think : int;  (** ticks to wait before the next send *)
+  mutable committed : int;
+  mutable aborted : int;
+  mutable rejected : int;
+  mutable errors : int;
+  mutable digest : int64;
+}
+
+let connect_fd = function
+  | `Unix path ->
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.connect fd (Unix.ADDR_UNIX path);
+      fd
+  | `Tcp (host, port) ->
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      let addr =
+        try Unix.inet_addr_of_string host
+        with _ -> (Unix.gethostbyname host).Unix.h_addr_list.(0)
+      in
+      Unix.connect fd (Unix.ADDR_INET (addr, port));
+      fd
+
+let write_all fd b =
+  let len = Bytes.length b in
+  let off = ref 0 in
+  while !off < len do
+    match Unix.write fd b !off (len - !off) with
+    | n -> off := !off + n
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) ->
+        ignore (Unix.select [] [ fd ] [] 0.05)
+  done
+
+let send c req = write_all c.fd (Wire.encode_request req)
+
+(* Each client draws its own deterministic call stream: seed+id, so a
+   rerun against the same server replays identical submissions. *)
+let make_client cfg i =
+  {
+    id = i;
+    fd = connect_fd cfg.address;
+    reader = Wire.Reader.create ();
+    rng = Rng.create (cfg.seed + i);
+    phase = Awaiting_hello;
+    sent = 0;
+    acked = 0;
+    inflight = 0;
+    think = 0;
+    committed = 0;
+    aborted = 0;
+    rejected = 0;
+    errors = 0;
+    digest = 0L;
+  }
+
+(* Closed-loop pump: keep [window] calls in flight, pausing
+   [think_ticks] loop rounds after each completion. A rejected call
+   counts as answered — the generator does not resubmit, it reports. *)
+let pump cfg (w : Nv_workloads.Workload.t) c =
+  if c.phase = Running then begin
+    if c.think > 0 then c.think <- c.think - 1
+    else begin
+      while c.sent < cfg.txns_per_client && c.inflight < cfg.window do
+        let proc, args = w.gen_call c.rng in
+        send c (Wire.Submit { req = c.sent; proc; args });
+        c.sent <- c.sent + 1;
+        c.inflight <- c.inflight + 1
+      done;
+      if c.sent >= cfg.txns_per_client && c.acked >= cfg.txns_per_client then begin
+        send c Wire.Bye;
+        c.phase <- Awaiting_bye
+      end
+    end
+  end
+
+let on_response cfg (c : client) (resp : Wire.response) =
+  match (resp, c.phase) with
+  | Wire.Hello_ok, Awaiting_hello -> c.phase <- Running
+  | Wire.Result { outcome; _ }, (Running | Awaiting_bye) ->
+      c.inflight <- c.inflight - 1;
+      c.acked <- c.acked + 1;
+      c.think <- cfg.think_ticks;
+      (match outcome with
+      | `Committed -> c.committed <- c.committed + 1
+      | `Aborted -> c.aborted <- c.aborted + 1)
+  | Wire.Rejected _, (Running | Awaiting_bye) ->
+      c.inflight <- c.inflight - 1;
+      c.acked <- c.acked + 1;
+      c.think <- cfg.think_ticks;
+      c.rejected <- c.rejected + 1
+  | Wire.Bye_ok { digest }, Awaiting_bye ->
+      c.digest <- digest;
+      c.phase <- Done;
+      (try Unix.close c.fd with Unix.Unix_error _ -> ())
+  | Wire.Server_error _, _ ->
+      c.errors <- c.errors + 1;
+      c.phase <- Done;
+      (try Unix.close c.fd with Unix.Unix_error _ -> ())
+  | _ ->
+      c.errors <- c.errors + 1;
+      c.phase <- Done;
+      (try Unix.close c.fd with Unix.Unix_error _ -> ())
+
+let drain_input cfg c =
+  let buf = Bytes.create 65536 in
+  match Unix.read c.fd buf 0 (Bytes.length buf) with
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) -> ()
+  | exception Unix.Unix_error _ ->
+      c.errors <- c.errors + 1;
+      c.phase <- Done
+  | 0 -> if c.phase <> Done then (c.errors <- c.errors + 1; c.phase <- Done)
+  | n -> (
+      Wire.Reader.feed c.reader buf ~off:0 ~len:n;
+      try
+        let continue = ref true in
+        while !continue && c.phase <> Done do
+          match Wire.Reader.next_payload c.reader with
+          | None -> continue := false
+          | Some payload -> on_response cfg c (Wire.decode_response payload)
+        done
+      with Wire.Protocol_error _ ->
+        c.errors <- c.errors + 1;
+        c.phase <- Done;
+        (try Unix.close c.fd with Unix.Unix_error _ -> ()))
+
+let run cfg (w : Nv_workloads.Workload.t) =
+  let clients = Array.init cfg.clients (fun i -> make_client cfg i) in
+  Array.iter
+    (fun c ->
+      Unix.set_nonblock c.fd;
+      send c (Wire.Hello { client = c.id }))
+    clients;
+  let all_done () = Array.for_all (fun c -> c.phase = Done) clients in
+  while not (all_done ()) do
+    let fds =
+      Array.to_list clients
+      |> List.filter_map (fun c -> if c.phase = Done then None else Some c.fd)
+    in
+    let readable, _, _ =
+      try Unix.select fds [] [] 0.01 with Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
+    in
+    Array.iter (fun c -> if c.phase <> Done && List.mem c.fd readable then drain_input cfg c) clients;
+    Array.iter (fun c -> pump cfg w c) clients
+  done;
+  if cfg.shutdown then begin
+    let fd = connect_fd cfg.address in
+    write_all fd (Wire.encode_request Wire.Shutdown);
+    (try Unix.close fd with Unix.Unix_error _ -> ())
+  end;
+  let sum f = Array.fold_left (fun acc c -> acc + f c) 0 clients in
+  {
+    sent = sum (fun c -> c.sent);
+    committed = sum (fun c -> c.committed);
+    aborted = sum (fun c -> c.aborted);
+    rejected = sum (fun c -> c.rejected);
+    protocol_errors = sum (fun c -> c.errors);
+    digests = Array.to_list (Array.map (fun c -> c.digest) clients);
+  }

@@ -1,0 +1,45 @@
+(** Multi-client load generator: N concurrent wire-protocol clients in
+    one [Unix.select] loop.
+
+    Each client draws a deterministic call stream from the workload's
+    mix ([gen_call], seeded [seed + client_id]) and runs closed-loop:
+    at most [window] calls in flight, with an optional think time
+    (loop rounds) after each completion. [window] large relative to the
+    server's admission bound turns the generator into an open-loop
+    overload source — how the backpressure path is exercised. Rejected
+    calls are counted, not resubmitted. *)
+
+type config = private {
+  address : Server.address;
+  clients : int;
+  txns_per_client : int;
+  seed : int;
+  window : int;  (** max in-flight calls per client (closed loop = 1) *)
+  think_ticks : int;  (** loop rounds to pause after each completion *)
+  shutdown : bool;  (** send [Shutdown] once every client is done *)
+}
+
+val config :
+  ?clients:int ->
+  ?txns_per_client:int ->
+  ?seed:int ->
+  ?window:int ->
+  ?think_ticks:int ->
+  ?shutdown:bool ->
+  Server.address ->
+  config
+(** Defaults: 8 clients x 100 txns, seed 42, window 1, no think time,
+    no shutdown. *)
+
+type stats = {
+  sent : int;
+  committed : int;
+  aborted : int;
+  rejected : int;
+  protocol_errors : int;
+  digests : int64 list;  (** per-client [Bye_ok] digests, client order *)
+}
+
+val run : config -> Nv_workloads.Workload.t -> stats
+(** Connect, drive every client to completion (Bye/Bye_ok), optionally
+    ask the server to shut down, and report aggregate outcomes. *)

@@ -1,0 +1,63 @@
+module Procs = Nv_workloads.Procs
+module Txn = Nvcaracal.Txn
+
+type t = { by_name : (string, Procs.registration) Hashtbl.t; names : string list }
+
+let of_workload (w : Nv_workloads.Workload.t) =
+  let by_name = Hashtbl.create 16 in
+  List.iter
+    (fun r ->
+      let name = Procs.name r in
+      if String.length name > 255 then
+        invalid_arg (Printf.sprintf "Proc.of_workload: name %S longer than 255 bytes" name);
+      if Hashtbl.mem by_name name then
+        invalid_arg (Printf.sprintf "Proc.of_workload: duplicate procedure %S" name);
+      Hashtbl.add by_name name r)
+    w.procs;
+  { by_name; names = List.map Procs.name w.procs }
+
+let names t = t.names
+let mem t name = Hashtbl.mem t.by_name name
+
+(* Framed call record: [u8 len(name)][name][args]. This is both the
+   wire form of a Submit body's tail and the input record logged by the
+   engine, so a recovered log replays through the same registry. *)
+let encode_call ~proc ~args =
+  let n = String.length proc in
+  if n = 0 || n > 255 then invalid_arg "Proc.encode_call: name length";
+  let b = Bytes.create (1 + n + Bytes.length args) in
+  Bytes.set_uint8 b 0 n;
+  Bytes.blit_string proc 0 b 1 n;
+  Bytes.blit args 0 b (1 + n) (Bytes.length args);
+  b
+
+let decode_call b =
+  let total = Bytes.length b in
+  if total < 1 then None
+  else
+    let n = Bytes.get_uint8 b 0 in
+    if n = 0 || total < 1 + n then None
+    else
+      let proc = Bytes.sub_string b 1 n in
+      let args = Bytes.sub b (1 + n) (total - 1 - n) in
+      Some (proc, args)
+
+let build t ~proc ~args =
+  match Hashtbl.find_opt t.by_name proc with
+  | None -> Error `Unknown_proc
+  | Some r ->
+      let txn = Procs.build_from_bytes r args in
+      (* Rewrap the input record with the framed call so the engine logs
+         the (procedure, args) pair rather than the workload's private
+         encoding: [rebuild] then replays logs independently of which
+         transaction kind they hold. *)
+      Ok { txn with Txn.input = encode_call ~proc ~args }
+
+let rebuild t input =
+  match decode_call input with
+  | None -> invalid_arg "Proc.rebuild: malformed logged call record"
+  | Some (proc, args) -> (
+      match build t ~proc ~args with
+      | Ok txn -> txn
+      | Error `Unknown_proc ->
+          invalid_arg (Printf.sprintf "Proc.rebuild: unknown procedure %S in log" proc))

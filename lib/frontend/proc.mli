@@ -1,0 +1,34 @@
+(** Stored-procedure registry: the bridge between wire-form calls and
+    executable transactions.
+
+    Workloads register their transaction kinds as named procedures
+    ({!Nv_workloads.Procs}); the registry indexes them by name so a
+    networked client can submit [(procedure, args)] bytes instead of an
+    OCaml closure. [build] rewraps the built transaction's input record
+    as the framed call, so the engine's input log holds exactly what
+    crossed the wire and {!rebuild} replays it after a crash — the
+    serving path and deterministic replay share one encoding. *)
+
+type t
+
+val of_workload : Nv_workloads.Workload.t -> t
+(** Index the workload's procedures by name. Raises [Invalid_argument]
+    on duplicate or over-long (> 255 byte) names. *)
+
+val names : t -> string list
+val mem : t -> string -> bool
+
+val encode_call : proc:string -> args:bytes -> bytes
+(** Framed call record, [[u8 len(name)][name][args]] — the Submit
+    payload tail and the logged input record. *)
+
+val decode_call : bytes -> (string * bytes) option
+(** Inverse of {!encode_call}; [None] on malformed bytes. *)
+
+val build : t -> proc:string -> args:bytes -> (Nvcaracal.Txn.t, [ `Unknown_proc ]) result
+(** Decode [args] with the named procedure's codec and build its
+    transaction, input rewrapped as the framed call. *)
+
+val rebuild : t -> bytes -> Nvcaracal.Txn.t
+(** Replay a logged framed call (for {!Nvcaracal.Engine_intf.S.recover});
+    raises [Invalid_argument] on malformed records or unknown names. *)

@@ -1,0 +1,254 @@
+type address = [ `Unix of string | `Tcp of string * int ]
+
+type config = {
+  address : address;
+  batcher : Batcher.config;
+  tick_interval_s : float;
+  once : bool;
+}
+
+let config ?(batcher = Batcher.config ()) ?(tick_interval_s = 0.002) ?(once = false) address
+    =
+  { address; batcher; tick_interval_s; once }
+
+type stats = {
+  clients_served : int;
+  admitted : int;
+  committed : int;
+  aborted : int;
+  rejected : int;
+  epochs : int;
+  protocol_errors : int;
+  digest : int64;
+}
+
+(* Per-connection state: an incremental frame reader in, a byte queue
+   out (flushed when select reports writability), and the batcher
+   client once Hello arrived. *)
+type conn = {
+  fd : Unix.file_descr;
+  reader : Wire.Reader.t;
+  mutable out : bytes list;  (** reversed queue of unsent frames *)
+  mutable out_off : int;  (** bytes of the head frame already written *)
+  mutable client : Batcher.client option;
+  mutable said_bye : bool;
+  mutable dead : bool;
+}
+
+type t = {
+  cfg : config;
+  batcher : Batcher.t;
+  listen_fd : Unix.file_descr;
+  conns : (Unix.file_descr, conn) Hashtbl.t;
+  mutable served : int;
+  mutable protocol_errors : int;
+  mutable shutdown : bool;
+}
+
+let bind_listen = function
+  | `Unix path ->
+      if Sys.file_exists path then Sys.remove path;
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.bind fd (Unix.ADDR_UNIX path);
+      Unix.listen fd 64;
+      fd
+  | `Tcp (host, port) ->
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.setsockopt fd Unix.SO_REUSEADDR true;
+      let addr =
+        try Unix.inet_addr_of_string host
+        with _ -> (Unix.gethostbyname host).Unix.h_addr_list.(0)
+      in
+      Unix.bind fd (Unix.ADDR_INET (addr, port));
+      Unix.listen fd 64;
+      fd
+
+let create ?tracer ?metrics ~engine ~registry ~tables (cfg : config) =
+  let batcher = Batcher.create ~cfg:cfg.batcher ?tracer ?metrics ~engine ~registry ~tables () in
+  let listen_fd = bind_listen cfg.address in
+  Unix.set_nonblock listen_fd;
+  {
+    cfg;
+    batcher;
+    listen_fd;
+    conns = Hashtbl.create 64;
+    served = 0;
+    protocol_errors = 0;
+    shutdown = false;
+  }
+
+let push t conn resp =
+  ignore t;
+  if not conn.dead then conn.out <- Wire.encode_response resp :: conn.out
+
+let close_conn t conn =
+  if not conn.dead then begin
+    conn.dead <- true;
+    (match conn.client with Some c -> Batcher.disconnect t.batcher c | None -> ());
+    Hashtbl.remove t.conns conn.fd;
+    (try Unix.close conn.fd with Unix.Unix_error _ -> ())
+  end
+
+let protocol_error t conn msg =
+  t.protocol_errors <- t.protocol_errors + 1;
+  push t conn (Wire.Server_error msg);
+  (* Flush the error best-effort, then drop the connection. *)
+  List.iter
+    (fun b -> try ignore (Unix.write conn.fd b 0 (Bytes.length b)) with Unix.Unix_error _ -> ())
+    (List.rev conn.out);
+  conn.out <- [];
+  close_conn t conn
+
+let digest t = Batcher.state_digest t.batcher
+
+(* Bye completes only once every admitted transaction of the
+   connection has been answered; then the client sees a state digest
+   covering everything it was told about. *)
+let maybe_finish_bye t conn =
+  match conn.client with
+  | Some c when conn.said_bye && Batcher.outstanding c = 0 ->
+      push t conn (Wire.Bye_ok { digest = digest t });
+      conn.said_bye <- false
+  | _ -> ()
+
+let handle_request t conn (req : Wire.request) =
+  match (req, conn.client) with
+  | Wire.Hello _, Some _ -> protocol_error t conn "duplicate Hello"
+  | Wire.Hello _, None ->
+      let client = Batcher.connect t.batcher ~reply:(Some (fun r -> push t conn r)) in
+      conn.client <- Some client;
+      t.served <- t.served + 1;
+      push t conn Wire.Hello_ok
+  | Wire.Submit _, None -> protocol_error t conn "Submit before Hello"
+  | Wire.Submit { req; proc; args }, Some client ->
+      if conn.said_bye then protocol_error t conn "Submit after Bye"
+      else ignore (Batcher.submit t.batcher client ~req ~proc ~args)
+  | Wire.Bye, None -> protocol_error t conn "Bye before Hello"
+  | Wire.Bye, Some _ ->
+      conn.said_bye <- true;
+      maybe_finish_bye t conn
+  | Wire.Shutdown, _ -> t.shutdown <- true
+
+let handle_readable t conn =
+  let buf = Bytes.create 65536 in
+  match Unix.read conn.fd buf 0 (Bytes.length buf) with
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) -> ()
+  | exception Unix.Unix_error _ -> close_conn t conn
+  | 0 -> close_conn t conn
+  | n -> (
+      Wire.Reader.feed conn.reader buf ~off:0 ~len:n;
+      try
+        let continue = ref true in
+        while !continue && not conn.dead do
+          match Wire.Reader.next_payload conn.reader with
+          | None -> continue := false
+          | Some payload -> handle_request t conn (Wire.decode_request payload)
+        done
+      with Wire.Protocol_error msg -> protocol_error t conn msg)
+
+let handle_writable t conn =
+  match List.rev conn.out with
+  | [] -> ()
+  | head :: rest -> (
+      let len = Bytes.length head - conn.out_off in
+      match Unix.write conn.fd head conn.out_off len with
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) -> ()
+      | exception Unix.Unix_error _ -> close_conn t conn
+      | n ->
+          if n = len then begin
+            conn.out <- List.rev rest;
+            conn.out_off <- 0;
+            (* A drained output right after Bye_ok means the goodbye
+               reached the socket: the peer will close; nothing to do. *)
+            ()
+          end
+          else conn.out_off <- conn.out_off + n)
+
+let accept_new t =
+  let continue = ref true in
+  while !continue do
+    match Unix.accept t.listen_fd with
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) ->
+        continue := false
+    | fd, _ ->
+        Unix.set_nonblock fd;
+        Hashtbl.replace t.conns fd
+          {
+            fd;
+            reader = Wire.Reader.create ();
+            out = [];
+            out_off = 0;
+            client = None;
+            said_bye = false;
+            dead = false;
+          }
+  done
+
+let step t =
+  let reads = t.listen_fd :: Hashtbl.fold (fun fd _ acc -> fd :: acc) t.conns [] in
+  let writes = Hashtbl.fold (fun fd c acc -> if c.out <> [] then fd :: acc else acc) t.conns [] in
+  let readable, writable, _ =
+    try Unix.select reads writes [] t.cfg.tick_interval_s
+    with Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
+  in
+  if List.mem t.listen_fd readable then accept_new t;
+  List.iter
+    (fun fd ->
+      if fd <> t.listen_fd then
+        match Hashtbl.find_opt t.conns fd with
+        | Some conn -> handle_readable t conn
+        | None -> ())
+    readable;
+  (* One select round is one batcher tick: the deadline that closes an
+     under-filled batch is measured in event-loop rounds. *)
+  Batcher.tick t.batcher;
+  Hashtbl.iter (fun _ conn -> maybe_finish_bye t conn) t.conns;
+  List.iter
+    (fun fd ->
+      match Hashtbl.find_opt t.conns fd with
+      | Some conn -> handle_writable t conn
+      | None -> ())
+    writable
+
+let stats t =
+  {
+    clients_served = t.served;
+    admitted = Batcher.admitted t.batcher;
+    committed = Batcher.committed t.batcher;
+    aborted = Batcher.aborted t.batcher;
+    rejected = Batcher.rejected t.batcher;
+    epochs = Batcher.epochs_run t.batcher;
+    protocol_errors = t.protocol_errors;
+    digest = 0L;
+  }
+
+let finish t =
+  (* Drain everything admitted, push the final replies, close up. *)
+  Batcher.drain t.batcher;
+  Hashtbl.iter (fun _ conn -> maybe_finish_bye t conn) t.conns;
+  Hashtbl.iter
+    (fun _ conn ->
+      List.iter
+        (fun b ->
+          try ignore (Unix.write conn.fd b 0 (Bytes.length b)) with Unix.Unix_error _ -> ())
+        (List.rev conn.out);
+      conn.out <- [])
+    t.conns;
+  let conns = Hashtbl.fold (fun _ c acc -> c :: acc) t.conns [] in
+  List.iter (fun c -> close_conn t c) conns;
+  (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+  (match t.cfg.address with
+  | `Unix path -> ( try Sys.remove path with Sys_error _ -> ())
+  | `Tcp _ -> ());
+  let d = digest t in
+  { (stats t) with digest = d }
+
+let serve ?tracer ?metrics ~engine ~registry ~tables cfg =
+  let t = create ?tracer ?metrics ~engine ~registry ~tables cfg in
+  let finished = ref false in
+  while not !finished do
+    step t;
+    if t.shutdown then finished := true
+    else if t.cfg.once && t.served > 0 && Hashtbl.length t.conns = 0 then finished := true
+  done;
+  finish t

@@ -1,0 +1,44 @@
+(** The serving loop: {!Wire} frames over Unix-domain or TCP sockets,
+    feeding one {!Batcher}.
+
+    Single-threaded, non-blocking, [Unix.select]-driven — every select
+    round is one batcher tick, so the batch deadline is measured in
+    event-loop rounds. Malformed frames and out-of-order requests are
+    counted as protocol errors, answered with [Server_error], and cost
+    the offending connection — never the server. A [Shutdown] request
+    drains every admitted transaction (replying to whoever still
+    listens) before the loop exits. *)
+
+type address = [ `Unix of string | `Tcp of string * int ]
+
+type config = private {
+  address : address;
+  batcher : Batcher.config;
+  tick_interval_s : float;  (** select timeout per loop round *)
+  once : bool;  (** exit once all clients of a first wave disconnected *)
+}
+
+val config : ?batcher:Batcher.config -> ?tick_interval_s:float -> ?once:bool -> address -> config
+
+type stats = {
+  clients_served : int;
+  admitted : int;
+  committed : int;
+  aborted : int;
+  rejected : int;
+  epochs : int;
+  protocol_errors : int;
+  digest : int64;  (** committed-state digest at exit *)
+}
+
+val serve :
+  ?tracer:Nv_obs.Tracer.t ->
+  ?metrics:Nv_obs.Metrics.t ->
+  engine:Nvcaracal.Engine_intf.packed ->
+  registry:Proc.t ->
+  tables:Nvcaracal.Table.t list ->
+  config ->
+  stats
+(** Bind, serve until [Shutdown] (or, with [once], until the first wave
+    of clients has disconnected), drain, and report. The engine must be
+    loaded; it is driven only from this thread. *)

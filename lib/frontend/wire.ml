@@ -1,0 +1,181 @@
+exception Protocol_error of string
+
+let max_frame = 1 lsl 20
+
+type request =
+  | Hello of { client : int }
+  | Submit of { req : int; proc : string; args : bytes }
+  | Bye
+  | Shutdown
+
+type reject_reason = [ `Overloaded | `Unknown_proc | `Bad_frame ]
+
+type response =
+  | Hello_ok
+  | Result of { req : int; outcome : [ `Committed | `Aborted ] }
+  | Rejected of { req : int; reason : reject_reason }
+  | Bye_ok of { digest : int64 }
+  | Server_error of string
+
+let no_req = 0xFFFFFFFF
+
+(* Tags. Requests are 0x0x, responses 0x8x. *)
+let tag_hello = 0x01
+let tag_submit = 0x02
+let tag_bye = 0x03
+let tag_shutdown = 0x04
+let tag_hello_ok = 0x81
+let tag_result = 0x82
+let tag_rejected = 0x83
+let tag_bye_ok = 0x84
+let tag_server_error = 0x85
+
+let err fmt = Printf.ksprintf (fun s -> raise (Protocol_error s)) fmt
+
+let add_u32 buf v =
+  if v < 0 || v > 0xFFFFFFFF then err "u32 out of range: %d" v;
+  Buffer.add_int32_le buf (Int32.of_int v)
+
+let get_u32 b off = Int32.to_int (Bytes.get_int32_le b off) land 0xFFFFFFFF
+
+(* A frame is [u32_le payload_len][payload]; the payload starts with a
+   one-byte tag. [frame] seals a tagged body into a full frame. *)
+let frame tag body =
+  let payload_len = 1 + Buffer.length body in
+  if payload_len > max_frame then err "frame too large: %d" payload_len;
+  let buf = Buffer.create (4 + payload_len) in
+  Buffer.add_int32_le buf (Int32.of_int payload_len);
+  Buffer.add_uint8 buf tag;
+  Buffer.add_buffer buf body;
+  Buffer.to_bytes buf
+
+let encode_request = function
+  | Hello { client } ->
+      let b = Buffer.create 4 in
+      add_u32 b client;
+      frame tag_hello b
+  | Submit { req; proc; args } ->
+      let n = String.length proc in
+      if n = 0 || n > 255 then err "procedure name length %d" n;
+      let b = Buffer.create (5 + n + Bytes.length args) in
+      add_u32 b req;
+      Buffer.add_uint8 b n;
+      Buffer.add_string b proc;
+      Buffer.add_bytes b args;
+      frame tag_submit b
+  | Bye -> frame tag_bye (Buffer.create 0)
+  | Shutdown -> frame tag_shutdown (Buffer.create 0)
+
+let reason_code = function `Overloaded -> 0 | `Unknown_proc -> 1 | `Bad_frame -> 2
+
+let reason_of_code = function
+  | 0 -> `Overloaded
+  | 1 -> `Unknown_proc
+  | 2 -> `Bad_frame
+  | c -> err "unknown reject reason %d" c
+
+let encode_response = function
+  | Hello_ok -> frame tag_hello_ok (Buffer.create 0)
+  | Result { req; outcome } ->
+      let b = Buffer.create 5 in
+      add_u32 b req;
+      Buffer.add_uint8 b (match outcome with `Committed -> 0 | `Aborted -> 1);
+      frame tag_result b
+  | Rejected { req; reason } ->
+      let b = Buffer.create 5 in
+      add_u32 b req;
+      Buffer.add_uint8 b (reason_code reason);
+      frame tag_rejected b
+  | Bye_ok { digest } ->
+      let b = Buffer.create 8 in
+      Buffer.add_int64_le b digest;
+      frame tag_bye_ok b
+  | Server_error msg ->
+      let b = Buffer.create (String.length msg) in
+      Buffer.add_string b msg;
+      frame tag_server_error b
+
+let need payload n =
+  if Bytes.length payload < n then err "truncated payload: %d < %d" (Bytes.length payload) n
+
+let decode_request payload =
+  need payload 1;
+  let tag = Bytes.get_uint8 payload 0 in
+  if tag = tag_hello then begin
+    need payload 5;
+    Hello { client = get_u32 payload 1 }
+  end
+  else if tag = tag_submit then begin
+    need payload 6;
+    let req = get_u32 payload 1 in
+    let n = Bytes.get_uint8 payload 5 in
+    if n = 0 then err "empty procedure name";
+    need payload (6 + n);
+    let proc = Bytes.sub_string payload 6 n in
+    let args = Bytes.sub payload (6 + n) (Bytes.length payload - 6 - n) in
+    Submit { req; proc; args }
+  end
+  else if tag = tag_bye then Bye
+  else if tag = tag_shutdown then Shutdown
+  else err "unknown request tag 0x%02x" tag
+
+let decode_response payload =
+  need payload 1;
+  let tag = Bytes.get_uint8 payload 0 in
+  if tag = tag_hello_ok then Hello_ok
+  else if tag = tag_result then begin
+    need payload 6;
+    let req = get_u32 payload 1 in
+    match Bytes.get_uint8 payload 5 with
+    | 0 -> Result { req; outcome = `Committed }
+    | 1 -> Result { req; outcome = `Aborted }
+    | c -> err "unknown outcome code %d" c
+  end
+  else if tag = tag_rejected then begin
+    need payload 6;
+    Rejected { req = get_u32 payload 1; reason = reason_of_code (Bytes.get_uint8 payload 5) }
+  end
+  else if tag = tag_bye_ok then begin
+    need payload 9;
+    Bye_ok { digest = Bytes.get_int64_le payload 1 }
+  end
+  else if tag = tag_server_error then
+    Server_error (Bytes.sub_string payload 1 (Bytes.length payload - 1))
+  else err "unknown response tag 0x%02x" tag
+
+module Reader = struct
+  type t = { mutable buf : bytes; mutable len : int }
+
+  let create () = { buf = Bytes.create 4096; len = 0 }
+
+  let ensure t extra =
+    let need = t.len + extra in
+    if Bytes.length t.buf < need then begin
+      let cap = ref (Bytes.length t.buf) in
+      while !cap < need do
+        cap := !cap * 2
+      done;
+      let b = Bytes.create !cap in
+      Bytes.blit t.buf 0 b 0 t.len;
+      t.buf <- b
+    end
+
+  let feed t src ~off ~len =
+    ensure t len;
+    Bytes.blit src off t.buf t.len len;
+    t.len <- t.len + len
+
+  let next_payload t =
+    if t.len < 4 then None
+    else
+      let plen = get_u32 t.buf 0 in
+      if plen = 0 || plen > max_frame then err "bad frame length %d" plen
+      else if t.len < 4 + plen then None
+      else begin
+        let payload = Bytes.sub t.buf 4 plen in
+        let rest = t.len - 4 - plen in
+        Bytes.blit t.buf (4 + plen) t.buf 0 rest;
+        t.len <- rest;
+        Some payload
+      end
+end

@@ -1,0 +1,71 @@
+(** The client/server wire protocol: length-prefixed binary frames.
+
+    Every message is one frame, [[u32_le payload_len][payload]], whose
+    payload begins with a one-byte tag. Integers are little-endian.
+    Submit carries a framed procedure call; its [(proc, args)] tail is
+    exactly what the registry logs ({!Proc.encode_call}), so wire
+    capture, input log and replay agree byte for byte.
+
+    Decoders raise {!Protocol_error} on malformed input — servers count
+    these and drop the offending connection, they never crash. *)
+
+exception Protocol_error of string
+
+val max_frame : int
+(** Upper bound on a payload's size (1 MiB); larger length prefixes are
+    protocol errors. *)
+
+type request =
+  | Hello of { client : int }
+      (** First message on a connection. [client] is a caller-chosen
+          label echoed in server logs; the server assigns its own ids. *)
+  | Submit of { req : int; proc : string; args : bytes }
+      (** Call a stored procedure. [req] is a per-connection token the
+          matching [Result]/[Rejected] echoes. *)
+  | Bye  (** Graceful close: answered with [Bye_ok] once all of this
+             connection's admitted transactions have been answered. *)
+  | Shutdown
+      (** Ask the server to drain every queued transaction and exit. *)
+
+type reject_reason = [ `Overloaded | `Unknown_proc | `Bad_frame ]
+
+type response =
+  | Hello_ok
+  | Result of { req : int; outcome : [ `Committed | `Aborted ] }
+      (** Sent only after the transaction's epoch is checkpointed. *)
+  | Rejected of { req : int; reason : reject_reason }
+      (** Explicit rejection — admission control never drops silently. *)
+  | Bye_ok of { digest : int64 }
+      (** Connection closed; [digest] fingerprints the committed state
+          at that instant (equal runs give equal digests). *)
+  | Server_error of string
+
+val no_req : int
+(** The request token used when a rejection cannot name a request
+    (malformed frame): [0xFFFFFFFF]. *)
+
+val encode_request : request -> bytes
+(** Full frame, ready to write. *)
+
+val encode_response : response -> bytes
+
+val decode_request : bytes -> request
+(** Decode one payload (as yielded by {!Reader.next_payload}).
+    @raise Protocol_error on malformed input. *)
+
+val decode_response : bytes -> response
+
+(** Incremental frame extraction over a byte stream: feed whatever the
+    socket yielded, pop complete payloads. *)
+module Reader : sig
+  type t
+
+  val create : unit -> t
+
+  val feed : t -> bytes -> off:int -> len:int -> unit
+  (** Append [len] bytes of [src] starting at [off]. *)
+
+  val next_payload : t -> bytes option
+  (** The next complete frame's payload, or [None] until more bytes
+      arrive. @raise Protocol_error on an invalid length prefix. *)
+end

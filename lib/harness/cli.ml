@@ -1,0 +1,114 @@
+open Cmdliner
+module W = Nv_workloads.Workload
+
+let workload =
+  let doc = "Benchmark: ycsb, ycsb-smallrow, smallbank, or tpcc." in
+  Arg.(value & opt string "ycsb" & info [ "w"; "workload" ] ~docv:"NAME" ~doc)
+
+let contention =
+  let doc = "Contention level: low, med (YCSB only), or high." in
+  Arg.(value & opt string "low" & info [ "c"; "contention" ] ~docv:"LEVEL" ~doc)
+
+let epochs =
+  Arg.(value & opt int 8 & info [ "epochs" ] ~docv:"N" ~doc:"Number of epochs to run.")
+
+let txns =
+  Arg.(value & opt int 1000 & info [ "txns" ] ~docv:"N" ~doc:"Transactions per epoch.")
+
+let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Workload seed.")
+
+let jobs =
+  let doc =
+    "Domain-pool width for the engine's per-core phase loops (default from \\$(b,NVC_JOBS), \
+     else 1 = serial). Seeded results are byte-identical at any value."
+  in
+  Arg.(value & opt int !Engine.default_jobs & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
+(* The pool width is global harness state, set once at parse time. *)
+let set_jobs jobs = Engine.default_jobs := max 1 jobs
+
+let engine =
+  let doc =
+    "Engine or design variant: nvcaracal, all-nvmm, hybrid, no-logging, all-dram, wal, aria, \
+     or zen."
+  in
+  Arg.(value & opt string "nvcaracal" & info [ "e"; "engine" ] ~docv:"ENGINE" ~doc)
+
+let trace =
+  let doc = "Record simulated-time spans and write a Perfetto/Chrome trace to $(docv)." in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let metrics =
+  let doc = "Write per-epoch metric snapshots (JSON lines) to $(docv)." in
+  Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
+
+let listen =
+  let doc =
+    "Serving endpoint: a Unix-domain socket path, or $(b,HOST:PORT) / $(b,PORT) for TCP."
+  in
+  Arg.(value & opt string "/tmp/nvdb.sock" & info [ "l"; "listen" ] ~docv:"ADDR" ~doc)
+
+let parse_address s =
+  match String.rindex_opt s ':' with
+  | Some i ->
+      let host = String.sub s 0 i in
+      let port = String.sub s (i + 1) (String.length s - i - 1) in
+      (match int_of_string_opt port with
+      | Some p -> `Tcp ((if host = "" then "127.0.0.1" else host), p)
+      | None -> failwith (Printf.sprintf "bad port in address %S" s))
+  | None -> (
+      match int_of_string_opt s with
+      | Some p -> `Tcp ("127.0.0.1", p)
+      | None -> `Unix s)
+
+let resolve_engine name =
+  match Engine.of_string name with
+  | Some spec -> spec
+  | None -> failwith (Printf.sprintf "unknown engine %S" name)
+
+let resolve_workload name contention =
+  let level3 =
+    match contention with
+    | "low" -> `Low
+    | "med" | "medium" -> `Medium
+    | "high" -> `High
+    | other -> failwith (Printf.sprintf "unknown contention %S" other)
+  in
+  let level2 = match level3 with `Medium -> `High | (`Low | `High) as l -> l in
+  match name with
+  | "ycsb" -> (Nv_workloads.Ycsb.(make (with_contention level3 default)), 0 (* insert growth *))
+  | "ycsb-smallrow" -> (Nv_workloads.Ycsb.(make (smallrow (with_contention level3 default))), 0)
+  | "smallbank" -> (Nv_workloads.Smallbank.(make (with_contention level2 default)), 0)
+  | "tpcc" -> (Nv_workloads.Tpcc.(make (with_contention level2 default)), 15)
+  | other -> failwith (Printf.sprintf "unknown workload %S" other)
+
+(* Build the sinks requested on the command line; the returned flush
+   writes the files once the run completed. *)
+let observability ?(prog = "nvdb") ?(ppf = Format.std_formatter) ~trace:trace_file
+    ~metrics:metrics_file () =
+  let tracer = match trace_file with None -> None | Some _ -> Some (Nv_obs.Tracer.create ()) in
+  let metrics =
+    match metrics_file with None -> None | Some _ -> Some (Nv_obs.Metrics.create ())
+  in
+  let write what f file =
+    try f file
+    with Sys_error msg ->
+      Format.eprintf "%s: cannot write %s file: %s@." prog what msg;
+      exit 1
+  in
+  let flush () =
+    (match (trace_file, tracer) with
+    | Some file, Some tr ->
+        write "trace" (Nv_obs.Trace_export.write_file tr) file;
+        Format.fprintf ppf "wrote %d trace events to %s (open in ui.perfetto.dev)@."
+          (Nv_obs.Tracer.event_count tr) file
+    | _ -> ());
+    match (metrics_file, metrics) with
+    | Some file, Some m ->
+        write "metrics" (Nv_obs.Metrics.write_jsonl m) file;
+        Format.fprintf ppf "wrote %d epoch metric records to %s@."
+          (List.length (Nv_obs.Metrics.records m))
+          file
+    | _ -> ()
+  in
+  (tracer, metrics, flush)

@@ -1,0 +1,44 @@
+(** Shared command-line vocabulary of the front-end executables.
+
+    [bin/nvdb], [bench/main] and the fuzz entry points all speak the
+    same flags (--workload/--contention/--epochs/--txns/--seed/--jobs/
+    --engine/--trace/--metrics); this module is their single
+    definition, plus the resolution helpers turning flag strings into
+    workloads, engine specs and observability sinks. *)
+
+val workload : string Cmdliner.Term.t
+val contention : string Cmdliner.Term.t
+val epochs : int Cmdliner.Term.t
+val txns : int Cmdliner.Term.t
+val seed : int Cmdliner.Term.t
+val jobs : int Cmdliner.Term.t
+val engine : string Cmdliner.Term.t
+val trace : string option Cmdliner.Term.t
+val metrics : string option Cmdliner.Term.t
+val listen : string Cmdliner.Term.t
+
+val set_jobs : int -> unit
+(** Install the domain-pool width ({!Engine.default_jobs}); call once
+    at argument-parse time. *)
+
+val parse_address : string -> [ `Unix of string | `Tcp of string * int ]
+(** "HOST:PORT" or "PORT" is TCP (host defaults to 127.0.0.1);
+    anything else is a Unix-domain socket path. *)
+
+val resolve_engine : string -> Engine.spec
+(** Raises [Failure] on unknown names. *)
+
+val resolve_workload : string -> string -> Nv_workloads.Workload.t * int
+(** Workload plus its insert-growth allowance; raises [Failure] on
+    unknown names or contention levels. *)
+
+val observability :
+  ?prog:string ->
+  ?ppf:Format.formatter ->
+  trace:string option ->
+  metrics:string option ->
+  unit ->
+  Nv_obs.Tracer.t option * Nv_obs.Metrics.t option * (unit -> unit)
+(** Build the sinks the flags requested. The returned thunk writes the
+    collected trace/metrics files (call it after the run) and reports
+    on [ppf] (default std_formatter). *)

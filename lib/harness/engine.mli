@@ -104,3 +104,9 @@ val instantiate :
   spec -> setup -> Nv_workloads.Workload.t -> Nvcaracal.Engine_intf.packed
 (** Create a fresh engine for the spec over the derived
     configuration. *)
+
+val state_digest : Nvcaracal.Engine_intf.packed -> tables:Nvcaracal.Table.t list -> int64
+(** Order-independent fingerprint of the committed state of [tables]:
+    FNV over the sorted (table, key, value) rows. Engines holding equal
+    committed state digest equally — what [Bye_ok] reports to clients
+    and what the served-vs-replayed determinism checks compare. *)

@@ -1,0 +1,38 @@
+type 'a codec = { encode : 'a -> bytes; decode : bytes -> 'a }
+
+type registration =
+  | Reg : {
+      name : string;
+      codec : 'a codec;
+      build : 'a -> Nvcaracal.Txn.t;
+    }
+      -> registration
+
+let reg ~name codec build = Reg { name; codec; build }
+let name (Reg r) = r.name
+let build_from_bytes (Reg r) args = r.build (r.codec.decode args)
+
+(* --- Common codecs -------------------------------------------------- *)
+
+let bytes_codec = { encode = Fun.id; decode = Fun.id }
+
+let i64 =
+  {
+    encode =
+      (fun v ->
+        let b = Bytes.create 8 in
+        Bytes.set_int64_le b 0 v;
+        b);
+    decode = (fun b -> Bytes.get_int64_le b 0);
+  }
+
+let i64_pair =
+  {
+    encode =
+      (fun (a, b) ->
+        let buf = Bytes.create 16 in
+        Bytes.set_int64_le buf 0 a;
+        Bytes.set_int64_le buf 8 b;
+        buf);
+    decode = (fun b -> (Bytes.get_int64_le b 0, Bytes.get_int64_le b 8));
+  }

@@ -1,0 +1,47 @@
+(** Stored-procedure registrations.
+
+    A deterministic database's client contract (paper section 6.2.3)
+    requires every admitted transaction to be expressible as loggable
+    {e input bytes} — an OCaml closure cannot cross a wire or be
+    replayed after a crash. A {!registration} therefore names a
+    procedure, pairs it with a codec for its argument type, and keeps
+    the [args -> Txn.t] constructor private to the server side: clients
+    send [(procedure, encoded args)], the front end builds the
+    transaction, and recovery rebuilds it from the logged call.
+
+    Each workload exposes its transaction kinds as registrations
+    ({!Workload.t.procs}); the front-end registry
+    ([Nv_frontend.Proc]) indexes them by name. *)
+
+type 'a codec = { encode : 'a -> bytes; decode : bytes -> 'a }
+(** Byte codec for one procedure's argument type. [decode] must accept
+    exactly what [encode] produced (and may raise on junk); both must
+    be deterministic, since encoded arguments are what the input log
+    replays. *)
+
+type registration =
+  | Reg : {
+      name : string;  (** wire name, e.g. ["smallbank.amalgamate"] *)
+      codec : 'a codec;
+      build : 'a -> Nvcaracal.Txn.t;
+    }
+      -> registration
+      (** One named procedure with its argument codec and transaction
+          constructor, packed existentially so heterogeneous argument
+          types share one registry. *)
+
+val reg : name:string -> 'a codec -> ('a -> Nvcaracal.Txn.t) -> registration
+val name : registration -> string
+
+val build_from_bytes : registration -> bytes -> Nvcaracal.Txn.t
+(** Decode the argument bytes and build the transaction.
+    @raise Invalid_argument (or any codec exception) on junk bytes. *)
+
+(** Ready-made codecs. *)
+
+val bytes_codec : bytes codec
+(** Identity — for procedures whose argument is already a serialized
+    record (e.g. a workload's native input encoding). *)
+
+val i64 : int64 codec
+val i64_pair : (int64 * int64) codec

@@ -179,6 +179,29 @@ let gen_op cfg rng =
       Amalgamate (c1, other ())
   | _ -> Write_check (pick_customer (), amount true)
 
+(* The five SmallBank transaction kinds as named stored procedures.
+   Each carries exactly its own arguments (not the tagged union the
+   input log uses), so the wire form is self-describing per name. *)
+let procs =
+  [
+    Procs.reg ~name:"smallbank.balance" Procs.i64 (fun c -> txn_of (Balance c));
+    Procs.reg ~name:"smallbank.deposit_checking" Procs.i64_pair (fun (c, a) ->
+        txn_of (Deposit_checking (c, a)));
+    Procs.reg ~name:"smallbank.transact_savings" Procs.i64_pair (fun (c, a) ->
+        txn_of (Transact_savings (c, a)));
+    Procs.reg ~name:"smallbank.amalgamate" Procs.i64_pair (fun (c1, c2) ->
+        txn_of (Amalgamate (c1, c2)));
+    Procs.reg ~name:"smallbank.write_check" Procs.i64_pair (fun (c, a) ->
+        txn_of (Write_check (c, a)));
+  ]
+
+let call_of_op = function
+  | Balance c -> ("smallbank.balance", Procs.i64.Procs.encode c)
+  | Deposit_checking (c, a) -> ("smallbank.deposit_checking", Procs.i64_pair.Procs.encode (c, a))
+  | Transact_savings (c, a) -> ("smallbank.transact_savings", Procs.i64_pair.Procs.encode (c, a))
+  | Amalgamate (c1, c2) -> ("smallbank.amalgamate", Procs.i64_pair.Procs.encode (c1, c2))
+  | Write_check (c, a) -> ("smallbank.write_check", Procs.i64_pair.Procs.encode (c, a))
+
 let make cfg =
   {
     Workload.name = Printf.sprintf "smallbank(cust=%d,hot=%d)" cfg.customers cfg.hot_customers;
@@ -198,4 +221,6 @@ let make cfg =
              ]));
     gen_batch = (fun rng n -> Array.init n (fun _ -> txn_of (gen_op cfg rng)));
     rebuild = (fun input -> txn_of (decode input));
+    procs;
+    gen_call = (fun rng -> call_of_op (gen_op cfg rng));
   }

@@ -450,6 +450,25 @@ let load cfg () =
   Seq.concat
     (List.to_seq [ warehouses; districts; customers; last_orders; items; stock ])
 
+(* The five TPC-C transaction kinds as named stored procedures. They
+   share the tagged input codec (the same bytes the input log carries);
+   the name still routes per kind so a front end can rate or trace the
+   mix without decoding. *)
+let input_codec = { Procs.encode; decode }
+
+let proc_name = function
+  | New_order _ -> "tpcc.new_order"
+  | Payment _ -> "tpcc.payment"
+  | Order_status _ -> "tpcc.order_status"
+  | Delivery _ -> "tpcc.delivery"
+  | Stock_level _ -> "tpcc.stock_level"
+
+let procs cfg =
+  List.map
+    (fun name -> Procs.reg ~name input_codec (fun input -> txn_of cfg input))
+    [ "tpcc.new_order"; "tpcc.payment"; "tpcc.order_status"; "tpcc.delivery";
+      "tpcc.stock_level" ]
+
 let make cfg =
   {
     Workload.name = Printf.sprintf "tpcc(w=%d)" cfg.warehouses;
@@ -460,4 +479,9 @@ let make cfg =
     load = load cfg;
     gen_batch = (fun rng n -> Array.init n (fun _ -> txn_of cfg (gen_input cfg rng)));
     rebuild = (fun input -> txn_of cfg (decode input));
+    procs = procs cfg;
+    gen_call =
+      (fun rng ->
+        let input = gen_input cfg rng in
+        (proc_name input, encode input));
   }

@@ -7,6 +7,8 @@ type t = {
   load : unit -> (int * int64 * bytes) Seq.t;
   gen_batch : Nv_util.Rng.t -> int -> Nvcaracal.Txn.t array;
   rebuild : bytes -> Nvcaracal.Txn.t;
+  procs : Procs.registration list;
+  gen_call : Nv_util.Rng.t -> string * bytes;
 }
 
 let total_rows t = Seq.fold_left (fun acc _ -> acc + 1) 0 (t.load ())

@@ -4,7 +4,13 @@
     deterministic batches of {!Nvcaracal.Txn.t}, which both the
     deterministic engine and the Zen baseline execute. [rebuild]
     deserializes a logged input record back into its transaction, which
-    is what deterministic replay uses after a crash. *)
+    is what deterministic replay uses after a crash.
+
+    For networked serving, every transaction kind is also exposed as a
+    named stored procedure ([procs]) so a client can submit
+    [(procedure, encoded args)] bytes instead of an OCaml closure, and
+    [gen_call] draws from the workload's transaction mix in that wire
+    form (what [nvdb loadgen] sends). *)
 
 type t = {
   name : string;
@@ -15,6 +21,12 @@ type t = {
   load : unit -> (int * int64 * bytes) Seq.t;
   gen_batch : Nv_util.Rng.t -> int -> Nvcaracal.Txn.t array;
   rebuild : bytes -> Nvcaracal.Txn.t;
+  procs : Procs.registration list;
+      (** The workload's stored procedures, one per transaction kind. *)
+  gen_call : Nv_util.Rng.t -> string * bytes;
+      (** Draw one call from the workload's mix: a procedure name from
+          [procs] plus its encoded arguments. Equal seeds draw equal
+          call streams. *)
 }
 
 val total_rows : t -> int

@@ -111,6 +111,16 @@ let gen_keys cfg ?zipf rng =
   | Zipfian _, None -> assert false);
   keys
 
+(* One stored procedure: a read-modify-write group over explicit keys.
+   Arguments are the (nonce, keys) pair the input record carries, so
+   the wire form, the logged input and replay all agree byte for
+   byte. *)
+let rmw_codec =
+  {
+    Procs.encode = (fun (nonce, keys) -> encode ~nonce keys);
+    decode;
+  }
+
 let make cfg =
   let zipf =
     match cfg.distribution with
@@ -139,4 +149,10 @@ let make cfg =
       (fun input ->
         let nonce, keys = decode input in
         txn_of cfg ~nonce keys);
+    procs =
+      [ Procs.reg ~name:"ycsb.rmw" rmw_codec (fun (nonce, keys) -> txn_of cfg ~nonce keys) ];
+    gen_call =
+      (fun rng ->
+        let nonce = Nv_util.Rng.next_int64 rng in
+        ("ycsb.rmw", encode ~nonce (gen_keys cfg ?zipf rng)));
   }

@@ -51,6 +51,7 @@ type t = {
   counters : int64 array;
   mutable committed : int;
   mutable aborted : int;
+  mutable last_outcomes : [ `Committed | `Aborted | `Deferred ] array;
 }
 
 let build_layout (cfg : config) =
@@ -83,6 +84,7 @@ let attach (cfg : config) tables pmem per_core =
     counters = Array.make 8 0L;
     committed = 0;
     aborted = 0;
+    last_outcomes = [||];
   }
 
 let create ~config ~tables () =
@@ -286,16 +288,24 @@ let exec_txn t ~core (txn : Txn.t) =
           | Bdelete -> commit_delete t stats ~core ~table ~key)
         buffer;
       Pmem.fence t.pmem stats;
-      t.committed <- t.committed + 1
-  | exception Txn.Aborted -> t.aborted <- t.aborted + 1
+      t.committed <- t.committed + 1;
+      `Committed
+  | exception Txn.Aborted ->
+      t.aborted <- t.aborted + 1;
+      `Aborted
 
 let barrier t =
   let m = Array.fold_left (fun acc s -> Float.max acc (Stats.now s)) 0.0 t.core_stats in
   Array.iter (fun s -> Stats.set_now s m) t.core_stats
 
 let exec_batch t txns =
-  Array.iteri (fun i txn -> exec_txn t ~core:(i mod t.config.cores) txn) txns;
+  (* Zen commits (and fences) each transaction as it executes, so by
+     the time the batch returns every outcome is already durable — the
+     per-batch report is filled in directly. *)
+  t.last_outcomes <- Array.mapi (fun i txn -> exec_txn t ~core:(i mod t.config.cores) txn) txns;
   barrier t
+
+let last_batch_outcomes t = t.last_outcomes
 
 let bulk_load t rows =
   let i = ref 0 in
@@ -434,6 +444,7 @@ module Engine :
 
   let read_committed = read_committed
   let iter_committed = iter_committed
+  let last_batch_outcomes = last_batch_outcomes
   let committed_txns = committed_txns
   let aborted_txns = aborted_txns
   let total_time_ns = total_time_ns

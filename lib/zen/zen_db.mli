@@ -45,6 +45,11 @@ val bulk_load : t -> (int * int64 * bytes) Seq.t -> unit
 val exec_batch : t -> Nvcaracal.Txn.t array -> unit
 (** Execute transactions one by one, committing each. *)
 
+val last_batch_outcomes : t -> [ `Committed | `Aborted | `Deferred ] array
+(** Per-transaction outcome of the last [exec_batch], in batch order.
+    Zen commits per transaction and never defers, so entries are
+    [`Committed] or [`Aborted] only. *)
+
 val counters_total : t -> Nv_nvmm.Stats.counters
 (** Aggregate access counters across all cores (diagnostics). *)
 

@@ -1,0 +1,55 @@
+#!/usr/bin/env bash
+# Networked front-end smoke check: serve the wire protocol on a Unix
+# socket, drive it with 32 concurrent clients for a few thousand
+# transactions, and assert a clean shutdown with zero protocol errors
+# on both sides.
+#
+# The server's admitted work is deterministic given the admitted
+# batches (asserted in-process by test/test_frontend.ml); this script
+# checks the real-socket path: framing under concurrency, admission,
+# checkpoint-gated replies, Bye/Shutdown draining, and exit codes.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SOCK="${TMPDIR:-/tmp}/nvdb-serve-check-$$.sock"
+SERVER_OUT="$(mktemp)"
+CLIENT_OUT="$(mktemp)"
+trap 'kill $SERVER_PID 2>/dev/null || true; rm -f "$SOCK" "$SERVER_OUT" "$CLIENT_OUT"' EXIT
+
+dune build bin/nvdb.exe
+
+NVDB=_build/default/bin/nvdb.exe
+
+"$NVDB" serve --workload ycsb --listen "$SOCK" \
+  --batch-target 128 --deadline-ticks 4 --capacity 20000 \
+  >"$SERVER_OUT" 2>&1 &
+SERVER_PID=$!
+
+# Wait for the socket to appear (the server bulk-loads first).
+for _ in $(seq 1 600); do
+  [ -S "$SOCK" ] && break
+  kill -0 "$SERVER_PID" 2>/dev/null || { echo "server died before binding"; cat "$SERVER_OUT"; exit 1; }
+  sleep 0.1
+done
+[ -S "$SOCK" ] || { echo "server never bound $SOCK"; cat "$SERVER_OUT"; exit 1; }
+
+"$NVDB" loadgen --workload ycsb --listen "$SOCK" \
+  --clients 32 --txns 100 --window 4 --shutdown \
+  >"$CLIENT_OUT" 2>&1 || { echo "loadgen failed"; cat "$CLIENT_OUT"; exit 1; }
+
+# The Shutdown request must drain the server to a clean exit.
+SERVER_RC=0
+wait "$SERVER_PID" || SERVER_RC=$?
+if [ "$SERVER_RC" -ne 0 ]; then
+  echo "server exited with $SERVER_RC"; cat "$SERVER_OUT"; exit 1
+fi
+
+grep -q '^sent *3200$' "$CLIENT_OUT" || { echo "loadgen did not send 3200 txns"; cat "$CLIENT_OUT"; exit 1; }
+grep -q '^protocol errors *0$' "$CLIENT_OUT" || { echo "client-side protocol errors"; cat "$CLIENT_OUT"; exit 1; }
+grep -q '^protocol errors *0$' "$SERVER_OUT" || { echo "server-side protocol errors"; cat "$SERVER_OUT"; exit 1; }
+grep -q '^admitted *3200$' "$SERVER_OUT" || { echo "server did not admit all 3200 txns"; cat "$SERVER_OUT"; exit 1; }
+grep -q '^clients served *32$' "$SERVER_OUT" || { echo "server did not see 32 clients"; cat "$SERVER_OUT"; exit 1; }
+[ -S "$SOCK" ] && { echo "server left its socket behind"; exit 1; }
+
+echo "serve-check OK: 32 clients x 100 txns, clean shutdown, zero protocol errors"
+sed -n 's/^/  server: /p' "$SERVER_OUT"

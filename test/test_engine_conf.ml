@@ -163,6 +163,43 @@ let test_user_abort mk () =
       check_bytes "aborted write invisible" (Some (value 2)) (get (module E) db 2);
       check_bytes "other txn committed" (Some (value 33)) (get (module E) db 3)
 
+(* Outcome reporting is uniform across engines: a batch's per-txn
+   verdicts appear (only) once its epoch checkpointed, in batch order,
+   and conflict-deferred transactions are flagged as such rather than
+   folded into aborts. *)
+let test_last_batch_outcomes mk () =
+  match mk () with
+  | Engine_intf.Packed ((module E), db) ->
+      E.bulk_load db (load 20);
+      Alcotest.(check int) "no outcomes before first batch" 0
+        (Array.length (E.last_batch_outcomes db));
+      (* Disjoint keys: no engine can defer these. *)
+      let _, d1 =
+        E.run_batch db [| set_txn ~key:1L (value 11); abort_txn ~key:2L; set_txn ~key:3L (value 33) |]
+      in
+      Alcotest.(check int) "nothing deferred on disjoint keys" 0 (Array.length d1);
+      let o = E.last_batch_outcomes db in
+      Alcotest.(check int) "one outcome per txn" 3 (Array.length o);
+      Alcotest.(check bool) "txn 0 committed" true (o.(0) = `Committed);
+      Alcotest.(check bool) "txn 1 aborted" true (o.(1) = `Aborted);
+      Alcotest.(check bool) "txn 2 committed" true (o.(2) = `Committed);
+      (* Same key twice in one batch: serial engines commit both; a
+         deferring engine must report exactly the returned victims as
+         [`Deferred]. *)
+      let _, d2 = E.run_batch db [| set_txn ~key:7L (value 71); set_txn ~key:7L (value 72) |] in
+      let o2 = E.last_batch_outcomes db in
+      Alcotest.(check int) "conflict batch outcome count" 2 (Array.length o2);
+      let deferred_flags =
+        Array.fold_left (fun acc x -> if x = `Deferred then acc + 1 else acc) 0 o2
+      in
+      Alcotest.(check int) "deferred flags match returned victims"
+        (Array.length d2) deferred_flags;
+      Alcotest.(check bool) "no outcome is a final abort" true
+        (Array.for_all (fun x -> x <> `Aborted) o2);
+      drain (module E) db d2;
+      Alcotest.(check int) "every non-aborting txn eventually committed" 4
+        (E.committed_txns db)
+
 let test_time_advances mk () =
   match mk () with
   | Engine_intf.Packed ((module E), db) ->
@@ -192,6 +229,8 @@ let suites =
           Alcotest.test_case "duplicate key within a txn: last wins" `Quick
             (test_duplicate_key_in_txn mk);
           Alcotest.test_case "user abort leaves no trace" `Quick (test_user_abort mk);
+          Alcotest.test_case "last_batch_outcomes per txn" `Quick
+            (test_last_batch_outcomes mk);
           Alcotest.test_case "time and memory accounting move" `Quick
             (test_time_advances mk);
         ] ))

@@ -1,0 +1,518 @@
+(* The networked front end: wire protocol, stored-procedure registry,
+   epoch batcher (admission, deadline/size close, checkpoint-gated
+   replies, backpressure, disconnects), served-vs-replayed determinism,
+   and a real sockets end-to-end run. *)
+
+module F_wire = Nv_frontend.Wire
+module F_proc = Nv_frontend.Proc
+module F_batcher = Nv_frontend.Batcher
+module F_server = Nv_frontend.Server
+module F_loadgen = Nv_frontend.Loadgen
+module Engine = Nv_harness.Engine
+module Engine_intf = Nvcaracal.Engine_intf
+module W = Nv_workloads.Workload
+module Rng = Nv_util.Rng
+
+(* ------------------------------------------------------------------ *)
+(* Wire protocol                                                       *)
+
+let requests : F_wire.request list =
+  [
+    F_wire.Hello { client = 7 };
+    F_wire.Submit { req = 42; proc = "ycsb.rmw"; args = Bytes.of_string "\x01\x02\x03" };
+    F_wire.Submit { req = 0; proc = "p"; args = Bytes.empty };
+    F_wire.Bye;
+    F_wire.Shutdown;
+  ]
+
+let responses : F_wire.response list =
+  [
+    F_wire.Hello_ok;
+    F_wire.Result { req = 3; outcome = `Committed };
+    F_wire.Result { req = 9; outcome = `Aborted };
+    F_wire.Rejected { req = 1; reason = `Overloaded };
+    F_wire.Rejected { req = 2; reason = `Unknown_proc };
+    F_wire.Rejected { req = F_wire.no_req; reason = `Bad_frame };
+    F_wire.Bye_ok { digest = 0x1234_5678_9ABC_DEFL };
+    F_wire.Server_error "boom";
+  ]
+
+let decode_stream decode feed_sizes frames =
+  let all = Bytes.concat Bytes.empty frames in
+  let reader = F_wire.Reader.create () in
+  let out = ref [] in
+  let off = ref 0 in
+  let sizes = ref feed_sizes in
+  while !off < Bytes.length all do
+    let n =
+      match !sizes with
+      | [] -> Bytes.length all - !off
+      | s :: rest ->
+          sizes := rest;
+          min s (Bytes.length all - !off)
+    in
+    F_wire.Reader.feed reader all ~off:!off ~len:n;
+    off := !off + n;
+    let continue = ref true in
+    while !continue do
+      match F_wire.Reader.next_payload reader with
+      | None -> continue := false
+      | Some payload -> out := decode payload :: !out
+    done
+  done;
+  List.rev !out
+
+let test_wire_roundtrip () =
+  let got = decode_stream F_wire.decode_request [] (List.map F_wire.encode_request requests) in
+  Alcotest.(check int) "request count" (List.length requests) (List.length got);
+  List.iter2 (fun a b -> assert (a = b)) requests got;
+  let got =
+    decode_stream F_wire.decode_response [] (List.map F_wire.encode_response responses)
+  in
+  Alcotest.(check int) "response count" (List.length responses) (List.length got);
+  List.iter2 (fun a b -> assert (a = b)) responses got
+
+(* Byte-at-a-time delivery: the incremental reader reassembles frames
+   across arbitrarily fragmented reads. *)
+let test_wire_partial () =
+  let sizes = List.init 10_000 (fun _ -> 1) in
+  let got = decode_stream F_wire.decode_request sizes (List.map F_wire.encode_request requests) in
+  assert (got = requests);
+  let sizes = List.init 10_000 (fun i -> 1 + (i mod 3)) in
+  let got =
+    decode_stream F_wire.decode_response sizes (List.map F_wire.encode_response responses)
+  in
+  assert (got = responses)
+
+let test_wire_errors () =
+  let raises f =
+    match f () with
+    | exception F_wire.Protocol_error _ -> ()
+    | _ -> Alcotest.fail "expected Protocol_error"
+  in
+  (* Unknown tag. *)
+  raises (fun () -> F_wire.decode_request (Bytes.of_string "\x7f"));
+  raises (fun () -> F_wire.decode_response (Bytes.of_string "\x7f"));
+  (* Truncated Submit payload. *)
+  raises (fun () -> F_wire.decode_request (Bytes.of_string "\x02\x00\x00"));
+  (* Oversized length prefix. *)
+  raises (fun () ->
+      let r = F_wire.Reader.create () in
+      let b = Bytes.create 4 in
+      Bytes.set_int32_le b 0 (Int32.of_int (F_wire.max_frame + 1));
+      F_wire.Reader.feed r b ~off:0 ~len:4;
+      F_wire.Reader.next_payload r);
+  (* Zero-length frame. *)
+  raises (fun () ->
+      let r = F_wire.Reader.create () in
+      let b = Bytes.make 4 '\x00' in
+      F_wire.Reader.feed r b ~off:0 ~len:4;
+      F_wire.Reader.next_payload r)
+
+(* ------------------------------------------------------------------ *)
+(* Stored-procedure registry                                           *)
+
+let small_ycsb () =
+  Nv_workloads.Ycsb.make
+    {
+      Nv_workloads.Ycsb.default with
+      Nv_workloads.Ycsb.rows = 512;
+      value_size = 64;
+      update_bytes = 32;
+      ops_per_txn = 4;
+    }
+
+let small_smallbank () =
+  Nv_workloads.Smallbank.make
+    { Nv_workloads.Smallbank.default with Nv_workloads.Smallbank.customers = 400; hot_customers = 40 }
+
+let test_proc_registry () =
+  List.iter
+    (fun (w : W.t) ->
+      let reg = F_proc.of_workload w in
+      assert (F_proc.names reg <> []);
+      assert (not (F_proc.mem reg "no.such.proc"));
+      (match F_proc.build reg ~proc:"no.such.proc" ~args:Bytes.empty with
+      | Error `Unknown_proc -> ()
+      | Ok _ -> Alcotest.fail "unknown proc built");
+      (* Every call the workload generates resolves, builds, and logs a
+         framed input that rebuilds. *)
+      let rng = Rng.create 7 in
+      for _ = 1 to 50 do
+        let proc, args = w.W.gen_call rng in
+        assert (F_proc.mem reg proc);
+        match F_proc.build reg ~proc ~args with
+        | Error `Unknown_proc -> Alcotest.fail "generated call did not resolve"
+        | Ok txn ->
+            (* The logged input is the framed call... *)
+            assert (txn.Nvcaracal.Txn.input = F_proc.encode_call ~proc ~args);
+            (* ...and decodes back to the same (proc, args). *)
+            (match F_proc.decode_call txn.Nvcaracal.Txn.input with
+            | Some (p, a) -> assert (p = proc && a = args)
+            | None -> Alcotest.fail "framed call did not decode");
+            (* rebuild (the replay path) accepts it. *)
+            let again = F_proc.rebuild reg txn.Nvcaracal.Txn.input in
+            assert (again.Nvcaracal.Txn.input = txn.Nvcaracal.Txn.input)
+      done)
+    [ small_ycsb (); small_smallbank (); Nv_workloads.Tpcc.make Nv_workloads.Tpcc.default ]
+
+(* ------------------------------------------------------------------ *)
+(* Session over every engine                                           *)
+
+let tables = [ Nvcaracal.Table.make ~id:0 ~name:"conf" () ]
+
+let caracal_config () =
+  Nvcaracal.Config.make ~cores:2 ~row_size:128 ~rows_per_core:4096 ~values_per_core:4096
+    ~freelist_capacity:8192 ~log_capacity:(1 lsl 20) ()
+
+let zen_config () =
+  {
+    Nv_zen.Zen_db.default_config with
+    Nv_zen.Zen_db.cores = 2;
+    record_size = 64;
+    cache_entries = 256;
+    slots_per_core = 4096;
+  }
+
+let engines : (string * (unit -> Engine_intf.packed)) list =
+  [
+    ( "nvcaracal",
+      fun () ->
+        Engine_intf.Packed
+          ( (module Nvcaracal.Db.Serial_engine),
+            Nvcaracal.Db.Serial_engine.create ~config:(caracal_config ()) ~tables () ) );
+    ( "aria",
+      fun () ->
+        Engine_intf.Packed
+          ( (module Nvcaracal.Db.Aria_engine),
+            Nvcaracal.Db.Aria_engine.create ~config:(caracal_config ()) ~tables () ) );
+    ( "zen",
+      fun () ->
+        Engine_intf.Packed
+          ( (module Nv_zen.Zen_db.Engine),
+            Nv_zen.Zen_db.Engine.create ~config:(zen_config ()) ~tables () ) );
+  ]
+
+let value i =
+  let b = Bytes.create 16 in
+  Bytes.set_int64_le b 0 (Int64.of_int i);
+  b
+
+let load_engine packed n =
+  match packed with
+  | Engine_intf.Packed ((module E), db) -> E.bulk_load db (Seq.init n (fun i -> (0, Int64.of_int i, value i)))
+
+let set_txn ~key v =
+  Nvcaracal.Txn.make ~input:Bytes.empty
+    ~write_set:[ Nvcaracal.Txn.Update { table = 0; key } ]
+    (fun ctx -> ctx.Nvcaracal.Txn.Ctx.write ~table:0 ~key v)
+
+let test_session_empty_flush mk () =
+  let engine = mk () in
+  load_engine engine 16;
+  let s = Nvcaracal.Session.of_engine ~engine () in
+  assert (Nvcaracal.Session.flush s = None);
+  assert (Nvcaracal.Session.pending s = 0)
+
+let test_session_result_gating mk () =
+  let engine = mk () in
+  load_engine engine 16;
+  let s = Nvcaracal.Session.of_engine ~engine ~auto_flush:false () in
+  let fired = ref [] in
+  Nvcaracal.Session.on_result s (fun h o -> fired := (h, o) :: !fired);
+  let h1 = Nvcaracal.Session.submit s (set_txn ~key:1L (value 100)) in
+  let h2 = Nvcaracal.Session.submit s (set_txn ~key:2L (value 200)) in
+  (* Before the epoch runs: no result, no callback — the checkpoint
+     fence gates visibility. *)
+  assert (Nvcaracal.Session.result s h1 = None);
+  assert (Nvcaracal.Session.poll s h2 = `Pending);
+  assert (!fired = []);
+  assert (Nvcaracal.Session.pending s = 2);
+  ignore (Nvcaracal.Session.flush s);
+  assert (Nvcaracal.Session.result s h1 = Some `Committed);
+  assert (Nvcaracal.Session.poll s h2 = `Committed);
+  assert (List.length !fired = 2)
+
+let test_session_auto_flush_exact mk () =
+  let engine = mk () in
+  load_engine engine 16;
+  let s = Nvcaracal.Session.of_engine ~engine ~epoch_target:3 () in
+  let h1 = Nvcaracal.Session.submit s (set_txn ~key:1L (value 1)) in
+  let _h2 = Nvcaracal.Session.submit s (set_txn ~key:2L (value 2)) in
+  (* Two submissions: below target, still pending. *)
+  assert (Nvcaracal.Session.poll s h1 = `Pending);
+  assert (Nvcaracal.Session.pending s = 2);
+  (* The third reaches the target exactly: the epoch runs inside
+     [submit]. *)
+  let h3 = Nvcaracal.Session.submit s (set_txn ~key:3L (value 3)) in
+  assert (Nvcaracal.Session.pending s = 0);
+  assert (Nvcaracal.Session.poll s h1 = `Committed);
+  assert (Nvcaracal.Session.poll s h3 = `Committed);
+  assert (Nvcaracal.Session.submitted s = 3)
+
+(* ------------------------------------------------------------------ *)
+(* Batcher                                                             *)
+
+let spec_serial = Engine.spec (Engine.Caracal Nvcaracal.Config.Nvcaracal)
+let spec_aria = Engine.spec Engine.Caracal_aria
+
+let loaded_engine spec (w : W.t) =
+  let setup = Engine.setup ~epochs:64 ~epoch_txns:64 () in
+  let packed = Engine.instantiate spec setup w in
+  (match packed with Engine_intf.Packed ((module E), db) -> E.bulk_load db (w.W.load ()));
+  packed
+
+type sim_client = {
+  c : F_batcher.client;
+  rng : Rng.t;
+  results : F_wire.response list ref;
+}
+
+let mk_batcher ?cfg spec w =
+  let engine = loaded_engine spec w in
+  let registry = F_proc.of_workload w in
+  F_batcher.create ?cfg ~engine ~registry ~tables:w.W.tables ()
+
+let mk_client ?(seed = 0) b =
+  let results = ref [] in
+  let c = F_batcher.connect b ~reply:(Some (fun r -> results := r :: !results)) in
+  { c; rng = Rng.create seed; results }
+
+let submit_one b (w : W.t) cl ~req =
+  let proc, args = w.W.gen_call cl.rng in
+  F_batcher.submit b cl.c ~req ~proc ~args
+
+let test_batcher_size_close () =
+  let w = small_ycsb () in
+  let cfg = F_batcher.config ~batch_target:8 ~deadline_ticks:100 () in
+  let b = mk_batcher ~cfg spec_serial w in
+  let a = mk_client ~seed:1 b and c = mk_client ~seed:2 b in
+  for i = 0 to 3 do
+    assert (submit_one b w a ~req:i = `Admitted);
+    assert (submit_one b w c ~req:i = `Admitted)
+  done;
+  (* Replies are withheld until a batch closes and its epoch
+     checkpoints: nothing has fired yet even though the target is met. *)
+  assert (!(a.results) = [] && !(c.results) = []);
+  assert (F_batcher.pending b = 8);
+  F_batcher.tick b;
+  (* Size target reached: one tick closes and runs exactly one epoch. *)
+  Alcotest.(check int) "epochs" 1 (F_batcher.epochs_run b);
+  assert (F_batcher.pending b = 0);
+  Alcotest.(check int) "client a replies" 4 (List.length !(a.results));
+  Alcotest.(check int) "client c replies" 4 (List.length !(c.results));
+  (* Round-robin admission in client-id order: a, c, a, c, ... *)
+  (match F_batcher.admitted_batches b with
+  | [ batch ] -> Alcotest.(check int) "batch size" 8 (Array.length batch)
+  | _ -> Alcotest.fail "expected one admitted batch");
+  (* Per-client FIFO: requests answered in submission order. *)
+  let reqs cl =
+    List.rev !(cl.results)
+    |> List.map (function F_wire.Result { req; _ } -> req | _ -> Alcotest.fail "not a Result")
+  in
+  Alcotest.(check (list int)) "fifo a" [ 0; 1; 2; 3 ] (reqs a);
+  Alcotest.(check (list int)) "fifo c" [ 0; 1; 2; 3 ] (reqs c)
+
+let test_batcher_deadline_close () =
+  let w = small_ycsb () in
+  let cfg = F_batcher.config ~batch_target:100 ~deadline_ticks:3 () in
+  let b = mk_batcher ~cfg spec_serial w in
+  let a = mk_client b in
+  for i = 0 to 4 do
+    ignore (submit_one b w a ~req:i)
+  done;
+  (* Under-filled batch: the deadline, not the size target, closes it. *)
+  F_batcher.tick b;
+  F_batcher.tick b;
+  assert (F_batcher.epochs_run b = 0 && !(a.results) = []);
+  F_batcher.tick b;
+  Alcotest.(check int) "epochs after deadline" 1 (F_batcher.epochs_run b);
+  Alcotest.(check int) "replies" 5 (List.length !(a.results))
+
+let test_batcher_overload () =
+  let w = small_ycsb () in
+  let cfg = F_batcher.config ~batch_target:4 ~deadline_ticks:4 ~max_pending:6 () in
+  let b = mk_batcher ~cfg spec_serial w in
+  let a = mk_client b in
+  for i = 0 to 5 do
+    assert (submit_one b w a ~req:i = `Admitted)
+  done;
+  (* The bound is hit: rejection is explicit, never a silent drop. *)
+  (match submit_one b w a ~req:6 with
+  | `Rejected `Overloaded -> ()
+  | `Admitted | `Rejected _ -> Alcotest.fail "expected `Overloaded");
+  (match !(a.results) with
+  | [ F_wire.Rejected { req = 6; reason = `Overloaded } ] -> ()
+  | _ -> Alcotest.fail "rejection must be delivered on the reply channel");
+  Alcotest.(check int) "rejected count" 1 (F_batcher.rejected b);
+  (* Draining makes room again. *)
+  F_batcher.drain b;
+  assert (F_batcher.pending b = 0);
+  assert (submit_one b w a ~req:7 = `Admitted);
+  (* Unknown procedures are rejected explicitly too. *)
+  (match F_batcher.submit b a.c ~req:8 ~proc:"no.such" ~args:Bytes.empty with
+  | `Rejected `Unknown_proc -> ()
+  | _ -> Alcotest.fail "expected `Unknown_proc")
+
+let test_batcher_disconnect () =
+  let w = small_ycsb () in
+  let cfg = F_batcher.config ~batch_target:100 ~deadline_ticks:2 () in
+  let b = mk_batcher ~cfg spec_serial w in
+  let a = mk_client ~seed:1 b and c = mk_client ~seed:2 b in
+  for i = 0 to 3 do
+    ignore (submit_one b w a ~req:i);
+    ignore (submit_one b w c ~req:i)
+  done;
+  (* Client c vanishes before its epoch ran: its admitted transactions
+     still execute (admission is a determinism commitment), only the
+     replies are dropped. *)
+  F_batcher.disconnect b c.c;
+  F_batcher.drain b;
+  Alcotest.(check int) "all admitted executed" 8
+    (F_batcher.committed b + F_batcher.aborted b);
+  Alcotest.(check int) "survivor replied" 4 (List.length !(a.results));
+  Alcotest.(check int) "ghost not replied" 0 (List.length !(c.results))
+
+(* Served determinism: a 32-client interleaved run, then an offline
+   replay of the very batches the batcher admitted, through a fresh
+   engine — committed digests and the raw pmem byte image must be
+   identical (the acceptance check of the networked front end). *)
+let test_batcher_determinism spec () =
+  let w = small_ycsb () in
+  let cfg = F_batcher.config ~batch_target:24 ~deadline_ticks:3 ~max_pending:4096 () in
+  let b = mk_batcher ~cfg spec w in
+  let clients = Array.init 32 (fun i -> mk_client ~seed:(100 + i) b) in
+  let driver = Rng.create 9 in
+  for round = 0 to 19 do
+    Array.iteri
+      (fun i cl ->
+        let n = Rng.int driver 3 in
+        for k = 0 to n - 1 do
+          ignore (submit_one b w cl ~req:((round * 10) + k + (i * 1000)))
+        done)
+      clients;
+    F_batcher.tick b
+  done;
+  F_batcher.drain b;
+  let digest_served = F_batcher.state_digest b in
+  let batches = F_batcher.admitted_batches b in
+  assert (batches <> []);
+  (* Offline replay of the same admitted batches. *)
+  let replay = loaded_engine spec w in
+  let registry = F_proc.of_workload w in
+  (match replay with
+  | Engine_intf.Packed ((module E), db) ->
+      List.iter
+        (fun batch ->
+          let txns =
+            Array.map
+              (fun (proc, args) ->
+                match F_proc.build registry ~proc ~args with
+                | Ok txn -> txn
+                | Error `Unknown_proc -> Alcotest.fail "replay: unknown proc")
+              batch
+          in
+          ignore (E.run_batch db txns))
+        batches);
+  let digest_replayed = Engine.state_digest replay ~tables:w.W.tables in
+  Alcotest.(check int64) "served vs replayed digest" digest_served digest_replayed;
+  (* Byte-identical persistent images. *)
+  let image packed =
+    match packed with
+    | Engine_intf.Packed ((module E), db) ->
+        let p = E.pmem db in
+        Nv_nvmm.Pmem.read_bytes p ~off:0 ~len:(Nv_nvmm.Pmem.size p)
+  in
+  let a = image (F_batcher.engine b) and r = image replay in
+  Alcotest.(check int) "pmem sizes" (Bytes.length a) (Bytes.length r);
+  Alcotest.(check bool) "pmem byte image identical" true (Bytes.equal a r)
+
+(* ------------------------------------------------------------------ *)
+(* Sockets end to end: a real server thread, a real multi-client load
+   generator, zero protocol errors, clean shutdown. *)
+
+let test_socket_end_to_end () =
+  let w = small_ycsb () in
+  let path =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "nvdb-test-%d.sock" (Unix.getpid ()))
+  in
+  if Sys.file_exists path then Sys.remove path;
+  let engine = loaded_engine spec_serial w in
+  let registry = F_proc.of_workload w in
+  let scfg =
+    F_server.config
+      ~batcher:(F_batcher.config ~batch_target:32 ~deadline_ticks:2 ())
+      ~tick_interval_s:0.001 (`Unix path)
+  in
+  let stats = ref None in
+  let th =
+    Thread.create
+      (fun () -> stats := Some (F_server.serve ~engine ~registry ~tables:w.W.tables scfg))
+      ()
+  in
+  (* Wait for the bind before pointing clients at it. *)
+  let waited = ref 0 in
+  while (not (Sys.file_exists path)) && !waited < 5000 do
+    Thread.delay 0.001;
+    incr waited
+  done;
+  let lcfg =
+    F_loadgen.config ~clients:8 ~txns_per_client:40 ~seed:11 ~window:4 ~shutdown:true
+      (`Unix path)
+  in
+  let lstats = F_loadgen.run lcfg w in
+  Thread.join th;
+  let sstats = match !stats with Some s -> s | None -> Alcotest.fail "server died" in
+  Alcotest.(check int) "client protocol errors" 0 lstats.F_loadgen.protocol_errors;
+  Alcotest.(check int) "server protocol errors" 0 sstats.F_server.protocol_errors;
+  Alcotest.(check int) "all sent" (8 * 40) lstats.F_loadgen.sent;
+  Alcotest.(check int) "all answered" (8 * 40)
+    (lstats.F_loadgen.committed + lstats.F_loadgen.aborted + lstats.F_loadgen.rejected);
+  Alcotest.(check int) "nothing rejected" 0 lstats.F_loadgen.rejected;
+  Alcotest.(check int) "server saw all clients" 8 sstats.F_server.clients_served;
+  Alcotest.(check int) "server committed everything" lstats.F_loadgen.committed
+    sstats.F_server.committed;
+  (* Every client got a digest with its goodbye. *)
+  assert (List.length lstats.F_loadgen.digests = 8);
+  assert (not (Sys.file_exists path))
+
+let suites =
+  [
+    ( "frontend.wire",
+      [
+        Alcotest.test_case "round-trips every message" `Quick test_wire_roundtrip;
+        Alcotest.test_case "reassembles fragmented reads" `Quick test_wire_partial;
+        Alcotest.test_case "malformed input raises Protocol_error" `Quick test_wire_errors;
+      ] );
+    ( "frontend.proc",
+      [ Alcotest.test_case "registry round-trips generated calls" `Quick test_proc_registry ] );
+    ( "frontend.session",
+      List.concat_map
+        (fun (name, mk) ->
+          [
+            Alcotest.test_case (name ^ ": empty flush is None") `Quick
+              (test_session_empty_flush mk);
+            Alcotest.test_case (name ^ ": results gated on the epoch") `Quick
+              (test_session_result_gating mk);
+            Alcotest.test_case (name ^ ": auto-flush at exactly epoch_target") `Quick
+              (test_session_auto_flush_exact mk);
+          ])
+        engines );
+    ( "frontend.batcher",
+      [
+        Alcotest.test_case "size target closes the batch" `Quick test_batcher_size_close;
+        Alcotest.test_case "deadline closes an under-filled batch" `Quick
+          test_batcher_deadline_close;
+        Alcotest.test_case "bounded admission rejects explicitly" `Quick test_batcher_overload;
+        Alcotest.test_case "disconnect mid-epoch still executes admitted txns" `Quick
+          test_batcher_disconnect;
+        Alcotest.test_case "served equals replayed (serial, 32 clients)" `Quick
+          (test_batcher_determinism spec_serial);
+        Alcotest.test_case "served equals replayed (aria, 32 clients)" `Quick
+          (test_batcher_determinism spec_aria);
+      ] );
+    ( "frontend.sockets",
+      [ Alcotest.test_case "serve + loadgen over a unix socket" `Quick test_socket_end_to_end ]
+    );
+  ]

@@ -20,4 +20,5 @@ let () =
          Test_parallel.suites;
          Test_obs.suites;
          Test_engine_conf.suites;
+         Test_frontend.suites;
        ])
