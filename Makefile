@@ -1,6 +1,6 @@
 # Convenience entry points; everything is plain dune underneath.
 
-.PHONY: all build test test-parallel fmt-check golden serve-check check bench fuzz diff-fuzz clean
+.PHONY: all build test test-parallel fmt-check golden serve-check check bench profile fuzz diff-fuzz clean
 
 all: build
 
@@ -38,6 +38,18 @@ check: build test test-parallel fmt-check golden serve-check
 
 bench:
 	dune exec bench/main.exe
+
+# Wall-clock profiles (dual-clock observability): run one bench
+# experiment and one seeded `nvdb run` with --profile, leaving the
+# per-phase wall/allocation breakdowns as JSON under _profile/. The
+# phase tables also land on stderr/stdout for a quick look.
+profile:
+	mkdir -p _profile
+	dune exec bench/main.exe -- --only fig5 --profile \
+	  --profile-out _profile/bench_fig5_profile.json
+	dune exec bin/nvdb.exe -- run -w ycsb -e nvcaracal --epochs 6 --txns 2000 \
+	  --profile --profile-out _profile/run_ycsb_profile.json
+	@echo "profiles written to _profile/"
 
 # Differential fuzz: NVCaracal vs Zen behind the shared engine
 # interface, same seeded batches, one oracle.

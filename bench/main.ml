@@ -20,18 +20,26 @@ let list_experiments () =
     (fun (id, desc, _) -> Format.fprintf ppf "%-8s %s@." id desc)
     Nv_harness.Experiments.all
 
-(* The shared observability sinks behind --trace/--metrics
+(* The shared observability sinks behind --trace/--metrics/--profile
    (Nv_harness.Cli), installed into the Runner defaults so every
    experiment reports into them; the returned flush writes the
    collected data out after the selected experiments ran. *)
-let setup_observability ~trace_file ~metrics_file =
-  let tracer, metrics, flush =
-    Nv_harness.Cli.observability ~prog:"nvcaracal-bench" ~trace:trace_file
-      ~metrics:metrics_file ()
+let setup_observability ~trace_file ~metrics_file ~trace_wall ~profile ~profile_out
+    ~slow_epoch_ms =
+  let o =
+    Nv_harness.Cli.observability ~prog:"nvcaracal-bench" ~trace_wall ~profile ?profile_out
+      ?slow_epoch_ms ~trace:trace_file ~metrics:metrics_file ()
   in
-  (match tracer with Some tr -> Nv_harness.Runner.default_tracer := tr | None -> ());
-  (match metrics with Some m -> Nv_harness.Runner.default_metrics := m | None -> ());
-  flush
+  (match o.Nv_harness.Cli.tracer with
+  | Some tr -> Nv_harness.Runner.default_tracer := tr
+  | None -> ());
+  (match o.Nv_harness.Cli.metrics with
+  | Some m -> Nv_harness.Runner.default_metrics := m
+  | None -> ());
+  (match o.Nv_harness.Cli.profile with
+  | Some p -> Nv_harness.Runner.default_profile := p
+  | None -> ());
+  o.Nv_harness.Cli.flush
 
 let run_experiments only =
   let selected =
@@ -286,7 +294,8 @@ let () =
              headline workloads), write the results as JSON to $(docv) and exit.")
   in
   let jobs_arg = Nv_harness.Cli.jobs in
-  let main only list_it micro_it trace_file metrics_file snapshot_file parallel_file jobs =
+  let main only list_it micro_it trace_file metrics_file trace_wall profile profile_out
+      slow_epoch_ms snapshot_file parallel_file jobs =
     Nv_harness.Cli.set_jobs jobs;
     if list_it then list_experiments ()
     else if micro_it then micro ()
@@ -295,7 +304,10 @@ let () =
       | Some file, _ -> write_snapshot file
       | None, Some file -> parallel_snapshot file
       | None, None ->
-          let flush_obs = setup_observability ~trace_file ~metrics_file in
+          let flush_obs =
+            setup_observability ~trace_file ~metrics_file ~trace_wall ~profile ~profile_out
+              ~slow_epoch_ms
+          in
           run_experiments only;
           flush_obs ()
   in
@@ -303,7 +315,8 @@ let () =
     Cmd.v
       (Cmd.info "nvcaracal-bench" ~doc:"Regenerate the paper's tables and figures")
       Term.(
-        const main $ only $ list_flag $ micro_flag $ trace_file $ metrics_file $ snapshot_file
-        $ parallel_file $ jobs_arg)
+        const main $ only $ list_flag $ micro_flag $ trace_file $ metrics_file
+        $ Nv_harness.Cli.trace_wall $ Nv_harness.Cli.profile $ Nv_harness.Cli.profile_out
+        $ Nv_harness.Cli.slow_epoch_ms $ snapshot_file $ parallel_file $ jobs_arg)
   in
   exit (Cmd.eval cmd)

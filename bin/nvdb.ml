@@ -6,12 +6,15 @@
      mem      — run and print the DRAM/NVMM consumption breakdown
      serve    — serve the wire protocol on a socket, batching clients
      loadgen  — drive a running server with concurrent clients
+     stats    — fetch a live statistics snapshot from a running server
+     serve-sim — drive the serving pipeline deterministically in process
 
    Examples:
      dune exec bin/nvdb.exe -- run --workload smallbank --contention high
-     dune exec bin/nvdb.exe -- run --workload ycsb --engine zen
+     dune exec bin/nvdb.exe -- run --workload ycsb --engine zen --profile
      dune exec bin/nvdb.exe -- recover --workload tpcc --epochs 4
-     dune exec bin/nvdb.exe -- serve --listen /tmp/nvdb.sock &
+     dune exec bin/nvdb.exe -- serve --listen /tmp/nvdb.sock --stats-interval 1 &
+     dune exec bin/nvdb.exe -- stats --listen /tmp/nvdb.sock
      dune exec bin/nvdb.exe -- loadgen --clients 32 --txns 100 --shutdown *)
 
 open Cmdliner
@@ -19,6 +22,7 @@ module Runner = Nv_harness.Runner
 module Cli = Nv_harness.Cli
 module Config = Nvcaracal.Config
 module Engine_intf = Nvcaracal.Engine_intf
+module Wire = Nv_frontend.Wire
 
 let ppf = Format.std_formatter
 
@@ -40,37 +44,41 @@ let print_result (r : Runner.result) =
       r.Runner.last_epoch_phases
 
 let run_cmd =
-  let run workload contention engine epochs txns seed jobs trace_file metrics_file =
+  let run workload contention engine epochs txns seed jobs trace_file metrics_file trace_wall
+      profile profile_out slow_epoch_ms =
     Cli.set_jobs jobs;
     let w, growth = Cli.resolve_workload workload contention in
     let setup = Runner.setup ~epochs ~epoch_txns:txns ~seed ~insert_growth:growth () in
-    let tracer, metrics, flush_obs =
-      Cli.observability ~trace:trace_file ~metrics:metrics_file ()
+    let o =
+      Cli.observability ~trace_wall ~profile ?profile_out ?slow_epoch_ms ~trace:trace_file
+        ~metrics:metrics_file ()
     in
     let spec = Cli.resolve_engine engine in
-    print_result (Runner.run ?tracer ?metrics spec setup w);
-    flush_obs ()
+    print_result
+      (Runner.run ?tracer:o.Cli.tracer ?metrics:o.Cli.metrics ?profile:o.Cli.profile spec setup
+         w);
+    o.Cli.flush ()
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run a benchmark workload")
     Term.(
       const run $ Cli.workload $ Cli.contention $ Cli.engine $ Cli.epochs $ Cli.txns $ Cli.seed
-      $ Cli.jobs $ Cli.trace $ Cli.metrics)
+      $ Cli.jobs $ Cli.trace $ Cli.metrics $ Cli.trace_wall $ Cli.profile $ Cli.profile_out
+      $ Cli.slow_epoch_ms)
 
 let recover_cmd =
   let run workload contention epochs txns seed jobs trace_file metrics_file =
     Cli.set_jobs jobs;
     let w, growth = Cli.resolve_workload workload contention in
     let setup = Runner.setup ~epochs ~epoch_txns:txns ~seed ~insert_growth:growth () in
-    let tracer, metrics, flush_obs =
-      Cli.observability ~trace:trace_file ~metrics:metrics_file ()
-    in
+    let o = Cli.observability ~trace:trace_file ~metrics:metrics_file () in
     let { Runner.r_label; report } =
-      Runner.run_recovery setup w ~crash_after_txns:(txns * 9 / 10) ?tracer ?metrics ()
+      Runner.run_recovery setup w ~crash_after_txns:(txns * 9 / 10) ?tracer:o.Cli.tracer
+        ?metrics:o.Cli.metrics ()
     in
     Format.fprintf ppf "workload %s crashed mid-epoch and recovered:@." r_label;
     Format.fprintf ppf "%a@." Nvcaracal.Report.pp_recovery_report report;
-    flush_obs ()
+    o.Cli.flush ()
   in
   Cmd.v
     (Cmd.info "recover" ~doc:"Crash a run mid-epoch and measure recovery")
@@ -210,8 +218,25 @@ let serve_cmd =
       & info [ "once" ]
           ~doc:"Exit after the first wave of clients has disconnected (instead of Shutdown).")
   in
+  let stats_interval_arg =
+    Arg.(
+      value & opt float 0.0
+      & info [ "stats-interval" ] ~docv:"SECS"
+          ~doc:
+            "Flush a live-statistics JSON line (the $(b,stats) snapshot) every $(docv) seconds \
+             while serving; 0 disables the flush.")
+  in
+  let stats_out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "stats-out" ] ~docv:"FILE"
+          ~doc:
+            "Append the periodic --stats-interval JSON lines to $(docv) instead of standard \
+             output.")
+  in
   let run workload contention engine seed jobs listen batch_target deadline max_pending capacity
-      once trace_file metrics_file =
+      once stats_interval stats_out trace_file metrics_file =
     Cli.set_jobs jobs;
     let w, growth = Cli.resolve_workload workload contention in
     let spec = Cli.resolve_engine engine in
@@ -222,24 +247,41 @@ let serve_cmd =
         ~epochs:((capacity / batch_target) + 1)
         ~epoch_txns:batch_target ~seed ~insert_growth:growth ()
     in
-    let tracer, metrics, flush_obs =
-      Cli.observability ~trace:trace_file ~metrics:metrics_file ()
-    in
+    let o = Cli.observability ~trace:trace_file ~metrics:metrics_file () in
     let (Engine_intf.Packed ((module E), db) as engine) =
       Nv_harness.Engine.instantiate spec setup w
     in
     E.bulk_load db (w.Nv_workloads.Workload.load ());
-    E.set_observability ?tracer ?metrics db;
+    E.set_observability ?tracer:o.Cli.tracer ?metrics:o.Cli.metrics db;
     let registry = Nv_frontend.Proc.of_workload w in
     Format.fprintf ppf "nvdb: serving %s on %s (%s; batch %d, deadline %d ticks)@."
       w.Nv_workloads.Workload.name listen
       (Nv_harness.Engine.label spec w)
       batch_target deadline;
-    let stats =
-      Nv_frontend.Server.serve ?tracer ?metrics ~engine ~registry
-        ~tables:w.Nv_workloads.Workload.tables
-        (Nv_frontend.Server.config ~batcher ~once address)
+    let stats_oc =
+      match stats_out with
+      | Some file when stats_interval > 0.0 -> Some (open_out file)
+      | _ -> None
     in
+    let on_stats =
+      if stats_interval > 0.0 then
+        Some
+          (fun json ->
+            match stats_oc with
+            | Some oc ->
+                output_string oc json;
+                output_char oc '\n';
+                Stdlib.flush oc
+            | None -> Format.fprintf ppf "%s@." json)
+      else None
+    in
+    let stats =
+      Nv_frontend.Server.serve ?tracer:o.Cli.tracer ?metrics:o.Cli.metrics ?on_stats ~engine
+        ~registry
+        ~tables:w.Nv_workloads.Workload.tables
+        (Nv_frontend.Server.config ~batcher ~once ~stats_interval_s:stats_interval address)
+    in
+    (match stats_oc with Some oc -> close_out oc | None -> ());
     Format.fprintf ppf "clients served    %d@." stats.Nv_frontend.Server.clients_served;
     Format.fprintf ppf "admitted          %d@." stats.Nv_frontend.Server.admitted;
     Format.fprintf ppf "committed         %d@." stats.Nv_frontend.Server.committed;
@@ -248,15 +290,15 @@ let serve_cmd =
     Format.fprintf ppf "epochs            %d@." stats.Nv_frontend.Server.epochs;
     Format.fprintf ppf "protocol errors   %d@." stats.Nv_frontend.Server.protocol_errors;
     Format.fprintf ppf "state digest      %Lx@." stats.Nv_frontend.Server.digest;
-    flush_obs ();
+    o.Cli.flush ();
     if stats.Nv_frontend.Server.protocol_errors > 0 then exit 3
   in
   Cmd.v
     (Cmd.info "serve" ~doc:"Serve the wire protocol on a socket, batching clients into epochs")
     Term.(
       const run $ Cli.workload $ Cli.contention $ Cli.engine $ Cli.seed $ Cli.jobs $ Cli.listen
-      $ batch_target_arg $ deadline_arg $ max_pending_arg $ capacity_arg $ once_flag $ Cli.trace
-      $ Cli.metrics)
+      $ batch_target_arg $ deadline_arg $ max_pending_arg $ capacity_arg $ once_flag
+      $ stats_interval_arg $ stats_out_arg $ Cli.trace $ Cli.metrics)
 
 let loadgen_cmd =
   let clients_arg =
@@ -294,6 +336,12 @@ let loadgen_cmd =
     Format.fprintf ppf "aborted           %d@." stats.Nv_frontend.Loadgen.aborted;
     Format.fprintf ppf "rejected          %d@." stats.Nv_frontend.Loadgen.rejected;
     Format.fprintf ppf "protocol errors   %d@." stats.Nv_frontend.Loadgen.protocol_errors;
+    let lat = stats.Nv_frontend.Loadgen.latency in
+    if Nv_util.Histogram.count lat > 0 then
+      Format.fprintf ppf "latency (wall)    p50 %.3f ms, p99 %.3f ms, max %.3f ms@."
+        (Nv_util.Histogram.percentile lat 50.0 /. 1e6)
+        (Nv_util.Histogram.percentile lat 99.0 /. 1e6)
+        (Nv_util.Histogram.max_value lat /. 1e6);
     (match stats.Nv_frontend.Loadgen.digests with
     | d :: _ -> Format.fprintf ppf "state digest      %Lx@." d
     | [] -> ());
@@ -305,6 +353,147 @@ let loadgen_cmd =
       const run $ Cli.workload $ Cli.contention $ Cli.seed $ Cli.listen $ clients_arg $ txns_arg
       $ window_arg $ think_arg $ shutdown_flag)
 
+(* Interrogate a live server: one connection, one [Stats] frame, print
+   the JSON snapshot it answers with. No [Hello] — monitoring must not
+   count as a served client. *)
+let stats_cmd =
+  let connect_fd = function
+    | `Unix path ->
+        let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        Unix.connect fd (Unix.ADDR_UNIX path);
+        fd
+    | `Tcp (host, port) ->
+        let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+        let addr =
+          try Unix.inet_addr_of_string host
+          with _ -> (Unix.gethostbyname host).Unix.h_addr_list.(0)
+        in
+        Unix.connect fd (Unix.ADDR_INET (addr, port));
+        fd
+  in
+  let run listen =
+    let address = Cli.parse_address listen in
+    let fd =
+      try connect_fd address
+      with Unix.Unix_error (e, _, _) ->
+        Format.eprintf "nvdb stats: cannot connect to %s: %s@." listen (Unix.error_message e);
+        exit 1
+    in
+    let frame = Wire.encode_request Wire.Stats in
+    let off = ref 0 in
+    while !off < Bytes.length frame do
+      off := !off + Unix.write fd frame !off (Bytes.length frame - !off)
+    done;
+    let reader = Wire.Reader.create () in
+    let buf = Bytes.create 65536 in
+    let rec next () =
+      match Wire.Reader.next_payload reader with
+      | Some payload -> Wire.decode_response payload
+      | None -> (
+          match Unix.read fd buf 0 (Bytes.length buf) with
+          | 0 ->
+              Format.eprintf "nvdb stats: server closed the connection before answering@.";
+              exit 1
+          | n ->
+              Wire.Reader.feed reader buf ~off:0 ~len:n;
+              next ())
+    in
+    (match next () with
+    | Wire.Stats_ok { json } -> Format.fprintf ppf "%s@." json
+    | _ ->
+        Format.eprintf "nvdb stats: unexpected response to Stats@.";
+        exit 3
+    | exception Wire.Protocol_error msg ->
+        Format.eprintf "nvdb stats: protocol error: %s@." msg;
+        exit 3);
+    try Unix.close fd with Unix.Unix_error _ -> ()
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:"Fetch a live statistics snapshot (JSON) from a running nvdb server")
+    Term.(const run $ Cli.listen)
+
+(* Deterministic serving-pipeline run: the socket server's Batcher
+   driven in process by seeded synthetic clients with a manual tick
+   clock. No sockets, no wall-clock-dependent control flow, so the
+   admission counters, digest and metrics records are byte-stable —
+   what scripts/golden_check.sh pins for the front end. *)
+let serve_sim_cmd =
+  let clients_arg =
+    Arg.(value & opt int 8 & info [ "clients" ] ~docv:"N" ~doc:"Synthetic client streams.")
+  in
+  let txns_arg =
+    Arg.(
+      value & opt int 100
+      & info [ "txns" ] ~docv:"N" ~doc:"Transactions per client (one per client per tick).")
+  in
+  let batch_target_arg =
+    Arg.(
+      value & opt int 128
+      & info [ "batch-target" ] ~docv:"N" ~doc:"Close a batch at $(docv) admitted transactions.")
+  in
+  let deadline_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "deadline-ticks" ] ~docv:"N"
+          ~doc:"Close an under-filled batch $(docv) ticks after its oldest arrival.")
+  in
+  let run workload contention engine seed jobs clients txns batch_target deadline metrics_file =
+    Cli.set_jobs jobs;
+    let w, growth = Cli.resolve_workload workload contention in
+    let spec = Cli.resolve_engine engine in
+    let o = Cli.observability ~trace:None ~metrics:metrics_file () in
+    let setup =
+      Nv_harness.Engine.setup
+        ~epochs:((clients * txns / batch_target) + 2)
+        ~epoch_txns:batch_target ~seed ~insert_growth:growth ()
+    in
+    let (Engine_intf.Packed ((module E), db) as engine) =
+      Nv_harness.Engine.instantiate spec setup w
+    in
+    E.bulk_load db (w.Nv_workloads.Workload.load ());
+    E.set_observability ?metrics:o.Cli.metrics db;
+    let registry = Nv_frontend.Proc.of_workload w in
+    let b =
+      Nv_frontend.Batcher.create
+        ~cfg:(Nv_frontend.Batcher.config ~batch_target ~deadline_ticks:deadline ())
+        ?metrics:o.Cli.metrics ~engine ~registry ~tables:w.Nv_workloads.Workload.tables ()
+    in
+    let rngs = Array.init clients (fun i -> Nv_util.Rng.create (seed + i)) in
+    let handles =
+      Array.init clients (fun _ -> Nv_frontend.Batcher.connect b ~reply:(Some ignore))
+    in
+    let rejected_submits = ref 0 in
+    for round = 0 to txns - 1 do
+      Array.iteri
+        (fun i rng ->
+          let proc, args = w.Nv_workloads.Workload.gen_call rng in
+          match Nv_frontend.Batcher.submit b handles.(i) ~req:round ~proc ~args with
+          | `Admitted -> ()
+          | `Rejected _ -> incr rejected_submits)
+        rngs;
+      Nv_frontend.Batcher.tick b
+    done;
+    Nv_frontend.Batcher.drain b;
+    Format.fprintf ppf "clients           %d@." clients;
+    Format.fprintf ppf "admitted          %d@." (Nv_frontend.Batcher.admitted b);
+    Format.fprintf ppf "committed         %d@." (Nv_frontend.Batcher.committed b);
+    Format.fprintf ppf "aborted           %d@." (Nv_frontend.Batcher.aborted b);
+    Format.fprintf ppf "rejected          %d@." !rejected_submits;
+    Format.fprintf ppf "deferred          %d@." (Nv_frontend.Batcher.deferred_total b);
+    Format.fprintf ppf "epochs            %d@." (Nv_frontend.Batcher.epochs_run b);
+    Format.fprintf ppf "state digest      %Lx@." (Nv_frontend.Batcher.state_digest b);
+    o.Cli.flush ()
+  in
+  Cmd.v
+    (Cmd.info "serve-sim"
+       ~doc:
+         "Drive the serving pipeline in process with seeded clients and a manual tick clock \
+          (deterministic; used for front-end golden checks)")
+    Term.(
+      const run $ Cli.workload $ Cli.contention $ Cli.engine $ Cli.seed $ Cli.jobs $ clients_arg
+      $ txns_arg $ batch_target_arg $ deadline_arg $ Cli.metrics)
+
 let () =
   let info =
     Cmd.info "nvdb" ~version:"1.0.0"
@@ -313,4 +502,14 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ run_cmd; recover_cmd; mem_cmd; fuzz_cmd; scrub_cmd; serve_cmd; loadgen_cmd ]))
+          [
+            run_cmd;
+            recover_cmd;
+            mem_cmd;
+            fuzz_cmd;
+            scrub_cmd;
+            serve_cmd;
+            loadgen_cmd;
+            stats_cmd;
+            serve_sim_cmd;
+          ]))

@@ -131,17 +131,27 @@ val counters_total : t -> Nv_nvmm.Stats.counters
 (** {1 Observability} *)
 
 val set_observability :
-  ?tracer:Nv_obs.Tracer.t -> ?metrics:Nv_obs.Metrics.t -> ?name:string -> t -> unit
-(** Attach a span tracer and/or metrics registry. The tracer gets this
-    database's simulated clock installed and a new trace process opened
-    (named [name], default ["nvcaracal"]); every subsequent epoch then
-    records the Algorithm-1 phase spans (input-log, insert, major-gc,
-    evict, append, execute, fence, epoch-persist), sampled
-    per-transaction spans, and GC / eviction instants on per-core
-    tracks. The metrics registry receives one snapshot per epoch whose
-    counters reconcile exactly with the returned
-    {!Report.epoch_stats}. Defaults keep the engine on the no-op
-    {!Nv_obs.Tracer.null} / {!Nv_obs.Metrics.null} sinks. *)
+  ?tracer:Nv_obs.Tracer.t ->
+  ?metrics:Nv_obs.Metrics.t ->
+  ?profile:Nv_obs.Profile.t ->
+  ?name:string ->
+  t ->
+  unit
+(** Attach a span tracer, metrics registry and/or wall-clock profiler.
+    The tracer gets this database's simulated clock installed and a new
+    trace process opened (named [name], default ["nvcaracal"]); every
+    subsequent epoch then records the Algorithm-1 phase spans
+    (input-log, insert, major-gc, evict, append, execute, fence,
+    epoch-persist), sampled per-transaction spans, and GC / eviction
+    instants on per-core tracks. If the tracer also has a wall clock
+    ({!Nv_obs.Tracer.set_wall_clock}), phase spans carry a second
+    wall-time reading exported as a separate clock domain. The metrics
+    registry receives one snapshot per epoch whose counters reconcile
+    exactly with the returned {!Report.epoch_stats}. The profiler is
+    charged per phase (wall time + Gc deltas) and bracketed per epoch
+    (slow-epoch detection). Defaults keep the engine on the no-op
+    {!Nv_obs.Tracer.null} / {!Nv_obs.Metrics.null} /
+    {!Nv_obs.Profile.null} sinks. *)
 
 (** {1 Crash / recovery} *)
 

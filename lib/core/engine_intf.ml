@@ -75,9 +75,15 @@ module type S = sig
   val counters_total : t -> Nv_nvmm.Stats.counters
 
   val set_observability :
-    ?tracer:Nv_obs.Tracer.t -> ?metrics:Nv_obs.Metrics.t -> ?name:string -> t -> unit
-  (** Attach trace/metrics sinks. Engines without instrumentation
-      accept and ignore the sinks, so harness code never branches. *)
+    ?tracer:Nv_obs.Tracer.t ->
+    ?metrics:Nv_obs.Metrics.t ->
+    ?profile:Nv_obs.Profile.t ->
+    ?name:string ->
+    t ->
+    unit
+  (** Attach trace/metrics/profiler sinks. Engines without
+      instrumentation accept and ignore the sinks, so harness code
+      never branches. *)
 
   val pmem : t -> Nv_nvmm.Pmem.t
 

@@ -22,6 +22,7 @@ module BIdx = Nv_index.Btree_index
 module VA = Version_array
 module Tracer = Nv_obs.Tracer
 module Metrics = Nv_obs.Metrics
+module Profile = Nv_obs.Profile
 module Dpool = Nv_util.Dpool
 
 type index = Hash of Row.t HIdx.t | Ord of Row.t OIdx.t | Bt of Row.t BIdx.t
@@ -116,6 +117,7 @@ type t = {
   (* Observability (no-op sinks unless installed). *)
   mutable tracer : Tracer.t;
   mutable metrics : Metrics.t;
+  mutable profile : Profile.t;
   mutable m_access0 : Stats.counters; (* access-counter totals at epoch start *)
 }
 
@@ -206,6 +208,7 @@ let attach (cfg : Config.t) tables pmem =
     phase_hook = None;
     tracer = Tracer.null;
     metrics = Metrics.null;
+    profile = Profile.null;
     m_access0 = Stats.zero_counters;
   }
 
@@ -226,7 +229,7 @@ let counters_total t =
     (fun acc s -> Stats.merge_counters acc (Stats.counters s))
     Stats.zero_counters t.core_stats
 
-let set_observability ?tracer ?metrics ?name t =
+let set_observability ?tracer ?metrics ?profile ?name t =
   (match tracer with
   | Some tr ->
       t.tracer <- tr;
@@ -234,6 +237,7 @@ let set_observability ?tracer ?metrics ?name t =
           Stats.now t.core_stats.(core mod Array.length t.core_stats));
       Tracer.open_process tr ~name:(Option.value name ~default:"nvcaracal")
   | None -> ());
+  (match profile with Some p -> t.profile <- p | None -> ());
   match metrics with
   | Some m ->
       t.metrics <- m;
@@ -247,17 +251,25 @@ let set_observability ?tracer ?metrics ?name t =
    raises (crash injection), no span is recorded. *)
 let phase_span t name f =
   let tr = t.tracer in
-  if not (Tracer.enabled tr) then f ()
-  else begin
-    let begins = Array.map Stats.now t.core_stats in
-    let r = f () in
-    Array.iteri
-      (fun core s ->
-        Tracer.complete tr ~core ~name ~cat:"epoch" ~ts:begins.(core)
-          ~dur:(Stats.now s -. begins.(core)) ())
-      t.core_stats;
-    r
-  end
+  let traced () =
+    if not (Tracer.enabled tr) then f ()
+    else begin
+      let begins = Array.map Stats.now t.core_stats in
+      let wts = Tracer.wall_now tr in
+      let r = f () in
+      let wdur = Tracer.wall_now tr -. wts in
+      (* The wall clock is process-wide (the phase runs the cores'
+         work in one fan-out), so every core's span carries the same
+         wall window; skew between cores is a simulated-time notion. *)
+      Array.iteri
+        (fun core s ->
+          Tracer.complete tr ~core ~name ~cat:"epoch" ~wts ~wdur ~ts:begins.(core)
+            ~dur:(Stats.now s -. begins.(core)) ())
+        t.core_stats;
+      r
+    end
+  in
+  Profile.phase t.profile name traced
 
 (* Per-epoch metrics snapshot: engine counters come straight from the
    epoch report (so JSONL records reconcile exactly with what the
@@ -708,6 +720,7 @@ let reset_epoch_measurements t =
    the touched-row list. *)
 let begin_epoch t =
   t.epoch <- t.epoch + 1;
+  Profile.epoch_begin t.profile ~epoch:t.epoch;
   reset_epoch_measurements t;
   t.touched <- []
 
@@ -775,6 +788,7 @@ let epoch_report t ~txns:n ~replay ~duration ~phases =
       (Array.init t.config.Config.cores shard)
   in
   publish_epoch_metrics t report;
+  Profile.epoch_end t.profile;
   report
 
 (* ------------------------------------------------------------------ *)

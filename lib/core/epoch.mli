@@ -123,6 +123,7 @@ type t = {
   mutable phase_hook : (phase -> unit) option;
   mutable tracer : Tracer.t;
   mutable metrics : Metrics.t;
+  mutable profile : Nv_obs.Profile.t;
   mutable m_access0 : Stats.counters;
       (** access-counter totals at epoch start *)
 }
@@ -154,11 +155,18 @@ val counters_total : t -> Stats.counters
 
 (** Install trace/metrics sinks; [name] labels the Perfetto process. *)
 val set_observability :
-  ?tracer:Tracer.t -> ?metrics:Metrics.t -> ?name:string -> t -> unit
+  ?tracer:Tracer.t ->
+  ?metrics:Metrics.t ->
+  ?profile:Nv_obs.Profile.t ->
+  ?name:string ->
+  t ->
+  unit
 
 (** [phase_span t name f] runs [f] and records one span per core from
     each core's clock at entry to its clock at exit (no span if [f]
-    raises — crash injection). *)
+    raises — crash injection), plus the phase's wall window when the
+    tracer has a wall clock, and charges the phase to the attached
+    profiler. *)
 val phase_span : t -> string -> (unit -> 'a) -> 'a
 
 (** Publish one epoch's report plus access-counter deltas and allocator

@@ -22,6 +22,7 @@ type entry = {
   e_txn : Nvcaracal.Txn.t;
   e_call : string * bytes;
   e_submit_tick : int;
+  e_wall : float;  (** host wall ns at admission (latency accounting only) *)
   mutable e_close_tick : int;  (** tick of the first batch that included it; -1 until then *)
 }
 
@@ -49,7 +50,13 @@ type t = {
   mutable committed : int;
   mutable aborted : int;
   mutable rejected : int;
+  mutable deferred_total : int;  (** conflict-victim deferrals, cumulative *)
   mutable batches_rev : (string * bytes) array list;
+  (* Per-procedure admission-to-reply wall latency. Deliberately NOT in
+     the Metrics registry: registry records must stay deterministic for
+     the golden checks, and these are host-time readings. Served to
+     monitoring via the Stats wire message instead. *)
+  lat_by_proc : (string, Nv_util.Histogram.t) Hashtbl.t;
   m_depth : Metrics.gauge;
   m_queue_wait : Metrics.histogram;
   m_batch_size : Metrics.histogram;
@@ -77,7 +84,9 @@ let create ?(cfg = config ()) ?(tracer = Tracer.null) ?(metrics = Metrics.null) 
     committed = 0;
     aborted = 0;
     rejected = 0;
+    deferred_total = 0;
     batches_rev = [];
+    lat_by_proc = Hashtbl.create 16;
     m_depth = Metrics.gauge metrics "frontend.queue_depth";
     m_queue_wait = Metrics.histogram metrics "frontend.queue_wait_ticks";
     m_batch_size = Metrics.histogram metrics "frontend.batch_size";
@@ -94,7 +103,13 @@ let committed t = t.committed
 let aborted t = t.aborted
 let rejected t = t.rejected
 let current_tick t = t.tick
+let deferred_total t = t.deferred_total
 let admitted_batches t = List.rev t.batches_rev
+
+let proc_latencies t =
+  List.sort
+    (fun (a, _) (b, _) -> compare a b)
+    (Hashtbl.fold (fun proc h acc -> (proc, h) :: acc) t.lat_by_proc [])
 let client_id c = c.id
 let outstanding c = c.outstanding
 
@@ -125,6 +140,16 @@ let reply_entry t e (outcome : [ `Committed | `Aborted ]) =
   | `Aborted -> t.aborted <- t.aborted + 1);
   Metrics.observe t.m_queue_wait (float_of_int (e.e_close_tick - e.e_submit_tick));
   Metrics.observe t.m_reply_ticks (float_of_int (t.tick - e.e_close_tick));
+  (let proc = fst e.e_call in
+   let h =
+     match Hashtbl.find_opt t.lat_by_proc proc with
+     | Some h -> h
+     | None ->
+         let h = Nv_util.Histogram.create () in
+         Hashtbl.add t.lat_by_proc proc h;
+         h
+   in
+   Nv_util.Histogram.add h (Nv_util.Clock.now_ns () -. e.e_wall));
   match Hashtbl.find_opt t.clients e.e_client with
   | None -> ()
   | Some c ->
@@ -186,6 +211,7 @@ let run t =
         | (`Committed | `Aborted) as o -> reply_entry t e o)
       batch;
     t.carryover <- List.rev !deferred;
+    t.deferred_total <- t.deferred_total + List.length t.carryover;
     t.pending_total <- t.pending_total + List.length t.carryover
   end;
   t.open_since <- (if t.pending_total > 0 then t.tick else -1);
@@ -214,6 +240,7 @@ let submit t c ~req ~proc ~args =
             e_txn = txn;
             e_call = (proc, args);
             e_submit_tick = t.tick;
+            e_wall = Nv_util.Clock.now_ns ();
             e_close_tick = -1;
           }
         in

@@ -90,7 +90,18 @@ val admitted : t -> int
 val committed : t -> int
 val aborted : t -> int
 val rejected : t -> int
+
+val deferred_total : t -> int
+(** Cumulative conflict-victim deferrals (an entry deferred twice
+    counts twice). *)
+
 val current_tick : t -> int
+
+val proc_latencies : t -> (string * Nv_util.Histogram.t) list
+(** Admission-to-reply {e wall-clock} latency per procedure (ns),
+    sorted by procedure name. Host-time readings, so they live outside
+    the metrics registry (whose records must stay deterministic); the
+    server publishes them through the [Stats] wire message. *)
 
 val admitted_batches : t -> (string * bytes) array list
 (** Every batch run so far (oldest first) as the framed calls admitted

@@ -23,6 +23,7 @@ type stats = {
   rejected : int;
   protocol_errors : int;
   digests : int64 list;  (** per-client [Bye_ok] digests, client order *)
+  latency : Nv_util.Histogram.t;  (** client-observed submit-to-answer wall ns *)
 }
 
 type phase = Awaiting_hello | Running | Awaiting_bye | Done
@@ -42,6 +43,8 @@ type client = {
   mutable rejected : int;
   mutable errors : int;
   mutable digest : int64;
+  sent_wall : (int, float) Hashtbl.t;  (** in-flight req -> wall ns at send *)
+  latency : Nv_util.Histogram.t;  (** submit-to-answer wall ns, this client *)
 }
 
 let connect_fd = function
@@ -88,6 +91,8 @@ let make_client cfg i =
     rejected = 0;
     errors = 0;
     digest = 0L;
+    sent_wall = Hashtbl.create 16;
+    latency = Nv_util.Histogram.create ();
   }
 
 (* Closed-loop pump: keep [window] calls in flight, pausing
@@ -99,6 +104,7 @@ let pump cfg (w : Nv_workloads.Workload.t) c =
     else begin
       while c.sent < cfg.txns_per_client && c.inflight < cfg.window do
         let proc, args = w.gen_call c.rng in
+        Hashtbl.replace c.sent_wall c.sent (Nv_util.Clock.now_ns ());
         send c (Wire.Submit { req = c.sent; proc; args });
         c.sent <- c.sent + 1;
         c.inflight <- c.inflight + 1
@@ -110,20 +116,29 @@ let pump cfg (w : Nv_workloads.Workload.t) c =
     end
   end
 
+let observe_latency c req =
+  match Hashtbl.find_opt c.sent_wall req with
+  | Some t0 ->
+      Hashtbl.remove c.sent_wall req;
+      Nv_util.Histogram.add c.latency (Nv_util.Clock.now_ns () -. t0)
+  | None -> ()
+
 let on_response cfg (c : client) (resp : Wire.response) =
   match (resp, c.phase) with
   | Wire.Hello_ok, Awaiting_hello -> c.phase <- Running
-  | Wire.Result { outcome; _ }, (Running | Awaiting_bye) ->
+  | Wire.Result { req; outcome }, (Running | Awaiting_bye) ->
       c.inflight <- c.inflight - 1;
       c.acked <- c.acked + 1;
       c.think <- cfg.think_ticks;
+      observe_latency c req;
       (match outcome with
       | `Committed -> c.committed <- c.committed + 1
       | `Aborted -> c.aborted <- c.aborted + 1)
-  | Wire.Rejected _, (Running | Awaiting_bye) ->
+  | Wire.Rejected { req; _ }, (Running | Awaiting_bye) ->
       c.inflight <- c.inflight - 1;
       c.acked <- c.acked + 1;
       c.think <- cfg.think_ticks;
+      observe_latency c req;
       c.rejected <- c.rejected + 1
   | Wire.Bye_ok { digest }, Awaiting_bye ->
       c.digest <- digest;
@@ -192,4 +207,8 @@ let run cfg (w : Nv_workloads.Workload.t) =
     rejected = sum (fun c -> c.rejected);
     protocol_errors = sum (fun c -> c.errors);
     digests = Array.to_list (Array.map (fun c -> c.digest) clients);
+    latency =
+      Array.fold_left
+        (fun acc c -> Nv_util.Histogram.merge acc c.latency)
+        (Nv_util.Histogram.create ()) clients;
   }

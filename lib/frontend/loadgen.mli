@@ -38,6 +38,10 @@ type stats = {
   rejected : int;
   protocol_errors : int;
   digests : int64 list;  (** per-client [Bye_ok] digests, client order *)
+  latency : Nv_util.Histogram.t;
+      (** client-observed submit-to-answer wall latency (ns), merged
+          across clients; one sample per answered call (results and
+          rejections both count — the client waited either way) *)
 }
 
 val run : config -> Nv_workloads.Workload.t -> stats

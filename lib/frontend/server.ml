@@ -5,11 +5,12 @@ type config = {
   batcher : Batcher.config;
   tick_interval_s : float;
   once : bool;
+  stats_interval_s : float;
 }
 
-let config ?(batcher = Batcher.config ()) ?(tick_interval_s = 0.002) ?(once = false) address
-    =
-  { address; batcher; tick_interval_s; once }
+let config ?(batcher = Batcher.config ()) ?(tick_interval_s = 0.002) ?(once = false)
+    ?(stats_interval_s = 0.0) address =
+  { address; batcher; tick_interval_s; once; stats_interval_s }
 
 type stats = {
   clients_served : int;
@@ -43,6 +44,9 @@ type t = {
   mutable served : int;
   mutable protocol_errors : int;
   mutable shutdown : bool;
+  start_wall : float;  (** host wall ns at creation (uptime base) *)
+  on_stats : (string -> unit) option;  (** periodic live-stats sink *)
+  mutable last_stats : float;  (** wall ns of the last periodic flush *)
 }
 
 let bind_listen = function
@@ -63,10 +67,11 @@ let bind_listen = function
       Unix.listen fd 64;
       fd
 
-let create ?tracer ?metrics ~engine ~registry ~tables (cfg : config) =
+let create ?tracer ?metrics ?on_stats ~engine ~registry ~tables (cfg : config) =
   let batcher = Batcher.create ~cfg:cfg.batcher ?tracer ?metrics ~engine ~registry ~tables () in
   let listen_fd = bind_listen cfg.address in
   Unix.set_nonblock listen_fd;
+  let now = Nv_util.Clock.now_ns () in
   {
     cfg;
     batcher;
@@ -75,6 +80,9 @@ let create ?tracer ?metrics ~engine ~registry ~tables (cfg : config) =
     served = 0;
     protocol_errors = 0;
     shutdown = false;
+    start_wall = now;
+    on_stats;
+    last_stats = now;
   }
 
 let push t conn resp =
@@ -100,6 +108,52 @@ let protocol_error t conn msg =
   close_conn t conn
 
 let digest t = Batcher.state_digest t.batcher
+
+(* Live statistics snapshot: serving counters, per-procedure wall
+   latency percentiles, and domain-pool telemetry, as one JSON object.
+   Everything here is monitoring-grade — wall-clock readings and racy
+   telemetry — and never feeds the deterministic metrics registry. *)
+let live_stats_json t =
+  let module J = Nv_obs.Jsonx in
+  let module H = Nv_util.Histogram in
+  let uptime_s = (Nv_util.Clock.now_ns () -. t.start_wall) /. 1e9 in
+  let lat_json (proc, h) =
+    let ms p = H.percentile h p /. 1e6 in
+    ( proc,
+      J.Assoc
+        [
+          ("count", J.Int (H.count h));
+          ("mean_ms", J.Float (H.mean h /. 1e6));
+          ("p50_ms", J.Float (ms 50.0));
+          ("p99_ms", J.Float (ms 99.0));
+          ("p999_ms", J.Float (ms 99.9));
+          ("max_ms", J.Float (H.max_value h /. 1e6));
+        ] )
+  in
+  let procs =
+    List.filter (fun (_, h) -> H.count h > 0) (Batcher.proc_latencies t.batcher)
+  in
+  J.to_string
+    (J.Assoc
+       [
+         ("uptime_s", J.Float uptime_s);
+         ("clients_connected", J.Int (Hashtbl.length t.conns));
+         ("clients_served", J.Int t.served);
+         ("admitted", J.Int (Batcher.admitted t.batcher));
+         ("committed", J.Int (Batcher.committed t.batcher));
+         ("aborted", J.Int (Batcher.aborted t.batcher));
+         ("rejected", J.Int (Batcher.rejected t.batcher));
+         ("deferred", J.Int (Batcher.deferred_total t.batcher));
+         ("pending", J.Int (Batcher.pending t.batcher));
+         ("epochs", J.Int (Batcher.epochs_run t.batcher));
+         ( "epoch_rate_per_s",
+           J.Float
+             (if uptime_s > 0.0 then float_of_int (Batcher.epochs_run t.batcher) /. uptime_s
+              else 0.0) );
+         ("protocol_errors", J.Int t.protocol_errors);
+         ("procs", J.Assoc (List.map lat_json procs));
+         ("domains", Nv_obs.Profile.telemetry_json ());
+       ])
 
 (* Bye completes only once every admitted transaction of the
    connection has been answered; then the client sees a state digest
@@ -128,6 +182,8 @@ let handle_request t conn (req : Wire.request) =
       conn.said_bye <- true;
       maybe_finish_bye t conn
   | Wire.Shutdown, _ -> t.shutdown <- true
+  (* Stats needs no Hello: monitoring tools connect, ask, disconnect. *)
+  | Wire.Stats, _ -> push t conn (Wire.Stats_ok { json = live_stats_json t })
 
 let handle_readable t conn =
   let buf = Bytes.create 65536 in
@@ -202,6 +258,14 @@ let step t =
   (* One select round is one batcher tick: the deadline that closes an
      under-filled batch is measured in event-loop rounds. *)
   Batcher.tick t.batcher;
+  (match t.on_stats with
+  | Some f when t.cfg.stats_interval_s > 0.0 ->
+      let now = Nv_util.Clock.now_ns () in
+      if now -. t.last_stats >= t.cfg.stats_interval_s *. 1e9 then begin
+        t.last_stats <- now;
+        f (live_stats_json t)
+      end
+  | Some _ | None -> ());
   Hashtbl.iter (fun _ conn -> maybe_finish_bye t conn) t.conns;
   List.iter
     (fun fd ->
@@ -243,8 +307,8 @@ let finish t =
   let d = digest t in
   { (stats t) with digest = d }
 
-let serve ?tracer ?metrics ~engine ~registry ~tables cfg =
-  let t = create ?tracer ?metrics ~engine ~registry ~tables cfg in
+let serve ?tracer ?metrics ?on_stats ~engine ~registry ~tables cfg =
+  let t = create ?tracer ?metrics ?on_stats ~engine ~registry ~tables cfg in
   let finished = ref false in
   while not !finished do
     step t;

@@ -16,9 +16,18 @@ type config = private {
   batcher : Batcher.config;
   tick_interval_s : float;  (** select timeout per loop round *)
   once : bool;  (** exit once all clients of a first wave disconnected *)
+  stats_interval_s : float;
+      (** period of the [on_stats] live-stats flush; 0 (default)
+          disables it *)
 }
 
-val config : ?batcher:Batcher.config -> ?tick_interval_s:float -> ?once:bool -> address -> config
+val config :
+  ?batcher:Batcher.config ->
+  ?tick_interval_s:float ->
+  ?once:bool ->
+  ?stats_interval_s:float ->
+  address ->
+  config
 
 type stats = {
   clients_served : int;
@@ -34,6 +43,7 @@ type stats = {
 val serve :
   ?tracer:Nv_obs.Tracer.t ->
   ?metrics:Nv_obs.Metrics.t ->
+  ?on_stats:(string -> unit) ->
   engine:Nvcaracal.Engine_intf.packed ->
   registry:Proc.t ->
   tables:Nvcaracal.Table.t list ->
@@ -41,4 +51,11 @@ val serve :
   stats
 (** Bind, serve until [Shutdown] (or, with [once], until the first wave
     of clients has disconnected), drain, and report. The engine must be
-    loaded; it is driven only from this thread. *)
+    loaded; it is driven only from this thread.
+
+    A [Stats] request on any connection (no [Hello] needed) is answered
+    with a [Stats_ok] JSON snapshot: uptime, connection and admission
+    counters, epoch rate, per-procedure wall-latency percentiles
+    (p50/p99/p999), and per-domain pool telemetry. [on_stats] (with
+    [stats_interval_s > 0]) additionally receives that snapshot
+    periodically — one JSON line per interval, ready for a JSONL log. *)

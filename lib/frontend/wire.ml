@@ -7,6 +7,7 @@ type request =
   | Submit of { req : int; proc : string; args : bytes }
   | Bye
   | Shutdown
+  | Stats
 
 type reject_reason = [ `Overloaded | `Unknown_proc | `Bad_frame ]
 
@@ -16,6 +17,7 @@ type response =
   | Rejected of { req : int; reason : reject_reason }
   | Bye_ok of { digest : int64 }
   | Server_error of string
+  | Stats_ok of { json : string }
 
 let no_req = 0xFFFFFFFF
 
@@ -24,11 +26,13 @@ let tag_hello = 0x01
 let tag_submit = 0x02
 let tag_bye = 0x03
 let tag_shutdown = 0x04
+let tag_stats = 0x05
 let tag_hello_ok = 0x81
 let tag_result = 0x82
 let tag_rejected = 0x83
 let tag_bye_ok = 0x84
 let tag_server_error = 0x85
+let tag_stats_ok = 0x86
 
 let err fmt = Printf.ksprintf (fun s -> raise (Protocol_error s)) fmt
 
@@ -65,6 +69,7 @@ let encode_request = function
       frame tag_submit b
   | Bye -> frame tag_bye (Buffer.create 0)
   | Shutdown -> frame tag_shutdown (Buffer.create 0)
+  | Stats -> frame tag_stats (Buffer.create 0)
 
 let reason_code = function `Overloaded -> 0 | `Unknown_proc -> 1 | `Bad_frame -> 2
 
@@ -94,6 +99,10 @@ let encode_response = function
       let b = Buffer.create (String.length msg) in
       Buffer.add_string b msg;
       frame tag_server_error b
+  | Stats_ok { json } ->
+      let b = Buffer.create (String.length json) in
+      Buffer.add_string b json;
+      frame tag_stats_ok b
 
 let need payload n =
   if Bytes.length payload < n then err "truncated payload: %d < %d" (Bytes.length payload) n
@@ -117,6 +126,7 @@ let decode_request payload =
   end
   else if tag = tag_bye then Bye
   else if tag = tag_shutdown then Shutdown
+  else if tag = tag_stats then Stats
   else err "unknown request tag 0x%02x" tag
 
 let decode_response payload =
@@ -141,6 +151,8 @@ let decode_response payload =
   end
   else if tag = tag_server_error then
     Server_error (Bytes.sub_string payload 1 (Bytes.length payload - 1))
+  else if tag = tag_stats_ok then
+    Stats_ok { json = Bytes.sub_string payload 1 (Bytes.length payload - 1) }
   else err "unknown response tag 0x%02x" tag
 
 module Reader = struct

@@ -26,6 +26,10 @@ type request =
              connection's admitted transactions have been answered. *)
   | Shutdown
       (** Ask the server to drain every queued transaction and exit. *)
+  | Stats
+      (** Ask for a live statistics snapshot. Allowed at any point on a
+          connection (before [Hello] too: monitoring tools need not
+          register as clients). *)
 
 type reject_reason = [ `Overloaded | `Unknown_proc | `Bad_frame ]
 
@@ -39,6 +43,14 @@ type response =
       (** Connection closed; [digest] fingerprints the committed state
           at that instant (equal runs give equal digests). *)
   | Server_error of string
+  | Stats_ok of { json : string }
+      (** Answer to [Stats]: one JSON object — uptime, client and
+          admission counters, epoch rate, per-procedure wall-clock
+          latency percentiles, domain-pool telemetry (see
+          docs/OBSERVABILITY.md for the schema). JSON rather than a
+          binary layout: the snapshot is for humans and scripts, not
+          the hot path, and the schema can grow without a protocol
+          bump. *)
 
 val no_req : int
 (** The request token used when a rejection cannot name a request

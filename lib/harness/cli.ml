@@ -42,6 +42,32 @@ let metrics =
   let doc = "Write per-epoch metric snapshots (JSON lines) to $(docv)." in
   Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
 
+let trace_wall =
+  let doc =
+    "With $(b,--trace): also capture the host monotonic clock on every span, exported as a \
+     second \"(wall time)\" clock domain next to the simulated one. Wall readings vary run to \
+     run — leave this off when comparing traces byte for byte."
+  in
+  Arg.(value & flag & info [ "trace-wall" ] ~doc)
+
+let profile =
+  let doc =
+    "Profile where host time and allocation actually go: per-phase wall time and GC word \
+     deltas, plus domain-pool telemetry, printed as a table after the run."
+  in
+  Arg.(value & flag & info [ "profile" ] ~doc)
+
+let profile_out =
+  let doc = "Write the profile snapshot (phases, slow epochs, domains) as JSON to $(docv)." in
+  Arg.(value & opt (some string) None & info [ "profile-out" ] ~docv:"FILE" ~doc)
+
+let slow_epoch_ms =
+  let doc =
+    "Log any epoch whose wall time exceeds $(docv) milliseconds, with its per-phase \
+     breakdown (implies profiling)."
+  in
+  Arg.(value & opt (some float) None & info [ "slow-epoch-ms" ] ~docv:"MS" ~doc)
+
 let listen =
   let doc =
     "Serving endpoint: a Unix-domain socket path, or $(b,HOST:PORT) / $(b,PORT) for TCP."
@@ -82,13 +108,38 @@ let resolve_workload name contention =
   | "tpcc" -> (Nv_workloads.Tpcc.(make (with_contention level2 default)), 15)
   | other -> failwith (Printf.sprintf "unknown workload %S" other)
 
-(* Build the sinks requested on the command line; the returned flush
-   writes the files once the run completed. *)
-let observability ?(prog = "nvdb") ?(ppf = Format.std_formatter) ~trace:trace_file
-    ~metrics:metrics_file () =
+type obs = {
+  tracer : Nv_obs.Tracer.t option;
+  metrics : Nv_obs.Metrics.t option;
+  profile : Nv_obs.Profile.t option;
+  flush : unit -> unit;
+}
+
+(* Build the sinks requested on the command line; [flush] writes the
+   files / prints the tables once the run completed. *)
+let observability ?(prog = "nvdb") ?(ppf = Format.std_formatter) ?(trace_wall = false)
+    ?(profile = false) ?profile_out ?slow_epoch_ms ~trace:trace_file ~metrics:metrics_file () =
   let tracer = match trace_file with None -> None | Some _ -> Some (Nv_obs.Tracer.create ()) in
+  (match tracer with
+  | Some tr when trace_wall -> Nv_obs.Tracer.set_wall_clock tr (Some Nv_util.Clock.now_ns)
+  | _ -> ());
   let metrics =
     match metrics_file with None -> None | Some _ -> Some (Nv_obs.Metrics.create ())
+  in
+  let profiler =
+    if profile || profile_out <> None || slow_epoch_ms <> None then begin
+      let slow_threshold_ns = Option.map (fun ms -> ms *. 1e6) slow_epoch_ms in
+      let on_slow (se : Nv_obs.Profile.slow_epoch) =
+        Format.eprintf "%s: slow epoch %d: %.2f ms wall (%s)@." prog se.Nv_obs.Profile.epoch
+          (se.Nv_obs.Profile.wall_ns /. 1e6)
+          (String.concat ", "
+             (List.map
+                (fun (name, ns) -> Printf.sprintf "%s %.2f ms" name (ns /. 1e6))
+                se.Nv_obs.Profile.phases))
+      in
+      Some (Nv_obs.Profile.create ?slow_threshold_ns ~on_slow ())
+    end
+    else None
   in
   let write what f file =
     try f file
@@ -103,12 +154,29 @@ let observability ?(prog = "nvdb") ?(ppf = Format.std_formatter) ~trace:trace_fi
         Format.fprintf ppf "wrote %d trace events to %s (open in ui.perfetto.dev)@."
           (Nv_obs.Tracer.event_count tr) file
     | _ -> ());
-    match (metrics_file, metrics) with
+    (match (metrics_file, metrics) with
     | Some file, Some m ->
         write "metrics" (Nv_obs.Metrics.write_jsonl m) file;
         Format.fprintf ppf "wrote %d epoch metric records to %s@."
           (List.length (Nv_obs.Metrics.records m))
           file
-    | _ -> ()
+    | _ -> ());
+    match profiler with
+    | None -> ()
+    | Some p ->
+        if profile then Format.fprintf ppf "@,%a@." Nv_obs.Profile.pp_table p;
+        (match profile_out with
+        | Some file ->
+            write "profile"
+              (fun file ->
+                let oc = open_out file in
+                Fun.protect
+                  ~finally:(fun () -> close_out oc)
+                  (fun () ->
+                    output_string oc (Nv_obs.Jsonx.to_string (Nv_obs.Profile.to_json p));
+                    output_char oc '\n'))
+              file;
+            Format.fprintf ppf "wrote profile snapshot to %s@." file
+        | None -> ())
   in
-  (tracer, metrics, flush)
+  { tracer; metrics; profile = profiler; flush }

@@ -15,6 +15,10 @@ val jobs : int Cmdliner.Term.t
 val engine : string Cmdliner.Term.t
 val trace : string option Cmdliner.Term.t
 val metrics : string option Cmdliner.Term.t
+val trace_wall : bool Cmdliner.Term.t
+val profile : bool Cmdliner.Term.t
+val profile_out : string option Cmdliner.Term.t
+val slow_epoch_ms : float option Cmdliner.Term.t
 val listen : string Cmdliner.Term.t
 
 val set_jobs : int -> unit
@@ -32,13 +36,30 @@ val resolve_workload : string -> string -> Nv_workloads.Workload.t * int
 (** Workload plus its insert-growth allowance; raises [Failure] on
     unknown names or contention levels. *)
 
+(** The observability sinks one invocation requested, plus the thunk
+    that writes/prints them after the run. *)
+type obs = {
+  tracer : Nv_obs.Tracer.t option;
+  metrics : Nv_obs.Metrics.t option;
+  profile : Nv_obs.Profile.t option;
+  flush : unit -> unit;
+}
+
 val observability :
   ?prog:string ->
   ?ppf:Format.formatter ->
+  ?trace_wall:bool ->
+  ?profile:bool ->
+  ?profile_out:string ->
+  ?slow_epoch_ms:float ->
   trace:string option ->
   metrics:string option ->
   unit ->
-  Nv_obs.Tracer.t option * Nv_obs.Metrics.t option * (unit -> unit)
-(** Build the sinks the flags requested. The returned thunk writes the
-    collected trace/metrics files (call it after the run) and reports
-    on [ppf] (default std_formatter). *)
+  obs
+(** Build the sinks the flags requested: a tracer for [trace] (with the
+    wall clock installed when [trace_wall]), a metrics registry for
+    [metrics], and a profiler when any of [profile] / [profile_out] /
+    [slow_epoch_ms] asks for one (slow epochs log to stderr as they
+    happen). [flush] writes the collected files, prints the profile
+    table when [profile] was set, and reports on [ppf] (default
+    std_formatter); call it after the run. *)

@@ -39,6 +39,7 @@ let setup = Engine.setup
    has to thread them through. *)
 let default_tracer : Nv_obs.Tracer.t ref = ref Nv_obs.Tracer.null
 let default_metrics : Nv_obs.Metrics.t ref = ref Nv_obs.Metrics.null
+let default_profile : Nv_obs.Profile.t ref = ref Nv_obs.Profile.null
 
 let collect ~label ~txns ~committed ~aborted ~sim_ns ~stats_list ~mem =
   let last_epoch_phases =
@@ -80,12 +81,13 @@ let collect ~label ~txns ~committed ~aborted ~sim_ns ~stats_list ~mem =
    Engine_intf seam; only the meaning of "aborted" is backend-specific
    (serial CC aborts in place, Aria defers and retries, Zen counts its
    own user aborts). *)
-let run ?label ?tracer ?metrics (sp : Engine.spec) s (w : W.t) =
+let run ?label ?tracer ?metrics ?profile (sp : Engine.spec) s (w : W.t) =
   let label = match label with Some l -> l | None -> Engine.label sp w in
   let (Engine_intf.Packed ((module E), db)) = Engine.instantiate sp s w in
   let tracer = match tracer with Some t -> t | None -> !default_tracer in
   let metrics = match metrics with Some m -> m | None -> !default_metrics in
-  E.set_observability ~tracer ~metrics ~name:label db;
+  let profile = match profile with Some p -> p | None -> !default_profile in
+  E.set_observability ~tracer ~metrics ~profile ~name:label db;
   E.bulk_load db (w.W.load ());
   let rng = Nv_util.Rng.create s.seed in
   let stats_list = ref [] in

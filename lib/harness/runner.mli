@@ -49,16 +49,19 @@ val setup :
 
 val default_tracer : Nv_obs.Tracer.t ref
 val default_metrics : Nv_obs.Metrics.t ref
+val default_profile : Nv_obs.Profile.t ref
 (** Observability sinks used when a run is not given explicit ones.
-    Initially the no-op {!Nv_obs.Tracer.null} / {!Nv_obs.Metrics.null};
-    the bench and CLI front-ends repoint them when [--trace] /
-    [--metrics] is requested, so existing experiment code picks up
-    instrumentation without signature churn. *)
+    Initially the no-op {!Nv_obs.Tracer.null} / {!Nv_obs.Metrics.null}
+    / {!Nv_obs.Profile.null}; the bench and CLI front-ends repoint them
+    when [--trace] / [--metrics] / [--profile] is requested, so
+    existing experiment code picks up instrumentation without
+    signature churn. *)
 
 val run :
   ?label:string ->
   ?tracer:Nv_obs.Tracer.t ->
   ?metrics:Nv_obs.Metrics.t ->
+  ?profile:Nv_obs.Profile.t ->
   Engine.spec ->
   setup ->
   Nv_workloads.Workload.t ->

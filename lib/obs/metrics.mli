@@ -13,7 +13,14 @@
     Requesting an instrument name twice returns the same instrument;
     requesting it with a different type raises [Invalid_argument]. The
     disabled registry ({!null}) accepts all operations as no-ops and
-    snapshots to nothing. *)
+    snapshots to nothing.
+
+    All operations are domain-safe: counters and gauges are atomics,
+    histograms and the registry are mutex-protected, and [snapshot]
+    reads-and-resets each instrument in one atomic step, so updates
+    racing with a snapshot land in exactly one record — never lost.
+    Single-domain runs emit byte-identical records to the pre-atomic
+    implementation (the golden files rely on this). *)
 
 type t
 

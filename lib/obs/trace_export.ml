@@ -1,9 +1,18 @@
 (* Chrome trace-event format (the JSON object form), loadable by
    Perfetto and chrome://tracing. Timestamps in the format are
    microseconds; the tracer records simulated nanoseconds, so values
-   are divided by 1e3 (fractional microseconds are allowed). *)
+   are divided by 1e3 (fractional microseconds are allowed).
+
+   Dual clocks: when events carry wall readings (non-nan [wts]), the
+   export mirrors them into a second set of processes at
+   [pid + wall_pid_offset] labeled "(wall time)". Wall timestamps are
+   normalized so the earliest wall event sits at t=0 — the monotonic
+   clock's epoch is arbitrary, and normalizing keeps the two clock
+   domains visually comparable side by side. Traces without wall data
+   are exported byte-identically to the single-clock format. *)
 
 let us ns = ns /. 1e3
+let wall_pid_offset = 1000
 
 let event_json (e : Tracer.event) =
   let common =
@@ -24,6 +33,28 @@ let event_json (e : Tracer.event) =
   let args = match e.Tracer.args with [] -> [] | args -> [ ("args", Jsonx.Assoc args) ] in
   Jsonx.Assoc (common @ specific @ args)
 
+let has_wall (e : Tracer.event) = not (Float.is_nan e.Tracer.wts)
+
+let wall_event_json ~t0 (e : Tracer.event) =
+  let common =
+    [
+      ("name", Jsonx.String e.Tracer.name);
+      ("cat", Jsonx.String (if e.Tracer.cat = "" then "default" else e.Tracer.cat));
+      ("pid", Jsonx.Int (e.Tracer.pid + wall_pid_offset));
+      ("tid", Jsonx.Int e.Tracer.track);
+      ("ts", Jsonx.Float (us (e.Tracer.wts -. t0)));
+    ]
+  in
+  let specific =
+    match e.Tracer.ph with
+    | Tracer.Complete ->
+        let wdur = if Float.is_nan e.Tracer.wdur then 0.0 else e.Tracer.wdur in
+        [ ("ph", Jsonx.String "X"); ("dur", Jsonx.Float (us wdur)) ]
+    | Tracer.Instant -> [ ("ph", Jsonx.String "i"); ("s", Jsonx.String "t") ]
+  in
+  let args = match e.Tracer.args with [] -> [] | args -> [ ("args", Jsonx.Assoc args) ] in
+  Jsonx.Assoc (common @ specific @ args)
+
 let metadata ~pid ?(tid = 0) ~meta ~value () =
   Jsonx.Assoc
     [
@@ -37,29 +68,55 @@ let metadata ~pid ?(tid = 0) ~meta ~value () =
 let to_json tracer =
   let events = Tracer.events tracer in
   let named = Tracer.processes tracer in
+  let wall_events = List.filter has_wall events in
+  let wall_t0 =
+    List.fold_left (fun acc (e : Tracer.event) -> Float.min acc e.Tracer.wts) Float.infinity
+      wall_events
+  in
   let pids = Hashtbl.create 8 in
   let tracks = Hashtbl.create 16 in
+  let wall_pids = Hashtbl.create 8 in
+  let wall_tracks = Hashtbl.create 16 in
   List.iter
     (fun (e : Tracer.event) ->
       Hashtbl.replace pids e.Tracer.pid ();
       Hashtbl.replace tracks (e.Tracer.pid, e.Tracer.track) ())
     events;
+  List.iter
+    (fun (e : Tracer.event) ->
+      Hashtbl.replace wall_pids e.Tracer.pid ();
+      Hashtbl.replace wall_tracks (e.Tracer.pid, e.Tracer.track) ())
+    wall_events;
+  let label_of pid =
+    match List.assoc_opt pid named with Some l -> l | None -> "nvcaracal"
+  in
   let process_meta =
     Hashtbl.fold
       (fun pid () acc ->
-        let label =
-          match List.assoc_opt pid named with
-          | Some l -> Printf.sprintf "%s (simulated time)" l
-          | None -> "nvcaracal (simulated time)"
-        in
+        let label = Printf.sprintf "%s (simulated time)" (label_of pid) in
         metadata ~pid ~meta:"process_name" ~value:label () :: acc)
       pids []
+  in
+  let wall_process_meta =
+    Hashtbl.fold
+      (fun pid () acc ->
+        let label = Printf.sprintf "%s (wall time)" (label_of pid) in
+        metadata ~pid:(pid + wall_pid_offset) ~meta:"process_name" ~value:label () :: acc)
+      wall_pids []
   in
   let thread_meta =
     Hashtbl.fold
       (fun (pid, tid) () acc ->
         metadata ~pid ~tid ~meta:"thread_name" ~value:(Printf.sprintf "core %d" tid) () :: acc)
       tracks []
+  in
+  let wall_thread_meta =
+    Hashtbl.fold
+      (fun (pid, tid) () acc ->
+        metadata ~pid:(pid + wall_pid_offset) ~tid ~meta:"thread_name"
+          ~value:(Printf.sprintf "core %d" tid) ()
+        :: acc)
+      wall_tracks []
   in
   let sort_meta =
     List.sort
@@ -70,8 +127,11 @@ let to_json tracer =
   Jsonx.Assoc
     [
       ( "traceEvents",
-        Jsonx.List (sort_meta process_meta @ sort_meta thread_meta @ List.map event_json events)
-      );
+        Jsonx.List
+          (sort_meta (process_meta @ wall_process_meta)
+          @ sort_meta (thread_meta @ wall_thread_meta)
+          @ List.map event_json events
+          @ List.map (wall_event_json ~t0:wall_t0) wall_events) );
       ("displayTimeUnit", Jsonx.String "ns");
     ]
 

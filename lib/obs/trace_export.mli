@@ -6,7 +6,15 @@
     core. Phase and transaction spans are complete ("X") events; GC and
     eviction markers are instant ("i") events. Timestamps are simulated
     nanoseconds, exported as fractional microseconds (the format's
-    unit). *)
+    unit).
+
+    When the tracer captured wall readings ({!Tracer.set_wall_clock}),
+    every wall-carrying event is additionally mirrored into a second
+    process group at [pid + 1000] labeled "(wall time)", with wall
+    timestamps normalized so the earliest one is t=0. Opening the trace
+    shows the two clock domains stacked: simulated NVMM time on top,
+    host wall time below, same span names and tracks. Traces with no
+    wall data export byte-identically to the single-clock format. *)
 
 val to_json : Tracer.t -> Jsonx.t
 val to_string : Tracer.t -> string

@@ -8,6 +8,8 @@ type event = {
   ph : phase;
   ts : float;
   dur : float;
+  wts : float; (* wall begin, host monotonic ns; nan when not captured *)
+  wdur : float; (* wall duration, ns; nan when not captured *)
   args : (string * Jsonx.t) list;
 }
 
@@ -15,6 +17,7 @@ type t = {
   enabled : bool;
   txn_sample : int;
   mutable clock : int -> float;
+  mutable wall : (unit -> float) option;
   mutable events : event list; (* newest first *)
   mutable n_events : int;
   mutable cur_pid : int;
@@ -29,6 +32,7 @@ let null =
     enabled = false;
     txn_sample = 0;
     clock = no_clock;
+    wall = None;
     events = [];
     n_events = 0;
     cur_pid = 0;
@@ -41,6 +45,7 @@ let create ?(txn_sample = 8) () =
     enabled = true;
     txn_sample = max 0 txn_sample;
     clock = no_clock;
+    wall = None;
     events = [];
     n_events = 0;
     cur_pid = 0;
@@ -51,7 +56,10 @@ let create ?(txn_sample = 8) () =
 let enabled t = t.enabled
 let txn_sample t = t.txn_sample
 let set_clock t clock = if t.enabled then t.clock <- clock
+let set_wall_clock t wall = if t.enabled then t.wall <- wall
+let wall_enabled t = t.enabled && t.wall <> None
 let now t ~core = t.clock core
+let wall_now t = match t.wall with Some f -> f () | None -> Float.nan
 
 let open_process t ~name =
   if t.enabled then begin
@@ -64,21 +72,35 @@ let record t e =
   t.events <- e :: t.events;
   t.n_events <- t.n_events + 1
 
-let complete t ~core ~name ?(cat = "") ?(args = []) ~ts ~dur () =
+let complete t ~core ~name ?(cat = "") ?(args = []) ?(wts = Float.nan) ?(wdur = Float.nan) ~ts
+    ~dur () =
   if t.enabled then
-    record t { pid = t.cur_pid; track = core; name; cat; ph = Complete; ts; dur; args }
+    record t { pid = t.cur_pid; track = core; name; cat; ph = Complete; ts; dur; wts; wdur; args }
 
 let instant t ~core ~name ?(cat = "") ?(args = []) () =
   if t.enabled then
     record t
-      { pid = t.cur_pid; track = core; name; cat; ph = Instant; ts = t.clock core; dur = 0.0; args }
+      {
+        pid = t.cur_pid;
+        track = core;
+        name;
+        cat;
+        ph = Instant;
+        ts = t.clock core;
+        dur = 0.0;
+        wts = wall_now t;
+        wdur = Float.nan;
+        args;
+      }
 
 let span t ~core ~name ?cat f =
   if not t.enabled then f ()
   else begin
     let ts = t.clock core in
+    let wts = wall_now t in
     let r = f () in
-    complete t ~core ~name ?cat ~ts ~dur:(t.clock core -. ts) ();
+    let wdur = wall_now t -. wts in
+    complete t ~core ~name ?cat ~wts ~wdur ~ts ~dur:(t.clock core -. ts) ();
     r
   end
 

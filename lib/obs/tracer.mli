@@ -1,12 +1,21 @@
-(** Span tracer over {e simulated} time.
+(** Span tracer over {e simulated} time, with an optional second
+    wall-clock domain.
 
     The engine runs on a discrete-event clock (every memory access
     advances the owning core's [Nv_nvmm.Stats] clock), so a tracer
-    cannot read wall time: instead the owner installs a clock closure
-    ([set_clock]) mapping a core id to its current simulated
-    nanoseconds. Spans and instants are then recorded on per-core
-    tracks and exported to the Chrome/Perfetto trace format by
+    cannot read wall time by default: instead the owner installs a
+    clock closure ([set_clock]) mapping a core id to its current
+    simulated nanoseconds. Spans and instants are then recorded on
+    per-core tracks and exported to the Chrome/Perfetto trace format by
     {!Trace_export}.
+
+    {b Dual clocks.} When a wall clock is additionally installed
+    ([set_wall_clock], host monotonic ns), every span and instant also
+    captures a wall begin/duration alongside its simulated reading, and
+    the export mirrors the trace into a second set of "(wall time)"
+    processes. Wall capture is strictly opt-in: with no wall clock the
+    wall fields stay [nan], the export is byte-identical to the
+    simulated-only format, and seeded runs stay deterministic.
 
     A disabled tracer ({!null}) makes every operation a no-op — the
     engine's hot path pays one field read per potential span. *)
@@ -21,6 +30,8 @@ type event = {
   ph : phase;
   ts : float;  (** begin time, simulated ns *)
   dur : float;  (** duration, simulated ns; 0 for instants *)
+  wts : float;  (** begin time, host monotonic ns; [nan] if not captured *)
+  wdur : float;  (** wall duration, ns; [nan] if not captured *)
   args : (string * Jsonx.t) list;
 }
 
@@ -43,7 +54,18 @@ val set_clock : t -> (int -> float) -> unit
     current time in ns. The engine installs this when the tracer is
     attached; re-attaching to a new engine rebinds it. *)
 
+val set_wall_clock : t -> (unit -> float) option -> unit
+(** Install (or remove, with [None]) the host wall clock — typically
+    [Some Nv_util.Clock.now_ns]. Unlike the simulated clock it is not
+    per-core: one monotonic time base covers the process. *)
+
+val wall_enabled : t -> bool
+(** True when enabled and a wall clock is installed. *)
+
 val now : t -> core:int -> float
+
+val wall_now : t -> float
+(** Current wall reading, or [nan] when no wall clock is installed. *)
 
 val open_process : t -> name:string -> unit
 (** Start a new logical process (one benchmark run / engine instance);
@@ -52,8 +74,9 @@ val open_process : t -> name:string -> unit
 
 val span : t -> core:int -> name:string -> ?cat:string -> (unit -> 'a) -> 'a
 (** [span t ~core ~name ~cat f] runs [f], recording a complete span on
-    [core]'s track from the clock reading before [f] to the one after.
-    If [f] raises, nothing is recorded. *)
+    [core]'s track from the clock reading before [f] to the one after
+    (both clocks, when the wall clock is installed). If [f] raises,
+    nothing is recorded. *)
 
 val complete :
   t ->
@@ -61,16 +84,20 @@ val complete :
   name:string ->
   ?cat:string ->
   ?args:(string * Jsonx.t) list ->
+  ?wts:float ->
+  ?wdur:float ->
   ts:float ->
   dur:float ->
   unit ->
   unit
 (** Record a span with explicit begin/duration (for phases whose
-    boundary timestamps are computed by the caller). *)
+    boundary timestamps are computed by the caller). [wts]/[wdur]
+    default to [nan] (no wall reading). *)
 
 val instant :
   t -> core:int -> name:string -> ?cat:string -> ?args:(string * Jsonx.t) list -> unit -> unit
-(** Point event at the core's current clock reading. *)
+(** Point event at the core's current clock reading (and the wall
+    clock's, when installed). *)
 
 val events : t -> event list
 (** All recorded events, oldest first. *)

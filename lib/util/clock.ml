@@ -1,0 +1,8 @@
+(* Host monotonic clock, the second clock of the dual-clock
+   observability model (docs/OBSERVABILITY.md): the engine's simulated
+   NVMM clock answers "where does modeled memory time go", this one
+   answers "where does real time go". CLOCK_MONOTONIC via the bechamel
+   stub, so readings are immune to NTP steps and slews mid-run. *)
+
+let now_ns () = Int64.to_float (Monotonic_clock.now ())
+let now_s () = now_ns () /. 1e9

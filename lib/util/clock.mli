@@ -1,0 +1,12 @@
+(** Host monotonic wall clock (CLOCK_MONOTONIC).
+
+    The dual-clock observability model pairs every simulated-time
+    reading with an optional host reading from here. Monotonic, so
+    differences are meaningful across NTP adjustments; the epoch is
+    arbitrary (comparable only within one process). *)
+
+val now_ns : unit -> float
+(** Current monotonic time in nanoseconds. *)
+
+val now_s : unit -> float
+(** {!now_ns} scaled to seconds. *)

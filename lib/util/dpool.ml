@@ -60,15 +60,115 @@ type t = {
 
 let in_pool_key = Domain.DLS.new_key (fun () -> false)
 
+let hard_cap = 64
+
+(* ------------------------------------------------------------------ *)
+(* Telemetry: one slot per domain (0 = any non-worker caller, 1.. =
+   worker domains in spawn order, across all pool states). Each cell is
+   written only by its owning domain, so plain mutable arrays suffice —
+   [telemetry] reads race with updates, which is fine for monitoring
+   counters (OCaml's memory model guarantees each read sees *some*
+   written value, never a torn one). *)
+
+module Telemetry = struct
+  type stat = {
+    tasks : int;  (** indices claimed and evaluated by this domain *)
+    busy_ns : float;  (** wall time inside task bodies *)
+    spin_ns : float;  (** wall time in the backoff pause path *)
+    sleep_ns : float;  (** wall time in the backoff sleep path *)
+    escalations : int;  (** spin-waits that crossed into sleeping *)
+  }
+
+  let zero = { tasks = 0; busy_ns = 0.0; spin_ns = 0.0; sleep_ns = 0.0; escalations = 0 }
+end
+
+let max_slots = hard_cap + 1
+let slot_key = Domain.DLS.new_key (fun () -> 0)
+let next_slot = Atomic.make 1
+let tele_tasks = Array.make max_slots 0
+let tele_busy = Array.make max_slots 0.0
+let tele_spin = Array.make max_slots 0.0
+let tele_sleep = Array.make max_slots 0.0
+let tele_escal = Array.make max_slots 0
+
+(* Highest slot in use: worker slots are handed out by [next_slot], and
+   slot 0 always exists for non-worker callers. *)
+let telemetry () =
+  Array.init
+    (min (Atomic.get next_slot) max_slots)
+    (fun i ->
+      {
+        Telemetry.tasks = tele_tasks.(i);
+        busy_ns = tele_busy.(i);
+        spin_ns = tele_spin.(i);
+        sleep_ns = tele_sleep.(i);
+        escalations = tele_escal.(i);
+      })
+
+let reset_telemetry () =
+  Array.fill tele_tasks 0 max_slots 0;
+  Array.fill tele_busy 0 max_slots 0.0;
+  Array.fill tele_spin 0 max_slots 0.0;
+  Array.fill tele_sleep 0 max_slots 0.0;
+  Array.fill tele_escal 0 max_slots 0
+
+(* ------------------------------------------------------------------ *)
 (* Escalating wait for spin loops: pause the pipeline for the first
    spins, then microsleep. On a dedicated hardware core the pause path
    always wins; when domains outnumber hardware cores (small CI boxes)
    a spinning domain otherwise burns its whole OS timeslice while the
    domain it waits on sits unscheduled — sleeping hands the core over
-   instead. *)
-let backoff spins = if spins < 512 then Domain.cpu_relax () else Unix.sleepf 5e-5
+   instead. Thresholds are tunable (NVC_SPIN / [set_spin]); every wait
+   is metered into the telemetry slots above instead of burning time
+   silently. *)
 
-let hard_cap = 64
+let default_spin_threshold = 512
+let default_sleep_s = 5e-5
+let spin_threshold_v = ref default_spin_threshold
+let sleep_s_v = ref default_sleep_s
+
+(* "SPINS" or "SPINS:SLEEP_US", e.g. NVC_SPIN=2048 or NVC_SPIN=256:20. *)
+let parse_spin s =
+  let parse_pair spins sleep_us =
+    match (int_of_string_opt spins, float_of_string_opt sleep_us) with
+    | Some n, Some us when n >= 0 && us > 0.0 -> Some (n, us *. 1e-6)
+    | _ -> None
+  in
+  match String.index_opt s ':' with
+  | Some i ->
+      parse_pair (String.sub s 0 i) (String.sub s (i + 1) (String.length s - i - 1))
+  | None -> (
+      match int_of_string_opt s with
+      | Some n when n >= 0 -> Some (n, default_sleep_s)
+      | _ -> None)
+
+let set_spin ?threshold ?sleep_us () =
+  (match threshold with Some n -> spin_threshold_v := max 0 n | None -> ());
+  match sleep_us with
+  | Some us when us > 0.0 -> sleep_s_v := us *. 1e-6
+  | Some _ | None -> ()
+
+let spin_config () = (!spin_threshold_v, !sleep_s_v)
+
+let () =
+  match Option.bind (Sys.getenv_opt "NVC_SPIN") parse_spin with
+  | Some (threshold, sleep_s) ->
+      spin_threshold_v := threshold;
+      sleep_s_v := sleep_s
+  | None -> ()
+
+let backoff spins =
+  let slot = Domain.DLS.get slot_key in
+  let t0 = Clock.now_ns () in
+  if spins < !spin_threshold_v then begin
+    Domain.cpu_relax ();
+    tele_spin.(slot) <- tele_spin.(slot) +. (Clock.now_ns () -. t0)
+  end
+  else begin
+    if spins = !spin_threshold_v then tele_escal.(slot) <- tele_escal.(slot) + 1;
+    Unix.sleepf !sleep_s_v;
+    tele_sleep.(slot) <- tele_sleep.(slot) +. (Clock.now_ns () -. t0)
+  end
 
 let fresh_state () =
   {
@@ -89,18 +189,24 @@ let width t = t.width
 (* Claim and evaluate indices until the cursor runs past [n]. Runs on
    both worker domains and the caller. *)
 let participate (task : task) =
+  let slot = Domain.DLS.get slot_key in
   let continue_ = ref true in
   while !continue_ do
     let i = Atomic.fetch_and_add task.next 1 in
     if i >= task.n then continue_ := false
     else begin
+      let t0 = Clock.now_ns () in
       task.body i;
+      tele_busy.(slot) <- tele_busy.(slot) +. (Clock.now_ns () -. t0);
+      tele_tasks.(slot) <- tele_tasks.(slot) + 1;
       ignore (Atomic.fetch_and_add task.unfinished (-1))
     end
   done
 
 let worker_loop st () =
   Domain.DLS.set in_pool_key true;
+  (let slot = Atomic.fetch_and_add next_slot 1 in
+   if slot < max_slots then Domain.DLS.set slot_key slot);
   let last_gen = ref 0 in
   let rec loop () =
     Mutex.lock st.mutex;

@@ -46,7 +46,49 @@ val stripes : t -> cores:int -> int
 
 val backoff : int -> unit
 (** Escalating wait for caller-owned spin loops ([backoff spins] with a
-    counter the caller increments): a pipeline pause for the first few
-    hundred spins, a microsleep beyond. The sleep path keeps spin-waits
-    from burning whole OS timeslices when domains outnumber hardware
-    cores. *)
+    counter the caller increments): a pipeline pause for the first
+    {!spin_config} spins, a microsleep beyond. The sleep path keeps
+    spin-waits from burning whole OS timeslices when domains outnumber
+    hardware cores. Every wait is metered into {!telemetry} (spin vs
+    sleep wall nanoseconds, plus one escalation count per wait that
+    crosses into sleeping). *)
+
+val set_spin : ?threshold:int -> ?sleep_us:float -> unit -> unit
+(** Tune the backoff escalation: [threshold] spins before sleeping
+    (default 512), [sleep_us] microseconds per sleep (default 50).
+    Also settable via the [NVC_SPIN] environment variable at startup:
+    ["SPINS"] or ["SPINS:SLEEP_US"], e.g. [NVC_SPIN=2048] or
+    [NVC_SPIN=256:20]. *)
+
+val spin_config : unit -> int * float
+(** Current [(spin_threshold, sleep_seconds)]. *)
+
+val parse_spin : string -> (int * float) option
+(** Parse an [NVC_SPIN] value into [(threshold, sleep_seconds)];
+    [None] on malformed input (which leaves the defaults in place). *)
+
+(** Per-domain activity counters: who is busy, who is spinning, who is
+    asleep — the wall-clock answer to "does jobs=N actually help here"
+    (see docs/PARALLELISM.md). *)
+module Telemetry : sig
+  type stat = {
+    tasks : int;  (** indices claimed and evaluated by this domain *)
+    busy_ns : float;  (** wall time inside task bodies *)
+    spin_ns : float;  (** wall time in the backoff pause path *)
+    sleep_ns : float;  (** wall time in the backoff sleep path *)
+    escalations : int;  (** spin-waits that crossed into sleeping *)
+  }
+
+  val zero : stat
+end
+
+val telemetry : unit -> Telemetry.stat array
+(** One entry per domain slot: index 0 aggregates every non-worker
+    caller (the domain invoking [run], including the main domain),
+    index [i >= 1] is the [i]-th worker domain ever spawned, across all
+    pool views. Reads are racy by design — monitoring-grade counts, not
+    a synchronization point. *)
+
+val reset_telemetry : unit -> unit
+(** Zero all telemetry slots (benchmark harnesses call this between
+    measured sections). *)

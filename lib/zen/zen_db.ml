@@ -104,7 +104,7 @@ let crash ?faults t ~rng =
 
 (* Zen has no epoch phases or per-epoch reports to instrument; accept
    the sinks so backend-generic harness code never has to branch. *)
-let set_observability ?tracer:_ ?metrics:_ ?name:_ _t = ()
+let set_observability ?tracer:_ ?metrics:_ ?profile:_ ?name:_ _t = ()
 let stats_of t core = t.core_stats.(core)
 
 let find_row t stats ~table ~key =

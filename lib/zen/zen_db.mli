@@ -86,7 +86,12 @@ val crash :
     @raise Invalid_argument otherwise. *)
 
 val set_observability :
-  ?tracer:Nv_obs.Tracer.t -> ?metrics:Nv_obs.Metrics.t -> ?name:string -> t -> unit
+  ?tracer:Nv_obs.Tracer.t ->
+  ?metrics:Nv_obs.Metrics.t ->
+  ?profile:Nv_obs.Profile.t ->
+  ?name:string ->
+  t ->
+  unit
 (** Accepted and ignored: Zen has no epoch phases or per-epoch reports
     to instrument. Exists so backend-generic harness code can attach
     sinks unconditionally. *)

@@ -23,5 +23,18 @@ diff -u test/golden/run_ycsb_stdout.txt _golden_tmp/stdout.txt
 diff -u test/golden/run_ycsb_trace.json _golden_tmp/trace.json
 diff -u test/golden/run_ycsb_metrics.jsonl _golden_tmp/metrics.jsonl
 
+# Front-end golden: the serving pipeline driven deterministically in
+# process (seeded clients, manual tick clock — `nvdb serve-sim`). Only
+# simulated-clock/tick-valued fields appear in this output; wall-clock
+# data (per-proc latency percentiles, domain telemetry) is deliberately
+# kept out of the metrics registry and served via the Stats wire
+# message instead, so these files stay byte-stable.
+./_build/default/bin/nvdb.exe serve-sim -w ycsb --clients 8 --txns 100 \
+  --batch-target 128 --deadline-ticks 4 \
+  --metrics _golden_tmp/servesim_metrics.jsonl > _golden_tmp/servesim_stdout.txt
+
+diff -u test/golden/servesim_ycsb_stdout.txt _golden_tmp/servesim_stdout.txt
+diff -u test/golden/servesim_ycsb_metrics.jsonl _golden_tmp/servesim_metrics.jsonl
+
 rm -rf _golden_tmp
 echo "golden outputs byte-identical"

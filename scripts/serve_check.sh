@@ -7,14 +7,18 @@
 # The server's admitted work is deterministic given the admitted
 # batches (asserted in-process by test/test_frontend.ml); this script
 # checks the real-socket path: framing under concurrency, admission,
-# checkpoint-gated replies, Bye/Shutdown draining, and exit codes.
+# checkpoint-gated replies, Bye/Shutdown draining, exit codes, and the
+# live observability surface (`nvdb stats` + the periodic
+# --stats-interval JSONL flush).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 SOCK="${TMPDIR:-/tmp}/nvdb-serve-check-$$.sock"
 SERVER_OUT="$(mktemp)"
 CLIENT_OUT="$(mktemp)"
-trap 'kill $SERVER_PID 2>/dev/null || true; rm -f "$SOCK" "$SERVER_OUT" "$CLIENT_OUT"' EXIT
+STATS_OUT="$(mktemp)"
+STATS_JSONL="$(mktemp)"
+trap 'kill $SERVER_PID 2>/dev/null || true; rm -f "$SOCK" "$SERVER_OUT" "$CLIENT_OUT" "$STATS_OUT" "$STATS_JSONL"' EXIT
 
 dune build bin/nvdb.exe
 
@@ -22,6 +26,7 @@ NVDB=_build/default/bin/nvdb.exe
 
 "$NVDB" serve --workload ycsb --listen "$SOCK" \
   --batch-target 128 --deadline-ticks 4 --capacity 20000 \
+  --stats-interval 0.25 --stats-out "$STATS_JSONL" \
   >"$SERVER_OUT" 2>&1 &
 SERVER_PID=$!
 
@@ -33,9 +38,35 @@ for _ in $(seq 1 600); do
 done
 [ -S "$SOCK" ] || { echo "server never bound $SOCK"; cat "$SERVER_OUT"; exit 1; }
 
+# Drive the load in the background so a `stats` snapshot can be pulled
+# from the live, mid-flight server.
 "$NVDB" loadgen --workload ycsb --listen "$SOCK" \
   --clients 32 --txns 100 --window 4 --shutdown \
-  >"$CLIENT_OUT" 2>&1 || { echo "loadgen failed"; cat "$CLIENT_OUT"; exit 1; }
+  >"$CLIENT_OUT" 2>&1 &
+LOADGEN_PID=$!
+
+# Poll `nvdb stats` until a snapshot shows serving activity (per-proc
+# wall-latency percentiles appear once the first replies went out).
+STATS_OK=0
+for _ in $(seq 1 100); do
+  if "$NVDB" stats --listen "$SOCK" >"$STATS_OUT" 2>/dev/null \
+     && grep -q '"ycsb.rmw"' "$STATS_OUT"; then
+    STATS_OK=1
+    break
+  fi
+  kill -0 "$SERVER_PID" 2>/dev/null || break
+  sleep 0.05
+done
+[ "$STATS_OK" -eq 1 ] || { echo "never got a live stats snapshot with serving activity"; cat "$STATS_OUT"; exit 1; }
+
+# The snapshot must carry the live-serving schema: uptime, admission
+# counters, per-procedure wall-latency percentiles, domain telemetry.
+for field in '"uptime_s"' '"clients_connected"' '"admitted"' '"epoch_rate_per_s"' \
+             '"p50_ms"' '"p99_ms"' '"p999_ms"' '"domains"' '"busy_ns"'; do
+  grep -q "$field" "$STATS_OUT" || { echo "stats snapshot missing $field"; cat "$STATS_OUT"; exit 1; }
+done
+
+wait "$LOADGEN_PID" || { echo "loadgen failed"; cat "$CLIENT_OUT"; exit 1; }
 
 # The Shutdown request must drain the server to a clean exit.
 SERVER_RC=0
@@ -43,6 +74,11 @@ wait "$SERVER_PID" || SERVER_RC=$?
 if [ "$SERVER_RC" -ne 0 ]; then
   echo "server exited with $SERVER_RC"; cat "$SERVER_OUT"; exit 1
 fi
+
+# The periodic --stats-interval flush left a JSONL trail: at least one
+# line, every line a stats object.
+[ -s "$STATS_JSONL" ] || { echo "no periodic stats JSONL was flushed"; exit 1; }
+grep -cq '"uptime_s"' "$STATS_JSONL" || { echo "stats JSONL lines malformed"; cat "$STATS_JSONL"; exit 1; }
 
 grep -q '^sent *3200$' "$CLIENT_OUT" || { echo "loadgen did not send 3200 txns"; cat "$CLIENT_OUT"; exit 1; }
 grep -q '^protocol errors *0$' "$CLIENT_OUT" || { echo "client-side protocol errors"; cat "$CLIENT_OUT"; exit 1; }

@@ -23,6 +23,7 @@ let requests : F_wire.request list =
     F_wire.Submit { req = 0; proc = "p"; args = Bytes.empty };
     F_wire.Bye;
     F_wire.Shutdown;
+    F_wire.Stats;
   ]
 
 let responses : F_wire.response list =
@@ -35,6 +36,7 @@ let responses : F_wire.response list =
     F_wire.Rejected { req = F_wire.no_req; reason = `Bad_frame };
     F_wire.Bye_ok { digest = 0x1234_5678_9ABC_DEFL };
     F_wire.Server_error "boom";
+    F_wire.Stats_ok { json = {|{"uptime_s":1.5,"admitted":42}|} };
   ]
 
 let decode_stream decode feed_sizes frames =
@@ -107,7 +109,55 @@ let test_wire_errors () =
       let r = F_wire.Reader.create () in
       let b = Bytes.make 4 '\x00' in
       F_wire.Reader.feed r b ~off:0 ~len:4;
-      F_wire.Reader.next_payload r)
+      F_wire.Reader.next_payload r);
+  (* Truncated Result payload. *)
+  raises (fun () -> F_wire.decode_response (Bytes.of_string "\x82\x00\x00"))
+
+(* Seeded fuzz over the reader + decoders: random byte streams, random
+   fragmentation, and randomly corrupted valid frames must only ever
+   yield decoded messages or [Protocol_error] — never any other
+   exception, never a crash. *)
+let test_wire_fuzz () =
+  let rng = Rng.create 0xF00D in
+  let feed_and_drain decode all sizes =
+    let reader = F_wire.Reader.create () in
+    let off = ref 0 in
+    let sizes = ref sizes in
+    (try
+       while !off < Bytes.length all do
+         let n =
+           match !sizes with
+           | [] -> Bytes.length all - !off
+           | s :: rest ->
+               sizes := rest;
+               min (max 1 s) (Bytes.length all - !off)
+         in
+         F_wire.Reader.feed reader all ~off:!off ~len:n;
+         off := !off + n;
+         let continue = ref true in
+         while !continue do
+           match F_wire.Reader.next_payload reader with
+           | None -> continue := false
+           | Some payload -> ignore (decode payload)
+         done
+       done
+     with F_wire.Protocol_error _ -> ());
+    ()
+  in
+  for _ = 1 to 200 do
+    (* Pure garbage. *)
+    let len = 1 + Rng.int rng 256 in
+    let garbage = Bytes.init len (fun _ -> Char.chr (Rng.int rng 256)) in
+    let frags = List.init 8 (fun _ -> 1 + Rng.int rng 64) in
+    feed_and_drain F_wire.decode_request garbage frags;
+    feed_and_drain F_wire.decode_response garbage frags;
+    (* A valid frame stream with one corrupted byte. *)
+    let valid = Bytes.concat Bytes.empty (List.map F_wire.encode_request requests) in
+    let corrupted = Bytes.copy valid in
+    let pos = Rng.int rng (Bytes.length corrupted) in
+    Bytes.set corrupted pos (Char.chr (Rng.int rng 256));
+    feed_and_drain F_wire.decode_request corrupted [ 1 + Rng.int rng 16 ]
+  done
 
 (* ------------------------------------------------------------------ *)
 (* Stored-procedure registry                                           *)
@@ -477,6 +527,144 @@ let test_socket_end_to_end () =
   assert (List.length lstats.F_loadgen.digests = 8);
   assert (not (Sys.file_exists path))
 
+(* ------------------------------------------------------------------ *)
+(* Garbage on the served path: malformed frames are answered with
+   Server_error and cost only the offending connection — the server
+   keeps serving real clients and still answers Stats. Run against
+   every engine behind the seam.                                       *)
+
+let sock_counter = ref 0
+
+let test_socket_garbage_resilience spec () =
+  let w = small_ycsb () in
+  incr sock_counter;
+  let path =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "nvdb-fuzz-%d-%d.sock" (Unix.getpid ()) !sock_counter)
+  in
+  if Sys.file_exists path then Sys.remove path;
+  let engine = loaded_engine spec w in
+  let registry = F_proc.of_workload w in
+  let scfg =
+    F_server.config
+      ~batcher:(F_batcher.config ~batch_target:32 ~deadline_ticks:2 ())
+      ~tick_interval_s:0.001 (`Unix path)
+  in
+  let stats = ref None in
+  let th =
+    Thread.create
+      (fun () -> stats := Some (F_server.serve ~engine ~registry ~tables:w.W.tables scfg))
+      ()
+  in
+  let waited = ref 0 in
+  while (not (Sys.file_exists path)) && !waited < 5000 do
+    Thread.delay 0.001;
+    incr waited
+  done;
+  let raw_connect () =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Unix.connect fd (Unix.ADDR_UNIX path);
+    fd
+  in
+  let send_all fd b =
+    let off = ref 0 in
+    while !off < Bytes.length b do
+      off := !off + Unix.write fd b !off (Bytes.length b - !off)
+    done
+  in
+  let frame payload =
+    let b = Bytes.create (4 + Bytes.length payload) in
+    Bytes.set_int32_le b 0 (Int32.of_int (Bytes.length payload));
+    Bytes.blit payload 0 b 4 (Bytes.length payload);
+    b
+  in
+  (* Read every response until the server closes the connection. *)
+  let read_responses fd =
+    let reader = F_wire.Reader.create () in
+    let buf = Bytes.create 4096 in
+    let out = ref [] in
+    let eof = ref false in
+    while not !eof do
+      match Unix.select [ fd ] [] [] 5.0 with
+      | [], _, _ -> Alcotest.fail "server did not answer within 5s"
+      | _ -> (
+          match Unix.read fd buf 0 (Bytes.length buf) with
+          | 0 -> eof := true
+          | n ->
+              F_wire.Reader.feed reader buf ~off:0 ~len:n;
+              let continue = ref true in
+              while !continue do
+                match F_wire.Reader.next_payload reader with
+                | None -> continue := false
+                | Some p -> out := F_wire.decode_response p :: !out
+              done)
+    done;
+    Unix.close fd;
+    List.rev !out
+  in
+  (* 1. Unknown tag: answered Server_error, connection dropped. *)
+  let fd = raw_connect () in
+  send_all fd (frame (Bytes.of_string "\x7f\x01\x02"));
+  (match read_responses fd with
+  | [ F_wire.Server_error _ ] -> ()
+  | other -> Alcotest.failf "unknown tag: expected one Server_error, got %d responses"
+               (List.length other));
+  (* 2. Oversized length prefix: dropped (Server_error best-effort). *)
+  let fd = raw_connect () in
+  let b = Bytes.create 4 in
+  Bytes.set_int32_le b 0 (Int32.of_int (F_wire.max_frame + 1));
+  send_all fd b;
+  (match read_responses fd with
+  | [] | [ F_wire.Server_error _ ] -> ()
+  | _ -> Alcotest.fail "oversized prefix: unexpected responses");
+  (* 3. Half a frame, then an abrupt close: no crash, no stuck state. *)
+  let fd = raw_connect () in
+  send_all fd (Bytes.sub (frame (Bytes.of_string "\x01\x02\x03\x04")) 0 5);
+  Unix.close fd;
+  (* 4. Stats needs no Hello and still works after the abuse. *)
+  let fd = raw_connect () in
+  send_all fd (F_wire.encode_request F_wire.Stats);
+  let json =
+    let reader = F_wire.Reader.create () in
+    let buf = Bytes.create 65536 in
+    let rec next () =
+      match F_wire.Reader.next_payload reader with
+      | Some p -> F_wire.decode_response p
+      | None -> (
+          match Unix.select [ fd ] [] [] 5.0 with
+          | [], _, _ -> Alcotest.fail "no Stats_ok within 5s"
+          | _ -> (
+              match Unix.read fd buf 0 (Bytes.length buf) with
+              | 0 -> Alcotest.fail "connection closed before Stats_ok"
+              | n ->
+                  F_wire.Reader.feed reader buf ~off:0 ~len:n;
+                  next ()))
+    in
+    match next () with
+    | F_wire.Stats_ok { json } -> json
+    | _ -> Alcotest.fail "expected Stats_ok"
+  in
+  Unix.close fd;
+  let contains s needle =
+    let n = String.length needle and m = String.length s in
+    let rec go i = i + n <= m && (String.sub s i n = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "stats json has admission counters" true (contains json "\"admitted\"");
+  Alcotest.(check bool) "stats json has domain telemetry" true (contains json "\"domains\"");
+  (* 5. Real clients still get full service. *)
+  let lcfg =
+    F_loadgen.config ~clients:4 ~txns_per_client:25 ~seed:3 ~window:2 ~shutdown:true (`Unix path)
+  in
+  let lstats = F_loadgen.run lcfg w in
+  Thread.join th;
+  let sstats = match !stats with Some s -> s | None -> Alcotest.fail "server died" in
+  Alcotest.(check int) "clients unharmed by the garbage" 0 lstats.F_loadgen.protocol_errors;
+  Alcotest.(check int) "all answered" (4 * 25)
+    (lstats.F_loadgen.committed + lstats.F_loadgen.aborted + lstats.F_loadgen.rejected);
+  Alcotest.(check bool) "garbage was counted" true (sstats.F_server.protocol_errors >= 2);
+  Alcotest.(check int) "real clients served" 4 sstats.F_server.clients_served
+
 let suites =
   [
     ( "frontend.wire",
@@ -484,6 +672,7 @@ let suites =
         Alcotest.test_case "round-trips every message" `Quick test_wire_roundtrip;
         Alcotest.test_case "reassembles fragmented reads" `Quick test_wire_partial;
         Alcotest.test_case "malformed input raises Protocol_error" `Quick test_wire_errors;
+        Alcotest.test_case "fuzzed frames never crash the decoder" `Quick test_wire_fuzz;
       ] );
     ( "frontend.proc",
       [ Alcotest.test_case "registry round-trips generated calls" `Quick test_proc_registry ] );
@@ -513,6 +702,13 @@ let suites =
           (test_batcher_determinism spec_aria);
       ] );
     ( "frontend.sockets",
-      [ Alcotest.test_case "serve + loadgen over a unix socket" `Quick test_socket_end_to_end ]
-    );
+      [
+        Alcotest.test_case "serve + loadgen over a unix socket" `Quick test_socket_end_to_end;
+        Alcotest.test_case "garbage frames cost only their connection (serial)" `Quick
+          (test_socket_garbage_resilience spec_serial);
+        Alcotest.test_case "garbage frames cost only their connection (aria)" `Quick
+          (test_socket_garbage_resilience spec_aria);
+        Alcotest.test_case "garbage frames cost only their connection (zen)" `Quick
+          (test_socket_garbage_resilience (Engine.spec Engine.Zen));
+      ] );
   ]

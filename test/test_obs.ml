@@ -278,6 +278,209 @@ let test_histogram_edges () =
   Alcotest.(check bool) "bucket bounds ascending" true
     (List.sort compare bounds = bounds)
 
+(* ------------------------------------------------------------------ *)
+(* Domain-safety: counters/gauges/histograms hammered from four
+   domains at once lose nothing.                                       *)
+
+let test_metrics_domain_safety () =
+  let m = Metrics.create () in
+  let c = Metrics.counter m "hammer.count" in
+  let g = Metrics.gauge m "hammer.level" in
+  let h = Metrics.histogram m "hammer.lat" in
+  let pool = Nv_util.Dpool.shared ~width:4 in
+  let iters = 25_000 in
+  ignore
+    (Nv_util.Dpool.run pool ~n:4 (fun i ->
+         for k = 1 to iters do
+           Metrics.add c 1;
+           Metrics.observe h (float_of_int ((k land 7) + i));
+           Metrics.set_gauge g (float_of_int k)
+         done));
+  let fields = Metrics.snapshot m ~epoch:1 in
+  (match List.assoc "hammer.count" fields with
+  | Jsonx.Int n -> Alcotest.(check int) "no lost counter increments" (4 * iters) n
+  | _ -> Alcotest.fail "counter field not an int");
+  (match List.assoc "hammer.lat" fields with
+  | Jsonx.Assoc kv -> (
+      match List.assoc "count" kv with
+      | Jsonx.Int n -> Alcotest.(check int) "no lost histogram samples" (4 * iters) n
+      | _ -> Alcotest.fail "histogram count not an int")
+  | _ -> Alcotest.fail "histogram field not an object");
+  (match List.assoc "hammer.level" fields with
+  | Jsonx.Float v -> Alcotest.(check bool) "gauge holds one of the written values" true
+                       (v >= 1.0 && v <= float_of_int iters)
+  | _ -> Alcotest.fail "gauge field not a float");
+  (* Counters and histograms reset on snapshot; the gauge persists. *)
+  let fields2 = Metrics.snapshot m ~epoch:2 in
+  (match List.assoc "hammer.count" fields2 with
+  | Jsonx.Int n -> Alcotest.(check int) "counter reset by snapshot" 0 n
+  | _ -> Alcotest.fail "counter field not an int");
+  match List.assoc "hammer.lat" fields2 with
+  | Jsonx.Assoc kv -> (
+      match List.assoc "count" kv with
+      | Jsonx.Int n -> Alcotest.(check int) "histogram reset by snapshot" 0 n
+      | _ -> Alcotest.fail "histogram count not an int")
+  | _ -> Alcotest.fail "histogram field not an object"
+
+(* ------------------------------------------------------------------ *)
+(* Dual clocks: wall capture is opt-in, mirrored into "(wall time)"
+   processes on export, and absent byte-for-byte when not installed.   *)
+
+let test_tracer_dual_clock () =
+  let tr = Tracer.create () in
+  Alcotest.(check bool) "wall off by default" false (Tracer.wall_enabled tr);
+  Alcotest.(check bool) "wall_now is nan when off" true (Float.is_nan (Tracer.wall_now tr));
+  Tracer.set_clock tr (fun _ -> 100.0);
+  Tracer.open_process tr ~name:"run";
+  Tracer.complete tr ~core:0 ~name:"sim-only" ~cat:"t" ~ts:0.0 ~dur:10.0 ();
+  let contains_wall s =
+    let needle = "(wall time)" in
+    let n = String.length needle and m = String.length s in
+    let rec go i = i + n <= m && (String.sub s i n = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "no wall mirror without a wall clock" false
+    (contains_wall (Jsonx.to_string (Trace_export.to_json tr)));
+  (* Now with the wall clock installed: spans carry wall readings and
+     the export mirrors them at pid + 1000. *)
+  Tracer.set_wall_clock tr (Some Nv_util.Clock.now_ns);
+  Alcotest.(check bool) "wall enabled" true (Tracer.wall_enabled tr);
+  let w0 = Tracer.wall_now tr in
+  Alcotest.(check bool) "wall_now reads the clock" true (w0 > 0.0);
+  ignore (Tracer.span tr ~core:1 ~name:"dual" ~cat:"t" (fun () -> Sys.opaque_identity 42));
+  let ev =
+    match List.find_opt (fun (e : Tracer.event) -> e.Tracer.name = "dual") (Tracer.events tr) with
+    | Some e -> e
+    | None -> Alcotest.fail "dual span not recorded"
+  in
+  Alcotest.(check bool) "wts captured" true (not (Float.is_nan ev.Tracer.wts));
+  Alcotest.(check bool) "wdur captured" true (ev.Tracer.wdur >= 0.0);
+  let with_wall = Trace_export.to_json tr in
+  Alcotest.(check bool) "wall mirror labeled in export" true
+    (contains_wall (Jsonx.to_string with_wall));
+  let wall_pids =
+    match with_wall with
+    | Jsonx.Assoc kv -> (
+        match List.assoc "traceEvents" kv with
+        | Jsonx.List evs ->
+            List.filter_map
+              (fun e ->
+                match e with
+                | Jsonx.Assoc fields -> (
+                    match (List.assoc_opt "name" fields, List.assoc_opt "pid" fields) with
+                    | Some (Jsonx.String "dual"), Some (Jsonx.Int pid) -> Some pid
+                    | _ -> None)
+                | _ -> None)
+              evs
+        | _ -> [])
+    | _ -> []
+  in
+  (match List.sort compare wall_pids with
+  | [ p1; p2 ] -> Alcotest.(check int) "wall mirror at pid+1000" (p1 + 1000) p2
+  | other -> Alcotest.failf "expected 2 'dual' events, got %d" (List.length other));
+  (* The sim-only span recorded before the wall clock was installed is
+     not mirrored: its wall fields are nan. *)
+  let sim_only_pids =
+    match with_wall with
+    | Jsonx.Assoc kv -> (
+        match List.assoc "traceEvents" kv with
+        | Jsonx.List evs ->
+            List.length
+              (List.filter
+                 (fun e ->
+                   match e with
+                   | Jsonx.Assoc fields -> (
+                       match List.assoc_opt "name" fields with
+                       | Some (Jsonx.String "sim-only") -> true
+                       | _ -> false)
+                   | _ -> false)
+                 evs)
+        | _ -> 0)
+    | _ -> 0
+  in
+  Alcotest.(check int) "nan-wall span not mirrored" 1 sim_only_pids
+
+(* ------------------------------------------------------------------ *)
+(* Profiler: phase aggregation, Gc deltas, slow-epoch detection.       *)
+
+let test_profile_phases () =
+  let slow = ref [] in
+  let p = Nv_obs.Profile.create ~slow_threshold_ns:0.0 ~on_slow:(fun se -> slow := se :: !slow) () in
+  Alcotest.(check bool) "enabled" true (Nv_obs.Profile.enabled p);
+  for epoch = 1 to 3 do
+    Nv_obs.Profile.epoch_begin p ~epoch;
+    ignore
+      (Nv_obs.Profile.phase p "alloc" (fun () ->
+           (* Minor-heap churn: cons cells + tuples. (Major-heap counters
+              in Gc.quick_stat lag behind GC slices on OCaml 5, so the
+              test pins the minor counter only.) *)
+           let acc = ref [] in
+           for k = 0 to 9_999 do
+             acc := (k, k) :: !acc
+           done;
+           Sys.opaque_identity !acc));
+    Nv_obs.Profile.phase p "spin" (fun () -> ());
+    Nv_obs.Profile.epoch_end p
+  done;
+  Alcotest.(check int) "epochs bracketed" 3 (Nv_obs.Profile.epochs p);
+  Alcotest.(check bool) "total wall accumulates" true (Nv_obs.Profile.total_wall_ns p > 0.0);
+  let stats = Nv_obs.Profile.stats p in
+  Alcotest.(check (list string)) "phases in first-use order" [ "alloc"; "spin" ]
+    (List.map fst stats);
+  let alloc = List.assoc "alloc" stats in
+  Alcotest.(check int) "alloc called thrice" 3 alloc.Nv_obs.Profile.calls;
+  Alcotest.(check bool) "alloc wall time > 0" true (alloc.Nv_obs.Profile.wall_ns > 0.0);
+  Alcotest.(check bool) "alloc minor words counted" true
+    (alloc.Nv_obs.Profile.minor_words +. alloc.Nv_obs.Profile.major_words > 0.0);
+  (* Threshold 0 makes every epoch slow; phases are attributed. *)
+  Alcotest.(check int) "every epoch slow at threshold 0" 3 (Nv_obs.Profile.slow_epoch_count p);
+  Alcotest.(check int) "on_slow fired per epoch" 3 (List.length !slow);
+  List.iter
+    (fun (se : Nv_obs.Profile.slow_epoch) ->
+      Alcotest.(check bool) "slow epoch names its phases" true
+        (List.mem_assoc "alloc" se.Nv_obs.Profile.phases))
+    !slow;
+  (* A phase that raises still charges its time. *)
+  (match Nv_obs.Profile.phase p "raiser" (fun () -> failwith "boom") with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "exception swallowed");
+  let raiser = List.assoc "raiser" (Nv_obs.Profile.stats p) in
+  Alcotest.(check int) "raising phase charged" 1 raiser.Nv_obs.Profile.calls;
+  (* JSON snapshot carries the same aggregates. *)
+  (match Nv_obs.Profile.to_json p with
+  | Jsonx.Assoc kv ->
+      (match List.assoc "epochs" kv with
+      | Jsonx.Int n -> Alcotest.(check int) "json epochs" 3 n
+      | _ -> Alcotest.fail "epochs not an int");
+      (match List.assoc "phases" kv with
+      | Jsonx.List phs -> Alcotest.(check int) "json phase rows" 3 (List.length phs)
+      | _ -> Alcotest.fail "phases not a list")
+  | _ -> Alcotest.fail "to_json not an object");
+  Nv_obs.Profile.reset p;
+  Alcotest.(check int) "reset drops epochs" 0 (Nv_obs.Profile.epochs p);
+  Alcotest.(check (list pass)) "reset drops phases" [] (Nv_obs.Profile.stats p);
+  (* The null profiler no-ops. *)
+  Nv_obs.Profile.epoch_begin Nv_obs.Profile.null ~epoch:1;
+  ignore (Nv_obs.Profile.phase Nv_obs.Profile.null "x" (fun () -> 9));
+  Nv_obs.Profile.epoch_end Nv_obs.Profile.null;
+  Alcotest.(check int) "null profiler records nothing" 0
+    (Nv_obs.Profile.epochs Nv_obs.Profile.null)
+
+(* An engine run under a profiler reports the pipeline's phase names. *)
+let test_profile_engine_run () =
+  let p = Nv_obs.Profile.create () in
+  let db = mk_db () in
+  Db.set_observability ~profile:p db;
+  load_n db 64;
+  ignore (Db.run_epoch db (batch ~epoch:1 16));
+  ignore (Db.run_epoch db (batch ~epoch:2 16));
+  Alcotest.(check int) "two epochs profiled" 2 (Nv_obs.Profile.epochs p);
+  let names = List.map fst (Nv_obs.Profile.stats p) in
+  List.iter
+    (fun required ->
+      Alcotest.(check bool) ("profiled phase " ^ required) true (List.mem required names))
+    [ "execute"; "append"; "epoch-persist" ]
+
 let test_disabled_sinks () =
   (* The null sinks accept everything and record nothing. *)
   let db = mk_db () in
@@ -297,6 +500,10 @@ let suites =
         Alcotest.test_case "trace export round-trip" `Quick test_trace_export_roundtrip;
         Alcotest.test_case "recovery spans" `Quick test_recovery_spans;
         Alcotest.test_case "histogram edges" `Quick test_histogram_edges;
+        Alcotest.test_case "metrics domain-safe under hammer" `Quick test_metrics_domain_safety;
+        Alcotest.test_case "tracer dual clocks" `Quick test_tracer_dual_clock;
+        Alcotest.test_case "profiler phases and slow epochs" `Quick test_profile_phases;
+        Alcotest.test_case "profiler on an engine run" `Quick test_profile_engine_run;
         Alcotest.test_case "disabled sinks" `Quick test_disabled_sinks;
       ] );
   ]
