@@ -1,6 +1,6 @@
 # Convenience entry points; everything is plain dune underneath.
 
-.PHONY: all build test test-parallel fmt-check golden serve-check check bench profile fuzz diff-fuzz clean
+.PHONY: all build test test-parallel fmt-check golden serve-check check bench profile fuzz diff-fuzz chaos clean
 
 all: build
 
@@ -66,6 +66,18 @@ fuzz:
 	  echo "== fuzz --faults seed $$s =="; \
 	  dune exec bin/nvdb.exe -- fuzz --iterations $(FUZZ_ITERS) --faults --seed $$s || exit 1; \
 	done
+
+# Seeded kill-9 chaos campaign against a real served instance: inject
+# CHAOS_ITERS SIGKILLs at random crashpoints, recover each time from
+# the admission journal, and check the pmem-image oracle plus
+# exactly-once delivery. Runs both checkpoint cadences (replay-only
+# and checkpoint+tail). Override: make chaos CHAOS_ITERS=50 CHAOS_SEED=7
+CHAOS_ITERS ?= 25
+CHAOS_SEED ?= 1
+chaos:
+	dune exec bin/nvdb.exe -- chaos --iterations $(CHAOS_ITERS) --seed $(CHAOS_SEED)
+	dune exec bin/nvdb.exe -- chaos --iterations $(CHAOS_ITERS) \
+	  --seed $$(( $(CHAOS_SEED) + 1 )) --checkpoint-every 5
 
 clean:
 	dune clean

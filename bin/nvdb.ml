@@ -8,14 +8,17 @@
      loadgen  — drive a running server with concurrent clients
      stats    — fetch a live statistics snapshot from a running server
      serve-sim — drive the serving pipeline deterministically in process
+     chaos    — kill-9 a journaled server repeatedly and check recovery
 
    Examples:
      dune exec bin/nvdb.exe -- run --workload smallbank --contention high
      dune exec bin/nvdb.exe -- run --workload ycsb --engine zen --profile
      dune exec bin/nvdb.exe -- recover --workload tpcc --epochs 4
      dune exec bin/nvdb.exe -- serve --listen /tmp/nvdb.sock --stats-interval 1 &
+     dune exec bin/nvdb.exe -- serve --journal /tmp/nvdb.journal --recover
      dune exec bin/nvdb.exe -- stats --listen /tmp/nvdb.sock
-     dune exec bin/nvdb.exe -- loadgen --clients 32 --txns 100 --shutdown *)
+     dune exec bin/nvdb.exe -- loadgen --clients 32 --txns 100 --shutdown
+     dune exec bin/nvdb.exe -- chaos --iterations 25 *)
 
 open Cmdliner
 module Runner = Nv_harness.Runner
@@ -235,25 +238,131 @@ let serve_cmd =
             "Append the periodic --stats-interval JSON lines to $(docv) instead of standard \
              output.")
   in
+  let journal_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "journal" ] ~docv:"FILE"
+          ~doc:
+            "Persist every formed batch to a CRC-guarded admission journal at $(docv) before \
+             it runs (implies --crash-safe). A crashed server restarted with $(b,--recover) \
+             replays it to reproduce the exact pre-crash state.")
+  in
+  let recover_flag =
+    Arg.(
+      value & flag
+      & info [ "recover" ]
+          ~doc:
+            "Reopen the --journal file (and its covering checkpoint, if any) and replay the \
+             journaled batches before accepting connections.")
+  in
+  let checkpoint_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "checkpoint-every" ] ~docv:"BATCHES"
+          ~doc:
+            "Write a covering checkpoint (pmem image + session table) and truncate the journal \
+             to it every $(docv) batches; 0 (default) never truncates — the journal keeps full \
+             history.")
+  in
+  let crash_safe_flag =
+    Arg.(
+      value & flag
+      & info [ "crash-safe" ]
+          ~doc:
+            "Run the engine with the crash-safe persistence discipline (implied by --journal).")
+  in
+  let journal_mb_arg =
+    Arg.(
+      value & opt int 8
+      & info [ "journal-mb" ] ~docv:"MIB" ~doc:"Size of a freshly created journal region.")
+  in
   let run workload contention engine seed jobs listen batch_target deadline max_pending capacity
-      once stats_interval stats_out trace_file metrics_file =
+      once stats_interval stats_out journal_path recover checkpoint_every crash_safe journal_mb
+      trace_file metrics_file =
     Cli.set_jobs jobs;
     let w, growth = Cli.resolve_workload workload contention in
     let spec = Cli.resolve_engine engine in
+    let spec =
+      if crash_safe || journal_path <> None then
+        { spec with Nv_harness.Engine.crash_safe = true }
+      else spec
+    in
     let address = Cli.parse_address listen in
-    let batcher = Nv_frontend.Batcher.config ~batch_target ~deadline_ticks:deadline ?max_pending () in
+    if checkpoint_every > 0 && journal_path = None then
+      failwith "nvdb serve: --checkpoint-every requires --journal";
+    if recover && journal_path = None then failwith "nvdb serve: --recover requires --journal";
+    let batcher =
+      Nv_frontend.Batcher.config ~batch_target ~deadline_ticks:deadline ?max_pending
+        ~checkpoint_every ()
+    in
     let setup =
       Nv_harness.Engine.setup
         ~epochs:((capacity / batch_target) + 1)
         ~epoch_txns:batch_target ~seed ~insert_growth:growth ()
     in
     let o = Cli.observability ~trace:trace_file ~metrics:metrics_file () in
-    let (Engine_intf.Packed ((module E), db) as engine) =
-      Nv_harness.Engine.instantiate spec setup w
-    in
-    E.bulk_load db (w.Nv_workloads.Workload.load ());
-    E.set_observability ?tracer:o.Cli.tracer ?metrics:o.Cli.metrics db;
     let registry = Nv_frontend.Proc.of_workload w in
+    let meta = Nv_frontend.Restart.meta ~workload ~contention ~engine ~seed in
+    let cold_start () =
+      let (Engine_intf.Packed ((module E), db) as engine) =
+        Nv_harness.Engine.instantiate spec setup w
+      in
+      E.bulk_load db (w.Nv_workloads.Workload.load ());
+      engine
+    in
+    let journal, recovery, engine =
+      match journal_path with
+      | None -> (None, None, cold_start ())
+      | Some path when Sys.file_exists path ->
+          (* A leftover journal silently ignored would break the one
+             property this subsystem sells: admitted means survivable. *)
+          if not recover then
+            failwith
+              (Printf.sprintf
+                 "nvdb serve: journal %s already exists; pass --recover to replay it, or remove \
+                  it for a fresh start"
+                 path);
+          let opened = Nv_frontend.Journal.load ~path ~meta in
+          let boot = Nv_frontend.Restart.boot spec setup w ~registry opened in
+          let replayable =
+            List.length
+              (List.filter
+                 (fun r -> r.Nv_frontend.Journal.r_batch >= boot.Nv_frontend.Restart.batches_done)
+                 opened.Nv_frontend.Journal.records)
+          in
+          Format.fprintf ppf "nvdb: recovering %s; replaying %d journaled batches%s@."
+            (if boot.Nv_frontend.Restart.from_checkpoint then
+               Printf.sprintf "from checkpoint (%d batches covered)"
+                 boot.Nv_frontend.Restart.batches_done
+             else "from cold image")
+            replayable
+            (if opened.Nv_frontend.Journal.torn_tail then " (torn tail discarded)" else "");
+          ( Some opened.Nv_frontend.Journal.journal,
+            Some
+              {
+                Nv_frontend.Server.rec_records = opened.Nv_frontend.Journal.records;
+                rec_sessions = boot.Nv_frontend.Restart.sessions;
+                rec_batches_done = boot.Nv_frontend.Restart.batches_done;
+              },
+            boot.Nv_frontend.Restart.engine )
+      | Some path ->
+          if recover then
+            Format.fprintf ppf "nvdb: --recover with no journal at %s; cold start@." path;
+          let j =
+            Nv_frontend.Journal.create ~size:(journal_mb * 1024 * 1024) ~path ~meta ()
+          in
+          (Some j, None, cold_start ())
+    in
+    let (Engine_intf.Packed ((module E), db)) = engine in
+    E.set_observability ?tracer:o.Cli.tracer ?metrics:o.Cli.metrics db;
+    (* Graceful stop on SIGTERM/SIGINT: the select loop notices the flag
+       on its next round, drains, flushes, checkpoints (if on a cadence)
+       and exits 0 — same path as a wire Shutdown. *)
+    let stop = ref false in
+    let handler = Sys.Signal_handle (fun _ -> stop := true) in
+    Sys.set_signal Sys.sigterm handler;
+    Sys.set_signal Sys.sigint handler;
     Format.fprintf ppf "nvdb: serving %s on %s (%s; batch %d, deadline %d ticks)@."
       w.Nv_workloads.Workload.name listen
       (Nv_harness.Engine.label spec w)
@@ -276,8 +385,9 @@ let serve_cmd =
       else None
     in
     let stats =
-      Nv_frontend.Server.serve ?tracer:o.Cli.tracer ?metrics:o.Cli.metrics ?on_stats ~engine
-        ~registry
+      Nv_frontend.Server.serve ?tracer:o.Cli.tracer ?metrics:o.Cli.metrics ?journal ?recovery
+        ~should_stop:(fun () -> !stop)
+        ?on_stats ~engine ~registry
         ~tables:w.Nv_workloads.Workload.tables
         (Nv_frontend.Server.config ~batcher ~once ~stats_interval_s:stats_interval address)
     in
@@ -287,9 +397,22 @@ let serve_cmd =
     Format.fprintf ppf "committed         %d@." stats.Nv_frontend.Server.committed;
     Format.fprintf ppf "aborted           %d@." stats.Nv_frontend.Server.aborted;
     Format.fprintf ppf "rejected          %d@." stats.Nv_frontend.Server.rejected;
+    Format.fprintf ppf "replayed          %d@." stats.Nv_frontend.Server.replayed;
     Format.fprintf ppf "epochs            %d@." stats.Nv_frontend.Server.epochs;
     Format.fprintf ppf "protocol errors   %d@." stats.Nv_frontend.Server.protocol_errors;
     Format.fprintf ppf "state digest      %Lx@." stats.Nv_frontend.Server.digest;
+    (match journal with
+    | Some j ->
+        (* The parting fingerprints the chaos oracle replays toward:
+           journal occupancy plus a CRC of the full pmem image. *)
+        Format.fprintf ppf "journal records   %d@." (Nv_frontend.Journal.record_count j);
+        Format.fprintf ppf "journal bytes     %d@." (Nv_frontend.Journal.used_bytes j);
+        let pm = E.pmem db in
+        let image = Nv_nvmm.Pmem.read_bytes pm ~off:0 ~len:(Nv_nvmm.Pmem.size pm) in
+        Format.fprintf ppf "pmem crc          %08lx@."
+          (Nv_util.Crc32c.bytes image 0 (Bytes.length image));
+        Nv_frontend.Journal.close j
+    | None -> ());
     o.Cli.flush ();
     if stats.Nv_frontend.Server.protocol_errors > 0 then exit 3
   in
@@ -298,7 +421,8 @@ let serve_cmd =
     Term.(
       const run $ Cli.workload $ Cli.contention $ Cli.engine $ Cli.seed $ Cli.jobs $ Cli.listen
       $ batch_target_arg $ deadline_arg $ max_pending_arg $ capacity_arg $ once_flag
-      $ stats_interval_arg $ stats_out_arg $ Cli.trace $ Cli.metrics)
+      $ stats_interval_arg $ stats_out_arg $ journal_arg $ recover_flag $ checkpoint_arg
+      $ crash_safe_flag $ journal_mb_arg $ Cli.trace $ Cli.metrics)
 
 let loadgen_cmd =
   let clients_arg =
@@ -323,12 +447,27 @@ let loadgen_cmd =
       value & flag
       & info [ "shutdown" ] ~doc:"Ask the server to drain and exit once every client is done.")
   in
-  let run workload contention seed listen clients txns window think shutdown =
+  let reconnect_flag =
+    Arg.(
+      value & flag
+      & info [ "reconnect" ]
+          ~doc:
+            "Survive dropped connections: back off (jittered exponential), resume the session \
+             and retransmit every unanswered call.")
+  in
+  let retry_timeout_arg =
+    Arg.(
+      value & opt float 30.0
+      & info [ "retry-timeout" ] ~docv:"SECS"
+          ~doc:"With --reconnect: fail a client once the server stays unreachable this long.")
+  in
+  let run workload contention seed listen clients txns window think shutdown reconnect
+      retry_timeout =
     let w, _growth = Cli.resolve_workload workload contention in
     let address = Cli.parse_address listen in
     let cfg =
       Nv_frontend.Loadgen.config ~clients ~txns_per_client:txns ~seed ~window ~think_ticks:think
-        ~shutdown address
+        ~shutdown ~reconnect ~retry_timeout_s:retry_timeout address
     in
     let stats = Nv_frontend.Loadgen.run cfg w in
     Format.fprintf ppf "sent              %d@." stats.Nv_frontend.Loadgen.sent;
@@ -336,6 +475,8 @@ let loadgen_cmd =
     Format.fprintf ppf "aborted           %d@." stats.Nv_frontend.Loadgen.aborted;
     Format.fprintf ppf "rejected          %d@." stats.Nv_frontend.Loadgen.rejected;
     Format.fprintf ppf "protocol errors   %d@." stats.Nv_frontend.Loadgen.protocol_errors;
+    Format.fprintf ppf "reconnects        %d@." stats.Nv_frontend.Loadgen.reconnects;
+    Format.fprintf ppf "duplicates        %d@." stats.Nv_frontend.Loadgen.duplicates;
     let lat = stats.Nv_frontend.Loadgen.latency in
     if Nv_util.Histogram.count lat > 0 then
       Format.fprintf ppf "latency (wall)    p50 %.3f ms, p99 %.3f ms, max %.3f ms@."
@@ -351,7 +492,7 @@ let loadgen_cmd =
     (Cmd.info "loadgen" ~doc:"Drive a running nvdb server with concurrent clients")
     Term.(
       const run $ Cli.workload $ Cli.contention $ Cli.seed $ Cli.listen $ clients_arg $ txns_arg
-      $ window_arg $ think_arg $ shutdown_flag)
+      $ window_arg $ think_arg $ shutdown_flag $ reconnect_flag $ retry_timeout_arg)
 
 (* Interrogate a live server: one connection, one [Stats] frame, print
    the JSON snapshot it answers with. No [Hello] — monitoring must not
@@ -469,7 +610,7 @@ let serve_sim_cmd =
         (fun i rng ->
           let proc, args = w.Nv_workloads.Workload.gen_call rng in
           match Nv_frontend.Batcher.submit b handles.(i) ~req:round ~proc ~args with
-          | `Admitted -> ()
+          | `Admitted | `Replayed _ | `Duplicate -> ()
           | `Rejected _ -> incr rejected_submits)
         rngs;
       Nv_frontend.Batcher.tick b
@@ -494,6 +635,93 @@ let serve_sim_cmd =
       const run $ Cli.workload $ Cli.contention $ Cli.engine $ Cli.seed $ Cli.jobs $ clients_arg
       $ txns_arg $ batch_target_arg $ deadline_arg $ Cli.metrics)
 
+(* Kill-9 chaos campaign: serve + loadgen as child processes, a seeded
+   plan of crashpoints, restart-with---recover supervision, then the
+   exactly-once and pmem-image-oracle checks (see Nv_frontend.Chaos). *)
+let chaos_cmd =
+  let iters_arg =
+    Arg.(
+      value & opt int 25
+      & info [ "iterations" ] ~docv:"N"
+          ~doc:"Kill-9s to inject before letting the campaign finish gracefully.")
+  in
+  let seed_arg =
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Crashpoint-plan seed.")
+  in
+  let clients_arg =
+    Arg.(value & opt int 8 & info [ "clients" ] ~docv:"N" ~doc:"Load-generator clients.")
+  in
+  let txns_arg =
+    Arg.(value & opt int 200 & info [ "txns" ] ~docv:"N" ~doc:"Transactions per client.")
+  in
+  let ckpt_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "checkpoint-every" ] ~docv:"BATCHES"
+          ~doc:
+            "Server checkpoint cadence. 0 recovers by full replay every restart (the strongest \
+             oracle); positive values exercise the checkpoint+truncate path too.")
+  in
+  let workload_arg =
+    Arg.(
+      value & opt string "ycsb-tiny"
+      & info [ "w"; "workload" ] ~docv:"NAME"
+          ~doc:"Workload to serve (small ones restart much faster).")
+  in
+  let contention_arg =
+    Arg.(value & opt string "med" & info [ "c"; "contention" ] ~docv:"LEVEL" ~doc:"Contention.")
+  in
+  let dir_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "dir" ] ~docv:"DIR"
+          ~doc:"Artifact directory (socket, journal, process logs); default under TMPDIR.")
+  in
+  let keep_flag =
+    Arg.(value & flag & info [ "keep" ] ~doc:"Keep the artifact directory even on success.")
+  in
+  let timeout_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "timeout" ] ~docv:"SECS"
+          ~doc:"Campaign wall-clock deadline (default scales with --iterations).")
+  in
+  let run seed iterations clients txns checkpoint_every workload contention engine dir keep
+      timeout =
+    let cfg =
+      Nv_frontend.Chaos.config ~seed ~iterations ~clients ~txns_per_client:txns
+        ~checkpoint_every ~workload ~contention ~engine ?dir ~keep ?timeout_s:timeout
+        ~log:(fun line -> Format.fprintf ppf "%s@." line)
+        ~exe:Sys.executable_name ()
+    in
+    let o = Nv_frontend.Chaos.run cfg in
+    Format.fprintf ppf "@.crashes           %d@." o.Nv_frontend.Chaos.crashes;
+    Format.fprintf ppf "recoveries        %d@." o.Nv_frontend.Chaos.recoveries;
+    Format.fprintf ppf "reconnects        %d@." o.Nv_frontend.Chaos.reconnects;
+    Format.fprintf ppf "sent              %d@." o.Nv_frontend.Chaos.sent;
+    Format.fprintf ppf "committed         %d@." o.Nv_frontend.Chaos.committed;
+    Format.fprintf ppf "aborted           %d@." o.Nv_frontend.Chaos.aborted;
+    Format.fprintf ppf "rejected          %d@." o.Nv_frontend.Chaos.rejected;
+    Format.fprintf ppf "duplicates        %d@." o.Nv_frontend.Chaos.duplicates;
+    (match o.Nv_frontend.Chaos.artifacts with
+    | Some d -> Format.fprintf ppf "artifacts         %s@." d
+    | None -> ());
+    List.iter
+      (fun f -> Format.fprintf ppf "FAILURE: %s@." f)
+      o.Nv_frontend.Chaos.failures;
+    if o.Nv_frontend.Chaos.failures <> [] then exit 1
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Kill-9 a journaled server at seeded crashpoints, recover with --recover each time, \
+          and check exactly-once semantics plus the pmem-image oracle")
+    Term.(
+      const run $ seed_arg $ iters_arg $ clients_arg $ txns_arg $ ckpt_arg $ workload_arg
+      $ contention_arg $ Cli.engine $ dir_arg $ keep_flag $ timeout_arg)
+
 let () =
   let info =
     Cmd.info "nvdb" ~version:"1.0.0"
@@ -512,4 +740,5 @@ let () =
             loadgen_cmd;
             stats_cmd;
             serve_sim_cmd;
+            chaos_cmd;
           ]))

@@ -219,7 +219,12 @@ let create ~config ~tables () =
 
 let epoch t = t.epoch
 let set_phase_hook t hook = t.phase_hook <- Some hook
-let hook t phase = match t.phase_hook with Some f -> f phase | None -> ()
+
+let hook t phase =
+  (* The chaos harness's in-epoch kill-9 point: between transactions of
+     a running batch, where the most execution state is in flight. *)
+  (match phase with Exec_txn _ -> Nv_util.Crashpoint.hit "mid-epoch" | _ -> ());
+  match t.phase_hook with Some f -> f phase | None -> ()
 
 (* ------------------------------------------------------------------ *)
 (* Observability                                                       *)

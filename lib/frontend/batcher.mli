@@ -1,5 +1,6 @@
 (** The epoch batcher: multi-client admission, deterministic batch
-    forming, and checkpoint-gated reply delivery.
+    forming, checkpoint-gated reply delivery, and exactly-once
+    sessions.
 
     This is the serving pipeline's core, kept free of sockets so tests
     drive it directly. Clients connect with a reply callback and submit
@@ -11,12 +12,24 @@
     beyond [max_pending] queued transactions a submit is answered
     [Rejected `Overloaded], never silently dropped.
 
+    Clients are {e sessions}, not connections: a session keeps its
+    per-seq dedup window and last-acked sequence number across
+    disconnects, so a reconnecting client that retries an
+    already-answered call gets the original outcome back instead of a
+    second execution. Admission is a determinism commitment — once a
+    call is in a batch it executes even if the submitter vanishes; only
+    the reply is dropped (and its outcome recorded for a later retry).
+
     Batch forming is deterministic given queue contents: engine-deferred
     carryover first (original serial order), then round-robin over the
     per-client FIFOs in client-id order. Every admitted batch is
     recorded ({!admitted_batches}) so an offline replay of the same
     batches through a fresh engine must reproduce the same committed
-    state — the end-to-end determinism check. *)
+    state — the end-to-end determinism check. With a {!Journal.t}
+    attached, each formed batch is additionally persisted {e before} it
+    runs, and {!recover} replays a reopened journal through the same
+    execution path, reproducing the crashed server's pmem image bit for
+    bit. *)
 
 type t
 type client
@@ -25,17 +38,28 @@ type config = private {
   batch_target : int;  (** close the batch at this many transactions *)
   deadline_ticks : int;  (** ... or this many ticks after the oldest arrival *)
   max_pending : int;  (** admission bound across all clients *)
+  dedup_window : int;  (** acked outcomes remembered per session *)
+  checkpoint_every : int;  (** checkpoint+truncate cadence in batches; 0 = never *)
 }
 
-val config : ?batch_target:int -> ?deadline_ticks:int -> ?max_pending:int -> unit -> config
-(** Defaults: target 256, deadline 8 ticks, [max_pending] 4x target.
-    Raises [Invalid_argument] on non-positive values or
+val config :
+  ?batch_target:int ->
+  ?deadline_ticks:int ->
+  ?max_pending:int ->
+  ?dedup_window:int ->
+  ?checkpoint_every:int ->
+  unit ->
+  config
+(** Defaults: target 256, deadline 8 ticks, [max_pending] 4x target,
+    dedup window 4096, no automatic checkpoints. Raises
+    [Invalid_argument] on non-positive values or
     [max_pending < batch_target]. *)
 
 val create :
   ?cfg:config ->
   ?tracer:Nv_obs.Tracer.t ->
   ?metrics:Nv_obs.Metrics.t ->
+  ?journal:Journal.t ->
   engine:Nvcaracal.Engine_intf.packed ->
   registry:Proc.t ->
   tables:Nvcaracal.Table.t list ->
@@ -43,16 +67,23 @@ val create :
   t
 (** Wrap a loaded engine. [metrics] (if enabled) gains queue-depth
     gauges plus queue-wait, batch-size, epoch-execution and
-    checkpoint-to-reply histograms under the [frontend.] prefix. *)
+    checkpoint-to-reply histograms under the [frontend.] prefix.
+    [checkpoint_every > 0] without a [journal] raises
+    [Invalid_argument]. *)
 
-val connect : t -> reply:(Wire.response -> unit) option -> client
-(** Register a client. [reply] receives this client's [Result] and
-    [Rejected] messages (pass [None] for a fire-and-forget client). *)
+val connect : ?id:int -> ?resume:bool -> t -> reply:(Wire.response -> unit) option -> client
+(** Attach to a session. Without [id] a fresh unused id is assigned.
+    With [id] and [resume] set, an existing session is resumed — dedup
+    window and last-acked intact, reply channel swapped. With [resume]
+    unset (default) a known id is {e reset}: new generation, empty
+    window, replies for its older entries suppressed. [reply] receives
+    the session's [Result]/[Rejected] messages ([None] for
+    fire-and-forget). *)
 
 val disconnect : t -> client -> unit
-(** Drop the reply channel. Already-admitted transactions still execute
-    in their epoch — admission is a determinism commitment — but their
-    replies go nowhere. *)
+(** Drop the reply channel. The session itself persists: admitted
+    transactions still execute in their epoch and their outcomes land
+    in the dedup window, ready for a resumed retry. *)
 
 val submit :
   t ->
@@ -60,10 +91,17 @@ val submit :
   req:int ->
   proc:string ->
   args:bytes ->
-  [ `Admitted | `Rejected of Wire.reject_reason ]
-(** Admit one framed call into the client's FIFO, or reject it — the
-    rejection is also sent on the reply channel. Raises
-    [Invalid_argument] on a disconnected client. *)
+  [ `Admitted
+  | `Rejected of [ `Overloaded | `Unknown_proc ]
+  | `Replayed of [ `Committed | `Aborted ]
+  | `Duplicate ]
+(** Submit one call under client sequence number [req]. If [req] is in
+    the session's dedup window the stored outcome is re-sent
+    ([`Replayed]); if it is still in flight nothing is sent
+    ([`Duplicate] — the original reply will answer it); otherwise it is
+    admitted into the FIFO or rejected, with the rejection also sent on
+    the reply channel. Raises [Invalid_argument] on a disconnected
+    client. *)
 
 val tick : t -> unit
 (** Advance the batcher's clock one tick; closes and runs the open
@@ -78,22 +116,65 @@ val drain : t -> unit
 (** Run batches until nothing is pending (deferred transactions are
     resubmitted until they commit); what [Shutdown] triggers. *)
 
+val checkpoint_now : t -> bool
+(** Write a covering checkpoint (engine pmem image + session table) and
+    truncate the journal to it. A no-op returning [false] without a
+    journal, or while conflict-deferred carryover is outstanding —
+    truncation must never orphan a deferred call whose bytes live only
+    in the journal. *)
+
+val recover :
+  t ->
+  records:Journal.record list ->
+  sessions:Journal.session_state list ->
+  batches_done:int ->
+  unit
+(** Replay a reopened journal into a {e fresh} batcher whose engine
+    already covers [batches_done] batches (0 for a fresh engine, the
+    checkpoint's count for a restored one). Records below
+    [batches_done] are skipped; the rest must be gapless and run
+    through the live batch path, so the resulting pmem image matches an
+    uncrashed run's. [sessions] (from the checkpoint) seed the dedup
+    windows; replayed outcomes re-ack on top. The final batch's
+    deferrals become live carryover. *)
+
 val client_id : client -> int
 val outstanding : client -> int
 (** Admitted-but-unanswered transactions of this client (what [Bye]
     waits on). *)
 
+val last_acked : client -> int
+(** Highest sequence number acknowledged to this session. *)
+
 val engine : t -> Nvcaracal.Engine_intf.packed
+val journal : t -> Journal.t option
 val pending : t -> int
+
+val queued : t -> int
+(** Pending entries still in per-session FIFOs (excludes carryover). *)
+
+val carryover_len : t -> int
+(** Conflict-deferred entries that will lead the next batch. *)
+
 val epochs_run : t -> int
+
+val batches_run : t -> int
+(** Batches executed since creation, replay included. *)
+
 val admitted : t -> int
 val committed : t -> int
 val aborted : t -> int
 val rejected : t -> int
 
+val replayed_replies : t -> int
+(** Retries answered from a session dedup window. *)
+
 val deferred_total : t -> int
 (** Cumulative conflict-victim deferrals (an entry deferred twice
     counts twice). *)
+
+val sessions : t -> int
+(** Sessions known to the batcher (connected or not). *)
 
 val current_tick : t -> int
 

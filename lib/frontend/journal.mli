@@ -1,0 +1,106 @@
+(** Durable admission journal: the serving pipeline's crash story.
+
+    The batcher persists every batch it is about to run — the framed
+    calls plus their [(client, seq)] headers — into a pmem-backed,
+    CRC-guarded journal region {e before} the engine executes it.
+    After a kill-9, [nvdb serve --recover] replays the journaled
+    batches in admission order through a fresh (or checkpoint-restored)
+    engine; deterministic replay reproduces the exact pmem image an
+    uncrashed server would hold, so the input log — not the client —
+    remains the durability story across the process boundary.
+
+    Layout follows the layout-v2 discipline: a header of packed
+    self-checking words (distinct salts per role), then framed records
+    [[u32 len][u32 crc32c][payload]] appended tail-first — record bytes
+    are persisted {e before} the header's used-word advances, so a torn
+    append is invisible (NVTraverse's "destination, not journey"). The
+    simulated region is mirrored to a real file at every append: the
+    simulator's pmem lives in process memory, so surviving a real
+    SIGKILL needs a real file standing in for the NVDIMM.
+
+    A checkpoint (engine pmem image + session table, written to
+    [path.ckpt] via tmp+rename) bounds replay; the journal is truncated
+    to the covering batch only once the checkpoint file is durable. *)
+
+type t
+
+type entry = { j_client : int; j_seq : int; j_call : bytes }
+(** One admitted call: session id, client sequence number, and the
+    framed call record ({!Proc.encode_call}). *)
+
+type record = { r_batch : int; r_entries : entry list }
+(** One journaled batch, in admission order (carryover re-admissions
+    included, exactly as the batch was formed). *)
+
+type session_state = {
+  ss_client : int;
+  ss_last_acked : int;
+  ss_window : (int * [ `Committed | `Aborted ]) list;
+      (** acked [seq -> outcome] dedup window, oldest first *)
+}
+
+type checkpoint = {
+  ck_batches : int;  (** batches the image covers (journal batches [< ck_batches] are dead) *)
+  ck_sessions : session_state list;
+  ck_image : bytes;  (** the engine's full pmem image at the checkpoint *)
+}
+
+type opened = {
+  journal : t;
+  records : record list;  (** CRC-valid records, admission order *)
+  torn_tail : bool;  (** a torn/corrupt tail was discarded *)
+  checkpoint : checkpoint option;
+}
+
+val create : ?size:int -> ?path:string -> meta:string -> unit -> t
+(** Fresh journal region (default 8 MiB). [meta] fingerprints the
+    serving configuration (workload, engine, seed); {!load} refuses a
+    journal whose meta does not match, so replay never runs against the
+    wrong dataset. Without [path] the journal is in-memory only (tests);
+    with [path] the file is created/truncated and mirrored on every
+    append. Raises [Failure] if [meta] exceeds 255 bytes. *)
+
+val load : path:string -> meta:string -> opened
+(** Reopen a mirrored journal file: validate header and meta, scan the
+    CRC-guarded records (stopping at — and healing — any torn tail),
+    and load the covering checkpoint from [path.ckpt] if one is valid.
+    Raises [Failure] on a missing/corrupt header or a meta mismatch. *)
+
+val append : t -> batch:int -> entries:entry list -> unit
+(** Persist one batch record: record bytes flushed and fenced first,
+    then the header's used-word, then the file mirror (fsync'd). On
+    return the record survives kill-9. Raises [Failure] when the region
+    is full (size the journal up or enable checkpointing). *)
+
+val write_checkpoint : t -> batches:int -> sessions:session_state list -> image:bytes -> unit
+(** Write a covering checkpoint durably ([path.ckpt], tmp+rename,
+    fsync before rename). The journal itself is not touched — call
+    {!truncate_to} after this returns. *)
+
+val truncate_to : t -> batch:int -> unit
+(** Drop records with [r_batch < batch] (they are covered by a durable
+    checkpoint) and compact the survivors to the front of the region;
+    mirror and fsync. Safe against kill-9 at any point: the checkpoint
+    already covers everything dropped. *)
+
+val record_count : t -> int
+val base_batch : t -> int
+(** Lowest batch index the record area may still hold. *)
+
+val used_bytes : t -> int
+val size : t -> int
+val path : t -> string option
+val close : t -> unit
+
+(** {2 Test seams} *)
+
+val pmem : t -> Nv_nvmm.Pmem.t
+(** The backing region — tests assert the persistence discipline
+    (no dirty lines after {!append}) and build torn tails directly. *)
+
+val records_offset : int
+(** Byte offset of the record area (header + meta precede it). *)
+
+val rescan : t -> record list * bool
+(** Re-derive [(records, torn_tail)] from the region contents, as a
+    fresh {!load} of the same bytes would. *)

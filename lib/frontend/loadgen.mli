@@ -7,7 +7,15 @@
     (loop rounds) after each completion. [window] large relative to the
     server's admission bound turns the generator into an open-loop
     overload source — how the backpressure path is exercised. Rejected
-    calls are counted, not resubmitted. *)
+    calls are counted, not resubmitted.
+
+    With [reconnect], a dropped connection is not fatal: the client
+    backs off (jittered exponential, 20 ms doubling to a 500 ms cap,
+    from a jitter stream separate from the call stream) and resumes its
+    session — same id, [resume] set — then retransmits every
+    unanswered call. Answers for seqs already counted are tallied as
+    [duplicates] (zero is the exactly-once check); a server that stays
+    unreachable past [retry_timeout_s] fails the client. *)
 
 type config = private {
   address : Server.address;
@@ -17,6 +25,8 @@ type config = private {
   window : int;  (** max in-flight calls per client (closed loop = 1) *)
   think_ticks : int;  (** loop rounds to pause after each completion *)
   shutdown : bool;  (** send [Shutdown] once every client is done *)
+  reconnect : bool;  (** survive dropped connections by resuming *)
+  retry_timeout_s : float;  (** give up after this long disconnected *)
 }
 
 val config :
@@ -26,17 +36,23 @@ val config :
   ?window:int ->
   ?think_ticks:int ->
   ?shutdown:bool ->
+  ?reconnect:bool ->
+  ?retry_timeout_s:float ->
   Server.address ->
   config
 (** Defaults: 8 clients x 100 txns, seed 42, window 1, no think time,
-    no shutdown. *)
+    no shutdown, no reconnect, 30 s retry timeout. *)
 
 type stats = {
-  sent : int;
+  sent : int;  (** unique calls generated (retransmissions not counted) *)
   committed : int;
   aborted : int;
   rejected : int;
   protocol_errors : int;
+  reconnects : int;  (** successful session resumptions *)
+  duplicates : int;
+      (** answers for already-answered seqs — must be 0 for a server
+          honouring exactly-once *)
   digests : int64 list;  (** per-client [Bye_ok] digests, client order *)
   latency : Nv_util.Histogram.t;
       (** client-observed submit-to-answer wall latency (ns), merged

@@ -12,27 +12,37 @@ let config ?(batcher = Batcher.config ()) ?(tick_interval_s = 0.002) ?(once = fa
     ?(stats_interval_s = 0.0) address =
   { address; batcher; tick_interval_s; once; stats_interval_s }
 
+type recovery = {
+  rec_records : Journal.record list;
+  rec_sessions : Journal.session_state list;
+  rec_batches_done : int;
+}
+
 type stats = {
   clients_served : int;
   admitted : int;
   committed : int;
   aborted : int;
   rejected : int;
+  replayed : int;
   epochs : int;
   protocol_errors : int;
   digest : int64;
 }
 
-(* Per-connection state: an incremental frame reader in, a byte queue
-   out (flushed when select reports writability), and the batcher
-   client once Hello arrived. *)
+(* Per-connection state: an incremental frame reader in, a frame queue
+   out (flushed to completion whenever select reports writability), and
+   the batcher client once Hello arrived. [closing] marks a connection
+   being flushed for the last time — no more reads; closed once the
+   queue drains (or the peer drops). *)
 type conn = {
   fd : Unix.file_descr;
   reader : Wire.Reader.t;
-  mutable out : bytes list;  (** reversed queue of unsent frames *)
+  out : bytes Queue.t;
   mutable out_off : int;  (** bytes of the head frame already written *)
   mutable client : Batcher.client option;
   mutable said_bye : bool;
+  mutable closing : bool;
   mutable dead : bool;
 }
 
@@ -44,6 +54,7 @@ type t = {
   mutable served : int;
   mutable protocol_errors : int;
   mutable shutdown : bool;
+  mutable draining : bool;  (** graceful stop: no new admissions *)
   start_wall : float;  (** host wall ns at creation (uptime base) *)
   on_stats : (string -> unit) option;  (** periodic live-stats sink *)
   mutable last_stats : float;  (** wall ns of the last periodic flush *)
@@ -67,8 +78,10 @@ let bind_listen = function
       Unix.listen fd 64;
       fd
 
-let create ?tracer ?metrics ?on_stats ~engine ~registry ~tables (cfg : config) =
-  let batcher = Batcher.create ~cfg:cfg.batcher ?tracer ?metrics ~engine ~registry ~tables () in
+let create ?tracer ?metrics ?journal ?on_stats ~engine ~registry ~tables (cfg : config) =
+  let batcher =
+    Batcher.create ~cfg:cfg.batcher ?tracer ?metrics ?journal ~engine ~registry ~tables ()
+  in
   let listen_fd = bind_listen cfg.address in
   Unix.set_nonblock listen_fd;
   let now = Nv_util.Clock.now_ns () in
@@ -80,6 +93,7 @@ let create ?tracer ?metrics ?on_stats ~engine ~registry ~tables (cfg : config) =
     served = 0;
     protocol_errors = 0;
     shutdown = false;
+    draining = false;
     start_wall = now;
     on_stats;
     last_stats = now;
@@ -87,7 +101,7 @@ let create ?tracer ?metrics ?on_stats ~engine ~registry ~tables (cfg : config) =
 
 let push t conn resp =
   ignore t;
-  if not conn.dead then conn.out <- Wire.encode_response resp :: conn.out
+  if not conn.dead then Queue.push (Wire.encode_response resp) conn.out
 
 let close_conn t conn =
   if not conn.dead then begin
@@ -97,15 +111,43 @@ let close_conn t conn =
     (try Unix.close conn.fd with Unix.Unix_error _ -> ())
   end
 
+(* Write queued frames until the queue drains or the socket would
+   block. Partial writes resume at [out_off] next round; EINTR retries
+   immediately; EAGAIN waits for the next select round. A [closing]
+   connection is closed once its queue empties. *)
+let rec handle_writable t conn =
+  if conn.dead then ()
+  else if Queue.is_empty conn.out then begin
+    if conn.closing then close_conn t conn
+  end
+  else begin
+    let head = Queue.peek conn.out in
+    let len = Bytes.length head - conn.out_off in
+    match Unix.write conn.fd head conn.out_off len with
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> handle_writable t conn
+    | exception Unix.Unix_error _ -> close_conn t conn
+    | n ->
+        if n = len then begin
+          ignore (Queue.pop conn.out);
+          conn.out_off <- 0;
+          handle_writable t conn
+        end
+        else
+          (* Partial write: the kernel buffer is full; pushing more now
+             would only spin. Resume when select says writable. *)
+          conn.out_off <- conn.out_off + n
+  end
+
+(* A protocol error costs the connection, but the error frame should
+   still reach the peer: queue it, stop reading, and let the write path
+   flush-then-close instead of blindly writing into a possibly-full
+   socket. *)
 let protocol_error t conn msg =
   t.protocol_errors <- t.protocol_errors + 1;
   push t conn (Wire.Server_error msg);
-  (* Flush the error best-effort, then drop the connection. *)
-  List.iter
-    (fun b -> try ignore (Unix.write conn.fd b 0 (Bytes.length b)) with Unix.Unix_error _ -> ())
-    (List.rev conn.out);
-  conn.out <- [];
-  close_conn t conn
+  conn.closing <- true;
+  handle_writable t conn
 
 let digest t = Batcher.state_digest t.batcher
 
@@ -133,27 +175,55 @@ let live_stats_json t =
   let procs =
     List.filter (fun (_, h) -> H.count h > 0) (Batcher.proc_latencies t.batcher)
   in
+  (* The durability block appears only on journaled servers: the state
+     digest and full-image CRC are the chaos harness's oracle inputs,
+     and pricing the image scan into every plain [Stats] poll would be
+     waste. *)
+  let durability =
+    match Batcher.journal t.batcher with
+    | None -> []
+    | Some j ->
+        let (Nvcaracal.Engine_intf.Packed ((module E), db)) = Batcher.engine t.batcher in
+        let pm = E.pmem db in
+        let image = Nv_nvmm.Pmem.read_bytes pm ~off:0 ~len:(Nv_nvmm.Pmem.size pm) in
+        let crc = Nv_util.Crc32c.bytes image 0 (Bytes.length image) in
+        [
+          ( "journal",
+            J.Assoc
+              [
+                ("records", J.Int (Journal.record_count j));
+                ("bytes", J.Int (Journal.used_bytes j));
+                ("base_batch", J.Int (Journal.base_batch j));
+                ("batches_run", J.Int (Batcher.batches_run t.batcher));
+              ] );
+          ("state_digest", J.String (Printf.sprintf "%016Lx" (digest t)));
+          ("pmem_crc", J.String (Printf.sprintf "%08lx" crc));
+        ]
+  in
   J.to_string
     (J.Assoc
-       [
-         ("uptime_s", J.Float uptime_s);
-         ("clients_connected", J.Int (Hashtbl.length t.conns));
-         ("clients_served", J.Int t.served);
-         ("admitted", J.Int (Batcher.admitted t.batcher));
-         ("committed", J.Int (Batcher.committed t.batcher));
-         ("aborted", J.Int (Batcher.aborted t.batcher));
-         ("rejected", J.Int (Batcher.rejected t.batcher));
-         ("deferred", J.Int (Batcher.deferred_total t.batcher));
-         ("pending", J.Int (Batcher.pending t.batcher));
-         ("epochs", J.Int (Batcher.epochs_run t.batcher));
-         ( "epoch_rate_per_s",
-           J.Float
-             (if uptime_s > 0.0 then float_of_int (Batcher.epochs_run t.batcher) /. uptime_s
-              else 0.0) );
-         ("protocol_errors", J.Int t.protocol_errors);
-         ("procs", J.Assoc (List.map lat_json procs));
-         ("domains", Nv_obs.Profile.telemetry_json ());
-       ])
+       ([
+          ("uptime_s", J.Float uptime_s);
+          ("clients_connected", J.Int (Hashtbl.length t.conns));
+          ("clients_served", J.Int t.served);
+          ("sessions", J.Int (Batcher.sessions t.batcher));
+          ("admitted", J.Int (Batcher.admitted t.batcher));
+          ("committed", J.Int (Batcher.committed t.batcher));
+          ("aborted", J.Int (Batcher.aborted t.batcher));
+          ("rejected", J.Int (Batcher.rejected t.batcher));
+          ("replayed_replies", J.Int (Batcher.replayed_replies t.batcher));
+          ("deferred", J.Int (Batcher.deferred_total t.batcher));
+          ("pending", J.Int (Batcher.pending t.batcher));
+          ("epochs", J.Int (Batcher.epochs_run t.batcher));
+          ( "epoch_rate_per_s",
+            J.Float
+              (if uptime_s > 0.0 then float_of_int (Batcher.epochs_run t.batcher) /. uptime_s
+               else 0.0) );
+          ("protocol_errors", J.Int t.protocol_errors);
+          ("procs", J.Assoc (List.map lat_json procs));
+          ("domains", Nv_obs.Profile.telemetry_json ());
+        ]
+       @ durability))
 
 (* Bye completes only once every admitted transaction of the
    connection has been answered; then the client sees a state digest
@@ -168,12 +238,25 @@ let maybe_finish_bye t conn =
 let handle_request t conn (req : Wire.request) =
   match (req, conn.client) with
   | Wire.Hello _, Some _ -> protocol_error t conn "duplicate Hello"
-  | Wire.Hello _, None ->
-      let client = Batcher.connect t.batcher ~reply:(Some (fun r -> push t conn r)) in
-      conn.client <- Some client;
+  | Wire.Hello { client; version; resume; last_seq = _ }, None ->
+      (* The client named its session id: a resume reattaches to the
+         session (dedup window intact) and the Hello_ok's [last_acked]
+         tells it what to retransmit; a non-resume resets the id. If
+         another live connection holds the same session, the session's
+         reply channel moves here — last Hello wins. *)
+      let version = min version Wire.protocol_version in
+      let c =
+        Batcher.connect t.batcher ~id:client ~resume
+          ~reply:(Some (fun r -> push t conn r))
+      in
+      conn.client <- Some c;
       t.served <- t.served + 1;
-      push t conn Wire.Hello_ok
+      push t conn (Wire.Hello_ok { version; last_acked = Batcher.last_acked c })
   | Wire.Submit _, None -> protocol_error t conn "Submit before Hello"
+  | Wire.Submit { req; _ }, Some _ when t.draining ->
+      (* Graceful stop: stragglers get an explicit Overloaded, never
+         silence — they will retry against the restarted server. *)
+      push t conn (Wire.Rejected { req; reason = `Overloaded })
   | Wire.Submit { req; proc; args }, Some client ->
       if conn.said_bye then protocol_error t conn "Submit after Bye"
       else ignore (Batcher.submit t.batcher client ~req ~proc ~args)
@@ -186,39 +269,27 @@ let handle_request t conn (req : Wire.request) =
   | Wire.Stats, _ -> push t conn (Wire.Stats_ok { json = live_stats_json t })
 
 let handle_readable t conn =
-  let buf = Bytes.create 65536 in
-  match Unix.read conn.fd buf 0 (Bytes.length buf) with
-  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) -> ()
-  | exception Unix.Unix_error _ -> close_conn t conn
-  | 0 -> close_conn t conn
-  | n -> (
-      Wire.Reader.feed conn.reader buf ~off:0 ~len:n;
-      try
-        let continue = ref true in
-        while !continue && not conn.dead do
-          match Wire.Reader.next_payload conn.reader with
-          | None -> continue := false
-          | Some payload -> handle_request t conn (Wire.decode_request payload)
-        done
-      with Wire.Protocol_error msg -> protocol_error t conn msg)
-
-let handle_writable t conn =
-  match List.rev conn.out with
-  | [] -> ()
-  | head :: rest -> (
-      let len = Bytes.length head - conn.out_off in
-      match Unix.write conn.fd head conn.out_off len with
-      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) -> ()
-      | exception Unix.Unix_error _ -> close_conn t conn
-      | n ->
-          if n = len then begin
-            conn.out <- List.rev rest;
-            conn.out_off <- 0;
-            (* A drained output right after Bye_ok means the goodbye
-               reached the socket: the peer will close; nothing to do. *)
-            ()
-          end
-          else conn.out_off <- conn.out_off + n)
+  if conn.closing then ()
+  else
+    let buf = Bytes.create 65536 in
+    match Unix.read conn.fd buf 0 (Bytes.length buf) with
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) -> ()
+    | exception Unix.Unix_error _ -> close_conn t conn
+    | 0 ->
+        (* EOF. Anything left in the reader is a half frame the peer
+           abandoned — admitted work still runs (determinism
+           commitment), the partial garbage is simply dropped. *)
+        close_conn t conn
+    | n -> (
+        Wire.Reader.feed conn.reader buf ~off:0 ~len:n;
+        try
+          let continue = ref true in
+          while !continue && not conn.dead && not conn.closing do
+            match Wire.Reader.next_payload conn.reader with
+            | None -> continue := false
+            | Some payload -> handle_request t conn (Wire.decode_request payload)
+          done
+        with Wire.Protocol_error msg -> protocol_error t conn msg)
 
 let accept_new t =
   let continue = ref true in
@@ -232,17 +303,23 @@ let accept_new t =
           {
             fd;
             reader = Wire.Reader.create ();
-            out = [];
+            out = Queue.create ();
             out_off = 0;
             client = None;
             said_bye = false;
+            closing = false;
             dead = false;
           }
   done
 
 let step t =
-  let reads = t.listen_fd :: Hashtbl.fold (fun fd _ acc -> fd :: acc) t.conns [] in
-  let writes = Hashtbl.fold (fun fd c acc -> if c.out <> [] then fd :: acc else acc) t.conns [] in
+  let reads =
+    t.listen_fd
+    :: Hashtbl.fold (fun fd c acc -> if c.closing then acc else fd :: acc) t.conns []
+  in
+  let writes =
+    Hashtbl.fold (fun fd c acc -> if not (Queue.is_empty c.out) then fd :: acc else acc) t.conns []
+  in
   let readable, writable, _ =
     try Unix.select reads writes [] t.cfg.tick_interval_s
     with Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
@@ -281,23 +358,58 @@ let stats t =
     committed = Batcher.committed t.batcher;
     aborted = Batcher.aborted t.batcher;
     rejected = Batcher.rejected t.batcher;
+    replayed = Batcher.replayed_replies t.batcher;
     epochs = Batcher.epochs_run t.batcher;
     protocol_errors = t.protocol_errors;
     digest = 0L;
   }
 
+(* Push every queued frame out, waiting (bounded) for sockets to drain:
+   the final Result/Bye_ok/Rejected frames of a graceful stop should
+   reach their clients even if a buffer was momentarily full. *)
+let flush_all t ~deadline_s =
+  let t0 = Unix.gettimeofday () in
+  let pending () =
+    Hashtbl.fold (fun fd c acc -> if not (Queue.is_empty c.out) then fd :: acc else acc) t.conns []
+  in
+  let rec loop () =
+    match pending () with
+    | [] -> ()
+    | fds ->
+        if Unix.gettimeofday () -. t0 < deadline_s then begin
+          let _, writable, _ =
+            try Unix.select [] fds [] 0.05
+            with Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
+          in
+          List.iter
+            (fun fd ->
+              match Hashtbl.find_opt t.conns fd with
+              | Some conn -> handle_writable t conn
+              | None -> ())
+            writable;
+          loop ()
+        end
+  in
+  loop ()
+
 let finish t =
-  (* Drain everything admitted, push the final replies, close up. *)
+  (* Graceful stop: sweep any already-received requests (Submits are
+     answered Overloaded in draining mode), drain everything admitted,
+     push the final replies, checkpoint if journaled, close up. *)
+  t.draining <- true;
+  Hashtbl.iter (fun _ conn -> handle_readable t conn) t.conns;
   Batcher.drain t.batcher;
   Hashtbl.iter (fun _ conn -> maybe_finish_bye t conn) t.conns;
-  Hashtbl.iter
-    (fun _ conn ->
-      List.iter
-        (fun b ->
-          try ignore (Unix.write conn.fd b 0 (Bytes.length b)) with Unix.Unix_error _ -> ())
-        (List.rev conn.out);
-      conn.out <- [])
-    t.conns;
+  flush_all t ~deadline_s:1.0;
+  (* The covering checkpoint makes the journal's truncation point
+     durable, so a subsequent --recover replays only what this run had
+     not yet checkpointed. Only on a checkpointing cadence, though: a
+     zero-cadence journal deliberately keeps full history, which the
+     chaos oracle replays end to end. *)
+  if t.cfg.batcher.Batcher.checkpoint_every > 0 then ignore (Batcher.checkpoint_now t.batcher);
+  (match t.on_stats with
+  | Some f when t.cfg.stats_interval_s > 0.0 -> f (live_stats_json t)
+  | Some _ | None -> ());
   let conns = Hashtbl.fold (fun _ c acc -> c :: acc) t.conns [] in
   List.iter (fun c -> close_conn t c) conns;
   (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
@@ -307,12 +419,22 @@ let finish t =
   let d = digest t in
   { (stats t) with digest = d }
 
-let serve ?tracer ?metrics ?on_stats ~engine ~registry ~tables cfg =
-  let t = create ?tracer ?metrics ?on_stats ~engine ~registry ~tables cfg in
+let serve ?tracer ?metrics ?journal ?recovery ?should_stop ?on_stats ~engine ~registry
+    ~tables cfg =
+  (* Clients can vanish between select and write; take EPIPE on the
+     write path (handled as a dropped connection) over SIGPIPE. *)
+  if not Sys.win32 then Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let t = create ?tracer ?metrics ?journal ?on_stats ~engine ~registry ~tables cfg in
+  (match recovery with
+  | Some r ->
+      Batcher.recover t.batcher ~records:r.rec_records ~sessions:r.rec_sessions
+        ~batches_done:r.rec_batches_done
+  | None -> ());
   let finished = ref false in
   while not !finished do
     step t;
     if t.shutdown then finished := true
+    else if match should_stop with Some f -> f () | None -> false then finished := true
     else if t.cfg.once && t.served > 0 && Hashtbl.length t.conns = 0 then finished := true
   done;
   finish t

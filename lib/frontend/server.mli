@@ -4,10 +4,12 @@
     Single-threaded, non-blocking, [Unix.select]-driven — every select
     round is one batcher tick, so the batch deadline is measured in
     event-loop rounds. Malformed frames and out-of-order requests are
-    counted as protocol errors, answered with [Server_error], and cost
-    the offending connection — never the server. A [Shutdown] request
-    drains every admitted transaction (replying to whoever still
-    listens) before the loop exits. *)
+    counted as protocol errors, answered with [Server_error] (flushed,
+    not fire-and-forget), and cost the offending connection — never the
+    server. A [Shutdown] request, or [should_stop] turning true
+    (SIGTERM/SIGINT in [nvdb serve]), drains every admitted transaction,
+    answers stragglers [Rejected `Overloaded], writes a covering
+    checkpoint when a journal is attached, and exits cleanly. *)
 
 type address = [ `Unix of string | `Tcp of string * int ]
 
@@ -29,12 +31,21 @@ val config :
   address ->
   config
 
+type recovery = {
+  rec_records : Journal.record list;  (** journaled batches to replay *)
+  rec_sessions : Journal.session_state list;  (** checkpointed sessions *)
+  rec_batches_done : int;  (** batches the engine image already covers *)
+}
+(** What [--recover] feeds {!serve}: the replayable remains of a
+    crashed run (see {!Restart.boot} and {!Batcher.recover}). *)
+
 type stats = {
   clients_served : int;
   admitted : int;
   committed : int;
   aborted : int;
   rejected : int;
+  replayed : int;  (** retries answered from session dedup windows *)
   epochs : int;
   protocol_errors : int;
   digest : int64;  (** committed-state digest at exit *)
@@ -43,19 +54,28 @@ type stats = {
 val serve :
   ?tracer:Nv_obs.Tracer.t ->
   ?metrics:Nv_obs.Metrics.t ->
+  ?journal:Journal.t ->
+  ?recovery:recovery ->
+  ?should_stop:(unit -> bool) ->
   ?on_stats:(string -> unit) ->
   engine:Nvcaracal.Engine_intf.packed ->
   registry:Proc.t ->
   tables:Nvcaracal.Table.t list ->
   config ->
   stats
-(** Bind, serve until [Shutdown] (or, with [once], until the first wave
-    of clients has disconnected), drain, and report. The engine must be
-    loaded; it is driven only from this thread.
+(** Bind, serve until [Shutdown] / [should_stop] (or, with [once], until
+    the first wave of clients has disconnected), drain, and report. The
+    engine must be loaded; it is driven only from this thread. With
+    [journal], every formed batch is persisted before it runs; with
+    [recovery], the journaled tail is replayed through the batcher
+    before the first connection is accepted.
 
     A [Stats] request on any connection (no [Hello] needed) is answered
-    with a [Stats_ok] JSON snapshot: uptime, connection and admission
-    counters, epoch rate, per-procedure wall-latency percentiles
-    (p50/p99/p999), and per-domain pool telemetry. [on_stats] (with
-    [stats_interval_s > 0]) additionally receives that snapshot
-    periodically — one JSON line per interval, ready for a JSONL log. *)
+    with a [Stats_ok] JSON snapshot: uptime, connection, session and
+    admission counters, epoch rate, per-procedure wall-latency
+    percentiles (p50/p99/p999), and per-domain pool telemetry — plus,
+    on journaled servers only, the journal occupancy, committed-state
+    digest and full pmem-image CRC (hex strings; the chaos oracle).
+    [on_stats] (with [stats_interval_s > 0]) additionally receives that
+    snapshot periodically — one JSON line per interval, ready for a
+    JSONL log. *)

@@ -1,9 +1,10 @@
 exception Protocol_error of string
 
 let max_frame = 1 lsl 20
+let protocol_version = 2
 
 type request =
-  | Hello of { client : int }
+  | Hello of { client : int; version : int; resume : bool; last_seq : int }
   | Submit of { req : int; proc : string; args : bytes }
   | Bye
   | Shutdown
@@ -12,7 +13,7 @@ type request =
 type reject_reason = [ `Overloaded | `Unknown_proc | `Bad_frame ]
 
 type response =
-  | Hello_ok
+  | Hello_ok of { version : int; last_acked : int }
   | Result of { req : int; outcome : [ `Committed | `Aborted ] }
   | Rejected of { req : int; reason : reject_reason }
   | Bye_ok of { digest : int64 }
@@ -54,9 +55,17 @@ let frame tag body =
   Buffer.to_bytes buf
 
 let encode_request = function
-  | Hello { client } ->
-      let b = Buffer.create 4 in
+  | Hello { client; version; resume; last_seq } ->
+      (* Version 1 frames carried only the client label; the v2 tail
+         adds protocol version, a resume flag and the last sequence
+         number the client saw acknowledged, enabling exactly-once
+         session resumption after reconnect. *)
+      let b = Buffer.create 17 in
       add_u32 b client;
+      add_u32 b version;
+      Buffer.add_uint8 b (if resume then 1 else 0);
+      if last_seq < 0 then err "negative last_seq %d" last_seq;
+      Buffer.add_int64_le b (Int64.of_int last_seq);
       frame tag_hello b
   | Submit { req; proc; args } ->
       let n = String.length proc in
@@ -80,7 +89,12 @@ let reason_of_code = function
   | c -> err "unknown reject reason %d" c
 
 let encode_response = function
-  | Hello_ok -> frame tag_hello_ok (Buffer.create 0)
+  | Hello_ok { version; last_acked } ->
+      let b = Buffer.create 12 in
+      add_u32 b version;
+      if last_acked < 0 then err "negative last_acked %d" last_acked;
+      Buffer.add_int64_le b (Int64.of_int last_acked);
+      frame tag_hello_ok b
   | Result { req; outcome } ->
       let b = Buffer.create 5 in
       add_u32 b req;
@@ -112,7 +126,25 @@ let decode_request payload =
   let tag = Bytes.get_uint8 payload 0 in
   if tag = tag_hello then begin
     need payload 5;
-    Hello { client = get_u32 payload 1 }
+    let client = get_u32 payload 1 in
+    if Bytes.length payload = 5 then
+      (* Legacy v1 Hello: label only, no session semantics. *)
+      Hello { client; version = 1; resume = false; last_seq = 0 }
+    else begin
+      need payload 18;
+      let version = get_u32 payload 5 in
+      if version < 1 || version > protocol_version then
+        err "unsupported protocol version %d" version;
+      let resume =
+        match Bytes.get_uint8 payload 9 with
+        | 0 -> false
+        | 1 -> true
+        | f -> err "bad resume flag %d" f
+      in
+      let last_seq = Int64.to_int (Bytes.get_int64_le payload 10) in
+      if last_seq < 0 then err "negative last_seq";
+      Hello { client; version; resume; last_seq }
+    end
   end
   else if tag = tag_submit then begin
     need payload 6;
@@ -132,7 +164,18 @@ let decode_request payload =
 let decode_response payload =
   need payload 1;
   let tag = Bytes.get_uint8 payload 0 in
-  if tag = tag_hello_ok then Hello_ok
+  if tag = tag_hello_ok then begin
+    if Bytes.length payload = 1 then
+      (* Legacy v1 Hello_ok: bare acknowledgement. *)
+      Hello_ok { version = 1; last_acked = 0 }
+    else begin
+      need payload 13;
+      let version = get_u32 payload 1 in
+      let last_acked = Int64.to_int (Bytes.get_int64_le payload 5) in
+      if last_acked < 0 then err "negative last_acked";
+      Hello_ok { version; last_acked }
+    end
+  end
   else if tag = tag_result then begin
     need payload 6;
     let req = get_u32 payload 1 in

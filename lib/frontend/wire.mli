@@ -15,13 +15,27 @@ val max_frame : int
 (** Upper bound on a payload's size (1 MiB); larger length prefixes are
     protocol errors. *)
 
+val protocol_version : int
+(** The protocol version this build speaks (2). Version 1 frames
+    (label-only [Hello], bare [Hello_ok]) are still decoded; a [Hello]
+    claiming a version above this is a protocol error. *)
+
 type request =
-  | Hello of { client : int }
-      (** First message on a connection. [client] is a caller-chosen
-          label echoed in server logs; the server assigns its own ids. *)
+  | Hello of { client : int; version : int; resume : bool; last_seq : int }
+      (** First message on a connection. [client] is the caller-chosen
+          {e session id}: reconnecting with the same id and [resume]
+          set resumes the session (per-seq dedup window intact), while
+          [resume] unset resets it. [last_seq] is the highest sequence
+          number this client saw acknowledged (informational; the
+          server answers with its own view). Version 1 encodes only
+          [client] and implies [resume = false], [last_seq = 0]. *)
   | Submit of { req : int; proc : string; args : bytes }
-      (** Call a stored procedure. [req] is a per-connection token the
-          matching [Result]/[Rejected] echoes. *)
+      (** Call a stored procedure. [req] is the client's {e sequence
+          number} for the call (start at 1, increase monotonically);
+          the matching [Result]/[Rejected] echoes it, and the server's
+          per-session dedup window keys on it, so a retry after
+          reconnect returns the original outcome instead of
+          re-executing. *)
   | Bye  (** Graceful close: answered with [Bye_ok] once all of this
              connection's admitted transactions have been answered. *)
   | Shutdown
@@ -34,7 +48,11 @@ type request =
 type reject_reason = [ `Overloaded | `Unknown_proc | `Bad_frame ]
 
 type response =
-  | Hello_ok
+  | Hello_ok of { version : int; last_acked : int }
+      (** Handshake answer: the negotiated protocol version (min of the
+          client's and the server's) and the highest sequence number
+          the server has acknowledged for this session — after a
+          resume, everything above it should be retransmitted. *)
   | Result of { req : int; outcome : [ `Committed | `Aborted ] }
       (** Sent only after the transaction's epoch is checkpointed. *)
   | Rejected of { req : int; reason : reject_reason }

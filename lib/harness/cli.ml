@@ -103,6 +103,16 @@ let resolve_workload name contention =
   let level2 = match level3 with `Medium -> `High | (`Low | `High) as l -> l in
   match name with
   | "ycsb" -> (Nv_workloads.Ycsb.(make (with_contention level3 default)), 0 (* insert growth *))
+  (* A few-hundred-row YCSB for fast process-restart cycles: the chaos
+     harness cold-starts (and re-bulk-loads) the server dozens of times
+     per campaign, so load time dominates everything else. *)
+  | "ycsb-tiny" ->
+      ( Nv_workloads.Ycsb.(
+          make
+            (with_contention level3
+               { default with rows = 512; value_size = 64; update_bytes = 64; hot_rows = 32;
+                 ops_per_txn = 4 })),
+        0 )
   | "ycsb-smallrow" -> (Nv_workloads.Ycsb.(make (smallrow (with_contention level3 default))), 0)
   | "smallbank" -> (Nv_workloads.Smallbank.(make (with_contention level2 default)), 0)
   | "tpcc" -> (Nv_workloads.Tpcc.(make (with_contention level2 default)), 15)

@@ -156,6 +156,24 @@ let instantiate sp s (w : W.t) =
         ( (module Nv_zen.Zen_db.Engine),
           Nv_zen.Zen_db.Engine.create ~config ~tables:w.W.tables () )
 
+let recover sp s (w : W.t) ~pmem ~rebuild =
+  match sp.backend with
+  | Caracal _ ->
+      let config = caracal_config s w sp in
+      Engine_intf.Packed
+        ( (module Nvcaracal.Db.Serial_engine),
+          Nvcaracal.Db.Serial_engine.recover ~config ~tables:w.W.tables ~pmem ~rebuild () )
+  | Caracal_aria ->
+      let config = caracal_config s w sp in
+      Engine_intf.Packed
+        ( (module Nvcaracal.Db.Aria_engine),
+          Nvcaracal.Db.Aria_engine.recover ~config ~tables:w.W.tables ~pmem ~rebuild () )
+  | Zen ->
+      let config = zen_config s w sp in
+      Engine_intf.Packed
+        ( (module Nv_zen.Zen_db.Engine),
+          Nv_zen.Zen_db.Engine.recover ~config ~tables:w.W.tables ~pmem ~rebuild () )
+
 let state_digest (Engine_intf.Packed ((module E), db)) ~tables =
   let module Fnv = Nv_util.Fnv in
   let h = ref (Fnv.hash_string "committed-state") in

@@ -105,6 +105,19 @@ val instantiate :
 (** Create a fresh engine for the spec over the derived
     configuration. *)
 
+val recover :
+  spec ->
+  setup ->
+  Nv_workloads.Workload.t ->
+  pmem:Nv_nvmm.Pmem.t ->
+  rebuild:(bytes -> Nvcaracal.Txn.t) ->
+  Nvcaracal.Engine_intf.packed
+(** Reconstruct an engine of the spec from an existing arena image
+    (a crash image or a checkpoint's saved pmem). The derived
+    configuration must match the one the arena was created under —
+    same spec, setup and workload — and for NVCaracal backends that
+    configuration must be crash-safe. *)
+
 val state_digest : Nvcaracal.Engine_intf.packed -> tables:Nvcaracal.Table.t list -> int64
 (** Order-independent fingerprint of the committed state of [tables]:
     FNV over the sorted (table, key, value) rows. Engines holding equal

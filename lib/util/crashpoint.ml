@@ -1,0 +1,40 @@
+type state = { name : string; mutable remaining : int }
+
+let parse s =
+  if s = "" then None
+  else
+    match String.index_opt s ':' with
+    | None -> Some (s, 1)
+    | Some i -> (
+        let name = String.sub s 0 i in
+        let tail = String.sub s (i + 1) (String.length s - i - 1) in
+        if name = "" then None
+        else
+          match int_of_string_opt tail with
+          | Some n when n >= 1 -> Some (name, n)
+          | Some _ | None -> None)
+
+let state : state option =
+  match Sys.getenv_opt "NVC_CRASHPOINT" with
+  | None -> None
+  | Some s -> Option.map (fun (name, n) -> { name; remaining = n }) (parse s)
+
+let armed () = Option.map (fun st -> (st.name, st.remaining)) state
+
+let suppressed = ref false
+
+let suppress f =
+  let prev = !suppressed in
+  suppressed := true;
+  Fun.protect ~finally:(fun () -> suppressed := prev) f
+
+let hit name =
+  if !suppressed then ()
+  else
+    match state with
+    | None -> ()
+    | Some st ->
+      if String.equal st.name name then begin
+        st.remaining <- st.remaining - 1;
+        if st.remaining <= 0 then Unix.kill (Unix.getpid ()) Sys.sigkill
+      end

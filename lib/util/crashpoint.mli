@@ -1,0 +1,33 @@
+(** Named kill-9 injection points for crash testing.
+
+    A process armed with [NVC_CRASHPOINT=point:n] SIGKILLs itself the
+    [n]-th time execution reaches {!hit}[ point] — no atexit hooks, no
+    flushes, exactly the abrupt death a power failure or OOM kill
+    delivers. Unarmed (the default), {!hit} is a single comparison
+    against [None], cheap enough for per-transaction call sites.
+
+    The serving pipeline's points (see docs/FAULTS.md):
+    ["post-admit"] (batch formed, not yet journaled),
+    ["post-journal"] (journal record durable, epoch not yet run),
+    ["mid-epoch"] (inside [run_batch], between transactions),
+    ["pre-reply"] (epoch checkpointed, replies not yet sent). *)
+
+val parse : string -> (string * int) option
+(** Parse an [NVC_CRASHPOINT] value: ["point:n"] (die on the [n]-th
+    hit, [n >= 1]) or bare ["point"] (first hit). [None] on malformed
+    input or [n < 1]. *)
+
+val armed : unit -> (string * int) option
+(** The point this process is armed with and how many hits remain, or
+    [None]. *)
+
+val hit : string -> unit
+(** Note that execution reached [point]; SIGKILL the process if this
+    was the armed point's final countdown hit. *)
+
+val suppress : (unit -> 'a) -> 'a
+(** Run [f] with every {!hit} disarmed (countdowns do not advance).
+    Recovery replay runs under this: injected crashes model new
+    failures of {e live} serving, and a countdown that could re-fire
+    during the replay of already-journaled batches would crash-loop a
+    recovering server forever. *)

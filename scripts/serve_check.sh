@@ -89,3 +89,46 @@ grep -q '^clients served *32$' "$SERVER_OUT" || { echo "server did not see 32 cl
 
 echo "serve-check OK: 32 clients x 100 txns, clean shutdown, zero protocol errors"
 sed -n 's/^/  server: /p' "$SERVER_OUT"
+
+# --- Second leg: graceful SIGTERM shutdown of a journaled server. ---
+# No client ever sends Shutdown here; the operator does, with a signal.
+# The server must drain, flush its journal, remove the socket, and
+# exit 0.
+SOCK2="${TMPDIR:-/tmp}/nvdb-serve-term-$$.sock"
+JOURNAL2="${TMPDIR:-/tmp}/nvdb-serve-term-$$.journal"
+SERVER2_OUT="$(mktemp)"
+CLIENT2_OUT="$(mktemp)"
+trap 'kill $SERVER_PID $SERVER2_PID 2>/dev/null || true; rm -f "$SOCK" "$SERVER_OUT" "$CLIENT_OUT" "$STATS_OUT" "$STATS_JSONL" "$SOCK2" "$JOURNAL2" "$JOURNAL2.ckpt" "$SERVER2_OUT" "$CLIENT2_OUT"' EXIT
+
+"$NVDB" serve --workload ycsb --listen "$SOCK2" \
+  --batch-target 64 --deadline-ticks 4 --capacity 20000 \
+  --journal "$JOURNAL2" \
+  >"$SERVER2_OUT" 2>&1 &
+SERVER2_PID=$!
+
+for _ in $(seq 1 600); do
+  [ -S "$SOCK2" ] && break
+  kill -0 "$SERVER2_PID" 2>/dev/null || { echo "journaled server died before binding"; cat "$SERVER2_OUT"; exit 1; }
+  sleep 0.1
+done
+[ -S "$SOCK2" ] || { echo "journaled server never bound $SOCK2"; cat "$SERVER2_OUT"; exit 1; }
+
+# A short load with no Shutdown: clients drain via Bye and the server
+# keeps serving afterwards.
+"$NVDB" loadgen --workload ycsb --listen "$SOCK2" \
+  --clients 8 --txns 25 --window 4 \
+  >"$CLIENT2_OUT" 2>&1 || { echo "loadgen (SIGTERM leg) failed"; cat "$CLIENT2_OUT"; exit 1; }
+
+kill -TERM "$SERVER2_PID"
+SERVER2_RC=0
+wait "$SERVER2_PID" || SERVER2_RC=$?
+if [ "$SERVER2_RC" -ne 0 ]; then
+  echo "SIGTERM'd server exited with $SERVER2_RC (want 0)"; cat "$SERVER2_OUT"; exit 1
+fi
+grep -q '^protocol errors *0$' "$SERVER2_OUT" || { echo "SIGTERM leg: server-side protocol errors"; cat "$SERVER2_OUT"; exit 1; }
+grep -q '^admitted *200$' "$SERVER2_OUT" || { echo "SIGTERM leg: server did not admit all 200 txns"; cat "$SERVER2_OUT"; exit 1; }
+grep -q '^journal records ' "$SERVER2_OUT" || { echo "SIGTERM leg: no journal accounting in server stats"; cat "$SERVER2_OUT"; exit 1; }
+[ -S "$SOCK2" ] && { echo "SIGTERM'd server left its socket behind"; exit 1; }
+[ -f "$JOURNAL2" ] || { echo "SIGTERM leg: journal file missing"; exit 1; }
+
+echo "serve-check OK: SIGTERM drained a journaled server to a clean exit"

@@ -8,6 +8,8 @@ module F_proc = Nv_frontend.Proc
 module F_batcher = Nv_frontend.Batcher
 module F_server = Nv_frontend.Server
 module F_loadgen = Nv_frontend.Loadgen
+module F_journal = Nv_frontend.Journal
+module F_restart = Nv_frontend.Restart
 module Engine = Nv_harness.Engine
 module Engine_intf = Nvcaracal.Engine_intf
 module W = Nv_workloads.Workload
@@ -18,7 +20,8 @@ module Rng = Nv_util.Rng
 
 let requests : F_wire.request list =
   [
-    F_wire.Hello { client = 7 };
+    F_wire.Hello { client = 7; version = F_wire.protocol_version; resume = false; last_seq = 0 };
+    F_wire.Hello { client = 3; version = 2; resume = true; last_seq = 9_000_001 };
     F_wire.Submit { req = 42; proc = "ycsb.rmw"; args = Bytes.of_string "\x01\x02\x03" };
     F_wire.Submit { req = 0; proc = "p"; args = Bytes.empty };
     F_wire.Bye;
@@ -28,7 +31,8 @@ let requests : F_wire.request list =
 
 let responses : F_wire.response list =
   [
-    F_wire.Hello_ok;
+    F_wire.Hello_ok { version = 2; last_acked = 0 };
+    F_wire.Hello_ok { version = 1; last_acked = 123_456 };
     F_wire.Result { req = 3; outcome = `Committed };
     F_wire.Result { req = 9; outcome = `Aborted };
     F_wire.Rejected { req = 1; reason = `Overloaded };
@@ -111,7 +115,37 @@ let test_wire_errors () =
       F_wire.Reader.feed r b ~off:0 ~len:4;
       F_wire.Reader.next_payload r);
   (* Truncated Result payload. *)
-  raises (fun () -> F_wire.decode_response (Bytes.of_string "\x82\x00\x00"))
+  raises (fun () -> F_wire.decode_response (Bytes.of_string "\x82\x00\x00"));
+  (* A Hello claiming a protocol version above ours. *)
+  raises (fun () ->
+      let frame =
+        F_wire.encode_request
+          (F_wire.Hello
+             { client = 1; version = F_wire.protocol_version + 1; resume = false; last_seq = 0 })
+      in
+      F_wire.decode_request (Bytes.sub frame 4 (Bytes.length frame - 4)));
+  (* A v2 Hello with a garbage resume flag. *)
+  raises (fun () ->
+      let frame =
+        F_wire.encode_request
+          (F_wire.Hello { client = 1; version = 2; resume = true; last_seq = 5 })
+      in
+      let payload = Bytes.sub frame 4 (Bytes.length frame - 4) in
+      Bytes.set_uint8 payload 9 7;
+      F_wire.decode_request payload)
+
+(* Version 1 peers stay decodable: a label-only Hello and a bare
+   Hello_ok normalise to the v2 record with no session semantics. *)
+let test_wire_legacy_v1 () =
+  let p = Bytes.create 5 in
+  Bytes.set_uint8 p 0 0x01;
+  Bytes.set_int32_le p 1 9l;
+  (match F_wire.decode_request p with
+  | F_wire.Hello { client = 9; version = 1; resume = false; last_seq = 0 } -> ()
+  | _ -> Alcotest.fail "legacy Hello did not normalise");
+  match F_wire.decode_response (Bytes.make 1 '\x81') with
+  | F_wire.Hello_ok { version = 1; last_acked = 0 } -> ()
+  | _ -> Alcotest.fail "legacy Hello_ok did not normalise"
 
 (* Seeded fuzz over the reader + decoders: random byte streams, random
    fragmentation, and randomly corrupted valid frames must only ever
@@ -390,7 +424,7 @@ let test_batcher_overload () =
   (* The bound is hit: rejection is explicit, never a silent drop. *)
   (match submit_one b w a ~req:6 with
   | `Rejected `Overloaded -> ()
-  | `Admitted | `Rejected _ -> Alcotest.fail "expected `Overloaded");
+  | `Admitted | `Rejected _ | `Replayed _ | `Duplicate -> Alcotest.fail "expected `Overloaded");
   (match !(a.results) with
   | [ F_wire.Rejected { req = 6; reason = `Overloaded } ] -> ()
   | _ -> Alcotest.fail "rejection must be delivered on the reply channel");
@@ -477,6 +511,320 @@ let test_batcher_determinism spec () =
   Alcotest.(check int) "pmem sizes" (Bytes.length a) (Bytes.length r);
   Alcotest.(check bool) "pmem byte image identical" true (Bytes.equal a r)
 
+let pmem_image packed =
+  match packed with
+  | Engine_intf.Packed ((module E), db) ->
+      let p = E.pmem db in
+      Nv_nvmm.Pmem.read_bytes p ~off:0 ~len:(Nv_nvmm.Pmem.size p)
+
+(* ------------------------------------------------------------------ *)
+(* Crashpoints                                                         *)
+
+let test_crashpoint_parse () =
+  let module C = Nv_util.Crashpoint in
+  assert (C.parse "mid-epoch:3" = Some ("mid-epoch", 3));
+  assert (C.parse "p" = Some ("p", 1));
+  assert (C.parse "" = None);
+  assert (C.parse ":2" = None);
+  assert (C.parse "p:0" = None);
+  assert (C.parse "p:-1" = None);
+  assert (C.parse "p:x" = None);
+  (* The test runner is never armed: hits are free no-ops, suppressed
+     or not. *)
+  assert (C.armed () = None);
+  C.hit "anything";
+  C.suppress (fun () -> C.hit "anything")
+
+(* ------------------------------------------------------------------ *)
+(* Durable admission journal                                           *)
+
+let tmpfile name =
+  Filename.concat (Filename.get_temp_dir_name ())
+    (Printf.sprintf "nvdb-test-%d-%s" (Unix.getpid ()) name)
+
+let jmeta = "workload=test contention=low engine=serial seed=1"
+
+let mk_entries b n =
+  List.init n (fun i ->
+      {
+        F_journal.j_client = 1 + (i mod 3);
+        j_seq = (b * 100) + i;
+        j_call = Bytes.of_string (Printf.sprintf "call-%d-%d" b i);
+      })
+
+let test_journal_roundtrip () =
+  let path = tmpfile "journal-rt" in
+  (try Sys.remove path with Sys_error _ -> ());
+  let j = F_journal.create ~path ~meta:jmeta () in
+  let batches = List.init 5 (fun b -> (b, mk_entries b (1 + b))) in
+  List.iter (fun (b, es) -> F_journal.append j ~batch:b ~entries:es) batches;
+  (* Destination-not-journey discipline: an append leaves nothing
+     unflushed behind — what a kill-9 right now would preserve is
+     exactly what was appended. *)
+  Alcotest.(check int) "no dirty lines after append" 0
+    (Nv_nvmm.Pmem.dirty_line_count (F_journal.pmem j));
+  Alcotest.(check int) "record count" 5 (F_journal.record_count j);
+  F_journal.close j;
+  let o = F_journal.load ~path ~meta:jmeta in
+  Alcotest.(check bool) "no torn tail" false o.F_journal.torn_tail;
+  assert (o.F_journal.checkpoint = None);
+  Alcotest.(check int) "reloaded record count" 5 (List.length o.F_journal.records);
+  List.iter2
+    (fun (b, es) r ->
+      Alcotest.(check int) "batch number" b r.F_journal.r_batch;
+      assert (r.F_journal.r_entries = es))
+    batches o.F_journal.records;
+  F_journal.close o.F_journal.journal;
+  (* Replaying against the wrong serving configuration is refused. *)
+  (match F_journal.load ~path ~meta:"workload=other contention=low engine=serial seed=1" with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "meta mismatch accepted");
+  Sys.remove path
+
+(* A torn or bit-rotted tail record is healed: the CRC-valid prefix
+   survives, the damage is reported, and the journal appends on. *)
+let test_journal_torn_tail () =
+  let path = tmpfile "journal-torn" in
+  (try Sys.remove path with Sys_error _ -> ());
+  let j = F_journal.create ~path ~meta:jmeta () in
+  List.iter (fun b -> F_journal.append j ~batch:b ~entries:(mk_entries b 3)) [ 0; 1; 2 ];
+  let used = F_journal.used_bytes j in
+  F_journal.close j;
+  (* Corrupt a byte inside the last record's span — a torn mirror
+     write at the moment of the crash. *)
+  let fd = Unix.openfile path [ Unix.O_WRONLY ] 0o644 in
+  (* [- 16] keeps the flip inside CRC-covered payload bytes, clear of
+     the record's final pad-to-8 slack. *)
+  ignore (Unix.lseek fd (F_journal.records_offset + used - 16) Unix.SEEK_SET);
+  ignore (Unix.write fd (Bytes.make 1 '\xff') 0 1);
+  Unix.close fd;
+  let o = F_journal.load ~path ~meta:jmeta in
+  Alcotest.(check bool) "torn tail reported" true o.F_journal.torn_tail;
+  Alcotest.(check int) "prefix survives" 2 (List.length o.F_journal.records);
+  List.iteri
+    (fun i r -> Alcotest.(check int) "prefix batch" i r.F_journal.r_batch)
+    o.F_journal.records;
+  F_journal.close o.F_journal.journal;
+  Sys.remove path
+
+let test_journal_checkpoint_truncate () =
+  let path = tmpfile "journal-ckpt" in
+  (try Sys.remove path with Sys_error _ -> ());
+  (try Sys.remove (path ^ ".ckpt") with Sys_error _ -> ());
+  let j = F_journal.create ~path ~meta:jmeta () in
+  List.iter (fun b -> F_journal.append j ~batch:b ~entries:(mk_entries b 2)) [ 0; 1 ];
+  let sessions =
+    [ { F_journal.ss_client = 5; ss_last_acked = 7; ss_window = [ (6, `Committed); (7, `Aborted) ] } ]
+  in
+  F_journal.write_checkpoint j ~batches:2 ~sessions ~image:(Bytes.of_string "IMAGE-BYTES");
+  F_journal.truncate_to j ~batch:2;
+  Alcotest.(check int) "truncated" 0 (F_journal.record_count j);
+  F_journal.append j ~batch:2 ~entries:(mk_entries 2 4);
+  F_journal.close j;
+  let o = F_journal.load ~path ~meta:jmeta in
+  (match o.F_journal.checkpoint with
+  | None -> Alcotest.fail "checkpoint lost"
+  | Some ck ->
+      Alcotest.(check int) "covered batches" 2 ck.F_journal.ck_batches;
+      assert (ck.F_journal.ck_sessions = sessions);
+      assert (Bytes.to_string ck.F_journal.ck_image = "IMAGE-BYTES"));
+  (match o.F_journal.records with
+  | [ r ] ->
+      Alcotest.(check int) "only the uncovered tail remains" 2 r.F_journal.r_batch;
+      assert (r.F_journal.r_entries = mk_entries 2 4)
+  | rs -> Alcotest.failf "expected 1 surviving record, got %d" (List.length rs));
+  F_journal.close o.F_journal.journal;
+  Sys.remove path;
+  Sys.remove (path ^ ".ckpt")
+
+(* ------------------------------------------------------------------ *)
+(* Exactly-once sessions                                               *)
+
+let test_batcher_session_dedup () =
+  let w = small_ycsb () in
+  let cfg = F_batcher.config ~batch_target:4 ~deadline_ticks:2 () in
+  let b = mk_batcher ~cfg spec_serial w in
+  let results = ref [] in
+  let c = F_batcher.connect b ~reply:(Some (fun r -> results := r :: !results)) in
+  let id = F_batcher.client_id c in
+  let rng = Rng.create 5 in
+  let proc, args = w.W.gen_call rng in
+  assert (F_batcher.submit b c ~req:1 ~proc ~args = `Admitted);
+  (* Retried while still in flight: swallowed — the original reply will
+     answer it, nothing runs twice. *)
+  assert (F_batcher.submit b c ~req:1 ~proc ~args = `Duplicate);
+  F_batcher.drain b;
+  let outcome1 =
+    match !results with
+    | [ F_wire.Result { req = 1; outcome } ] -> outcome
+    | rs -> Alcotest.failf "expected exactly one Result, got %d replies" (List.length rs)
+  in
+  Alcotest.(check int) "one admission" 1 (F_batcher.admitted b);
+  (* Retried after the answer: replayed from the dedup window with the
+     original outcome, not re-executed. *)
+  (match F_batcher.submit b c ~req:1 ~proc ~args with
+  | `Replayed o -> assert (o = outcome1)
+  | _ -> Alcotest.fail "expected `Replayed");
+  Alcotest.(check int) "replayed reply resent" 2 (List.length !results);
+  Alcotest.(check int) "replayed counter" 1 (F_batcher.replayed_replies b);
+  Alcotest.(check int) "still one admission" 1 (F_batcher.admitted b);
+  Alcotest.(check int) "last acked" 1 (F_batcher.last_acked c);
+  (* Resume: same session, window intact, reply channel swapped. *)
+  let results2 = ref [] in
+  let c2 = F_batcher.connect b ~id ~resume:true ~reply:(Some (fun r -> results2 := r :: !results2)) in
+  Alcotest.(check int) "resumed last_acked" 1 (F_batcher.last_acked c2);
+  (match F_batcher.submit b c2 ~req:1 ~proc ~args with
+  | `Replayed o -> assert (o = outcome1)
+  | _ -> Alcotest.fail "resume lost the dedup window");
+  Alcotest.(check int) "replay lands on the new channel" 1 (List.length !results2);
+  (* Non-resume reconnect resets the session: the window is gone and
+     the same seq executes anew. *)
+  let c3 = F_batcher.connect b ~id ~reply:(Some ignore) in
+  Alcotest.(check int) "reset last_acked" 0 (F_batcher.last_acked c3);
+  assert (F_batcher.submit b c3 ~req:1 ~proc ~args = `Admitted);
+  F_batcher.drain b;
+  Alcotest.(check int) "re-executed after reset" 2 (F_batcher.admitted b);
+  Alcotest.(check int) "one session throughout" 1 (F_batcher.sessions b)
+
+(* ------------------------------------------------------------------ *)
+(* Crash-replay determinism: a journaled run, then a fresh engine fed
+   the journal through Batcher.recover — digests, counters and the raw
+   pmem byte image must all match (what --recover relies on).          *)
+
+let test_batcher_journal_replay spec () =
+  let w = small_ycsb () in
+  let cfg = F_batcher.config ~batch_target:16 ~deadline_ticks:2 ~max_pending:4096 () in
+  let registry = F_proc.of_workload w in
+  let j = F_journal.create ~meta:jmeta () in
+  let b =
+    F_batcher.create ~cfg ~journal:j ~engine:(loaded_engine spec w) ~registry ~tables:w.W.tables
+      ()
+  in
+  let clients = Array.init 8 (fun i -> mk_client ~seed:(40 + i) b) in
+  for round = 0 to 11 do
+    Array.iteri (fun i cl -> ignore (submit_one b w cl ~req:(round + (i * 1000)))) clients;
+    F_batcher.tick b
+  done;
+  F_batcher.drain b;
+  let records, torn = F_journal.rescan j in
+  assert (not torn);
+  assert (records <> []);
+  let b2 =
+    F_batcher.create ~cfg ~engine:(loaded_engine spec w) ~registry ~tables:w.W.tables ()
+  in
+  F_batcher.recover b2 ~records ~sessions:[] ~batches_done:0;
+  Alcotest.(check int64) "digest after replay" (F_batcher.state_digest b)
+    (F_batcher.state_digest b2);
+  Alcotest.(check int) "batches after replay" (F_batcher.batches_run b)
+    (F_batcher.batches_run b2);
+  Alcotest.(check int) "admissions after replay" (F_batcher.admitted b) (F_batcher.admitted b2);
+  Alcotest.(check bool) "pmem image identical after replay" true
+    (Bytes.equal (pmem_image (F_batcher.engine b)) (pmem_image (F_batcher.engine b2)))
+
+(* Checkpoint + truncate mid-run, keep going, "crash", then recover
+   from the file: engine image from the checkpoint, tail from the
+   journal — the composition must equal the uncrashed original.       *)
+let test_restart_checkpoint_twin () =
+  let w = small_ycsb () in
+  let spec = { spec_serial with Engine.crash_safe = true } in
+  let setup = Engine.setup ~epochs:64 ~epoch_txns:64 () in
+  let registry = F_proc.of_workload w in
+  let path = tmpfile "journal-twin" in
+  (try Sys.remove path with Sys_error _ -> ());
+  (try Sys.remove (path ^ ".ckpt") with Sys_error _ -> ());
+  let mk_eng () =
+    let packed = Engine.instantiate spec setup w in
+    (match packed with Engine_intf.Packed ((module E), db) -> E.bulk_load db (w.W.load ()));
+    packed
+  in
+  let cfg = F_batcher.config ~batch_target:8 ~deadline_ticks:2 ~max_pending:4096 () in
+  let j = F_journal.create ~path ~meta:jmeta () in
+  let b = F_batcher.create ~cfg ~journal:j ~engine:(mk_eng ()) ~registry ~tables:w.W.tables () in
+  let clients = Array.init 4 (fun i -> mk_client ~seed:(60 + i) b) in
+  let round b clients r =
+    Array.iteri (fun i cl -> ignore (submit_one b w cl ~req:(r + (i * 1000)))) clients;
+    F_batcher.tick b
+  in
+  for r = 0 to 5 do
+    round b clients r
+  done;
+  F_batcher.flush b;
+  Alcotest.(check bool) "checkpoint written" true (F_batcher.checkpoint_now b);
+  for r = 6 to 11 do
+    round b clients r
+  done;
+  F_batcher.drain b;
+  let digest_a = F_batcher.state_digest b in
+  let image_a = pmem_image (F_batcher.engine b) in
+  (* The "crash": reopen the durable artifacts, restore, replay. *)
+  let o = F_journal.load ~path ~meta:jmeta in
+  let boot = F_restart.boot spec setup w ~registry o in
+  Alcotest.(check bool) "restored from the checkpoint" true boot.F_restart.from_checkpoint;
+  assert (boot.F_restart.batches_done > 0);
+  let b2 =
+    F_batcher.create ~cfg ~engine:boot.F_restart.engine ~registry ~tables:w.W.tables ()
+  in
+  F_batcher.recover b2 ~records:o.F_journal.records ~sessions:boot.F_restart.sessions
+    ~batches_done:boot.F_restart.batches_done;
+  Alcotest.(check int64) "twin digest" digest_a (F_batcher.state_digest b2);
+  Alcotest.(check bool) "twin pmem image" true
+    (Bytes.equal image_a (pmem_image (F_batcher.engine b2)));
+  Alcotest.(check int) "twin batch count" (F_batcher.batches_run b) (F_batcher.batches_run b2);
+  F_journal.close o.F_journal.journal;
+  F_journal.close j;
+  Sys.remove path;
+  Sys.remove (path ^ ".ckpt")
+
+(* ------------------------------------------------------------------ *)
+(* Aria deferred carryover under sustained overload: conflicts defer,
+   overload rejects, and through all of it every admitted call is
+   answered exactly once and the carryover fully drains.               *)
+
+let test_batcher_aria_overload_carryover () =
+  let w =
+    Nv_workloads.Ycsb.(
+      make
+        (with_contention `High
+           { default with rows = 256; value_size = 64; update_bytes = 32; hot_rows = 8;
+             ops_per_txn = 4 }))
+  in
+  let cfg = F_batcher.config ~batch_target:16 ~deadline_ticks:2 ~max_pending:32 () in
+  let b = mk_batcher ~cfg spec_aria w in
+  let clients = Array.init 8 (fun i -> mk_client ~seed:(80 + i) b) in
+  let rejected = ref 0 in
+  for round = 0 to 39 do
+    Array.iteri
+      (fun i cl ->
+        for k = 0 to 2 do
+          match submit_one b w cl ~req:((round * 3) + k + (i * 10_000)) with
+          | `Admitted -> ()
+          | `Rejected `Overloaded -> incr rejected
+          | `Rejected `Unknown_proc | `Replayed _ | `Duplicate ->
+              Alcotest.fail "unexpected submit result"
+        done)
+      clients;
+    F_batcher.tick b
+  done;
+  Alcotest.(check bool) "conflicts actually deferred" true (F_batcher.deferred_total b > 0);
+  Alcotest.(check bool) "overload actually rejected" true (!rejected > 0);
+  F_batcher.drain b;
+  Alcotest.(check int) "carryover fully drained" 0 (F_batcher.carryover_len b);
+  Alcotest.(check int) "every admission answered"
+    (F_batcher.admitted b)
+    (F_batcher.committed b + F_batcher.aborted b);
+  (* Exactly one answer per admitted request: deferral retries must not
+     leak duplicate replies. *)
+  Array.iter
+    (fun cl ->
+      let reqs =
+        List.filter_map
+          (function F_wire.Result { req; _ } -> Some req | _ -> None)
+          !(cl.results)
+      in
+      Alcotest.(check int) "no duplicate replies" (List.length reqs)
+        (List.length (List.sort_uniq compare reqs)))
+    clients
+
 (* ------------------------------------------------------------------ *)
 (* Sockets end to end: a real server thread, a real multi-client load
    generator, zero protocol errors, clean shutdown. *)
@@ -526,6 +874,49 @@ let test_socket_end_to_end () =
   (* Every client got a digest with its goodbye. *)
   assert (List.length lstats.F_loadgen.digests = 8);
   assert (not (Sys.file_exists path))
+
+(* should_stop (what SIGTERM/SIGINT toggle in nvdb serve): the select
+   loop notices, drains, answers everyone and exits cleanly. *)
+let test_server_should_stop () =
+  let w = small_ycsb () in
+  let path = tmpfile "stop.sock" in
+  if Sys.file_exists path then Sys.remove path;
+  let engine = loaded_engine spec_serial w in
+  let registry = F_proc.of_workload w in
+  let scfg =
+    F_server.config
+      ~batcher:(F_batcher.config ~batch_target:16 ~deadline_ticks:2 ())
+      ~tick_interval_s:0.001 (`Unix path)
+  in
+  let stop = ref false in
+  let stats = ref None in
+  let th =
+    Thread.create
+      (fun () ->
+        stats :=
+          Some
+            (F_server.serve
+               ~should_stop:(fun () -> !stop)
+               ~engine ~registry ~tables:w.W.tables scfg))
+      ()
+  in
+  let waited = ref 0 in
+  while (not (Sys.file_exists path)) && !waited < 5000 do
+    Thread.delay 0.001;
+    incr waited
+  done;
+  let lcfg = F_loadgen.config ~clients:4 ~txns_per_client:20 ~seed:5 ~window:2 (`Unix path) in
+  let lstats = F_loadgen.run lcfg w in
+  stop := true;
+  Thread.join th;
+  let sstats = match !stats with Some s -> s | None -> Alcotest.fail "server died" in
+  Alcotest.(check int) "client protocol errors" 0 lstats.F_loadgen.protocol_errors;
+  Alcotest.(check int) "server protocol errors" 0 sstats.F_server.protocol_errors;
+  Alcotest.(check int) "all answered" (4 * 20)
+    (lstats.F_loadgen.committed + lstats.F_loadgen.aborted + lstats.F_loadgen.rejected);
+  Alcotest.(check int) "server agrees on commits" lstats.F_loadgen.committed
+    sstats.F_server.committed;
+  Alcotest.(check bool) "socket removed on exit" false (Sys.file_exists path)
 
 (* ------------------------------------------------------------------ *)
 (* Garbage on the served path: malformed frames are answered with
@@ -672,7 +1063,20 @@ let suites =
         Alcotest.test_case "round-trips every message" `Quick test_wire_roundtrip;
         Alcotest.test_case "reassembles fragmented reads" `Quick test_wire_partial;
         Alcotest.test_case "malformed input raises Protocol_error" `Quick test_wire_errors;
+        Alcotest.test_case "legacy v1 Hello/Hello_ok still decode" `Quick test_wire_legacy_v1;
         Alcotest.test_case "fuzzed frames never crash the decoder" `Quick test_wire_fuzz;
+      ] );
+    ( "frontend.crashpoint",
+      [ Alcotest.test_case "NVC_CRASHPOINT parsing and suppression" `Quick test_crashpoint_parse ]
+    );
+    ( "frontend.journal",
+      [
+        Alcotest.test_case "append/load round-trip, meta guard, clean lines" `Quick
+          test_journal_roundtrip;
+        Alcotest.test_case "torn tail healed to the CRC-valid prefix" `Quick
+          test_journal_torn_tail;
+        Alcotest.test_case "checkpoint + truncate keep only the uncovered tail" `Quick
+          test_journal_checkpoint_truncate;
       ] );
     ( "frontend.proc",
       [ Alcotest.test_case "registry round-trips generated calls" `Quick test_proc_registry ] );
@@ -700,10 +1104,24 @@ let suites =
           (test_batcher_determinism spec_serial);
         Alcotest.test_case "served equals replayed (aria, 32 clients)" `Quick
           (test_batcher_determinism spec_aria);
+        Alcotest.test_case "session dedup: duplicate, replayed, resume, reset" `Quick
+          test_batcher_session_dedup;
+        Alcotest.test_case "aria carryover drains under sustained overload" `Quick
+          test_batcher_aria_overload_carryover;
+      ] );
+    ( "frontend.recovery",
+      [
+        Alcotest.test_case "journal replay reproduces the run (serial)" `Quick
+          (test_batcher_journal_replay spec_serial);
+        Alcotest.test_case "journal replay reproduces the run (aria)" `Quick
+          (test_batcher_journal_replay spec_aria);
+        Alcotest.test_case "checkpoint + tail replay equals the uncrashed twin" `Quick
+          test_restart_checkpoint_twin;
       ] );
     ( "frontend.sockets",
       [
         Alcotest.test_case "serve + loadgen over a unix socket" `Quick test_socket_end_to_end;
+        Alcotest.test_case "should_stop drains and exits cleanly" `Quick test_server_should_stop;
         Alcotest.test_case "garbage frames cost only their connection (serial)" `Quick
           (test_socket_garbage_resilience spec_serial);
         Alcotest.test_case "garbage frames cost only their connection (aria)" `Quick
