@@ -41,6 +41,7 @@ type client = {
   id : int;
   mutable gen : int;
   mutable reply : (Wire.response -> unit) option;  (** [None] while disconnected *)
+  mutable owner : int;  (** bumped per attach; stale connections hold old tokens *)
   q : entry Queue.t;
   mutable outstanding : int;  (** admitted, not yet replied (current gen) *)
   mutable last_acked : int;  (** highest acknowledged seq *)
@@ -153,6 +154,7 @@ let fresh_session id reply =
     id;
     gen = 0;
     reply;
+    owner = 0;
     q = Queue.create ();
     outstanding = 0;
     last_acked = 0;
@@ -178,6 +180,7 @@ let connect ?id ?(resume = false) t ~reply =
   match Hashtbl.find_opt t.clients id with
   | Some c when resume ->
       c.reply <- reply;
+      c.owner <- c.owner + 1;
       c
   | Some c ->
       (* A fresh (non-resume) start on a known id resets the session:
@@ -186,6 +189,7 @@ let connect ?id ?(resume = false) t ~reply =
          commitment) but their replies are suppressed. *)
       c.gen <- c.gen + 1;
       c.reply <- reply;
+      c.owner <- c.owner + 1;
       Hashtbl.reset c.window;
       Queue.clear c.order;
       Hashtbl.reset c.inflight;
@@ -200,8 +204,16 @@ let connect ?id ?(resume = false) t ~reply =
 (* A disconnect never cancels admitted work, and it no longer forgets
    the session either: the dedup window must survive so a reconnect
    with [resume] gets exactly-once semantics. Only the reply channel
-   drops. *)
-let disconnect _t c = c.reply <- None
+   drops — and only if it still belongs to the disconnecting attach:
+   last-Hello-wins takeover means a stale connection's late close must
+   not clobber the channel the session's live connection just
+   installed. *)
+let owner_token c = c.owner
+
+let disconnect ?token _t c =
+  match token with
+  | Some tok when tok <> c.owner -> ()
+  | Some _ | None -> c.reply <- None
 
 let send c resp = match c.reply with Some f -> f resp | None -> ()
 
@@ -367,8 +379,12 @@ let run t =
   t.open_since <- (if t.pending_total > 0 then t.tick else -1);
   depth_gauge t
 
+(* A submit on a disconnected session (reply = None) is admitted
+   normally — [send] just drops the replies. It happens when a stale
+   connection outlives a takeover: the work executes, the outcome lands
+   in the dedup window, and the session's next resume replays it.
+   Raising here would let one confused client kill the event loop. *)
 let submit t c ~req ~proc ~args =
-  if c.reply = None then invalid_arg "Batcher.submit: disconnected client";
   match Hashtbl.find_opt c.window req with
   | Some o ->
       (* Exactly-once: a retry of an acknowledged seq returns the
@@ -415,6 +431,19 @@ let submit t c ~req ~proc ~args =
             if t.open_since < 0 then t.open_since <- t.tick;
             depth_gauge t;
             `Admitted
+
+(* Non-admitting probe for a draining server: retries of acknowledged
+   seqs still replay their original outcome (exactly-once survives the
+   shutdown window), in-flight seqs are left to the reply their
+   admission already owes, and only a genuinely new seq is reported
+   back for the caller to reject. *)
+let try_replay t c ~req =
+  match Hashtbl.find_opt c.window req with
+  | Some o ->
+      t.replayed <- t.replayed + 1;
+      send c (Wire.Result { req; outcome = o });
+      `Replayed o
+  | None -> if Hashtbl.mem c.inflight req then `Inflight else `New
 
 (* Batches close on ticks, not inside [submit]: submissions arriving
    within one event-loop round pile up (bounded by [max_pending]), and

@@ -80,10 +80,18 @@ val connect : ?id:int -> ?resume:bool -> t -> reply:(Wire.response -> unit) opti
     the session's [Result]/[Rejected] messages ([None] for
     fire-and-forget). *)
 
-val disconnect : t -> client -> unit
+val disconnect : ?token:int -> t -> client -> unit
 (** Drop the reply channel. The session itself persists: admitted
     transactions still execute in their epoch and their outcomes land
-    in the dedup window, ready for a resumed retry. *)
+    in the dedup window, ready for a resumed retry. With [token] (from
+    {!owner_token} at attach time), the channel is dropped only if this
+    attach still owns it — a stale connection closing after a
+    last-Hello-wins takeover must not sever the new connection. *)
+
+val owner_token : client -> int
+(** Identifies the current attach of this session; changes on every
+    {!connect} that targets it. Pass it back to {!disconnect} so only
+    the owning connection can drop the reply channel. *)
 
 val submit :
   t ->
@@ -100,8 +108,16 @@ val submit :
     ([`Replayed]); if it is still in flight nothing is sent
     ([`Duplicate] — the original reply will answer it); otherwise it is
     admitted into the FIFO or rejected, with the rejection also sent on
-    the reply channel. Raises [Invalid_argument] on a disconnected
-    client. *)
+    the reply channel. A disconnected session admits normally — replies
+    are dropped, outcomes still land in the dedup window for a resumed
+    retry. *)
+
+val try_replay :
+  t -> client -> req:int -> [ `Replayed of [ `Committed | `Aborted ] | `Inflight | `New ]
+(** Non-admitting probe (used while a server drains): a [req] in the
+    dedup window replays its original outcome on the reply channel; an
+    in-flight [req] is left to the reply its admission already owes;
+    only [`New] means the caller should reject. *)
 
 val tick : t -> unit
 (** Advance the batcher's clock one tick; closes and runs the open

@@ -318,7 +318,18 @@ let write_checkpoint t ~batches ~sessions ~image =
       done;
       Unix.fsync fd;
       Unix.close fd;
-      Unix.rename tmp p
+      Unix.rename tmp p;
+      (* The rename itself must be durable before the caller truncates
+         the journal: under power loss (not just kill-9) a lost rename
+         with a surviving truncation would orphan the covered records.
+         Directory fsync is the POSIX way to persist the name change;
+         some filesystems refuse it, in which case we are back to the
+         process-crash durability model. *)
+      (match Unix.openfile (Filename.dirname p) [ Unix.O_RDONLY ] 0 with
+      | dfd ->
+          (try Unix.fsync dfd with Unix.Unix_error _ -> ());
+          Unix.close dfd
+      | exception Unix.Unix_error _ -> ())
 
 let load_checkpoint ~path ~meta =
   let p = path ^ ".ckpt" in

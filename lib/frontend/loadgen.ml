@@ -67,19 +67,32 @@ type client = {
   latency : Nv_util.Histogram.t;  (** submit-to-answer wall ns, this client *)
 }
 
+(* A failed connect must close the socket it opened: the reconnect path
+   swallows the error and backs off, and against a crash-looping server
+   the leaked descriptors would otherwise climb past FD_SETSIZE and
+   turn every later [select] into EINVAL. *)
+let connect_to fd addr =
+  try
+    Unix.connect fd addr;
+    fd
+  with e ->
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    raise e
+
 let connect_fd = function
   | `Unix path ->
-      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-      Unix.connect fd (Unix.ADDR_UNIX path);
-      fd
+      connect_to (Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0) (Unix.ADDR_UNIX path)
   | `Tcp (host, port) ->
       let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
       let addr =
         try Unix.inet_addr_of_string host
-        with _ -> (Unix.gethostbyname host).Unix.h_addr_list.(0)
+        with _ -> (
+          try (Unix.gethostbyname host).Unix.h_addr_list.(0)
+          with e ->
+            (try Unix.close fd with Unix.Unix_error _ -> ());
+            raise e)
       in
-      Unix.connect fd (Unix.ADDR_INET (addr, port));
-      fd
+      connect_to fd (Unix.ADDR_INET (addr, port))
 
 let write_all fd b =
   let len = Bytes.length b in

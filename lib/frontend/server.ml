@@ -41,6 +41,7 @@ type conn = {
   out : bytes Queue.t;
   mutable out_off : int;  (** bytes of the head frame already written *)
   mutable client : Batcher.client option;
+  mutable owner : int;  (** {!Batcher.owner_token} at this conn's Hello *)
   mutable said_bye : bool;
   mutable closing : bool;
   mutable dead : bool;
@@ -106,7 +107,12 @@ let push t conn resp =
 let close_conn t conn =
   if not conn.dead then begin
     conn.dead <- true;
-    (match conn.client with Some c -> Batcher.disconnect t.batcher c | None -> ());
+    (* Token-gated: if another connection has since taken this session
+       over (last Hello wins), its reply channel must survive our
+       close. *)
+    (match conn.client with
+    | Some c -> Batcher.disconnect ~token:conn.owner t.batcher c
+    | None -> ());
     Hashtbl.remove t.conns conn.fd;
     (try Unix.close conn.fd with Unix.Unix_error _ -> ())
   end
@@ -250,13 +256,20 @@ let handle_request t conn (req : Wire.request) =
           ~reply:(Some (fun r -> push t conn r))
       in
       conn.client <- Some c;
+      conn.owner <- Batcher.owner_token c;
       t.served <- t.served + 1;
       push t conn (Wire.Hello_ok { version; last_acked = Batcher.last_acked c })
   | Wire.Submit _, None -> protocol_error t conn "Submit before Hello"
-  | Wire.Submit { req; _ }, Some _ when t.draining ->
-      (* Graceful stop: stragglers get an explicit Overloaded, never
-         silence — they will retry against the restarted server. *)
-      push t conn (Wire.Rejected { req; reason = `Overloaded })
+  | Wire.Submit { req; _ }, Some client when t.draining -> (
+      (* Graceful stop: the dedup window still answers first, so a
+         retransmit of an already-committed seq gets its original
+         outcome (exactly-once survives the shutdown window) and an
+         in-flight seq keeps the reply its admission owes. Only
+         genuinely new work gets an explicit Overloaded, never silence —
+         it will retry against the restarted server. *)
+      match Batcher.try_replay t.batcher client ~req with
+      | `Replayed _ | `Inflight -> ()
+      | `New -> push t conn (Wire.Rejected { req; reason = `Overloaded }))
   | Wire.Submit { req; proc; args }, Some client ->
       if conn.said_bye then protocol_error t conn "Submit after Bye"
       else ignore (Batcher.submit t.batcher client ~req ~proc ~args)
@@ -306,6 +319,7 @@ let accept_new t =
             out = Queue.create ();
             out_off = 0;
             client = None;
+            owner = 0;
             said_bye = false;
             closing = false;
             dead = false;

@@ -132,9 +132,12 @@ let decode_request payload =
       Hello { client; version = 1; resume = false; last_seq = 0 }
     else begin
       need payload 18;
+      (* Any version >= 1 decodes: a future v3 client must be able to
+         reach the server and negotiate down (the Hello_ok replies with
+         min(client, server)). Unknown tail bytes are ignored — newer
+         Hellos may only append fields. *)
       let version = get_u32 payload 5 in
-      if version < 1 || version > protocol_version then
-        err "unsupported protocol version %d" version;
+      if version < 1 then err "unsupported protocol version %d" version;
       let resume =
         match Bytes.get_uint8 payload 9 with
         | 0 -> false

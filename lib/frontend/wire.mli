@@ -17,8 +17,10 @@ val max_frame : int
 
 val protocol_version : int
 (** The protocol version this build speaks (2). Version 1 frames
-    (label-only [Hello], bare [Hello_ok]) are still decoded; a [Hello]
-    claiming a version above this is a protocol error. *)
+    (label-only [Hello], bare [Hello_ok]) are still decoded, and a
+    [Hello] claiming a {e higher} version is accepted too — the server
+    clamps to its own version in [Hello_ok] (min of both sides), so
+    future clients can connect and negotiate down. *)
 
 type request =
   | Hello of { client : int; version : int; resume : bool; last_seq : int }

@@ -116,14 +116,25 @@ let test_wire_errors () =
       F_wire.Reader.next_payload r);
   (* Truncated Result payload. *)
   raises (fun () -> F_wire.decode_response (Bytes.of_string "\x82\x00\x00"));
-  (* A Hello claiming a protocol version above ours. *)
+  (* A Hello claiming version 0 is nonsense... *)
   raises (fun () ->
       let frame =
         F_wire.encode_request
-          (F_wire.Hello
-             { client = 1; version = F_wire.protocol_version + 1; resume = false; last_seq = 0 })
+          (F_wire.Hello { client = 1; version = 0; resume = false; last_seq = 0 })
       in
       F_wire.decode_request (Bytes.sub frame 4 (Bytes.length frame - 4)));
+  (* ...but a version above ours must decode — the server clamps in its
+     Hello_ok, so a future client can connect and negotiate down. *)
+  (let frame =
+     F_wire.encode_request
+       (F_wire.Hello
+          { client = 1; version = F_wire.protocol_version + 1; resume = true; last_seq = 7 })
+   in
+   match F_wire.decode_request (Bytes.sub frame 4 (Bytes.length frame - 4)) with
+   | F_wire.Hello { client = 1; version = v; resume = true; last_seq = 7 }
+     when v = F_wire.protocol_version + 1 ->
+       ()
+   | _ -> Alcotest.fail "future-version Hello did not decode");
   (* A v2 Hello with a garbage resume flag. *)
   raises (fun () ->
       let frame =
@@ -686,6 +697,72 @@ let test_batcher_session_dedup () =
   Alcotest.(check int) "re-executed after reset" 2 (F_batcher.admitted b);
   Alcotest.(check int) "one session throughout" 1 (F_batcher.sessions b)
 
+(* Last-Hello-wins takeover: when a second connection resumes a session,
+   the first connection's late disconnect carries a stale owner token
+   and must not sever the new reply channel; and a submit on a severed
+   session admits without raising (the outcome lands in the dedup
+   window for a later resume). *)
+let test_batcher_takeover () =
+  let w = small_ycsb () in
+  let cfg = F_batcher.config ~batch_target:4 ~deadline_ticks:2 () in
+  let b = mk_batcher ~cfg spec_serial w in
+  let r1 = ref [] and r2 = ref [] in
+  let c1 = F_batcher.connect b ~reply:(Some (fun r -> r1 := r :: !r1)) in
+  let id = F_batcher.client_id c1 in
+  let tok1 = F_batcher.owner_token c1 in
+  let rng = Rng.create 3 in
+  let proc, args = w.W.gen_call rng in
+  let c2 = F_batcher.connect b ~id ~resume:true ~reply:(Some (fun r -> r2 := r :: !r2)) in
+  assert (F_batcher.owner_token c2 <> tok1);
+  (* The stale connection closes after the takeover: token mismatch,
+     the live channel survives. *)
+  F_batcher.disconnect ~token:tok1 b c1;
+  assert (F_batcher.submit b c2 ~req:1 ~proc ~args = `Admitted);
+  F_batcher.drain b;
+  Alcotest.(check int) "live channel answered" 1 (List.length !r2);
+  Alcotest.(check int) "stale channel silent" 0 (List.length !r1);
+  (* A current-token disconnect does sever; a ghost submit on the
+     severed session still admits — never raises — and its outcome is
+     replayable after a resume. *)
+  F_batcher.disconnect ~token:(F_batcher.owner_token c2) b c2;
+  assert (F_batcher.submit b c2 ~req:2 ~proc ~args = `Admitted);
+  F_batcher.drain b;
+  Alcotest.(check int) "no reply while severed" 1 (List.length !r2);
+  Alcotest.(check int) "ghost executed anyway" 2
+    (F_batcher.committed b + F_batcher.aborted b);
+  let r3 = ref [] in
+  let c3 = F_batcher.connect b ~id ~resume:true ~reply:(Some (fun r -> r3 := r :: !r3)) in
+  (match F_batcher.submit b c3 ~req:2 ~proc ~args with
+  | `Replayed _ -> ()
+  | _ -> Alcotest.fail "ghost outcome must replay after resume");
+  Alcotest.(check int) "replay lands on the resumed channel" 1 (List.length !r3)
+
+(* try_replay is the draining server's probe: answer acked retries from
+   the window, leave in-flight seqs alone, admit nothing. *)
+let test_batcher_try_replay () =
+  let w = small_ycsb () in
+  let cfg = F_batcher.config ~batch_target:4 ~deadline_ticks:2 () in
+  let b = mk_batcher ~cfg spec_serial w in
+  let results = ref [] in
+  let c = F_batcher.connect b ~reply:(Some (fun r -> results := r :: !results)) in
+  let rng = Rng.create 7 in
+  let proc, args = w.W.gen_call rng in
+  assert (F_batcher.submit b c ~req:1 ~proc ~args = `Admitted);
+  assert (F_batcher.try_replay b c ~req:1 = `Inflight);
+  F_batcher.drain b;
+  let outcome =
+    match !results with
+    | [ F_wire.Result { req = 1; outcome } ] -> outcome
+    | _ -> Alcotest.fail "expected one Result"
+  in
+  (match F_batcher.try_replay b c ~req:1 with
+  | `Replayed o -> assert (o = outcome)
+  | _ -> Alcotest.fail "expected `Replayed");
+  Alcotest.(check int) "replay re-sent" 2 (List.length !results);
+  Alcotest.(check int) "replayed counter" 1 (F_batcher.replayed_replies b);
+  assert (F_batcher.try_replay b c ~req:9 = `New);
+  Alcotest.(check int) "probe admits nothing" 1 (F_batcher.admitted b)
+
 (* ------------------------------------------------------------------ *)
 (* Crash-replay determinism: a journaled run, then a fresh engine fed
    the journal through Batcher.recover — digests, counters and the raw
@@ -1056,6 +1133,180 @@ let test_socket_garbage_resilience spec () =
   Alcotest.(check bool) "garbage was counted" true (sstats.F_server.protocol_errors >= 2);
   Alcotest.(check int) "real clients served" 4 sstats.F_server.clients_served
 
+(* ------------------------------------------------------------------ *)
+(* Raw-socket helpers for the reconnect/shutdown regression tests.     *)
+
+let raw_dial path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX path);
+  fd
+
+let raw_send fd b =
+  let off = ref 0 in
+  while !off < Bytes.length b do
+    off := !off + Unix.write fd b !off (Bytes.length b - !off)
+  done
+
+let raw_recv_one fd reader =
+  let buf = Bytes.create 65536 in
+  let rec next () =
+    match F_wire.Reader.next_payload reader with
+    | Some p -> F_wire.decode_response p
+    | None -> (
+        match Unix.select [ fd ] [] [] 5.0 with
+        | [], _, _ -> Alcotest.fail "no response within 5s"
+        | _ -> (
+            match Unix.read fd buf 0 (Bytes.length buf) with
+            | 0 -> Alcotest.fail "connection closed early"
+            | n ->
+                F_wire.Reader.feed reader buf ~off:0 ~len:n;
+                next ()))
+  in
+  next ()
+
+let raw_recv_until_eof fd reader =
+  let buf = Bytes.create 65536 in
+  let out = ref [] in
+  let eof = ref false in
+  while not !eof do
+    match Unix.select [ fd ] [] [] 5.0 with
+    | [], _, _ -> Alcotest.fail "server did not close within 5s"
+    | _ -> (
+        match Unix.read fd buf 0 (Bytes.length buf) with
+        | 0 | (exception Unix.Unix_error (Unix.ECONNRESET, _, _)) -> eof := true
+        | n ->
+            F_wire.Reader.feed reader buf ~off:0 ~len:n;
+            let continue = ref true in
+            while !continue do
+              match F_wire.Reader.next_payload reader with
+              | None -> continue := false
+              | Some p -> out := F_wire.decode_response p :: !out
+            done)
+  done;
+  Unix.close fd;
+  List.rev !out
+
+let start_unix_server ?should_stop w path =
+  if Sys.file_exists path then Sys.remove path;
+  let engine = loaded_engine spec_serial w in
+  let registry = F_proc.of_workload w in
+  let scfg =
+    F_server.config
+      ~batcher:(F_batcher.config ~batch_target:8 ~deadline_ticks:2 ())
+      ~tick_interval_s:0.001 (`Unix path)
+  in
+  let stats = ref None in
+  let th =
+    Thread.create
+      (fun () ->
+        stats := Some (F_server.serve ?should_stop ~engine ~registry ~tables:w.W.tables scfg))
+      ()
+  in
+  let waited = ref 0 in
+  while (not (Sys.file_exists path)) && !waited < 5000 do
+    Thread.delay 0.001;
+    incr waited
+  done;
+  (th, stats)
+
+(* Session takeover at the socket level: two connections share one
+   session id (last Hello wins), then the stale connection closes. The
+   live connection's next Submit must be answered normally — the
+   regression was the stale close severing the taken-over session and
+   the Submit raising Invalid_argument out of the event loop, killing
+   the server. The second Hello also claims a future protocol version:
+   it must be clamped in Hello_ok, not rejected at decode. *)
+let test_server_session_takeover () =
+  let w = small_ycsb () in
+  let path = tmpfile "takeover.sock" in
+  let th, stats = start_unix_server w path in
+  let rng = Rng.create 21 in
+  let proc, args = w.W.gen_call rng in
+  let fd1 = raw_dial path in
+  let rd1 = F_wire.Reader.create () in
+  raw_send fd1
+    (F_wire.encode_request
+       (F_wire.Hello { client = 42; version = 2; resume = false; last_seq = 0 }));
+  (match raw_recv_one fd1 rd1 with
+  | F_wire.Hello_ok _ -> ()
+  | _ -> Alcotest.fail "expected Hello_ok on the first connection");
+  (* The reconnect, from the client's view: same session id, resume set,
+     and a newer protocol version than the server speaks. *)
+  let fd2 = raw_dial path in
+  let rd2 = F_wire.Reader.create () in
+  raw_send fd2
+    (F_wire.encode_request
+       (F_wire.Hello
+          { client = 42; version = F_wire.protocol_version + 1; resume = true; last_seq = 0 }));
+  (match raw_recv_one fd2 rd2 with
+  | F_wire.Hello_ok { version; _ } ->
+      Alcotest.(check int) "negotiated down to ours" F_wire.protocol_version version
+  | _ -> Alcotest.fail "expected Hello_ok on the takeover connection");
+  (* The stale connection's EOF reaches the server before the live
+     connection's Submit. *)
+  Unix.close fd1;
+  Thread.delay 0.05;
+  raw_send fd2 (F_wire.encode_request (F_wire.Submit { req = 1; proc; args }));
+  (match raw_recv_one fd2 rd2 with
+  | F_wire.Result { req = 1; _ } -> ()
+  | _ -> Alcotest.fail "live connection must be answered after the stale close");
+  raw_send fd2 (F_wire.encode_request F_wire.Bye);
+  (match raw_recv_one fd2 rd2 with
+  | F_wire.Bye_ok _ -> ()
+  | _ -> Alcotest.fail "expected Bye_ok");
+  raw_send fd2 (F_wire.encode_request F_wire.Shutdown);
+  ignore (raw_recv_until_eof fd2 rd2);
+  Thread.join th;
+  let sstats = match !stats with Some s -> s | None -> Alcotest.fail "server died" in
+  Alcotest.(check int) "no protocol errors" 0 sstats.F_server.protocol_errors;
+  Alcotest.(check int) "one execution" 1
+    (sstats.F_server.committed + sstats.F_server.aborted)
+
+(* Exactly-once across graceful shutdown: a retransmit of an already
+   acknowledged seq racing the stop signal must never be answered
+   Rejected — whichever path handles it (live replay or the draining
+   sweep), the dedup window answers with the original outcome; at worst
+   the shutdown closes the connection unanswered and the client retries
+   against the restarted server. *)
+let test_server_drain_retransmit () =
+  let w = small_ycsb () in
+  let path = tmpfile "drain-retx.sock" in
+  let stop = ref false in
+  let th, stats = start_unix_server ~should_stop:(fun () -> !stop) w path in
+  let rng = Rng.create 23 in
+  let proc, args = w.W.gen_call rng in
+  let fd = raw_dial path in
+  let rd = F_wire.Reader.create () in
+  raw_send fd
+    (F_wire.encode_request
+       (F_wire.Hello { client = 9; version = 2; resume = false; last_seq = 0 }));
+  (match raw_recv_one fd rd with
+  | F_wire.Hello_ok _ -> ()
+  | _ -> Alcotest.fail "expected Hello_ok");
+  raw_send fd (F_wire.encode_request (F_wire.Submit { req = 1; proc; args }));
+  let outcome =
+    match raw_recv_one fd rd with
+    | F_wire.Result { req = 1; outcome } -> outcome
+    | _ -> Alcotest.fail "expected the original Result"
+  in
+  (* Race the retransmit against the stop signal. *)
+  raw_send fd (F_wire.encode_request (F_wire.Submit { req = 1; proc; args }));
+  stop := true;
+  let late = raw_recv_until_eof fd rd in
+  Thread.join th;
+  List.iter
+    (function
+      | F_wire.Result { req = 1; outcome = o } ->
+          if o <> outcome then Alcotest.fail "retransmit replayed a different outcome"
+      | F_wire.Rejected { req = 1; _ } ->
+          Alcotest.fail "acked seq answered Rejected during shutdown"
+      | _ -> Alcotest.fail "unexpected late response")
+    late;
+  let sstats = match !stats with Some s -> s | None -> Alcotest.fail "server died" in
+  Alcotest.(check int) "executed exactly once" 1
+    (sstats.F_server.committed + sstats.F_server.aborted);
+  Alcotest.(check int) "no protocol errors" 0 sstats.F_server.protocol_errors
+
 let suites =
   [
     ( "frontend.wire",
@@ -1106,6 +1357,10 @@ let suites =
           (test_batcher_determinism spec_aria);
         Alcotest.test_case "session dedup: duplicate, replayed, resume, reset" `Quick
           test_batcher_session_dedup;
+        Alcotest.test_case "takeover: stale disconnect keeps the live channel" `Quick
+          test_batcher_takeover;
+        Alcotest.test_case "try_replay probes the window without admitting" `Quick
+          test_batcher_try_replay;
         Alcotest.test_case "aria carryover drains under sustained overload" `Quick
           test_batcher_aria_overload_carryover;
       ] );
@@ -1128,5 +1383,9 @@ let suites =
           (test_socket_garbage_resilience spec_aria);
         Alcotest.test_case "garbage frames cost only their connection (zen)" `Quick
           (test_socket_garbage_resilience (Engine.spec Engine.Zen));
+        Alcotest.test_case "session takeover survives the stale close" `Quick
+          test_server_session_takeover;
+        Alcotest.test_case "acked retransmit is never Rejected at shutdown" `Quick
+          test_server_drain_retransmit;
       ] );
   ]
