@@ -84,16 +84,21 @@ let write_snapshot file =
 
 (* ------------------------------------------------------------------ *)
 (* Wall-clock scaling of the domain pool: run the headline workloads
-   at --jobs 1 and --jobs 4 and record host wall-clock seconds. The
-   committed copy (BENCH_pr4.json) documents the speedup a clean
+   at --jobs 1, 2 and 4 and record host wall-clock seconds. The
+   committed copy (BENCH_pr8.json) documents the scaling a clean
    checkout reproduces. Simulated-time results are byte-identical at
    any width, so committed counts and simulated time are asserted
-   equal across widths as a sanity check. *)
+   equal across widths as a sanity check — and every workload must
+   report wide_execs > 0 at jobs >= 2 with its default configuration:
+   SmallBank (undeclared reads) and TPC-C (generated inserts, dynamic
+   write sets, deletes, counters) used to gate out of the wide path
+   and must not silently do so again. *)
 
 let parallel_snapshot file =
   let module W = Nv_workloads.Workload in
   let module Db = Nvcaracal.Db in
   let module Engine = Nv_harness.Engine in
+  let widths = [ 1; 2; 4 ] in
   let run_once (w : W.t) (s : Engine.setup) jobs =
     let saved = !Engine.default_jobs in
     Engine.default_jobs := jobs;
@@ -124,15 +129,29 @@ let parallel_snapshot file =
   let rows =
     List.map
       (fun (name, w, s) ->
-        let w1, c1, sim1, _ = run_once w s 1 in
-        let w4, c4, sim4, wide4 = run_once w s 4 in
-        if c1 <> c4 || sim1 <> sim4 then (
-          Format.eprintf "nvcaracal-bench: %s diverged across widths (%d/%d txns, %g/%g ns)@."
-            name c1 c4 sim1 sim4;
-          exit 1);
-        Format.fprintf ppf "%-14s jobs=1 %6.2fs   jobs=4 %6.2fs   speedup %.2fx   wide epochs %d@."
-          name w1 w4 (w1 /. w4) wide4;
-        (name, w1, w4, c1, wide4))
+        let runs = List.map (fun jobs -> (jobs, run_once w s jobs)) widths in
+        let _, (_, c1, sim1, _) = List.hd runs in
+        List.iter
+          (fun (jobs, (_, c, sim, wide)) ->
+            if c <> c1 || sim <> sim1 then (
+              Format.eprintf
+                "nvcaracal-bench: %s diverged at jobs=%d (%d vs %d txns, %g vs %g ns)@." name
+                jobs c c1 sim sim1;
+              exit 1);
+            if jobs > 1 && wide = 0 then (
+              Format.eprintf
+                "nvcaracal-bench: %s never ran wide at jobs=%d — a serial gate has regressed@."
+                name jobs;
+              exit 1))
+          runs;
+        let wall jobs = let w, _, _, _ = List.assoc jobs runs in w in
+        let wide jobs = let _, _, _, n = List.assoc jobs runs in n in
+        Format.fprintf ppf
+          "%-14s jobs=1 %6.2fs   jobs=2 %6.2fs   jobs=4 %6.2fs   speedup(4) %.2fx   wide epochs %d/%d@."
+          name (wall 1) (wall 2) (wall 4)
+          (wall 1 /. wall 4)
+          (wide 2) (wide 4);
+        (name, runs, c1))
       cases
   in
   let host_cpus = Domain.recommended_domain_count () in
@@ -142,14 +161,19 @@ let parallel_snapshot file =
        require a >= 4-core machine (results stay byte-identical regardless)@."
       host_cpus;
   let oc = open_out file in
-  Printf.fprintf oc "{\n  \"jobs_compared\": [1, 4],\n  \"host_cpus\": %d,\n  \"workloads\": [\n"
+  Printf.fprintf oc "{\n  \"jobs_compared\": [1, 2, 4],\n  \"host_cpus\": %d,\n  \"workloads\": [\n"
     host_cpus;
   List.iteri
-    (fun i (name, w1, w4, committed, wide4) ->
+    (fun i (name, runs, committed) ->
+      let wall jobs = let w, _, _, _ = List.assoc jobs runs in w in
+      let wide jobs = let _, _, _, n = List.assoc jobs runs in n in
       Printf.fprintf oc
-        "    { \"name\": %S, \"jobs1_wall_s\": %.3f, \"jobs4_wall_s\": %.3f, \"speedup\": %.2f, \
-         \"committed_txns\": %d, \"wide_epochs_jobs4\": %d }%s\n"
-        name w1 w4 (w1 /. w4) committed wide4
+        "    { \"name\": %S, \"jobs1_wall_s\": %.3f, \"jobs2_wall_s\": %.3f, \
+         \"jobs4_wall_s\": %.3f, \"speedup\": %.2f, \"committed_txns\": %d, \
+         \"wide_epochs_jobs2\": %d, \"wide_epochs_jobs4\": %d }%s\n"
+        name (wall 1) (wall 2) (wall 4)
+        (wall 1 /. wall 4)
+        committed (wide 2) (wide 4)
         (if i = List.length rows - 1 then "" else ",")
     )
     rows;

@@ -123,7 +123,7 @@ let fuzz_cmd =
   let run seed iterations faults diff jobs =
     Cli.set_jobs jobs;
     let outcome =
-      Nv_harness.Fuzzer.run ~seed ~iterations ~faults ~diff
+      Nv_harness.Fuzzer.run ~seed ~iterations ~faults ~diff ~jobs:(max 1 jobs)
         ~log:(fun line -> Format.fprintf ppf "%s@." line)
         ()
     in

@@ -5,12 +5,23 @@ type t = {
   lists : (int, Row.t list ref) Hashtbl.t; (* eviction list per epoch *)
   mutable entries : int;
   mutable data_bytes : int;
-  mutable hits : int;
-  mutable misses : int;
+  (* Hit/miss counters are atomic: wide execution touches rows from
+     several domains at once, and the per-epoch report only needs the
+     (commutative) totals. Structural state stays plain — inserts,
+     drops and eviction run serially between or around executions. *)
+  hits : int Atomic.t;
+  misses : int Atomic.t;
 }
 
 let create ~max_entries =
-  { max_entries; lists = Hashtbl.create 64; entries = 0; data_bytes = 0; hits = 0; misses = 0 }
+  {
+    max_entries;
+    lists = Hashtbl.create 64;
+    entries = 0;
+    data_bytes = 0;
+    hits = Atomic.make 0;
+    misses = Atomic.make 0;
+  }
 
 let push_list t epoch row =
   let l =
@@ -25,30 +36,37 @@ let push_list t epoch row =
 
 let lines stats len = Nv_nvmm.Memspec.lines_touched (Stats.spec stats) ~off:0 ~len
 
+(* The single admission predicate: an insert lands (and charges DRAM)
+   iff the row is already cached (in-place refresh) or the cache has
+   headroom. [insert] consults exactly this rule, so any code that
+   needs to predict an admission shares it instead of re-deriving it. *)
+let admits t (row : Row.t) = row.Row.cached <> None || t.entries < t.max_entries
+
 let insert t stats (row : Row.t) ~data ~epoch =
-  match row.Row.cached with
-  | Some c ->
-      t.data_bytes <- t.data_bytes - Bytes.length c.Row.data + Bytes.length data;
-      c.Row.data <- data;
-      c.Row.last_epoch <- epoch;
-      Stats.dram_write stats ~lines:(lines stats (Bytes.length data)) ()
-  | None ->
-      if t.entries < t.max_entries then begin
+  if admits t row then
+    match row.Row.cached with
+    | Some c ->
+        t.data_bytes <- t.data_bytes - Bytes.length c.Row.data + Bytes.length data;
+        c.Row.data <- data;
+        c.Row.last_epoch <- epoch;
+        Stats.dram_write stats ~lines:(lines stats (Bytes.length data)) ()
+    | None ->
         row.Row.cached <- Some { Row.data; last_epoch = epoch };
         t.entries <- t.entries + 1;
         t.data_bytes <- t.data_bytes + Bytes.length data;
         Stats.dram_write stats ~lines:(lines stats (Bytes.length data)) ();
         push_list t epoch row
-      end
 
 let touch t (row : Row.t) ~epoch =
   match row.Row.cached with
   | Some c ->
-      t.hits <- t.hits + 1;
+      Atomic.incr t.hits;
+      (* Concurrent touches of a hot row may race here; they all write
+         the same (current) epoch, so the outcome is unaffected. *)
       if c.Row.last_epoch < epoch then c.Row.last_epoch <- epoch
   | None -> ()
 
-let note_miss t = t.misses <- t.misses + 1
+let note_miss t = Atomic.incr t.misses
 
 let drop t stats (row : Row.t) =
   match row.Row.cached with
@@ -85,5 +103,5 @@ let evict t stats ~current_epoch ~k =
 let entries t = t.entries
 let data_bytes t = t.data_bytes
 let dram_bytes t = t.data_bytes + (t.entries * 32)
-let hits t = t.hits
-let misses t = t.misses
+let hits t = Atomic.get t.hits
+let misses t = Atomic.get t.misses

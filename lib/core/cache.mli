@@ -17,8 +17,15 @@ type t
 
 val create : max_entries:int -> t
 
+val admits : t -> Row.t -> bool
+(** The admission rule, shared by {!insert} and by anything that must
+    predict it: an insert lands (and charges DRAM) iff the row is
+    already cached or the cache has headroom. Keeping the predicate in
+    one place means a plan and the loop it predicts cannot diverge. *)
+
 val insert : t -> Nv_nvmm.Stats.t -> Row.t -> data:bytes -> epoch:int -> unit
-(** Create (or refresh) the cached version of a row with [data]. *)
+(** Create (or refresh) the cached version of a row with [data] when
+    {!admits} allows it; a full cache refuses new rows silently. *)
 
 val touch : t -> Row.t -> epoch:int -> unit
 (** Record an access: bumps the cached version's last-access epoch. *)

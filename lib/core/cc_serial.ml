@@ -61,7 +61,7 @@ let visible_value ?wait_for t stats (row : Row.t) ~mode =
 
 exception Found of (int64 * bytes)
 
-let make_ctx ?wait_for t ~core ~sid ~mode ~entries_of_txn ~notes ~wrote =
+let make_ctx ?wait_for ?wait_preds t ~core ~sid ~mode ~entries_of_txn ~notes ~wrote =
   let stats = stats_of t core in
   let read ~table ~key =
     Stats.compute stats ();
@@ -126,7 +126,7 @@ let make_ctx ?wait_for t ~core ~sid ~mode ~entries_of_txn ~notes ~wrote =
   let range_read ~table ~lo ~hi =
     List.rev
       (ordered_fold table ~lo ~hi ~init:[] ~f:(fun acc key row ->
-           match visible_value t stats row ~mode with
+           match visible_value ?wait_for t stats row ~mode with
            | Some data -> (key, data) :: acc
            | None -> acc))
   in
@@ -134,7 +134,7 @@ let make_ctx ?wait_for t ~core ~sid ~mode ~entries_of_txn ~notes ~wrote =
     (* Ascending scan with early exit on the first visible entry. *)
     try
       ordered_fold table ~lo:bound ~hi:Int64.max_int ~init:() ~f:(fun () key row ->
-          match visible_value t stats row ~mode with
+          match visible_value ?wait_for t stats row ~mode with
           | Some data -> raise (Found (key, data))
           | None -> ());
       None
@@ -147,7 +147,7 @@ let make_ctx ?wait_for t ~core ~sid ~mode ~entries_of_txn ~notes ~wrote =
       match ordered_max_below table bound with
       | None -> None
       | Some (key, row) -> (
-          match visible_value t stats row ~mode with
+          match visible_value ?wait_for t stats row ~mode with
           | Some data -> Some (key, data)
           | None -> if key = Int64.min_int then None else go (Int64.pred key))
     in
@@ -160,6 +160,12 @@ let make_ctx ?wait_for t ~core ~sid ~mode ~entries_of_txn ~notes ~wrote =
   let compute ~ops = Stats.compute stats ~ops () in
   let counter_next ~idx =
     Stats.compute stats ();
+    (* Counters draw from a shared array in serial order. Under wide
+       execution the draw runs only after every earlier transaction has
+       finished ([wait_preds]), which serializes all draws in serial
+       position order — the progress atomics make the predecessors'
+       draws visible. *)
+    (match wait_preds with Some wait -> wait () | None -> ());
     let v = t.counters.(idx) in
     t.counters.(idx) <- Int64.add v 1L;
     v
@@ -233,11 +239,12 @@ let worth_caching t va =
 
 (* Resolve the epoch-final version of a row once its last declared
    writer has executed (handles aborted final writers, section 4.6).
-   [seq] is the finalizing transaction's serial position (used to order
-   journaled cache fills under wide execution); [wait_for] blocks on
-   slots whose writers — earlier transactions the finalizer never read
-   from, e.g. before a blind write — are still in flight. *)
-let finalize_row ?wait_for t stats ~core ~seq (row : Row.t) =
+   [wait_for] blocks on slots whose writers — earlier transactions the
+   finalizer never read from, e.g. before a blind write — are still in
+   flight. Order-sensitive outcomes (cache fills, deletes) go through
+   the effect journal; the final persistent write itself is row-local,
+   so it runs here, on the finalizing stripe. *)
+let finalize_row ?wait_for t stats ~core (row : Row.t) =
   let va = match row.Row.varray with Some va -> va | None -> assert false in
   match VA.latest_resolved ?wait_for va stats with
   | None -> () (* a fresh insert whose every version aborted *)
@@ -249,14 +256,16 @@ let finalize_row ?wait_for t stats ~core ~seq (row : Row.t) =
              append step consumed (section 4.6). *)
           if Config.caching_enabled t.config && worth_caching t va then begin
             let data = load_version_value t stats ~initial:true vref in
-            cache_insert_final t stats ~core ~seq row ~data
+            cache_insert_final t stats row ~data
           end
       | VA.Written vref ->
           let data = load_version_value t stats ~initial:false vref in
           do_prow_final_write t stats ~core row ~sid:slot.VA.sid ~data;
           if Config.caching_enabled t.config && worth_caching t va then
-            cache_insert_final t stats ~core ~seq row ~data
-      | VA.Tombstone -> do_prow_delete t stats ~core row
+            cache_insert_final t stats row ~data
+      | VA.Tombstone ->
+          if not (record_effect t (E_delete { core; row })) then
+            do_prow_delete t stats ~core row
       | VA.Pending | VA.Ignored -> assert false)
 
 (* ------------------------------------------------------------------ *)
@@ -386,17 +395,21 @@ let run ?(replay = false) t txns =
   in
   (* One transaction at serial position [i]. [wait_for] is the wide
      execution hook (block until an earlier transaction's slot is
-     resolved); [traces] redirects sampled txn spans into a per-stripe
-     buffer flushed in serial order after the join. *)
-  let exec_one ?wait_for ?traces i =
+     resolved); [wait_preds] blocks until every earlier transaction has
+     finished (counter draws). Order-sensitive outputs — sampled txn
+     spans, histogram observations, deferred hook deliveries, cache
+     fills, deletes — are recorded in the effect journal under serial
+     position [i] and replayed in order at the join. *)
+  let exec_one ?wait_for ?wait_preds i =
     let core = core_of t i in
     let stats = stats_of t core in
     let sid = Sid.make ~epoch:t.epoch ~seq:i in
     let traced = txn_sample > 0 && i mod txn_sample = 0 in
     let ts0 = if traced || exec_hist <> None then Stats.now stats else 0.0 in
     let wrote = ref false in
+    set_cur_seq i;
     let ctx =
-      make_ctx ?wait_for t ~core ~sid ~mode:(Exec sid) ~entries_of_txn:entries.(i)
+      make_ctx ?wait_for ?wait_preds t ~core ~sid ~mode:(Exec sid) ~entries_of_txn:entries.(i)
         ~notes:notes.(i) ~wrote
     in
     (* Validate reconnaissance reads: if any value the recon pass
@@ -441,168 +454,140 @@ let run ?(replay = false) t txns =
                && Sid.compare e.e_slot.VA.sid sid = 0
                && not (VA.finalized va) ->
             VA.set_finalized va;
-            finalize_row ?wait_for t stats ~core ~seq:i e.e_row
+            finalize_row ?wait_for t stats ~core e.e_row
         | Some _ | None -> ())
       !(entries.(i));
     (if traced || exec_hist <> None then begin
        let dur = Stats.now stats -. ts0 in
-       (if traced then
+       (if traced then begin
+          (* Sampled txn spans carry explicit timestamps, so emitting
+             from the journal in ascending serial position reproduces
+             the serial event stream byte for byte. *)
           let emit () =
             Tracer.complete t.tracer ~core ~name:"txn" ~cat:"txn"
               ~args:[ ("seq", Nv_obs.Jsonx.Int i); ("aborted", Nv_obs.Jsonx.Bool aborted) ]
               ~ts:ts0 ~dur ()
           in
-          match traces with Some buf -> buf := (i, emit) :: !buf | None -> emit ());
-       match exec_hist with Some h -> Metrics.observe h dur | None -> ()
+          if not (record_effect t (E_trace emit)) then emit ()
+        end);
+       match exec_hist with
+       | Some hist ->
+           if not (record_effect t (E_observe { hist; v = dur })) then Metrics.observe hist dur
+       | None -> ()
      end);
-    hook t (Exec_txn i)
+    hook t (Exec_txn i);
+    set_cur_seq (-1)
   in
   (* Wide execution is a pure performance path: it must be bit-for-bit
-     equivalent to the serial loop at any pool width, so it engages only
-     when nothing order-sensitive can observe it (docs/PARALLELISM.md
-     develops the full argument). Transactions synchronize through
+     equivalent to the serial-order loop at any pool width. The effect
+     journal carries everything order-sensitive to the join barrier, so
+     the gate no longer depends on what the batch does — only on
+     structural conditions the journal cannot absorb (each noted in the
+     serial-reason telemetry). Transactions synchronize through
      version-array slots: stripe [s] runs positions congruent to [s]
      modulo [wide_d] in ascending order, and a read of a slot written by
-     another stripe spins on that transaction's done flag. Since every
-     declared read targets the reader's own write set, dependencies only
-     point backwards in serial order and every stripe is always
-     runnable. *)
+     another stripe spins on that stripe's progress counter. Declared
+     reads, undeclared probes and finalizer scans all wait only on
+     earlier serial positions, so every stripe is always runnable
+     (docs/PARALLELISM.md develops the full argument). *)
   let wide_d =
     let d = Dpool.stripes (pool t) ~cores:cfg.Config.cores in
-    if
-      d > 1 && n > 1
-      && (not cfg.Config.crash_safe) (* dirty-line tracking is shared state *)
-      && t.pindex = None (* shared delta table; lazy-recovery row repairs *)
-      && (match t.phase_hook with None -> true | Some _ -> false)
-      && (not (Metrics.enabled t.metrics)) (* histogram sums are order-sensitive *)
-      && cfg.Config.n_counters = 0 (* counters draw in serial order *)
-      && Array.for_all
-           (fun (txn : Txn.t) ->
-             txn.Txn.reads_declared
-             && Option.is_none txn.Txn.recon
-             && Option.is_none txn.Txn.insert_gen
-             && Option.is_none txn.Txn.dynamic_write_set
-             && List.for_all
-                  (function Txn.Delete _ -> false | Txn.Insert _ | Txn.Update _ -> true)
-                  txn.Txn.write_set)
-           txns
-    then d
-    else 1
-  in
-  (* The committed-value cache charges DRAM only for inserts it admits
-     (or in-place updates); a full cache refuses new rows silently. With
-     headroom for every touched row, each journaled fill charges
-     unconditionally. Otherwise pre-play the serial loop's admission
-     rule against the pre-exec cache state — the finalize order (per
-     transaction, in registry order, first finalizer per row wins) and
-     each row's cached status are all known before execution starts.
-     The one unpredictable case: a row created this epoch never calls
-     insert if its every writer aborts, shifting later admissions — run
-     serial then. *)
-  let cache_plan =
-    if wide_d = 1 || not (Config.caching_enabled cfg) then Some Epoch.Charge_all
-    else if
-      Cache.entries t.cache + List.length t.touched <= cfg.Config.cache_entries_max
-    then Some Epoch.Charge_all
-    else
-      let exception Created_this_epoch in
-      try
-        let charged = Hashtbl.create 256 in
-        let newly_cached = Hashtbl.create 256 in
-        let seen = Hashtbl.create 256 in
-        let entries_left = ref (cfg.Config.cache_entries_max - Cache.entries t.cache) in
-        for i = 0 to n - 1 do
-          let sid = Sid.make ~epoch:t.epoch ~seq:i in
-          List.iter
-            (fun e ->
-              match e.e_row.Row.varray with
-              | Some va
-                when Sid.compare (VA.max_sid va) sid = 0
-                     && Sid.compare e.e_slot.VA.sid sid = 0
-                     && not (Hashtbl.mem seen e.e_row.Row.prow_base) ->
-                  Hashtbl.replace seen e.e_row.Row.prow_base ();
-                  if worth_caching t va then begin
-                    if e.e_row.Row.created_epoch = t.epoch then raise Created_this_epoch;
-                    let base = e.e_row.Row.prow_base in
-                    if e.e_row.Row.cached <> None || Hashtbl.mem newly_cached base then
-                      Hashtbl.replace charged base ()
-                    else if !entries_left > 0 then begin
-                      decr entries_left;
-                      Hashtbl.replace newly_cached base ();
-                      Hashtbl.replace charged base ()
-                    end
-                  end
-              | Some _ | None -> ())
-            !(entries.(i))
-        done;
-        Some (Epoch.Charge_rows charged)
-      with Created_this_epoch -> None
-  in
-  let wide_d, cache_plan =
-    match cache_plan with None -> (1, Epoch.Charge_all) | Some p -> (wide_d, p)
+    let gate =
+      if n <= 1 then Some R_small_batch
+      else if d <= 1 then Some R_width
+      else if Dpool.in_task () then
+        (* Nested in a pool task (a partition node): Dpool.run would
+           inline-serialize the stripes, deadlocking any cross-stripe
+           wait. *)
+        Some R_nested
+      else if match t.phase_hook with Some h -> not h.hk_defer | None -> false then
+        Some R_phase_hook
+      else if t.unmirrored_rows then Some R_unmirrored_rows
+      else if cfg.Config.crash_safe && cfg.Config.row_size mod 64 <> 0 then
+        (* Adjacent row slots in one arena may share a cache line, and
+           rows finalize on their last writer's stripe — only line-
+           aligned rows make stripes' stores line-disjoint. *)
+        Some R_row_align
+      else None
+    in
+    match gate with
+    | None -> d
+    | Some r ->
+        note_serial_reason t r;
+        1
   in
   phase_span t "execute" (fun () ->
-      if wide_d = 1 then
-        for i = 0 to n - 1 do
-          exec_one i
-        done
-      else begin
-        begin_wide_exec ~cache_plan t;
-        match
-          let done_flags = Array.init n (fun _ -> Atomic.make false) in
-          let trace_buf = Array.make wide_d [] in
-          ignore
-            (Dpool.run (pool t) ~n:wide_d (fun s ->
-                 let traces = ref [] in
-                 let cur = ref s in
-                 let wait_for sid =
-                   let seq = Sid.seq_of sid in
-                   if Sid.epoch_of sid = t.epoch && seq <> !cur && seq < n then begin
-                     let spins = ref 0 in
-                     while not (Atomic.get done_flags.(seq)) do
-                       Dpool.backoff !spins;
-                       incr spins
-                     done
-                   end
-                 in
-                 (try
-                    while !cur < n do
-                      exec_one ~wait_for ~traces !cur;
-                      Atomic.set done_flags.(!cur) true;
-                      cur := !cur + wide_d
-                    done
-                  with e ->
-                    (* Poison the rest of the stripe — resolve its slots
-                       and raise its done flags — so the other stripes'
-                       waits terminate; Dpool re-raises after the join. *)
-                    let bt = Printexc.get_raw_backtrace () in
-                    let j = ref !cur in
-                    while !j < n do
-                      List.iter
-                        (fun e ->
-                          if e.e_slot.VA.value = VA.Pending then
-                            e.e_slot.VA.value <- VA.Ignored)
-                        !(entries.(!j));
-                      Atomic.set done_flags.(!j) true;
-                      j := !j + wide_d
-                    done;
-                    Printexc.raise_with_backtrace e bt);
-                 trace_buf.(s) <- !traces));
-          (* Sampled txn spans carry explicit timestamps: emitting them
-             in ascending serial position reproduces the serial loop's
-             event stream byte for byte. *)
-          List.iter
-            (fun (_, emit) -> emit ())
-            (List.stable_sort
-               (fun ((a : int), _) (b, _) -> compare a b)
-               (List.concat (Array.to_list trace_buf)))
-        with
-        | () -> end_wide_exec t
-        | exception e ->
-            t.gc_accum <- None;
-            t.cache_accum <- None;
-            raise e
-      end;
+      Effects.begin_exec t ~d:wide_d;
+      (try
+         if wide_d = 1 then
+           for i = 0 to n - 1 do
+             exec_one i
+           done
+         else begin
+           (* progress.(s) = highest serial position stripe [s] has
+              finished (-1 initially): one atomic per stripe instead of
+              a done flag per transaction, so the common wait is a
+              single load that usually already satisfies. *)
+           let progress = Array.init wide_d (fun _ -> Atomic.make (-1)) in
+           let await s bound =
+             let spins = ref 0 in
+             while Atomic.get progress.(s) < bound do
+               Dpool.backoff !spins;
+               incr spins
+             done
+           in
+           if cfg.Config.crash_safe then Pmem.begin_stripes t.pmem ~n:wide_d;
+           Fun.protect
+             ~finally:(fun () -> if cfg.Config.crash_safe then Pmem.end_stripes t.pmem)
+             (fun () ->
+               ignore
+                 (Dpool.run (pool t) ~n:wide_d (fun s ->
+                      Pmem.set_stripe t.pmem s;
+                      let cur = ref s in
+                      let wait_for sid =
+                        let seq = Sid.seq_of sid in
+                        if Sid.epoch_of sid = t.epoch && seq <> !cur && seq < n then
+                          await (seq mod wide_d) seq
+                      in
+                      (* Block until every serial position below [cur]
+                         has finished: stripe [p] is done with them once
+                         it has finished its largest position below
+                         [cur]. *)
+                      let wait_preds () =
+                        let i = !cur in
+                        for p = 0 to wide_d - 1 do
+                          if p <> s && i - 1 >= p then
+                            await p (i - 1 - ((i - 1 - p) mod wide_d))
+                        done
+                      in
+                      try
+                        while !cur < n do
+                          exec_one ~wait_for ~wait_preds !cur;
+                          Atomic.set progress.(s) !cur;
+                          cur := !cur + wide_d
+                        done
+                      with e ->
+                        (* Poison the rest of the stripe — resolve its
+                           slots and push its progress past every
+                           position — so the other stripes' waits
+                           terminate; Dpool re-raises after the join. *)
+                        let bt = Printexc.get_raw_backtrace () in
+                        let j = ref !cur in
+                        while !j < n do
+                          List.iter
+                            (fun e ->
+                              if e.e_slot.VA.value = VA.Pending then
+                                e.e_slot.VA.value <- VA.Ignored)
+                            !(entries.(!j));
+                          j := !j + wide_d
+                        done;
+                        Atomic.set progress.(s) (n + wide_d);
+                        Printexc.raise_with_backtrace e bt)))
+         end
+       with e ->
+         Effects.abort t;
+         raise e);
+      Effects.drain t;
       hook t Exec_done);
   let t_exec = barrier t in
   (* --- Checkpoint: persist allocators (fence), then the epoch number. --- *)

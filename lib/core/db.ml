@@ -54,6 +54,7 @@ let debug_row = Epoch.debug_row
 let counters_total = Epoch.counters_total
 let set_observability = Epoch.set_observability
 let set_phase_hook = Epoch.set_phase_hook
+let serial_reasons = Epoch.serial_reasons
 let crash = Recovery.crash
 let recover = Recovery.recover
 
@@ -72,6 +73,8 @@ module Engine_common = struct
   let committed_txns = committed_txns
   let aborted_txns = aborted_txns
   let total_time_ns = total_time_ns
+  let wide_execs = wide_execs
+  let serial_reasons = serial_reasons
   let mem_report = mem_report
   let counters_total = counters_total
   let set_observability = set_observability

@@ -167,10 +167,20 @@ type phase = Epoch.phase =
       (** Epoch-processing milestones, in order. [Exec_txn i] fires
           after transaction [i] finishes (commit or abort). *)
 
-val set_phase_hook : t -> (phase -> unit) -> unit
+val set_phase_hook : ?defer:bool -> t -> (phase -> unit) -> unit
 (** Test instrumentation: called at each milestone of every epoch.
     Crash-injection tests raise from the hook to stop the epoch at a
-    precise point and then call [crash]. *)
+    precise point and then call [crash]. [defer] (default false) marks
+    the hook as blind to intermediate engine state: its [Exec_txn]
+    deliveries may then be journaled and fired at the execute phase's
+    join barrier, in serial order, instead of forcing the execute phase
+    onto one stripe. *)
+
+val serial_reasons : t -> (string * int) list
+(** Cumulative [(reason, count)] telemetry of epochs whose execute
+    phase was forced onto one stripe, nonzero reasons only (see
+    docs/PARALLELISM.md for the reason labels). Empty when every epoch
+    ran wide. *)
 
 
 type recovery_phase = Epoch.recovery_phase =

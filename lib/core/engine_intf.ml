@@ -71,6 +71,17 @@ module type S = sig
   val total_time_ns : t -> float
   (** Simulated time consumed so far (max over core clocks). *)
 
+  val wide_execs : t -> int
+  (** Batches whose execute phase ran on more than one domain
+      (cumulative). Inspection only — results are identical whether or
+      not a batch ran wide. Engines without wide execution return 0. *)
+
+  val serial_reasons : t -> (string * int) list
+  (** Cumulative [(reason, count)] telemetry of batches whose execute
+      phase was forced onto one stripe, nonzero reasons only (see
+      docs/PARALLELISM.md for the labels). Empty when every batch ran
+      wide — and always empty for engines without wide execution. *)
+
   val mem_report : t -> Report.mem_report
   val counters_total : t -> Nv_nvmm.Stats.counters
 

@@ -48,13 +48,72 @@ type recovery_phase =
   | Rec_scan_done  (* index rebuilt; repairs and reverts persisted *)
   | Rec_replay_done  (* crashed epoch re-executed (or dropped) *)
 
-(* Which finalizer cache fills charge DRAM during wide execution.
-   [Charge_all] when every insert is guaranteed admission (enough cache
-   headroom for the epoch's touched rows); [Charge_rows bases] when the
-   CC strategy pre-played the serial loop's admission rule and knows
-   exactly which rows it would charge ([Cache.insert] is silent when a
-   full cache refuses a new row). *)
-type cache_charge_plan = Charge_all | Charge_rows of (int, unit) Hashtbl.t
+(* Why an epoch's execute phase stayed on one stripe. Recorded once per
+   gated epoch so gating regressions show up in telemetry instead of
+   silently zeroing [wide_execs] (the counters surface in metrics,
+   [nvdb stats] and the profiler report). *)
+type serial_reason =
+  | R_width  (* pool width or core count yields a single stripe *)
+  | R_small_batch  (* one transaction (or none): nothing to overlap *)
+  | R_nested  (* already inside a pool task (e.g. a partition node) *)
+  | R_phase_hook  (* a non-deferrable hook observes intermediate state *)
+  | R_unmirrored_rows  (* lazy pindex recovery left rows mirror-less *)
+  | R_row_align  (* crash-safe mode with rows not cache-line aligned *)
+
+let serial_reason_label = function
+  | R_width -> "width"
+  | R_small_batch -> "small-batch"
+  | R_nested -> "nested"
+  | R_phase_hook -> "phase-hook"
+  | R_unmirrored_rows -> "unmirrored-rows"
+  | R_row_align -> "row-align"
+
+let serial_reason_index = function
+  | R_width -> 0
+  | R_small_batch -> 1
+  | R_nested -> 2
+  | R_phase_hook -> 3
+  | R_unmirrored_rows -> 4
+  | R_row_align -> 5
+
+let all_serial_reasons =
+  [ R_width; R_small_batch; R_nested; R_phase_hook; R_unmirrored_rows; R_row_align ]
+
+(* One journaled side effect of the execution phase. The journal is the
+   engine's single mechanism for running execution wide: anything the
+   serial loop would mutate in serial order — shared structures,
+   order-sensitive sinks — is recorded as an effect instead, and the
+   join barrier replays the merged journal in ascending serial position
+   (see the [Effects] module at the bottom of this file). Adding an
+   effect kind means adding a constructor here and one arm to
+   [Effects.apply] — registration happens exactly once, in that match. *)
+type effect_ =
+  | E_gc_push of Row.t  (* major-GC list push (serial loop prepends) *)
+  | E_cache_fill of { st : Stats.t; row : Row.t; data : bytes }
+      (* committed-value cache insert; admission runs against the true
+         cache state at apply time and charges [st] — the recording
+         core's meter — exactly as the serial loop would *)
+  | E_delete of { core : int; row : Row.t }
+      (* the whole persistent delete is deferred: value slots stay
+         readable by earlier serial positions, the index stays
+         immutable during execution, and freelist rings are only
+         written at the (serial) barrier *)
+  | E_hook of phase  (* a deferrable phase hook's delivery *)
+  | E_observe of { hist : Metrics.histogram; v : float }
+      (* histogram observation (float sums are order-sensitive) *)
+  | E_trace of (unit -> unit)
+      (* sampled txn span emission (carries explicit timestamps) *)
+
+(* The per-stripe journal: stripe [s] appends records for serial
+   positions congruent to [s] (mod [d]), newest first. Shards never
+   share a serial position (a transaction executes on one stripe), so a
+   stable ascending merge reproduces the serial loop's effect order. *)
+type effects_journal = { ej_d : int; ej_shards : (int * effect_) list array }
+
+(* A phase hook and whether its delivery may be deferred to the join
+   barrier. Non-deferrable hooks (the default — tests use them to
+   observe intermediate state) force the execute phase serial. *)
+type phase_hook = { hk_fn : phase -> unit; hk_defer : bool }
 
 type t = {
   config : Config.t;
@@ -84,15 +143,16 @@ type t = {
          epoch's durable-GC dedup set must outlive the replay *)
   mutable loaded : bool;
   pool : Dpool.t; (* domain pool driving eligible per-core phase loops *)
-  mutable gc_accum : (int * Row.t) list array option;
-      (* wide execution: per-core (seq, row) journals of gc-list pushes,
-         merged back in serial order at the join barrier *)
-  mutable cache_accum : (int * Row.t * bytes) list array option;
-      (* wide execution: per-core (seq, row, data) journals of cache
-         fills whose structural insert is deferred to the join barrier *)
-  mutable cache_plan : cache_charge_plan;
-      (* which journaled cache fills charge DRAM at finalize time (the
-         serial loop charges only admitted or updating inserts) *)
+  mutable effects : effects_journal option;
+      (* installed for the whole execute phase (at every width, so one
+         code path produces one behaviour); [None] outside it *)
+  mutable unmirrored_rows : bool;
+      (* lazy (persistent-index) recovery left rows whose DRAM mirror
+         loads on first touch — a shared-structure mutation the journal
+         does not cover, so execution stays serial until cleared *)
+  serial_reasons : int array;
+      (* cumulative per-reason counts of serially-gated epochs, indexed
+         by [serial_reason_index] *)
   mutable wide_execs : int;
       (* epochs whose execute phase actually ran wide (cumulative) —
          inspection only, so tests can assert the eligibility gate does
@@ -113,7 +173,7 @@ type t = {
   mutable m_cache_misses0 : int;
   mutable last_outcomes : [ `Committed | `Aborted | `Deferred ] array;
       (* per-txn outcome of the last batch, set at its checkpoint *)
-  mutable phase_hook : (phase -> unit) option;
+  mutable phase_hook : phase_hook option;
   (* Observability (no-op sinks unless installed). *)
   mutable tracer : Tracer.t;
   mutable metrics : Metrics.t;
@@ -189,9 +249,9 @@ let attach (cfg : Config.t) tables pmem =
     retain_gc_dedup = false;
     loaded = false;
     pool = Dpool.shared ~width:cfg.parallelism;
-    gc_accum = None;
-    cache_accum = None;
-    cache_plan = Charge_all;
+    effects = None;
+    unmirrored_rows = false;
+    serial_reasons = Array.make (List.length all_serial_reasons) 0;
     wide_execs = 0;
     committed = Array.make cfg.cores 0;
     total_aborted = Array.make cfg.cores 0;
@@ -218,13 +278,69 @@ let create ~config ~tables () =
   attach config tables (Pmem.create ~mode ~size ())
 
 let epoch t = t.epoch
-let set_phase_hook t hook = t.phase_hook <- Some hook
+
+let set_phase_hook ?(defer = false) t hook =
+  t.phase_hook <- Some { hk_fn = hook; hk_defer = defer }
+
+(* ------------------------------------------------------------------ *)
+(* Effect recording (the journal's write side; the apply side lives in
+   [Effects] below, once the finalizer helpers it replays exist)        *)
+
+(* The serial position of the transaction currently executing on this
+   domain, or -1 outside a transaction body. Domain-local because wide
+   execution runs transaction bodies on pool domains. *)
+let cur_seq_key = Domain.DLS.new_key (fun () -> -1)
+let set_cur_seq seq = Domain.DLS.set cur_seq_key seq
+
+(* Record [e] under the current serial position. Returns false — and
+   records nothing — when no journal is installed or the caller is not
+   inside a transaction body (inspection reads, bulk load, recovery
+   scaffolding); the caller then applies the effect immediately, which
+   is exactly the serial semantics those paths want. *)
+let record_effect t e =
+  match t.effects with
+  | None -> false
+  | Some j ->
+      let seq = Domain.DLS.get cur_seq_key in
+      if seq < 0 then false
+      else begin
+        let s = seq mod j.ej_d in
+        j.ej_shards.(s) <- (seq, e) :: j.ej_shards.(s);
+        true
+      end
+
+let note_serial_reason t r =
+  let i = serial_reason_index r in
+  t.serial_reasons.(i) <- t.serial_reasons.(i) + 1;
+  (* Mirror into the profiler's note counters so `--profile` shows why
+     wide execution didn't happen right next to where the time went. *)
+  Profile.note t.profile ("serial." ^ serial_reason_label r)
+
+let serial_reasons t =
+  List.filter_map
+    (fun r ->
+      let n = t.serial_reasons.(serial_reason_index r) in
+      if n > 0 then Some (serial_reason_label r, n) else None)
+    all_serial_reasons
 
 let hook t phase =
   (* The chaos harness's in-epoch kill-9 point: between transactions of
-     a running batch, where the most execution state is in flight. *)
+     a running batch, where the most execution state is in flight. Never
+     deferred — the whole point is to die with execution state in
+     flight. *)
   (match phase with Exec_txn _ -> Nv_util.Crashpoint.hit "mid-epoch" | _ -> ());
-  match t.phase_hook with Some f -> f phase | None -> ()
+  match t.phase_hook with
+  | None -> ()
+  | Some h -> if not (h.hk_defer && record_effect t (E_hook phase)) then h.hk_fn phase
+
+(* Insert a finalized value into the committed-value cache: journaled
+   during execution (the join barrier replays fills in ascending serial
+   order, so admission sees the cache state the serial loop would and
+   the DRAM cost lands on the recording core's meter), immediate
+   otherwise. *)
+let cache_insert_final t stats (row : Row.t) ~data =
+  if not (record_effect t (E_cache_fill { st = stats; row; data })) then
+    Cache.insert t.cache stats row ~data ~epoch:t.epoch
 
 (* ------------------------------------------------------------------ *)
 (* Observability                                                       *)
@@ -325,6 +441,12 @@ let publish_epoch_metrics t (r : Report.epoch_stats) =
       g "faults_flipped_bits" (float_of_int fr.Pmem.flipped_bits);
       g "faults_dead_lines" (float_of_int fr.Pmem.dead_lines)
     end;
+    (* Serial-gate telemetry is deliberately NOT published here: the
+       registry's records are byte-identical at any --jobs, and which
+       gate fired (e.g. [width]) depends on the pool width. The
+       width-dependent counters live on the monitoring surfaces instead
+       — {!serial_reasons}, the profiler's note counters, and the
+       server's live-stats snapshot. *)
     ignore (Metrics.snapshot m ~epoch:t.epoch)
   end
 
@@ -465,7 +587,7 @@ let committed_read ?max_epoch t stats (row : Row.t) ~fill_cache =
           (* Selective caching (section 7 future work): cold reads do
              not populate the cache; only written rows do. *)
           if caching && fill_cache && not t.config.Config.selective_caching then
-            Cache.insert t.cache stats row ~data ~epoch:t.epoch;
+            cache_insert_final t stats row ~data;
           Some data)
 
 (* ------------------------------------------------------------------ *)
@@ -589,17 +711,16 @@ let do_prow_final_write t stats ~core (row : Row.t) ~sid ~data =
   row.Row.pv2 <- { Row.psid = sid; pptr = ptr; fresh };
   t.m_persistent_writes.(core) <- t.m_persistent_writes.(core) + 1;
   (* Track the now-stale v1 for the major collector; inline stale
-     versions are left for the minor collector instead. During wide
-     execution the push is journaled per core with the transaction's
-     serial position; the join barrier rebuilds the serial list. *)
+     versions are left for the minor collector instead. The push mutates
+     a shared list in serial order, so during execution it is journaled
+     (a row finalizes on exactly one stripe, so the [in_gc_list] guard
+     is stripe-local). *)
   if
     (not (Sid.is_none row.Row.pv1.Row.psid))
     && (not row.Row.in_gc_list)
     && (is_pool row.Row.pv1.Row.pptr || not cfg.Config.minor_gc)
   then begin
-    (match t.gc_accum with
-    | Some shards -> shards.(core) <- (Sid.seq_of sid, row) :: shards.(core)
-    | None -> t.gc_list <- row :: t.gc_list);
+    if not (record_effect t (E_gc_push row)) then t.gc_list <- row :: t.gc_list;
     row.Row.in_gc_list <- true
   end
 
@@ -645,68 +766,60 @@ let apply_pindex_delta t stats =
       end
 
 (* ------------------------------------------------------------------ *)
-(* Wide-execution journals                                             *)
+(* The effect journal's apply side                                      *)
 
-(* While the journals are installed, transaction finalizers record the
-   structural side effects that must land in serial order — gc-list
-   pushes and cache fills — per core, tagged with the transaction's
-   serial position. The join barrier merges them back, so wide execution
-   leaves exactly the structures the serial loop builds. Sorting is
-   stable and entries with equal seq never span shards (a transaction
-   finalizes on one stripe), so the per-shard push order survives. *)
-let begin_wide_exec ?(cache_plan = Charge_all) t =
-  let cores = t.config.Config.cores in
-  t.gc_accum <- Some (Array.make cores []);
-  t.cache_accum <- Some (Array.make cores []);
-  t.cache_plan <- cache_plan;
-  t.wide_execs <- t.wide_execs + 1
+(* Execution-phase side effects that must land in serial order are
+   recorded per stripe (see [record_effect]) and replayed here at the
+   join barrier, in ascending serial position. The journal is installed
+   at every width — one code path, one behaviour — so the wide run's
+   structures, charges and pmem bytes match the serial run's by
+   construction rather than by per-feature argument. *)
+module Effects = struct
+  let begin_exec t ~d =
+    assert (t.effects = None);
+    t.effects <- Some { ej_d = d; ej_shards = Array.make d [] };
+    if d > 1 then t.wide_execs <- t.wide_execs + 1
 
-let end_wide_exec t =
-  (match t.gc_accum with
-  | Some shards ->
-      (* The serial loop prepends rows in ascending finalize order,
-         leaving gc_list descending by seq; each shard is already
-         descending, so a stable descending sort of the concatenation
-         reproduces the serial list. *)
-      let all = List.concat (Array.to_list shards) in
-      let merged = List.stable_sort (fun (a, _) (b, _) -> compare b a) all in
-      t.gc_list <- List.rev_append (List.rev_map snd merged) t.gc_list
-  | None -> ());
-  (match t.cache_accum with
-  | Some shards ->
-      (* Cache fills replay in ascending serial order with uncharged
-         stats: the DRAM cost was charged at finalize time (see
-         {!cache_insert_final}). *)
-      let all = List.concat (Array.to_list (Array.map List.rev shards)) in
-      let merged = List.stable_sort (fun (a, _, _) (b, _, _) -> compare a b) all in
-      List.iter
-        (fun (_, row, data) -> Cache.insert t.cache t.scratch row ~data ~epoch:t.epoch)
-        merged
-  | None -> ());
-  t.gc_accum <- None;
-  t.cache_accum <- None;
-  t.cache_plan <- Charge_all
+  (* Exactly the statement the serial-order loop would have executed in
+     the transaction's place. Charges land on the meter captured at
+     record time (the executing core's), so per-core costs are
+     width-independent. *)
+  let apply t = function
+    | E_gc_push row -> t.gc_list <- row :: t.gc_list
+    | E_cache_fill { st; row; data } -> Cache.insert t.cache st row ~data ~epoch:t.epoch
+    | E_delete { core; row } -> do_prow_delete t (stats_of t core) ~core row
+    | E_hook p -> (match t.phase_hook with Some h -> h.hk_fn p | None -> ())
+    | E_observe { hist; v } -> Metrics.observe hist v
+    | E_trace emit -> emit ()
 
-(* Insert a finalized value into the committed-value cache — or, during
-   wide execution, charge the DRAM cost now (both [Cache.insert]
-   branches charge the same line count; the charge plan says which
-   inserts the serial loop would have charged) and journal the
-   structural insert for the join barrier, where the admission rule
-   replays in serial order against uncharged stats. *)
-let cache_insert_final t stats ~core ~seq (row : Row.t) ~data =
-  match t.cache_accum with
-  | Some shards ->
-      let charged =
-        match t.cache_plan with
-        | Charge_all -> true
-        | Charge_rows bases -> Hashtbl.mem bases row.Row.prow_base
-      in
-      if charged then
-        Stats.dram_write stats
-          ~lines:(Memspec.lines_touched (Stats.spec stats) ~off:0 ~len:(Bytes.length data))
-          ();
-      shards.(core) <- (seq, row, data) :: shards.(core)
-  | None -> Cache.insert t.cache stats row ~data ~epoch:t.epoch
+  (* Replay and uninstall. Shards are newest-first, so each reverses to
+     ascending serial position; a stable merge then interleaves them.
+     Entries sharing a seq never span shards (a transaction runs on one
+     stripe), so within-transaction record order survives the sort. The
+     journal is uninstalled *before* replay: an effect recorded from
+     inside an apply (none today) would fall through to its immediate
+     serial form instead of landing in a journal being drained. *)
+  let drain t =
+    match t.effects with
+    | None -> ()
+    | Some j ->
+        t.effects <- None;
+        let merged =
+          if j.ej_d = 1 then List.rev j.ej_shards.(0)
+          else
+            List.stable_sort
+              (fun (a, _) (b, _) -> compare a b)
+              (List.concat_map List.rev (Array.to_list j.ej_shards))
+        in
+        List.iter (fun (_, e) -> apply t e) merged
+
+  (* Discard without applying: execution died (crash injection). The
+     replacement state is rebuilt by recovery's deterministic replay,
+     which re-records and re-applies the same effects. *)
+  let abort t = t.effects <- None
+
+  let record = record_effect
+end
 
 (* ------------------------------------------------------------------ *)
 (* Shared epoch scaffolding (used by both CC strategies)               *)
@@ -829,40 +942,49 @@ let bulk_load t rows =
   if t.loaded then invalid_arg "Db.bulk_load: already loaded";
   t.epoch <- 1;
   let cfg = t.config in
-  let wide = Dpool.width t.pool > 1 && (not cfg.Config.crash_safe) && t.pindex = None in
-  if not wide then begin
-    let i = ref 0 in
-    Seq.iter
-      (fun ((table, key, _) as spec) ->
-        let idx = !i in
-        incr i;
+  let arr = Array.of_seq rows in
+  let n = Array.length arr in
+  let wide =
+    Dpool.width t.pool > 1 && n > 1
+    && ((not cfg.Config.crash_safe) || cfg.Config.row_size mod 64 = 0)
+    && not (Dpool.in_task ())
+  in
+  if not wide then
+    Array.iteri
+      (fun idx ((table, key, _) as spec) ->
         let row = bulk_load_row t idx spec in
         index_insert t (stats_of t (core_of t idx)) ~table ~key row;
         if t.pindex <> None then
           Hashtbl.replace t.pix_delta (table, key) (`Ins row.Row.prow_base))
-      rows
-  end
+      arr
   else begin
-    (* Wide load (Fast mode, no persistent index): stripes own disjoint
-       cores, so allocators, clocks and persistent row bytes are
-       domain-confined; the DRAM index is then built serially in
-       ascending order — the exact structure the serial loop builds.
+    (* Wide load: stripes own disjoint cores, so allocators, clocks and
+       persistent row bytes are domain-confined (rows on one core's
+       arena load on one stripe, and cache-line-aligned rows never share
+       a line across cores — the crash-safe gate above); newly-dirtied
+       pmem lines accumulate per stripe and are unioned at the join. The
+       DRAM index and persistent-index delta are then built serially in
+       ascending order — the exact structures the serial loop builds.
        (Load-time access charges are reset below either way.) *)
-    let arr = Array.of_seq rows in
-    let n = Array.length arr in
     let made = Array.make n None in
     let d = Dpool.stripes t.pool ~cores:cfg.Config.cores in
+    Pmem.begin_stripes t.pmem ~n:d;
     ignore
       (Dpool.run t.pool ~n:d (fun s ->
+           Pmem.set_stripe t.pmem s;
            let i = ref s in
            while !i < n do
              made.(!i) <- Some (bulk_load_row t !i arr.(!i));
              i := !i + d
            done));
+    Pmem.end_stripes t.pmem;
     Array.iteri
       (fun idx (table, key, _) ->
         match made.(idx) with
-        | Some row -> index_insert t (stats_of t (core_of t idx)) ~table ~key row
+        | Some row ->
+            index_insert t (stats_of t (core_of t idx)) ~table ~key row;
+            if t.pindex <> None then
+              Hashtbl.replace t.pix_delta (table, key) (`Ins row.Row.prow_base)
         | None -> assert false)
       arr
   end;

@@ -48,13 +48,47 @@ type phase =
   | Exec_done
   | Checkpointed
 
-(** Which finalizer cache fills charge DRAM during wide execution:
-    [Charge_all] when every insert is guaranteed admission (enough cache
-    headroom for the epoch's touched rows), [Charge_rows bases] when the
-    CC strategy pre-played the serial admission rule and knows exactly
-    which rows (by persistent-row base offset) the serial loop would
-    charge — a full cache silently refuses new rows. *)
-type cache_charge_plan = Charge_all | Charge_rows of (int, unit) Hashtbl.t
+(** Why an epoch's execute phase stayed on one stripe. Recorded per
+    gated epoch ({!note_serial_reason}) and surfaced cumulatively
+    ({!serial_reasons}, plus [serial.<label>] metrics counters), so
+    gating regressions show up in telemetry instead of silently zeroing
+    {!wide_execs}. *)
+type serial_reason =
+  | R_width  (** pool width or core count yields a single stripe *)
+  | R_small_batch  (** one transaction (or none): nothing to overlap *)
+  | R_nested  (** already inside a pool task (e.g. a partition node) *)
+  | R_phase_hook  (** a non-deferrable hook observes intermediate state *)
+  | R_unmirrored_rows  (** lazy pindex recovery left rows mirror-less *)
+  | R_row_align  (** crash-safe mode with rows not cache-line aligned *)
+
+val serial_reason_label : serial_reason -> string
+val all_serial_reasons : serial_reason list
+
+(** One journaled side effect of the execution phase — a statement the
+    serial-order loop would have executed in place, recorded instead
+    and replayed in ascending serial position at the join barrier. See
+    {!Effects}. *)
+type effect_ =
+  | E_gc_push of Row.t  (** major-GC list push *)
+  | E_cache_fill of { st : Stats.t; row : Row.t; data : bytes }
+      (** committed-value cache insert; admission runs against the true
+          cache state at apply time and charges [st], the recording
+          core's meter *)
+  | E_delete of { core : int; row : Row.t }
+      (** the whole persistent delete (frees, index removal, cache
+          drop) is deferred to the barrier *)
+  | E_hook of phase  (** a deferrable phase hook's delivery *)
+  | E_observe of { hist : Nv_obs.Metrics.histogram; v : float }
+      (** histogram observation (float sums are order-sensitive) *)
+  | E_trace of (unit -> unit)  (** sampled txn span emission *)
+
+(** The per-stripe journal: stripe [s] holds records of serial
+    positions congruent to [s] (mod [ej_d]), newest first. *)
+type effects_journal = { ej_d : int; ej_shards : (int * effect_) list array }
+
+(** A phase hook and whether its delivery may be deferred to the join
+    barrier; non-deferrable hooks force the execute phase serial. *)
+type phase_hook = { hk_fn : phase -> unit; hk_defer : bool }
 
 (** Recovery milestones, mirroring [phase] for the recovery pipeline. *)
 type recovery_phase =
@@ -98,13 +132,14 @@ type t = {
   pool : Dpool.t;
       (** domain pool driving eligible per-core phase loops (width =
           {!Config.t.parallelism}) *)
-  mutable gc_accum : (int * Row.t) list array option;
-      (** wide execution: per-core (seq, row) journals of gc-list
-          pushes, merged back in serial order at the join barrier *)
-  mutable cache_accum : (int * Row.t * bytes) list array option;
-      (** wide execution: per-core journals of deferred cache fills *)
-  mutable cache_plan : cache_charge_plan;
-      (** which journaled cache fills charge DRAM at finalize time *)
+  mutable effects : effects_journal option;
+      (** the execute phase's effect journal; installed at every width
+          (one code path, one behaviour), [None] outside the phase *)
+  mutable unmirrored_rows : bool;
+      (** lazy (persistent-index) recovery left rows whose DRAM mirror
+          loads on first touch; execution stays serial until cleared *)
+  serial_reasons : int array;
+      (** cumulative per-reason counts of serially-gated epochs *)
   mutable wide_execs : int;
       (** epochs whose execute phase actually ran wide (cumulative) *)
   committed : int array;  (** cumulative, sharded by core *)
@@ -120,7 +155,7 @@ type t = {
   mutable m_cache_misses0 : int;
   mutable last_outcomes : [ `Committed | `Aborted | `Deferred ] array;
       (** per-txn outcome of the last batch, set at its checkpoint *)
-  mutable phase_hook : (phase -> unit) option;
+  mutable phase_hook : phase_hook option;
   mutable tracer : Tracer.t;
   mutable metrics : Metrics.t;
   mutable profile : Nv_obs.Profile.t;
@@ -143,10 +178,25 @@ val attach : Config.t -> Table.t list -> Pmem.t -> t
 val create : config:Config.t -> tables:Table.t list -> unit -> t
 
 val epoch : t -> int
-val set_phase_hook : t -> (phase -> unit) -> unit
 
-(** Fire the installed phase hook, if any. *)
+(** Install a phase hook. [defer] (default false) permits the hook's
+    {!phase} deliveries from inside the execute phase to be journaled
+    and fired at the join barrier, in serial order — a non-deferrable
+    hook instead forces execution serial ({!R_phase_hook}), because it
+    may observe intermediate engine state. *)
+val set_phase_hook : ?defer:bool -> t -> (phase -> unit) -> unit
+
+(** Fire the installed phase hook, if any (journaled when the hook is
+    deferrable and a transaction is recording). The [Exec_txn] chaos
+    crashpoint fires inline at every width. *)
 val hook : t -> phase -> unit
+
+(** Count one serially-gated epoch against [reason]. *)
+val note_serial_reason : t -> serial_reason -> unit
+
+(** Cumulative [(label, count)] of serially-gated epochs, nonzero
+    reasons only, in declaration order. *)
+val serial_reasons : t -> (string * int) list
 
 (** {1 Observability} *)
 
@@ -240,22 +290,50 @@ val do_prow_delete : t -> Stats.t -> core:int -> Row.t -> unit
     batch (part of the epoch checkpoint). *)
 val apply_pindex_delta : t -> Stats.t -> unit
 
-(** {1 Wide execution}
+(** {1 The effect-journal layer}
 
-    While the journals installed by {!begin_wide_exec} are live,
-    transaction finalizers record side effects that must land in serial
-    order (gc-list pushes, cache fills) per core, tagged with the
-    transaction's serial position; {!end_wide_exec} — called after the
-    pool join — merges them back so wide execution leaves exactly the
-    structures the serial loop builds. *)
+    The engine's single mechanism for running the execute phase on
+    multiple domains. The CC strategy installs a journal with
+    {!Effects.begin_exec} (at {e every} width, so one code path yields
+    one behaviour); transaction bodies record order-sensitive side
+    effects under their serial position ({!record_effect}, called via
+    the finalizer helpers above and directly by the strategies); the
+    join barrier replays the merged journal in ascending serial
+    position ({!Effects.drain}), leaving exactly the structures,
+    charges and pmem bytes the serial-order loop would. *)
 
-val begin_wide_exec : ?cache_plan:cache_charge_plan -> t -> unit
-val end_wide_exec : t -> unit
+(** Set the calling domain's current serial position ([-1] = not inside
+    a transaction body). The strategies bracket each transaction body
+    with this. *)
+val set_cur_seq : int -> unit
 
-(** Insert a finalized value into the committed-value cache; during
-    wide execution the DRAM cost is charged immediately and the
-    structural insert deferred to {!end_wide_exec}. *)
-val cache_insert_final : t -> Stats.t -> core:int -> seq:int -> Row.t -> data:bytes -> unit
+(** Record [e] under the current serial position. Returns [false] — and
+    records nothing — when no journal is installed or the caller is not
+    inside a transaction body; the caller then applies the effect
+    immediately (serial semantics). *)
+val record_effect : t -> effect_ -> bool
+
+(** Insert a finalized value into the committed-value cache: journaled
+    during execution, immediate otherwise. *)
+val cache_insert_final : t -> Stats.t -> Row.t -> data:bytes -> unit
+
+module Effects : sig
+  (** Install a fresh [d]-stripe journal (and count a wide execution
+      when [d > 1]). *)
+  val begin_exec : t -> d:int -> unit
+
+  (** Replay the journal in ascending serial position and uninstall it.
+      The journal is uninstalled before replay, so effects recorded
+      from inside an apply fall through to their immediate form. *)
+  val drain : t -> unit
+
+  (** Discard the journal without applying (execution died; recovery's
+      deterministic replay rebuilds the state). *)
+  val abort : t -> unit
+
+  (** Alias of {!record_effect}. *)
+  val record : t -> effect_ -> bool
+end
 
 (** {1 Shared epoch scaffolding}
 

@@ -23,23 +23,33 @@ let major_gc t =
     (* Both passes charge item [i] to core [i mod cores] and touch only
        that core's freelist (or row [i]'s own bytes), so striping by
        [i mod d] with [d] dividing [cores] keeps every core's work on
-       one stripe, in list order — identical charges at any width. Fast
-       mode only: crash-safe dirty-line tracking is shared state. The
-       dedup table is read-only here. *)
-    let d = if t.config.Config.crash_safe then 1 else Dpool.stripes (pool t) ~cores in
+       one stripe, in list order — identical charges at any width. Under
+       crash-safe tracking, newly-dirtied lines accumulate per stripe
+       and are unioned at the join; that needs the stripes' stores to be
+       line-disjoint, which holds whenever rows are cache-line aligned
+       (list neighbours may be arena neighbours on different stripes).
+       The dedup table is read-only here. *)
+    let d =
+      if t.config.Config.crash_safe && t.config.Config.row_size mod 64 <> 0 then 1
+      else Dpool.stripes (pool t) ~cores
+    in
     let striped_iter f =
       if d = 1 then
         for i = 0 to n - 1 do
           f i
         done
-      else
+      else begin
+        Pmem.begin_stripes t.pmem ~n:d;
         ignore
           (Dpool.run (pool t) ~n:d (fun s ->
+               Pmem.set_stripe t.pmem s;
                let i = ref s in
                while !i < n do
                  f !i;
                  i := !i + d
-               done))
+               done));
+        Pmem.end_stripes t.pmem
+      end
     in
     let collect_frees () =
       (* Make every stale pool value durable in the free list, skipping

@@ -181,6 +181,14 @@ let live_stats_json t =
   let procs =
     List.filter (fun (_, h) -> H.count h > 0) (Batcher.proc_latencies t.batcher)
   in
+  let (Nvcaracal.Engine_intf.Packed ((module E), db)) = Batcher.engine t.batcher in
+  (* Wide-execution telemetry: batches that ran on more than one domain,
+     and the cumulative reasons the rest were forced serial. *)
+  let execution =
+    J.Assoc
+      (("wide_execs", J.Int (E.wide_execs db))
+      :: List.map (fun (label, n) -> (label, J.Int n)) (E.serial_reasons db))
+  in
   (* The durability block appears only on journaled servers: the state
      digest and full-image CRC are the chaos harness's oracle inputs,
      and pricing the image scan into every plain [Stats] poll would be
@@ -189,7 +197,6 @@ let live_stats_json t =
     match Batcher.journal t.batcher with
     | None -> []
     | Some j ->
-        let (Nvcaracal.Engine_intf.Packed ((module E), db)) = Batcher.engine t.batcher in
         let pm = E.pmem db in
         let image = Nv_nvmm.Pmem.read_bytes pm ~off:0 ~len:(Nv_nvmm.Pmem.size pm) in
         let crc = Nv_util.Crc32c.bytes image 0 (Bytes.length image) in
@@ -226,6 +233,7 @@ let live_stats_json t =
               (if uptime_s > 0.0 then float_of_int (Batcher.epochs_run t.batcher) /. uptime_s
                else 0.0) );
           ("protocol_errors", J.Int t.protocol_errors);
+          ("execution", execution);
           ("procs", J.Assoc (List.map lat_json procs));
           ("domains", Nv_obs.Profile.telemetry_json ());
         ]

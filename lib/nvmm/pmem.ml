@@ -48,6 +48,11 @@ type t = {
   line_states : line_state option array; (* per line; empty in Fast mode *)
   mutable dirty_lines : int list; (* lines with [Some] state, unordered *)
   mutable n_dirty : int;
+  mutable stripe_dirty : int list array;
+      (* striped execution ([begin_stripes] .. [end_stripes]): newly
+         dirtied line numbers accumulate per stripe instead of on the
+         shared [dirty_lines] list, and are unioned at the join. Empty
+         ([[||]]) whenever striping is off. *)
   dead_lines : (int, unit) Hashtbl.t; (* lines whose reads fault *)
   crash_dirty : (int, unit) Hashtbl.t; (* lines dirty at any past crash *)
   mutable faults : fault_report;
@@ -76,6 +81,7 @@ let create ?(mode = Fast) ~size () =
        else [||]);
     dirty_lines = [];
     n_dirty = 0;
+    stripe_dirty = [||];
     dead_lines = Hashtbl.create 4;
     crash_dirty = Hashtbl.create 64;
     faults = zero_faults;
@@ -103,9 +109,22 @@ let note_store t ~off ~len =
     done
   end
 
+(* Stripe identity of the current domain while striping is active. A
+   plain domain-local: each pool task announces its stripe once via
+   [set_stripe] before touching the region. *)
+let stripe_key = Domain.DLS.new_key (fun () -> 0)
+
 (* Capture the pre-store persisted baseline for lines about to be
    stored for the first time since they were last clean. Must be called
-   BEFORE mutating the volatile view. *)
+   BEFORE mutating the volatile view.
+
+   During striped execution the newly-dirty line number goes to the
+   calling stripe's private list (and [n_dirty] is deferred to
+   [end_stripes]), so concurrent stripes never contend on the shared
+   list. Distinct stripes touch disjoint line sets — that is the
+   caller's eligibility contract — so [line_states] element writes are
+   race-free, and per-line state mutation ([note_store]/[flush]) stays
+   confined to the one stripe that owns the line. *)
 let pre_store t ~off ~len =
   if t.mode = Crash_safe && len > 0 then begin
     let first = off / line_size and last = (off + len - 1) / line_size in
@@ -115,9 +134,38 @@ let pre_store t ~off ~len =
       | None ->
           t.line_states.(li) <-
             Some { persisted = copy_line t li; snapshots = []; queued = None };
-          t.dirty_lines <- li :: t.dirty_lines;
-          t.n_dirty <- t.n_dirty + 1
+          if Array.length t.stripe_dirty = 0 then begin
+            t.dirty_lines <- li :: t.dirty_lines;
+            t.n_dirty <- t.n_dirty + 1
+          end
+          else begin
+            let s = Domain.DLS.get stripe_key in
+            t.stripe_dirty.(s) <- li :: t.stripe_dirty.(s)
+          end
     done
+  end
+
+(* Striped dirty tracking: NVTraverse-style quiescence — per-stripe
+   dirty sets during a wide phase, unioned at the join barrier. Only
+   meaningful in Crash_safe mode; a Fast region makes all three no-ops.
+   [fence]/[crash]/inspection must not run between [begin_stripes] and
+   [end_stripes] (they would miss the striped lines). The merged list
+   order differs from serial execution's, which is unobservable: every
+   consumer either sorts ([sorted_dirty], [crash], [unpersisted_ranges])
+   or is per-line commutative ([fence]). *)
+let begin_stripes t ~n =
+  if t.mode = Crash_safe then t.stripe_dirty <- Array.make (max 1 n) []
+
+let set_stripe t s = if t.mode = Crash_safe then Domain.DLS.set stripe_key s
+
+let end_stripes t =
+  if Array.length t.stripe_dirty > 0 then begin
+    Array.iter
+      (fun l ->
+        t.dirty_lines <- List.rev_append l t.dirty_lines;
+        t.n_dirty <- t.n_dirty + List.length l)
+      t.stripe_dirty;
+    t.stripe_dirty <- [||]
   end
 
 let check_bounds t off len =

@@ -78,6 +78,22 @@ val fence : t -> Stats.t -> unit
 val persist : t -> Stats.t -> off:int -> len:int -> unit
 (** [flush] + [fence]. *)
 
+(** {1 Striped dirty tracking}
+
+    Wide (multi-domain) execution phases bracket their fan-out with
+    [begin_stripes]/[end_stripes]; each participating domain announces
+    its stripe with [set_stripe] before its first store. Newly dirtied
+    line numbers then accumulate per stripe — instead of on the shared
+    dirty list — and are unioned at the join, the NVTraverse-style
+    "persist bookkeeping only at quiescence points" trick. The caller
+    guarantees stripes store to disjoint cache lines; [fence], [crash]
+    and dirty-line inspection must not run while striping is active.
+    All three are no-ops on a [Fast] region. *)
+
+val begin_stripes : t -> n:int -> unit
+val set_stripe : t -> int -> unit
+val end_stripes : t -> unit
+
 (** {1 Cost charging} *)
 
 val charge_read : t -> Stats.t -> off:int -> len:int -> unit

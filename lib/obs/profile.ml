@@ -33,6 +33,8 @@ type t = {
   on_slow : slow_epoch -> unit;
   by_name : (string, cell) Hashtbl.t;
   mutable order : string list; (* reverse registration order *)
+  note_by_name : (string, int ref) Hashtbl.t;
+  mutable note_order : string list; (* reverse registration order *)
   mutable epochs : int;
   mutable total_wall_ns : float;
   mutable cur_epoch : int;
@@ -52,6 +54,8 @@ let make ~enabled ~slow_threshold_ns ~on_slow =
     on_slow;
     by_name = Hashtbl.create 16;
     order = [];
+    note_by_name = Hashtbl.create 16;
+    note_order = [];
     epochs = 0;
     total_wall_ns = 0.0;
     cur_epoch = 0;
@@ -105,6 +109,16 @@ let phase t name f =
       f
   end
 
+let note ?(n = 1) t name =
+  if t.enabled then
+    match Hashtbl.find_opt t.note_by_name name with
+    | Some r -> r := !r + n
+    | None ->
+        Hashtbl.add t.note_by_name name (ref n);
+        t.note_order <- name :: t.note_order
+
+let notes t = List.rev_map (fun name -> (name, !(Hashtbl.find t.note_by_name name))) t.note_order
+
 let phase_walls t =
   List.rev_map (fun name -> (name, (Hashtbl.find t.by_name name).stat.wall_ns)) t.order
   |> List.rev
@@ -149,6 +163,8 @@ let slow_epoch_count t = t.n_slow
 let reset t =
   Hashtbl.reset t.by_name;
   t.order <- [];
+  Hashtbl.reset t.note_by_name;
+  t.note_order <- [];
   t.epochs <- 0;
   t.total_wall_ns <- 0.0;
   t.in_epoch <- false;
@@ -201,6 +217,7 @@ let to_json t =
       ("phases", Jsonx.List (List.map phase_json (stats t)));
       ("slow_epochs_total", Jsonx.Int t.n_slow);
       ("slow_epochs", Jsonx.List (List.map slow_json (slow_epochs t)));
+      ("notes", Jsonx.Assoc (List.map (fun (n, c) -> (n, Jsonx.Int c)) (notes t)));
       ("domains", telemetry_json ());
     ]
 
@@ -219,6 +236,12 @@ let pp_table ppf t =
   fprintf ppf "epochs %d, total wall %.2f ms" t.epochs (t.total_wall_ns /. 1e6);
   if t.n_slow > 0 then fprintf ppf ", slow epochs %d" t.n_slow;
   fprintf ppf "@,";
+  (match notes t with
+  | [] -> ()
+  | ns ->
+      fprintf ppf "@,note                        count@,";
+      fprintf ppf "-------------------------  ------@,";
+      List.iter (fun (name, c) -> fprintf ppf "%-25s  %6d@," name c) ns);
   let tele = Nv_util.Dpool.telemetry () in
   let active =
     Array.exists

@@ -59,6 +59,15 @@ val phase : t -> string -> (unit -> 'a) -> 'a
 val epoch_begin : t -> epoch:int -> unit
 val epoch_end : t -> unit
 
+val note : ?n:int -> t -> string -> unit
+(** [note t name] bumps the free-form counter [name] by [n] (default 1).
+    Engines use these for rare-event tallies that belong next to the
+    phase table — e.g. the [serial.*] reasons an execute phase was
+    forced onto one stripe. No-op when disabled. *)
+
+val notes : t -> (string * int) list
+(** Note counters, in first-use order. *)
+
 val epochs : t -> int
 (** Epochs bracketed so far. *)
 
@@ -75,7 +84,7 @@ val slow_epochs : t -> slow_epoch list
 val slow_epoch_count : t -> int
 
 val reset : t -> unit
-(** Drop all aggregates, phase names and slow epochs. *)
+(** Drop all aggregates, phase names, note counters and slow epochs. *)
 
 val telemetry_json : unit -> Jsonx.t
 (** The current {!Nv_util.Dpool.telemetry} as a JSON array (one object
@@ -84,9 +93,10 @@ val telemetry_json : unit -> Jsonx.t
 
 val to_json : t -> Jsonx.t
 (** Full snapshot: epochs, total wall, per-phase table, slow epochs,
-    and per-domain {!Nv_util.Dpool.telemetry}. Times in ms, allocation
-    in words. *)
+    note counters, and per-domain {!Nv_util.Dpool.telemetry}. Times in
+    ms, allocation in words. *)
 
 val pp_table : Format.formatter -> t -> unit
-(** Human-readable phase table (wall ms, %, minor/major Mwords) plus a
-    per-domain pool-telemetry table when any domain did work. *)
+(** Human-readable phase table (wall ms, %, minor/major Mwords), the
+    note counters when any were bumped, plus a per-domain
+    pool-telemetry table when any domain did work. *)

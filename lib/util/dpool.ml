@@ -59,6 +59,7 @@ type t = {
 }
 
 let in_pool_key = Domain.DLS.new_key (fun () -> false)
+let in_task () = Domain.DLS.get in_pool_key
 
 let hard_cap = 64
 

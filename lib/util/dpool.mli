@@ -38,6 +38,13 @@ val run : t -> n:int -> (int -> 'a) -> 'a array
     serially. The width cap is enforced through the work size: pass
     [n <= width t] (derive [n] from {!stripes} or clamp by {!width}). *)
 
+val in_task : unit -> bool
+(** Whether the calling domain is currently inside a pool task — where
+    any further [run] executes inline, serially. Multi-stripe protocols
+    that synchronize across stripes (done-flag or progress waits) would
+    deadlock when run inline, so they must consult this and stay on a
+    single stripe. *)
+
 val stripes : t -> cores:int -> int
 (** Largest divisor of [cores] not exceeding the pool width: the number
     of work stripes that keeps each simulated core's work sequence on a

@@ -448,6 +448,11 @@ module Engine :
   let committed_txns = committed_txns
   let aborted_txns = aborted_txns
   let total_time_ns = total_time_ns
+
+  (* Zen's batch loop is single-domain: nothing ever runs wide, and no
+     gate ever fires. *)
+  let wide_execs _ = 0
+  let serial_reasons _ = []
   let mem_report = mem_report
   let counters_total = counters_total
   let set_observability = set_observability
