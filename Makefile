@@ -30,7 +30,8 @@ golden:
 
 # Real-socket smoke of the networked front end: serve on a Unix
 # socket, drive 32 concurrent clients for 3200 transactions, assert a
-# clean drain/shutdown with zero protocol errors.
+# clean drain/shutdown with zero protocol errors; then a SIGTERM
+# drain of a journaled server and a 3-shard routed cluster leg.
 serve-check:
 	bash scripts/serve_check.sh
 
@@ -71,13 +72,18 @@ fuzz:
 # CHAOS_ITERS SIGKILLs at random crashpoints, recover each time from
 # the admission journal, and check the pmem-image oracle plus
 # exactly-once delivery. Runs both checkpoint cadences (replay-only
-# and checkpoint+tail). Override: make chaos CHAOS_ITERS=50 CHAOS_SEED=7
+# and checkpoint+tail), then a 3-shard cluster campaign where shard
+# processes are the kill victims and the oracle replays the router
+# journal through a 1-member cluster.
+# Override: make chaos CHAOS_ITERS=50 CHAOS_SEED=7
 CHAOS_ITERS ?= 25
 CHAOS_SEED ?= 1
 chaos:
 	dune exec bin/nvdb.exe -- chaos --iterations $(CHAOS_ITERS) --seed $(CHAOS_SEED)
 	dune exec bin/nvdb.exe -- chaos --iterations $(CHAOS_ITERS) \
 	  --seed $$(( $(CHAOS_SEED) + 1 )) --checkpoint-every 5
+	dune exec bin/nvdb.exe -- chaos --iterations $(CHAOS_ITERS) \
+	  --seed $$(( $(CHAOS_SEED) + 2 )) --shards 3
 
 clean:
 	dune clean

@@ -188,6 +188,264 @@ let scrub_cmd =
 (* ------------------------------------------------------------------ *)
 (* Networked front end                                                 *)
 
+(* [serve --shard-id I --shards N]: run as one member of a routed
+   cluster, speaking the shard plane only. Routers spawn these; the
+   journal (input log: every fence's calls plus merged read table) is
+   the shard's own durability, replayed with no cluster round trip. *)
+let serve_shard ~workload ~contention ~engine ~seed ~capacity ~batch_target ~journal_path
+    ~recover ~journal_mb ~listen ~shards ~sid =
+  let w, growth = Cli.resolve_workload workload contention in
+  let spec = Cli.resolve_engine engine in
+  let spec =
+    if journal_path <> None then { spec with Nv_harness.Engine.crash_safe = true } else spec
+  in
+  let address = Cli.parse_address listen in
+  let setup =
+    Nv_harness.Engine.setup
+      ~epochs:((capacity / batch_target) + 1)
+      ~epoch_txns:batch_target ~seed ~insert_growth:growth ()
+  in
+  let registry = Nv_frontend.Proc.of_workload w in
+  let meta =
+    Nv_frontend.Restart.meta ~workload ~contention ~engine ~seed
+    ^ Printf.sprintf "#shard%d/%d" sid shards
+  in
+  let packed = Nv_harness.Engine.instantiate spec setup w in
+  let journal, records =
+    match journal_path with
+    | None -> (None, [])
+    | Some path when Sys.file_exists path && recover ->
+        let opened = Nv_frontend.Journal.load ~path ~meta in
+        (Some opened.Nv_frontend.Journal.journal, opened.Nv_frontend.Journal.records)
+    | Some path ->
+        if Sys.file_exists path then
+          failwith
+            (Printf.sprintf
+               "nvdb serve (shard %d): journal %s already exists; pass --recover to replay it"
+               sid path);
+        (Some (Nv_frontend.Journal.create ~size:(journal_mb * 1024 * 1024) ~path ~meta ()), [])
+  in
+  let shard =
+    Nv_frontend.Shard.create ~shard_id:sid ~shards ?journal ~engine:packed ~registry
+      ~tables:w.Nv_workloads.Workload.tables ()
+  in
+  Nv_frontend.Shard.bulk_load shard (w.Nv_workloads.Workload.load ());
+  if records <> [] then begin
+    Nv_frontend.Shard.recover shard ~records;
+    Format.fprintf ppf "nvdb shard %d/%d: replayed %d journaled fences@." sid shards
+      (List.length records)
+  end;
+  let stop = ref false in
+  let handler = Sys.Signal_handle (fun _ -> stop := true) in
+  Sys.set_signal Sys.sigterm handler;
+  Sys.set_signal Sys.sigint handler;
+  Format.fprintf ppf "nvdb shard %d/%d: serving %s on %s (%s)@." sid shards
+    w.Nv_workloads.Workload.name listen
+    (Nv_harness.Engine.label spec w);
+  Nv_frontend.Shard.serve shard ~address ~should_stop:(fun () -> !stop);
+  Format.fprintf ppf "shard applied     %d@." (Nv_frontend.Shard.applied shard);
+  Format.fprintf ppf "shard digest      %Lx@." (Nv_frontend.Shard.digest shard);
+  match journal with
+  | Some j ->
+      Format.fprintf ppf "shard journal     %d records, %d bytes@."
+        (Nv_frontend.Journal.record_count j)
+        (Nv_frontend.Journal.used_bytes j);
+      Nv_frontend.Journal.close j
+  | None -> ()
+
+(* [serve --shards N] (no --shard-id): the router. Spawns N shard
+   processes, journals the global admission order, and serves the
+   client plane by routing every batch as one two-round epoch across
+   them. Recovery is records-only replay: sessions are not
+   checkpointed (clients re-resume), and the shards answer re-driven
+   epochs from their own recovered state. *)
+let serve_router ~workload ~contention ~engine ~seed ~jobs ~listen ~batch_target ~deadline
+    ~max_pending ~capacity ~once ~stats_interval ~stats_out ~journal_path ~recover
+    ~checkpoint_every ~journal_mb ~shards:n ~trace_file ~metrics_file =
+  let journal_base =
+    match journal_path with
+    | Some p -> p
+    | None ->
+        failwith "nvdb serve: --shards > 1 requires --journal (cluster recovery is replay)"
+  in
+  if checkpoint_every > 0 then
+    failwith "nvdb serve: --checkpoint-every is single-shard only (cluster recovery is replay)";
+  let w, _growth = Cli.resolve_workload workload contention in
+  let address = Cli.parse_address listen in
+  let registry = Nv_frontend.Proc.of_workload w in
+  let meta =
+    Nv_frontend.Restart.meta ~workload ~contention ~engine ~seed
+    ^ Printf.sprintf "#cluster%d" n
+  in
+  (* Generation = boot time in seconds. Shards refuse hellos older than
+     the newest they have seen, so a zombie router loses its shards the
+     moment a replacement says hello. *)
+  let gen = int_of_float (Unix.time ()) land 0x3FFFFFFF in
+  let shard_listen i =
+    match address with
+    | `Unix p -> Printf.sprintf "%s.shard%d" p i
+    | `Tcp (h, port) -> Printf.sprintf "%s:%d" h (port + 1 + i)
+  in
+  (* Chaos plumbing: NVC_SHARD_CRASHPOINT holds comma-separated
+     SHARD:POINT:N specs; each (re)spawn of shard I consumes the first
+     spec targeting I and arms the child with a plain NVC_CRASHPOINT.
+     The plan travels under a different name because Crashpoint reads
+     NVC_CRASHPOINT eagerly at module init — the router itself must
+     never arm. The queue is finite, so every campaign terminates. *)
+  let crash_plan =
+    ref
+      (match Sys.getenv_opt "NVC_SHARD_CRASHPOINT" with
+      | None -> []
+      | Some s ->
+          List.filter_map
+            (fun spec ->
+              match String.split_on_char ':' spec with
+              | [ shard; point; count ] -> (
+                  match (int_of_string_opt shard, int_of_string_opt count) with
+                  | Some i, Some c -> Some (i, point, c)
+                  | _ -> None)
+              | _ -> None)
+            (String.split_on_char ',' s))
+  in
+  let take_crashpoint i =
+    let rec go acc = function
+      | [] -> None
+      | (s, p, c) :: rest when s = i ->
+          crash_plan := List.rev_append acc rest;
+          Some (p, c)
+      | x :: rest -> go (x :: acc) rest
+    in
+    go [] !crash_plan
+  in
+  let child_env i =
+    let keep s =
+      not
+        ((String.length s >= 15 && String.sub s 0 15 = "NVC_CRASHPOINT=")
+        || (String.length s >= 21 && String.sub s 0 21 = "NVC_SHARD_CRASHPOINT="))
+    in
+    let base = List.filter keep (Array.to_list (Unix.environment ())) in
+    match take_crashpoint i with
+    | None -> Array.of_list base
+    | Some (p, c) -> Array.of_list (base @ [ Printf.sprintf "NVC_CRASHPOINT=%s:%d" p c ])
+  in
+  let pids = Array.make n (-1) in
+  let spawn_shard i =
+    let sock = shard_listen i in
+    (match address with
+    | `Unix _ -> ( try Sys.remove sock with Sys_error _ -> ())
+    | `Tcp _ -> ());
+    let args =
+      [
+        Sys.executable_name; "serve"; "--shard-id"; string_of_int i; "--shards";
+        string_of_int n; "--listen"; sock; "--workload"; workload; "--contention"; contention;
+        "--engine"; engine; "--seed"; string_of_int seed; "--jobs"; string_of_int jobs;
+        "--capacity"; string_of_int capacity; "--batch-target"; string_of_int batch_target;
+        "--journal"; Printf.sprintf "%s.shard%d" journal_base i; "--journal-mb";
+        string_of_int journal_mb; "--recover";
+      ]
+    in
+    pids.(i) <-
+      Unix.create_process_env Sys.executable_name (Array.of_list args) (child_env i) Unix.stdin
+        Unix.stdout Unix.stderr
+  in
+  let respawn i () =
+    (match Unix.waitpid [ Unix.WNOHANG ] pids.(i) with
+    | 0, _ ->
+        (* Unreachable but alive (wedged): kill it before respawning so
+           two generations never share a socket. *)
+        (try Unix.kill pids.(i) Sys.sigkill with Unix.Unix_error _ -> ());
+        (try ignore (Unix.waitpid [] pids.(i)) with Unix.Unix_error _ -> ())
+    | _ -> ()
+    | exception Unix.Unix_error _ -> ());
+    Format.fprintf ppf "nvdb: respawning shard %d@." i;
+    spawn_shard i
+  in
+  for i = 0 to n - 1 do
+    spawn_shard i
+  done;
+  let members =
+    Array.init n (fun i ->
+        Nv_frontend.Shard_set.remote ~retry_timeout_s:30.0 ~respawn:(respawn i) ~gen ~shard:i
+          ~shards:n
+          (Cli.parse_address (shard_listen i)))
+  in
+  let shard_set = Nv_frontend.Shard_set.cluster members in
+  let journal, recovery =
+    if Sys.file_exists journal_base then begin
+      if not recover then
+        failwith
+          (Printf.sprintf
+             "nvdb serve: journal %s already exists; pass --recover to replay it, or remove it \
+              for a fresh start"
+             journal_base);
+      let opened = Nv_frontend.Journal.load ~path:journal_base ~meta in
+      let records = opened.Nv_frontend.Journal.records in
+      Format.fprintf ppf "nvdb: recovering router journal; re-driving %d batches%s@."
+        (List.length records)
+        (if opened.Nv_frontend.Journal.torn_tail then " (torn tail discarded)" else "");
+      ( opened.Nv_frontend.Journal.journal,
+        Some
+          { Nv_frontend.Server.rec_records = records; rec_sessions = []; rec_batches_done = 0 }
+      )
+    end
+    else
+      ( Nv_frontend.Journal.create ~size:(journal_mb * 1024 * 1024) ~path:journal_base ~meta (),
+        None )
+  in
+  let stop = ref false in
+  let handler = Sys.Signal_handle (fun _ -> stop := true) in
+  Sys.set_signal Sys.sigterm handler;
+  Sys.set_signal Sys.sigint handler;
+  let o = Cli.observability ~trace:trace_file ~metrics:metrics_file () in
+  Format.fprintf ppf "nvdb: routing %s on %s (%d shards, gen %d; batch %d, deadline %d ticks)@."
+    w.Nv_workloads.Workload.name listen n gen batch_target deadline;
+  let stats_oc =
+    match stats_out with
+    | Some file when stats_interval > 0.0 -> Some (open_out file)
+    | _ -> None
+  in
+  let on_stats =
+    if stats_interval > 0.0 then
+      Some
+        (fun json ->
+          match stats_oc with
+          | Some oc ->
+              output_string oc json;
+              output_char oc '\n';
+              Stdlib.flush oc
+          | None -> Format.fprintf ppf "%s@." json)
+    else None
+  in
+  let stats =
+    Nv_frontend.Server.serve ?tracer:o.Cli.tracer ?metrics:o.Cli.metrics ~journal ?recovery
+      ~should_stop:(fun () -> !stop)
+      ?on_stats ~shards:shard_set ~registry ~tables:w.Nv_workloads.Workload.tables
+      (Nv_frontend.Server.config
+         ~batcher:(Nv_frontend.Batcher.config ~batch_target ~deadline_ticks:deadline ?max_pending ())
+         ~once ~stats_interval_s:stats_interval address)
+  in
+  (match stats_oc with Some oc -> close_out oc | None -> ());
+  Format.fprintf ppf "clients served    %d@." stats.Nv_frontend.Server.clients_served;
+  Format.fprintf ppf "admitted          %d@." stats.Nv_frontend.Server.admitted;
+  Format.fprintf ppf "committed         %d@." stats.Nv_frontend.Server.committed;
+  Format.fprintf ppf "aborted           %d@." stats.Nv_frontend.Server.aborted;
+  Format.fprintf ppf "rejected          %d@." stats.Nv_frontend.Server.rejected;
+  Format.fprintf ppf "replayed          %d@." stats.Nv_frontend.Server.replayed;
+  Format.fprintf ppf "epochs            %d@." stats.Nv_frontend.Server.epochs;
+  Format.fprintf ppf "protocol errors   %d@." stats.Nv_frontend.Server.protocol_errors;
+  Format.fprintf ppf "state digest      %Lx@." stats.Nv_frontend.Server.digest;
+  Format.fprintf ppf "journal records   %d@." (Nv_frontend.Journal.record_count journal);
+  Format.fprintf ppf "journal bytes     %d@." (Nv_frontend.Journal.used_bytes journal);
+  Format.fprintf ppf "shard respawns    %d@." (Nv_frontend.Shard_set.respawns shard_set);
+  (* No pmem CRC line: the images live in the shard processes; the
+     cluster oracle is the placement-independent state digest. *)
+  Nv_frontend.Shard_set.close shard_set;
+  Nv_frontend.Journal.close journal;
+  Array.iter (fun pid -> try Unix.kill pid Sys.sigterm with Unix.Unix_error _ -> ()) pids;
+  Array.iter (fun pid -> try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ()) pids;
+  o.Cli.flush ();
+  if stats.Nv_frontend.Server.protocol_errors > 0 then exit 3
+
 let serve_cmd =
   let batch_target_arg =
     Arg.(
@@ -279,8 +537,17 @@ let serve_cmd =
   in
   let run workload contention engine seed jobs listen batch_target deadline max_pending capacity
       once stats_interval stats_out journal_path recover checkpoint_every crash_safe journal_mb
-      trace_file metrics_file =
+      shards_n shard_id trace_file metrics_file =
     Cli.set_jobs jobs;
+    match shard_id with
+    | Some sid ->
+        serve_shard ~workload ~contention ~engine ~seed ~capacity ~batch_target ~journal_path
+          ~recover ~journal_mb ~listen ~shards:(max shards_n 1) ~sid
+    | None when shards_n > 1 ->
+        serve_router ~workload ~contention ~engine ~seed ~jobs ~listen ~batch_target ~deadline
+          ~max_pending ~capacity ~once ~stats_interval ~stats_out ~journal_path ~recover
+          ~checkpoint_every ~journal_mb ~shards:shards_n ~trace_file ~metrics_file
+    | None ->
     let w, growth = Cli.resolve_workload workload contention in
     let spec = Cli.resolve_engine engine in
     let spec =
@@ -387,8 +654,9 @@ let serve_cmd =
     let stats =
       Nv_frontend.Server.serve ?tracer:o.Cli.tracer ?metrics:o.Cli.metrics ?journal ?recovery
         ~should_stop:(fun () -> !stop)
-        ?on_stats ~engine ~registry
-        ~tables:w.Nv_workloads.Workload.tables
+        ?on_stats
+        ~shards:(Nv_frontend.Shard_set.local ~engine ~tables:w.Nv_workloads.Workload.tables)
+        ~registry ~tables:w.Nv_workloads.Workload.tables
         (Nv_frontend.Server.config ~batcher ~once ~stats_interval_s:stats_interval address)
     in
     (match stats_oc with Some oc -> close_out oc | None -> ());
@@ -422,7 +690,7 @@ let serve_cmd =
       const run $ Cli.workload $ Cli.contention $ Cli.engine $ Cli.seed $ Cli.jobs $ Cli.listen
       $ batch_target_arg $ deadline_arg $ max_pending_arg $ capacity_arg $ once_flag
       $ stats_interval_arg $ stats_out_arg $ journal_arg $ recover_flag $ checkpoint_arg
-      $ crash_safe_flag $ journal_mb_arg $ Cli.trace $ Cli.metrics)
+      $ crash_safe_flag $ journal_mb_arg $ Cli.shards $ Cli.shard_id $ Cli.trace $ Cli.metrics)
 
 let loadgen_cmd =
   let clients_arg =
@@ -461,10 +729,12 @@ let loadgen_cmd =
       & info [ "retry-timeout" ] ~docv:"SECS"
           ~doc:"With --reconnect: fail a client once the server stays unreachable this long.")
   in
-  let run workload contention seed listen clients txns window think shutdown reconnect
+  let run workload contention seed listen router clients txns window think shutdown reconnect
       retry_timeout =
     let w, _growth = Cli.resolve_workload workload contention in
-    let address = Cli.parse_address listen in
+    (* Against a routed cluster, clients talk to the router only; the
+       wire protocol is identical, so --router is just an address. *)
+    let address = Cli.parse_address (Option.value ~default:listen router) in
     let cfg =
       Nv_frontend.Loadgen.config ~clients ~txns_per_client:txns ~seed ~window ~think_ticks:think
         ~shutdown ~reconnect ~retry_timeout_s:retry_timeout address
@@ -491,8 +761,9 @@ let loadgen_cmd =
   Cmd.v
     (Cmd.info "loadgen" ~doc:"Drive a running nvdb server with concurrent clients")
     Term.(
-      const run $ Cli.workload $ Cli.contention $ Cli.seed $ Cli.listen $ clients_arg $ txns_arg
-      $ window_arg $ think_arg $ shutdown_flag $ reconnect_flag $ retry_timeout_arg)
+      const run $ Cli.workload $ Cli.contention $ Cli.seed $ Cli.listen $ Cli.router
+      $ clients_arg $ txns_arg $ window_arg $ think_arg $ shutdown_flag $ reconnect_flag
+      $ retry_timeout_arg)
 
 (* Interrogate a live server: one connection, one [Stats] frame, print
    the JSON snapshot it answers with. No [Hello] — monitoring must not
@@ -512,7 +783,8 @@ let stats_cmd =
         Unix.connect fd (Unix.ADDR_INET (addr, port));
         fd
   in
-  let run listen =
+  let run listen router =
+    let listen = Option.value ~default:listen router in
     let address = Cli.parse_address listen in
     let fd =
       try connect_fd address
@@ -552,7 +824,34 @@ let stats_cmd =
   Cmd.v
     (Cmd.info "stats"
        ~doc:"Fetch a live statistics snapshot (JSON) from a running nvdb server")
-    Term.(const run $ Cli.listen)
+    Term.(const run $ Cli.listen $ Cli.router)
+
+(* Placement probe: where does a key live in an N-shard cluster? The
+   hash is the one the router, the shards and Nvcaracal.Partition all
+   share, so this answers "which process do I strace". *)
+let route_cmd =
+  let table_arg =
+    Arg.(value & opt int 0 & info [ "table" ] ~docv:"ID" ~doc:"Table the keys belong to.")
+  in
+  let keys_arg =
+    Arg.(value & pos_all string [] & info [] ~docv:"KEY" ~doc:"Keys (int64) to place.")
+  in
+  let run shards table keys =
+    if shards < 1 then failwith "nvdb route: --shards must be >= 1";
+    if keys = [] then failwith "nvdb route: give at least one key";
+    List.iter
+      (fun k ->
+        match Int64.of_string_opt k with
+        | None -> failwith (Printf.sprintf "nvdb route: bad key %S" k)
+        | Some key ->
+            Format.fprintf ppf "table %d key %Ld -> shard %d@." table key
+              (Nv_frontend.Shard.owner ~shards ~table ~key))
+      keys
+  in
+  Cmd.v
+    (Cmd.info "route"
+       ~doc:"Print which shard of an N-shard cluster owns each key (the placement hash)")
+    Term.(const run $ Cli.shards $ table_arg $ keys_arg)
 
 (* Deterministic serving-pipeline run: the socket server's Batcher
    driven in process by seeded synthetic clients with a manual tick
@@ -598,7 +897,9 @@ let serve_sim_cmd =
     let b =
       Nv_frontend.Batcher.create
         ~cfg:(Nv_frontend.Batcher.config ~batch_target ~deadline_ticks:deadline ())
-        ?metrics:o.Cli.metrics ~engine ~registry ~tables:w.Nv_workloads.Workload.tables ()
+        ?metrics:o.Cli.metrics
+        ~shards:(Nv_frontend.Shard_set.local ~engine ~tables:w.Nv_workloads.Workload.tables)
+        ~registry ~tables:w.Nv_workloads.Workload.tables ()
     in
     let rngs = Array.init clients (fun i -> Nv_util.Rng.create (seed + i)) in
     let handles =
@@ -688,11 +989,11 @@ let chaos_cmd =
       & info [ "timeout" ] ~docv:"SECS"
           ~doc:"Campaign wall-clock deadline (default scales with --iterations).")
   in
-  let run seed iterations clients txns checkpoint_every workload contention engine dir keep
-      timeout =
+  let run seed iterations clients txns checkpoint_every workload contention engine shards dir
+      keep timeout =
     let cfg =
       Nv_frontend.Chaos.config ~seed ~iterations ~clients ~txns_per_client:txns
-        ~checkpoint_every ~workload ~contention ~engine ?dir ~keep ?timeout_s:timeout
+        ~checkpoint_every ~workload ~contention ~engine ~shards ?dir ~keep ?timeout_s:timeout
         ~log:(fun line -> Format.fprintf ppf "%s@." line)
         ~exe:Sys.executable_name ()
     in
@@ -717,10 +1018,12 @@ let chaos_cmd =
     (Cmd.info "chaos"
        ~doc:
          "Kill-9 a journaled server at seeded crashpoints, recover with --recover each time, \
-          and check exactly-once semantics plus the pmem-image oracle")
+          and check exactly-once semantics plus the pmem-image oracle. With --shards N, kill \
+          shard processes of a routed cluster instead and check the cross-shard-count digest \
+          oracle")
     Term.(
       const run $ seed_arg $ iters_arg $ clients_arg $ txns_arg $ ckpt_arg $ workload_arg
-      $ contention_arg $ Cli.engine $ dir_arg $ keep_flag $ timeout_arg)
+      $ contention_arg $ Cli.engine $ Cli.shards $ dir_arg $ keep_flag $ timeout_arg)
 
 let () =
   let info =
@@ -738,6 +1041,7 @@ let () =
             scrub_cmd;
             serve_cmd;
             loadgen_cmd;
+            route_cmd;
             stats_cmd;
             serve_sim_cmd;
             chaos_cmd;

@@ -61,13 +61,13 @@ let () =
     | Some v -> Format.printf "%s: account 7 = %Ld@." name (Bytes.get_int64_le v 0)
     | None -> ()
   in
-  show (Replication.primary pair) "primary";
-  show (Replication.replica pair) "replica (lagged)";
+  show (Replication.primary_db pair) "primary";
+  show (Replication.replica_db pair) "replica (lagged)";
 
   (* ...and once synced, the two are bit-identical. *)
   Format.printf "states equal after sync: %b@." (Replication.states_equal pair);
 
   (* Primary dies; promote the replica and keep going. *)
-  let promoted = Replication.failover pair in
+  let promoted = Replication.failover_db pair in
   ignore (Db.run_epoch promoted (batch ()));
   Format.printf "promoted replica committed epoch %d after failover@." (Db.epoch promoted)

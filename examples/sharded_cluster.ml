@@ -73,7 +73,7 @@ let () =
   Format.printf "node 2 crashed...@.";
   Partition.recover_node cluster 2;
   Format.printf "node 2 recovered at epoch %d; total = %Ld (still conserved)@."
-    (Db.epoch (Partition.node cluster 2))
+    (Db.epoch (Partition.node_db cluster 2))
     (total ());
 
   ignore (Partition.run_epoch cluster (batch 50));

@@ -73,8 +73,17 @@ module Engine_common = struct
   let committed_txns = committed_txns
   let aborted_txns = aborted_txns
   let total_time_ns = total_time_ns
-  let wide_execs = wide_execs
-  let serial_reasons = serial_reasons
+
+  let introspect t =
+    {
+      Engine_intf.wide_execs = wide_execs t;
+      serial_reasons = serial_reasons t;
+      state_digest =
+        Engine_intf.digest_committed
+          ~tables:(Array.to_list (tables t))
+          ~iter:(fun ~table f -> iter_committed t ~table f);
+    }
+
   let mem_report = mem_report
   let counters_total = counters_total
   let set_observability = set_observability

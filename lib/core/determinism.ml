@@ -1,0 +1,36 @@
+(* The one copy of the Aria-style reservation rule. Partition (the
+   in-process sharded executor) and the served cluster path
+   (Nv_frontend.Shard) both decide commit/defer with this function, so
+   a rule change cannot desynchronise the two. *)
+
+type verdict = Commit | Defer | Abort
+
+let verdicts ~(writes : (int * int64) list array) ~(reads : (int * int64) list array)
+    ~(user_aborted : bool array) =
+  let n = Array.length writes in
+  if Array.length reads <> n || Array.length user_aborted <> n then
+    invalid_arg "Determinism.verdicts: array lengths differ";
+  (* Reservations: each written key records the smallest transaction
+     index (= SID position in the batch) that writes it. User-aborted
+     transactions write nothing and reserve nothing. *)
+  let reservations : (int * int64, int) Hashtbl.t = Hashtbl.create (4 * n) in
+  for i = 0 to n - 1 do
+    if not user_aborted.(i) then
+      List.iter
+        (fun key ->
+          match Hashtbl.find_opt reservations key with
+          | Some j when j <= i -> ()
+          | Some _ | None -> Hashtbl.replace reservations key i)
+        writes.(i)
+  done;
+  (* A transaction defers when any key it read or wrote carries a
+     smaller reservation — the same test on every node, no
+     coordination. *)
+  Array.init n (fun i ->
+      if user_aborted.(i) then Abort
+      else
+        let earlier key =
+          match Hashtbl.find_opt reservations key with Some j -> j < i | None -> false
+        in
+        if List.exists earlier writes.(i) || List.exists earlier reads.(i) then Defer
+        else Commit)

@@ -1,0 +1,25 @@
+(** Aria-style deterministic commit/defer verdicts (paper section 2.2,
+    after Calvin/Aria): because the serial order is fixed before
+    execution, every node can decide each transaction's fate from the
+    batch alone — no voting, no two-phase commit.
+
+    This is the {e single} copy of the rule. {!Partition} (in-process
+    sharding) and the served multi-shard path ([Nv_frontend.Shard])
+    both call it, which is what makes a routed cluster and its
+    single-node replay bit-for-bit equivalent. *)
+
+type verdict = Commit | Defer | Abort
+
+val verdicts :
+  writes:(int * int64) list array ->
+  reads:(int * int64) list array ->
+  user_aborted:bool array ->
+  verdict array
+(** Per-transaction verdicts for one batch in serial (array) order.
+    [writes.(i)]/[reads.(i)] are the (table, key) sets transaction [i]
+    buffered/observed during snapshot execution; duplicates are
+    harmless. Each written key is reserved by the smallest-index
+    non-aborted writer; a transaction defers when any key it read or
+    wrote carries a smaller reservation, aborts when [user_aborted.(i)],
+    and commits otherwise.
+    @raise Invalid_argument when the arrays disagree in length. *)

@@ -1,83 +1,33 @@
 module Rng = Nv_util.Rng
 module Dpool = Nv_util.Dpool
 
-type node_state = Up of Db.t | Down of Nv_nvmm.Pmem.t
+(* A live node is any {!Engine_intf.S} instance. Db-backed nodes keep
+   the raw handle too: it enables the simulated-cost extras (charged
+   snapshot reads, remote-read RTT billing) that the generic seam does
+   not expose. Generic nodes read committed state uncharged — the
+   values are identical, only the simulated clocks differ. *)
+type node_up = { packed : Engine_intf.packed; db : Db.t option }
+type node_state = Up of node_up | Down of Nv_nvmm.Pmem.t
 
 type t = {
-  config : Config.t;
   tables : Table.t list;
   n_nodes : int;
   remote_read_ns : float;
+  cores : int;
   mutable nodes : node_state array;
   mutable epoch : int;
   mutable committed : int;
+  mutable aborted_total : int;
+  mutable last_outcomes : [ `Committed | `Aborted | `Deferred ] array;
   pool : Dpool.t;
+  (* Replaying a crashed node needs its engine back plus its epoch
+     counter; both are engine-specific, so the recovery recipe is a
+     capability installed by the constructor. *)
+  recover_node_fn : (int -> pmem:Nv_nvmm.Pmem.t -> node_up * int) option;
   (* Retained apply batches for node catch-up: (epoch, per-node inputs). *)
   retained : (int * bytes array array) Queue.t;
   retention : int;
 }
-
-let create ~config ~tables ~nodes ?(remote_read_ns = 2000.0) () =
-  assert (nodes > 0);
-  {
-    config;
-    tables;
-    n_nodes = nodes;
-    remote_read_ns;
-    nodes = Array.init nodes (fun _ -> Up (Db.create ~config ~tables ()));
-    epoch = 0;
-    committed = 0;
-    pool = Dpool.shared ~width:config.Config.parallelism;
-    retained = Queue.create ();
-    retention = 64;
-  }
-
-(* Fan [f 0 .. f (n_nodes - 1)] over the pool: nodes are independent
-   engines, so per-node work (bulk load, local apply epochs) carries no
-   shared state beyond each node's own [Db.t]. Node [i] stays on stripe
-   [i mod d] in ascending order, so each node's work sequence is the
-   serial one at any width. *)
-let each_node t f =
-  let d = min (Dpool.width t.pool) t.n_nodes in
-  if d <= 1 then
-    for i = 0 to t.n_nodes - 1 do
-      f i
-    done
-  else
-    ignore
-      (Dpool.run t.pool ~n:d (fun s ->
-           let i = ref s in
-           while !i < t.n_nodes do
-             f !i;
-             i := !i + d
-           done))
-
-let nodes t = t.n_nodes
-
-let db t i =
-  match t.nodes.(i) with
-  | Up db -> db
-  | Down _ -> invalid_arg (Printf.sprintf "Partition: node %d is down" i)
-
-let node = db
-let owner t ~table ~key = Nv_util.Fnv.combine (Nv_util.Fnv.hash_int64 key) table mod t.n_nodes
-let epoch t = t.epoch
-let committed_txns t = t.committed
-
-let total_time_ns t =
-  Array.fold_left
-    (fun acc n -> match n with Up db -> Float.max acc (Db.total_time_ns db) | Down _ -> acc)
-    0.0 t.nodes
-
-let bulk_load t rows =
-  let per_node = Array.make t.n_nodes [] in
-  Seq.iter
-    (fun ((table, key, _) as row) ->
-      let o = owner t ~table ~key in
-      per_node.(o) <- row :: per_node.(o))
-    rows;
-  each_node t (fun i -> Db.bulk_load (db t i) (List.to_seq (List.rev per_node.(i))));
-  t.epoch <- 1
 
 (* --- Apply-batch transactions: one blind write per key, with a
    self-describing input so per-node recovery can replay them. --- *)
@@ -98,12 +48,133 @@ let apply_txn_of_input input =
   let data = Bytes.sub input 16 len in
   Txn.make ~input ~write_set:[] (fun ctx -> ctx.Txn.Ctx.write ~table ~key data)
 
+(* --- Construction --- *)
+
+let create_raw ~tables ~nodes ~mk ~recover_node_fn ~remote_read_ns ~cores ~parallelism =
+  assert (nodes > 0);
+  {
+    tables;
+    n_nodes = nodes;
+    remote_read_ns;
+    cores;
+    nodes = Array.init nodes (fun i -> Up (mk i));
+    epoch = 0;
+    committed = 0;
+    aborted_total = 0;
+    last_outcomes = [||];
+    pool = Dpool.shared ~width:parallelism;
+    recover_node_fn;
+    retained = Queue.create ();
+    retention = 64;
+  }
+
+let create_packed ~tables ~nodes ~mk ?recover_node_fn ?(remote_read_ns = 2000.0)
+    ?(cores = 1) ?(parallelism = 1) () =
+  let recover_node_fn =
+    Option.map
+      (fun f i ~pmem ->
+        let (packed, db), ep = f i ~pmem in
+        ({ packed; db }, ep))
+      recover_node_fn
+  in
+  create_raw ~tables ~nodes
+    ~mk:(fun i -> { packed = mk i; db = None })
+    ~recover_node_fn ~remote_read_ns ~cores ~parallelism
+
+let create ~config ~tables ~nodes ?(remote_read_ns = 2000.0) () =
+  let mk _ =
+    let db = Db.create ~config ~tables () in
+    { packed = Engine_intf.Packed ((module Db.Aria_engine), db); db = Some db }
+  in
+  let recover_node_fn _ ~pmem =
+    let recovered, _ =
+      Db.recover ~config ~tables ~pmem ~rebuild:apply_txn_of_input ~replay_mode:`Aria ()
+    in
+    ( { packed = Engine_intf.Packed ((module Db.Aria_engine), recovered); db = Some recovered },
+      Db.epoch recovered )
+  in
+  create_raw ~tables ~nodes ~mk ~recover_node_fn:(Some recover_node_fn) ~remote_read_ns
+    ~cores:config.Config.cores ~parallelism:config.Config.parallelism
+
+(* Fan [f 0 .. f (n_nodes - 1)] over the pool: nodes are independent
+   engines, so per-node work (bulk load, local apply epochs) carries no
+   shared state beyond each node's own engine. Node [i] stays on stripe
+   [i mod d] in ascending order, so each node's work sequence is the
+   serial one at any width. *)
+let each_node t f =
+  let d = min (Dpool.width t.pool) t.n_nodes in
+  if d <= 1 then
+    for i = 0 to t.n_nodes - 1 do
+      f i
+    done
+  else
+    ignore
+      (Dpool.run t.pool ~n:d (fun s ->
+           let i = ref s in
+           while !i < t.n_nodes do
+             f !i;
+             i := !i + d
+           done))
+
+let nodes t = t.n_nodes
+
+let up t i =
+  match t.nodes.(i) with
+  | Up n -> n
+  | Down _ -> invalid_arg (Printf.sprintf "Partition: node %d is down" i)
+
+let node t i = (up t i).packed
+
+let node_db t i =
+  match (up t i).db with
+  | Some db -> db
+  | None -> invalid_arg "Partition.node_db: node is not Db-backed"
+
+let owner t ~table ~key = Nv_util.Fnv.combine (Nv_util.Fnv.hash_int64 key) table mod t.n_nodes
+let epoch t = t.epoch
+let committed_txns t = t.committed
+let aborted_txns t = t.aborted_total
+let last_batch_outcomes t = t.last_outcomes
+
+let total_time_ns t =
+  Array.fold_left
+    (fun acc n ->
+      match n with
+      | Up { packed = Engine_intf.Packed ((module E), e); _ } ->
+          Float.max acc (E.total_time_ns e)
+      | Down _ -> acc)
+    0.0 t.nodes
+
+let bulk_load t rows =
+  let per_node = Array.make t.n_nodes [] in
+  Seq.iter
+    (fun ((table, key, _) as row) ->
+      let o = owner t ~table ~key in
+      per_node.(o) <- row :: per_node.(o))
+    rows;
+  each_node t (fun i ->
+      let (Engine_intf.Packed ((module E), e)) = node t i in
+      E.bulk_load e (List.to_seq (List.rev per_node.(i))));
+  t.epoch <- 1
+
+(* Reads during snapshot execution: the epoch-start snapshot of the
+   owning node. Db-backed nodes go through the charged snapshot-read
+   path; generic engines serve the (identical) committed value
+   uncharged. *)
+let snapshot_read t o ~core ~table ~key =
+  match up t o with
+  | { db = Some db; _ } -> Db.snapshot_read db ~core ~table ~key
+  | { packed = Engine_intf.Packed ((module E), e); _ } -> E.read_committed e ~table ~key
+
+let bill t home ~core ~ns =
+  match (up t home).db with Some db -> Db.advance_core db ~core ~ns | None -> ()
+
 (* --- Epoch processing --- *)
 
 let run_epoch t txns =
   t.epoch <- t.epoch + 1;
   let n = Array.length txns in
-  let cores = t.config.Config.cores in
+  let cores = t.cores in
   let t_before = total_time_ns t in
   (* Phase 1: snapshot execution. Reads route to the owning partition;
      remote reads bill a network round trip on top. *)
@@ -120,11 +191,11 @@ let run_epoch t txns =
       | None ->
           Hashtbl.replace rset (table, key) ();
           let o = owner t ~table ~key in
-          if o <> home then Db.advance_core (db t home) ~core ~ns:t.remote_read_ns;
-          Db.snapshot_read (db t o) ~core ~table ~key
+          if o <> home then bill t home ~core ~ns:t.remote_read_ns;
+          snapshot_read t o ~core ~table ~key
     in
     let write ~table ~key data =
-      Db.advance_core (db t home) ~core ~ns:25.0;
+      bill t home ~core ~ns:25.0;
       Hashtbl.replace buffer (table, key) data
     in
     let unsupported _ = invalid_arg "Partition: operation not supported in partitioned mode" in
@@ -139,7 +210,7 @@ let run_epoch t txns =
         max_below = (fun ~table:_ _ -> unsupported ());
         min_above = (fun ~table:_ _ -> unsupported ());
         abort = (fun () -> raise Txn.Aborted);
-        compute = (fun ~ops -> Db.advance_core (db t home) ~core ~ns:(float_of_int ops *. 25.0));
+        compute = (fun ~ops -> bill t home ~core ~ns:(float_of_int ops *. 25.0));
         counter_next = (fun ~idx:_ -> unsupported ());
         notes = Hashtbl.create 4;
       }
@@ -150,42 +221,34 @@ let run_epoch t txns =
         user_aborted.(i) <- true;
         Hashtbl.reset buffer
   done;
-  (* Phase 2: Aria reservations — computed identically (and without
-     coordination) from the deterministic batch. *)
-  let reservations : (int * int64, int) Hashtbl.t = Hashtbl.create 256 in
-  Array.iteri
-    (fun i buffer ->
-      if not user_aborted.(i) then
-        Hashtbl.iter
-          (fun key _ ->
-            match Hashtbl.find_opt reservations key with
-            | Some j when j <= i -> ()
-            | Some _ | None -> Hashtbl.replace reservations key i)
-          buffer)
-    buffers;
+  (* Phase 2: the shared reservation rule — computed identically (and
+     without coordination) from the deterministic batch. *)
+  let keys h = Hashtbl.fold (fun k _ acc -> k :: acc) h [] in
+  let verdicts =
+    Determinism.verdicts
+      ~writes:(Array.map keys buffers)
+      ~reads:(Array.map keys read_sets)
+      ~user_aborted
+  in
   let deferred = ref [] in
   let aborted = ref 0 in
   let decisions = ref [] in
+  let outcomes = Array.make n `Committed in
   for i = 0 to n - 1 do
-    if user_aborted.(i) then incr aborted
-    else begin
-      let earlier key =
-        match Hashtbl.find_opt reservations key with Some j -> j < i | None -> false
-      in
-      let conflict =
-        Hashtbl.fold (fun key _ acc -> acc || earlier key) buffers.(i) false
-        || Hashtbl.fold (fun key () acc -> acc || earlier key) read_sets.(i) false
-      in
-      if conflict then begin
+    match verdicts.(i) with
+    | Determinism.Abort ->
+        incr aborted;
+        t.aborted_total <- t.aborted_total + 1;
+        outcomes.(i) <- `Aborted
+    | Determinism.Defer ->
         deferred := txns.(i) :: !deferred;
-        incr aborted
-      end
-      else begin
+        incr aborted;
+        outcomes.(i) <- `Deferred
+    | Determinism.Commit ->
         t.committed <- t.committed + 1;
         Hashtbl.iter (fun key data -> decisions := (key, data) :: !decisions) buffers.(i)
-      end
-    end
   done;
+  t.last_outcomes <- outcomes;
   (* Apply: each partition commits its share as a local (logged,
      checkpointed) epoch — no two-phase commit. *)
   let per_node = Array.make t.n_nodes [] in
@@ -196,8 +259,9 @@ let run_epoch t txns =
     (List.sort compare !decisions);
   let retained_inputs = Array.map (fun l -> Array.of_list (List.rev l)) per_node in
   each_node t (fun o ->
+      let (Engine_intf.Packed ((module E), e)) = node t o in
       let batch = Array.map apply_txn_of_input retained_inputs.(o) in
-      let _, d = Db.run_epoch_aria (db t o) batch in
+      let _, d = E.run_batch e batch in
       assert (Array.length d = 0));
   Queue.push (t.epoch, retained_inputs) t.retained;
   if Queue.length t.retained > t.retention then ignore (Queue.pop t.retained);
@@ -220,34 +284,187 @@ let run_epoch t txns =
     },
     Array.of_list (List.rev !deferred) )
 
-let read t ~table ~key = Db.read_committed (db t (owner t ~table ~key)) ~table ~key
+let read t ~table ~key =
+  let (Engine_intf.Packed ((module E), e)) = node t (owner t ~table ~key) in
+  E.read_committed e ~table ~key
 
 (* --- Node failure and catch-up --- *)
 
 let crash_node t i ~rng =
-  let pmem = Db.crash (db t i) ~rng in
+  let (Engine_intf.Packed ((module E), e)) = node t i in
+  let pmem = E.crash e ~rng in
   t.nodes.(i) <- Down pmem
 
 let recover_node t i =
   match t.nodes.(i) with
   | Up _ -> ()
   | Down pmem ->
-      let recovered, _ =
-        Db.recover ~config:t.config ~tables:t.tables ~pmem ~rebuild:apply_txn_of_input
-          ~replay_mode:`Aria ()
+      let recover_fn =
+        match t.recover_node_fn with
+        | Some f -> f
+        | None -> invalid_arg "Partition.recover_node: no recovery capability installed"
       in
+      let recovered, node_epoch = recover_fn i ~pmem in
       (* Catch up from retained apply batches. *)
+      let node_epoch = ref node_epoch in
+      let (Engine_intf.Packed ((module E), e)) = recovered.packed in
       Queue.iter
-        (fun (e, per_node) ->
-          if e > Db.epoch recovered then begin
+        (fun (ep, per_node) ->
+          if ep > !node_epoch then begin
             let batch = Array.map apply_txn_of_input per_node.(i) in
-            let _, d = Db.run_epoch_aria recovered batch in
-            assert (Array.length d = 0)
+            let _, d = E.run_batch e batch in
+            assert (Array.length d = 0);
+            node_epoch := ep
           end)
         t.retained;
-      if Db.epoch recovered <> t.epoch then
+      if !node_epoch <> t.epoch then
         failwith
           (Printf.sprintf "Partition.recover_node: node %d at epoch %d, cluster at %d \
                            (retention too short)"
-             i (Db.epoch recovered) t.epoch);
+             i !node_epoch t.epoch);
       t.nodes.(i) <- Up recovered
+
+(* --- Uniform inspection over all live nodes --- *)
+
+let iter_committed t ~table f =
+  Array.iter
+    (fun n ->
+      match n with
+      | Up { packed = Engine_intf.Packed ((module E), e); _ } -> E.iter_committed e ~table f
+      | Down _ -> ())
+    t.nodes
+
+let introspect t =
+  let wide = ref 0 and reasons = Hashtbl.create 8 in
+  Array.iter
+    (fun n ->
+      match n with
+      | Up { packed; _ } ->
+          let i = match packed with Engine_intf.Packed ((module E), e) -> E.introspect e in
+          wide := !wide + i.Engine_intf.wide_execs;
+          List.iter
+            (fun (label, c) ->
+              Hashtbl.replace reasons label
+                (c + Option.value ~default:0 (Hashtbl.find_opt reasons label)))
+            i.Engine_intf.serial_reasons
+      | Down _ -> ())
+    t.nodes;
+  {
+    Engine_intf.wide_execs = !wide;
+    serial_reasons =
+      List.sort compare (Hashtbl.fold (fun l c acc -> (l, c) :: acc) reasons []);
+    state_digest =
+      Engine_intf.digest_committed ~tables:t.tables ~iter:(fun ~table f ->
+          iter_committed t ~table f);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Engine instance: the whole cluster behind the engine seam, so the
+   conformance suite (and any harness) can drive a sharded deployment
+   exactly like a single node.                                         *)
+
+type engine_config = { e_config : Config.t; e_nodes : int }
+
+module Engine : Engine_intf.S with type t = t and type config = engine_config = struct
+  type nonrec t = t
+  type config = engine_config
+
+  let name = "partition"
+
+  let create ~config:{ e_config; e_nodes } ~tables () =
+    create ~config:e_config ~tables ~nodes:e_nodes ()
+
+  let bulk_load = bulk_load
+
+  let run_batch t txns =
+    let stats, deferred = run_epoch t txns in
+    (Some stats, deferred)
+
+  let read_committed = read
+  let iter_committed = iter_committed
+  let last_batch_outcomes = last_batch_outcomes
+  let committed_txns = committed_txns
+  let aborted_txns = aborted_txns
+  let total_time_ns = total_time_ns
+  let introspect = introspect
+
+  let mem_report t =
+    let zero =
+      {
+        Report.nvmm_rows = 0;
+        nvmm_values = 0;
+        nvmm_log = 0;
+        nvmm_freelists = 0;
+        dram_index = 0;
+        dram_transient = 0;
+        dram_cache = 0;
+      }
+    in
+    Array.fold_left
+      (fun (acc : Report.mem_report) n ->
+        match n with
+        | Up { packed = Engine_intf.Packed ((module E), e); _ } ->
+            let m = E.mem_report e in
+            {
+              Report.nvmm_rows = acc.Report.nvmm_rows + m.Report.nvmm_rows;
+              nvmm_values = acc.nvmm_values + m.Report.nvmm_values;
+              nvmm_log = acc.nvmm_log + m.Report.nvmm_log;
+              nvmm_freelists = acc.nvmm_freelists + m.Report.nvmm_freelists;
+              dram_index = acc.dram_index + m.Report.dram_index;
+              dram_transient = acc.dram_transient + m.Report.dram_transient;
+              dram_cache = acc.dram_cache + m.Report.dram_cache;
+            }
+        | Down _ -> acc)
+      zero t.nodes
+
+  let counters_total t =
+    let zero =
+      {
+        Nv_nvmm.Stats.dram_reads = 0;
+        dram_writes = 0;
+        nvmm_block_reads = 0;
+        nvmm_block_writes = 0;
+        nvmm_seq_bytes = 0;
+        flushes = 0;
+        fences = 0;
+        compute_ops = 0;
+        media_faults = 0;
+      }
+    in
+    Array.fold_left
+      (fun (acc : Nv_nvmm.Stats.counters) n ->
+        match n with
+        | Up { packed = Engine_intf.Packed ((module E), e); _ } ->
+            let c = E.counters_total e in
+            {
+              Nv_nvmm.Stats.dram_reads = acc.Nv_nvmm.Stats.dram_reads + c.Nv_nvmm.Stats.dram_reads;
+              dram_writes = acc.dram_writes + c.Nv_nvmm.Stats.dram_writes;
+              nvmm_block_reads = acc.nvmm_block_reads + c.Nv_nvmm.Stats.nvmm_block_reads;
+              nvmm_block_writes = acc.nvmm_block_writes + c.Nv_nvmm.Stats.nvmm_block_writes;
+              nvmm_seq_bytes = acc.nvmm_seq_bytes + c.Nv_nvmm.Stats.nvmm_seq_bytes;
+              flushes = acc.flushes + c.Nv_nvmm.Stats.flushes;
+              fences = acc.fences + c.Nv_nvmm.Stats.fences;
+              compute_ops = acc.compute_ops + c.Nv_nvmm.Stats.compute_ops;
+              media_faults = acc.media_faults + c.Nv_nvmm.Stats.media_faults;
+            }
+        | Down _ -> acc)
+      zero t.nodes
+
+  let set_observability ?tracer ?metrics ?profile ?name t =
+    Array.iteri
+      (fun i n ->
+        match n with
+        | Up { packed = Engine_intf.Packed ((module E), e); _ } ->
+            let name = Option.map (fun nm -> Printf.sprintf "%s/node%d" nm i) name in
+            E.set_observability ?tracer ?metrics ?profile ?name e
+        | Down _ -> ())
+      t.nodes
+
+  let pmem _ = invalid_arg "Partition.Engine.pmem: per-node arenas, use node accessors"
+
+  let crash ?faults:_ _ ~rng:_ =
+    invalid_arg "Partition.Engine.crash: crash individual nodes with crash_node"
+
+  let recover ~config:_ ~tables:_ ~pmem:_ ~rebuild:_ () =
+    invalid_arg "Partition.Engine.recover: recover individual nodes with recover_node"
+end

@@ -6,25 +6,30 @@
     commit across partitions with {e no} two-phase commit — every node
     independently reaches the same decisions.
 
-    This module shards tables by key hash across N single-node
-    databases and processes batches with Aria-style deterministic
-    concurrency control:
+    This module shards tables by key hash across N nodes — any
+    {!Engine_intf.S} instances — and processes batches with Aria-style
+    deterministic concurrency control:
 
     + {b snapshot execution}: every transaction runs against the
       epoch-start snapshot; reads are routed to the owning partition
       (remote reads bill a configurable network round-trip to the
-      reader's core) and writes are buffered;
-    + {b deterministic reservations}: each key records the smallest
-      transaction SID that wrote it; a transaction defers (for client
-      retry) if any key it read or wrote carries a smaller reservation
-      — the same rule on every node, no coordination;
+      reader's core on Db-backed nodes) and writes are buffered;
+    + {b deterministic reservations}: the shared {!Determinism} rule —
+      each key records the smallest transaction SID that wrote it; a
+      transaction defers (for client retry) if any key it read or wrote
+      carries a smaller reservation — the same rule on every node, no
+      coordination;
     + {b apply}: each partition commits its share of the surviving
       writes as a local epoch (logged and checkpointed by its own
       engine), so per-node crash recovery works unchanged.
 
     The coordinator retains recent apply batches so a node that crashed
     before applying an epoch can be caught up ([recover_node]), exactly
-    like a lagging replica. *)
+    like a lagging replica.
+
+    {!Engine} packages a whole cluster as one {!Engine_intf.S}
+    instance, so harness code (and the conformance suite) can drive a
+    sharded deployment exactly like a single engine. *)
 
 type t
 
@@ -35,13 +40,37 @@ val create :
   ?remote_read_ns:float ->
   unit ->
   t
-(** [nodes] single-node engines sharing a schema; keys are sharded by
-    hash. [remote_read_ns] (default 2000 — a fast datacenter RTT) is
-    added to every cross-partition read. *)
+(** [nodes] Db-backed (Aria CC) engines sharing a schema; keys are
+    sharded by hash. [remote_read_ns] (default 2000 — a fast datacenter
+    RTT) is added to every cross-partition read. Installs the Db crash
+    + catch-up recovery capability. *)
+
+val create_packed :
+  tables:Table.t list ->
+  nodes:int ->
+  mk:(int -> Engine_intf.packed) ->
+  ?recover_node_fn:(int -> pmem:Nv_nvmm.Pmem.t -> (Engine_intf.packed * Db.t option) * int) ->
+  ?remote_read_ns:float ->
+  ?cores:int ->
+  ?parallelism:int ->
+  unit ->
+  t
+(** Engine-generic cluster: node [i] is [mk i]. [recover_node_fn]
+    rebuilds a crashed node from its torn arena and reports the epoch
+    it recovered to (the coordinator replays retained apply batches
+    above it); without it, [recover_node] raises. [cores]/[parallelism]
+    size the simulated core rotation and the coordinator's domain
+    pool. *)
 
 val nodes : t -> int
-val node : t -> int -> Db.t
-(** Direct access to one partition's engine (reads, reports). *)
+
+val node : t -> int -> Engine_intf.packed
+(** Direct access to one partition's engine (reads, reports).
+    @raise Invalid_argument while the node is down. *)
+
+val node_db : t -> int -> Db.t
+(** The raw NVCaracal handle of a Db-backed node ({!create}).
+    @raise Invalid_argument for generic nodes or while down. *)
 
 val owner : t -> table:int -> key:int64 -> int
 (** The partition a key lives on. *)
@@ -56,6 +85,13 @@ val run_epoch : t -> Txn.t array -> Report.epoch_stats * Txn.t array
 val read : t -> table:int -> key:int64 -> bytes option
 (** Committed read, routed to the owner (uncharged; client-side). *)
 
+val iter_committed : t -> table:int -> (int64 -> bytes -> unit) -> unit
+(** Visit every live node's committed rows of [table] (owners are
+    disjoint, so each key appears once). *)
+
+val last_batch_outcomes : t -> [ `Committed | `Aborted | `Deferred ] array
+(** Per-transaction outcome of the last [run_epoch], in batch order. *)
+
 val epoch : t -> int
 
 val crash_node : t -> int -> rng:Nv_util.Rng.t -> unit
@@ -68,3 +104,29 @@ val recover_node : t -> int -> unit
 
 val total_time_ns : t -> float
 val committed_txns : t -> int
+
+val aborted_txns : t -> int
+(** Cumulative user aborts (deferrals are not aborts: they commit on
+    resubmission). *)
+
+val introspect : t -> Engine_intf.introspection
+(** Cluster-wide inspection: wide-execution telemetry summed over live
+    nodes and the digest of the union of all partitions' committed
+    rows — equal to a single node's digest over the same committed
+    state, whatever the node count. *)
+
+val encode_write : table:int -> key:int64 -> bytes -> bytes
+(** Serialize one blind apply-write (the input record shipped to a
+    partition's engine); {!apply_txn_of_input} is its inverse. The
+    served shard path reuses this codec, so a routed cluster's journals
+    replay with the same [rebuild] as an in-process one. *)
+
+val apply_txn_of_input : bytes -> Txn.t
+
+(** The cluster as one {!Engine_intf.S} instance. [pmem], [crash] and
+    [recover] raise [Invalid_argument] — arenas are per-node; use
+    {!crash_node}/{!recover_node}. *)
+
+type engine_config = { e_config : Config.t; e_nodes : int }
+
+module Engine : Engine_intf.S with type t = t and type config = engine_config

@@ -52,7 +52,7 @@ type client = {
 
 type t = {
   cfg : config;
-  engine : Engine_intf.packed;
+  shards : Shard_set.t;
   registry : Proc.t;
   tables : Nvcaracal.Table.t list;
   tracer : Tracer.t;
@@ -87,12 +87,16 @@ type t = {
 }
 
 let create ?(cfg = config ()) ?(tracer = Tracer.null) ?(metrics = Metrics.null) ?journal
-    ~engine ~registry ~tables () =
+    ~shards ~registry ~tables () =
   if cfg.checkpoint_every > 0 && journal = None then
     invalid_arg "Batcher.create: checkpoint_every needs a journal";
+  if cfg.checkpoint_every > 0 && Shard_set.local_engine shards = None then
+    (* A checkpoint is one engine's pmem image; a routed cluster has no
+       such image here — its durability is each shard's own journal. *)
+    invalid_arg "Batcher.create: checkpointing is single-shard only (cluster mode replays)";
   {
     cfg;
-    engine;
+    shards;
     registry;
     tables;
     tracer;
@@ -122,7 +126,13 @@ let create ?(cfg = config ()) ?(tracer = Tracer.null) ?(metrics = Metrics.null) 
     m_rejected = Metrics.counter metrics "frontend.rejected";
   }
 
-let engine t = t.engine
+let shard_set t = t.shards
+
+let engine t =
+  match Shard_set.local_engine t.shards with
+  | Some e -> e
+  | None -> invalid_arg "Batcher.engine: cluster-backed batcher has no local engine"
+
 let pending t = t.pending_total
 let epochs_run t = t.epochs
 let admitted t = t.admitted
@@ -294,19 +304,25 @@ let exec_batch t batch =
   Array.iter (fun e -> e.e_close_tick <- t.tick) batch;
   t.batches_rev <- Array.map (fun e -> e.e_call) batch :: t.batches_rev;
   Metrics.observe t.m_batch_size (float_of_int (Array.length batch));
-  let (Engine_intf.Packed ((module E), db)) = t.engine in
-  let before = E.total_time_ns db in
-  let _stats, _deferred =
-    Tracer.span t.tracer ~core:0 ~name:"frontend.batch" ~cat:"frontend" (fun () ->
-        E.run_batch db (Array.map (fun e -> e.e_txn) batch))
+  let calls =
+    Array.map
+      (fun e ->
+        let proc, args = e.e_call in
+        { Shard_set.c_client = e.e_client; c_seq = e.e_req; c_proc = proc; c_args = args;
+          c_txn = e.e_txn })
+      batch
   in
-  Metrics.observe t.m_exec_ns (E.total_time_ns db -. before);
+  let before = Shard_set.total_time_ns t.shards in
+  let outcomes =
+    Tracer.span t.tracer ~core:0 ~name:"frontend.batch" ~cat:"frontend" (fun () ->
+        Shard_set.exec t.shards calls)
+  in
+  Metrics.observe t.m_exec_ns (Shard_set.total_time_ns t.shards -. before);
   t.epochs <- t.epochs + 1;
   t.batches_run <- t.batches_run + 1;
   (* The epoch is checkpointed: outcomes are now visible (section
      6.2.3) and replies may flow. Deferred conflict victims stay
      unanswered and head the next batch under their original order. *)
-  let outcomes = E.last_batch_outcomes db in
   Nv_util.Crashpoint.hit "pre-reply";
   let deferred = ref [] in
   Array.iteri
@@ -341,7 +357,9 @@ let checkpoint_now t =
   | Some j ->
       if t.carryover <> [] then false
       else begin
-        let (Engine_intf.Packed ((module E), db)) = t.engine in
+        match Shard_set.local_engine t.shards with
+        | None -> false
+        | Some (Engine_intf.Packed ((module E), db)) ->
         let pm = E.pmem db in
         let image = Pmem.read_bytes pm ~off:0 ~len:(Pmem.size pm) in
         Journal.write_checkpoint j ~batches:t.batches_run ~sessions:(session_states t) ~image;
@@ -466,7 +484,7 @@ let drain t =
     run t
   done
 
-let state_digest t = Nv_harness.Engine.state_digest t.engine ~tables:t.tables
+let state_digest t = Shard_set.digest t.shards
 
 (* ------------------------------------------------------------------ *)
 (* Restart recovery                                                    *)

@@ -60,16 +60,19 @@ val create :
   ?tracer:Nv_obs.Tracer.t ->
   ?metrics:Nv_obs.Metrics.t ->
   ?journal:Journal.t ->
-  engine:Nvcaracal.Engine_intf.packed ->
+  shards:Shard_set.t ->
   registry:Proc.t ->
   tables:Nvcaracal.Table.t list ->
   unit ->
   t
-(** Wrap a loaded engine. [metrics] (if enabled) gains queue-depth
-    gauges plus queue-wait, batch-size, epoch-execution and
-    checkpoint-to-reply histograms under the [frontend.] prefix.
-    [checkpoint_every > 0] without a [journal] raises
-    [Invalid_argument]. *)
+(** Wrap an execution seam — {!Shard_set.local} for one loaded engine
+    (the classic single-shard server), {!Shard_set.cluster} for routed
+    multi-shard serving; the batcher is identical either way. [metrics]
+    (if enabled) gains queue-depth gauges plus queue-wait, batch-size,
+    epoch-execution and checkpoint-to-reply histograms under the
+    [frontend.] prefix. [checkpoint_every > 0] without a [journal], or
+    on a cluster-backed set (whose durability is each shard's own
+    journal, never one pmem image), raises [Invalid_argument]. *)
 
 val connect : ?id:int -> ?resume:bool -> t -> reply:(Wire.response -> unit) option -> client
 (** Attach to a session. Without [id] a fresh unused id is assigned.
@@ -135,7 +138,8 @@ val drain : t -> unit
 val checkpoint_now : t -> bool
 (** Write a covering checkpoint (engine pmem image + session table) and
     truncate the journal to it. A no-op returning [false] without a
-    journal, or while conflict-deferred carryover is outstanding —
+    journal, on a cluster-backed set (no single pmem image exists), or
+    while conflict-deferred carryover is outstanding —
     truncation must never orphan a deferred call whose bytes live only
     in the journal. *)
 
@@ -162,7 +166,13 @@ val outstanding : client -> int
 val last_acked : client -> int
 (** Highest sequence number acknowledged to this session. *)
 
+val shard_set : t -> Shard_set.t
+
 val engine : t -> Nvcaracal.Engine_intf.packed
+(** The local engine of a {!Shard_set.local}-backed batcher. Raises
+    [Invalid_argument] on a cluster-backed one — checkpointing and
+    pmem oracles have no single engine to reach there. *)
+
 val journal : t -> Journal.t option
 val pending : t -> int
 
@@ -207,4 +217,5 @@ val admitted_batches : t -> (string * bytes) array list
     the served state exactly. *)
 
 val state_digest : t -> int64
-(** {!Nv_harness.Engine.state_digest} of the engine's committed state. *)
+(** {!Shard_set.digest} of the committed state: the engine's FNV-chain
+    digest on a local set, the XOR cluster digest on a routed one. *)

@@ -11,6 +11,7 @@ type config = {
   contention : string;
   engine : string;
   wseed : int;
+  shards : int;
   dir : string option;
   keep : bool;
   timeout_s : float;
@@ -19,15 +20,18 @@ type config = {
 
 let config ?(seed = 1) ?(iterations = 25) ?(clients = 8) ?(txns_per_client = 200)
     ?(checkpoint_every = 0) ?(workload = "ycsb-tiny") ?(contention = "med")
-    ?(engine = "nvcaracal") ?(wseed = 42) ?dir ?(keep = false) ?timeout_s
+    ?(engine = "nvcaracal") ?(wseed = 42) ?(shards = 1) ?dir ?(keep = false) ?timeout_s
     ?(log = fun _ -> ()) ~exe () =
   if iterations < 0 then invalid_arg "Chaos.config: iterations must be >= 0";
   if clients <= 0 then invalid_arg "Chaos.config: clients must be positive";
+  if shards < 1 then invalid_arg "Chaos.config: shards must be >= 1";
+  if shards > 1 && checkpoint_every > 0 then
+    invalid_arg "Chaos.config: checkpointing is single-shard only (cluster recovery is replay)";
   let timeout_s =
     match timeout_s with Some t -> t | None -> 120.0 +. (10.0 *. float_of_int iterations)
   in
   { exe; seed; iterations; clients; txns_per_client; checkpoint_every; workload; contention;
-    engine; wseed; dir; keep; timeout_s; log }
+    engine; wseed; shards; dir; keep; timeout_s; log }
 
 type outcome = {
   crashes : int;  (** kill-9s observed (injected crashpoints that fired) *)
@@ -59,22 +63,53 @@ let plan_of cfg =
       let point, bound = points.(Rng.int rng (Array.length points)) in
       (point, 1 + Rng.int rng bound))
 
+(* Cluster campaigns kill shard processes instead: each plan entry is a
+   SHARD:POINT:N spec. The whole plan is armed once, on the router, via
+   NVC_SHARD_CRASHPOINT; the router consumes one spec per (re)spawn of
+   the targeted shard, so a multi-spec plan cascades — a shard crashes,
+   respawns armed with its next spec, and crashes again. All three
+   points straddle the fence's durability boundary (before journaling,
+   after journaling, after applying). *)
+let shard_points = [| ("shard-fence", 8); ("shard-post-journal", 8); ("shard-applied", 8) |]
+
+let shard_plan_of cfg =
+  let rng = Rng.create cfg.seed in
+  Array.init cfg.iterations (fun _ ->
+      let point, bound = shard_points.(Rng.int rng (Array.length shard_points)) in
+      (Rng.int rng cfg.shards, point, 1 + Rng.int rng bound))
+
 (* ------------------------------------------------------------------ *)
 (* Child processes                                                     *)
 
 let base_env () =
+  let drops = [ "NVC_CRASHPOINT="; "NVC_SHARD_CRASHPOINT=" ] in
   Array.of_list
     (List.filter
-       (fun s -> not (String.length s >= 15 && String.sub s 0 15 = "NVC_CRASHPOINT="))
+       (fun s ->
+         not
+           (List.exists
+              (fun p -> String.length s >= String.length p && String.sub s 0 (String.length p) = p)
+              drops))
        (Array.to_list (Unix.environment ())))
 
-let spawn ?crashpoint exe args ~out =
-  let env =
-    match crashpoint with
-    | None -> base_env ()
-    | Some (point, n) ->
-        Array.append (base_env ()) [| Printf.sprintf "NVC_CRASHPOINT=%s:%d" point n |]
+let spawn ?crashpoint ?shard_plan exe args ~out =
+  let extra =
+    (match crashpoint with
+    | None -> []
+    | Some (point, n) -> [ Printf.sprintf "NVC_CRASHPOINT=%s:%d" point n ])
+    @
+    match shard_plan with
+    | None | Some [||] -> []
+    | Some plan ->
+        [
+          "NVC_SHARD_CRASHPOINT="
+          ^ String.concat ","
+              (List.map
+                 (fun (s, p, n) -> Printf.sprintf "%d:%s:%d" s p n)
+                 (Array.to_list plan));
+        ]
   in
+  let env = Array.append (base_env ()) (Array.of_list extra) in
   let fd = Unix.openfile out [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_APPEND ] 0o644 in
   let pid =
     Unix.create_process_env exe (Array.of_list (exe :: args)) env Unix.stdin fd fd
@@ -88,6 +123,7 @@ let server_args cfg ~sock ~journal ~recover =
     journal; "--checkpoint-every"; string_of_int cfg.checkpoint_every; "--batch-target";
     string_of_int batch_target; "--deadline-ticks"; string_of_int deadline_ticks;
     "--capacity"; string_of_int capacity ]
+  @ (if cfg.shards > 1 then [ "--shards"; string_of_int cfg.shards ] else [])
   @ (if recover then [ "--recover" ] else [])
 
 let loadgen_args cfg ~sock =
@@ -116,7 +152,7 @@ let kill_quiet pid =
 
 let counter_keys =
   [ "sent"; "committed"; "aborted"; "rejected"; "protocol errors"; "reconnects";
-    "duplicates"; "replayed"; "state digest"; "pmem crc" ]
+    "duplicates"; "replayed"; "state digest"; "pmem crc"; "shard respawns" ]
 
 (* Parse "key   value" summary lines as printed by [nvdb serve] and
    [nvdb loadgen]; later occurrences win, so a log holding several
@@ -174,7 +210,10 @@ let oracle cfg ~journal_path =
   let b =
     Batcher.create
       ~cfg:(Batcher.config ~batch_target ~deadline_ticks ())
-      ~engine:boot.Restart.engine ~registry ~tables:w.Nv_workloads.Workload.tables ()
+      ~shards:
+        (Shard_set.local ~engine:boot.Restart.engine
+           ~tables:w.Nv_workloads.Workload.tables)
+      ~registry ~tables:w.Nv_workloads.Workload.tables ()
   in
   Batcher.recover b ~records:opened.Journal.records ~sessions:boot.Restart.sessions
     ~batches_done:boot.Restart.batches_done;
@@ -185,6 +224,45 @@ let oracle cfg ~journal_path =
   let crc = Nv_util.Crc32c.bytes image 0 (Bytes.length image) in
   Journal.close opened.Journal.journal;
   (digest, crc)
+
+(* The cluster counterpart: replay the ROUTER's journal through a
+   1-member in-process cluster. The cluster digest is placement- and
+   shard-count-independent by construction, so the 1-shard replay must
+   land on the exact XOR digest the N-shard router printed when it
+   exited — even though shards crashed and respawned all campaign long.
+   No pmem CRC here: a cluster has no single persistent image. *)
+let cluster_oracle cfg ~journal_path =
+  let w, growth = Nv_harness.Cli.resolve_workload cfg.workload cfg.contention in
+  let spec = Nv_harness.Cli.resolve_engine cfg.engine in
+  let spec = { spec with Nv_harness.Engine.crash_safe = true } in
+  let setup =
+    Nv_harness.Engine.setup
+      ~epochs:((capacity / batch_target) + 1)
+      ~epoch_txns:batch_target ~seed:cfg.wseed ~insert_growth:growth ()
+  in
+  let meta =
+    Restart.meta ~workload:cfg.workload ~contention:cfg.contention ~engine:cfg.engine
+      ~seed:cfg.wseed
+    ^ Printf.sprintf "#cluster%d" cfg.shards
+  in
+  let registry = Proc.of_workload w in
+  let opened = Journal.load ~path:journal_path ~meta in
+  let packed = Nv_harness.Engine.instantiate spec setup w in
+  let shard =
+    Shard.create ~shard_id:0 ~shards:1 ~engine:packed ~registry
+      ~tables:w.Nv_workloads.Workload.tables ()
+  in
+  Shard.bulk_load shard (w.Nv_workloads.Workload.load ());
+  let set = Shard_set.cluster [| Shard_set.in_process shard |] in
+  let b =
+    Batcher.create
+      ~cfg:(Batcher.config ~batch_target ~deadline_ticks ())
+      ~shards:set ~registry ~tables:w.Nv_workloads.Workload.tables ()
+  in
+  Batcher.recover b ~records:opened.Journal.records ~sessions:[] ~batches_done:0;
+  let digest = Shard_set.digest set in
+  Journal.close opened.Journal.journal;
+  digest
 
 (* ------------------------------------------------------------------ *)
 (* Campaign                                                            *)
@@ -207,10 +285,20 @@ let run cfg =
   let journal_path = Filename.concat dir "journal" in
   let server_log = Filename.concat dir "server.log" in
   let loadgen_log = Filename.concat dir "loadgen.log" in
-  List.iter
-    (fun f -> try Sys.remove f with Sys_error _ -> ())
-    [ sock; journal_path; journal_path ^ ".ckpt"; server_log; loadgen_log ];
-  let plan = plan_of cfg in
+  let artifact_files =
+    [ sock; journal_path; journal_path ^ ".ckpt"; server_log; loadgen_log ]
+    @ (if cfg.shards > 1 then
+         List.concat
+           (List.init cfg.shards (fun i ->
+                [
+                  Printf.sprintf "%s.shard%d" sock i;
+                  Printf.sprintf "%s.shard%d" journal_path i;
+                ]))
+       else [])
+  in
+  List.iter (fun f -> try Sys.remove f with Sys_error _ -> ()) artifact_files;
+  let plan = if cfg.shards > 1 then [||] else plan_of cfg in
+  let shard_plan = if cfg.shards > 1 then shard_plan_of cfg else [||] in
   let failures = ref [] in
   let fail fmt = Printf.ksprintf (fun s -> failures := s :: !failures) fmt in
   let crashes = ref 0 and recoveries = ref 0 and plan_next = ref 0 in
@@ -223,17 +311,32 @@ let run cfg =
     else None
   in
   let start_server ~recover =
-    let cp = next_crashpoint () in
-    (match cp with
-    | Some (p, n) ->
-        cfg.log
-          (Printf.sprintf "server up (%s, crashpoint %s:%d)"
-             (if recover then "recover" else "fresh")
-             p n)
-    | None ->
-        cfg.log (Printf.sprintf "server up (%s, no crashpoint)" (if recover then "recover" else "fresh")));
-    spawn ?crashpoint:cp cfg.exe (server_args cfg ~sock ~journal:journal_path ~recover)
-      ~out:server_log
+    if cfg.shards > 1 then begin
+      (* One router generation carries the whole campaign: the shard
+         crash plan is armed up front and the router's own supervisor
+         respawns each victim with --recover. *)
+      cfg.log
+        (Printf.sprintf "router up (%s, %d shard crash specs over %d shards)"
+           (if recover then "recover" else "fresh")
+           (Array.length shard_plan) cfg.shards);
+      spawn ~shard_plan cfg.exe (server_args cfg ~sock ~journal:journal_path ~recover)
+        ~out:server_log
+    end
+    else begin
+      let cp = next_crashpoint () in
+      (match cp with
+      | Some (p, n) ->
+          cfg.log
+            (Printf.sprintf "server up (%s, crashpoint %s:%d)"
+               (if recover then "recover" else "fresh")
+               p n)
+      | None ->
+          cfg.log
+            (Printf.sprintf "server up (%s, no crashpoint)"
+               (if recover then "recover" else "fresh")));
+      spawn ?crashpoint:cp cfg.exe (server_args cfg ~sock ~journal:journal_path ~recover)
+        ~out:server_log
+    end
   in
   let server_pid = ref (start_server ~recover:false) in
   let loadgen_pid = spawn cfg.exe (loadgen_args cfg ~sock) ~out:loadgen_log in
@@ -250,7 +353,10 @@ let run cfg =
        (if not !server_exited then
           match Unix.waitpid [ Unix.WNOHANG ] !server_pid with
           | 0, _ -> ()
-          | _, Unix.WSIGNALED s when s = Sys.sigkill ->
+          | _, Unix.WSIGNALED s when s = Sys.sigkill && cfg.shards = 1 ->
+              (* Cluster mode never falls here: crashpoints kill shard
+                 processes, which the router respawns itself — a killed
+                 ROUTER would be an external actor, and fails below. *)
               incr crashes;
               cfg.log (Printf.sprintf "server killed (crash %d)" !crashes);
               incr recoveries;
@@ -304,26 +410,44 @@ let run cfg =
     if sent = 0 then fail "loadgen sent nothing";
     if committed + aborted + rejected <> sent then
       fail "unanswered calls: sent %d, answered %d" sent (committed + aborted + rejected);
-    (* Determinism oracle: offline replay of the durable artifacts must
-       reproduce the dying server's parting digest and pmem image CRC. *)
-    match (Hashtbl.find_opt sv "state digest", Hashtbl.find_opt sv "pmem crc") with
-    | None, _ | _, None -> fail "server log holds no final digest/CRC (see %s)" server_log
-    | Some d, Some c -> (
-        match oracle cfg ~journal_path with
-        | exception e -> fail "offline replay failed: %s" (Printexc.to_string e)
-        | digest, crc ->
-            let sd = Printf.sprintf "%Lx" digest in
-            let sc = Printf.sprintf "%08lx" crc in
-            if not (String.equal d sd) then
-              fail "pmem-image oracle: digest mismatch (server %s, replay %s)" d sd;
-            if not (String.equal c sc) then
-              fail "pmem-image oracle: CRC mismatch (server %s, replay %s)" c sc)
+    if cfg.shards > 1 then begin
+      (* Cluster determinism oracle: the router journal replayed through
+         a 1-member in-process cluster must reproduce the N-shard
+         router's parting XOR digest, shard crashes and all. *)
+      (match int_of sv "shard respawns" with
+      | Some n ->
+          crashes := n;
+          recoveries := n
+      | None -> fail "server log holds no shard-respawn count (see %s)" server_log);
+      match Hashtbl.find_opt sv "state digest" with
+      | None -> fail "server log holds no final digest (see %s)" server_log
+      | Some d -> (
+          match cluster_oracle cfg ~journal_path with
+          | exception e -> fail "offline cluster replay failed: %s" (Printexc.to_string e)
+          | digest ->
+              let sd = Printf.sprintf "%Lx" digest in
+              if not (String.equal d sd) then
+                fail "cluster oracle: digest mismatch (router %s, 1-shard replay %s)" d sd)
+    end
+    else
+      (* Determinism oracle: offline replay of the durable artifacts must
+         reproduce the dying server's parting digest and pmem image CRC. *)
+      match (Hashtbl.find_opt sv "state digest", Hashtbl.find_opt sv "pmem crc") with
+      | None, _ | _, None -> fail "server log holds no final digest/CRC (see %s)" server_log
+      | Some d, Some c -> (
+          match oracle cfg ~journal_path with
+          | exception e -> fail "offline replay failed: %s" (Printexc.to_string e)
+          | digest, crc ->
+              let sd = Printf.sprintf "%Lx" digest in
+              let sc = Printf.sprintf "%08lx" crc in
+              if not (String.equal d sd) then
+                fail "pmem-image oracle: digest mismatch (server %s, replay %s)" d sd;
+              if not (String.equal c sc) then
+                fail "pmem-image oracle: CRC mismatch (server %s, replay %s)" c sc)
   end;
   let keep = cfg.keep || !failures <> [] in
   if not keep then begin
-    List.iter
-      (fun f -> try Sys.remove f with Sys_error _ -> ())
-      [ sock; journal_path; journal_path ^ ".ckpt"; server_log; loadgen_log ];
+    List.iter (fun f -> try Sys.remove f with Sys_error _ -> ()) artifact_files;
     try Unix.rmdir dir with Unix.Unix_error _ -> ()
   end;
   {

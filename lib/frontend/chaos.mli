@@ -18,7 +18,17 @@
 
     Everything a campaign touches lives in one artifact directory
     (socket, journal, both process logs), removed on success and kept
-    on failure for post-mortem. *)
+    on failure for post-mortem.
+
+    With [shards > 1] the campaign turns on the routed cluster instead:
+    one router generation serves the whole run, the seeded plan becomes
+    shard-targeted crash specs ([NVC_SHARD_CRASHPOINT=shard:point:n],
+    points straddling each fence's journal/apply boundary), and the
+    router's own supervisor answers every shard kill-9 with a respawn
+    under [--recover]. The oracle becomes the cross-shard-count
+    determinism check: the router journal replayed through a 1-member
+    in-process cluster must reproduce the N-shard router's parting XOR
+    digest (no pmem CRC — a cluster has no single persistent image). *)
 
 type config = private {
   exe : string;  (** the nvdb binary to spawn, normally [Sys.executable_name] *)
@@ -31,6 +41,7 @@ type config = private {
   contention : string;
   engine : string;
   wseed : int;  (** workload seed *)
+  shards : int;  (** 1 = classic single-shard campaign; >1 = routed cluster *)
   dir : string option;  (** artifact directory; default under [TMPDIR] *)
   keep : bool;  (** keep artifacts even on success *)
   timeout_s : float;
@@ -47,6 +58,7 @@ val config :
   ?contention:string ->
   ?engine:string ->
   ?wseed:int ->
+  ?shards:int ->
   ?dir:string ->
   ?keep:bool ->
   ?timeout_s:float ->
@@ -55,8 +67,10 @@ val config :
   unit ->
   config
 (** Defaults: seed 1, 25 iterations, 8 clients x 200 txns, no
-    checkpoints, ycsb-tiny/med on nvcaracal with workload seed 42,
-    timeout scaled to the iteration count. *)
+    checkpoints, ycsb-tiny/med on nvcaracal with workload seed 42, one
+    shard, timeout scaled to the iteration count. Raises
+    [Invalid_argument] for [shards > 1] with [checkpoint_every > 0]
+    (cluster recovery is journal replay, never a checkpoint image). *)
 
 type outcome = {
   crashes : int;  (** kill-9s that actually fired *)

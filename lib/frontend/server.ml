@@ -79,9 +79,9 @@ let bind_listen = function
       Unix.listen fd 64;
       fd
 
-let create ?tracer ?metrics ?journal ?on_stats ~engine ~registry ~tables (cfg : config) =
+let create ?tracer ?metrics ?journal ?on_stats ~shards ~registry ~tables (cfg : config) =
   let batcher =
-    Batcher.create ~cfg:cfg.batcher ?tracer ?metrics ?journal ~engine ~registry ~tables ()
+    Batcher.create ~cfg:cfg.batcher ?tracer ?metrics ?journal ~shards ~registry ~tables ()
   in
   let listen_fd = bind_listen cfg.address in
   Unix.set_nonblock listen_fd;
@@ -181,25 +181,36 @@ let live_stats_json t =
   let procs =
     List.filter (fun (_, h) -> H.count h > 0) (Batcher.proc_latencies t.batcher)
   in
-  let (Nvcaracal.Engine_intf.Packed ((module E), db)) = Batcher.engine t.batcher in
+  let shards = Batcher.shard_set t.batcher in
   (* Wide-execution telemetry: batches that ran on more than one domain,
-     and the cumulative reasons the rest were forced serial. *)
+     and the cumulative reasons the rest were forced serial. A routed
+     cluster reports zeros — that telemetry lives in the shard
+     processes. *)
+  let intro = Shard_set.introspect shards in
   let execution =
     J.Assoc
-      (("wide_execs", J.Int (E.wide_execs db))
-      :: List.map (fun (label, n) -> (label, J.Int n)) (E.serial_reasons db))
+      (("wide_execs", J.Int intro.Nvcaracal.Engine_intf.wide_execs)
+      :: List.map (fun (label, n) -> (label, J.Int n)) intro.Nvcaracal.Engine_intf.serial_reasons)
   in
   (* The durability block appears only on journaled servers: the state
      digest and full-image CRC are the chaos harness's oracle inputs,
      and pricing the image scan into every plain [Stats] poll would be
-     waste. *)
+     waste. The pmem CRC exists only with a local engine; a cluster's
+     images live in the shard processes, so its oracle is the
+     (placement-independent) state digest alone. *)
   let durability =
     match Batcher.journal t.batcher with
     | None -> []
     | Some j ->
-        let pm = E.pmem db in
-        let image = Nv_nvmm.Pmem.read_bytes pm ~off:0 ~len:(Nv_nvmm.Pmem.size pm) in
-        let crc = Nv_util.Crc32c.bytes image 0 (Bytes.length image) in
+        let pmem_crc =
+          match Shard_set.local_engine shards with
+          | None -> []
+          | Some (Nvcaracal.Engine_intf.Packed ((module E), db)) ->
+              let pm = E.pmem db in
+              let image = Nv_nvmm.Pmem.read_bytes pm ~off:0 ~len:(Nv_nvmm.Pmem.size pm) in
+              let crc = Nv_util.Crc32c.bytes image 0 (Bytes.length image) in
+              [ ("pmem_crc", J.String (Printf.sprintf "%08lx" crc)) ]
+        in
         [
           ( "journal",
             J.Assoc
@@ -210,8 +221,8 @@ let live_stats_json t =
                 ("batches_run", J.Int (Batcher.batches_run t.batcher));
               ] );
           ("state_digest", J.String (Printf.sprintf "%016Lx" (digest t)));
-          ("pmem_crc", J.String (Printf.sprintf "%08lx" crc));
         ]
+        @ pmem_crc
   in
   J.to_string
     (J.Assoc
@@ -288,6 +299,10 @@ let handle_request t conn (req : Wire.request) =
   | Wire.Shutdown, _ -> t.shutdown <- true
   (* Stats needs no Hello: monitoring tools connect, ask, disconnect. *)
   | Wire.Stats, _ -> push t conn (Wire.Stats_ok { json = live_stats_json t })
+  (* The shard plane is router-to-shard traffic ({!Shard.serve} owns
+     it); on the client endpoint it is as malformed as a bad tag. *)
+  | Wire.(Shard_hello _ | Route _ | Fence _), _ ->
+      protocol_error t conn "shard-plane frame on a client endpoint"
 
 let handle_readable t conn =
   if conn.closing then ()
@@ -441,12 +456,12 @@ let finish t =
   let d = digest t in
   { (stats t) with digest = d }
 
-let serve ?tracer ?metrics ?journal ?recovery ?should_stop ?on_stats ~engine ~registry
+let serve ?tracer ?metrics ?journal ?recovery ?should_stop ?on_stats ~shards ~registry
     ~tables cfg =
   (* Clients can vanish between select and write; take EPIPE on the
      write path (handled as a dropped connection) over SIGPIPE. *)
   if not Sys.win32 then Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
-  let t = create ?tracer ?metrics ?journal ?on_stats ~engine ~registry ~tables cfg in
+  let t = create ?tracer ?metrics ?journal ?on_stats ~shards ~registry ~tables cfg in
   (match recovery with
   | Some r ->
       Batcher.recover t.batcher ~records:r.rec_records ~sessions:r.rec_sessions

@@ -58,24 +58,29 @@ val serve :
   ?recovery:recovery ->
   ?should_stop:(unit -> bool) ->
   ?on_stats:(string -> unit) ->
-  engine:Nvcaracal.Engine_intf.packed ->
+  shards:Shard_set.t ->
   registry:Proc.t ->
   tables:Nvcaracal.Table.t list ->
   config ->
   stats
 (** Bind, serve until [Shutdown] / [should_stop] (or, with [once], until
-    the first wave of clients has disconnected), drain, and report. The
-    engine must be loaded; it is driven only from this thread. With
-    [journal], every formed batch is persisted before it runs; with
-    [recovery], the journaled tail is replayed through the batcher
-    before the first connection is accepted.
+    the first wave of clients has disconnected), drain, and report.
+    [shards] is the execution seam: {!Shard_set.local} over a loaded
+    engine for classic single-shard serving, {!Shard_set.cluster} to
+    route every batch across a multi-shard deployment — the serving
+    loop is identical either way. With [journal], every formed batch is
+    persisted before it runs; with [recovery], the journaled tail is
+    replayed through the batcher before the first connection is
+    accepted.
 
     A [Stats] request on any connection (no [Hello] needed) is answered
     with a [Stats_ok] JSON snapshot: uptime, connection, session and
     admission counters, epoch rate, per-procedure wall-latency
     percentiles (p50/p99/p999), and per-domain pool telemetry — plus,
     on journaled servers only, the journal occupancy, committed-state
-    digest and full pmem-image CRC (hex strings; the chaos oracle).
+    digest and — single-shard only; a cluster's images live in the
+    shard processes — the full pmem-image CRC (hex strings; the chaos
+    oracle).
     [on_stats] (with [stats_interval_s > 0]) additionally receives that
     snapshot periodically — one JSON line per interval, ready for a
     JSONL log. *)

@@ -1,0 +1,122 @@
+(** One member of a routed multi-shard cluster: the shard-plane
+    executor behind {!Wire.Route}/{!Wire.Fence}.
+
+    A shard owns the keys the placement hash assigns it ({!owner} — the
+    same hash {!Nvcaracal.Partition} uses) and executes every epoch in
+    two rounds, after Calvin/Aria: the router fixes one global serial
+    order per epoch and broadcasts the {e whole} batch to every shard
+    ([Route]); each shard runs a reconnaissance pass — declared write
+    sets seed owned keys for free, transactions with undeclared reads
+    execute speculatively with owned reads answered from committed
+    state and remote reads from the router's partial table — and
+    replies with the owned values the epoch touches plus a
+    completeness flag; the router merges, and iterates Route with the
+    growing table until every shard is complete, then broadcasts the
+    final read table ([Fence]); each shard then re-executes the batch with all reads
+    resolved, decides each transaction's fate with the shared
+    {!Nvcaracal.Determinism.verdicts} rule — identically everywhere, no
+    voting and no two-phase commit — and commits its owned slice of the
+    writes as one blind-write batch.
+
+    Durability is input-logging: the fence journals the global batch
+    plus the merged read table (a sentinel entry) {e before} applying,
+    so {!recover} replays the shard's journal through the exact live
+    path with no cluster round trip. Applied epochs stay answerable:
+    re-[Route]/re-[Fence] of an applied epoch return the cached full
+    read table and verdicts, which is what lets a recovering router (or
+    a respawned peer) re-drive an epoch some members already applied.
+    The history that backs this idempotency is kept in memory,
+    unbounded — a deliberate simplification documented in
+    docs/CLUSTER.md. *)
+
+type t
+
+val sentinel_client : int
+(** The reserved session id ([0xFFFFFFFF]) under which a fence's merged
+    read table is journaled alongside the epoch's calls. *)
+
+val owner : shards:int -> table:int -> key:int64 -> int
+(** The placement hash: which of [shards] members owns [(table, key)].
+    Identical to {!Nvcaracal.Partition}'s node placement, so a routed
+    cluster and an in-process partitioned engine agree. *)
+
+val create :
+  shard_id:int ->
+  shards:int ->
+  ?journal:Journal.t ->
+  engine:Nvcaracal.Engine_intf.packed ->
+  registry:Proc.t ->
+  tables:Nvcaracal.Table.t list ->
+  unit ->
+  t
+(** Wrap a fresh engine as shard [shard_id] of [shards]. With [journal],
+    every fence is persisted before it applies. Raises
+    [Invalid_argument] on an out-of-range [shard_id]. *)
+
+val bulk_load : t -> (int * int64 * bytes) Seq.t -> unit
+(** Load the workload's rows, keeping only the ones this shard owns. *)
+
+val recover : t -> records:Journal.record list -> unit
+(** Replay a reopened shard journal into a fresh, bulk-loaded shard:
+    each record re-runs its fence (calls + sentinel read table) through
+    the live execution path, reproducing applied state and refilling
+    the idempotency history. Armed crashpoints stay quiet during
+    replay. Raises [Failure] on a gap or a record without its
+    sentinel. *)
+
+val route :
+  t ->
+  epoch:int ->
+  calls:Wire.routed_call array ->
+  reads:Wire.shard_read array ->
+  Wire.shard_read array * bool
+(** Round one (iterable). For the next epoch ([applied + 1]): run a
+    reconnaissance pass against [reads], the partially merged table so
+    far (empty on the first pass), and return this shard's owned
+    reads, sorted by (table, key), plus whether the pass resolved
+    every remote read it attempted. When false, the router must merge
+    and route again before fencing. Repeat routes of the same epoch
+    reuse the rebuilt transactions; only the partial table changes.
+    For an already-applied epoch: return the epoch's {e full} merged
+    read table from history with [true] (idempotent re-route). Raises
+    [Failure] on an epoch gap. *)
+
+val fence : t -> epoch:int -> reads:Wire.shard_read array -> Wire.shard_outcome array * int64
+(** Round two: re-execute the routed epoch under the merged read table,
+    journal, apply owned writes, and return the verdict vector plus the
+    owned-state digest. Idempotent for applied epochs (cached answer).
+    Raises [Failure] without a matching {!route}, or when a read
+    reaches a remote key reconnaissance never discovered (control flow
+    depending on remote values — see docs/CLUSTER.md). *)
+
+val handle : t -> Wire.request -> Wire.response
+(** Dispatch one shard-plane request ([Shard_hello]/[Route]/[Fence]);
+    errors become [Server_error]. [Shard_hello] validates the claimed
+    identity and fences router generations: once a newer generation has
+    said hello, older generations are refused. *)
+
+val serve : t -> address:[ `Unix of string | `Tcp of string * int ] -> should_stop:(unit -> bool) -> unit
+(** Synchronous shard server: accept connections, require [Shard_hello]
+    first, serve the shard plane until [should_stop ()]. A connection
+    whose generation is superseded mid-flight is fenced (its frames are
+    refused), so a zombie router cannot drive the shard after a
+    failover. Removes a Unix socket path on exit. *)
+
+val digest : t -> int64
+(** XOR (over committed rows) of per-row hashes — order- and
+    placement-independent, so XOR-ing every member's digest yields a
+    cluster fingerprint comparable across shard counts. *)
+
+val shard_id : t -> int
+val shards : t -> int
+
+val applied : t -> int
+(** Highest epoch durably applied (0 before the first fence). *)
+
+val engine : t -> Nvcaracal.Engine_intf.packed
+
+val read_committed : t -> table:int -> key:int64 -> bytes option
+(** Committed value of an owned key (tests and probes). *)
+
+val owns : t -> table:int -> key:int64 -> bool
+(** [owner ~shards ~table ~key = shard_id t]. *)

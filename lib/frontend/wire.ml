@@ -1,7 +1,11 @@
 exception Protocol_error of string
 
 let max_frame = 1 lsl 20
-let protocol_version = 2
+let protocol_version = 3
+
+type routed_call = { rc_client : int; rc_seq : int; rc_call : bytes }
+type shard_read = { sr_table : int; sr_key : int64; sr_value : bytes option }
+type shard_outcome = [ `Committed | `Aborted | `Deferred ]
 
 type request =
   | Hello of { client : int; version : int; resume : bool; last_seq : int }
@@ -9,6 +13,9 @@ type request =
   | Bye
   | Shutdown
   | Stats
+  | Shard_hello of { gen : int; shard : int; shards : int; version : int }
+  | Route of { epoch : int; calls : routed_call array; reads : shard_read array }
+  | Fence of { epoch : int; reads : shard_read array }
 
 type reject_reason = [ `Overloaded | `Unknown_proc | `Bad_frame ]
 
@@ -19,21 +26,33 @@ type response =
   | Bye_ok of { digest : int64 }
   | Server_error of string
   | Stats_ok of { json : string }
+  | Shard_hello_ok of { version : int; shard : int; shards : int; applied : int }
+  | Route_reads of { epoch : int; reads : shard_read array; complete : bool }
+  | Fence_ok of { epoch : int; outcomes : shard_outcome array; digest : int64 }
 
 let no_req = 0xFFFFFFFF
 
-(* Tags. Requests are 0x0x, responses 0x8x. *)
+(* Tags. Requests are 0x0x, responses 0x8x. The 0x06..0x08 / 0x87..0x89
+   block is the v3 shard plane: a v2 peer never sees these tags (the
+   router only routes to shards that answered Shard_hello_ok with
+   version >= 3), and every pre-v3 frame is encoded byte-identically. *)
 let tag_hello = 0x01
 let tag_submit = 0x02
 let tag_bye = 0x03
 let tag_shutdown = 0x04
 let tag_stats = 0x05
+let tag_shard_hello = 0x06
+let tag_route = 0x07
+let tag_fence = 0x08
 let tag_hello_ok = 0x81
 let tag_result = 0x82
 let tag_rejected = 0x83
 let tag_bye_ok = 0x84
 let tag_server_error = 0x85
 let tag_stats_ok = 0x86
+let tag_shard_hello_ok = 0x87
+let tag_route_reads = 0x88
+let tag_fence_ok = 0x89
 
 let err fmt = Printf.ksprintf (fun s -> raise (Protocol_error s)) fmt
 
@@ -42,6 +61,62 @@ let add_u32 buf v =
   Buffer.add_int32_le buf (Int32.of_int v)
 
 let get_u32 b off = Int32.to_int (Bytes.get_int32_le b off) land 0xFFFFFFFF
+
+(* Remote-read tables travel in two frames (Fence, Route_reads) with
+   one layout: [u32 n] then per read [u32 table][i64 key][u8 present]
+   [u32 len][len bytes]. An absent value ([present] = 0, len omitted)
+   is a live answer — "that key has no committed row" — distinct from
+   the key not appearing at all. *)
+let add_reads b reads =
+  add_u32 b (Array.length reads);
+  Array.iter
+    (fun { sr_table; sr_key; sr_value } ->
+      add_u32 b sr_table;
+      Buffer.add_int64_le b sr_key;
+      match sr_value with
+      | None -> Buffer.add_uint8 b 0
+      | Some v ->
+          Buffer.add_uint8 b 1;
+          add_u32 b (Bytes.length v);
+          Buffer.add_bytes b v)
+    reads
+
+let need payload n =
+  if Bytes.length payload < n then err "truncated payload: %d < %d" (Bytes.length payload) n
+
+let get_reads payload off =
+  need payload (off + 4);
+  let n = get_u32 payload off in
+  let pos = ref (off + 4) in
+  let reads = Array.make n { sr_table = 0; sr_key = 0L; sr_value = None } in
+  for i = 0 to n - 1 do
+    need payload (!pos + 13);
+    let sr_table = get_u32 payload !pos in
+    let sr_key = Bytes.get_int64_le payload (!pos + 4) in
+    (match Bytes.get_uint8 payload (!pos + 12) with
+    | 0 ->
+        pos := !pos + 13;
+        reads.(i) <- { sr_table; sr_key; sr_value = None }
+    | 1 ->
+        need payload (!pos + 17);
+        let len = get_u32 payload (!pos + 13) in
+        need payload (!pos + 17 + len);
+        let v = Bytes.sub payload (!pos + 17) len in
+        pos := !pos + 17 + len;
+        reads.(i) <- { sr_table; sr_key; sr_value = Some v }
+    | f -> err "bad read-present flag %d" f)
+  done;
+  (reads, !pos)
+
+(* The bare read-table codec, exported for the shard journal: a fence's
+   merged reads are journaled as a sentinel entry so recovery can
+   re-execute the epoch without re-contacting the cluster. *)
+let encode_reads reads =
+  let b = Buffer.create 64 in
+  add_reads b reads;
+  Buffer.to_bytes b
+
+let decode_reads payload = fst (get_reads payload 0)
 
 (* A frame is [u32_le payload_len][payload]; the payload starts with a
    one-byte tag. [frame] seals a tagged body into a full frame. *)
@@ -79,6 +154,31 @@ let encode_request = function
   | Bye -> frame tag_bye (Buffer.create 0)
   | Shutdown -> frame tag_shutdown (Buffer.create 0)
   | Stats -> frame tag_stats (Buffer.create 0)
+  | Shard_hello { gen; shard; shards; version } ->
+      let b = Buffer.create 16 in
+      add_u32 b gen;
+      add_u32 b shard;
+      add_u32 b shards;
+      add_u32 b version;
+      frame tag_shard_hello b
+  | Route { epoch; calls; reads } ->
+      let b = Buffer.create 256 in
+      add_u32 b epoch;
+      add_u32 b (Array.length calls);
+      Array.iter
+        (fun { rc_client; rc_seq; rc_call } ->
+          add_u32 b rc_client;
+          add_u32 b rc_seq;
+          add_u32 b (Bytes.length rc_call);
+          Buffer.add_bytes b rc_call)
+        calls;
+      add_reads b reads;
+      frame tag_route b
+  | Fence { epoch; reads } ->
+      let b = Buffer.create 256 in
+      add_u32 b epoch;
+      add_reads b reads;
+      frame tag_fence b
 
 let reason_code = function `Overloaded -> 0 | `Unknown_proc -> 1 | `Bad_frame -> 2
 
@@ -117,9 +217,30 @@ let encode_response = function
       let b = Buffer.create (String.length json) in
       Buffer.add_string b json;
       frame tag_stats_ok b
-
-let need payload n =
-  if Bytes.length payload < n then err "truncated payload: %d < %d" (Bytes.length payload) n
+  | Shard_hello_ok { version; shard; shards; applied } ->
+      let b = Buffer.create 16 in
+      add_u32 b version;
+      add_u32 b shard;
+      add_u32 b shards;
+      add_u32 b applied;
+      frame tag_shard_hello_ok b
+  | Route_reads { epoch; reads; complete } ->
+      let b = Buffer.create 256 in
+      add_u32 b epoch;
+      Buffer.add_uint8 b (if complete then 1 else 0);
+      add_reads b reads;
+      frame tag_route_reads b
+  | Fence_ok { epoch; outcomes; digest } ->
+      let b = Buffer.create (13 + Array.length outcomes) in
+      add_u32 b epoch;
+      Buffer.add_int64_le b digest;
+      add_u32 b (Array.length outcomes);
+      Array.iter
+        (fun o ->
+          Buffer.add_uint8 b
+            (match o with `Committed -> 0 | `Aborted -> 1 | `Deferred -> 2))
+        outcomes;
+      frame tag_fence_ok b
 
 let decode_request payload =
   need payload 1;
@@ -162,6 +283,41 @@ let decode_request payload =
   else if tag = tag_bye then Bye
   else if tag = tag_shutdown then Shutdown
   else if tag = tag_stats then Stats
+  else if tag = tag_shard_hello then begin
+    need payload 17;
+    Shard_hello
+      {
+        gen = get_u32 payload 1;
+        shard = get_u32 payload 5;
+        shards = get_u32 payload 9;
+        version = get_u32 payload 13;
+      }
+  end
+  else if tag = tag_route then begin
+    need payload 9;
+    let epoch = get_u32 payload 1 in
+    let n = get_u32 payload 5 in
+    let pos = ref 9 in
+    let calls = Array.make n { rc_client = 0; rc_seq = 0; rc_call = Bytes.empty } in
+    for i = 0 to n - 1 do
+      need payload (!pos + 12);
+      let rc_client = get_u32 payload !pos in
+      let rc_seq = get_u32 payload (!pos + 4) in
+      let len = get_u32 payload (!pos + 8) in
+      need payload (!pos + 12 + len);
+      let rc_call = Bytes.sub payload (!pos + 12) len in
+      pos := !pos + 12 + len;
+      calls.(i) <- { rc_client; rc_seq; rc_call }
+    done;
+    let reads, _ = get_reads payload !pos in
+    Route { epoch; calls; reads }
+  end
+  else if tag = tag_fence then begin
+    need payload 5;
+    let epoch = get_u32 payload 1 in
+    let reads, _ = get_reads payload 5 in
+    Fence { epoch; reads }
+  end
   else err "unknown request tag 0x%02x" tag
 
 let decode_response payload =
@@ -199,6 +355,44 @@ let decode_response payload =
     Server_error (Bytes.sub_string payload 1 (Bytes.length payload - 1))
   else if tag = tag_stats_ok then
     Stats_ok { json = Bytes.sub_string payload 1 (Bytes.length payload - 1) }
+  else if tag = tag_shard_hello_ok then begin
+    need payload 17;
+    Shard_hello_ok
+      {
+        version = get_u32 payload 1;
+        shard = get_u32 payload 5;
+        shards = get_u32 payload 9;
+        applied = get_u32 payload 13;
+      }
+  end
+  else if tag = tag_route_reads then begin
+    need payload 6;
+    let epoch = get_u32 payload 1 in
+    let complete =
+      match Bytes.get_uint8 payload 5 with
+      | 0 -> false
+      | 1 -> true
+      | f -> err "bad complete flag %d" f
+    in
+    let reads, _ = get_reads payload 6 in
+    Route_reads { epoch; reads; complete }
+  end
+  else if tag = tag_fence_ok then begin
+    need payload 17;
+    let epoch = get_u32 payload 1 in
+    let digest = Bytes.get_int64_le payload 5 in
+    let n = get_u32 payload 13 in
+    need payload (17 + n);
+    let outcomes =
+      Array.init n (fun i ->
+          match Bytes.get_uint8 payload (17 + i) with
+          | 0 -> `Committed
+          | 1 -> `Aborted
+          | 2 -> `Deferred
+          | c -> err "unknown shard outcome code %d" c)
+    in
+    Fence_ok { epoch; outcomes; digest }
+  end
   else err "unknown response tag 0x%02x" tag
 
 module Reader = struct

@@ -16,11 +16,30 @@ val max_frame : int
     protocol errors. *)
 
 val protocol_version : int
-(** The protocol version this build speaks (2). Version 1 frames
+(** The protocol version this build speaks (3). Version 1 frames
     (label-only [Hello], bare [Hello_ok]) are still decoded, and a
     [Hello] claiming a {e higher} version is accepted too — the server
     clamps to its own version in [Hello_ok] (min of both sides), so
-    future clients can connect and negotiate down. *)
+    future clients can connect and negotiate down. Version 3 adds the
+    {e shard plane} ([Shard_hello]/[Route]/[Fence] and their replies):
+    router-to-shard traffic for epoch-aligned multi-shard serving.
+    Every pre-v3 frame is encoded byte-identically, and a v2 peer
+    never sees a shard-plane tag. *)
+
+type routed_call = { rc_client : int; rc_seq : int; rc_call : bytes }
+(** One globally-sequenced transaction inside a [Route] frame:
+    originating session id, the client's sequence number (together the
+    exactly-once identity), and the encoded procedure call
+    ({!Proc.encode_call} layout). *)
+
+type shard_read = { sr_table : int; sr_key : int64; sr_value : bytes option }
+(** One remote-read answer. [sr_value = None] is a live answer — "that
+    key has no committed row" — distinct from the key being absent
+    from the table of reads. *)
+
+type shard_outcome = [ `Committed | `Aborted | `Deferred ]
+(** Per-transaction verdict a shard reports at the fence. Every shard
+    must report the identical vector — the router asserts it. *)
 
 type request =
   | Hello of { client : int; version : int; resume : bool; last_seq : int }
@@ -46,6 +65,30 @@ type request =
       (** Ask for a live statistics snapshot. Allowed at any point on a
           connection (before [Hello] too: monitoring tools need not
           register as clients). *)
+  | Shard_hello of { gen : int; shard : int; shards : int; version : int }
+      (** Router-to-shard handshake. [gen] is the router's generation
+          number: a shard remembers the highest it has seen and
+          rejects handshakes from older generations, fencing off a
+          zombie router after failover. [shard]/[shards] state which
+          member of how many the router believes it is addressing —
+          the shard verifies both. *)
+  | Route of { epoch : int; calls : routed_call array; reads : shard_read array }
+      (** Round one (possibly iterated): the epoch's complete global
+          batch, in the one serial order every shard must agree on,
+          plus the partially merged read table so far ([reads] is empty
+          on the first pass). The shard executes a reconnaissance pass
+          — local reads answered live, remote reads answered from
+          [reads] or left unresolved — and replies [Route_reads] with
+          the values it owns and whether its pass saw every remote
+          value it needed ([complete]). The router repeats Route with a
+          richer table until every shard is complete, then fences.
+          Re-routing an applied epoch is answered from history — Route
+          is idempotent. *)
+  | Fence of { epoch : int; reads : shard_read array }
+      (** Round two: the merged read table from every shard's
+          [Route_reads]. With all remote reads resolved each shard
+          re-executes deterministically, reserves, applies its owned
+          writes, and replies [Fence_ok]. *)
 
 type reject_reason = [ `Overloaded | `Unknown_proc | `Bad_frame ]
 
@@ -71,6 +114,21 @@ type response =
           binary layout: the snapshot is for humans and scripts, not
           the hot path, and the schema can grow without a protocol
           bump. *)
+  | Shard_hello_ok of { version : int; shard : int; shards : int; applied : int }
+      (** Handshake answer: the shard's protocol version, its identity
+          echo, and the highest epoch it has durably applied — the
+          router resumes routing from [applied + 1]. *)
+  | Route_reads of { epoch : int; reads : shard_read array; complete : bool }
+      (** Round-one reply: the values this shard owns among the
+          epoch's reads, sorted by (table, key). [complete] is false
+          when the reconnaissance pass hit a remote read the supplied
+          partial table could not answer — the router must route
+          again with the merged table before fencing. *)
+  | Fence_ok of { epoch : int; outcomes : shard_outcome array; digest : int64 }
+      (** Round-two reply: the per-transaction verdict vector (one
+          entry per routed call, in batch order — identical on every
+          shard) and the shard's owned-state digest contribution
+          (XOR-combinable across shards). *)
 
 val no_req : int
 (** The request token used when a rejection cannot name a request
@@ -86,6 +144,17 @@ val decode_request : bytes -> request
     @raise Protocol_error on malformed input. *)
 
 val decode_response : bytes -> response
+
+val encode_reads : shard_read array -> bytes
+(** The bare read-table layout ([[u32 n]] then per read
+    [[u32 table][i64 key][u8 present][u32 len][bytes]]), without a
+    frame around it. A shard journals its fence's merged reads in this
+    form (as a sentinel journal entry), so crash recovery re-executes
+    the epoch from the journal alone — no cluster round trip. *)
+
+val decode_reads : bytes -> shard_read array
+(** Inverse of {!encode_reads}. @raise Protocol_error on malformed
+    input. *)
 
 (** Incremental frame extraction over a byte stream: feed whatever the
     socket yielded, pop complete payloads. *)

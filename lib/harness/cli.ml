@@ -74,6 +74,29 @@ let listen =
   in
   Arg.(value & opt string "/tmp/nvdb.sock" & info [ "l"; "listen" ] ~docv:"ADDR" ~doc)
 
+let shards =
+  let doc =
+    "Serve as an $(docv)-shard cluster: spawn $(docv) shard engine processes, hash-route \
+     every key, and run each batch as one epoch-fenced two-round transaction across them. \
+     1 (default) is classic single-shard serving."
+  in
+  Arg.(value & opt int 1 & info [ "shards" ] ~docv:"N" ~doc)
+
+let shard_id =
+  let doc =
+    "(internal) Run as shard $(docv) of a $(b,--shards) cluster, speaking the shard plane \
+     on $(b,--listen). Routers spawn these; invoking one by hand is only useful for \
+     debugging."
+  in
+  Arg.(value & opt (some int) None & info [ "shard-id" ] ~docv:"I" ~doc)
+
+let router =
+  let doc =
+    "Address of the cluster router to drive (overrides $(b,--listen)); clients of a routed \
+     cluster talk to the router only."
+  in
+  Arg.(value & opt (some string) None & info [ "router" ] ~docv:"ADDR" ~doc)
+
 let parse_address s =
   match String.rindex_opt s ':' with
   | Some i ->

@@ -21,6 +21,20 @@ val profile_out : string option Cmdliner.Term.t
 val slow_epoch_ms : float option Cmdliner.Term.t
 val listen : string Cmdliner.Term.t
 
+val shards : int Cmdliner.Term.t
+(** [--shards N]: serve as (or drive) an N-shard routed cluster;
+    1 (default) is single-shard serving. Shared by serve, loadgen,
+    chaos and bench-style drivers so the cluster vocabulary stays
+    uniform. *)
+
+val shard_id : int option Cmdliner.Term.t
+(** [--shard-id I] (internal): run as shard I of a [--shards] cluster —
+    what a router passes to the shard processes it spawns. *)
+
+val router : string option Cmdliner.Term.t
+(** [--router ADDR]: address of the cluster router to drive (overrides
+    [--listen] in client tools). *)
+
 val set_jobs : int -> unit
 (** Install the domain-pool width ({!Engine.default_jobs}); call once
     at argument-parse time. *)

@@ -174,19 +174,5 @@ let recover sp s (w : W.t) ~pmem ~rebuild =
         ( (module Nv_zen.Zen_db.Engine),
           Nv_zen.Zen_db.Engine.recover ~config ~tables:w.W.tables ~pmem ~rebuild () )
 
-let state_digest (Engine_intf.Packed ((module E), db)) ~tables =
-  let module Fnv = Nv_util.Fnv in
-  let h = ref (Fnv.hash_string "committed-state") in
-  List.iter
-    (fun (tb : Nvcaracal.Table.t) ->
-      let rows = ref [] in
-      E.iter_committed db ~table:tb.Nvcaracal.Table.id (fun k v ->
-          rows := (k, Bytes.to_string v) :: !rows);
-      h := Fnv.combine !h (Fnv.hash_int tb.Nvcaracal.Table.id);
-      List.iter
-        (fun (k, v) ->
-          h := Fnv.combine !h (Fnv.hash_int64 k);
-          h := Fnv.combine !h (Fnv.hash_string v))
-        (List.sort compare !rows))
-    tables;
-  Int64.of_int !h
+let introspect (Engine_intf.Packed ((module E), db)) = E.introspect db
+let state_digest packed = (introspect packed).Engine_intf.state_digest

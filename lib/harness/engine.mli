@@ -118,8 +118,13 @@ val recover :
     same spec, setup and workload — and for NVCaracal backends that
     configuration must be crash-safe. *)
 
-val state_digest : Nvcaracal.Engine_intf.packed -> tables:Nvcaracal.Table.t list -> int64
-(** Order-independent fingerprint of the committed state of [tables]:
-    FNV over the sorted (table, key, value) rows. Engines holding equal
+val introspect : Nvcaracal.Engine_intf.packed -> Nvcaracal.Engine_intf.introspection
+(** The engine's uniform inspection snapshot (wide-execution telemetry
+    plus the committed-state digest), unpacked. *)
+
+val state_digest : Nvcaracal.Engine_intf.packed -> int64
+(** Deterministic fingerprint of the engine's committed state: FNV over
+    each table's sorted (key, value) rows. Engines holding equal
     committed state digest equally — what [Bye_ok] reports to clients
-    and what the served-vs-replayed determinism checks compare. *)
+    and what the served-vs-replayed determinism checks compare.
+    Shorthand for [(introspect e).state_digest]. *)

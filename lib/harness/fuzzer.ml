@@ -205,7 +205,7 @@ let run_packed packed (w : W.t) batches =
   | Nvcaracal.Engine_intf.Packed ((module E), db) ->
       E.bulk_load db (w.W.load ());
       List.iter (fun b -> ignore (E.run_batch db b)) batches;
-      (engine_state (module E) db w, E.committed_txns db)
+      ((E.introspect db).Nvcaracal.Engine_intf.state_digest, E.committed_txns db)
 
 let fuzz_diff iter_rng iter ~failures ~log =
   let w = pick_diff_workload iter_rng in
@@ -218,9 +218,9 @@ let fuzz_diff iter_rng iter ~failures ~log =
   in
   let s = Engine.setup ~epochs ~epoch_txns () in
   let run spec = run_packed (Engine.instantiate spec s w) w batches in
-  let nv_state, nv_committed = run (Engine.spec (Engine.Caracal Config.Nvcaracal)) in
-  let zen_state, zen_committed = run (Engine.spec Engine.Zen) in
-  let ok = nv_state = zen_state && nv_committed = zen_committed in
+  let nv_digest, nv_committed = run (Engine.spec (Engine.Caracal Config.Nvcaracal)) in
+  let zen_digest, zen_committed = run (Engine.spec Engine.Zen) in
+  let ok = nv_digest = zen_digest && nv_committed = zen_committed in
   if not ok then
     failures :=
       Printf.sprintf "iter %d: %s (epochs=%d txns=%d) nvcaracal/zen divergence (committed %d vs %d)"

@@ -451,8 +451,16 @@ module Engine :
 
   (* Zen's batch loop is single-domain: nothing ever runs wide, and no
      gate ever fires. *)
-  let wide_execs _ = 0
-  let serial_reasons _ = []
+  let introspect t =
+    {
+      Nvcaracal.Engine_intf.wide_execs = 0;
+      serial_reasons = [];
+      state_digest =
+        Nvcaracal.Engine_intf.digest_committed
+          ~tables:(Array.to_list t.tables)
+          ~iter:(fun ~table f -> iter_committed t ~table f);
+    }
+
   let mem_report = mem_report
   let counters_total = counters_total
   let set_observability = set_observability

@@ -132,3 +132,48 @@ grep -q '^journal records ' "$SERVER2_OUT" || { echo "SIGTERM leg: no journal ac
 [ -f "$JOURNAL2" ] || { echo "SIGTERM leg: journal file missing"; exit 1; }
 
 echo "serve-check OK: SIGTERM drained a journaled server to a clean exit"
+
+# --- Third leg: a 3-shard routed cluster serves the same clients. ---
+# The router spawns three engine shard processes, routes epochs over
+# the wire-v3 shard plane (Route/Fence), and must drain to a clean
+# exit with zero protocol errors, leaving a router journal plus one
+# journal per shard behind.
+SOCK3="${TMPDIR:-/tmp}/nvdb-serve-cluster-$$.sock"
+JOURNAL3="${TMPDIR:-/tmp}/nvdb-serve-cluster-$$.journal"
+SERVER3_OUT="$(mktemp)"
+CLIENT3_OUT="$(mktemp)"
+trap 'kill $SERVER_PID $SERVER2_PID $SERVER3_PID 2>/dev/null || true; rm -f "$SOCK" "$SERVER_OUT" "$CLIENT_OUT" "$STATS_OUT" "$STATS_JSONL" "$SOCK2" "$JOURNAL2" "$JOURNAL2.ckpt" "$SERVER2_OUT" "$CLIENT2_OUT" "$SOCK3" "$SOCK3".shard* "$JOURNAL3" "$JOURNAL3".shard* "$SERVER3_OUT" "$CLIENT3_OUT"' EXIT
+
+"$NVDB" serve --workload ycsb --listen "$SOCK3" --shards 3 \
+  --batch-target 64 --deadline-ticks 4 --capacity 20000 \
+  --journal "$JOURNAL3" \
+  >"$SERVER3_OUT" 2>&1 &
+SERVER3_PID=$!
+
+for _ in $(seq 1 600); do
+  [ -S "$SOCK3" ] && break
+  kill -0 "$SERVER3_PID" 2>/dev/null || { echo "cluster router died before binding"; cat "$SERVER3_OUT"; exit 1; }
+  sleep 0.1
+done
+[ -S "$SOCK3" ] || { echo "cluster router never bound $SOCK3"; cat "$SERVER3_OUT"; exit 1; }
+
+"$NVDB" loadgen --workload ycsb --listen "$SOCK3" \
+  --clients 8 --txns 25 --window 4 --shutdown \
+  >"$CLIENT3_OUT" 2>&1 || { echo "loadgen (cluster leg) failed"; cat "$CLIENT3_OUT"; exit 1; }
+
+SERVER3_RC=0
+wait "$SERVER3_PID" || SERVER3_RC=$?
+if [ "$SERVER3_RC" -ne 0 ]; then
+  echo "cluster router exited with $SERVER3_RC (want 0)"; cat "$SERVER3_OUT"; exit 1
+fi
+grep -q '^protocol errors *0$' "$CLIENT3_OUT" || { echo "cluster leg: client-side protocol errors"; cat "$CLIENT3_OUT"; exit 1; }
+grep -q '^protocol errors *0$' "$SERVER3_OUT" || { echo "cluster leg: router-side protocol errors"; cat "$SERVER3_OUT"; exit 1; }
+grep -q '^admitted *200$' "$SERVER3_OUT" || { echo "cluster leg: router did not admit all 200 txns"; cat "$SERVER3_OUT"; exit 1; }
+grep -q '^shard respawns *0$' "$SERVER3_OUT" || { echo "cluster leg: unexpected shard respawns"; cat "$SERVER3_OUT"; exit 1; }
+[ -S "$SOCK3" ] && { echo "cluster router left its socket behind"; exit 1; }
+[ -f "$JOURNAL3" ] || { echo "cluster leg: router journal missing"; exit 1; }
+for i in 0 1 2; do
+  [ -f "$JOURNAL3.shard$i" ] || { echo "cluster leg: shard $i journal missing"; exit 1; }
+done
+
+echo "serve-check OK: 3-shard cluster drained 8 clients x 25 txns to a clean exit"

@@ -1,0 +1,310 @@
+(* Multi-shard routed serving: wire v3 shard-plane codec, the two-round
+   Route/Fence protocol over in-process members, the cross-shard-count
+   determinism oracle (N-shard served state == 1-shard state, any
+   jobs), shard-journal recovery, and idempotent epoch re-drives. *)
+
+module F_wire = Nv_frontend.Wire
+module F_proc = Nv_frontend.Proc
+module F_shard = Nv_frontend.Shard
+module F_shard_set = Nv_frontend.Shard_set
+module F_journal = Nv_frontend.Journal
+module Engine = Nv_harness.Engine
+module W = Nv_workloads.Workload
+module Rng = Nv_util.Rng
+
+(* ------------------------------------------------------------------ *)
+(* Wire v3: the shard plane round-trips                                *)
+
+let shard_reads =
+  [|
+    { F_wire.sr_table = 0; sr_key = 3L; sr_value = Some (Bytes.of_string "abc") };
+    { F_wire.sr_table = 1; sr_key = -1L; sr_value = None };
+    { F_wire.sr_table = 255; sr_key = Int64.max_int; sr_value = Some Bytes.empty };
+  |]
+
+let shard_requests : F_wire.request list =
+  [
+    F_wire.Shard_hello { gen = 42; shard = 2; shards = 3; version = F_wire.protocol_version };
+    F_wire.Route
+      {
+        epoch = 7;
+        calls =
+          [|
+            { F_wire.rc_client = 1; rc_seq = 9; rc_call = Bytes.of_string "call-a" };
+            { F_wire.rc_client = 0xFFFFFFFE; rc_seq = 0; rc_call = Bytes.empty };
+          |];
+        reads = shard_reads;
+      };
+    F_wire.Route { epoch = 1; calls = [||]; reads = [||] };
+    F_wire.Fence { epoch = 7; reads = shard_reads };
+    F_wire.Fence { epoch = 1; reads = [||] };
+  ]
+
+let shard_responses : F_wire.response list =
+  [
+    F_wire.Shard_hello_ok { version = 3; shard = 2; shards = 3; applied = 41 };
+    F_wire.Route_reads { epoch = 7; reads = shard_reads; complete = true };
+    F_wire.Route_reads { epoch = 1; reads = [||]; complete = false };
+    F_wire.Fence_ok
+      { epoch = 7; outcomes = [| `Committed; `Aborted; `Deferred |]; digest = -1L };
+    F_wire.Fence_ok { epoch = 1; outcomes = [||]; digest = 0L };
+  ]
+
+let test_wire_shard_roundtrip () =
+  List.iter
+    (fun req ->
+      let b = F_wire.encode_request req in
+      let r = F_wire.Reader.create () in
+      F_wire.Reader.feed r b ~off:0 ~len:(Bytes.length b);
+      match F_wire.Reader.next_payload r with
+      | None -> Alcotest.fail "no payload"
+      | Some p -> assert (F_wire.decode_request p = req))
+    shard_requests;
+  List.iter
+    (fun resp ->
+      let b = F_wire.encode_response resp in
+      let r = F_wire.Reader.create () in
+      F_wire.Reader.feed r b ~off:0 ~len:(Bytes.length b);
+      match F_wire.Reader.next_payload r with
+      | None -> Alcotest.fail "no payload"
+      | Some p -> assert (F_wire.decode_response p = resp))
+    shard_responses
+
+let test_wire_reads_roundtrip () =
+  assert (F_wire.decode_reads (F_wire.encode_reads shard_reads) = shard_reads);
+  assert (F_wire.decode_reads (F_wire.encode_reads [||]) = [||])
+
+(* ------------------------------------------------------------------ *)
+(* In-process clusters                                                 *)
+
+let small_ycsb () =
+  Nv_workloads.Ycsb.(
+    make
+      (with_contention `High
+         { default with rows = 128; value_size = 32; update_bytes = 32; hot_rows = 8;
+           ops_per_txn = 4 }))
+
+(* Smallbank's Balance/WriteCheck read undeclared keys across two
+   tables, so its reconnaissance genuinely needs >1 Route round — the
+   iterated-discovery path the declared-reads YCSB never takes. *)
+let small_bank () =
+  Nv_workloads.Smallbank.(
+    make
+      {
+        customers = 64;
+        hot_customers = 8;
+        hot_probability = 0.9;
+        abort_probability = 0.1;
+      })
+
+let mk_shard ?journal ~shard_id ~shards w =
+  let spec = Engine.spec (Engine.Caracal Nvcaracal.Config.Nvcaracal) in
+  let setup = Engine.setup ~epochs:128 ~epoch_txns:64 () in
+  let packed = Engine.instantiate spec setup w in
+  let registry = F_proc.of_workload w in
+  let s =
+    F_shard.create ~shard_id ~shards ?journal ~engine:packed ~registry ~tables:w.W.tables ()
+  in
+  F_shard.bulk_load s (w.W.load ());
+  s
+
+let mk_cluster ~shards w =
+  let members = Array.init shards (fun i -> mk_shard ~shard_id:i ~shards w) in
+  (members, F_shard_set.cluster (Array.map F_shard_set.in_process members))
+
+(* A deterministic batch stream: same seed -> same calls, whatever the
+   cluster size. *)
+let gen_batches w ~seed ~batches ~batch_size =
+  let rng = Rng.create seed in
+  let registry = F_proc.of_workload w in
+  Array.init batches (fun b ->
+      Array.init batch_size (fun i ->
+          let proc, args = w.W.gen_call rng in
+          let txn =
+            match F_proc.build registry ~proc ~args with
+            | Ok t -> t
+            | Error `Unknown_proc -> Alcotest.fail "unknown proc"
+          in
+          {
+            F_shard_set.c_client = i mod 4;
+            c_seq = (b * batch_size) + i;
+            c_proc = proc;
+            c_args = args;
+            c_txn = txn;
+          }))
+
+let drive set batches = Array.map (fun batch -> F_shard_set.exec set batch) batches
+
+(* The tentpole oracle: a routed 3-shard cluster and the 1-shard
+   cluster (and the local single-engine seam) must produce identical
+   verdict vectors and the same placement-independent digest. *)
+let test_cluster_vs_single ?(mk_workload = small_ycsb) ~shards () =
+  let w = mk_workload () in
+  let batches = gen_batches w ~seed:7 ~batches:12 ~batch_size:24 in
+  let _m1, one = mk_cluster ~shards:1 w in
+  let _mn, many = mk_cluster ~shards w in
+  let o1 = drive one batches in
+  let on = drive many batches in
+  Alcotest.(check int) "same batch count" (Array.length o1) (Array.length on);
+  Array.iteri
+    (fun i o ->
+      if o <> on.(i) then Alcotest.failf "verdict vectors diverge at batch %d" i)
+    o1;
+  Alcotest.(check int64) "cluster digest is shard-count independent"
+    (F_shard_set.digest one) (F_shard_set.digest many)
+
+(* Satellite: the routed path is jobs-independent too — the per-shard
+   engines may run their apply epochs on any pool width. *)
+let test_cluster_jobs_identity () =
+  let w = small_ycsb () in
+  let batches = gen_batches w ~seed:11 ~batches:8 ~batch_size:24 in
+  let digest_at jobs =
+    let saved = !Engine.default_jobs in
+    Engine.default_jobs := jobs;
+    Fun.protect
+      ~finally:(fun () -> Engine.default_jobs := saved)
+      (fun () ->
+        let _m, set = mk_cluster ~shards:3 w in
+        let _ = drive set batches in
+        F_shard_set.digest set)
+  in
+  let d1 = digest_at 1 in
+  Alcotest.(check int64) "jobs 2 == jobs 1" d1 (digest_at 2);
+  Alcotest.(check int64) "jobs 4 == jobs 1" d1 (digest_at 4)
+
+(* Shard-journal recovery: kill a shard (here: just forget it), rebuild
+   it from its own journal alone, and the cluster digest must be what
+   it was — input logging is each shard's whole durability story. *)
+let test_shard_journal_recovery () =
+  let w = small_ycsb () in
+  let shards = 3 in
+  let batches = gen_batches w ~seed:13 ~batches:10 ~batch_size:24 in
+  let journals =
+    Array.init shards (fun i -> F_journal.create ~meta:(Printf.sprintf "shard%d" i) ())
+  in
+  let members =
+    Array.init shards (fun i -> mk_shard ~journal:journals.(i) ~shard_id:i ~shards w)
+  in
+  let set = F_shard_set.cluster (Array.map F_shard_set.in_process members) in
+  let _ = drive set batches in
+  let digest_before = F_shard_set.digest set in
+  let applied_before = Array.map F_shard.applied members in
+  (* Rebuild every member from scratch + its journal records. *)
+  let members' =
+    Array.init shards (fun i ->
+        let records, torn = F_journal.rescan journals.(i) in
+        assert (not torn);
+        assert (records <> []);
+        let s = mk_shard ~shard_id:i ~shards w in
+        F_shard.recover s ~records;
+        s)
+  in
+  Array.iteri
+    (fun i s ->
+      Alcotest.(check int)
+        (Printf.sprintf "shard %d applied" i)
+        applied_before.(i) (F_shard.applied s))
+    members';
+  let set' = F_shard_set.cluster (Array.map F_shard_set.in_process members') in
+  Alcotest.(check int64) "digest after journal-only rebuild" digest_before
+    (F_shard_set.digest set');
+  (* And the rebuilt cluster keeps serving: the next epoch runs. *)
+  let more = gen_batches w ~seed:17 ~batches:1 ~batch_size:8 in
+  let _ = drive set' more in
+  ()
+
+(* Idempotent re-drives: an applied epoch answers Route with the full
+   historical read table and Fence with the cached verdicts — what a
+   recovering router leans on. *)
+let test_epoch_redrive () =
+  let w = small_ycsb () in
+  let shards = 3 in
+  let members, set = mk_cluster ~shards w in
+  let batches = gen_batches w ~seed:19 ~batches:3 ~batch_size:16 in
+  let outcomes = drive set batches in
+  Array.iter
+    (fun s ->
+      (* Re-route + re-fence every applied epoch on every member. *)
+      for epoch = 1 to 3 do
+        let reads, complete = F_shard.route s ~epoch ~calls:[||] ~reads:[||] in
+        assert complete;
+        let o, d = F_shard.fence s ~epoch ~reads in
+        let expect : F_wire.shard_outcome array =
+          Array.map
+            (fun (x : [ `Committed | `Aborted | `Deferred ]) ->
+              (x :> F_wire.shard_outcome))
+            outcomes.(epoch - 1)
+        in
+        assert (o = expect);
+        (* The cached digest is the shard's state as of that epoch:
+           stable across re-drives, and equal to the live digest for
+           the newest applied epoch. *)
+        let o2, d2 = F_shard.fence s ~epoch ~reads in
+        assert (o2 = o);
+        Alcotest.(check int64)
+          (Printf.sprintf "redrive digest stable (shard %d epoch %d)" (F_shard.shard_id s)
+             epoch)
+          d d2;
+        if epoch = 3 then
+          Alcotest.(check int64)
+            (Printf.sprintf "final epoch digest is live (shard %d)" (F_shard.shard_id s))
+            (F_shard.digest s) d;
+        ignore reads
+      done)
+    members;
+  (* An epoch gap is refused loudly. *)
+  (match F_shard.route members.(0) ~epoch:6 ~calls:[||] ~reads:[||] with
+  | _ -> Alcotest.fail "epoch gap accepted"
+  | exception Failure _ -> ());
+  (* A fenced generation is refused by handle. *)
+  let hello gen =
+    F_shard.handle members.(0)
+      (F_wire.Shard_hello { gen; shard = 0; shards; version = F_wire.protocol_version })
+  in
+  (match hello 5 with F_wire.Shard_hello_ok _ -> () | _ -> Alcotest.fail "hello 5");
+  (match hello 9 with F_wire.Shard_hello_ok _ -> () | _ -> Alcotest.fail "hello 9");
+  match hello 5 with
+  | F_wire.Server_error _ -> ()
+  | _ -> Alcotest.fail "stale generation accepted"
+
+(* The placement hash is pinned to the one Nvcaracal.Partition uses
+   (FNV combine of key hash and table id, mod members): a routed
+   cluster and an in-process partitioned engine must agree on
+   ownership. *)
+let test_placement_hash_matches_partition () =
+  for k = 0 to 200 do
+    let key = Int64.of_int (k * 7919) in
+    Alcotest.(check int)
+      (Printf.sprintf "owner of %Ld" key)
+      (Nv_util.Fnv.combine (Nv_util.Fnv.hash_int64 key) 0 mod 3)
+      (F_shard.owner ~shards:3 ~table:0 ~key)
+  done
+
+let suites =
+  [
+    ( "cluster.wire",
+      [
+        Alcotest.test_case "shard-plane frames round-trip" `Quick test_wire_shard_roundtrip;
+        Alcotest.test_case "reads blob round-trips (journal sentinel)" `Quick
+          test_wire_reads_roundtrip;
+      ] );
+    ( "cluster.oracle",
+      [
+        Alcotest.test_case "3-shard == 1-shard (verdicts + digest)" `Quick
+          (test_cluster_vs_single ~shards:3);
+        Alcotest.test_case "2-shard == 1-shard (verdicts + digest)" `Quick
+          (test_cluster_vs_single ~shards:2);
+        Alcotest.test_case "3-shard == 1-shard (smallbank, undeclared reads)" `Quick
+          (test_cluster_vs_single ~mk_workload:small_bank ~shards:3);
+        Alcotest.test_case "routed digest is jobs-independent (1/2/4)" `Quick
+          test_cluster_jobs_identity;
+        Alcotest.test_case "placement hash agrees with Partition" `Quick
+          test_placement_hash_matches_partition;
+      ] );
+    ( "cluster.recovery",
+      [
+        Alcotest.test_case "shard journals alone rebuild the cluster" `Quick
+          test_shard_journal_recovery;
+        Alcotest.test_case "applied epochs re-drive idempotently" `Quick test_epoch_redrive;
+      ] );
+  ]

@@ -563,11 +563,11 @@ let test_replication_lagged_reads () =
   (* Replica still serves the pre-epoch value until synced. *)
   Alcotest.(check (option string)) "replica stale" (Some "0000000000000000")
     (Option.map Bytes.to_string
-       (Db.read_committed (Replication.replica pair) ~table:0 ~key:3L));
+       (Db.read_committed (Replication.replica_db pair) ~table:0 ~key:3L));
   Replication.sync pair ();
   Alcotest.(check (option string)) "replica caught up" (Some (String.make 16 'z'))
     (Option.map Bytes.to_string
-       (Db.read_committed (Replication.replica pair) ~table:0 ~key:3L))
+       (Db.read_committed (Replication.replica_db pair) ~table:0 ~key:3L))
 
 let test_replication_failover () =
   let pair = repl_pair () in
@@ -575,10 +575,10 @@ let test_replication_failover () =
     ignore (Replication.submit pair (repl_batch ~seed:(100 + e) 20))
   done;
   let expected = ref [] in
-  Db.iter_committed (Replication.primary pair) ~table:0 (fun k v ->
+  Db.iter_committed (Replication.primary_db pair) ~table:0 (fun k v ->
       expected := (k, Bytes.to_string v) :: !expected);
   (* Primary "dies"; promote the replica and keep processing. *)
-  let promoted = Replication.failover pair in
+  let promoted = Replication.failover_db pair in
   let got = ref [] in
   Db.iter_committed promoted ~table:0 (fun k v -> got := (k, Bytes.to_string v) :: !got);
   Alcotest.(check bool) "promoted state equals primary" true
@@ -595,6 +595,31 @@ let test_replication_partial_sync () =
   Replication.sync pair ~upto:2 ();
   Alcotest.(check int) "partial lag" 2 (Replication.replica_lag pair);
   Alcotest.(check bool) "eventually equal" true (Replication.states_equal pair)
+
+(* Regression: failover racing an in-flight shipment. An epoch that was
+   shipped (submit returned) but not yet applied on the replica must
+   survive promotion — the mli promises the queue drains first. *)
+let test_replication_failover_inflight_epoch () =
+  let pair = repl_pair () in
+  ignore (Replication.submit pair (repl_batch ~seed:301 20));
+  Replication.sync pair ();
+  (* The racing epoch: shipped, replica never applies it before the
+     primary "dies". *)
+  ignore
+    (Replication.submit pair
+       [| Test_recovery.txn_of_ops [ Test_recovery.Set { key = 9L; len = 16; tag = 'q' } ] |]);
+  Alcotest.(check int) "epoch still in flight" 1 (Replication.replica_lag pair);
+  let expected = ref [] in
+  Db.iter_committed (Replication.primary_db pair) ~table:0 (fun k v ->
+      expected := (k, Bytes.to_string v) :: !expected);
+  let promoted = Replication.failover_db pair in
+  Alcotest.(check (option string)) "in-flight epoch applied during promotion"
+    (Some (String.make 16 'q'))
+    (Option.map Bytes.to_string (Db.read_committed promoted ~table:0 ~key:9L));
+  let got = ref [] in
+  Db.iter_committed promoted ~table:0 (fun k v -> got := (k, Bytes.to_string v) :: !got);
+  Alcotest.(check bool) "promoted state equals primary's last submit" true
+    (List.sort compare !expected = List.sort compare !got)
 
 (* --- Session layer: batching + checkpoint-gated results --- *)
 
@@ -673,6 +698,8 @@ let suites =
         Alcotest.test_case "replication lagged reads" `Quick test_replication_lagged_reads;
         Alcotest.test_case "replication failover" `Quick test_replication_failover;
         Alcotest.test_case "replication partial sync" `Quick test_replication_partial_sync;
+        Alcotest.test_case "replication failover mid-shipment" `Quick
+          test_replication_failover_inflight_epoch;
         Alcotest.test_case "session visibility" `Quick test_session_visibility;
         Alcotest.test_case "session auto-flush" `Quick test_session_auto_flush;
       ] );

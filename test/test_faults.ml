@@ -377,12 +377,12 @@ let test_failover_after_primary_crash () =
   (* The primary dies mid-epoch 5; its inputs were never shipped, so
      the epoch is lost — exactly the single-node no-log-commit rule. *)
   let crash_batch = Test_recovery.gen_batch ~seed ~epoch:5 model in
-  Db.set_phase_hook (Replication.primary pair) (fun p ->
+  Db.set_phase_hook (Replication.primary_db pair) (fun p ->
       if p = Db.Exec_txn 4 then raise Crash_now);
   (match Replication.submit pair (Array.map Test_recovery.txn_of_ops crash_batch) with
   | _ -> Alcotest.fail "expected primary crash"
   | exception Crash_now -> ());
-  let promoted = Replication.failover pair in
+  let promoted = Replication.failover_db pair in
   Test_recovery.check_states_equal "promoted state = committed epochs" model promoted;
   (* The promoted database re-executes the lost batch and continues. *)
   ignore (Db.run_epoch promoted (Array.map Test_recovery.txn_of_ops crash_batch));

@@ -10,6 +10,7 @@ module F_server = Nv_frontend.Server
 module F_loadgen = Nv_frontend.Loadgen
 module F_journal = Nv_frontend.Journal
 module F_restart = Nv_frontend.Restart
+module F_shard_set = Nv_frontend.Shard_set
 module Engine = Nv_harness.Engine
 module Engine_intf = Nvcaracal.Engine_intf
 module W = Nv_workloads.Workload
@@ -363,10 +364,13 @@ type sim_client = {
   results : F_wire.response list ref;
 }
 
+(* Single-shard serving is the N=1 case of the shard-set seam. *)
+let local_set engine (w : W.t) = F_shard_set.local ~engine ~tables:w.W.tables
+
 let mk_batcher ?cfg spec w =
   let engine = loaded_engine spec w in
   let registry = F_proc.of_workload w in
-  F_batcher.create ?cfg ~engine ~registry ~tables:w.W.tables ()
+  F_batcher.create ?cfg ~shards:(local_set engine w) ~registry ~tables:w.W.tables ()
 
 let mk_client ?(seed = 0) b =
   let results = ref [] in
@@ -509,7 +513,7 @@ let test_batcher_determinism spec () =
           in
           ignore (E.run_batch db txns))
         batches);
-  let digest_replayed = Engine.state_digest replay ~tables:w.W.tables in
+  let digest_replayed = Engine.state_digest replay in
   Alcotest.(check int64) "served vs replayed digest" digest_served digest_replayed;
   (* Byte-identical persistent images. *)
   let image packed =
@@ -774,8 +778,9 @@ let test_batcher_journal_replay spec () =
   let registry = F_proc.of_workload w in
   let j = F_journal.create ~meta:jmeta () in
   let b =
-    F_batcher.create ~cfg ~journal:j ~engine:(loaded_engine spec w) ~registry ~tables:w.W.tables
-      ()
+    F_batcher.create ~cfg ~journal:j
+      ~shards:(local_set (loaded_engine spec w) w)
+      ~registry ~tables:w.W.tables ()
   in
   let clients = Array.init 8 (fun i -> mk_client ~seed:(40 + i) b) in
   for round = 0 to 11 do
@@ -787,7 +792,8 @@ let test_batcher_journal_replay spec () =
   assert (not torn);
   assert (records <> []);
   let b2 =
-    F_batcher.create ~cfg ~engine:(loaded_engine spec w) ~registry ~tables:w.W.tables ()
+    F_batcher.create ~cfg ~shards:(local_set (loaded_engine spec w) w) ~registry
+      ~tables:w.W.tables ()
   in
   F_batcher.recover b2 ~records ~sessions:[] ~batches_done:0;
   Alcotest.(check int64) "digest after replay" (F_batcher.state_digest b)
@@ -816,7 +822,10 @@ let test_restart_checkpoint_twin () =
   in
   let cfg = F_batcher.config ~batch_target:8 ~deadline_ticks:2 ~max_pending:4096 () in
   let j = F_journal.create ~path ~meta:jmeta () in
-  let b = F_batcher.create ~cfg ~journal:j ~engine:(mk_eng ()) ~registry ~tables:w.W.tables () in
+  let b =
+    F_batcher.create ~cfg ~journal:j ~shards:(local_set (mk_eng ()) w) ~registry
+      ~tables:w.W.tables ()
+  in
   let clients = Array.init 4 (fun i -> mk_client ~seed:(60 + i) b) in
   let round b clients r =
     Array.iteri (fun i cl -> ignore (submit_one b w cl ~req:(r + (i * 1000)))) clients;
@@ -839,7 +848,8 @@ let test_restart_checkpoint_twin () =
   Alcotest.(check bool) "restored from the checkpoint" true boot.F_restart.from_checkpoint;
   assert (boot.F_restart.batches_done > 0);
   let b2 =
-    F_batcher.create ~cfg ~engine:boot.F_restart.engine ~registry ~tables:w.W.tables ()
+    F_batcher.create ~cfg ~shards:(local_set boot.F_restart.engine w) ~registry
+      ~tables:w.W.tables ()
   in
   F_batcher.recover b2 ~records:o.F_journal.records ~sessions:boot.F_restart.sessions
     ~batches_done:boot.F_restart.batches_done;
@@ -923,7 +933,9 @@ let test_socket_end_to_end () =
   let stats = ref None in
   let th =
     Thread.create
-      (fun () -> stats := Some (F_server.serve ~engine ~registry ~tables:w.W.tables scfg))
+      (fun () ->
+        stats :=
+          Some (F_server.serve ~shards:(local_set engine w) ~registry ~tables:w.W.tables scfg))
       ()
   in
   (* Wait for the bind before pointing clients at it. *)
@@ -974,7 +986,7 @@ let test_server_should_stop () =
           Some
             (F_server.serve
                ~should_stop:(fun () -> !stop)
-               ~engine ~registry ~tables:w.W.tables scfg))
+               ~shards:(local_set engine w) ~registry ~tables:w.W.tables scfg))
       ()
   in
   let waited = ref 0 in
@@ -1021,7 +1033,9 @@ let test_socket_garbage_resilience spec () =
   let stats = ref None in
   let th =
     Thread.create
-      (fun () -> stats := Some (F_server.serve ~engine ~registry ~tables:w.W.tables scfg))
+      (fun () ->
+        stats :=
+          Some (F_server.serve ~shards:(local_set engine w) ~registry ~tables:w.W.tables scfg))
       ()
   in
   let waited = ref 0 in
@@ -1199,7 +1213,10 @@ let start_unix_server ?should_stop w path =
   let th =
     Thread.create
       (fun () ->
-        stats := Some (F_server.serve ?should_stop ~engine ~registry ~tables:w.W.tables scfg))
+        stats :=
+          Some
+            (F_server.serve ?should_stop ~shards:(local_set engine w) ~registry
+               ~tables:w.W.tables scfg))
       ()
   in
   let waited = ref 0 in

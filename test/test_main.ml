@@ -21,4 +21,5 @@ let () =
          Test_obs.suites;
          Test_engine_conf.suites;
          Test_frontend.suites;
+         Test_cluster.suites;
        ])

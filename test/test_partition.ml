@@ -87,7 +87,7 @@ let test_keys_are_sharded () =
   (* Each node only stores its shard. *)
   for node = 0 to 2 do
     let local = ref 0 in
-    Db.iter_committed (Partition.node c node) ~table:0 (fun k _ ->
+    Db.iter_committed (Partition.node_db c node) ~table:0 (fun k _ ->
         incr local;
         Alcotest.(check int) "row on its owner" node (Partition.owner c ~table:0 ~key:k));
     Alcotest.(check int) "shard size" counts.(node) !local
@@ -120,7 +120,7 @@ let test_node_crash_and_catchup () =
   Partition.crash_node c 1 ~rng:(Nv_util.Rng.create 5);
   Partition.recover_node c 1;
   Alcotest.(check int) "rejoined at cluster epoch" cluster_epoch
-    (Db.epoch (Partition.node c 1));
+    (Db.epoch (Partition.node_db c 1));
   Alcotest.(check int64) "state intact" before (total c);
   (* The cluster keeps processing. *)
   run_with_retry c (gen_batch 9 30);
